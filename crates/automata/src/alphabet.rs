@@ -1,0 +1,176 @@
+//! Interned alphabets.
+//!
+//! Every word and every edge label in this workspace is a sequence of
+//! [`Symbol`]s — small integer indices into an [`Alphabet`] that remembers
+//! the human-readable character for each index. The paper's constructions
+//! repeatedly *extend* an alphabet with fresh marker symbols (`#`, `$`, `0`,
+//! `1` in Lemmas 5.1, 5.3 and 5.4), which [`Alphabet::intern`] supports
+//! directly.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned symbol: an index into an [`Alphabet`].
+///
+/// Symbols are deliberately small (`u8`) — no construction in the paper
+/// needs more than a handful of symbols, and compact symbols keep the
+/// convolution alphabet `(A ∪ {⊥})^k` enumerable.
+pub type Symbol = u8;
+
+/// A finite alphabet mapping characters to interned [`Symbol`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Alphabet {
+    chars: Vec<char>,
+    index: HashMap<char, Symbol>,
+}
+
+impl Alphabet {
+    /// Creates an empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an alphabet from the given characters, in order.
+    ///
+    /// Duplicate characters are interned once.
+    pub fn from_chars(chars: impl IntoIterator<Item = char>) -> Self {
+        let mut a = Self::new();
+        for c in chars {
+            a.intern(c);
+        }
+        a
+    }
+
+    /// Convenience: the alphabet `{a, b, c, …}` with `n` letters (`n ≤ 26`).
+    ///
+    /// # Panics
+    /// Panics if `n > 26`.
+    pub fn ascii_lower(n: usize) -> Self {
+        assert!(n <= 26, "ascii_lower supports at most 26 letters");
+        Self::from_chars((0..n).map(|i| (b'a' + i as u8) as char))
+    }
+
+    /// Interns `c`, returning its symbol (existing or fresh).
+    ///
+    /// # Panics
+    /// Panics if the alphabet would exceed 255 symbols.
+    pub fn intern(&mut self, c: char) -> Symbol {
+        if let Some(&s) = self.index.get(&c) {
+            return s;
+        }
+        let s = Symbol::try_from(self.chars.len()).expect("alphabet overflow (max 255 symbols)");
+        self.chars.push(c);
+        self.index.insert(c, s);
+        s
+    }
+
+    /// Looks up the symbol for `c` without interning.
+    pub fn symbol(&self, c: char) -> Option<Symbol> {
+        self.index.get(&c).copied()
+    }
+
+    /// The character displayed for symbol `s`.
+    ///
+    /// # Panics
+    /// Panics if `s` is out of range.
+    pub fn char_of(&self, s: Symbol) -> char {
+        self.chars[s as usize]
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.chars.len()
+    }
+
+    /// Whether the alphabet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.chars.is_empty()
+    }
+
+    /// Iterates over all symbols `0..len`.
+    pub fn symbols(&self) -> impl Iterator<Item = Symbol> + '_ {
+        (0..self.chars.len()).map(|i| i as Symbol)
+    }
+
+    /// Encodes a string as a word over this alphabet, interning new chars.
+    pub fn encode_mut(&mut self, s: &str) -> Vec<Symbol> {
+        s.chars().map(|c| self.intern(c)).collect()
+    }
+
+    /// Encodes a string, failing on characters not in the alphabet.
+    pub fn encode(&self, s: &str) -> Option<Vec<Symbol>> {
+        s.chars().map(|c| self.symbol(c)).collect()
+    }
+
+    /// Decodes a word back to a string.
+    pub fn decode(&self, word: &[Symbol]) -> String {
+        word.iter().map(|&s| self.char_of(s)).collect()
+    }
+}
+
+impl fmt::Display for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, c) in self.chars.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut a = Alphabet::new();
+        let s1 = a.intern('a');
+        let s2 = a.intern('a');
+        assert_eq!(s1, s2);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn symbols_are_dense() {
+        let a = Alphabet::ascii_lower(4);
+        let syms: Vec<_> = a.symbols().collect();
+        assert_eq!(syms, vec![0, 1, 2, 3]);
+        assert_eq!(a.char_of(2), 'c');
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut a = Alphabet::new();
+        let w = a.encode_mut("abacab");
+        assert_eq!(a.decode(&w), "abacab");
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn encode_rejects_unknown() {
+        let a = Alphabet::ascii_lower(2);
+        assert!(a.encode("abc").is_none());
+        assert_eq!(a.encode("abba").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn extension_with_markers() {
+        // Lemma 5.1 style: extend A with # and $.
+        let mut a = Alphabet::ascii_lower(2);
+        let hash = a.intern('#');
+        let dollar = a.intern('$');
+        assert_eq!(a.len(), 4);
+        assert_ne!(hash, dollar);
+        assert_eq!(a.char_of(hash), '#');
+    }
+
+    #[test]
+    fn display() {
+        let a = Alphabet::ascii_lower(2);
+        assert_eq!(a.to_string(), "{a, b}");
+    }
+}

@@ -1,0 +1,460 @@
+//! Deterministic finite automata over an explicit, complete alphabet.
+//!
+//! The parameterized intersection non-emptiness problem (p-IE, §2.1 of the
+//! paper) takes *DFAs* as input, and complementation of synchronous
+//! relations goes through determinization; this module provides both. A
+//! [`Dfa`] is always *complete*: every state has exactly one successor per
+//! alphabet symbol (a rejecting sink is materialized by the subset
+//! construction when needed).
+
+use crate::bitset::BitSet;
+use crate::nfa::{Letter, Nfa, StateId};
+use std::collections::HashMap;
+
+/// A complete deterministic finite automaton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dfa<S> {
+    alphabet: Vec<S>,
+    /// `transitions[q * alphabet.len() + a]` is the successor of `q` on
+    /// symbol index `a`.
+    transitions: Vec<StateId>,
+    initial: StateId,
+    finals: BitSet,
+    num_states: usize,
+}
+
+impl<S: Letter> Dfa<S> {
+    /// Builds a complete DFA from an ε-free NFA via the subset construction.
+    ///
+    /// `alphabet` must cover every symbol used by `nfa` (checked with a
+    /// debug assertion); extra symbols are allowed and lead to the sink.
+    pub fn from_nfa(nfa: &Nfa<S>, alphabet: &[S]) -> Self {
+        debug_assert!(!nfa.has_epsilon(), "determinize requires ε-free input");
+        debug_assert!(
+            nfa.symbols_used().iter().all(|s| alphabet.contains(s)),
+            "alphabet must cover all symbols used by the NFA"
+        );
+        let alpha: Vec<S> = alphabet.to_vec();
+        let k = alpha.len();
+        let sym_index: HashMap<&S, usize> = alpha.iter().enumerate().map(|(i, s)| (s, i)).collect();
+
+        // Subsets are canonical sorted Vec<StateId>.
+        let mut ids: HashMap<Vec<StateId>, StateId> = HashMap::new();
+        let mut subsets: Vec<Vec<StateId>> = Vec::new();
+        let mut transitions: Vec<StateId> = Vec::new();
+
+        let mut start: Vec<StateId> = nfa.initial_states().to_vec();
+        start.sort_unstable();
+        start.dedup();
+        ids.insert(start.clone(), 0);
+        subsets.push(start);
+
+        let mut frontier = 0usize;
+        while frontier < subsets.len() {
+            let subset = subsets[frontier].clone();
+            // successor subset per alphabet index
+            let mut succ: Vec<Vec<StateId>> = vec![Vec::new(); k];
+            for &q in &subset {
+                for (s, to) in nfa.transitions_from(q) {
+                    if let Some(&a) = sym_index.get(s) {
+                        succ[a].push(*to);
+                    }
+                }
+            }
+            for set in &mut succ {
+                set.sort_unstable();
+                set.dedup();
+            }
+            for set in succ {
+                let next = subsets.len();
+                let id = *ids.entry(set.clone()).or_insert_with(|| {
+                    subsets.push(set);
+                    next as StateId
+                });
+                transitions.push(id);
+            }
+            frontier += 1;
+        }
+
+        let num_states = subsets.len();
+        let mut finals = BitSet::new(num_states);
+        for (i, subset) in subsets.iter().enumerate() {
+            if subset.iter().any(|&q| nfa.is_final(q)) {
+                finals.insert(i);
+            }
+        }
+        Dfa {
+            alphabet: alpha,
+            transitions,
+            initial: 0,
+            finals,
+            num_states,
+        }
+    }
+
+    /// Builds a DFA directly from parts. `transitions[q][a]` is the
+    /// successor of state `q` on the `a`-th alphabet symbol.
+    ///
+    /// # Panics
+    /// Panics if the transition table is ragged or refers to missing states.
+    pub fn from_parts(
+        alphabet: Vec<S>,
+        transitions: Vec<Vec<StateId>>,
+        initial: StateId,
+        final_states: impl IntoIterator<Item = StateId>,
+    ) -> Self {
+        let n = transitions.len();
+        let k = alphabet.len();
+        let mut flat = Vec::with_capacity(n * k);
+        for row in &transitions {
+            assert_eq!(row.len(), k, "ragged DFA transition table");
+            for &t in row {
+                assert!((t as usize) < n, "dangling DFA transition");
+                flat.push(t);
+            }
+        }
+        assert!((initial as usize) < n);
+        let mut finals = BitSet::new(n);
+        for f in final_states {
+            finals.insert(f as usize);
+        }
+        Dfa {
+            alphabet,
+            transitions: flat,
+            initial,
+            finals,
+            num_states: n,
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// The alphabet.
+    pub fn alphabet(&self) -> &[S] {
+        &self.alphabet
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Whether `q` is final.
+    pub fn is_final(&self, q: StateId) -> bool {
+        self.finals.contains(q as usize)
+    }
+
+    /// The successor of `q` on the `a`-th alphabet symbol.
+    pub fn step_index(&self, q: StateId, a: usize) -> StateId {
+        self.transitions[q as usize * self.alphabet.len() + a]
+    }
+
+    /// The successor of `q` on symbol `s`, or `None` if `s` is not in the
+    /// alphabet.
+    pub fn step(&self, q: StateId, s: &S) -> Option<StateId> {
+        let a = self.alphabet.iter().position(|t| t == s)?;
+        Some(self.step_index(q, a))
+    }
+
+    /// Whether the DFA accepts `word`.
+    pub fn accepts(&self, word: &[S]) -> bool {
+        let mut q = self.initial;
+        for s in word {
+            match self.step(q, s) {
+                Some(next) => q = next,
+                None => return false,
+            }
+        }
+        self.is_final(q)
+    }
+
+    /// Complement: accepts exactly the words over the alphabet that `self`
+    /// rejects. (Completeness makes this a final-state flip.)
+    pub fn complement(&self) -> Self {
+        let mut finals = BitSet::new(self.num_states);
+        for q in 0..self.num_states {
+            if !self.finals.contains(q) {
+                finals.insert(q);
+            }
+        }
+        Dfa {
+            alphabet: self.alphabet.clone(),
+            transitions: self.transitions.clone(),
+            initial: self.initial,
+            finals,
+            num_states: self.num_states,
+        }
+    }
+
+    /// Converts back to an NFA.
+    pub fn to_nfa(&self) -> Nfa<S> {
+        let mut n = Nfa::with_states(self.num_states);
+        n.set_initial(self.initial);
+        let k = self.alphabet.len();
+        for q in 0..self.num_states {
+            for a in 0..k {
+                n.add_transition(
+                    q as StateId,
+                    self.alphabet[a].clone(),
+                    self.transitions[q * k + a],
+                );
+            }
+            if self.finals.contains(q) {
+                n.set_final(q as StateId);
+            }
+        }
+        n
+    }
+
+    /// Whether the language is empty.
+    pub fn is_empty(&self) -> bool {
+        // BFS from initial.
+        let mut seen = BitSet::new(self.num_states);
+        let mut stack = vec![self.initial];
+        seen.insert(self.initial as usize);
+        let k = self.alphabet.len();
+        while let Some(q) = stack.pop() {
+            if self.finals.contains(q as usize) {
+                return false;
+            }
+            for a in 0..k {
+                let t = self.transitions[q as usize * k + a];
+                if seen.insert(t as usize) {
+                    stack.push(t);
+                }
+            }
+        }
+        true
+    }
+
+    /// Hopcroft minimization. The result is the unique minimal complete DFA
+    /// for the language (up to isomorphism); unreachable states are dropped
+    /// first.
+    pub fn minimize(&self) -> Self {
+        // 1. Restrict to reachable states.
+        let k = self.alphabet.len();
+        let mut reach = BitSet::new(self.num_states);
+        let mut stack = vec![self.initial];
+        reach.insert(self.initial as usize);
+        while let Some(q) = stack.pop() {
+            for a in 0..k {
+                let t = self.transitions[q as usize * k + a];
+                if reach.insert(t as usize) {
+                    stack.push(t);
+                }
+            }
+        }
+        let reachable: Vec<usize> = reach.iter().collect();
+        let mut dense: Vec<i64> = vec![-1; self.num_states];
+        for (i, &q) in reachable.iter().enumerate() {
+            dense[q] = i as i64;
+        }
+        let n = reachable.len();
+        if n == 0 {
+            return self.clone();
+        }
+
+        // 2. Moore partition refinement on the dense automaton: refine by
+        // transition signatures until a fixpoint. O(n²·k) worst case but
+        // deterministic, order-independent, and yields the unique coarsest
+        // partition (our automata are small; Hopcroft's worklist tricks are
+        // easy to get subtly wrong).
+        let delta = |i: usize, a: usize| -> usize {
+            dense[self.transitions[reachable[i] * k + a] as usize] as usize
+        };
+        let mut block: Vec<u32> = (0..n)
+            .map(|i| u32::from(self.finals.contains(reachable[i])))
+            .collect();
+        loop {
+            // signature = (current block, blocks of all successors)
+            let mut sig_ids: HashMap<Vec<u32>, u32> = HashMap::new();
+            let mut next_block = vec![0u32; n];
+            for i in 0..n {
+                let mut sig = Vec::with_capacity(k + 1);
+                sig.push(block[i]);
+                for a in 0..k {
+                    sig.push(block[delta(i, a)]);
+                }
+                let next = sig_ids.len() as u32;
+                next_block[i] = *sig_ids.entry(sig).or_insert(next);
+            }
+            let stable = sig_ids.len()
+                == block.iter().collect::<std::collections::HashSet<_>>().len();
+            block = next_block;
+            if stable {
+                break;
+            }
+        }
+        // normalize block ids to 0..m and collect members
+        let mut remap: HashMap<u32, u32> = HashMap::new();
+        for b in block.iter_mut() {
+            let next = remap.len() as u32;
+            *b = *remap.entry(*b).or_insert(next);
+        }
+        let m = remap.len();
+        let mut blocks: Vec<Vec<u32>> = vec![Vec::new(); m];
+        for (i, &b) in block.iter().enumerate() {
+            blocks[b as usize].push(i as u32);
+        }
+
+        // 3. Build quotient automaton.
+        let mut transitions = vec![0 as StateId; m * k];
+        let mut finals = BitSet::new(m);
+        for (bid, members) in blocks.iter().enumerate() {
+            let rep = members[0] as usize;
+            let orig = reachable[rep];
+            for a in 0..k {
+                let t = dense[self.transitions[orig * k + a] as usize] as usize;
+                transitions[bid * k + a] = block[t];
+            }
+            if self.finals.contains(orig) {
+                finals.insert(bid);
+            }
+        }
+        let initial = block[dense[self.initial as usize] as usize];
+        Dfa {
+            alphabet: self.alphabet.clone(),
+            transitions,
+            initial,
+            finals,
+            num_states: m,
+        }
+    }
+
+    /// Checks language equivalence with `other` (must share the alphabet):
+    /// both are minimized and compared up to isomorphism via parallel BFS.
+    pub fn equivalent(&self, other: &Self) -> bool {
+        if self.alphabet != other.alphabet {
+            return false;
+        }
+        let a = self.minimize();
+        let b = other.minimize();
+        if a.num_states != b.num_states {
+            return false;
+        }
+        let k = a.alphabet.len();
+        let mut map: Vec<i64> = vec![-1; a.num_states];
+        let mut stack = vec![(a.initial, b.initial)];
+        map[a.initial as usize] = b.initial as i64;
+        while let Some((qa, qb)) = stack.pop() {
+            if a.is_final(qa) != b.is_final(qb) {
+                return false;
+            }
+            for s in 0..k {
+                let ta = a.step_index(qa, s);
+                let tb = b.step_index(qb, s);
+                match map[ta as usize] {
+                    -1 => {
+                        map[ta as usize] = tb as i64;
+                        stack.push((ta, tb));
+                    }
+                    m if m != tb as i64 => return false,
+                    _ => {}
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn astar_b_nfa() -> Nfa<u8> {
+        let mut n = Nfa::with_states(2);
+        n.set_initial(0);
+        n.set_final(1);
+        n.add_transition(0, 0, 0);
+        n.add_transition(0, 1, 1);
+        n
+    }
+
+    #[test]
+    fn determinize_matches_nfa() {
+        let n = astar_b_nfa();
+        let d = n.determinize(&[0, 1]);
+        for w in [
+            vec![],
+            vec![1],
+            vec![0, 1],
+            vec![0, 0, 0, 1],
+            vec![1, 1],
+            vec![0],
+            vec![1, 0],
+        ] {
+            assert_eq!(n.accepts(&w), d.accepts(&w), "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn complement_flips() {
+        let d = astar_b_nfa().determinize(&[0, 1]);
+        let c = d.complement();
+        for w in [vec![], vec![1], vec![0, 1], vec![1, 1], vec![0]] {
+            assert_eq!(d.accepts(&w), !c.accepts(&w));
+        }
+    }
+
+    #[test]
+    fn minimize_preserves_language_and_shrinks() {
+        // Build a redundant NFA for (ab)* via Thompson-ish combinators.
+        let a = Nfa::symbol_lang(0u8);
+        let b = Nfa::symbol_lang(1u8);
+        let lang = a.concat(&b).star();
+        let d = lang.remove_epsilon().determinize(&[0, 1]);
+        let m = d.minimize();
+        assert!(m.num_states() <= d.num_states());
+        for w in [
+            vec![],
+            vec![0, 1],
+            vec![0, 1, 0, 1],
+            vec![0],
+            vec![1, 0],
+            vec![0, 1, 0],
+        ] {
+            assert_eq!(d.accepts(&w), m.accepts(&w), "word {w:?}");
+        }
+        // minimal DFA for (ab)*: 3 states (start/accept, after-a, sink)
+        assert_eq!(m.num_states(), 3);
+    }
+
+    #[test]
+    fn equivalence() {
+        let d1 = astar_b_nfa().determinize(&[0, 1]);
+        // alternative construction of a*b
+        let a = Nfa::symbol_lang(0u8).star().concat(&Nfa::symbol_lang(1u8));
+        let d2 = a.remove_epsilon().determinize(&[0, 1]);
+        assert!(d1.equivalent(&d2));
+        assert!(!d1.equivalent(&d1.complement()));
+    }
+
+    #[test]
+    fn emptiness() {
+        let e: Nfa<u8> = Nfa::empty_lang();
+        assert!(e.determinize(&[0, 1]).is_empty());
+        assert!(!astar_b_nfa().determinize(&[0, 1]).is_empty());
+    }
+
+    #[test]
+    fn to_nfa_roundtrip() {
+        let d = astar_b_nfa().determinize(&[0, 1]);
+        let n = d.to_nfa();
+        for w in [vec![], vec![1], vec![0, 1], vec![1, 1]] {
+            assert_eq!(d.accepts(&w), n.accepts(&w));
+        }
+    }
+
+    #[test]
+    fn from_parts_mod3() {
+        // #a ≡ 0 (mod 3) over {a}
+        let d = Dfa::from_parts(vec![0u8], vec![vec![1], vec![2], vec![0]], 0, [0]);
+        assert!(d.accepts(&[]));
+        assert!(!d.accepts(&[0]));
+        assert!(d.accepts(&[0, 0, 0]));
+        assert_eq!(d.minimize().num_states(), 3);
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Finite automata and synchronous (automatic) word relations.
+//!
+//! This crate implements, from scratch, the automata-theoretic substrate of
+//! *“When is the Evaluation of Extended CRPQ Tractable?”* (Figueira &
+//! Ramanathan, PODS 2022):
+//!
+//! * interned alphabets ([`Alphabet`]);
+//! * nondeterministic and deterministic finite automata generic over the
+//!   symbol type ([`Nfa`], [`Dfa`]), with the full classical toolkit —
+//!   Thompson construction from regular expressions, ε-closure, product,
+//!   union, determinization, Hopcroft minimization, complement, emptiness,
+//!   shortest witnesses;
+//! * regular expressions with a textual parser ([`Regex`]);
+//! * **synchronous relations** ([`SyncRel`]): `k`-ary word relations given by
+//!   NFAs over the convolution alphabet `(A ∪ {⊥})^k`, exactly as in §2 of
+//!   the paper, together with the canonical relations used throughout the
+//!   paper (equality, prefix, equal-length, Hamming/edit distance bounds)
+//!   and the closure operations (boolean operations, joins) that power the
+//!   evaluation algorithms of §4.
+//!
+//! The suffix-padding convention of convolutions (once a tape is exhausted it
+//! reads `⊥` forever) is enforced by [`sync::padding_automaton`] and is an
+//! invariant of every [`SyncRel`] produced by this crate.
+
+pub mod alphabet;
+pub mod bitset;
+pub mod dfa;
+pub mod nfa;
+pub mod recognizable;
+pub mod regex;
+pub mod relations;
+pub mod sync;
+pub mod to_regex;
+
+pub use alphabet::{Alphabet, Symbol};
+pub use bitset::BitSet;
+pub use dfa::Dfa;
+pub use nfa::{Nfa, StateId};
+pub use recognizable::RecognizableRel;
+pub use regex::Regex;
+pub use sync::{convolve, deconvolve, Row, SyncRel, Track};
+pub use to_regex::nfa_to_regex;

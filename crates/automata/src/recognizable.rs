@@ -1,0 +1,159 @@
+//! Recognizable word relations.
+//!
+//! §1 of the paper recalls the strict hierarchy **Recognizable ⊊
+//! Synchronous ⊊ Rational** and notes that “any CRPQ+Recognizable query is
+//! equivalent to a finite union of CRPQ (known as UCRPQ)”. A `k`-ary
+//! relation is *recognizable* iff it is a finite union of products
+//! `L₁ × ⋯ × L_k` of regular languages — the Mezei characterization, which
+//! is the representation used here ([`RecognizableRel`]).
+//!
+//! Every recognizable relation is synchronous ([`RecognizableRel::to_sync`]);
+//! the converse fails (equality and equal-length are synchronous but not
+//! recognizable). The query-level translation to unions of CRPQs lives in
+//! `ecrpq-core` (`recognizable_to_ucrpq`).
+
+use crate::alphabet::Symbol;
+use crate::nfa::Nfa;
+use crate::relations;
+use crate::sync::SyncRel;
+
+/// A recognizable `k`-ary relation in Mezei form: a finite union of
+/// products of regular languages.
+#[derive(Debug, Clone)]
+pub struct RecognizableRel {
+    arity: usize,
+    num_symbols: usize,
+    /// Each disjunct is one product `L₁ × ⋯ × L_k`.
+    products: Vec<Vec<Nfa<Symbol>>>,
+}
+
+impl RecognizableRel {
+    /// Creates an empty (∅) relation of the given arity.
+    pub fn empty(arity: usize, num_symbols: usize) -> Self {
+        assert!(arity >= 1);
+        RecognizableRel {
+            arity,
+            num_symbols,
+            products: Vec::new(),
+        }
+    }
+
+    /// Adds a product disjunct `L₁ × ⋯ × L_k`.
+    ///
+    /// # Panics
+    /// Panics if the number of languages differs from the arity.
+    pub fn add_product(&mut self, langs: Vec<Nfa<Symbol>>) {
+        assert_eq!(langs.len(), self.arity, "product arity mismatch");
+        self.products.push(langs);
+    }
+
+    /// Arity `k`.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Alphabet size.
+    pub fn num_symbols(&self) -> usize {
+        self.num_symbols
+    }
+
+    /// The product disjuncts.
+    pub fn products(&self) -> &[Vec<Nfa<Symbol>>] {
+        &self.products
+    }
+
+    /// Membership: some disjunct accepts every component.
+    pub fn contains(&self, words: &[&[Symbol]]) -> bool {
+        assert_eq!(words.len(), self.arity);
+        self.products
+            .iter()
+            .any(|p| p.iter().zip(words).all(|(l, w)| l.accepts(w)))
+    }
+
+    /// Converts to the synchronous representation (Recognizable ⊆
+    /// Synchronous): the union of the product lifts.
+    pub fn to_sync(&self) -> SyncRel {
+        let mut acc: Option<SyncRel> = None;
+        for p in &self.products {
+            let refs: Vec<&Nfa<Symbol>> = p.iter().collect();
+            let prod = relations::product_of_languages(&refs, self.num_symbols);
+            acc = Some(match acc {
+                None => prod,
+                Some(a) => a.union(&prod),
+            });
+        }
+        acc.unwrap_or_else(|| {
+            // the empty relation
+            let universal = relations::universal(self.arity, self.num_symbols);
+            universal.intersect(&universal.complement())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::regex::Regex;
+
+    fn lang(re: &str) -> Nfa<Symbol> {
+        let mut a = Alphabet::ascii_lower(2);
+        Regex::compile_str(re, &mut a).unwrap()
+    }
+
+    #[test]
+    fn membership_union_of_products() {
+        let mut r = RecognizableRel::empty(2, 2);
+        r.add_product(vec![lang("a+"), lang("b+")]);
+        r.add_product(vec![lang("b*"), lang("a")]);
+        assert!(r.contains(&[&[0, 0], &[1]]));
+        assert!(r.contains(&[&[1, 1], &[0]]));
+        assert!(r.contains(&[&[], &[0]])); // b* accepts ε
+        assert!(!r.contains(&[&[0], &[0]]));
+    }
+
+    #[test]
+    fn to_sync_agrees_with_membership() {
+        let mut r = RecognizableRel::empty(2, 2);
+        r.add_product(vec![lang("a+"), lang("b+")]);
+        r.add_product(vec![lang("b*"), lang("a")]);
+        let s = r.to_sync();
+        let words: Vec<Vec<Symbol>> = vec![
+            vec![],
+            vec![0],
+            vec![1],
+            vec![0, 0],
+            vec![1, 1],
+            vec![0, 1],
+            vec![1, 0],
+        ];
+        for u in &words {
+            for v in &words {
+                assert_eq!(
+                    r.contains(&[u, v]),
+                    s.contains(&[u, v]),
+                    "mismatch on {u:?}, {v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_relation_is_empty_sync() {
+        let r = RecognizableRel::empty(2, 2);
+        assert!(!r.contains(&[&[], &[]]));
+        assert!(r.to_sync().is_empty());
+    }
+
+    #[test]
+    fn equality_is_not_expressible_but_detectably_different() {
+        // sanity: a recognizable approximation of equality differs from
+        // the synchronous equality relation
+        let mut r = RecognizableRel::empty(2, 2);
+        r.add_product(vec![lang("(a|b)*"), lang("(a|b)*")]); // everything
+        let s = r.to_sync();
+        let eq = relations::equality(2);
+        assert!(!s.equivalent(&eq));
+        assert!(eq.is_subset_of(&s));
+    }
+}

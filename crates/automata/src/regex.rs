@@ -1,0 +1,427 @@
+//! Regular expressions: AST, textual parser, Thompson compilation.
+//!
+//! The paper specifies path languages “by regular expressions (or
+//! restrictions thereof) over the alphabet of edge labels” (§1). This module
+//! provides the concrete syntax used across the workspace, e.g. the queries
+//! of Example 1.1 use `a*b` and `(a|b)*`.
+//!
+//! ## Syntax
+//!
+//! * a bare character matches itself (`a`, `0`, `#`, …); metacharacters can
+//!   be escaped with `\`;
+//! * juxtaposition is concatenation, `|` is union;
+//! * postfix `*`, `+`, `?` are Kleene star, plus and option;
+//! * `.` matches any single symbol *of the alphabet supplied at compile
+//!   time*;
+//! * `()` is the empty word ε.
+//!
+//! The paper also writes union as `+` (e.g. `(a+b)*`); that infix reading is
+//! not supported — use `|`.
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::nfa::Nfa;
+use std::fmt;
+
+/// A regular expression AST.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Regex {
+    /// The empty language ∅.
+    Empty,
+    /// The empty word ε.
+    Epsilon,
+    /// A single character.
+    Char(char),
+    /// Any single alphabet symbol (`.`).
+    Dot,
+    /// Concatenation.
+    Concat(Vec<Regex>),
+    /// Union.
+    Alt(Vec<Regex>),
+    /// Kleene star.
+    Star(Box<Regex>),
+    /// Kleene plus.
+    Plus(Box<Regex>),
+    /// Zero-or-one.
+    Opt(Box<Regex>),
+}
+
+/// A regex parse error with a byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error occurred.
+    pub position: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+const METACHARS: &[char] = &['(', ')', '|', '*', '+', '?', '.', '\\'];
+
+impl Regex {
+    /// Parses a regular expression from text.
+    pub fn parse(input: &str) -> Result<Regex, ParseError> {
+        let chars: Vec<char> = input.chars().collect();
+        let mut p = Parser { chars, pos: 0 };
+        let r = p.alt()?;
+        if p.pos != p.chars.len() {
+            return Err(p.error("unexpected trailing input"));
+        }
+        Ok(r)
+    }
+
+    /// Compiles to an NFA over `alphabet`, interning any new characters.
+    ///
+    /// `Dot` expands to the symbols present in `alphabet` *at the time of
+    /// the call* (after interning the regex's own literal characters).
+    pub fn compile(&self, alphabet: &mut Alphabet) -> Nfa<Symbol> {
+        // Intern all literal chars first so `.` sees them.
+        self.intern_chars(alphabet);
+        self.compile_inner(alphabet)
+    }
+
+    fn intern_chars(&self, alphabet: &mut Alphabet) {
+        match self {
+            Regex::Char(c) => {
+                alphabet.intern(*c);
+            }
+            Regex::Concat(rs) | Regex::Alt(rs) => {
+                for r in rs {
+                    r.intern_chars(alphabet);
+                }
+            }
+            Regex::Star(r) | Regex::Plus(r) | Regex::Opt(r) => r.intern_chars(alphabet),
+            Regex::Empty | Regex::Epsilon | Regex::Dot => {}
+        }
+    }
+
+    fn compile_inner(&self, alphabet: &Alphabet) -> Nfa<Symbol> {
+        match self {
+            Regex::Empty => Nfa::empty_lang(),
+            Regex::Epsilon => Nfa::epsilon_lang(),
+            Regex::Char(c) => {
+                let s = alphabet
+                    .symbol(*c)
+                    .expect("literal interned by compile()");
+                Nfa::symbol_lang(s)
+            }
+            Regex::Dot => {
+                let mut n = Nfa::with_states(2);
+                n.set_initial(0);
+                n.set_final(1);
+                for s in alphabet.symbols() {
+                    n.add_transition(0, s, 1);
+                }
+                n
+            }
+            Regex::Concat(rs) => {
+                let mut acc = Nfa::epsilon_lang();
+                for r in rs {
+                    acc = acc.concat(&r.compile_inner(alphabet));
+                }
+                acc
+            }
+            Regex::Alt(rs) => {
+                let mut acc: Option<Nfa<Symbol>> = None;
+                for r in rs {
+                    let n = r.compile_inner(alphabet);
+                    acc = Some(match acc {
+                        None => n,
+                        Some(a) => a.union(&n),
+                    });
+                }
+                acc.unwrap_or_else(Nfa::empty_lang)
+            }
+            Regex::Star(r) => r.compile_inner(alphabet).star(),
+            Regex::Plus(r) => r.compile_inner(alphabet).plus(),
+            Regex::Opt(r) => r.compile_inner(alphabet).optional(),
+        }
+    }
+
+    /// Convenience: parse and compile in one step.
+    pub fn compile_str(input: &str, alphabet: &mut Alphabet) -> Result<Nfa<Symbol>, ParseError> {
+        Ok(Regex::parse(input)?.compile(alphabet))
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn prec(r: &Regex) -> u8 {
+            match r {
+                Regex::Alt(_) => 0,
+                Regex::Concat(_) => 1,
+                _ => 2,
+            }
+        }
+        fn write_child(f: &mut fmt::Formatter<'_>, r: &Regex, min: u8) -> fmt::Result {
+            if prec(r) < min {
+                write!(f, "({r})")
+            } else {
+                write!(f, "{r}")
+            }
+        }
+        match self {
+            Regex::Empty => write!(f, "\\0"),
+            Regex::Epsilon => write!(f, "()"),
+            Regex::Char(c) => {
+                if METACHARS.contains(c) {
+                    write!(f, "\\{c}")
+                } else {
+                    write!(f, "{c}")
+                }
+            }
+            Regex::Dot => write!(f, "."),
+            Regex::Concat(rs) => {
+                for r in rs {
+                    write_child(f, r, 1)?;
+                }
+                Ok(())
+            }
+            Regex::Alt(rs) => {
+                for (i, r) in rs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    write_child(f, r, 1)?;
+                }
+                Ok(())
+            }
+            Regex::Star(r) => {
+                write_child(f, r, 2)?;
+                write!(f, "*")
+            }
+            Regex::Plus(r) => {
+                write_child(f, r, 2)?;
+                write!(f, "+")
+            }
+            Regex::Opt(r) => {
+                write_child(f, r, 2)?;
+                write!(f, "?")
+            }
+        }
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error(&self, msg: &str) -> ParseError {
+        ParseError {
+            position: self.pos,
+            message: msg.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn alt(&mut self) -> Result<Regex, ParseError> {
+        let mut alts = vec![self.concat()?];
+        while self.peek() == Some('|') {
+            self.pos += 1;
+            alts.push(self.concat()?);
+        }
+        Ok(if alts.len() == 1 {
+            alts.pop().unwrap()
+        } else {
+            Regex::Alt(alts)
+        })
+    }
+
+    fn concat(&mut self) -> Result<Regex, ParseError> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.postfix()?);
+        }
+        Ok(match items.len() {
+            0 => Regex::Epsilon,
+            1 => items.pop().unwrap(),
+            _ => Regex::Concat(items),
+        })
+    }
+
+    fn postfix(&mut self) -> Result<Regex, ParseError> {
+        let mut r = self.atom()?;
+        loop {
+            match self.peek() {
+                Some('*') => {
+                    self.pos += 1;
+                    r = Regex::Star(Box::new(r));
+                }
+                Some('+') => {
+                    self.pos += 1;
+                    r = Regex::Plus(Box::new(r));
+                }
+                Some('?') => {
+                    self.pos += 1;
+                    r = Regex::Opt(Box::new(r));
+                }
+                _ => break,
+            }
+        }
+        Ok(r)
+    }
+
+    fn atom(&mut self) -> Result<Regex, ParseError> {
+        match self.peek() {
+            None => Err(self.error("unexpected end of input")),
+            Some('(') => {
+                self.pos += 1;
+                if self.peek() == Some(')') {
+                    self.pos += 1;
+                    return Ok(Regex::Epsilon);
+                }
+                let r = self.alt()?;
+                if self.peek() != Some(')') {
+                    return Err(self.error("expected ')'"));
+                }
+                self.pos += 1;
+                Ok(r)
+            }
+            Some('.') => {
+                self.pos += 1;
+                Ok(Regex::Dot)
+            }
+            Some('\\') => {
+                self.pos += 1;
+                match self.peek() {
+                    Some('0') => {
+                        self.pos += 1;
+                        Ok(Regex::Empty)
+                    }
+                    Some(c) => {
+                        self.pos += 1;
+                        Ok(Regex::Char(c))
+                    }
+                    None => Err(self.error("dangling escape")),
+                }
+            }
+            Some(c) if "*+?)".contains(c) => Err(self.error("misplaced operator")),
+            Some(c) => {
+                self.pos += 1;
+                Ok(Regex::Char(c))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lang(re: &str, words_in: &[&str], words_out: &[&str]) {
+        let mut alpha = Alphabet::ascii_lower(3);
+        let n = Regex::compile_str(re, &mut alpha).unwrap();
+        for w in words_in {
+            let word = alpha.encode(w).unwrap();
+            assert!(n.accepts(&word), "{re} should accept {w}");
+        }
+        for w in words_out {
+            let word = alpha.encode(w).unwrap();
+            assert!(!n.accepts(&word), "{re} should reject {w}");
+        }
+    }
+
+    #[test]
+    fn example_1_1_languages() {
+        // The two languages from Example 1.1: a*b and (a|b)*.
+        lang("a*b", &["b", "ab", "aaab"], &["", "a", "ba", "abb"]);
+        lang("(a|b)*", &["", "a", "b", "abba"], &["c", "abc"]);
+    }
+
+    #[test]
+    fn plus_and_opt() {
+        lang("a+", &["a", "aaa"], &["", "b"]);
+        lang("ab?", &["a", "ab"], &["abb", "b", ""]);
+    }
+
+    #[test]
+    fn dot_matches_alphabet() {
+        lang(".", &["a", "b", "c"], &["", "ab"]);
+        lang("a.c", &["abc", "aac", "acc"], &["ac", "abbc"]);
+    }
+
+    #[test]
+    fn epsilon_and_empty() {
+        lang("()", &[""], &["a"]);
+        lang("()a", &["a"], &["", "aa"]);
+        let mut alpha = Alphabet::ascii_lower(1);
+        let n = Regex::compile_str("\\0", &mut alpha).unwrap();
+        assert!(n.is_empty());
+    }
+
+    #[test]
+    fn escapes() {
+        let mut alpha = Alphabet::new();
+        let n = Regex::compile_str("\\*\\|", &mut alpha).unwrap();
+        let w = alpha.encode("*|").unwrap();
+        assert!(n.accepts(&w));
+    }
+
+    #[test]
+    fn nesting_and_precedence() {
+        lang("ab|c", &["ab", "c"], &["ac", "abc"]);
+        lang("a(b|c)", &["ab", "ac"], &["a", "abc"]);
+        lang("(ab)*", &["", "ab", "abab"], &["a", "aba"]);
+        lang("ab*", &["a", "ab", "abbb"], &["", "abab"]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Regex::parse("(a").is_err());
+        assert!(Regex::parse("a)").is_err());
+        assert!(Regex::parse("*a").is_err());
+        assert!(Regex::parse("a\\").is_err());
+        assert!(Regex::parse("a||b").is_ok()); // empty alternative = epsilon
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for re in ["a*b", "(a|b)*", "a(b|c)+d?", "\\*a", "()", "a|()|b"] {
+            let r = Regex::parse(re).unwrap();
+            let printed = r.to_string();
+            let reparsed = Regex::parse(&printed).unwrap();
+            // compare languages on small words
+            let mut a1 = Alphabet::ascii_lower(4);
+            a1.intern('*');
+            let mut a2 = a1.clone();
+            let n1 = r.compile(&mut a1);
+            let n2 = reparsed.compile(&mut a2);
+            let syms: Vec<_> = a1.symbols().collect();
+            for w in all_words(&syms, 3) {
+                assert_eq!(n1.accepts(&w), n2.accepts(&w), "{re} vs {printed} on {w:?}");
+            }
+        }
+    }
+
+    fn all_words(syms: &[Symbol], max_len: usize) -> Vec<Vec<Symbol>> {
+        let mut out = vec![vec![]];
+        let mut layer = vec![vec![]];
+        for _ in 0..max_len {
+            let mut next = Vec::new();
+            for w in &layer {
+                for &s in syms {
+                    let mut w2 = w.clone();
+                    w2.push(s);
+                    next.push(w2);
+                }
+            }
+            out.extend(next.iter().cloned());
+            layer = next;
+        }
+        out
+    }
+}

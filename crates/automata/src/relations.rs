@@ -1,0 +1,699 @@
+//! Canonical synchronous relations.
+//!
+//! §2 of the paper lists “the prefix, equality, and equal-length binary
+//! relations” as classical examples of synchronous relations, and Example
+//! 2.1 additionally mentions “edit-distance at most 14”. This module
+//! constructs all of them (plus Hamming distance and a few lifts the
+//! reductions of §5 need) directly as NFAs over the convolution alphabet.
+//!
+//! Non-examples — suffix, factor, scattered subword — are deliberately
+//! absent: they are *not* synchronous (§2), and providing them would be
+//! wrong.
+
+use crate::alphabet::Symbol;
+use crate::nfa::{Nfa, StateId};
+use crate::sync::{all_rows, padding_automaton, Row, SyncRel, Track};
+use std::collections::HashMap;
+
+/// The universal `k`-ary relation `(A*)^k`.
+pub fn universal(arity: usize, num_symbols: usize) -> SyncRel {
+    SyncRel::from_nfa_unchecked(arity, num_symbols, padding_automaton(arity, num_symbols))
+}
+
+/// The binary equality relation `{(w, w) : w ∈ A*}`.
+pub fn equality(num_symbols: usize) -> SyncRel {
+    let mut nfa = Nfa::with_states(1);
+    nfa.set_initial(0);
+    nfa.set_final(0);
+    for s in 0..num_symbols as Symbol {
+        nfa.add_transition(0, vec![Track::Sym(s), Track::Sym(s)], 0);
+    }
+    SyncRel::from_nfa_unchecked(2, num_symbols, nfa)
+}
+
+/// The `k`-ary equal-length relation `{(w₁,…,w_k) : |w₁| = ⋯ = |w_k|}`
+/// (“eq-len” of Example 2.1).
+pub fn eq_length(arity: usize, num_symbols: usize) -> SyncRel {
+    let mut nfa = Nfa::with_states(1);
+    nfa.set_initial(0);
+    nfa.set_final(0);
+    for row in all_rows(arity, num_symbols) {
+        if row.iter().all(|t| !t.is_pad()) {
+            nfa.add_transition(0, row, 0);
+        }
+    }
+    SyncRel::from_nfa_unchecked(arity, num_symbols, nfa)
+}
+
+/// The `k`-ary equal-length relation restricted to words of length at
+/// least `min_len` (e.g. `min_len = 1` excludes the all-empty tuple, which
+/// makes queries non-trivially satisfiable — empty paths always exist).
+pub fn eq_length_min(arity: usize, num_symbols: usize, min_len: usize) -> SyncRel {
+    let mut nfa = Nfa::with_states(min_len + 1);
+    nfa.set_initial(0);
+    nfa.set_final(min_len as StateId);
+    for row in all_rows(arity, num_symbols) {
+        if row.iter().all(|t| !t.is_pad()) {
+            for s in 0..min_len {
+                nfa.add_transition(s as StateId, row.clone(), (s + 1) as StateId);
+            }
+            nfa.add_transition(min_len as StateId, row.clone(), min_len as StateId);
+        }
+    }
+    if min_len == 0 {
+        nfa.set_final(0);
+    }
+    SyncRel::from_nfa_unchecked(arity, num_symbols, nfa)
+}
+
+/// The binary prefix relation `{(u, uv) : u, v ∈ A*}`.
+pub fn prefix(num_symbols: usize) -> SyncRel {
+    // State 0: tracks in lock-step; state 1: first track has ended.
+    let mut nfa = Nfa::with_states(2);
+    nfa.set_initial(0);
+    nfa.set_final(0);
+    nfa.set_final(1);
+    for s in 0..num_symbols as Symbol {
+        nfa.add_transition(0, vec![Track::Sym(s), Track::Sym(s)], 0);
+        nfa.add_transition(0, vec![Track::Pad, Track::Sym(s)], 1);
+        nfa.add_transition(1, vec![Track::Pad, Track::Sym(s)], 1);
+    }
+    SyncRel::from_nfa_unchecked(2, num_symbols, nfa)
+}
+
+/// The unary relation (language) `{w}`.
+pub fn word_relation(word: &[Symbol], num_symbols: usize) -> SyncRel {
+    let nfa = Nfa::word_lang(word);
+    language(&nfa, num_symbols)
+}
+
+/// Lifts a regular language (an NFA over `Symbol`) to a unary [`SyncRel`].
+pub fn language(lang: &Nfa<Symbol>, num_symbols: usize) -> SyncRel {
+    let rows = lang.map_symbols(|&s| vec![Track::Sym(s)]);
+    SyncRel::from_nfa_unchecked(1, num_symbols, rows)
+}
+
+/// The `k`-ary product `L₁ × ⋯ × L_k` of regular languages (each track
+/// independently constrained). Used by the reductions of §5.1 case (2) —
+/// `{(u, u₁, …, u_k) : u ∈ Lᵢ, uⱼ ∈ A*}` is `Lᵢ × A* × ⋯ × A*`.
+pub fn product_of_languages(langs: &[&Nfa<Symbol>], num_symbols: usize) -> SyncRel {
+    assert!(!langs.is_empty());
+    let unary: Vec<SyncRel> = langs.iter().map(|l| language(l, num_symbols)).collect();
+    let with_maps: Vec<(&SyncRel, Vec<usize>)> =
+        unary.iter().enumerate().map(|(i, r)| (r, vec![i])).collect();
+    let borrowed: Vec<(&SyncRel, &[usize])> = with_maps
+        .iter()
+        .map(|(r, m)| (*r, m.as_slice()))
+        .collect();
+    SyncRel::join(&borrowed, langs.len())
+}
+
+/// The binary relation `{(u, v) : ||u| − |v|| ≤ d}` (bounded length skew —
+/// a relaxation of eq-length that is still synchronous).
+pub fn length_diff_le(d: usize, num_symbols: usize) -> SyncRel {
+    // state 0: both tracks active; states (side, j): one side padded for j
+    // steps. Encoding: 0, then 1..=d for "first ended", d+1..=2d for
+    // "second ended". All accepting.
+    let mut nfa = Nfa::with_states(2 * d + 1);
+    let u_ended = |j: usize| j as StateId; // j in 1..=d
+    let v_ended = |j: usize| (d + j) as StateId;
+    for q in 0..(2 * d + 1) as StateId {
+        nfa.set_final(q);
+    }
+    nfa.set_initial(0);
+    for a in 0..num_symbols as Symbol {
+        for b in 0..num_symbols as Symbol {
+            nfa.add_transition(0, vec![Track::Sym(a), Track::Sym(b)], 0);
+        }
+        if d >= 1 {
+            nfa.add_transition(0, vec![Track::Pad, Track::Sym(a)], u_ended(1));
+            nfa.add_transition(0, vec![Track::Sym(a), Track::Pad], v_ended(1));
+            for j in 1..d {
+                nfa.add_transition(
+                    u_ended(j),
+                    vec![Track::Pad, Track::Sym(a)],
+                    u_ended(j + 1),
+                );
+                nfa.add_transition(
+                    v_ended(j),
+                    vec![Track::Sym(a), Track::Pad],
+                    v_ended(j + 1),
+                );
+            }
+        }
+    }
+    SyncRel::from_nfa_unchecked(2, num_symbols, nfa)
+}
+
+/// The binary relation `{(u, v) : |lcp(u, v)| ≥ k}` (common prefix of
+/// length at least `k`).
+pub fn lcp_at_least(k: usize, num_symbols: usize) -> SyncRel {
+    // states 0..k count agreeing symbols; state k loops on any valid row.
+    let mut nfa = Nfa::with_states(k + 1);
+    nfa.set_initial(0);
+    nfa.set_final(k as StateId);
+    for s in 0..k {
+        for a in 0..num_symbols as Symbol {
+            nfa.add_transition(
+                s as StateId,
+                vec![Track::Sym(a), Track::Sym(a)],
+                (s + 1) as StateId,
+            );
+        }
+    }
+    for row in all_rows(2, num_symbols) {
+        nfa.add_transition(k as StateId, row, k as StateId);
+    }
+    SyncRel::from_nfa(2, num_symbols, nfa)
+}
+
+/// The binary relation `{(u, v) : |u| = |v|, hamming(u, v) ≤ d}`.
+pub fn hamming_le(d: usize, num_symbols: usize) -> SyncRel {
+    // State = number of mismatches so far, all accepting.
+    let mut nfa = Nfa::with_states(d + 1);
+    nfa.set_initial(0);
+    for c in 0..=d {
+        nfa.set_final(c as StateId);
+        for a in 0..num_symbols as Symbol {
+            for b in 0..num_symbols as Symbol {
+                let row = vec![Track::Sym(a), Track::Sym(b)];
+                if a == b {
+                    nfa.add_transition(c as StateId, row, c as StateId);
+                } else if c < d {
+                    nfa.add_transition(c as StateId, row, (c + 1) as StateId);
+                }
+            }
+        }
+    }
+    SyncRel::from_nfa_unchecked(2, num_symbols, nfa)
+}
+
+const INF_SENTINEL: u8 = u8::MAX;
+
+/// DP frontier state for [`edit_distance_le`]: the banded Levenshtein
+/// frontier after reading `t` convolution columns, plus the last `≤ d`
+/// symbols of each word (needed to evaluate future substitution costs).
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct EdState {
+    /// `row[δ] = D[p][q-δ]` for `δ = 0..=d` (capped at `d+1`,
+    /// `INF_SENTINEL` for nonexistent cells).
+    row: Vec<u8>,
+    /// `col[δ] = D[p-δ][q]`.
+    col: Vec<u8>,
+    /// Last `min(d, p)` symbols of the first word, oldest first.
+    ulast: Vec<Symbol>,
+    /// Last `min(d, q)` symbols of the second word, oldest first.
+    vlast: Vec<Symbol>,
+}
+
+fn cap(v: u16, d: u8) -> u8 {
+    if v > u16::from(d) {
+        d + 1
+    } else {
+        v as u8
+    }
+}
+
+fn cell(v: u8) -> u16 {
+    if v == INF_SENTINEL {
+        u16::MAX / 2
+    } else {
+        u16::from(v)
+    }
+}
+
+impl EdState {
+    fn start(d: usize) -> Self {
+        let mut row = vec![INF_SENTINEL; d + 1];
+        let mut col = vec![INF_SENTINEL; d + 1];
+        row[0] = 0; // D[0][0]
+        col[0] = 0;
+        EdState {
+            row,
+            col,
+            ulast: Vec::new(),
+            vlast: Vec::new(),
+        }
+    }
+
+    /// `u[p - e]` for `e = 0` meaning the most recent symbol; `None` if the
+    /// buffer does not reach back that far.
+    fn u_back(&self, e: usize) -> Option<Symbol> {
+        let n = self.ulast.len();
+        if e < n {
+            Some(self.ulast[n - 1 - e])
+        } else {
+            None
+        }
+    }
+
+    fn v_back(&self, e: usize) -> Option<Symbol> {
+        let n = self.vlast.len();
+        if e < n {
+            Some(self.vlast[n - 1 - e])
+        } else {
+            None
+        }
+    }
+
+    fn push_u(&mut self, d: usize, s: Symbol) {
+        self.ulast.push(s);
+        if self.ulast.len() > d {
+            self.ulast.remove(0);
+        }
+    }
+
+    fn push_v(&mut self, d: usize, s: Symbol) {
+        self.vlast.push(s);
+        if self.vlast.len() > d {
+            self.vlast.remove(0);
+        }
+    }
+
+    /// Extends the DP square by one column of `v` (symbol `b`): computes
+    /// `D[i][q+1]` for `i ∈ [p-d .. p]`, returning the new `col` band
+    /// (index δ ↦ `D[p-δ][q+1]`).
+    ///
+    /// The recurrence is evaluated bottom-up (δ descending = i ascending);
+    /// out-of-band neighbours read as `INF`, which exactly reproduces the
+    /// textbook base cases `D[0][j] = j` thanks to the capped chain.
+    fn extend_col(&self, d: usize, b: Symbol) -> Vec<u8> {
+        let mut new_col = vec![INF_SENTINEL; d + 1];
+        // i = p - δ, descending δ ⇒ ascending i.
+        for delta in (0..=d).rev() {
+            // D[i][q+1] = min(D[i-1][q+1]+1, D[i][q]+1, D[i-1][q]+neq(u[i], b))
+            let up = if delta < d {
+                cell(new_col[delta + 1]) // D[i-1][q+1]
+            } else {
+                u16::MAX / 2
+            };
+            let left = cell(self.col[delta]); // D[i][q]
+            let diag = if delta < d {
+                cell(self.col[delta + 1]) // D[i-1][q]
+            } else {
+                u16::MAX / 2
+            };
+            // u[i] = u[p - delta]: offset `delta` back from the most recent.
+            let subst = match self.u_back(delta) {
+                Some(us) => diag + u16::from(us != b),
+                None => u16::MAX / 2, // cell has no corresponding u symbol (i ≤ 0 row handled by `left` chain)
+            };
+            let best = (up + 1).min(left + 1).min(subst);
+            new_col[delta] = if left == u16::MAX / 2 && up == u16::MAX / 2 && subst >= u16::MAX / 2
+            {
+                INF_SENTINEL
+            } else {
+                cap(best, d as u8)
+            };
+        }
+        new_col
+    }
+
+    /// Symmetric to [`EdState::extend_col`]: extends by one row of `u`.
+    fn extend_row(&self, d: usize, a: Symbol) -> Vec<u8> {
+        let mut new_row = vec![INF_SENTINEL; d + 1];
+        for delta in (0..=d).rev() {
+            let left = if delta < d {
+                cell(new_row[delta + 1]) // D[p+1][j-1]
+            } else {
+                u16::MAX / 2
+            };
+            let up = cell(self.row[delta]); // D[p][j]
+            let diag = if delta < d {
+                cell(self.row[delta + 1]) // D[p][j-1]
+            } else {
+                u16::MAX / 2
+            };
+            let subst = match self.v_back(delta) {
+                Some(vs) => diag + u16::from(vs != a),
+                None => u16::MAX / 2,
+            };
+            let best = (left + 1).min(up + 1).min(subst);
+            new_row[delta] = if up == u16::MAX / 2 && left == u16::MAX / 2 && subst >= u16::MAX / 2
+            {
+                INF_SENTINEL
+            } else {
+                cap(best, d as u8)
+            };
+        }
+        new_row
+    }
+
+    /// Transition on a convolution column; `None` for the impossible
+    /// symbol-after-pad case (excluded anyway by the padding automaton).
+    fn step(&self, d: usize, a: Track, b: Track) -> Option<EdState> {
+        match (a, b) {
+            (Track::Sym(a), Track::Sym(b)) => {
+                // Advance both: first extend the column (new v symbol b),
+                // then the row (new u symbol a), then the corner.
+                let col_ext = self.extend_col(d, b); // D[p-δ][q+1]
+                let row_ext = self.extend_row(d, a); // D[p+1][q-δ]
+                // corner D[p+1][q+1] = min(D[p][q+1]+1, D[p+1][q]+1, D[p][q]+neq(a,b))
+                let corner = cap(
+                    (cell(col_ext[0]) + 1)
+                        .min(cell(row_ext[0]) + 1)
+                        .min(cell(self.row[0]) + u16::from(a != b)),
+                    d as u8,
+                );
+                let mut row = vec![INF_SENTINEL; d + 1];
+                let mut col = vec![INF_SENTINEL; d + 1];
+                row[0] = corner;
+                col[0] = corner;
+                row[1..=d].copy_from_slice(&row_ext[..d]); // D[p+1][(q+1)-δ]
+                col[1..=d].copy_from_slice(&col_ext[..d]);
+                let mut s = EdState {
+                    row,
+                    col,
+                    ulast: self.ulast.clone(),
+                    vlast: self.vlast.clone(),
+                };
+                s.push_u(d, a);
+                s.push_v(d, b);
+                Some(s)
+            }
+            (Track::Pad, Track::Sym(b)) => {
+                // u frozen at length p; only the column grows.
+                let col_ext = self.extend_col(d, b);
+                let mut row = vec![INF_SENTINEL; d + 1];
+                row[0] = col_ext[0]; // D[p][q+1]
+                row[1..=d].copy_from_slice(&self.row[..d]); // D[p][(q+1)-δ]
+                let mut s = EdState {
+                    row,
+                    col: col_ext,
+                    ulast: self.ulast.clone(),
+                    vlast: self.vlast.clone(),
+                };
+                s.push_v(d, b);
+                Some(s)
+            }
+            (Track::Sym(a), Track::Pad) => {
+                let row_ext = self.extend_row(d, a);
+                let mut col = vec![INF_SENTINEL; d + 1];
+                col[0] = row_ext[0];
+                col[1..=d].copy_from_slice(&self.col[..d]);
+                let mut s = EdState {
+                    row: row_ext,
+                    col,
+                    ulast: self.ulast.clone(),
+                    vlast: self.vlast.clone(),
+                };
+                s.push_u(d, a);
+                Some(s)
+            }
+            (Track::Pad, Track::Pad) => None,
+        }
+    }
+
+    fn accepting(&self, d: usize) -> bool {
+        self.row[0] != INF_SENTINEL && usize::from(self.row[0]) <= d
+    }
+}
+
+/// The binary relation `{(u, v) : levenshtein(u, v) ≤ d}` (“edit-distance at
+/// most d”, Example 2.1 of the paper).
+///
+/// Built by lazily exploring the banded Levenshtein DP frontier: the state
+/// keeps the row/column bands of the `(|u| consumed) × (|v| consumed)` DP
+/// square, capped at `d+1`, plus the last `d` symbols of each word. This is
+/// deterministic and exact.
+///
+/// # Panics
+/// Panics if `d > 4` or the state space exceeds an internal budget — the
+/// construction is exponential in `d`, as synchronous representations of
+/// edit distance must be.
+pub fn edit_distance_le(d: usize, num_symbols: usize) -> SyncRel {
+    assert!(d <= 4, "edit_distance_le supports d ≤ 4");
+    const STATE_BUDGET: usize = 500_000;
+
+    let mut nfa: Nfa<Row> = Nfa::new();
+    let mut ids: HashMap<EdState, StateId> = HashMap::new();
+    let mut order: Vec<EdState> = Vec::new();
+    let start = EdState::start(d);
+    ids.insert(start.clone(), nfa.add_state());
+    order.push(start);
+    nfa.set_initial(0);
+
+    let tracks: Vec<Track> = (0..num_symbols as Symbol)
+        .map(Track::Sym)
+        .chain([Track::Pad])
+        .collect();
+
+    let mut frontier = 0usize;
+    while frontier < order.len() {
+        let state = order[frontier].clone();
+        let id = ids[&state];
+        if state.accepting(d) {
+            nfa.set_final(id);
+        }
+        for &a in &tracks {
+            for &b in &tracks {
+                let Some(next) = state.step(d, a, b) else {
+                    continue;
+                };
+                // Prune hopeless states: every band cell already exceeds d.
+                let alive = next
+                    .row
+                    .iter()
+                    .chain(&next.col)
+                    .any(|&v| v != INF_SENTINEL && usize::from(v) <= d);
+                if !alive {
+                    continue;
+                }
+                let next_id = match ids.get(&next) {
+                    Some(&i) => i,
+                    None => {
+                        assert!(
+                            order.len() < STATE_BUDGET,
+                            "edit_distance_le state budget exceeded"
+                        );
+                        let i = nfa.add_state();
+                        ids.insert(next.clone(), i);
+                        order.push(next);
+                        i
+                    }
+                };
+                nfa.add_transition(id, vec![a, b], next_id);
+            }
+        }
+        frontier += 1;
+    }
+    nfa.normalize();
+    // The construction never emits all-pad columns but may allow
+    // symbol-after-pad on one track; restrict to valid convolutions.
+    SyncRel::from_nfa(2, num_symbols, nfa)
+}
+
+/// Reference implementation of Levenshtein distance (for tests and
+/// documentation; quadratic DP).
+pub fn levenshtein(u: &[Symbol], v: &[Symbol]) -> usize {
+    let mut prev: Vec<usize> = (0..=v.len()).collect();
+    let mut cur = vec![0usize; v.len() + 1];
+    for (i, &a) in u.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &b) in v.iter().enumerate() {
+            cur[j + 1] = (prev[j + 1] + 1)
+                .min(cur[j] + 1)
+                .min(prev[j] + usize::from(a != b));
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[v.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universal_contains_everything() {
+        let u = universal(2, 2);
+        assert!(u.contains(&[&[], &[]]));
+        assert!(u.contains(&[&[0, 1, 1], &[1]]));
+        assert!(u.contains(&[&[], &[0, 0, 0, 0]]));
+    }
+
+    #[test]
+    fn universal_higher_arity() {
+        let u = universal(3, 2);
+        assert!(u.contains(&[&[0], &[], &[1, 1, 0]]));
+    }
+
+    #[test]
+    fn equality_relation() {
+        let eq = equality(3);
+        assert!(eq.contains(&[&[0, 1, 2], &[0, 1, 2]]));
+        assert!(eq.contains(&[&[], &[]]));
+        assert!(!eq.contains(&[&[0, 1], &[0, 2]]));
+        assert!(!eq.contains(&[&[0], &[0, 0]]));
+    }
+
+    #[test]
+    fn eq_length_ternary() {
+        let r = eq_length(3, 2);
+        assert!(r.contains(&[&[0, 1], &[1, 1], &[0, 0]]));
+        assert!(!r.contains(&[&[0, 1], &[1], &[0, 0]]));
+    }
+
+    #[test]
+    fn eq_length_min_excludes_short_tuples() {
+        let r = eq_length_min(2, 2, 1);
+        assert!(!r.contains(&[&[], &[]]));
+        assert!(r.contains(&[&[0], &[1]]));
+        assert!(r.contains(&[&[0, 0], &[1, 1]]));
+        assert!(!r.contains(&[&[0], &[1, 1]]));
+        let r2 = eq_length_min(2, 2, 2);
+        assert!(!r2.contains(&[&[0], &[1]]));
+        assert!(r2.contains(&[&[0, 1], &[1, 0]]));
+        let r0 = eq_length_min(2, 2, 0);
+        assert!(r0.contains(&[&[], &[]]));
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let p = prefix(2);
+        assert!(p.contains(&[&[], &[]]));
+        assert!(p.contains(&[&[], &[0, 1]]));
+        assert!(p.contains(&[&[0, 1], &[0, 1, 1]]));
+        assert!(p.contains(&[&[0, 1], &[0, 1]]));
+        assert!(!p.contains(&[&[1], &[0, 1]]));
+        assert!(!p.contains(&[&[0, 1], &[0]]));
+    }
+
+    #[test]
+    fn word_and_language_relations() {
+        let w = word_relation(&[0, 1, 0], 2);
+        assert!(w.contains(&[&[0, 1, 0]]));
+        assert!(!w.contains(&[&[0, 1]]));
+        let lang = Nfa::symbol_lang(1u8).star();
+        let l = language(&lang.remove_epsilon(), 2);
+        assert!(l.contains(&[&[]]));
+        assert!(l.contains(&[&[1, 1, 1]]));
+        assert!(!l.contains(&[&[1, 0]]));
+    }
+
+    #[test]
+    fn product_of_languages_relation() {
+        // L1 = a*, L2 = b+ over {a,b}
+        let l1 = Nfa::symbol_lang(0u8).star().remove_epsilon();
+        let l2 = Nfa::symbol_lang(1u8).plus().remove_epsilon();
+        let r = product_of_languages(&[&l1, &l2], 2);
+        assert!(r.contains(&[&[0, 0], &[1]]));
+        assert!(r.contains(&[&[], &[1, 1, 1]]));
+        assert!(!r.contains(&[&[0], &[]]));
+        assert!(!r.contains(&[&[1], &[1]]));
+    }
+
+    #[test]
+    fn hamming_relation() {
+        let h = hamming_le(1, 2);
+        assert!(h.contains(&[&[0, 1, 0], &[0, 1, 0]]));
+        assert!(h.contains(&[&[0, 1, 0], &[0, 0, 0]]));
+        assert!(!h.contains(&[&[0, 1, 0], &[1, 0, 0]]));
+        assert!(!h.contains(&[&[0, 1], &[0, 1, 0]])); // unequal length
+        let h0 = hamming_le(0, 2);
+        assert!(h0.contains(&[&[1, 1], &[1, 1]]));
+        assert!(!h0.contains(&[&[1, 1], &[1, 0]]));
+    }
+
+    #[test]
+    fn length_diff_semantics() {
+        let r = length_diff_le(1, 2);
+        assert!(r.contains(&[&[], &[]]));
+        assert!(r.contains(&[&[0], &[]]));
+        assert!(r.contains(&[&[], &[1]]));
+        assert!(r.contains(&[&[0, 1], &[1, 0, 1]]));
+        assert!(!r.contains(&[&[], &[1, 1]]));
+        assert!(!r.contains(&[&[0, 0, 0], &[1]]));
+        let r0 = length_diff_le(0, 2);
+        assert!(r0.contains(&[&[0], &[1]]));
+        assert!(!r0.contains(&[&[0], &[]]));
+    }
+
+    #[test]
+    fn lcp_semantics() {
+        let r = lcp_at_least(2, 2);
+        assert!(r.contains(&[&[0, 1], &[0, 1]]));
+        assert!(r.contains(&[&[0, 1, 0], &[0, 1, 1, 1]]));
+        assert!(!r.contains(&[&[0, 1], &[0, 0]]));
+        assert!(!r.contains(&[&[0], &[0, 1]])); // too short
+        let r0 = lcp_at_least(0, 2);
+        assert!(r0.contains(&[&[], &[1]]));
+        assert!(r0.contains(&[&[0], &[1]]));
+    }
+
+    #[test]
+    fn levenshtein_reference() {
+        assert_eq!(levenshtein(&[], &[]), 0);
+        assert_eq!(levenshtein(&[0, 1, 0], &[0, 1, 0]), 0);
+        assert_eq!(levenshtein(&[0, 1], &[0]), 1);
+        assert_eq!(levenshtein(&[0, 1, 0], &[1, 1, 1]), 2);
+        assert_eq!(levenshtein(&[], &[0, 1, 0]), 3);
+        // kitten/sitting-style: 0=k,1=i,2=t,3=e,4=n / 5=s,6=g over 7 syms
+        assert_eq!(
+            levenshtein(&[0, 1, 2, 2, 3, 4], &[5, 1, 2, 2, 1, 4, 6]),
+            3
+        );
+    }
+
+    #[test]
+    fn edit_distance_0_is_equality() {
+        let r = edit_distance_le(0, 2);
+        assert!(r.contains(&[&[0, 1], &[0, 1]]));
+        assert!(!r.contains(&[&[0, 1], &[0, 0]]));
+        assert!(!r.contains(&[&[0], &[0, 0]]));
+        assert!(r.contains(&[&[], &[]]));
+    }
+
+    #[test]
+    fn edit_distance_1_exhaustive_small() {
+        let r = edit_distance_le(1, 2);
+        // exhaustive check on all word pairs up to length 3 over {0,1}
+        let words = all_words(2, 3);
+        for u in &words {
+            for v in &words {
+                let expected = levenshtein(u, v) <= 1;
+                assert_eq!(
+                    r.contains(&[u, v]),
+                    expected,
+                    "d=1 mismatch on {u:?}, {v:?} (lev={})",
+                    levenshtein(u, v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edit_distance_2_exhaustive_small() {
+        let r = edit_distance_le(2, 2);
+        let words = all_words(2, 4);
+        for u in &words {
+            for v in &words {
+                let expected = levenshtein(u, v) <= 2;
+                assert_eq!(
+                    r.contains(&[u, v]),
+                    expected,
+                    "d=2 mismatch on {u:?}, {v:?} (lev={})",
+                    levenshtein(u, v)
+                );
+            }
+        }
+    }
+
+    fn all_words(num_symbols: usize, max_len: usize) -> Vec<Vec<Symbol>> {
+        let mut out: Vec<Vec<Symbol>> = vec![vec![]];
+        let mut layer: Vec<Vec<Symbol>> = vec![vec![]];
+        for _ in 0..max_len {
+            let mut next = Vec::new();
+            for w in &layer {
+                for s in 0..num_symbols as Symbol {
+                    let mut w2 = w.clone();
+                    w2.push(s);
+                    next.push(w2);
+                }
+            }
+            out.extend(next.iter().cloned());
+            layer = next;
+        }
+        out
+    }
+}

@@ -1,0 +1,178 @@
+//! NFA → regular expression conversion (state elimination).
+//!
+//! Completes the Kleene triangle of the toolkit (regex → NFA → DFA →
+//! regex). Used for presenting languages back to users — e.g. displaying
+//! the language of a materialized `R_L` constraint — and property-tested
+//! against the compilation direction.
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::nfa::Nfa;
+use crate::regex::Regex;
+use std::collections::HashMap;
+
+/// Smart constructors with the usual absorption laws, keeping eliminated
+/// expressions small.
+fn alt2(a: Regex, b: Regex) -> Regex {
+    match (a, b) {
+        (Regex::Empty, x) | (x, Regex::Empty) => x,
+        (x, y) if x == y => x,
+        (Regex::Alt(mut xs), Regex::Alt(ys)) => {
+            xs.extend(ys);
+            Regex::Alt(xs)
+        }
+        (Regex::Alt(mut xs), y) => {
+            xs.push(y);
+            Regex::Alt(xs)
+        }
+        (x, Regex::Alt(mut ys)) => {
+            ys.insert(0, x);
+            Regex::Alt(ys)
+        }
+        (x, y) => Regex::Alt(vec![x, y]),
+    }
+}
+
+fn cat2(a: Regex, b: Regex) -> Regex {
+    match (a, b) {
+        (Regex::Empty, _) | (_, Regex::Empty) => Regex::Empty,
+        (Regex::Epsilon, x) | (x, Regex::Epsilon) => x,
+        (Regex::Concat(mut xs), Regex::Concat(ys)) => {
+            xs.extend(ys);
+            Regex::Concat(xs)
+        }
+        (Regex::Concat(mut xs), y) => {
+            xs.push(y);
+            Regex::Concat(xs)
+        }
+        (x, Regex::Concat(mut ys)) => {
+            ys.insert(0, x);
+            Regex::Concat(ys)
+        }
+        (x, y) => Regex::Concat(vec![x, y]),
+    }
+}
+
+fn star_of(a: Regex) -> Regex {
+    match a {
+        Regex::Empty | Regex::Epsilon => Regex::Epsilon,
+        Regex::Star(x) => Regex::Star(x),
+        x => Regex::Star(Box::new(x)),
+    }
+}
+
+/// Converts an NFA over interned symbols into an equivalent regular
+/// expression by state elimination.
+pub fn nfa_to_regex(nfa: &Nfa<Symbol>, alphabet: &Alphabet) -> Regex {
+    let src = nfa.remove_epsilon().trim();
+    let n = src.num_states();
+    if n == 0 {
+        return Regex::Empty;
+    }
+    // generalized automaton over states 0..n plus start = n, end = n+1
+    let start = n;
+    let end = n + 1;
+    let mut edges: HashMap<(usize, usize), Regex> = HashMap::new();
+    let add = |edges: &mut HashMap<(usize, usize), Regex>, from: usize, to: usize, r: Regex| {
+        let slot = edges.entry((from, to)).or_insert(Regex::Empty);
+        let existing = std::mem::replace(slot, Regex::Empty);
+        *slot = alt2(existing, r);
+    };
+    for q in 0..n {
+        for (s, t) in src.transitions_from(q as u32) {
+            add(
+                &mut edges,
+                q,
+                *t as usize,
+                Regex::Char(alphabet.char_of(*s)),
+            );
+        }
+    }
+    for &q in src.initial_states() {
+        add(&mut edges, start, q as usize, Regex::Epsilon);
+    }
+    for q in src.final_states() {
+        add(&mut edges, q as usize, end, Regex::Epsilon);
+    }
+
+    for victim in 0..n {
+        let self_loop = edges.remove(&(victim, victim)).unwrap_or(Regex::Empty);
+        let loop_star = star_of(self_loop);
+        let ins: Vec<(usize, Regex)> = edges
+            .iter()
+            .filter(|(&(_, t), _)| t == victim)
+            .map(|(&(f, _), r)| (f, r.clone()))
+            .collect();
+        let outs: Vec<(usize, Regex)> = edges
+            .iter()
+            .filter(|(&(f, _), _)| f == victim)
+            .map(|(&(_, t), r)| (t, r.clone()))
+            .collect();
+        edges.retain(|&(f, t), _| f != victim && t != victim);
+        for (f, rin) in &ins {
+            for (t, rout) in &outs {
+                let path = cat2(cat2(rin.clone(), loop_star.clone()), rout.clone());
+                add(&mut edges, *f, *t, path);
+            }
+        }
+    }
+    edges.remove(&(start, end)).unwrap_or(Regex::Empty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::Dfa;
+
+    fn roundtrip_equiv(nfa: &Nfa<Symbol>, alphabet: &Alphabet) {
+        let re = nfa_to_regex(nfa, alphabet);
+        let mut a2 = alphabet.clone();
+        let back = re.compile(&mut a2);
+        let syms: Vec<Symbol> = alphabet.symbols().collect();
+        let d1 = nfa.remove_epsilon().determinize(&syms);
+        let d2 = back.remove_epsilon().determinize(&syms);
+        assert!(
+            Dfa::equivalent(&d1, &d2),
+            "language changed through regex {re}"
+        );
+    }
+
+    #[test]
+    fn simple_roundtrips() {
+        let alphabet = Alphabet::ascii_lower(2);
+        // a*b
+        let mut n = Nfa::with_states(2);
+        n.set_initial(0);
+        n.set_final(1);
+        n.add_transition(0, 0, 0);
+        n.add_transition(0, 1, 1);
+        roundtrip_equiv(&n, &alphabet);
+        // (ab)*
+        let ab = Nfa::symbol_lang(0u8).concat(&Nfa::symbol_lang(1u8)).star();
+        roundtrip_equiv(&ab, &alphabet);
+        // empty and epsilon
+        roundtrip_equiv(&Nfa::empty_lang(), &alphabet);
+        roundtrip_equiv(&Nfa::epsilon_lang(), &alphabet);
+        roundtrip_equiv(&Nfa::universal_lang(&[0, 1]), &alphabet);
+    }
+
+    #[test]
+    fn multi_final_roundtrip() {
+        let alphabet = Alphabet::ascii_lower(2);
+        let mut n = Nfa::with_states(3);
+        n.set_initial(0);
+        n.set_final(1);
+        n.set_final(2);
+        n.add_transition(0, 0, 1);
+        n.add_transition(0, 1, 2);
+        n.add_transition(1, 1, 1);
+        n.add_transition(2, 0, 1);
+        roundtrip_equiv(&n, &alphabet);
+    }
+
+    #[test]
+    fn empty_language_gives_empty_regex() {
+        let alphabet = Alphabet::ascii_lower(1);
+        let re = nfa_to_regex(&Nfa::empty_lang(), &alphabet);
+        assert_eq!(re, Regex::Empty);
+    }
+}

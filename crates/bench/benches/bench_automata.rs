@@ -1,0 +1,33 @@
+//! Micro-benchmarks for the automata substrate: determinization,
+//! minimization, synchronous join, and edit-distance construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecrpq_automata::{relations, SyncRel};
+use ecrpq_workloads::random_nfa;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("automata_micro");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for s in [8usize, 16, 32] {
+        let nfa = random_nfa(s, 2, 0.15, 0.3, 5);
+        group.bench_with_input(BenchmarkId::new("determinize", s), &s, |b, _| {
+            b.iter(|| nfa.determinize(&[0, 1]))
+        });
+        let dfa = nfa.determinize(&[0, 1]);
+        group.bench_with_input(BenchmarkId::new("minimize", s), &s, |b, _| {
+            b.iter(|| dfa.minimize())
+        });
+    }
+    let eq = relations::eq_length(2, 2);
+    group.bench_function("join_chain_3", |b| {
+        b.iter(|| SyncRel::join(&[(&eq, &[0, 1]), (&eq, &[1, 2])], 3))
+    });
+    group.bench_function("edit_distance_le_1", |b| {
+        b.iter(|| relations::edit_distance_le(1, 2))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E8 — direct product vs CQ pipeline on full-answer computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecrpq_core::cq_eval::answers_cq_treedec;
+use ecrpq_core::product::answers_product;
+use ecrpq_core::{ecrpq_to_cq, PreparedQuery};
+use ecrpq_query::NodeVar;
+use ecrpq_workloads::{big_component_query, cycle_db, tractable_chain_query};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8_crossover");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let n = 16usize;
+    let db = cycle_db(n, 1);
+
+    let mut chain = tractable_chain_query(2, 1);
+    chain.set_free(&[NodeVar(0), NodeVar(2)]);
+    let pc = PreparedQuery::build(&chain).unwrap();
+    group.bench_function(BenchmarkId::new("chain_product", n), |b| {
+        b.iter(|| answers_product(&db, &pc))
+    });
+    group.bench_function(BenchmarkId::new("chain_cq", n), |b| {
+        b.iter(|| {
+            let (cq, rdb, _) = ecrpq_to_cq(&db, &pc);
+            answers_cq_treedec(&rdb, &cq)
+        })
+    });
+
+    let mut big = big_component_query(3, 1);
+    big.set_free(&[NodeVar(0), NodeVar(1)]);
+    let pb = PreparedQuery::build(&big).unwrap();
+    group.bench_function(BenchmarkId::new("bigcomp_product", n), |b| {
+        b.iter(|| answers_product(&db, &pb))
+    });
+    group.bench_function(BenchmarkId::new("bigcomp_cq", n), |b| {
+        b.iter(|| {
+            let (cq, rdb, _) = ecrpq_to_cq(&db, &pb);
+            answers_cq_treedec(&rdb, &cq)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

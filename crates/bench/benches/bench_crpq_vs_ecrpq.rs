@@ -1,0 +1,32 @@
+//! E9 — Corollary 2.4 CRPQ pipeline vs the general ECRPQ pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecrpq_core::cq_eval::eval_cq_treedec;
+use ecrpq_core::crpq::eval_crpq;
+use ecrpq_core::{ecrpq_to_cq, PreparedQuery};
+use ecrpq_workloads::{clique_query, random_db};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E9_crpq_vs_ecrpq");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [16usize, 32, 64] {
+        let db = random_db(n, 1.5, 2, 3);
+        let mut alphabet = db.alphabet().clone();
+        let q = clique_query(3, "(a|b)*", &mut alphabet);
+        group.bench_with_input(BenchmarkId::new("crpq_pipeline", n), &n, |b, _| {
+            b.iter(|| eval_crpq(&db, &q))
+        });
+        let prepared = PreparedQuery::build(&q).unwrap();
+        group.bench_with_input(BenchmarkId::new("ecrpq_pipeline", n), &n, |b, _| {
+            b.iter(|| {
+                let (cq, rdb, _) = ecrpq_to_cq(&db, &prepared);
+                eval_cq_treedec(&rdb, &cq)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E10 — data complexity: fixed query, growing database, every regime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecrpq_core::cq_eval::eval_cq_treedec;
+use ecrpq_core::{ecrpq_to_cq, eval_product, PreparedQuery};
+use ecrpq_workloads::{big_component_query, cycle_db, tractable_chain_query};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E10_data_complexity");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let chain = tractable_chain_query(2, 1);
+    let pc = PreparedQuery::build(&chain).unwrap();
+    let big = big_component_query(3, 1);
+    let pb = PreparedQuery::build(&big).unwrap();
+    for n in [32usize, 64, 128] {
+        let db = cycle_db(n, 1);
+        group.bench_with_input(BenchmarkId::new("ptime_regime_chain", n), &n, |b, _| {
+            b.iter(|| {
+                let (cq, rdb, _) = ecrpq_to_cq(&db, &pc);
+                eval_cq_treedec(&rdb, &cq)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pspace_regime_bigcomp", n), &n, |b, _| {
+            b.iter(|| eval_product(&db, &pb))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

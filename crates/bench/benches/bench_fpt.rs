@@ -1,0 +1,31 @@
+//! E4 — Theorem 3.1(3): FPT — data scaling at several query sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecrpq_core::cq_eval::eval_cq_treedec;
+use ecrpq_core::{ecrpq_to_cq, PreparedQuery};
+use ecrpq_workloads::{cycle_db, tractable_chain_query};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4_fpt");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (m, n) in [(1usize, 64usize), (2, 64), (4, 64), (2, 32), (2, 128)] {
+        let db = cycle_db(n, 1);
+        let q = tractable_chain_query(m, 1);
+        let prepared = PreparedQuery::build(&q).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("m_n", format!("m{m}_n{n}")),
+            &(m, n),
+            |b, _| {
+                b.iter(|| {
+                    let (cq, rdb, _) = ecrpq_to_cq(&db, &prepared);
+                    eval_cq_treedec(&rdb, &cq)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E11 — Lemma 5.3: CQ_bin(collapse) → ECRPQ reduction + evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecrpq_core::{eval_product, PreparedQuery};
+use ecrpq_query::RelationalDb;
+use ecrpq_reductions::{cq_to_ecrpq, CollapseCq};
+use ecrpq_structure::TwoLevelGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn instance(n: usize, seed: u64) -> (CollapseCq, RelationalDb) {
+    let mut g = TwoLevelGraph::new(3);
+    let e0 = g.add_edge(0, 1);
+    let e1 = g.add_edge(1, 2);
+    g.add_hyperedge(&[e0, e1]);
+    let ccq = CollapseCq {
+        graph: g,
+        rels: vec![("R".into(), "S".into()), ("T".into(), "U".into())],
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rdb = RelationalDb::new(n);
+    for name in ["R", "S", "T", "U"] {
+        rdb.declare(name, 2);
+        for _ in 0..(2 * n) {
+            let a = rng.gen_range(0..n) as u32;
+            let b = rng.gen_range(0..n) as u32;
+            rdb.insert(name, &[a, b]);
+        }
+    }
+    (ccq, rdb)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11_lemma53");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [8usize, 16, 32] {
+        let (ccq, rdb) = instance(n, n as u64);
+        group.bench_with_input(BenchmarkId::new("reduce_and_eval", n), &n, |b, _| {
+            b.iter(|| {
+                let (q, gdb) = cq_to_ecrpq(&ccq, &rdb);
+                let prepared = PreparedQuery::build(&q).unwrap();
+                eval_product(&gdb, &prepared)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

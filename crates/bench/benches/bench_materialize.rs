@@ -1,0 +1,25 @@
+//! E7 — Lemma 4.3: materialization cost `O(|D|^{2·cc_vertex})`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecrpq_core::{ecrpq_to_cq, PreparedQuery};
+use ecrpq_workloads::{big_component_query, cycle_db};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_materialize");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (r, n) in [(2usize, 16usize), (2, 32), (3, 8), (3, 16)] {
+        let db = cycle_db(n, 1);
+        let q = big_component_query(r, 1);
+        let prepared = PreparedQuery::build(&q).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("r_n", format!("r{r}_n{n}")),
+            &(r, n),
+            |b, _| b.iter(|| ecrpq_to_cq(&db, &prepared)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E6 — Lemma 4.1: merged-relation construction cost vs component size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecrpq_automata::{relations, Alphabet};
+use ecrpq_core::PreparedQuery;
+use ecrpq_query::Ecrpq;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn hamming_chain(l: usize) -> Ecrpq {
+    let mut q = Ecrpq::new(Alphabet::ascii_lower(2));
+    let x = q.node_var("x");
+    let y = q.node_var("y");
+    let ps: Vec<_> = (0..=l)
+        .map(|i| q.path_atom(x, &format!("p{i}"), y))
+        .collect();
+    let h = Arc::new(relations::hamming_le(1, 2));
+    for i in 0..l {
+        q.rel_atom("hamming", h.clone(), &[ps[i], ps[i + 1]]);
+    }
+    q
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6_merge");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for l in [1usize, 2, 3, 4] {
+        let q = hamming_chain(l);
+        group.bench_with_input(BenchmarkId::new("component_atoms", l), &l, |b, _| {
+            b.iter(|| PreparedQuery::build(&q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E2 — Theorem 3.2(2): clique patterns (bounded cc, unbounded treewidth).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecrpq_core::cq_eval::eval_cq_treedec;
+use ecrpq_core::{ecrpq_to_cq, PreparedQuery};
+use ecrpq_workloads::{clique_query, random_db};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2_np_regime");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for k in [2usize, 3, 4] {
+        let db = random_db(20, 1.5, 2, 7);
+        let mut alphabet = db.alphabet().clone();
+        let q = clique_query(k, "(a|b)*", &mut alphabet);
+        let prepared = PreparedQuery::build(&q).unwrap();
+        group.bench_with_input(BenchmarkId::new("clique_k", k), &k, |b, _| {
+            b.iter(|| {
+                let (cq, rdb, _) = ecrpq_to_cq(&db, &prepared);
+                eval_cq_treedec(&rdb, &cq)
+            })
+        });
+    }
+    for n in [12usize, 24, 48] {
+        let db = random_db(n, 1.5, 2, 7);
+        let mut alphabet = db.alphabet().clone();
+        let q = clique_query(3, "(a|b)*", &mut alphabet);
+        let prepared = PreparedQuery::build(&q).unwrap();
+        group.bench_with_input(BenchmarkId::new("db_nodes_k3", n), &n, |b, _| {
+            b.iter(|| {
+                let (cq, rdb, _) = ecrpq_to_cq(&db, &prepared);
+                eval_cq_treedec(&rdb, &cq)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

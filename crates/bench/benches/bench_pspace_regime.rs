@@ -1,0 +1,40 @@
+//! E3 — Theorem 3.2(1) / Lemma 5.1: INE embedded in big components.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecrpq_automata::Alphabet;
+use ecrpq_core::{eval_product, PreparedQuery};
+use ecrpq_reductions::ine_to_ecrpq_big_component;
+use ecrpq_structure::TwoLevelGraph;
+use ecrpq_workloads::planted_ine;
+use std::time::Duration;
+
+fn flower(r: usize) -> TwoLevelGraph {
+    let mut g = TwoLevelGraph::new(2);
+    let edges: Vec<usize> = (0..r).map(|_| g.add_edge(0, 1)).collect();
+    for w in edges.windows(2) {
+        g.add_hyperedge(w);
+    }
+    if r == 1 {
+        g.add_hyperedge(&[edges[0]]);
+    }
+    g
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3_pspace_regime");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for r in [1usize, 2, 3, 4] {
+        let alphabet = Alphabet::ascii_lower(2);
+        let (langs, _) = planted_ine(r, 4, 2, 3, 31 + r as u64);
+        let g = flower(r);
+        let (q, db) = ine_to_ecrpq_big_component(&langs, &alphabet, &g).unwrap();
+        let prepared = PreparedQuery::build(&q).unwrap();
+        group.bench_with_input(BenchmarkId::new("languages", r), &r, |b, _| {
+            b.iter(|| eval_product(&db, &prepared))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

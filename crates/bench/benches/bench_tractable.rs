@@ -1,0 +1,41 @@
+//! E1 — Theorem 3.2(3): the tractable pipeline on bounded-measure queries.
+//!
+//! Sweeps database size and chain length for the merge → materialize →
+//! tree-decomposition pipeline; criterion companion of the E1 table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecrpq_core::cq_eval::eval_cq_treedec;
+use ecrpq_core::{ecrpq_to_cq, PreparedQuery};
+use ecrpq_workloads::{cycle_db, tractable_chain_query};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1_tractable");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [32usize, 64, 128] {
+        let db = cycle_db(n, 1);
+        let q = tractable_chain_query(2, 1);
+        let prepared = PreparedQuery::build(&q).unwrap();
+        group.bench_with_input(BenchmarkId::new("db_nodes", n), &n, |b, _| {
+            b.iter(|| {
+                let (cq, rdb, _) = ecrpq_to_cq(&db, &prepared);
+                eval_cq_treedec(&rdb, &cq)
+            })
+        });
+    }
+    for m in [1usize, 2, 4] {
+        let db = cycle_db(64, 1);
+        let q = tractable_chain_query(m, 1);
+        let prepared = PreparedQuery::build(&q).unwrap();
+        group.bench_with_input(BenchmarkId::new("chain_len", m), &m, |b, _| {
+            b.iter(|| {
+                let (cq, rdb, _) = ecrpq_to_cq(&db, &prepared);
+                eval_cq_treedec(&rdb, &cq)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

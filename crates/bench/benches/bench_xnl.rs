@@ -1,0 +1,47 @@
+//! E5 — Theorem 3.1(1) / Lemma 5.4: p-IE embedded, parameter = #automata.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecrpq_automata::Alphabet;
+use ecrpq_core::{eval_product, PreparedQuery};
+use ecrpq_reductions::pie_to_ecrpq_chain;
+use ecrpq_structure::TwoLevelGraph;
+use ecrpq_workloads::planted_ine;
+use std::time::Duration;
+
+fn chain_2l(k: usize) -> TwoLevelGraph {
+    let mut g = TwoLevelGraph::new(2);
+    let edges: Vec<usize> = (0..=k).map(|_| g.add_edge(0, 1)).collect();
+    for i in 0..k {
+        g.add_hyperedge(&[edges[i], edges[i + 1]]);
+    }
+    g
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_xnl");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for k in [1usize, 2, 3] {
+        let alphabet = Alphabet::ascii_lower(2);
+        let (langs, _) = planted_ine(k, 4, 2, 3, 17 + k as u64);
+        let g = chain_2l(k);
+        let (q, db) = pie_to_ecrpq_chain(&langs, &alphabet, &g).unwrap();
+        let prepared = PreparedQuery::build(&q).unwrap();
+        group.bench_with_input(BenchmarkId::new("parameter_k", k), &k, |b, _| {
+            b.iter(|| eval_product(&db, &prepared))
+        });
+    }
+    for s in [4usize, 8, 16] {
+        let alphabet = Alphabet::ascii_lower(2);
+        let (langs, _) = planted_ine(2, s, 2, 3, 23);
+        let g = chain_2l(2);
+        let (q, db) = pie_to_ecrpq_chain(&langs, &alphabet, &g).unwrap();
+        let prepared = PreparedQuery::build(&q).unwrap();
+        group.bench_with_input(BenchmarkId::new("nfa_states_k2", s), &s, |b, _| {
+            b.iter(|| eval_product(&db, &prepared))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! CRPQ evaluation via the classical reduction (Corollary 2.4).
+//!
+//! For a CRPQ — unary relations only, no shared path variables — the
+//! polynomial-time reduction computes, for each regular language `L`, the
+//! binary relation `R_L = {(v, v′) : some v ⇝ v′ path has label in L}` by
+//! product-graph BFS, then evaluates the resulting CQ over binary
+//! relations. Combined with Proposition 2.3(1) this gives polynomial-time
+//! evaluation for bounded-treewidth CRPQ classes, and it is the baseline
+//! against which the ECRPQ pipeline is compared in experiment E9.
+
+use crate::cq_eval::{answers_cq_treedec, eval_cq_treedec};
+use ecrpq_automata::{Nfa, Symbol, Track};
+use ecrpq_graph::{paths::language_reachability, GraphDb, NodeId};
+use ecrpq_query::{Cq, Ecrpq, NodeVar, RelationalDb};
+use std::collections::BTreeSet;
+
+/// Converts a unary [`ecrpq_automata::SyncRel`] back to a plain NFA over
+/// symbols (the inverse of [`ecrpq_automata::relations::language`]).
+fn unary_rel_to_nfa(rel: &ecrpq_automata::SyncRel) -> Nfa<Symbol> {
+    assert_eq!(rel.arity(), 1, "unary relation expected");
+    let src = rel.nfa();
+    let n = src.num_states();
+    let mut out: Nfa<Symbol> = Nfa::with_states(n);
+    for q in 0..n as u32 {
+        for (row, to) in src.transitions_from(q) {
+            match row[0] {
+                Track::Sym(a) => out.add_transition(q, a, *to),
+                // valid unary convolutions never contain ⊥ columns
+                Track::Pad => {}
+            }
+        }
+        for &to in src.epsilon_from(q) {
+            out.add_epsilon(q, to);
+        }
+        if src.is_final(q) {
+            out.set_final(q);
+        }
+    }
+    for &i in src.initial_states() {
+        out.set_initial(i);
+    }
+    out
+}
+
+/// The Corollary 2.4 reduction: CRPQ + graph database → CQ + relational
+/// database with one binary relation `R_L` per path atom.
+///
+/// # Panics
+/// Panics if `query` is not a CRPQ (use [`Ecrpq::is_crpq`]) or fails
+/// validation.
+pub fn crpq_to_cq(db: &GraphDb, query: &Ecrpq) -> (Cq, RelationalDb) {
+    assert!(query.is_crpq(), "crpq_to_cq requires a CRPQ");
+    query.validate().expect("invalid query");
+    let query = query.normalized();
+    let mut cq = Cq::new(query.num_node_vars());
+    cq.free = query
+        .free_vars()
+        .iter()
+        .map(|&NodeVar(v)| v as usize)
+        .collect();
+    let mut rdb = RelationalDb::new(db.num_nodes());
+    // After normalization every path variable has exactly one unary atom.
+    for atom in query.rel_atoms() {
+        let p = atom.args[0];
+        let (NodeVar(s), NodeVar(d)) = query.endpoints(p);
+        let name = format!("RL_{}", query.path_name(p));
+        rdb.declare(&name, 2);
+        let lang = unary_rel_to_nfa(&atom.rel);
+        for (u, v) in language_reachability(db, &lang) {
+            rdb.insert(&name, &[u, v]);
+        }
+        cq.atom(&name, &[s as usize, d as usize]);
+    }
+    (cq, rdb)
+}
+
+/// Evaluates a Boolean CRPQ through the Corollary 2.4 pipeline.
+pub fn eval_crpq(db: &GraphDb, query: &Ecrpq) -> bool {
+    let (cq, rdb) = crpq_to_cq(db, query);
+    eval_cq_treedec(&rdb, &cq)
+}
+
+/// All answers of a CRPQ through the Corollary 2.4 pipeline.
+pub fn answers_crpq(db: &GraphDb, query: &Ecrpq) -> BTreeSet<Vec<NodeId>> {
+    let (cq, rdb) = crpq_to_cq(db, query);
+    answers_cq_treedec(&rdb, &cq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecrpq_automata::{Alphabet, Regex};
+
+    fn sample_db() -> GraphDb {
+        // u -a-> v -b-> w ; u -b-> w ; w -a-> u
+        let mut g = GraphDb::new();
+        let u = g.add_node("u");
+        let v = g.add_node("v");
+        let w = g.add_node("w");
+        g.add_edge(u, 'a', v);
+        g.add_edge(v, 'b', w);
+        g.add_edge(u, 'b', w);
+        g.add_edge(w, 'a', u);
+        g
+    }
+
+    #[test]
+    fn example_1_1_on_database() {
+        // q1(x) = ∃y x -(a*b)-> y ∧ x -((a|b)*)-> y
+        let mut db = sample_db();
+        let l1 = Regex::compile_str("a*b", db.alphabet_mut()).unwrap();
+        let l2 = Regex::compile_str("(a|b)*", db.alphabet_mut()).unwrap();
+        let mut q = Ecrpq::new(db.alphabet().clone());
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        q.crpq_atom(x, &l1, "a*b", y);
+        q.crpq_atom(x, &l2, "any", y);
+        q.set_free(&[x]);
+        let answers = answers_crpq(&db, &q);
+        // u: paths b and ab both reach w; v: path b reaches w;
+        // w: path ab (w→u→v) is in a*b, and the same path works for (a|b)*.
+        assert_eq!(answers.len(), 3);
+    }
+
+    #[test]
+    fn unary_rel_roundtrip() {
+        let mut alphabet = Alphabet::ascii_lower(2);
+        let lang = Regex::compile_str("a*b", &mut alphabet).unwrap();
+        let rel = ecrpq_automata::relations::language(&lang, 2);
+        let back = unary_rel_to_nfa(&rel);
+        for w in [vec![], vec![1], vec![0, 1], vec![0, 0], vec![1, 0]] {
+            assert_eq!(lang.accepts(&w), back.accepts(&w), "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn boolean_crpq() {
+        let mut db = sample_db();
+        let l = Regex::compile_str("aba", db.alphabet_mut()).unwrap();
+        let mut q = Ecrpq::new(db.alphabet().clone());
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        q.crpq_atom(x, &l, "aba", y);
+        assert!(eval_crpq(&db, &q)); // u -a-> v -b-> w -a-> u
+        let l2 = Regex::compile_str("bb", db.alphabet_mut()).unwrap();
+        let mut q2 = Ecrpq::new(db.alphabet().clone());
+        let x = q2.node_var("x");
+        let y = q2.node_var("y");
+        q2.crpq_atom(x, &l2, "bb", y);
+        assert!(!eval_crpq(&db, &q2));
+    }
+
+    #[test]
+    fn unconstrained_path_var_is_reachability() {
+        let db = sample_db();
+        let mut q = Ecrpq::new(db.alphabet().clone());
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        q.path_atom(x, "p", y);
+        q.set_free(&[x, y]);
+        let answers = answers_crpq(&db, &q);
+        // the db is strongly connected through u→v→w→u, so all 9 pairs
+        assert_eq!(answers.len(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a CRPQ")]
+    fn non_crpq_rejected() {
+        let db = sample_db();
+        let mut q = Ecrpq::new(db.alphabet().clone());
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let p1 = q.path_atom(x, "p1", y);
+        let p2 = q.path_atom(x, "p2", y);
+        q.rel_atom(
+            "eq",
+            std::sync::Arc::new(ecrpq_automata::relations::equality(db.alphabet().len())),
+            &[p1, p2],
+        );
+        let _ = crpq_to_cq(&db, &q);
+    }
+}

@@ -1,0 +1,317 @@
+//! Semantics-preserving query rewrites.
+//!
+//! The paper's measures are *structural*: two equivalent queries can sit
+//! in different regimes (its §3 discussion of Proposition 2.5 makes
+//! exactly this point for CQs — tractability up to equivalence). This
+//! module implements the cheap, always-sound rewrites that move a query
+//! into a better regime before planning:
+//!
+//! * **unary fusion** — several unary (language) atoms on one path
+//!   variable become a single intersected language (fewer hyperedges,
+//!   never more components);
+//! * **universal elimination** — atoms whose relation is the universal
+//!   relation constrain nothing; dropping them can disconnect (shrink)
+//!   relation components, reducing `cc_vertex`/`cc_hedge` and possibly
+//!   the treewidth of `G^node`;
+//! * **emptiness propagation** — an empty relation atom makes the whole
+//!   query constantly false.
+
+use ecrpq_automata::relations;
+use ecrpq_query::{Ecrpq, PathVar, QueryError};
+use std::sync::Arc;
+
+/// Result of [`optimize`].
+#[derive(Debug, Clone)]
+pub enum Simplified {
+    /// An equivalent, structurally smaller (or equal) query.
+    Query(Ecrpq),
+    /// The query is unsatisfiable on every database.
+    ConstFalse,
+}
+
+impl Simplified {
+    /// The rewritten query, if not constantly false.
+    pub fn query(&self) -> Option<&Ecrpq> {
+        match self {
+            Simplified::Query(q) => Some(q),
+            Simplified::ConstFalse => None,
+        }
+    }
+}
+
+/// Budget guards for the (exponential-in-principle) universality check.
+const UNIVERSALITY_STATE_BUDGET: usize = 32;
+const UNIVERSALITY_ARITY_BUDGET: usize = 3;
+
+/// Applies the rewrites described in the module docs.
+///
+/// # Errors
+/// Propagates validation errors.
+pub fn optimize(query: &Ecrpq) -> Result<Simplified, QueryError> {
+    query.validate()?;
+    let num_symbols = query.alphabet().len();
+
+    // 1. Partition atoms: unary per path var, others.
+    let mut unary_of: Vec<Vec<usize>> = vec![Vec::new(); query.num_path_vars()];
+    let mut others: Vec<usize> = Vec::new();
+    for (i, atom) in query.rel_atoms().iter().enumerate() {
+        if atom.rel.arity() == 1 {
+            unary_of[atom.args[0].0 as usize].push(i);
+        } else {
+            others.push(i);
+        }
+    }
+
+    // Rebuild the query skeleton.
+    let mut out = Ecrpq::new(query.alphabet().clone());
+    for v in 0..query.num_node_vars() as u32 {
+        out.node_var(query.node_name(ecrpq_query::NodeVar(v)));
+    }
+    for (p, s, d) in query.path_atoms() {
+        out.path_atom(s, query.path_name(p), d);
+    }
+    out.set_free(query.free_vars());
+
+    // 2. Fused unary atoms.
+    for (p, atom_ids) in unary_of.iter().enumerate() {
+        if atom_ids.is_empty() {
+            continue;
+        }
+        let atoms = query.rel_atoms();
+        let mut fused = atoms[atom_ids[0]].rel.as_ref().clone();
+        for &i in &atom_ids[1..] {
+            fused = fused.intersect(&atoms[i].rel);
+        }
+        if fused.is_empty() {
+            return Ok(Simplified::ConstFalse);
+        }
+        if is_universal(&fused, num_symbols) {
+            continue; // constrains nothing
+        }
+        let name = if atom_ids.len() == 1 {
+            atoms[atom_ids[0]].name.clone()
+        } else {
+            format!("fused[{}]", atom_ids.len())
+        };
+        out.rel_atom(&name, Arc::new(fused), &[PathVar(p as u32)]);
+    }
+
+    // 3. Non-unary atoms: drop universal, fail on empty.
+    for &i in &others {
+        let atom = &query.rel_atoms()[i];
+        if atom.rel.is_empty() {
+            return Ok(Simplified::ConstFalse);
+        }
+        if is_universal(&atom.rel, num_symbols) {
+            continue;
+        }
+        out.rel_atom(&atom.name, atom.rel.clone(), &atom.args);
+    }
+    Ok(Simplified::Query(out))
+}
+
+/// Budgeted universality check: `R = (A*)^k`?
+fn is_universal(rel: &ecrpq_automata::SyncRel, num_symbols: usize) -> bool {
+    if rel.num_states() > UNIVERSALITY_STATE_BUDGET
+        || rel.arity() > UNIVERSALITY_ARITY_BUDGET
+    {
+        return false; // conservatively keep the atom
+    }
+    relations::universal(rel.arity(), num_symbols).is_subset_of(rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner;
+    use ecrpq_automata::{Alphabet, Regex};
+    use ecrpq_graph::GraphDb;
+
+    fn sample_db() -> GraphDb {
+        let mut db = GraphDb::with_alphabet(Alphabet::ascii_lower(2));
+        let nodes: Vec<_> = (0..4).map(|i| db.add_node(&format!("v{i}"))).collect();
+        db.add_edge(nodes[0], 'a', nodes[1]);
+        db.add_edge(nodes[1], 'b', nodes[2]);
+        db.add_edge(nodes[2], 'a', nodes[3]);
+        db.add_edge(nodes[3], 'a', nodes[0]);
+        db.add_edge(nodes[0], 'b', nodes[2]);
+        db
+    }
+
+    /// Compares answer sets through the raw (non-optimizing) product
+    /// evaluator, so the test genuinely exercises the rewrite.
+    fn check_equivalent(q: &Ecrpq) {
+        use crate::prepare::PreparedQuery;
+        use crate::product::answers_product;
+        let db = sample_db();
+        let before = answers_product(&db, &PreparedQuery::build(q).unwrap());
+        match optimize(q).unwrap() {
+            Simplified::Query(opt) => {
+                let after = answers_product(&db, &PreparedQuery::build(&opt).unwrap());
+                assert_eq!(after, before, "{q} vs {opt}");
+                // and the planner front-end agrees too
+                assert_eq!(planner::answers(&db, q), before);
+            }
+            Simplified::ConstFalse => {
+                assert!(before.is_empty(), "const-false but {q} has answers");
+            }
+        }
+    }
+
+    fn lang(re: &str) -> ecrpq_automata::Nfa<u8> {
+        let mut a = Alphabet::ascii_lower(2);
+        Regex::compile_str(re, &mut a).unwrap()
+    }
+
+    #[test]
+    fn unary_fusion_reduces_hyperedges() {
+        let mut q = Ecrpq::new(Alphabet::ascii_lower(2));
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let p = q.path_atom(x, "p", y);
+        q.set_free(&[x, y]);
+        q.rel_atom(
+            "l1",
+            Arc::new(relations::language(&lang("a+"), 2)),
+            &[p],
+        );
+        q.rel_atom(
+            "l2",
+            Arc::new(relations::language(&lang("(a|b)(a|b)"), 2)),
+            &[p],
+        );
+        let m_before = q.measures();
+        assert_eq!(m_before.cc_hedge, 2);
+        let opt = optimize(&q).unwrap();
+        let opt_q = opt.query().unwrap();
+        assert_eq!(opt_q.rel_atoms().len(), 1);
+        assert_eq!(opt_q.measures().cc_hedge, 1);
+        check_equivalent(&q);
+    }
+
+    #[test]
+    fn contradictory_unaries_become_const_false() {
+        let mut q = Ecrpq::new(Alphabet::ascii_lower(2));
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let p = q.path_atom(x, "p", y);
+        q.rel_atom("l1", Arc::new(relations::language(&lang("a+"), 2)), &[p]);
+        q.rel_atom("l2", Arc::new(relations::language(&lang("b+"), 2)), &[p]);
+        assert!(matches!(optimize(&q).unwrap(), Simplified::ConstFalse));
+        check_equivalent(&q);
+    }
+
+    #[test]
+    fn universal_atoms_dropped_components_shrink() {
+        // two path vars linked only by a universal binary atom: dropping it
+        // splits the component and lowers the node-graph treewidth impact
+        let mut q = Ecrpq::new(Alphabet::ascii_lower(2));
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let z = q.node_var("z");
+        let p1 = q.path_atom(x, "p1", y);
+        let p2 = q.path_atom(y, "p2", z);
+        q.set_free(&[x, z]);
+        q.rel_atom(
+            "univ",
+            Arc::new(relations::universal(2, 2)),
+            &[p1, p2],
+        );
+        q.rel_atom("l", Arc::new(relations::language(&lang("a+"), 2)), &[p1]);
+        assert_eq!(q.measures().cc_vertex, 2);
+        let opt = optimize(&q).unwrap();
+        let opt_q = opt.query().unwrap();
+        assert_eq!(opt_q.measures().cc_vertex, 1);
+        check_equivalent(&q);
+    }
+
+    #[test]
+    fn empty_nonunary_relation_is_const_false() {
+        let mut q = Ecrpq::new(Alphabet::ascii_lower(2));
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let p1 = q.path_atom(x, "p1", y);
+        let p2 = q.path_atom(x, "p2", y);
+        let empty = relations::universal(2, 2).complement();
+        q.rel_atom("empty", Arc::new(empty), &[p1, p2]);
+        assert!(matches!(optimize(&q).unwrap(), Simplified::ConstFalse));
+    }
+
+    #[test]
+    fn nontrivial_relations_survive() {
+        let mut q = Ecrpq::new(Alphabet::ascii_lower(2));
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let p1 = q.path_atom(x, "p1", y);
+        let p2 = q.path_atom(x, "p2", y);
+        q.set_free(&[x, y]);
+        q.rel_atom("eq", Arc::new(relations::equality(2)), &[p1, p2]);
+        let opt = optimize(&q).unwrap();
+        assert_eq!(opt.query().unwrap().rel_atoms().len(), 1);
+        check_equivalent(&q);
+    }
+
+    #[test]
+    fn random_queries_stay_equivalent() {
+        use ecrpq_workloads_free::random_ecrpq_like;
+        for seed in 0..15u64 {
+            let q = random_ecrpq_like(seed);
+            check_equivalent(&q);
+        }
+    }
+
+    /// Local mini-generator (the workloads crate depends on core, so core
+    /// tests cannot use it without a cycle).
+    mod ecrpq_workloads_free {
+        use super::*;
+
+        pub fn random_ecrpq_like(seed: u64) -> Ecrpq {
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let mut next = move |m: usize| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as usize) % m
+            };
+            let mut q = Ecrpq::new(Alphabet::ascii_lower(2));
+            let vars: Vec<_> = (0..3).map(|i| q.node_var(&format!("x{i}"))).collect();
+            let ps: Vec<_> = (0..3)
+                .map(|i| {
+                    let s = vars[next(3)];
+                    let d = vars[next(3)];
+                    q.path_atom(s, &format!("p{i}"), d)
+                })
+                .collect();
+            q.set_free(&[vars[0]]);
+            for i in 0..next(3) + 1 {
+                match next(4) {
+                    0 => q.rel_atom(
+                        &format!("u{i}"),
+                        Arc::new(relations::universal(1, 2)),
+                        &[ps[next(3)]],
+                    ),
+                    1 => {
+                        let a = next(3);
+                        let b = (a + 1 + next(2)) % 3;
+                        q.rel_atom(
+                            &format!("e{i}"),
+                            Arc::new(relations::eq_length(2, 2)),
+                            &[ps[a], ps[b]],
+                        );
+                    }
+                    2 => q.rel_atom(
+                        &format!("w{i}"),
+                        Arc::new(relations::word_relation(&[0], 2)),
+                        &[ps[next(3)]],
+                    ),
+                    _ => q.rel_atom(
+                        &format!("l{i}"),
+                        Arc::new(relations::language(&super::lang("a*"), 2)),
+                        &[ps[next(3)]],
+                    ),
+                }
+            }
+            q
+        }
+    }
+}

@@ -1,0 +1,748 @@
+//! The direct product evaluator (Prop. 2.2 / Lemma 4.2 algorithm).
+//!
+//! After the Lemma 4.1 merge, every connected component of the relation
+//! subquery is a single atom `R(π₁,…,π_k)` with reachability atoms
+//! `xᵢ →πᵢ yᵢ`. For a fixed assignment of the node variables, the atom is
+//! satisfiable iff an accepting configuration is reachable in the product
+//! of `k` copies of the database with `R`'s automaton: a configuration is
+//! `(q, v₁,…,v_k)` — the relation state plus one database position per
+//! track — starting at `(q₀, σ(x₁),…,σ(x_k))`; a convolution row moves each
+//! non-`⊥` track along a matching edge, a `⊥` track must already rest at
+//! its target. This is the NL-per-component procedure of Lemma 4.2,
+//! implemented as BFS.
+//!
+//! The top level enumerates node assignments by backtracking, one merged
+//! atom at a time, memoizing feasibility per (atom, endpoint tuple). Worst
+//! case `O(|V|^{#nodevars})` assignments times `O(|Q|·|V|^k)` per check —
+//! the PSPACE behaviour the paper proves unavoidable in general.
+
+use crate::prepare::PreparedQuery;
+use ecrpq_automata::{Nfa, Row, StateId, Track};
+use ecrpq_graph::{Edge, GraphDb, NodeId, Path};
+use ecrpq_query::{NodeVar, PathVar};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+/// A full satisfying assignment: node values plus one concrete path per
+/// path variable (“(f_N, f_P)” in the paper).
+#[derive(Debug, Clone)]
+pub struct Witness {
+    /// `nodes[v]` = database vertex assigned to node variable `v`.
+    pub nodes: Vec<NodeId>,
+    /// One path per path variable, sorted by variable.
+    pub paths: Vec<(PathVar, Path)>,
+}
+
+/// Counters exposed for the experiment harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProductStats {
+    /// Product configurations expanded across all feasibility checks.
+    pub configurations: u64,
+    /// Feasibility checks actually run (memo misses).
+    pub checks: u64,
+    /// Memoized feasibility lookups that hit.
+    pub cache_hits: u64,
+    /// Node-variable assignments attempted (innermost count).
+    pub assignments: u64,
+}
+
+/// Evaluates a prepared Boolean query on `db` via the product algorithm.
+///
+/// # Panics
+/// Panics if the query's alphabet size differs from the database's.
+pub fn eval_product(db: &GraphDb, query: &PreparedQuery) -> bool {
+    Evaluator::new(db, query).boolean()
+}
+
+/// As [`eval_product`], returning the work counters.
+pub fn eval_product_with_stats(db: &GraphDb, query: &PreparedQuery) -> (bool, ProductStats) {
+    let mut e = Evaluator::new(db, query);
+    let r = e.boolean();
+    (r, e.stats)
+}
+
+/// All answers (tuples over the free node variables), via the product
+/// algorithm.
+pub fn answers_product(db: &GraphDb, query: &PreparedQuery) -> BTreeSet<Vec<NodeId>> {
+    Evaluator::new(db, query).answers()
+}
+
+/// A witness for a Boolean query, if satisfiable.
+pub fn witness_product(db: &GraphDb, query: &PreparedQuery) -> Option<Witness> {
+    Evaluator::new(db, query).witness()
+}
+
+/// All answers, each with one concrete witness (node assignment + paths).
+/// The per-answer witness uses the first satisfying assignment found.
+pub fn answers_with_witnesses(
+    db: &GraphDb,
+    query: &PreparedQuery,
+) -> Vec<(Vec<NodeId>, Witness)> {
+    let mut e = Evaluator::new(db, query);
+    if query.num_node_vars > 0 && db.num_nodes() == 0 {
+        return Vec::new();
+    }
+    let free = query.free.clone();
+    let nv = db.num_nodes();
+    // collect one full assignment per distinct free tuple
+    let mut reps: std::collections::BTreeMap<Vec<NodeId>, Vec<NodeId>> =
+        std::collections::BTreeMap::new();
+    {
+        let mut assignment = vec![UNASSIGNED; query.num_node_vars];
+        e.search(0, &mut assignment, &mut |assignment| {
+            let nodes: Vec<NodeId> = assignment
+                .iter()
+                .map(|&x| if x == UNASSIGNED { 0 } else { x as NodeId })
+                .collect();
+            // expand unconstrained free variables over the domain
+            let mut tuples: Vec<(Vec<NodeId>, Vec<NodeId>)> = vec![(Vec::new(), nodes.clone())];
+            for &NodeVar(v) in &free {
+                let choices: Vec<NodeId> = match assignment[v as usize] {
+                    UNASSIGNED => (0..nv as NodeId).collect(),
+                    x => vec![x as NodeId],
+                };
+                let mut next = Vec::with_capacity(tuples.len() * choices.len());
+                for (t, n) in &tuples {
+                    for &c in &choices {
+                        let mut t2 = t.clone();
+                        t2.push(c);
+                        let mut n2 = n.clone();
+                        n2[v as usize] = c;
+                        next.push((t2, n2));
+                    }
+                }
+                tuples = next;
+            }
+            for (t, n) in tuples {
+                reps.entry(t).or_insert(n);
+            }
+            false
+        });
+    }
+    let prepared = e.query;
+    reps.into_iter()
+        .map(|(tuple, nodes)| {
+            let mut paths: Vec<(PathVar, Path)> = Vec::new();
+            for (atom_idx, atom) in prepared.atoms.iter().enumerate() {
+                let starts: Vec<NodeId> = atom
+                    .endpoints
+                    .iter()
+                    .map(|&(NodeVar(s), _)| nodes[s as usize])
+                    .collect();
+                let ends: Vec<NodeId> = atom
+                    .endpoints
+                    .iter()
+                    .map(|&(_, NodeVar(d))| nodes[d as usize])
+                    .collect();
+                let atom_paths = e
+                    .component_witness(atom_idx, &starts, &ends)
+                    .expect("answer assignments are feasible");
+                for (i, p) in atom_paths.into_iter().enumerate() {
+                    paths.push((atom.path_vars[i], p));
+                }
+            }
+            paths.sort_by_key(|(p, _)| *p);
+            (tuple, Witness { nodes, paths })
+        })
+        .collect()
+}
+
+const UNASSIGNED: i64 = -1;
+
+struct Evaluator<'a> {
+    db: &'a GraphDb,
+    query: &'a PreparedQuery,
+    /// ε-free relation automata, one per merged atom.
+    automata: Vec<Nfa<Row>>,
+    memo: HashMap<(usize, Vec<NodeId>, Vec<NodeId>), bool>,
+    stats: ProductStats,
+    /// Configuration trace of the last witness-mode BFS.
+    last_witness_configs: Option<Vec<(StateId, Vec<NodeId>)>>,
+    /// Per-atom generation-stamped visited arrays for flat-indexable
+    /// configuration spaces (`None` when the space is too large, in which
+    /// case the BFS falls back to hashing).
+    stamps: Vec<Option<Vec<u32>>>,
+    generation: u32,
+    /// Label-oblivious reachability closure: `closure[v]` = vertices
+    /// reachable from `v`. A necessary condition checked before any
+    /// product BFS — `ends[i]` unreachable from `starts[i]` kills the
+    /// check in O(k).
+    closure: Vec<ecrpq_automata::BitSet>,
+}
+
+impl<'a> Evaluator<'a> {
+    fn new(db: &'a GraphDb, query: &'a PreparedQuery) -> Self {
+        assert_eq!(
+            db.alphabet().len(),
+            query.num_symbols,
+            "query alphabet size {} does not match database alphabet size {}",
+            query.num_symbols,
+            db.alphabet().len()
+        );
+        // trim: states that cannot reach acceptance would only bloat the
+        // product configuration space
+        let automata: Vec<Nfa<Row>> = query
+            .atoms
+            .iter()
+            .map(|a| a.rel.nfa().remove_epsilon().trim())
+            .collect();
+        let nv = db.num_nodes().max(1) as u128;
+        let stamps = query
+            .atoms
+            .iter()
+            .zip(&automata)
+            .map(|(a, nfa)| {
+                let space = nv.pow(a.rel.arity() as u32) * nfa.num_states() as u128;
+                (space <= (1 << 27)).then(|| vec![0u32; space as usize])
+            })
+            .collect();
+        let closure = (0..db.num_nodes() as NodeId)
+            .map(|v| ecrpq_graph::paths::reachable_from(db, v))
+            .collect();
+        Evaluator {
+            db,
+            query,
+            automata,
+            memo: HashMap::new(),
+            stats: ProductStats::default(),
+            last_witness_configs: None,
+            stamps,
+            generation: 0,
+            closure,
+        }
+    }
+
+    fn boolean(&mut self) -> bool {
+        if self.query.num_node_vars > 0 && self.db.num_nodes() == 0 {
+            return false;
+        }
+        let mut assignment = vec![UNASSIGNED; self.query.num_node_vars];
+        self.search(0, &mut assignment, &mut |_| true)
+    }
+
+    fn answers(&mut self) -> BTreeSet<Vec<NodeId>> {
+        let mut out = BTreeSet::new();
+        if self.query.num_node_vars > 0 && self.db.num_nodes() == 0 {
+            return out;
+        }
+        let free = self.query.free.clone();
+        let nv = self.db.num_nodes();
+        let mut assignment = vec![UNASSIGNED; self.query.num_node_vars];
+        self.search(0, &mut assignment, &mut |assignment| {
+            // Free variables not constrained by any atom range over V.
+            let mut tuples: Vec<Vec<NodeId>> = vec![Vec::new()];
+            for &NodeVar(v) in &free {
+                let choices: Vec<NodeId> = match assignment[v as usize] {
+                    UNASSIGNED => (0..nv as NodeId).collect(),
+                    x => vec![x as NodeId],
+                };
+                let mut next = Vec::with_capacity(tuples.len() * choices.len());
+                for t in &tuples {
+                    for &c in &choices {
+                        let mut t2 = t.clone();
+                        t2.push(c);
+                        next.push(t2);
+                    }
+                }
+                tuples = next;
+            }
+            out.extend(tuples);
+            false // keep searching for more answers
+        });
+        out
+    }
+
+    fn witness(&mut self) -> Option<Witness> {
+        if self.query.num_node_vars > 0 && self.db.num_nodes() == 0 {
+            return None;
+        }
+        let mut assignment = vec![UNASSIGNED; self.query.num_node_vars];
+        let mut found: Option<Vec<NodeId>> = None;
+        self.search(0, &mut assignment, &mut |assignment| {
+            // default unconstrained variables to vertex 0
+            let nodes: Vec<NodeId> = assignment
+                .iter()
+                .map(|&x| if x == UNASSIGNED { 0 } else { x as NodeId })
+                .collect();
+            found = Some(nodes);
+            true
+        });
+        let nodes = found?;
+        let mut paths: Vec<(PathVar, Path)> = Vec::new();
+        for (ai, atom) in self.query.atoms.iter().enumerate() {
+            let starts: Vec<NodeId> = atom
+                .endpoints
+                .iter()
+                .map(|&(NodeVar(s), _)| nodes[s as usize])
+                .collect();
+            let ends: Vec<NodeId> = atom
+                .endpoints
+                .iter()
+                .map(|&(_, NodeVar(d))| nodes[d as usize])
+                .collect();
+            let atom_paths = self
+                .component_witness(ai, &starts, &ends)
+                .expect("feasible atom must yield a witness");
+            for (i, p) in atom_paths.into_iter().enumerate() {
+                paths.push((atom.path_vars[i], p));
+            }
+        }
+        paths.sort_by_key(|(p, _)| *p);
+        Some(Witness { nodes, paths })
+    }
+
+    /// Backtracking over merged atoms; `on_success` is called with the full
+    /// assignment and returns `true` to stop the search.
+    fn search(
+        &mut self,
+        atom_idx: usize,
+        assignment: &mut Vec<i64>,
+        on_success: &mut impl FnMut(&[i64]) -> bool,
+    ) -> bool {
+        if atom_idx == self.query.atoms.len() {
+            self.stats.assignments += 1;
+            return on_success(assignment);
+        }
+        let atom = &self.query.atoms[atom_idx];
+        // Variables of this atom not yet assigned.
+        let mut vars: Vec<u32> = atom
+            .endpoints
+            .iter()
+            .flat_map(|&(NodeVar(s), NodeVar(d))| [s, d])
+            .filter(|&v| assignment[v as usize] == UNASSIGNED)
+            .collect();
+        vars.sort_unstable();
+        vars.dedup();
+        let nv = self.db.num_nodes() as NodeId;
+        self.enumerate(atom_idx, &vars, 0, assignment, nv, on_success)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn enumerate(
+        &mut self,
+        atom_idx: usize,
+        vars: &[u32],
+        vi: usize,
+        assignment: &mut Vec<i64>,
+        nv: NodeId,
+        on_success: &mut impl FnMut(&[i64]) -> bool,
+    ) -> bool {
+        if vi == vars.len() {
+            let atom = &self.query.atoms[atom_idx];
+            let starts: Vec<NodeId> = atom
+                .endpoints
+                .iter()
+                .map(|&(NodeVar(s), _)| assignment[s as usize] as NodeId)
+                .collect();
+            let ends: Vec<NodeId> = atom
+                .endpoints
+                .iter()
+                .map(|&(_, NodeVar(d))| assignment[d as usize] as NodeId)
+                .collect();
+            if self.feasible(atom_idx, &starts, &ends) {
+                return self.search(atom_idx + 1, assignment, on_success);
+            }
+            return false;
+        }
+        for v in 0..nv {
+            assignment[vars[vi] as usize] = i64::from(v);
+            if self.enumerate(atom_idx, vars, vi + 1, assignment, nv, on_success) {
+                assignment[vars[vi] as usize] = UNASSIGNED;
+                return true;
+            }
+        }
+        assignment[vars[vi] as usize] = UNASSIGNED;
+        false
+    }
+
+    /// Memoized product-reachability check for one merged atom with fixed
+    /// endpoints.
+    fn feasible(&mut self, atom_idx: usize, starts: &[NodeId], ends: &[NodeId]) -> bool {
+        // necessary condition: every target plain-reachable from its source
+        if starts
+            .iter()
+            .zip(ends)
+            .any(|(&s, &e)| !self.closure[s as usize].contains(e as usize))
+        {
+            return false;
+        }
+        let key = (atom_idx, starts.to_vec(), ends.to_vec());
+        if let Some(&r) = self.memo.get(&key) {
+            self.stats.cache_hits += 1;
+            return r;
+        }
+        self.stats.checks += 1;
+        let result = self.product_bfs(atom_idx, starts, ends, false).is_some();
+        self.memo.insert(key, result);
+        result
+    }
+
+    /// Witness paths for a feasible atom. A row alone does not determine
+    /// the chosen edge when a vertex has several same-label successors, so
+    /// the BFS records full parent configurations and we rebuild each
+    /// track's path from consecutive configuration pairs.
+    fn component_witness(
+        &mut self,
+        atom_idx: usize,
+        starts: &[NodeId],
+        ends: &[NodeId],
+    ) -> Option<Vec<Path>> {
+        let rows = self.product_bfs(atom_idx, starts, ends, true)?;
+        let configs = self.last_witness_configs.take().expect("witness configs");
+        debug_assert_eq!(configs.len(), rows.len() + 1);
+        let k = starts.len();
+        let mut paths: Vec<Path> = starts.iter().map(|&s| Path::empty(s)).collect();
+        for (step, row) in rows.iter().enumerate() {
+            let before = &configs[step];
+            let after = &configs[step + 1];
+            for i in 0..k {
+                if let Track::Sym(a) = row[i] {
+                    paths[i].push(Edge {
+                        src: before.1[i],
+                        label: a,
+                        dst: after.1[i],
+                    });
+                }
+            }
+        }
+        Some(paths)
+    }
+
+    /// BFS over configurations `(state, positions)`. Returns `Some(rows)` if
+    /// an accepting configuration is reachable (empty rows vector when the
+    /// initial configuration accepts); in witness mode also stores the
+    /// configuration trace in `self.last_witness_configs`.
+    fn product_bfs(
+        &mut self,
+        atom_idx: usize,
+        starts: &[NodeId],
+        ends: &[NodeId],
+        want_witness: bool,
+    ) -> Option<Vec<Row>> {
+        let nfa = &self.automata[atom_idx];
+        let k = starts.len();
+        let nv = self.db.num_nodes().max(1);
+        type Config = (StateId, Vec<NodeId>);
+        let accepting = |q: StateId, pos: &[NodeId]| nfa.is_final(q) && pos == ends;
+        let encode = |q: StateId, pos: &[NodeId]| -> usize {
+            let mut idx = q as usize;
+            for &p in pos {
+                idx = idx * nv + p as usize;
+            }
+            idx
+        };
+        // Flat generation-stamped visited array when the space fits (the
+        // common case); hashing otherwise or in witness mode.
+        let mut stamp = if want_witness {
+            None
+        } else {
+            self.stamps[atom_idx].take()
+        };
+        if stamp.is_some() {
+            self.generation += 1;
+        }
+        let generation = self.generation;
+        let mut seen: HashSet<Config> = HashSet::new();
+        let mut mark = |q: StateId, pos: &[NodeId], seen: &mut HashSet<Config>| -> bool {
+            match &mut stamp {
+                Some(s) => {
+                    let idx = encode(q, pos);
+                    if s[idx] == generation {
+                        false
+                    } else {
+                        s[idx] = generation;
+                        true
+                    }
+                }
+                None => seen.insert((q, pos.to_vec())),
+            }
+        };
+        let mut parent: HashMap<Config, (Config, Row)> = HashMap::new();
+        let mut queue: VecDeque<Config> = VecDeque::new();
+        for &q in nfa.initial_states() {
+            if mark(q, starts, &mut seen) {
+                queue.push_back((q, starts.to_vec()));
+            }
+        }
+        let mut goal: Option<Config> = None;
+        'bfs: while let Some((q, pos)) = queue.pop_front() {
+            self.stats.configurations += 1;
+            if accepting(q, &pos) {
+                goal = Some((q, pos));
+                break 'bfs;
+            }
+            for (row, q2) in nfa.transitions_from(q) {
+                // successor position options per track
+                let mut options: Vec<Vec<NodeId>> = Vec::with_capacity(k);
+                let mut dead = false;
+                for i in 0..k {
+                    match row[i] {
+                        Track::Pad => {
+                            if pos[i] == ends[i] {
+                                options.push(vec![pos[i]]);
+                            } else {
+                                dead = true;
+                                break;
+                            }
+                        }
+                        Track::Sym(a) => {
+                            let succ: Vec<NodeId> = self.db.successors(pos[i], a).collect();
+                            if succ.is_empty() {
+                                dead = true;
+                                break;
+                            }
+                            options.push(succ);
+                        }
+                    }
+                }
+                if dead {
+                    continue;
+                }
+                // cartesian product of options
+                let mut combos: Vec<Vec<NodeId>> = vec![Vec::with_capacity(k)];
+                for opt in &options {
+                    let mut next = Vec::with_capacity(combos.len() * opt.len());
+                    for c in &combos {
+                        for &o in opt {
+                            let mut c2 = c.clone();
+                            c2.push(o);
+                            next.push(c2);
+                        }
+                    }
+                    combos = next;
+                }
+                for combo in combos {
+                    if mark(*q2, &combo, &mut seen) {
+                        let c: Config = (*q2, combo);
+                        if want_witness {
+                            parent.insert(c.clone(), ((q, pos.clone()), row.clone()));
+                        }
+                        queue.push_back(c);
+                    }
+                }
+            }
+        }
+        self.stamps[atom_idx] = stamp;
+        let goal = goal?;
+        if !want_witness {
+            return Some(Vec::new());
+        }
+        // reconstruct configuration trace + rows
+        let mut rows: Vec<Row> = Vec::new();
+        let mut configs: Vec<Config> = vec![goal.clone()];
+        let mut cur = goal;
+        while let Some((prev, row)) = parent.get(&cur) {
+            rows.push(row.clone());
+            configs.push(prev.clone());
+            cur = prev.clone();
+        }
+        rows.reverse();
+        configs.reverse();
+        self.last_witness_configs = Some(configs);
+        Some(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecrpq_automata::{relations, Alphabet};
+    use ecrpq_query::Ecrpq;
+    use std::sync::Arc;
+
+    fn prepare(q: &Ecrpq) -> PreparedQuery {
+        PreparedQuery::build(q).unwrap()
+    }
+
+    /// Two parallel chains of equal length from s: the Example 2.1 query
+    /// should relate their startpoints.
+    fn two_chain_db() -> GraphDb {
+        // s1 -a-> m1 -a-> t ; s2 -b-> m2 -b-> t ; s3 -a-> t
+        let mut g = GraphDb::new();
+        let s1 = g.add_node("s1");
+        let m1 = g.add_node("m1");
+        let t = g.add_node("t");
+        let s2 = g.add_node("s2");
+        let m2 = g.add_node("m2");
+        let s3 = g.add_node("s3");
+        g.add_edge(s1, 'a', m1);
+        g.add_edge(m1, 'a', t);
+        g.add_edge(s2, 'b', m2);
+        g.add_edge(m2, 'b', t);
+        g.add_edge(s3, 'a', t);
+        g
+    }
+
+    fn example_2_1_query(db: &GraphDb) -> Ecrpq {
+        let mut q = Ecrpq::new(db.alphabet().clone());
+        let x = q.node_var("x");
+        let x2 = q.node_var("x'");
+        let y = q.node_var("y");
+        let p1 = q.path_atom(x, "p1", y);
+        let p2 = q.path_atom(x2, "p2", y);
+        q.rel_atom(
+            "eq_len",
+            Arc::new(relations::eq_length(2, db.alphabet().len())),
+            &[p1, p2],
+        );
+        q.set_free(&[x, x2]);
+        q
+    }
+
+    #[test]
+    fn example_2_1_answers() {
+        let db = two_chain_db();
+        let q = example_2_1_query(&db);
+        let answers = answers_product(&db, &prepare(&q));
+        let (s1, s2, s3) = (0u32, 3u32, 5u32);
+        // equal-length pairs into t: (s1,s2) both length 2, (s3,s3), etc.
+        assert!(answers.contains(&vec![s1, s2]));
+        assert!(answers.contains(&vec![s2, s1]));
+        assert!(answers.contains(&vec![s1, s1]));
+        assert!(answers.contains(&vec![s3, s3]));
+        assert!(!answers.contains(&vec![s1, s3])); // lengths 2 vs 1
+        // trivial equal-length: empty paths from the same vertex
+        assert!(answers.contains(&vec![2, 2]));
+    }
+
+    #[test]
+    fn boolean_and_witness() {
+        let db = two_chain_db();
+        let mut q = example_2_1_query(&db);
+        q.set_free(&[]); // make Boolean
+        let p = prepare(&q);
+        assert!(eval_product(&db, &p));
+        let w = witness_product(&db, &p).unwrap();
+        assert_eq!(w.paths.len(), 2);
+        // witness paths must be valid, match endpoints, and have equal length
+        let (p1, p2) = (&w.paths[0].1, &w.paths[1].1);
+        assert!(p1.is_valid_in(&db));
+        assert!(p2.is_valid_in(&db));
+        assert_eq!(p1.len(), p2.len());
+        assert_eq!(p1.target(), p2.target());
+        assert_eq!(p1.source(), w.nodes[0]);
+        assert_eq!(p2.source(), w.nodes[1]);
+    }
+
+    #[test]
+    fn unsatisfiable_query() {
+        // require an 'a'-labelled path of length exactly 3 in a 2-edge chain
+        let mut db = GraphDb::new();
+        let u = db.add_node("u");
+        let v = db.add_node("v");
+        let w = db.add_node("w");
+        db.add_edge(u, 'a', v);
+        db.add_edge(v, 'a', w);
+        let mut q = Ecrpq::new(db.alphabet().clone());
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let p = q.path_atom(x, "p", y);
+        q.rel_atom(
+            "aaa",
+            Arc::new(relations::word_relation(&[0, 0, 0], 1)),
+            &[p],
+        );
+        assert!(!eval_product(&db, &prepare(&q)));
+        assert!(witness_product(&db, &prepare(&q)).is_none());
+    }
+
+    #[test]
+    fn equality_relation_on_diamond() {
+        // u -a-> v1 -b-> t, u -a-> v2 -c-> t: eq(p1,p2) from same start
+        let mut db = GraphDb::new();
+        let u = db.add_node("u");
+        let v1 = db.add_node("v1");
+        let v2 = db.add_node("v2");
+        let t = db.add_node("t");
+        db.add_edge(u, 'a', v1);
+        db.add_edge(v1, 'b', t);
+        db.add_edge(u, 'a', v2);
+        db.add_edge(v2, 'c', t);
+        let m = db.alphabet().len();
+        let mut q = Ecrpq::new(db.alphabet().clone());
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let z = q.node_var("z");
+        let p1 = q.path_atom(x, "p1", y);
+        let p2 = q.path_atom(x, "p2", z);
+        q.rel_atom("eq", Arc::new(relations::equality(m)), &[p1, p2]);
+        q.set_free(&[y, z]);
+        let answers = answers_product(&db, &prepare(&q));
+        // equal labels: both take 'a' to v1/v2, or identical paths, or empty
+        assert!(answers.contains(&vec![v1, v2]));
+        assert!(answers.contains(&vec![v1, v1]));
+        assert!(answers.contains(&vec![u, u]));
+        // (t, t) via two copies of the identical path a·b through v1
+        assert!(answers.contains(&vec![t, t]));
+        // but mixed endpoints (v1, t) need labels a vs a·? — impossible
+        assert!(!answers.contains(&vec![v1, t]));
+    }
+
+    #[test]
+    fn empty_db() {
+        let db = GraphDb::new();
+        let mut q = Ecrpq::new(Alphabet::new());
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        q.path_atom(x, "p", y);
+        let p = prepare(&q);
+        assert!(!eval_product(&db, &p));
+        assert!(answers_product(&db, &p).is_empty());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let db = two_chain_db();
+        let mut q = example_2_1_query(&db);
+        q.set_free(&[]);
+        let (res, stats) = eval_product_with_stats(&db, &prepare(&q));
+        assert!(res);
+        assert!(stats.checks > 0);
+        assert!(stats.configurations > 0);
+    }
+
+    #[test]
+    fn answers_with_witnesses_cover_all_answers() {
+        let db = two_chain_db();
+        let q = example_2_1_query(&db);
+        let p = prepare(&q);
+        let plain = answers_product(&db, &p);
+        let with_wit = answers_with_witnesses(&db, &p);
+        let tuples: BTreeSet<Vec<NodeId>> =
+            with_wit.iter().map(|(t, _)| t.clone()).collect();
+        assert_eq!(tuples, plain);
+        for (tuple, w) in &with_wit {
+            // witness consistent with the tuple
+            for (i, &NodeVar(v)) in q.free_vars().iter().enumerate() {
+                assert_eq!(w.nodes[v as usize], tuple[i]);
+            }
+            for (pv, path) in &w.paths {
+                assert!(path.is_valid_in(&db));
+                let (NodeVar(s), NodeVar(d)) = q.endpoints(*pv);
+                assert_eq!(path.source(), w.nodes[s as usize]);
+                assert_eq!(path.target(), w.nodes[d as usize]);
+            }
+            // equal lengths per the relation
+            assert_eq!(w.paths[0].1.len(), w.paths[1].1.len());
+        }
+    }
+
+    #[test]
+    fn self_loop_star_language() {
+        // single vertex with a-loop; query: x -(a*)-> y with |path| = |path'|
+        let mut db = GraphDb::new();
+        let v = db.add_node("v");
+        db.add_edge(v, 'a', v);
+        let mut q = Ecrpq::new(db.alphabet().clone());
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let p = q.path_atom(x, "p", y);
+        q.rel_atom(
+            "aaa",
+            Arc::new(relations::word_relation(&[0, 0, 0], 1)),
+            &[p],
+        );
+        assert!(eval_product(&db, &prepare(&q)));
+        let w = witness_product(&db, &prepare(&q)).unwrap();
+        assert_eq!(w.paths[0].1.len(), 3);
+    }
+}

@@ -1,0 +1,341 @@
+//! The Lemma 4.3 reduction: ECRPQ → CQ over materialized endpoint relations.
+//!
+//! For every merged relation atom `R(π₁,…,π_k)` with reachability atoms
+//! `xᵢ →πᵢ yᵢ`, the CQ gets an atom `R′(x₁,y₁,…,x_k,y_k)` and the
+//! relational database the instance
+//!
+//! ```text
+//! R′ = { (u₁,v₁,…,u_k,v_k) : ∃ paths uᵢ ⇝ vᵢ with labels (w₁,…,w_k) ∈ R }
+//! ```
+//!
+//! computed by product-BFS from every source tuple — `O(|D|^{2·cc_vertex})`
+//! tuples, polynomial when `cc_vertex` is constant, exactly the bound in
+//! the paper. The Gaifman graph of the produced CQ is `G^node`, so bounded
+//! treewidth of the query class transfers to the CQ and the classical
+//! `n^{tw+1}` algorithm applies (Theorem 3.2(3)).
+
+use crate::prepare::PreparedQuery;
+use ecrpq_automata::{StateId, Track};
+use ecrpq_graph::{GraphDb, NodeId};
+use ecrpq_query::{Cq, NodeVar, RelationalDb};
+use std::collections::VecDeque;
+
+/// Recursively enumerates successor configuration indices: track `i`
+/// either stays (padded) or moves along one of its label-matching edges.
+#[allow(clippy::too_many_arguments)]
+fn emit_combos(
+    i: usize,
+    base: usize,
+    k: usize,
+    nv: usize,
+    pad_mask: usize,
+    pos: &[NodeId],
+    options: &[&[(u8, NodeId)]],
+    sink: &mut impl FnMut(usize),
+) {
+    if i == k {
+        sink(base);
+        return;
+    }
+    if pad_mask & (1 << i) != 0 {
+        emit_combos(i + 1, base * nv + pos[i] as usize, k, nv, pad_mask, pos, options, sink);
+    } else {
+        for &(_, t) in options[i] {
+            emit_combos(i + 1, base * nv + t as usize, k, nv, pad_mask, pos, options, sink);
+        }
+    }
+}
+
+/// Statistics of a materialization run (for experiment E7).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaterializeStats {
+    /// Total tuples across all `R′` instances.
+    pub tuples: usize,
+    /// Product configurations explored.
+    pub configurations: u64,
+}
+
+/// Performs the Lemma 4.3 reduction. Returns the CQ `q̂′`, the relational
+/// database `D′`, and work counters.
+///
+/// # Panics
+/// Panics if the query and database alphabets disagree.
+pub fn ecrpq_to_cq(db: &GraphDb, query: &PreparedQuery) -> (Cq, RelationalDb, MaterializeStats) {
+    assert_eq!(
+        db.alphabet().len(),
+        query.num_symbols,
+        "alphabet mismatch between query and database"
+    );
+    let nv = db.num_nodes();
+    let mut cq = Cq::new(query.num_node_vars);
+    cq.free = query.free.iter().map(|&NodeVar(v)| v as usize).collect();
+    let mut rdb = RelationalDb::new(nv);
+    let mut stats = MaterializeStats::default();
+
+    for (ai, atom) in query.atoms.iter().enumerate() {
+        let name = format!("R{ai}");
+        let k = atom.rel.arity();
+        rdb.declare(&name, 2 * k);
+        let mut vars = Vec::with_capacity(2 * k);
+        for &(NodeVar(s), NodeVar(d)) in &atom.endpoints {
+            vars.push(s as usize);
+            vars.push(d as usize);
+        }
+        cq.atom(&name, &vars);
+
+        let nfa = atom.rel.nfa().remove_epsilon();
+        if nv == 0 {
+            continue; // no source tuples at all
+        }
+        let nq = nfa.num_states();
+        // Flat configuration index: ((q · n + pos₀) · n + pos₁) ⋯ — with a
+        // generation-stamped visited array reused across the |V|^k source
+        // tuples (the dominant cost of the reduction).
+        let space = (nv as u128).pow(k as u32) * nq as u128;
+        assert!(
+            space <= (1u128 << 31),
+            "materialization space {space} too large; use the direct product evaluator"
+        );
+        let space = space as usize;
+        let encode = |q: StateId, pos: &[NodeId]| -> usize {
+            let mut idx = q as usize;
+            for &p in pos {
+                idx = idx * nv + p as usize;
+            }
+            idx
+        };
+        let mut seen: Vec<u32> = vec![0; space];
+        let mut generation: u32 = 0;
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        let mut pos = vec![0 as NodeId; k];
+        let mut options: Vec<&[(u8, NodeId)]> = Vec::with_capacity(k);
+        let mut tuples: Vec<Vec<u32>> = Vec::new();
+
+        // Enumerate all source tuples in V^k.
+        let mut starts = vec![0 as NodeId; k];
+        loop {
+            // BFS from (q0, starts); collect accepting positions.
+            generation += 1;
+            queue.clear();
+            for &q in nfa.initial_states() {
+                let idx = encode(q, &starts);
+                if seen[idx] != generation {
+                    seen[idx] = generation;
+                    queue.push_back(idx as u32);
+                }
+            }
+            while let Some(cidx) = queue.pop_front() {
+                stats.configurations += 1;
+                // decode
+                let mut rem = cidx as usize;
+                for i in (0..k).rev() {
+                    pos[i] = (rem % nv) as NodeId;
+                    rem /= nv;
+                }
+                let q = rem as StateId;
+                if nfa.is_final(q) {
+                    let mut tuple = Vec::with_capacity(2 * k);
+                    for i in 0..k {
+                        tuple.push(starts[i]);
+                        tuple.push(pos[i]);
+                    }
+                    tuples.push(tuple);
+                }
+                'rows: for (row, q2) in nfa.transitions_from(q) {
+                    // per-track successor slices (pads reuse a sentinel)
+                    options.clear();
+                    let mut pad_mask = 0usize;
+                    for i in 0..k {
+                        match row[i] {
+                            // a padded track's path has ended; it stays put
+                            Track::Pad => {
+                                pad_mask |= 1 << i;
+                                options.push(&[]);
+                            }
+                            Track::Sym(a) => {
+                                let out = db.out_edges(pos[i]);
+                                let lo = out.partition_point(|&(l, _)| l < a);
+                                let hi = out[lo..].partition_point(|&(l, _)| l == a) + lo;
+                                if lo == hi {
+                                    continue 'rows;
+                                }
+                                options.push(&out[lo..hi]);
+                            }
+                        }
+                    }
+                    // enumerate successor combos by index arithmetic
+                    emit_combos(
+                        0,
+                        *q2 as usize,
+                        k,
+                        nv,
+                        pad_mask,
+                        &pos,
+                        &options,
+                        &mut |idx| {
+                            if seen[idx] != generation {
+                                seen[idx] = generation;
+                                queue.push_back(idx as u32);
+                            }
+                        },
+                    );
+                }
+            }
+            // next source tuple
+            let mut i = 0;
+            loop {
+                if i == k {
+                    break;
+                }
+                starts[i] += 1;
+                if (starts[i] as usize) < nv {
+                    break;
+                }
+                starts[i] = 0;
+                i += 1;
+            }
+            if i == k {
+                break;
+            }
+        }
+        let inst = rdb.relation_mut(&name).expect("declared above");
+        inst.tuples.reserve(tuples.len());
+        inst.tuples.extend(tuples);
+    }
+    stats.tuples = rdb.num_tuples();
+    (cq, rdb, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prepare::PreparedQuery;
+    use crate::product::eval_product;
+    use ecrpq_automata::{relations, Alphabet};
+    use ecrpq_query::Ecrpq;
+    use std::sync::Arc;
+
+    fn chain_db(n: usize) -> GraphDb {
+        let mut g = GraphDb::new();
+        let nodes: Vec<_> = (0..n).map(|i| g.add_node(&format!("v{i}"))).collect();
+        for i in 1..n {
+            g.add_edge(nodes[i - 1], 'a', nodes[i]);
+        }
+        g
+    }
+
+    #[test]
+    fn unary_language_materializes_r_l() {
+        // L = aa on a 4-chain: R' = {(i, i+2)} plus... only pairs 2 apart
+        let db = chain_db(4);
+        let mut q = Ecrpq::new(db.alphabet().clone());
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let p = q.path_atom(x, "p", y);
+        q.rel_atom(
+            "aa",
+            Arc::new(relations::word_relation(&[0, 0], 1)),
+            &[p],
+        );
+        let prepared = PreparedQuery::build(&q).unwrap();
+        let (cq, rdb, stats) = ecrpq_to_cq(&db, &prepared);
+        assert_eq!(cq.atoms.len(), 1);
+        let r = rdb.relation("R0").unwrap();
+        assert_eq!(r.arity, 2);
+        let mut tuples: Vec<_> = r.tuples.iter().cloned().collect();
+        tuples.sort();
+        assert_eq!(tuples, vec![vec![0, 2], vec![1, 3]]);
+        assert!(stats.tuples == 2);
+    }
+
+    #[test]
+    fn eq_length_pairs_materialize() {
+        // two-track eq-length on a 3-chain: all (u1,v1,u2,v2) with
+        // dist(u1,v1) = dist(u2,v2) (paths unique here)
+        let db = chain_db(3);
+        let mut q = Ecrpq::new(db.alphabet().clone());
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let x2 = q.node_var("x2");
+        let y2 = q.node_var("y2");
+        let p1 = q.path_atom(x, "p1", y);
+        let p2 = q.path_atom(x2, "p2", y2);
+        q.rel_atom("el", Arc::new(relations::eq_length(2, 1)), &[p1, p2]);
+        let prepared = PreparedQuery::build(&q).unwrap();
+        let (_, rdb, _) = ecrpq_to_cq(&db, &prepared);
+        let r = rdb.relation("R0").unwrap();
+        assert_eq!(r.arity, 4);
+        assert!(r.tuples.contains(&vec![0, 1, 1, 2]));
+        assert!(r.tuples.contains(&vec![0, 2, 0, 2]));
+        assert!(r.tuples.contains(&vec![2, 2, 1, 1])); // empty paths
+        assert!(!r.tuples.contains(&vec![0, 1, 0, 2]));
+        // count: pairs with equal distance: dist 0: 3×3, dist 1: 2×2, dist 2: 1×1
+        assert_eq!(r.tuples.len(), 9 + 4 + 1);
+    }
+
+    #[test]
+    fn cq_gaifman_is_node_graph() {
+        let db = chain_db(3);
+        let mut q = Ecrpq::new(db.alphabet().clone());
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let z = q.node_var("z");
+        let p1 = q.path_atom(x, "p1", y);
+        let p2 = q.path_atom(y, "p2", z);
+        q.rel_atom("el", Arc::new(relations::eq_length(2, 1)), &[p1, p2]);
+        let prepared = PreparedQuery::build(&q).unwrap();
+        let (cq, _, _) = ecrpq_to_cq(&db, &prepared);
+        let gaif = cq.gaifman();
+        let node_graph = q.normalized().abstraction().node_graph();
+        assert_eq!(gaif.edges(), node_graph.edges());
+    }
+
+    #[test]
+    fn free_vars_carried_over() {
+        let db = chain_db(2);
+        let mut q = Ecrpq::new(db.alphabet().clone());
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        q.path_atom(x, "p", y);
+        q.set_free(&[y, x]);
+        let prepared = PreparedQuery::build(&q).unwrap();
+        let (cq, _, _) = ecrpq_to_cq(&db, &prepared);
+        assert_eq!(cq.free, vec![1, 0]);
+    }
+
+    #[test]
+    fn reduction_agrees_with_product_on_boolean() {
+        // satisfiable and unsatisfiable variants
+        let db = chain_db(4);
+        for (word, expect) in [(vec![0u8, 0, 0], true), (vec![0u8, 0, 0, 0], false)] {
+            let mut q = Ecrpq::new(db.alphabet().clone());
+            let x = q.node_var("x");
+            let y = q.node_var("y");
+            let p = q.path_atom(x, "p", y);
+            q.rel_atom(
+                "w",
+                Arc::new(relations::word_relation(&word, 1)),
+                &[p],
+            );
+            let prepared = PreparedQuery::build(&q).unwrap();
+            assert_eq!(eval_product(&db, &prepared), expect);
+            let (cq, rdb, _) = ecrpq_to_cq(&db, &prepared);
+            let holds = !rdb.relation("R0").unwrap().tuples.is_empty();
+            assert_eq!(holds, expect);
+            let _ = cq;
+        }
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = GraphDb::new();
+        let mut q = Ecrpq::new(Alphabet::new());
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        q.path_atom(x, "p", y);
+        let prepared = PreparedQuery::build(&q).unwrap();
+        let (_, rdb, stats) = ecrpq_to_cq(&db, &prepared);
+        assert_eq!(stats.tuples, 0);
+        assert!(rdb.relation("R0").unwrap().tuples.is_empty());
+    }
+}

@@ -1,0 +1,241 @@
+//! CRPQ+Recognizable → UCRPQ.
+//!
+//! §1 of the paper: “any CRPQ+Recognizable query is equivalent to a finite
+//! union of CRPQ (known as UCRPQ)”. With recognizable relations in Mezei
+//! form (finite unions of products of regular languages,
+//! [`ecrpq_automata::RecognizableRel`]), the translation picks one product
+//! disjunct per relation atom; each combination constrains every path
+//! variable by an *intersection of regular languages* — a plain CRPQ — and
+//! the union over combinations is equivalent to the original query. The
+//! union can be exponentially larger, which is exactly why Recognizable
+//! adds no expressive power but Synchronous does.
+
+use ecrpq_automata::{relations, Nfa, RecognizableRel, Symbol};
+use ecrpq_query::{Ecrpq, PathVar, Uecrpq};
+use std::sync::Arc;
+
+/// A relation atom with a recognizable relation.
+#[derive(Debug, Clone)]
+pub struct RecAtom {
+    /// The recognizable relation in Mezei form.
+    pub rel: RecognizableRel,
+    /// Argument path variables (pairwise distinct).
+    pub args: Vec<PathVar>,
+}
+
+/// Translates a CRPQ+Recognizable query — given as a reachability-only
+/// skeleton (an [`Ecrpq`] with *no* relation atoms) plus recognizable
+/// atoms — into an equivalent union of CRPQs.
+///
+/// # Panics
+/// Panics if `skeleton` already has relation atoms, if an atom's argument
+/// count mismatches its relation arity, or if alphabet sizes disagree.
+pub fn recognizable_to_ucrpq(skeleton: &Ecrpq, atoms: &[RecAtom]) -> Uecrpq {
+    assert!(
+        skeleton.rel_atoms().is_empty(),
+        "skeleton must contain only reachability atoms"
+    );
+    let num_symbols = skeleton.alphabet().len();
+    for a in atoms {
+        assert_eq!(a.args.len(), a.rel.arity(), "atom arity mismatch");
+        assert_eq!(a.rel.num_symbols(), num_symbols, "alphabet mismatch");
+    }
+    let a_syms: Vec<Symbol> = skeleton.alphabet().symbols().collect();
+
+    // Enumerate one product choice per atom.
+    let mut union = Uecrpq::new();
+    let mut choice = vec![0usize; atoms.len()];
+    'outer: loop {
+        // If any atom has zero products it denotes ∅: the whole query is
+        // unsatisfiable — the empty union.
+        if atoms.iter().any(|a| a.rel.products().is_empty()) {
+            break;
+        }
+        // Build the CRPQ for this combination: per path variable, the
+        // intersection of the languages imposed on it.
+        let mut per_path: Vec<Option<Nfa<Symbol>>> = vec![None; skeleton.num_path_vars()];
+        for (ai, atom) in atoms.iter().enumerate() {
+            let product = &atom.rel.products()[choice[ai]];
+            for (t, &PathVar(p)) in atom.args.iter().enumerate() {
+                let lang = &product[t];
+                per_path[p as usize] = Some(match per_path[p as usize].take() {
+                    None => lang.clone(),
+                    Some(acc) => acc.intersect(lang),
+                });
+            }
+        }
+        let mut q = skeleton.clone();
+        for (p, lang) in per_path.into_iter().enumerate() {
+            let lang = lang.unwrap_or_else(|| Nfa::universal_lang(&a_syms));
+            q.rel_atom(
+                &format!("L_p{p}"),
+                Arc::new(relations::language(&lang, num_symbols)),
+                &[PathVar(p as u32)],
+            );
+        }
+        debug_assert!(q.is_crpq());
+        union.push(q);
+
+        // next combination
+        let mut i = 0;
+        loop {
+            if i == atoms.len() {
+                break 'outer;
+            }
+            choice[i] += 1;
+            if choice[i] < atoms[i].rel.products().len() {
+                break;
+            }
+            choice[i] = 0;
+            i += 1;
+        }
+        if atoms.is_empty() {
+            break;
+        }
+    }
+    if atoms.is_empty() {
+        // no relation atoms at all: the single bare CRPQ
+        let mut union = Uecrpq::new();
+        union.push(skeleton.clone());
+        return union;
+    }
+    union
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner;
+    use crate::prepare::PreparedQuery;
+    use crate::product::answers_product;
+    use ecrpq_automata::{Alphabet, Regex};
+    use ecrpq_graph::GraphDb;
+
+    fn lang(re: &str) -> Nfa<Symbol> {
+        let mut a = Alphabet::ascii_lower(2);
+        Regex::compile_str(re, &mut a).unwrap()
+    }
+
+    fn sample_db(seed: u64) -> GraphDb {
+        ecrpq_workloads_stub(seed)
+    }
+
+    // tiny local generator to avoid a dev-dependency cycle with workloads
+    fn ecrpq_workloads_stub(seed: u64) -> GraphDb {
+        let mut db = GraphDb::with_alphabet(Alphabet::ascii_lower(2));
+        let n = 5usize;
+        let nodes: Vec<_> = (0..n).map(|i| db.add_node(&format!("v{i}"))).collect();
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for _ in 0..8 {
+            let s = nodes[next() % n];
+            let d = nodes[next() % n];
+            let c = if next() % 2 == 0 { 'a' } else { 'b' };
+            db.add_edge(s, c, d);
+        }
+        db
+    }
+
+    /// Reference evaluation: the same query with the recognizable atoms
+    /// converted to synchronous relations.
+    fn via_sync(skeleton: &Ecrpq, atoms: &[RecAtom], db: &GraphDb) -> std::collections::BTreeSet<Vec<u32>> {
+        let mut q = skeleton.clone();
+        for (i, a) in atoms.iter().enumerate() {
+            q.rel_atom(&format!("rec{i}"), Arc::new(a.rel.to_sync()), &a.args);
+        }
+        let prepared = PreparedQuery::build(&q).unwrap();
+        answers_product(db, &prepared)
+    }
+
+    #[test]
+    fn translation_is_equivalent() {
+        for seed in 0..8u64 {
+            let db = sample_db(seed);
+            let mut skeleton = Ecrpq::new(db.alphabet().clone());
+            let x = skeleton.node_var("x");
+            let y = skeleton.node_var("y");
+            let z = skeleton.node_var("z");
+            let p1 = skeleton.path_atom(x, "p1", y);
+            let p2 = skeleton.path_atom(y, "p2", z);
+            skeleton.set_free(&[x, z]);
+            let mut r1 = RecognizableRel::empty(2, 2);
+            r1.add_product(vec![lang("a+"), lang("b*")]);
+            r1.add_product(vec![lang("b+"), lang("a*")]);
+            let mut r2 = RecognizableRel::empty(1, 2);
+            r2.add_product(vec![lang("(a|b)(a|b)?")]);
+            let atoms = vec![
+                RecAtom {
+                    rel: r1,
+                    args: vec![p1, p2],
+                },
+                RecAtom {
+                    rel: r2,
+                    args: vec![p2],
+                },
+            ];
+            let ucrpq = recognizable_to_ucrpq(&skeleton, &atoms);
+            assert_eq!(ucrpq.len(), 2); // 2 × 1 combinations
+            for d in ucrpq.disjuncts() {
+                assert!(d.is_crpq());
+            }
+            let expected = via_sync(&skeleton, &atoms, &db);
+            let actual = planner::answers_union(&db, &ucrpq);
+            assert_eq!(actual, expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_recognizable_gives_empty_union() {
+        let mut skeleton = Ecrpq::new(Alphabet::ascii_lower(2));
+        let x = skeleton.node_var("x");
+        let y = skeleton.node_var("y");
+        let p = skeleton.path_atom(x, "p", y);
+        let atoms = vec![RecAtom {
+            rel: RecognizableRel::empty(1, 2),
+            args: vec![p],
+        }];
+        let u = recognizable_to_ucrpq(&skeleton, &atoms);
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    fn no_atoms_gives_bare_skeleton() {
+        let mut skeleton = Ecrpq::new(Alphabet::ascii_lower(2));
+        let x = skeleton.node_var("x");
+        let y = skeleton.node_var("y");
+        skeleton.path_atom(x, "p", y);
+        let u = recognizable_to_ucrpq(&skeleton, &[]);
+        assert_eq!(u.len(), 1);
+    }
+
+    #[test]
+    fn shared_variable_intersects_languages() {
+        // two atoms constrain the same path var: a+ ∩ (a|b)(a|b) = aa
+        let db = sample_db(1);
+        let mut skeleton = Ecrpq::new(db.alphabet().clone());
+        let x = skeleton.node_var("x");
+        let y = skeleton.node_var("y");
+        let p = skeleton.path_atom(x, "p", y);
+        skeleton.set_free(&[x, y]);
+        let mut r1 = RecognizableRel::empty(1, 2);
+        r1.add_product(vec![lang("a+")]);
+        let mut r2 = RecognizableRel::empty(1, 2);
+        r2.add_product(vec![lang("(a|b)(a|b)")]);
+        let atoms = vec![
+            RecAtom {
+                rel: r1,
+                args: vec![p],
+            },
+            RecAtom {
+                rel: r2,
+                args: vec![p],
+            },
+        ];
+        let u = recognizable_to_ucrpq(&skeleton, &atoms);
+        let expected = via_sync(&skeleton, &atoms, &db);
+        assert_eq!(planner::answers_union(&db, &u), expected);
+    }
+}

@@ -1,0 +1,339 @@
+//! The graph database representation.
+
+use ecrpq_automata::{Alphabet, Symbol};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a database vertex (dense, `0..num_nodes`).
+pub type NodeId = u32;
+
+/// A labelled edge `(src, label, dst)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: NodeId,
+    /// Edge label.
+    pub label: Symbol,
+    /// Destination vertex.
+    pub dst: NodeId,
+}
+
+/// A finite edge-labelled directed graph with named vertices — the
+/// “graph database” of §2.
+///
+/// Parallel edges with distinct labels are allowed (`E ⊆ V × A × V` is a
+/// set); duplicate `(src, label, dst)` triples are stored once.
+#[derive(Debug, Clone, Default)]
+pub struct GraphDb {
+    alphabet: Alphabet,
+    node_names: Vec<String>,
+    name_index: HashMap<String, NodeId>,
+    /// `out[v]` lists `(label, dst)` pairs, sorted and deduped.
+    out: Vec<Vec<(Symbol, NodeId)>>,
+    /// `inc[v]` lists `(label, src)` pairs, sorted and deduped.
+    inc: Vec<Vec<(Symbol, NodeId)>>,
+    num_edges: usize,
+}
+
+impl GraphDb {
+    /// Creates an empty database over an empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty database over a given alphabet.
+    pub fn with_alphabet(alphabet: Alphabet) -> Self {
+        GraphDb {
+            alphabet,
+            ..Self::default()
+        }
+    }
+
+    /// The alphabet of edge labels.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Mutable access to the alphabet (to intern marker symbols, as the
+    /// constructions in §5 of the paper do).
+    pub fn alphabet_mut(&mut self) -> &mut Alphabet {
+        &mut self.alphabet
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of distinct labelled edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Adds a vertex with an auto-generated name, returning its id.
+    pub fn add_node_auto(&mut self) -> NodeId {
+        let name = format!("v{}", self.node_names.len());
+        self.add_node(&name)
+    }
+
+    /// Adds (or finds) a vertex by name.
+    pub fn add_node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.name_index.get(name) {
+            return id;
+        }
+        let id = NodeId::try_from(self.node_names.len()).expect("too many nodes");
+        self.node_names.push(name.to_string());
+        self.name_index.insert(name.to_string(), id);
+        self.out.push(Vec::new());
+        self.inc.push(Vec::new());
+        id
+    }
+
+    /// Looks up a vertex by name.
+    pub fn node(&self, name: &str) -> Option<NodeId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// The name of vertex `v`.
+    pub fn node_name(&self, v: NodeId) -> &str {
+        &self.node_names[v as usize]
+    }
+
+    /// Iterates over all vertex ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_names.len() as NodeId).collect::<Vec<_>>().into_iter()
+    }
+
+    /// Adds a labelled edge; the label character is interned. Returns
+    /// `true` if the edge was new.
+    pub fn add_edge(&mut self, src: NodeId, label: char, dst: NodeId) -> bool {
+        let s = self.alphabet.intern(label);
+        self.add_edge_sym(src, s, dst)
+    }
+
+    /// Adds an edge with an already-interned label symbol.
+    pub fn add_edge_sym(&mut self, src: NodeId, label: Symbol, dst: NodeId) -> bool {
+        assert!((src as usize) < self.num_nodes() && (dst as usize) < self.num_nodes());
+        let entry = (label, dst);
+        match self.out[src as usize].binary_search(&entry) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.out[src as usize].insert(pos, entry);
+                let rentry = (label, src);
+                let rpos = self.inc[dst as usize]
+                    .binary_search(&rentry)
+                    .unwrap_err();
+                self.inc[dst as usize].insert(rpos, rentry);
+                self.num_edges += 1;
+                true
+            }
+        }
+    }
+
+    /// Outgoing `(label, dst)` pairs of `v`, sorted by label then target.
+    pub fn out_edges(&self, v: NodeId) -> &[(Symbol, NodeId)] {
+        &self.out[v as usize]
+    }
+
+    /// Incoming `(label, src)` pairs of `v`.
+    pub fn in_edges(&self, v: NodeId) -> &[(Symbol, NodeId)] {
+        &self.inc[v as usize]
+    }
+
+    /// Successors of `v` on a given label.
+    pub fn successors(&self, v: NodeId, label: Symbol) -> impl Iterator<Item = NodeId> + '_ {
+        let edges = &self.out[v as usize];
+        let start = edges.partition_point(|&(l, _)| l < label);
+        edges[start..]
+            .iter()
+            .take_while(move |&&(l, _)| l == label)
+            .map(|&(_, t)| t)
+    }
+
+    /// Whether the edge `(src, label, dst)` exists.
+    pub fn has_edge(&self, src: NodeId, label: Symbol, dst: NodeId) -> bool {
+        self.out[src as usize].binary_search(&(label, dst)).is_ok()
+    }
+
+    /// Iterates over all edges.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.out.iter().enumerate().flat_map(|(src, es)| {
+            es.iter().map(move |&(label, dst)| Edge {
+                src: src as NodeId,
+                label,
+                dst,
+            })
+        })
+    }
+
+    /// Re-interns the database over a (super-)alphabet — needed when a
+    /// query's regexes introduce symbols the database has never seen, so
+    /// that relations built over the extended alphabet apply.
+    ///
+    /// # Panics
+    /// Panics if `alphabet` is missing a character used by an edge.
+    pub fn with_extended_alphabet(&self, alphabet: &Alphabet) -> GraphDb {
+        if self.alphabet() == alphabet {
+            return self.clone();
+        }
+        let mut out = GraphDb::with_alphabet(alphabet.clone());
+        for v in 0..self.num_nodes() as NodeId {
+            out.add_node(self.node_name(v));
+        }
+        for e in self.edges() {
+            let c = self.alphabet.char_of(e.label);
+            let sym = alphabet
+                .symbol(c)
+                .unwrap_or_else(|| panic!("alphabet misses edge label {c}"));
+            out.add_edge_sym(e.src, sym, e.dst);
+        }
+        out
+    }
+
+    /// Disjoint union with `other`, except that vertices with identical
+    /// names are merged (the construction of Lemma 5.1 glues the databases
+    /// `D₁, …, D_n` on a single distinguished vertex `s` this way).
+    ///
+    /// Both databases must share an alphabet prefix: labels are re-interned
+    /// by character.
+    pub fn union_by_name(&mut self, other: &GraphDb) {
+        for v in 0..other.num_nodes() as NodeId {
+            self.add_node(other.node_name(v));
+        }
+        for e in other.edges() {
+            let src = self.node(other.node_name(e.src)).unwrap();
+            let dst = self.node(other.node_name(e.dst)).unwrap();
+            let c = other.alphabet.char_of(e.label);
+            self.add_edge(src, c, dst);
+        }
+    }
+}
+
+impl fmt::Display for GraphDb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "graph database: {} nodes, {} edges, alphabet {}",
+            self.num_nodes(),
+            self.num_edges(),
+            self.alphabet
+        )?;
+        for e in self.edges() {
+            writeln!(
+                f,
+                "  {} -{}-> {}",
+                self.node_name(e.src),
+                self.alphabet.char_of(e.label),
+                self.node_name(e.dst)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GraphDb {
+        let mut g = GraphDb::new();
+        let u = g.add_node("u");
+        let v = g.add_node("v");
+        let w = g.add_node("w");
+        g.add_edge(u, 'a', v);
+        g.add_edge(v, 'b', w);
+        g.add_edge(u, 'a', w);
+        g.add_edge(u, 'b', v);
+        g
+    }
+
+    #[test]
+    fn build_and_query() {
+        let g = sample();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 4);
+        let a = g.alphabet().symbol('a').unwrap();
+        let u = g.node("u").unwrap();
+        let succ: Vec<_> = g.successors(u, a).collect();
+        assert_eq!(succ, vec![g.node("v").unwrap(), g.node("w").unwrap()]);
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut g = sample();
+        let u = g.node("u").unwrap();
+        let v = g.node("v").unwrap();
+        assert!(!g.add_edge(u, 'a', v));
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn add_node_idempotent_by_name() {
+        let mut g = sample();
+        let u1 = g.add_node("u");
+        assert_eq!(u1, g.node("u").unwrap());
+        assert_eq!(g.num_nodes(), 3);
+    }
+
+    #[test]
+    fn has_edge_and_in_edges() {
+        let g = sample();
+        let a = g.alphabet().symbol('a').unwrap();
+        let b = g.alphabet().symbol('b').unwrap();
+        let (u, v, w) = (
+            g.node("u").unwrap(),
+            g.node("v").unwrap(),
+            g.node("w").unwrap(),
+        );
+        assert!(g.has_edge(u, a, v));
+        assert!(!g.has_edge(v, a, u));
+        let inc: Vec<_> = g.in_edges(w).to_vec();
+        assert_eq!(inc, vec![(a, u), (b, v)]);
+    }
+
+    #[test]
+    fn union_by_name_glues_shared_vertices() {
+        let mut g1 = GraphDb::new();
+        let s = g1.add_node("s");
+        let x = g1.add_node("x");
+        g1.add_edge(s, 'a', x);
+        let mut g2 = GraphDb::new();
+        let s2 = g2.add_node("s");
+        let y = g2.add_node("y");
+        g2.add_edge(y, 'b', s2);
+        g1.union_by_name(&g2);
+        assert_eq!(g1.num_nodes(), 3); // s shared
+        assert_eq!(g1.num_edges(), 2);
+        let b = g1.alphabet().symbol('b').unwrap();
+        assert!(g1.has_edge(g1.node("y").unwrap(), b, g1.node("s").unwrap()));
+    }
+
+    #[test]
+    fn edges_iteration() {
+        let g = sample();
+        assert_eq!(g.edges().count(), 4);
+    }
+
+    #[test]
+    fn extended_alphabet_preserves_edges() {
+        let g = sample();
+        let mut bigger = g.alphabet().clone();
+        let c = bigger.intern('c');
+        let g2 = g.with_extended_alphabet(&bigger);
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.alphabet().len(), 3);
+        let a = g2.alphabet().symbol('a').unwrap();
+        assert!(g2.has_edge(0, a, 1));
+        // symbol ids may differ; 'c' exists but labels no edge
+        assert!(g2.edges().all(|e| e.label != c));
+    }
+
+    #[test]
+    #[should_panic(expected = "misses edge label")]
+    fn shrunk_alphabet_panics() {
+        let g = sample(); // uses a and b
+        let smaller = Alphabet::ascii_lower(1);
+        let _ = g.with_extended_alphabet(&smaller);
+    }
+}

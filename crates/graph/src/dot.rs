@@ -1,0 +1,45 @@
+//! DOT (Graphviz) export for graph databases.
+
+use crate::db::GraphDb;
+use std::fmt::Write as _;
+
+/// Renders the database in DOT format.
+pub fn to_dot(db: &GraphDb) -> String {
+    let mut out = String::from("digraph db {\n  rankdir=LR;\n");
+    for v in 0..db.num_nodes() as u32 {
+        let _ = writeln!(out, "  n{v} [label=\"{}\"];", escape(db.node_name(v)));
+    }
+    for e in db.edges() {
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{}\"];",
+            e.src,
+            e.dst,
+            escape(&db.alphabet().char_of(e.label).to_string())
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_output_contains_nodes_and_edges() {
+        let mut g = GraphDb::new();
+        let u = g.add_node("u");
+        let v = g.add_node("v\"x");
+        g.add_edge(u, 'a', v);
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph db {"));
+        assert!(dot.contains("n0 -> n1 [label=\"a\"]"));
+        assert!(dot.contains("v\\\"x"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

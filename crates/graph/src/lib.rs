@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! Edge-labelled graph databases.
+//!
+//! “A graph database is a finite edge-labelled graph, that is, `D = (V, E)`
+//! where `V` is a finite set of vertices, `E ⊆ V × A × V` is the set of
+//! labeled edges, and `A` is a finite alphabet” (§2 of the paper). Paths may
+//! be empty (`label(p) = ε`), and a path's label is the concatenation of its
+//! edge labels.
+//!
+//! This crate provides the database representation ([`GraphDb`]), a textual
+//! parser ([`parse`]), path objects and reachability utilities ([`paths`]),
+//! and DOT export ([`dot`]).
+
+pub mod db;
+pub mod dot;
+pub mod parse;
+pub mod paths;
+
+pub use db::{Edge, GraphDb, NodeId};
+pub use parse::{parse_graph, to_text};
+pub use paths::Path;

@@ -1,0 +1,158 @@
+//! Textual graph database format.
+//!
+//! One edge per line: `src -a-> dst` where `a` is a single label
+//! character. Blank lines and `#` comments are ignored. Vertices are
+//! created on first mention; a line containing a bare identifier declares
+//! an isolated vertex.
+//!
+//! ```text
+//! # Example 2.1-style database
+//! u -a-> v
+//! v -b-> w
+//! lonely
+//! ```
+
+use crate::db::GraphDb;
+use std::fmt;
+
+/// A graph parse error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for GraphParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "graph parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for GraphParseError {}
+
+/// Serializes a database into the edge-list format accepted by
+/// [`parse_graph`] (isolated vertices are emitted as bare names).
+pub fn to_text(db: &GraphDb) -> String {
+    let mut out = String::new();
+    let mut has_edge = vec![false; db.num_nodes()];
+    for e in db.edges() {
+        has_edge[e.src as usize] = true;
+        has_edge[e.dst as usize] = true;
+        out.push_str(&format!(
+            "{} -{}-> {}\n",
+            db.node_name(e.src),
+            db.alphabet().char_of(e.label),
+            db.node_name(e.dst)
+        ));
+    }
+    for (v, covered) in has_edge.iter().enumerate() {
+        if !covered {
+            out.push_str(db.node_name(v as u32));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parses the edge-list format described in the module docs.
+pub fn parse_graph(input: &str) -> Result<GraphDb, GraphParseError> {
+    let mut g = GraphDb::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: &str| GraphParseError {
+            line: lineno + 1,
+            message: message.to_string(),
+        };
+        if let Some(arrow_start) = line.find(" -") {
+            let src_name = line[..arrow_start].trim();
+            let rest = &line[arrow_start + 2..];
+            let Some(arrow_end) = rest.find("-> ") else {
+                return Err(err("expected `src -label-> dst`"));
+            };
+            let label_str = &rest[..arrow_end];
+            let dst_name = rest[arrow_end + 3..].trim();
+            let mut chars = label_str.chars();
+            let (Some(label), None) = (chars.next(), chars.next()) else {
+                return Err(err("edge label must be a single character"));
+            };
+            if src_name.is_empty() || dst_name.is_empty() || dst_name.contains(' ') {
+                return Err(err("malformed vertex name"));
+            }
+            let s = g.add_node(src_name);
+            let d = g.add_node(dst_name);
+            g.add_edge(s, label, d);
+        } else if line.contains(' ') {
+            return Err(err("expected `src -label-> dst` or a bare vertex name"));
+        } else {
+            g.add_node(line);
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let g = parse_graph("u -a-> v\nv -b-> w\n").unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        let a = g.alphabet().symbol('a').unwrap();
+        assert!(g.has_edge(g.node("u").unwrap(), a, g.node("v").unwrap()));
+    }
+
+    #[test]
+    fn comments_blank_lines_isolated() {
+        let g = parse_graph("# header\n\nu -a-> v # trailing\nlonely\n").unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert!(g.node("lonely").is_some());
+    }
+
+    #[test]
+    fn self_loops_and_multilabels() {
+        let g = parse_graph("v -a-> v\nv -b-> v\n").unwrap();
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_graph("u -ab-> v").is_err());
+        assert!(parse_graph("u - -> v").is_ok()); // ' ' is a (weird) single-char label
+        assert!(parse_graph("u v w").is_err());
+        assert!(parse_graph("u -a->").is_err());
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let e = parse_graph("u -a-> v\nbad line here\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let src = "u -a-> v\nv -b-> w\nu -b-> u\nlonely\n";
+        let g = parse_graph(src).unwrap();
+        let text = to_text(&g);
+        let g2 = parse_graph(&text).unwrap();
+        assert_eq!(g.num_nodes(), g2.num_nodes());
+        assert_eq!(g.num_edges(), g2.num_edges());
+        for e in g.edges() {
+            let src2 = g2.node(g.node_name(e.src)).unwrap();
+            let dst2 = g2.node(g.node_name(e.dst)).unwrap();
+            let sym = g2
+                .alphabet()
+                .symbol(g.alphabet().char_of(e.label))
+                .unwrap();
+            assert!(g2.has_edge(src2, sym, dst2));
+        }
+        assert!(g2.node("lonely").is_some());
+    }
+}

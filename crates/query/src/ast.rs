@@ -1,0 +1,553 @@
+//! The ECRPQ abstract syntax tree.
+
+use ecrpq_automata::{relations, Alphabet, SyncRel};
+use ecrpq_structure::{treewidth_exact, treewidth_upper_bound, TwoLevelGraph};
+use std::fmt;
+use std::sync::Arc;
+
+/// A node variable (index into the query's node-variable table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeVar(pub u32);
+
+/// A path variable (index into the query's path-variable table). Because
+/// “no path variable can appear in two distinct reachability atoms” (§2),
+/// a path variable *is* its reachability atom: it carries its endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PathVar(pub u32);
+
+/// A relation atom `R(π₁, …, π_r)` of the relation subquery.
+#[derive(Debug, Clone)]
+pub struct RelAtom {
+    /// Display name of the relation.
+    pub name: String,
+    /// The synchronous relation.
+    pub rel: Arc<SyncRel>,
+    /// Argument path variables (pairwise distinct).
+    pub args: Vec<PathVar>,
+}
+
+/// Errors raised by [`Ecrpq::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A relation atom's argument count does not match the relation arity.
+    ArityMismatch {
+        /// Relation atom name.
+        atom: String,
+        /// Declared relation arity.
+        expected: usize,
+        /// Number of arguments supplied.
+        got: usize,
+    },
+    /// A relation atom repeats a path variable.
+    RepeatedPathVar {
+        /// Relation atom name.
+        atom: String,
+    },
+    /// A relation was built over a different alphabet size than the query's.
+    AlphabetMismatch {
+        /// Relation atom name.
+        atom: String,
+        /// The relation's `num_symbols`.
+        relation_symbols: usize,
+        /// The query alphabet's size.
+        alphabet_symbols: usize,
+    },
+    /// A free variable is out of range.
+    UnknownFreeVar(NodeVar),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::ArityMismatch { atom, expected, got } => {
+                write!(f, "atom {atom}: relation arity {expected}, got {got} arguments")
+            }
+            QueryError::RepeatedPathVar { atom } => {
+                write!(f, "atom {atom}: path variables must be pairwise distinct")
+            }
+            QueryError::AlphabetMismatch {
+                atom,
+                relation_symbols,
+                alphabet_symbols,
+            } => write!(
+                f,
+                "atom {atom}: relation over {relation_symbols} symbols, query alphabet has {alphabet_symbols}"
+            ),
+            QueryError::UnknownFreeVar(v) => write!(f, "unknown free variable #{}", v.0),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// The three structural measures of a query's (normalized) abstraction,
+/// which drive Theorems 3.1 and 3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryMeasures {
+    /// `cc_vertex`: max path variables per `G^rel` component.
+    pub cc_vertex: usize,
+    /// `cc_hedge`: max relation atoms per `G^rel` component.
+    pub cc_hedge: usize,
+    /// Treewidth of `G^node` (standard convention: max bag − 1).
+    pub treewidth: usize,
+}
+
+/// An ECRPQ query (Boolean unless free variables are set).
+#[derive(Debug, Clone)]
+pub struct Ecrpq {
+    alphabet: Alphabet,
+    node_names: Vec<String>,
+    path_names: Vec<String>,
+    /// `endpoints[π] = (src, dst)` — the unique reachability atom of π.
+    endpoints: Vec<(NodeVar, NodeVar)>,
+    rel_atoms: Vec<RelAtom>,
+    free: Vec<NodeVar>,
+}
+
+impl Ecrpq {
+    /// Creates an empty query over the given alphabet.
+    pub fn new(alphabet: Alphabet) -> Self {
+        Ecrpq {
+            alphabet,
+            node_names: Vec::new(),
+            path_names: Vec::new(),
+            endpoints: Vec::new(),
+            rel_atoms: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// The query's alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Adds (or finds, by name) a node variable.
+    pub fn node_var(&mut self, name: &str) -> NodeVar {
+        if let Some(i) = self.node_names.iter().position(|n| n == name) {
+            return NodeVar(i as u32);
+        }
+        self.node_names.push(name.to_string());
+        NodeVar((self.node_names.len() - 1) as u32)
+    }
+
+    /// Adds a reachability atom `src →π dst` with a fresh path variable.
+    pub fn path_atom(&mut self, src: NodeVar, name: &str, dst: NodeVar) -> PathVar {
+        assert!(
+            !self.path_names.iter().any(|n| n == name),
+            "path variable {name} already used — path variables may not repeat (§2)"
+        );
+        self.path_names.push(name.to_string());
+        self.endpoints.push((src, dst));
+        PathVar((self.path_names.len() - 1) as u32)
+    }
+
+    /// Adds a relation atom `R(args…)`.
+    pub fn rel_atom(&mut self, name: &str, rel: Arc<SyncRel>, args: &[PathVar]) {
+        self.rel_atoms.push(RelAtom {
+            name: name.to_string(),
+            rel,
+            args: args.to_vec(),
+        });
+    }
+
+    /// Convenience for CRPQ-style atoms: `src -L-> dst` adds a fresh path
+    /// variable plus a unary language atom.
+    pub fn crpq_atom(
+        &mut self,
+        src: NodeVar,
+        lang: &ecrpq_automata::Nfa<ecrpq_automata::Symbol>,
+        lang_name: &str,
+        dst: NodeVar,
+    ) -> PathVar {
+        let name = format!("_p{}", self.path_names.len());
+        let p = self.path_atom(src, &name, dst);
+        let rel = relations::language(lang, self.alphabet.len());
+        self.rel_atom(lang_name, Arc::new(rel), &[p]);
+        p
+    }
+
+    /// Declares the free (answer) variables; empty = Boolean query.
+    pub fn set_free(&mut self, vars: &[NodeVar]) {
+        self.free = vars.to_vec();
+    }
+
+    /// The free variables.
+    pub fn free_vars(&self) -> &[NodeVar] {
+        &self.free
+    }
+
+    /// Whether the query is Boolean.
+    pub fn is_boolean(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Number of node variables.
+    pub fn num_node_vars(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of path variables (= reachability atoms).
+    pub fn num_path_vars(&self) -> usize {
+        self.path_names.len()
+    }
+
+    /// Name of a node variable.
+    pub fn node_name(&self, v: NodeVar) -> &str {
+        &self.node_names[v.0 as usize]
+    }
+
+    /// Name of a path variable.
+    pub fn path_name(&self, p: PathVar) -> &str {
+        &self.path_names[p.0 as usize]
+    }
+
+    /// Endpoints `(src, dst)` of path variable `p`.
+    pub fn endpoints(&self, p: PathVar) -> (NodeVar, NodeVar) {
+        self.endpoints[p.0 as usize]
+    }
+
+    /// Iterates over `(π, src, dst)` for all reachability atoms.
+    pub fn path_atoms(&self) -> impl Iterator<Item = (PathVar, NodeVar, NodeVar)> + '_ {
+        self.endpoints
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, d))| (PathVar(i as u32), s, d))
+    }
+
+    /// The relation atoms.
+    pub fn rel_atoms(&self) -> &[RelAtom] {
+        &self.rel_atoms
+    }
+
+    /// Total size measure `|q|` used as the parameter in p-eval (number of
+    /// variables plus total relation automaton states).
+    pub fn size(&self) -> usize {
+        self.num_node_vars()
+            + self.num_path_vars()
+            + self
+                .rel_atoms
+                .iter()
+                .map(|a| a.rel.num_states())
+                .sum::<usize>()
+    }
+
+    /// Validates the well-formedness conditions of §2.
+    pub fn validate(&self) -> Result<(), QueryError> {
+        for atom in &self.rel_atoms {
+            if atom.args.len() != atom.rel.arity() {
+                return Err(QueryError::ArityMismatch {
+                    atom: atom.name.clone(),
+                    expected: atom.rel.arity(),
+                    got: atom.args.len(),
+                });
+            }
+            let mut sorted = atom.args.clone();
+            sorted.sort();
+            sorted.dedup();
+            if sorted.len() != atom.args.len() {
+                return Err(QueryError::RepeatedPathVar {
+                    atom: atom.name.clone(),
+                });
+            }
+            if atom.rel.num_symbols() != self.alphabet.len() {
+                return Err(QueryError::AlphabetMismatch {
+                    atom: atom.name.clone(),
+                    relation_symbols: atom.rel.num_symbols(),
+                    alphabet_symbols: self.alphabet.len(),
+                });
+            }
+        }
+        for &v in &self.free {
+            if v.0 as usize >= self.node_names.len() {
+                return Err(QueryError::UnknownFreeVar(v));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the query is a CRPQ: every relation unary and no path
+    /// variable in more than one relation atom (§2).
+    pub fn is_crpq(&self) -> bool {
+        let mut seen = vec![false; self.num_path_vars()];
+        for atom in &self.rel_atoms {
+            if atom.rel.arity() != 1 {
+                return false;
+            }
+            for &PathVar(p) in &atom.args {
+                if seen[p as usize] {
+                    return false;
+                }
+                seen[p as usize] = true;
+            }
+        }
+        true
+    }
+
+    /// The two-level graph abstraction of §2: vertices = node variables,
+    /// first-level edges = path variables with their endpoints, hyperedges
+    /// = relation atoms.
+    pub fn abstraction(&self) -> TwoLevelGraph {
+        let mut g = TwoLevelGraph::new(self.num_node_vars());
+        for &(NodeVar(s), NodeVar(d)) in &self.endpoints {
+            g.add_edge(s as usize, d as usize);
+        }
+        for atom in &self.rel_atoms {
+            let members: Vec<usize> = atom.args.iter().map(|&PathVar(p)| p as usize).collect();
+            g.add_hyperedge(&members);
+        }
+        g
+    }
+
+    /// Semantics-preserving normalization: every path variable constrained
+    /// by no relation atom gets a universal unary atom (`π ∈ A*`). After
+    /// this, the abstraction's `G^node` covers every reachability atom.
+    pub fn normalized(&self) -> Ecrpq {
+        let mut out = self.clone();
+        let mut covered = vec![false; self.num_path_vars()];
+        for atom in &self.rel_atoms {
+            for &PathVar(p) in &atom.args {
+                covered[p as usize] = true;
+            }
+        }
+        let mut universal: Option<Arc<SyncRel>> = None;
+        for (p, c) in covered.iter().enumerate() {
+            if !*c {
+                let rel = universal
+                    .get_or_insert_with(|| {
+                        Arc::new(relations::universal(1, self.alphabet.len()))
+                    })
+                    .clone();
+                out.rel_atoms.push(RelAtom {
+                    name: "universal".to_string(),
+                    rel,
+                    args: vec![PathVar(p as u32)],
+                });
+            }
+        }
+        out
+    }
+
+    /// The structural measures of the *normalized* abstraction. Treewidth
+    /// is exact for ≤ 64 node variables, heuristic above.
+    pub fn measures(&self) -> QueryMeasures {
+        let g = self.normalized().abstraction();
+        let node = g.node_graph();
+        let treewidth = if node.num_vertices() <= 64 {
+            treewidth_exact(&node).0
+        } else {
+            treewidth_upper_bound(&node).0
+        };
+        QueryMeasures {
+            cc_vertex: g.cc_vertex(),
+            cc_hedge: g.cc_hedge(),
+            treewidth,
+        }
+    }
+}
+
+impl fmt::Display for Ecrpq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q(")?;
+        for (i, &v) in self.free.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.node_name(v))?;
+        }
+        write!(f, ") :- ")?;
+        let mut first = true;
+        for (p, s, d) in self.path_atoms() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(
+                f,
+                "{} -[{}]-> {}",
+                self.node_name(s),
+                self.path_name(p),
+                self.node_name(d)
+            )?;
+        }
+        for atom in &self.rel_atoms {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{}(", atom.name)?;
+            for (i, &p) in atom.args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self.path_name(p))?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecrpq_automata::Regex;
+
+    /// Example 2.1 of the paper:
+    /// `q(x, x′) = ∃y  x →π₁ y ∧ x′ →π₂ y ∧ eq-len(π₁, π₂)`.
+    fn example_2_1() -> Ecrpq {
+        let alphabet = Alphabet::ascii_lower(2);
+        let mut q = Ecrpq::new(alphabet);
+        let x = q.node_var("x");
+        let x2 = q.node_var("x'");
+        let y = q.node_var("y");
+        let p1 = q.path_atom(x, "p1", y);
+        let p2 = q.path_atom(x2, "p2", y);
+        q.rel_atom("eq_len", Arc::new(relations::eq_length(2, 2)), &[p1, p2]);
+        q.set_free(&[x, x2]);
+        q
+    }
+
+    #[test]
+    fn example_2_1_shape() {
+        let q = example_2_1();
+        q.validate().unwrap();
+        assert_eq!(q.num_node_vars(), 3);
+        assert_eq!(q.num_path_vars(), 2);
+        assert!(!q.is_boolean());
+        assert!(!q.is_crpq()); // binary relation
+        let g = q.abstraction();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_hyperedges(), 1);
+        assert_eq!(g.cc_vertex(), 2);
+        assert_eq!(g.cc_hedge(), 1);
+    }
+
+    #[test]
+    fn example_1_1_is_crpq() {
+        // q1 = ∃y x →π1 y ∧ x →π2 y ∧ label(π1) ∈ a*b ∧ label(π2) ∈ (a|b)*
+        let mut alphabet = Alphabet::ascii_lower(2);
+        let l1 = Regex::compile_str("a*b", &mut alphabet).unwrap();
+        let l2 = Regex::compile_str("(a|b)*", &mut alphabet).unwrap();
+        let mut q = Ecrpq::new(alphabet);
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        q.crpq_atom(x, &l1, "a*b", y);
+        q.crpq_atom(x, &l2, "(a|b)*", y);
+        q.set_free(&[x]);
+        q.validate().unwrap();
+        assert!(q.is_crpq());
+        let m = q.measures();
+        assert_eq!(m.cc_vertex, 1);
+        assert_eq!(m.cc_hedge, 1);
+        assert_eq!(m.treewidth, 1);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let alphabet = Alphabet::ascii_lower(2);
+        let mut q = Ecrpq::new(alphabet);
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let p = q.path_atom(x, "p", y);
+        // arity mismatch
+        q.rel_atom("eq", Arc::new(relations::equality(2)), &[p]);
+        assert!(matches!(
+            q.validate(),
+            Err(QueryError::ArityMismatch { .. })
+        ));
+        // repeated path var
+        let mut q2 = Ecrpq::new(Alphabet::ascii_lower(2));
+        let x = q2.node_var("x");
+        let y = q2.node_var("y");
+        let p = q2.path_atom(x, "p", y);
+        q2.rel_atoms.push(RelAtom {
+            name: "eq".into(),
+            rel: Arc::new(relations::equality(2)),
+            args: vec![p, p],
+        });
+        assert!(matches!(
+            q2.validate(),
+            Err(QueryError::RepeatedPathVar { .. })
+        ));
+        // alphabet mismatch
+        let mut q3 = Ecrpq::new(Alphabet::ascii_lower(3));
+        let x = q3.node_var("x");
+        let y = q3.node_var("y");
+        let p = q3.path_atom(x, "p", y);
+        let p2 = q3.path_atom(y, "p2", x);
+        q3.rel_atom("eq", Arc::new(relations::equality(2)), &[p, p2]);
+        assert!(matches!(
+            q3.validate(),
+            Err(QueryError::AlphabetMismatch { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "already used")]
+    fn repeated_path_atom_panics() {
+        let mut q = Ecrpq::new(Alphabet::ascii_lower(2));
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        q.path_atom(x, "p", y);
+        q.path_atom(y, "p", x);
+    }
+
+    #[test]
+    fn normalization_adds_universal_atoms() {
+        let mut q = Ecrpq::new(Alphabet::ascii_lower(2));
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        q.path_atom(x, "p", y); // unconstrained
+        assert_eq!(q.abstraction().node_graph().num_edges(), 0);
+        let n = q.normalized();
+        assert_eq!(n.rel_atoms().len(), 1);
+        assert_eq!(n.abstraction().node_graph().num_edges(), 1);
+        // idempotent
+        assert_eq!(n.normalized().rel_atoms().len(), 1);
+    }
+
+    #[test]
+    fn node_var_dedup_by_name() {
+        let mut q = Ecrpq::new(Alphabet::ascii_lower(1));
+        let x1 = q.node_var("x");
+        let x2 = q.node_var("x");
+        assert_eq!(x1, x2);
+        assert_eq!(q.num_node_vars(), 1);
+    }
+
+    #[test]
+    fn display_format() {
+        let q = example_2_1();
+        let s = q.to_string();
+        assert!(s.starts_with("q(x, x')"));
+        assert!(s.contains("x -[p1]-> y"));
+        assert!(s.contains("eq_len(p1, p2)"));
+    }
+
+    #[test]
+    fn measures_of_big_component() {
+        // three path atoms chained by binary relations → one component
+        let mut q = Ecrpq::new(Alphabet::ascii_lower(2));
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let z = q.node_var("z");
+        let p1 = q.path_atom(x, "p1", y);
+        let p2 = q.path_atom(y, "p2", z);
+        let p3 = q.path_atom(z, "p3", x);
+        let eq = Arc::new(relations::eq_length(2, 2));
+        q.rel_atom("e1", eq.clone(), &[p1, p2]);
+        q.rel_atom("e2", eq, &[p2, p3]);
+        let m = q.measures();
+        assert_eq!(m.cc_vertex, 3);
+        assert_eq!(m.cc_hedge, 2);
+        assert_eq!(m.treewidth, 2); // triangle clique on {x,y,z}
+    }
+
+    #[test]
+    fn size_counts_states() {
+        let q = example_2_1();
+        assert!(q.size() > 3 + 2);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! The ECRPQ query language: AST, validation, abstraction, parser.
+//!
+//! An *extended conjunctive regular path query* (§2 of the paper) is a pair
+//! `(q, R)` where `R` is a finite set of synchronous relations and
+//!
+//! ```text
+//! q(x̄) = ∃ȳ ∃π̄  γ(x̄ȳπ̄) ∧ ρ(π̄)
+//! ```
+//!
+//! with `γ` the **reachability subquery** — a conjunction of atoms
+//! `z →π z′` where no path variable occurs twice — and `ρ` the **relation
+//! subquery** — a conjunction of atoms `R(π₁,…,π_r)` over pairwise-distinct
+//! path variables. [`Ecrpq`] realizes exactly this definition; CRPQs are
+//! the special case checked by [`Ecrpq::is_crpq`], built conveniently with
+//! [`Ecrpq::crpq_atom`] or the parser.
+//!
+//! [`Ecrpq::abstraction`] produces the two-level graph of §2; [`cq`]
+//! contains conjunctive queries over relational structures (the source and
+//! target of the reductions in §4–5).
+
+pub mod ast;
+pub mod cq;
+pub mod parser;
+pub mod union;
+
+pub use ast::{Ecrpq, NodeVar, PathVar, QueryError, QueryMeasures};
+pub use cq::{Cq, CqAtom, RelationalDb};
+pub use parser::{parse_query, parse_union, RelationRegistry};
+pub use union::Uecrpq;

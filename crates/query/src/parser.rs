@@ -1,0 +1,649 @@
+//! Textual ECRPQ syntax.
+//!
+//! ```text
+//! q(x, x') :- x -[p1]-> y, x' -[p2]-> y, eq_len(p1, p2)
+//! ```
+//!
+//! * `q(vars…) :-` — optional head naming the free variables (omit for a
+//!   Boolean query);
+//! * `x -[p]-> y` — reachability atom with explicit path variable `p`;
+//! * `x -(REGEX)-> y` — sugar: fresh path variable plus a unary language
+//!   atom (the CRPQ notation `x →L y` of the paper);
+//! * `p in REGEX` — unary language atom on path variable `p`;
+//! * `name(p1, …, pk)` — relation atom; `name` is resolved against a
+//!   [`RelationRegistry`].
+//!
+//! Built-in relation names: `eq` (equality), `eq_len` (any arity),
+//! `prefix`, `universal` (any arity), `hamming<=D`, `edit<=D`. Custom
+//! relations can be registered.
+
+use crate::ast::{Ecrpq, PathVar};
+use ecrpq_automata::{relations, Alphabet, Regex, SyncRel};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A query parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryParseError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, QueryParseError> {
+    Err(QueryParseError {
+        message: message.into(),
+    })
+}
+
+/// Resolves relation names to synchronous relations.
+#[derive(Default, Clone)]
+pub struct RelationRegistry {
+    custom: HashMap<String, Arc<SyncRel>>,
+}
+
+impl RelationRegistry {
+    /// An empty registry (built-ins are always available).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a custom relation under `name` (shadows built-ins).
+    pub fn register(&mut self, name: &str, rel: Arc<SyncRel>) {
+        self.custom.insert(name.to_string(), rel);
+    }
+
+    /// Resolves `name` at the given arity over `num_symbols` symbols.
+    pub fn resolve(
+        &self,
+        name: &str,
+        arity: usize,
+        num_symbols: usize,
+    ) -> Result<Arc<SyncRel>, QueryParseError> {
+        if let Some(rel) = self.custom.get(name) {
+            if rel.arity() != arity {
+                return err(format!(
+                    "relation {name} has arity {}, used with {arity} arguments",
+                    rel.arity()
+                ));
+            }
+            if rel.num_symbols() != num_symbols {
+                return err(format!(
+                    "relation {name} is over {} symbols but the query alphabet has {num_symbols}",
+                    rel.num_symbols()
+                ));
+            }
+            return Ok(rel.clone());
+        }
+        let need_arity = |required: usize| -> Result<(), QueryParseError> {
+            if arity == required {
+                Ok(())
+            } else {
+                err(format!("{name} needs {required} arguments, got {arity}"))
+            }
+        };
+        if let Some(d) = name.strip_prefix("hamming<=") {
+            need_arity(2)?;
+            let d: usize = d
+                .parse()
+                .map_err(|_| QueryParseError {
+                    message: format!("bad distance bound in {name}"),
+                })?;
+            return Ok(Arc::new(relations::hamming_le(d, num_symbols)));
+        }
+        if let Some(d) = name.strip_prefix("edit<=") {
+            need_arity(2)?;
+            let d: usize = d
+                .parse()
+                .map_err(|_| QueryParseError {
+                    message: format!("bad distance bound in {name}"),
+                })?;
+            if d > 4 {
+                return err("edit<=D supports D ≤ 4");
+            }
+            return Ok(Arc::new(relations::edit_distance_le(d, num_symbols)));
+        }
+        if let Some(d) = name.strip_prefix("len_diff<=") {
+            need_arity(2)?;
+            let d: usize = d.parse().map_err(|_| QueryParseError {
+                message: format!("bad length bound in {name}"),
+            })?;
+            return Ok(Arc::new(relations::length_diff_le(d, num_symbols)));
+        }
+        if let Some(k) = name.strip_prefix("lcp>=") {
+            need_arity(2)?;
+            let k: usize = k.parse().map_err(|_| QueryParseError {
+                message: format!("bad prefix bound in {name}"),
+            })?;
+            return Ok(Arc::new(relations::lcp_at_least(k, num_symbols)));
+        }
+        if let Some(l) = name.strip_prefix("eq_len>=") {
+            if arity < 2 {
+                return err("eq_len>= needs at least 2 arguments");
+            }
+            let l: usize = l.parse().map_err(|_| QueryParseError {
+                message: format!("bad length bound in {name}"),
+            })?;
+            return Ok(Arc::new(relations::eq_length_min(arity, num_symbols, l)));
+        }
+        match name {
+            "eq" => {
+                need_arity(2)?;
+                Ok(Arc::new(relations::equality(num_symbols)))
+            }
+            "eq_len" => {
+                if arity < 2 {
+                    return err("eq_len needs at least 2 arguments");
+                }
+                Ok(Arc::new(relations::eq_length(arity, num_symbols)))
+            }
+            "prefix" => {
+                need_arity(2)?;
+                Ok(Arc::new(relations::prefix(num_symbols)))
+            }
+            "universal" => Ok(Arc::new(relations::universal(arity, num_symbols))),
+            _ => err(format!("unknown relation {name}")),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum RawAtom {
+    Reach {
+        src: String,
+        path: String,
+        dst: String,
+    },
+    ReachLang {
+        src: String,
+        regex: String,
+        dst: String,
+    },
+    Membership {
+        path: String,
+        regex: String,
+    },
+    Relation {
+        name: String,
+        args: Vec<String>,
+    },
+}
+
+/// Parses a UECRPQ: disjuncts separated by a line (or segment) containing
+/// the keyword `UNION`. Each disjunct follows the [`parse_query`] grammar;
+/// all disjuncts must agree on answer arity.
+pub fn parse_union(
+    input: &str,
+    alphabet: &mut ecrpq_automata::Alphabet,
+    registry: &RelationRegistry,
+) -> Result<crate::union::Uecrpq, QueryParseError> {
+    // Two-pass so every disjunct's relations see the final alphabet: parse
+    // once to intern, then re-parse with the settled alphabet.
+    let pieces: Vec<&str> = input.split("UNION").collect();
+    for piece in &pieces {
+        let _ = parse_query(piece, alphabet, registry)?;
+    }
+    let mut u = crate::union::Uecrpq::new();
+    for piece in &pieces {
+        u.push(parse_query(piece, alphabet, registry)?);
+    }
+    u.validate().map_err(|e| QueryParseError {
+        message: e.to_string(),
+    })?;
+    Ok(u)
+}
+
+/// Parses an ECRPQ from text; `alphabet` is shared with the target graph
+/// database (regex literals are interned into it), and named relations are
+/// resolved against `registry` using the final alphabet size.
+pub fn parse_query(
+    input: &str,
+    alphabet: &mut Alphabet,
+    registry: &RelationRegistry,
+) -> Result<Ecrpq, QueryParseError> {
+    let input = input.trim();
+    let (head, body) = match input.find(":-") {
+        Some(pos) => (Some(&input[..pos]), input[pos + 2..].trim()),
+        None => (None, input),
+    };
+    let free_names: Vec<String> = match head {
+        None => Vec::new(),
+        Some(h) => parse_head(h)?,
+    };
+    if body.is_empty() {
+        return err("empty query body");
+    }
+
+    let mut raw_atoms = Vec::new();
+    for atom_src in split_top_level(body) {
+        raw_atoms.push(parse_atom(atom_src.trim())?);
+    }
+
+    // Phase 1: intern every regex character so relation constructors see
+    // the final alphabet size.
+    let mut compiled: Vec<Option<Regex>> = Vec::with_capacity(raw_atoms.len());
+    for atom in &raw_atoms {
+        match atom {
+            RawAtom::ReachLang { regex, .. } | RawAtom::Membership { regex, .. } => {
+                let r = Regex::parse(regex).map_err(|e| QueryParseError {
+                    message: format!("in regex `{regex}`: {e}"),
+                })?;
+                // interning happens on compile below; pre-compile to catch errors
+                compiled.push(Some(r));
+            }
+            _ => compiled.push(None),
+        }
+    }
+    // Intern all regex literals first.
+    let nfas: Vec<_> = compiled
+        .iter()
+        .map(|c| c.as_ref().map(|r| r.compile(alphabet)))
+        .collect();
+
+    // Phase 2: build the query.
+    let mut q = Ecrpq::new(alphabet.clone());
+    let num_symbols = alphabet.len();
+    let mut path_vars: HashMap<String, PathVar> = HashMap::new();
+    let mut fresh = 0usize;
+
+    // Reachability atoms first (so membership/relation atoms can refer to
+    // any path variable regardless of order).
+    for (i, atom) in raw_atoms.iter().enumerate() {
+        match atom {
+            RawAtom::Reach { src, path, dst } => {
+                if path_vars.contains_key(path) {
+                    return err(format!(
+                        "path variable {path} appears in two reachability atoms"
+                    ));
+                }
+                let s = q.node_var(src);
+                let d = q.node_var(dst);
+                let p = q.path_atom(s, path, d);
+                path_vars.insert(path.clone(), p);
+            }
+            RawAtom::ReachLang { src, dst, .. } => {
+                let s = q.node_var(src);
+                let d = q.node_var(dst);
+                let name = loop {
+                    let candidate = format!("_p{fresh}");
+                    fresh += 1;
+                    if !path_vars.contains_key(&candidate) {
+                        break candidate;
+                    }
+                };
+                let p = q.path_atom(s, &name, d);
+                path_vars.insert(name, p);
+                // remember which path var this language applies to
+                // (store via index: the i-th raw atom)
+                lang_targets_insert(&mut q, p, &nfas, i, num_symbols)?;
+            }
+            _ => {}
+        }
+    }
+    for (i, atom) in raw_atoms.iter().enumerate() {
+        match atom {
+            RawAtom::Membership { path, regex } => {
+                let Some(&p) = path_vars.get(path) else {
+                    return err(format!("membership atom on undeclared path variable {path}"));
+                };
+                let nfa = nfas[i].as_ref().expect("compiled in phase 1");
+                let rel = relations::language(nfa, num_symbols);
+                q.rel_atom(&format!("lang[{regex}]"), Arc::new(rel), &[p]);
+            }
+            RawAtom::Relation { name, args } => {
+                let mut arg_vars = Vec::with_capacity(args.len());
+                for a in args {
+                    let Some(&p) = path_vars.get(a) else {
+                        return err(format!("relation {name} uses undeclared path variable {a}"));
+                    };
+                    arg_vars.push(p);
+                }
+                let rel = registry.resolve(name, arg_vars.len(), num_symbols)?;
+                q.rel_atom(name, rel, &arg_vars);
+            }
+            _ => {}
+        }
+    }
+
+    // Free variables.
+    let mut free = Vec::new();
+    for name in &free_names {
+        // only names actually used as node variables are valid
+        let before = q.num_node_vars();
+        let v = q.node_var(name);
+        if (v.0 as usize) >= before {
+            return err(format!("free variable {name} does not occur in the body"));
+        }
+        free.push(v);
+    }
+    q.set_free(&free);
+    q.validate().map_err(|e| QueryParseError {
+        message: e.to_string(),
+    })?;
+    Ok(q)
+}
+
+/// Attaches the language atom for a `ReachLang` raw atom.
+fn lang_targets_insert(
+    q: &mut Ecrpq,
+    p: PathVar,
+    nfas: &[Option<ecrpq_automata::Nfa<ecrpq_automata::Symbol>>],
+    i: usize,
+    num_symbols: usize,
+) -> Result<(), QueryParseError> {
+    let nfa = nfas[i].as_ref().expect("compiled in phase 1");
+    let rel = relations::language(nfa, num_symbols);
+    q.rel_atom("lang", Arc::new(rel), &[p]);
+    Ok(())
+}
+
+fn parse_head(head: &str) -> Result<Vec<String>, QueryParseError> {
+    let head = head.trim();
+    let Some(open) = head.find('(') else {
+        return err("query head must look like `q(x, y)`");
+    };
+    if !head.ends_with(')') {
+        return err("query head must end with `)`");
+    }
+    let inner = &head[open + 1..head.len() - 1];
+    if inner.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    Ok(inner
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .collect())
+}
+
+/// Splits on commas at bracket depth 0.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth -= 1,
+            ',' if depth == 0 => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+fn parse_atom(src: &str) -> Result<RawAtom, QueryParseError> {
+    if let Some(lb) = src.find("-[") {
+        let Some(rb) = src[lb..].find("]->") else {
+            return err(format!("malformed reachability atom `{src}`"));
+        };
+        let path = src[lb + 2..lb + rb].trim().to_string();
+        let srcv = src[..lb].trim().to_string();
+        let dst = src[lb + rb + 3..].trim().to_string();
+        check_ident(&srcv)?;
+        check_ident(&path)?;
+        check_ident(&dst)?;
+        return Ok(RawAtom::Reach {
+            src: srcv,
+            path,
+            dst,
+        });
+    }
+    if let Some(lb) = src.find("-(") {
+        let Some(rb) = src.rfind(")->") else {
+            return err(format!("malformed reachability atom `{src}`"));
+        };
+        let regex = src[lb + 2..rb].trim().to_string();
+        let srcv = src[..lb].trim().to_string();
+        let dst = src[rb + 3..].trim().to_string();
+        check_ident(&srcv)?;
+        check_ident(&dst)?;
+        return Ok(RawAtom::ReachLang {
+            src: srcv,
+            regex,
+            dst,
+        });
+    }
+    if let Some(pos) = find_keyword(src, " in ") {
+        let path = src[..pos].trim().to_string();
+        let regex = src[pos + 4..].trim().to_string();
+        check_ident(&path)?;
+        return Ok(RawAtom::Membership { path, regex });
+    }
+    if let Some(open) = src.find('(') {
+        if !src.trim_end().ends_with(')') {
+            return err(format!("malformed relation atom `{src}`"));
+        }
+        let name = src[..open].trim().to_string();
+        check_ident_rel(&name)?;
+        let inner = src.trim_end();
+        let inner = &inner[open + 1..inner.len() - 1];
+        let args: Vec<String> = inner
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .collect();
+        if args.iter().any(String::is_empty) {
+            return err(format!("empty argument in `{src}`"));
+        }
+        return Ok(RawAtom::Relation { name, args });
+    }
+    err(format!("unrecognized atom `{src}`"))
+}
+
+fn find_keyword(s: &str, kw: &str) -> Option<usize> {
+    // only at bracket depth 0; iterate char boundaries, not bytes
+    let mut depth = 0i32;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth -= 1,
+            _ => {}
+        }
+        if depth == 0 && s[i..].starts_with(kw) {
+            return Some(i);
+        }
+    }
+    None
+}
+
+fn check_ident(s: &str) -> Result<(), QueryParseError> {
+    if s.is_empty()
+        || !s
+            .chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '\'')
+    {
+        return err(format!("bad identifier `{s}`"));
+    }
+    Ok(())
+}
+
+fn check_ident_rel(s: &str) -> Result<(), QueryParseError> {
+    if s.is_empty()
+        || !s.chars().all(|c| {
+            c.is_alphanumeric() || c == '_' || c == '<' || c == '>' || c == '=' || c == '\''
+        })
+    {
+        return err(format!("bad relation name `{s}`"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(input: &str) -> Result<Ecrpq, QueryParseError> {
+        let mut alphabet = Alphabet::ascii_lower(2);
+        parse_query(input, &mut alphabet, &RelationRegistry::new())
+    }
+
+    #[test]
+    fn example_2_1_text() {
+        let q = parse("q(x, x') :- x -[p1]-> y, x' -[p2]-> y, eq_len(p1, p2)").unwrap();
+        assert_eq!(q.free_vars().len(), 2);
+        assert_eq!(q.num_path_vars(), 2);
+        assert_eq!(q.rel_atoms().len(), 1);
+        assert_eq!(q.rel_atoms()[0].rel.arity(), 2);
+    }
+
+    #[test]
+    fn example_1_1_text() {
+        let q = parse("q(x) :- x -(a*b)-> y, x -((a|b)*)-> y").unwrap();
+        assert!(q.is_crpq());
+        assert_eq!(q.num_path_vars(), 2);
+        assert_eq!(q.rel_atoms().len(), 2);
+    }
+
+    #[test]
+    fn membership_syntax() {
+        let q = parse("x -[p]-> y, p in a*b").unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.rel_atoms().len(), 1);
+        assert!(q.rel_atoms()[0].name.contains("a*b"));
+    }
+
+    #[test]
+    fn builtin_relations() {
+        assert!(parse("x -[p]-> y, y -[r]-> z, eq(p, r)").is_ok());
+        assert!(parse("x -[p]-> y, y -[r]-> z, prefix(p, r)").is_ok());
+        assert!(parse("x -[p]-> y, y -[r]-> z, hamming<=2(p, r)").is_ok());
+        assert!(parse("x -[p]-> y, y -[r]-> z, edit<=1(p, r)").is_ok());
+        assert!(parse("x -[p]-> y, universal(p)").is_ok());
+        assert!(parse("x -[p]-> y, y -[r]-> z, x -[s]-> z, eq_len(p, r, s)").is_ok());
+        assert!(parse("x -[p]-> y, y -[r]-> z, len_diff<=2(p, r)").is_ok());
+        assert!(parse("x -[p]-> y, y -[r]-> z, lcp>=1(p, r)").is_ok());
+        assert!(parse("x -[p]-> y, y -[r]-> z, eq_len>=1(p, r)").is_ok());
+        assert!(parse("x -[p]-> y, y -[r]-> z, len_diff<=x(p, r)").is_err());
+    }
+
+    #[test]
+    fn bounded_relation_semantics_through_parser() {
+        let mut alphabet = Alphabet::ascii_lower(2);
+        let q = parse_query(
+            "x -[p]-> y, y -[r]-> z, lcp>=2(p, r)",
+            &mut alphabet,
+            &RelationRegistry::new(),
+        )
+        .unwrap();
+        let rel = &q.rel_atoms()[0].rel;
+        assert!(rel.contains(&[&[0, 1, 0], &[0, 1]]));
+        assert!(!rel.contains(&[&[0, 1], &[1, 1]]));
+    }
+
+    #[test]
+    fn custom_registry() {
+        let mut alphabet = Alphabet::ascii_lower(2);
+        let mut reg = RelationRegistry::new();
+        reg.register(
+            "both_ab",
+            Arc::new(relations::eq_length(2, 2)),
+        );
+        let q = parse_query("x -[p]-> y, y -[r]-> x, both_ab(p, r)", &mut alphabet, &reg).unwrap();
+        assert_eq!(q.rel_atoms()[0].name, "both_ab");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("").is_err());
+        assert!(parse("x -[p]-> y, nosuchrel(p)").is_err());
+        assert!(parse("x -[p]-> y, eq(p)").is_err()); // arity
+        assert!(parse("x -[p]-> y, x -[p]-> z").is_err()); // repeated path var
+        assert!(parse("x -[p]-> y, eq(p, q)").is_err()); // undeclared q
+        assert!(parse("q in a*b").is_err()); // membership on undeclared
+        assert!(parse("q(z) :- x -[p]-> y").is_err()); // free var not in body
+        assert!(parse("x -[p]-> ").is_err());
+        assert!(parse("garbage !!").is_err());
+        assert!(parse("x -[p]-> y, p in a*(b").is_err()); // bad regex
+    }
+
+    #[test]
+    fn boolean_query_without_head() {
+        let q = parse("x -(ab)-> y").unwrap();
+        assert!(q.is_boolean());
+    }
+
+    #[test]
+    fn head_with_no_vars() {
+        let q = parse("q() :- x -(a)-> y").unwrap();
+        assert!(q.is_boolean());
+    }
+
+    #[test]
+    fn regex_interning_extends_alphabet() {
+        let mut alphabet = Alphabet::new();
+        let q = parse_query(
+            "x -(ab)-> y, y -(c)-> z",
+            &mut alphabet,
+            &RelationRegistry::new(),
+        )
+        .unwrap();
+        assert_eq!(alphabet.len(), 3);
+        assert_eq!(q.alphabet().len(), 3);
+        q.validate().unwrap();
+    }
+
+    #[test]
+    fn relations_use_final_alphabet() {
+        // eq_len over alphabet extended by a later regex must still validate
+        let mut alphabet = Alphabet::new();
+        let q = parse_query(
+            "x -[p]-> y, y -[r]-> z, eq_len(p, r), p in abc",
+            &mut alphabet,
+            &RelationRegistry::new(),
+        )
+        .unwrap();
+        q.validate().unwrap();
+        assert_eq!(q.rel_atoms()[0].rel.num_symbols(), 3);
+    }
+
+    #[test]
+    fn union_parsing() {
+        let mut alphabet = Alphabet::ascii_lower(2);
+        let u = parse_union(
+            "q(x) :- x -(a+)-> y UNION q(x) :- x -(b+)-> y",
+            &mut alphabet,
+            &RelationRegistry::new(),
+        )
+        .unwrap();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.arity(), 1);
+        // arity mismatch rejected
+        assert!(parse_union(
+            "q(x) :- x -(a)-> y UNION q(x, y) :- x -(b)-> y",
+            &mut Alphabet::ascii_lower(2),
+            &RelationRegistry::new(),
+        )
+        .is_err());
+        // alphabet is shared across disjuncts: second disjunct's 'c'
+        // extends the first's relations too
+        let mut alphabet = Alphabet::new();
+        let u = parse_union(
+            "x -[p]-> y, y -[r]-> x, eq_len(p, r), p in ab UNION x -(c)-> y",
+            &mut alphabet,
+            &RelationRegistry::new(),
+        )
+        .unwrap();
+        assert_eq!(u.disjuncts()[0].alphabet().len(), 3);
+        u.validate().unwrap();
+    }
+
+    #[test]
+    fn measures_from_parsed_query() {
+        let q = parse("x -[p1]-> y, x -[p2]-> y, eq_len(p1, p2)").unwrap();
+        let m = q.measures();
+        assert_eq!(m.cc_vertex, 2);
+        assert_eq!(m.cc_hedge, 1);
+        assert_eq!(m.treewidth, 1);
+    }
+}

@@ -1,0 +1,167 @@
+//! Unions of ECRPQs (UECRPQ).
+//!
+//! The paper's conclusion notes that the characterization results “can be
+//! extended in a standard way … to finite unions of ECRPQ (a.k.a.
+//! UECRPQ)”: a union is evaluated disjunct by disjunct, and a class of
+//! unions is tractable iff the class of its disjuncts is — all three
+//! measures extend by taking maxima over disjuncts.
+
+use crate::ast::{Ecrpq, QueryError, QueryMeasures};
+use std::fmt;
+
+/// A finite union of ECRPQs with a common answer arity.
+#[derive(Debug, Clone, Default)]
+pub struct Uecrpq {
+    disjuncts: Vec<Ecrpq>,
+}
+
+impl Uecrpq {
+    /// The empty union (unsatisfiable).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a union from disjuncts.
+    pub fn from_disjuncts(disjuncts: Vec<Ecrpq>) -> Self {
+        Uecrpq { disjuncts }
+    }
+
+    /// Appends a disjunct.
+    pub fn push(&mut self, q: Ecrpq) {
+        self.disjuncts.push(q);
+    }
+
+    /// The disjuncts.
+    pub fn disjuncts(&self) -> &[Ecrpq] {
+        &self.disjuncts
+    }
+
+    /// Number of disjuncts.
+    pub fn len(&self) -> usize {
+        self.disjuncts.len()
+    }
+
+    /// Whether the union is empty (≡ false).
+    pub fn is_empty(&self) -> bool {
+        self.disjuncts.is_empty()
+    }
+
+    /// Answer arity (number of free variables); `0` for Boolean unions.
+    pub fn arity(&self) -> usize {
+        self.disjuncts
+            .first()
+            .map_or(0, |q| q.free_vars().len())
+    }
+
+    /// Validates every disjunct and the common answer arity.
+    pub fn validate(&self) -> Result<(), QueryError> {
+        for q in &self.disjuncts {
+            q.validate()?;
+        }
+        if let Some(first) = self.disjuncts.first() {
+            let arity = first.free_vars().len();
+            for q in &self.disjuncts[1..] {
+                if q.free_vars().len() != arity {
+                    // reuse the closest existing error kind
+                    return Err(QueryError::ArityMismatch {
+                        atom: "union".to_string(),
+                        expected: arity,
+                        got: q.free_vars().len(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Measures of the union: maxima over disjuncts — the class-level
+    /// quantities Theorems 3.1/3.2 classify by.
+    pub fn measures(&self) -> QueryMeasures {
+        let mut m = QueryMeasures {
+            cc_vertex: 0,
+            cc_hedge: 0,
+            treewidth: 0,
+        };
+        for q in &self.disjuncts {
+            let qm = q.measures();
+            m.cc_vertex = m.cc_vertex.max(qm.cc_vertex);
+            m.cc_hedge = m.cc_hedge.max(qm.cc_hedge);
+            m.treewidth = m.treewidth.max(qm.treewidth);
+        }
+        m
+    }
+}
+
+impl fmt::Display for Uecrpq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, q) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ∪  ")?;
+            }
+            write!(f, "{q}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecrpq_automata::{relations, Alphabet};
+    use std::sync::Arc;
+
+    fn unary_query(word: &[u8], free: bool) -> Ecrpq {
+        let mut q = Ecrpq::new(Alphabet::ascii_lower(2));
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let p = q.path_atom(x, "p", y);
+        q.rel_atom("w", Arc::new(relations::word_relation(word, 2)), &[p]);
+        if free {
+            q.set_free(&[x]);
+        }
+        q
+    }
+
+    #[test]
+    fn union_basics() {
+        let mut u = Uecrpq::new();
+        assert!(u.is_empty());
+        u.push(unary_query(&[0], true));
+        u.push(unary_query(&[1], true));
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.arity(), 1);
+        u.validate().unwrap();
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let u = Uecrpq::from_disjuncts(vec![unary_query(&[0], true), unary_query(&[1], false)]);
+        assert!(u.validate().is_err());
+    }
+
+    #[test]
+    fn measures_take_maxima() {
+        let small = unary_query(&[0], false);
+        let mut big = Ecrpq::new(Alphabet::ascii_lower(2));
+        let x = big.node_var("x");
+        let y = big.node_var("y");
+        let p1 = big.path_atom(x, "p1", y);
+        let p2 = big.path_atom(x, "p2", y);
+        let p3 = big.path_atom(x, "p3", y);
+        big.rel_atom(
+            "el",
+            Arc::new(relations::eq_length(3, 2)),
+            &[p1, p2, p3],
+        );
+        let u = Uecrpq::from_disjuncts(vec![small, big]);
+        let m = u.measures();
+        assert_eq!(m.cc_vertex, 3);
+        assert_eq!(m.cc_hedge, 1);
+    }
+
+    #[test]
+    fn display_joins_disjuncts() {
+        let u = Uecrpq::from_disjuncts(vec![unary_query(&[0], false), unary_query(&[1], false)]);
+        assert!(u.to_string().contains("∪"));
+    }
+}

@@ -1,0 +1,322 @@
+//! Lemma 5.1: intersection non-emptiness → eval-ECRPQ(C).
+//!
+//! Given regular languages `L₁,…,L_n` and a 2L graph `G` whose `G^rel` has
+//! a “big” connected component — either (1) with `m ≥ n` vertices, or (2)
+//! with a vertex incident to `n` hyperedges — we build, in polynomial time,
+//! an ECRPQ with abstraction `G` and a graph database `D` such that
+//! `D ⊨ q ⟺ L₁ ∩ ⋯ ∩ L_n ≠ ∅`. This is the PSPACE-hardness engine of
+//! Theorem 3.2(1) and the workload generator of experiment E3.
+//!
+//! Case (1) forces the `i`-th path variable of the component to read
+//! `$ u #^i $` with a *shared* `u` (the [`crate::markers`] gadget), so a
+//! satisfying assignment certifies `u ∈ ⋂ᵢ Lᵢ`; case (2) pins the pivot
+//! path variable's label inside every `Lᵢ` directly, on a one-vertex
+//! database of self-loops.
+
+use crate::markers::{build_marker_db, marker_relation};
+use ecrpq_automata::{relations, Alphabet, Nfa, Symbol};
+use ecrpq_graph::GraphDb;
+use ecrpq_query::{Ecrpq, PathVar};
+use ecrpq_structure::TwoLevelGraph;
+use std::sync::Arc;
+
+/// Adds node/path variables mirroring `g`'s first level to `q`.
+fn scaffold_query(q: &mut Ecrpq, g: &TwoLevelGraph) -> Vec<PathVar> {
+    let node_vars: Vec<_> = (0..g.num_vertices())
+        .map(|v| q.node_var(&format!("x{v}")))
+        .collect();
+    (0..g.num_edges())
+        .map(|e| {
+            let (src, dst) = g.edge(e);
+            q.path_atom(node_vars[src], &format!("p{e}"), node_vars[dst])
+        })
+        .collect()
+}
+
+/// Case (1) of Lemma 5.1: `G^rel` has a component with at least
+/// `langs.len()` vertices (path variables).
+///
+/// `alphabet` is the languages' alphabet `A`; the construction extends it
+/// with the markers `#` and `$`.
+pub fn ine_to_ecrpq_big_component(
+    langs: &[Nfa<Symbol>],
+    alphabet: &Alphabet,
+    g: &TwoLevelGraph,
+) -> Result<(Ecrpq, GraphDb), String> {
+    let n = langs.len();
+    if n == 0 {
+        return Err("need at least one language".into());
+    }
+    let comps = g.rel_components();
+    // The component must contain hyperedges (so relations can be placed).
+    let component = (0..comps.edges.len())
+        .filter(|&c| !comps.hedges[c].is_empty())
+        .max_by_key(|&c| comps.edges[c].len())
+        .ok_or("2L graph has no hyperedges")?;
+    let m = comps.edges[component].len();
+    if m < n {
+        return Err(format!(
+            "biggest component has {m} vertices, need at least {n}"
+        ));
+    }
+    // Pad with 'dummy' universal languages so that n = m (as in the paper).
+    let a_syms: Vec<Symbol> = alphabet.symbols().collect();
+    let mut padded: Vec<Nfa<Symbol>> = langs.to_vec();
+    padded.resize_with(m, || Nfa::universal_lang(&a_syms));
+
+    let md = build_marker_db(&padded, alphabet);
+    let num_b = md.alphabet.len();
+
+    // 1-based component index of each path variable in the component.
+    let index_of = |edge: usize| -> usize {
+        comps.edges[component]
+            .iter()
+            .position(|&e| e == edge)
+            .expect("member of component")
+            + 1
+    };
+
+    let mut q = Ecrpq::new(md.alphabet.clone());
+    let path_vars = scaffold_query(&mut q, g);
+    for h in 0..g.num_hyperedges() {
+        let members = g.hyperedge(h);
+        let args: Vec<PathVar> = members.iter().map(|&e| path_vars[e]).collect();
+        let rel = if comps.comp_of_hedge[h] == component {
+            let constrained: Vec<(usize, usize)> = members
+                .iter()
+                .enumerate()
+                .map(|(track, &e)| (track, index_of(e)))
+                .collect();
+            marker_relation(args.len(), &constrained, &a_syms, md.hash, md.dollar, num_b)
+        } else {
+            relations::universal(args.len(), num_b)
+        };
+        q.rel_atom(&format!("R{h}"), Arc::new(rel), &args);
+    }
+    Ok((q, md.db))
+}
+
+/// Case (2) of Lemma 5.1: some path variable is incident to `n`
+/// hyperedges. Each incident hyperedge `hᵢ` gets the relation
+/// `Lᵢ × (A*)^{k-1}` (on the pivot's track); the database is a single
+/// vertex with one self-loop per alphabet symbol.
+pub fn ine_to_ecrpq_high_degree(
+    langs: &[Nfa<Symbol>],
+    alphabet: &Alphabet,
+    g: &TwoLevelGraph,
+) -> Result<(Ecrpq, GraphDb), String> {
+    let n = langs.len();
+    if n == 0 {
+        return Err("need at least one language".into());
+    }
+    // find the edge with the most incident hyperedges
+    let mut incidence: Vec<Vec<usize>> = vec![Vec::new(); g.num_edges()];
+    for h in 0..g.num_hyperedges() {
+        for &e in g.hyperedge(h) {
+            incidence[e].push(h);
+        }
+    }
+    let (pivot, hs) = incidence
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, hs)| hs.len())
+        .ok_or("2L graph has no edges")?;
+    if hs.len() < n {
+        return Err(format!(
+            "max hyperedge-degree is {}, need at least {n}",
+            hs.len()
+        ));
+    }
+    let num_a = alphabet.len();
+    let a_syms: Vec<Symbol> = alphabet.symbols().collect();
+
+    // database: one vertex, a self-loop per symbol
+    let mut db = GraphDb::with_alphabet(alphabet.clone());
+    let v = db.add_node("v");
+    for &a in &a_syms {
+        db.add_edge_sym(v, a, v);
+    }
+
+    let mut q = Ecrpq::new(alphabet.clone());
+    let path_vars = scaffold_query(&mut q, g);
+    let universal_lang = Nfa::universal_lang(&a_syms);
+    for h in 0..g.num_hyperedges() {
+        let members = g.hyperedge(h);
+        let args: Vec<PathVar> = members.iter().map(|&e| path_vars[e]).collect();
+        // is h one of the first n hyperedges incident to the pivot?
+        let lang_idx = hs.iter().take(n).position(|&hh| hh == h);
+        let rel = match lang_idx {
+            Some(i) => {
+                // L_i on the pivot's track, A* elsewhere
+                let lang_nfas: Vec<&Nfa<Symbol>> = members
+                    .iter()
+                    .map(|&e| if e == pivot { &langs[i] } else { &universal_lang })
+                    .collect();
+                relations::product_of_languages(&lang_nfas, num_a)
+            }
+            None => relations::universal(args.len(), num_a),
+        };
+        q.rel_atom(&format!("R{h}"), Arc::new(rel), &args);
+    }
+    Ok((q, db))
+}
+
+/// Applies whichever case of Lemma 5.1 the 2L graph supports (Lemma A.1:
+/// one of the two always applies when `cc_vertex + cc_hedge` is big
+/// enough).
+pub fn ine_to_ecrpq(
+    langs: &[Nfa<Symbol>],
+    alphabet: &Alphabet,
+    g: &TwoLevelGraph,
+) -> Result<(Ecrpq, GraphDb), String> {
+    ine_to_ecrpq_big_component(langs, alphabet, g).or_else(|e1| {
+        ine_to_ecrpq_high_degree(langs, alphabet, g)
+            .map_err(|e2| format!("case 1: {e1}; case 2: {e2}"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::intersection_nonempty;
+    use ecrpq_automata::Regex;
+    use ecrpq_core::{eval_product, PreparedQuery};
+
+    /// A 2L graph with one big component: a “flower” of k path variables
+    /// on 2 vertices, joined in a chain of binary hyperedges.
+    fn flower(k: usize) -> TwoLevelGraph {
+        let mut g = TwoLevelGraph::new(2);
+        let edges: Vec<usize> = (0..k).map(|_| g.add_edge(0, 1)).collect();
+        for w in edges.windows(2) {
+            g.add_hyperedge(w);
+        }
+        if k == 1 {
+            g.add_hyperedge(&[edges[0]]);
+        }
+        g
+    }
+
+    /// A 2L graph where one path variable sits in k hyperedges.
+    fn star(k: usize) -> TwoLevelGraph {
+        let mut g = TwoLevelGraph::new(2);
+        let pivot = g.add_edge(0, 1);
+        for _ in 0..k {
+            let other = g.add_edge(0, 1);
+            g.add_hyperedge(&[pivot, other]);
+        }
+        g
+    }
+
+    fn langs(res: &[&str], alphabet: &mut Alphabet) -> Vec<Nfa<Symbol>> {
+        res.iter()
+            .map(|r| Regex::compile_str(r, alphabet).unwrap())
+            .collect()
+    }
+
+    fn check_equiv(
+        reduction: impl Fn(
+            &[Nfa<Symbol>],
+            &Alphabet,
+            &TwoLevelGraph,
+        ) -> Result<(Ecrpq, GraphDb), String>,
+        res: &[&str],
+        g: &TwoLevelGraph,
+    ) {
+        let mut alphabet = Alphabet::ascii_lower(2);
+        let ls = langs(res, &mut alphabet);
+        let expected = intersection_nonempty(&ls);
+        let (q, db) = reduction(&ls, &alphabet, g).unwrap();
+        q.validate().unwrap();
+        let prepared = PreparedQuery::build(&q).unwrap();
+        let actual = eval_product(&db, &prepared);
+        assert_eq!(actual, expected, "reduction disagrees with oracle on {res:?}");
+    }
+
+    #[test]
+    fn case1_nonempty() {
+        check_equiv(ine_to_ecrpq_big_component, &["a*b", "(a|b)*b"], &flower(2));
+        check_equiv(
+            ine_to_ecrpq_big_component,
+            &["a*b", "ab*", "(a|b)+"],
+            &flower(3),
+        );
+    }
+
+    #[test]
+    fn case1_empty() {
+        check_equiv(ine_to_ecrpq_big_component, &["a+", "b+"], &flower(2));
+        check_equiv(ine_to_ecrpq_big_component, &["a", "aa"], &flower(3));
+    }
+
+    #[test]
+    fn case1_with_padding_component_bigger_than_n() {
+        // component has 4 vertices, only 2 languages
+        check_equiv(ine_to_ecrpq_big_component, &["ab", "ab"], &flower(4));
+        check_equiv(ine_to_ecrpq_big_component, &["ab", "ba"], &flower(4));
+    }
+
+    #[test]
+    fn case1_single_language() {
+        check_equiv(ine_to_ecrpq_big_component, &["a*"], &flower(1));
+        check_equiv(ine_to_ecrpq_big_component, &["\\0"], &flower(1)); // empty language
+    }
+
+    #[test]
+    fn case1_epsilon_in_intersection() {
+        check_equiv(ine_to_ecrpq_big_component, &["a*", "b*"], &flower(2));
+    }
+
+    #[test]
+    fn case1_rejects_too_small_graph() {
+        let mut alphabet = Alphabet::ascii_lower(2);
+        let ls = langs(&["a", "b", "ab"], &mut alphabet);
+        assert!(ine_to_ecrpq_big_component(&ls, &alphabet, &flower(2)).is_err());
+    }
+
+    #[test]
+    fn case2_nonempty_and_empty() {
+        check_equiv(ine_to_ecrpq_high_degree, &["a*b", "(a|b)*b"], &star(2));
+        check_equiv(ine_to_ecrpq_high_degree, &["a+", "b+"], &star(2));
+        check_equiv(ine_to_ecrpq_high_degree, &["a*", "a|b", "(a|b)*"], &star(3));
+    }
+
+    #[test]
+    fn case2_rejects_low_degree() {
+        let mut alphabet = Alphabet::ascii_lower(2);
+        let ls = langs(&["a", "b", "ab"], &mut alphabet);
+        assert!(ine_to_ecrpq_high_degree(&ls, &alphabet, &star(2)).is_err());
+    }
+
+    #[test]
+    fn automatic_case_selection() {
+        let mut alphabet = Alphabet::ascii_lower(2);
+        let ls = langs(&["a*b", "ab*"], &mut alphabet);
+        assert!(ine_to_ecrpq(&ls, &alphabet, &flower(2)).is_ok());
+        assert!(ine_to_ecrpq(&ls, &alphabet, &star(2)).is_ok());
+    }
+
+    #[test]
+    fn abstraction_matches_input_graph() {
+        let mut alphabet = Alphabet::ascii_lower(2);
+        let ls = langs(&["a", "b"], &mut alphabet);
+        let g = flower(3);
+        let (q, _) = ine_to_ecrpq_big_component(&ls, &alphabet, &g).unwrap();
+        let a = q.abstraction();
+        assert_eq!(a.num_vertices(), g.num_vertices());
+        assert_eq!(a.num_edges(), g.num_edges());
+        assert_eq!(a.num_hyperedges(), g.num_hyperedges());
+        assert_eq!(a.cc_vertex(), g.cc_vertex());
+        assert_eq!(a.cc_hedge(), g.cc_hedge());
+    }
+
+    #[test]
+    fn case2_abstraction_matches() {
+        let mut alphabet = Alphabet::ascii_lower(2);
+        let ls = langs(&["a", "(a|b)*"], &mut alphabet);
+        let g = star(2);
+        let (q, _) = ine_to_ecrpq_high_degree(&ls, &alphabet, &g).unwrap();
+        let a = q.abstraction();
+        assert_eq!(a.num_hyperedges(), g.num_hyperedges());
+        assert_eq!(a.cc_vertex(), g.cc_vertex());
+    }
+}

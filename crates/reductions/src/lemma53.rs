@@ -1,0 +1,362 @@
+//! Lemma 5.3: `CQ_bin(C_collapse)` → p-eval-ECRPQ(C), the W\[1\]-hardness
+//! transfer of Theorem 3.1(2).
+//!
+//! A binary CQ whose multigraph is `G^collapse` has the bipartite shape
+//! `⋀ᵢ Rᵢ(xᵢ, yᵢ) ∧ R′ᵢ(yᵢ, x′ᵢ)` where the `y`'s are component
+//! variables. The reduction encodes the choice of `yᵢ`'s value as a word:
+//! the database `D̂` extends `D`'s “edge graph” with, at every element
+//! `vⱼ`, a simple cycle reading the `⌈log n⌉`-bit binary expansion of `j`;
+//! the relation for a hyperedge forces each of its tracks to read
+//! `Rᵢ · w · R′ᵢ` with a *shared* `w ∈ {0,1}⁺` — the paths agree on the
+//! middle element, which is exactly the CQ's join on the component
+//! variable.
+
+use ecrpq_automata::{Alphabet, Nfa, Row, SyncRel, Symbol, Track};
+use ecrpq_graph::GraphDb;
+use ecrpq_query::{Cq, Ecrpq, PathVar, RelationalDb};
+use ecrpq_structure::TwoLevelGraph;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A `CQ_bin` structured over a 2L graph's collapse: for each first-level
+/// edge `e` of `graph` with `η(e) = (x, x′)` and component variable `y`,
+/// the CQ contains `rels[e].0(x, y) ∧ rels[e].1(y, x′)`.
+#[derive(Debug, Clone)]
+pub struct CollapseCq {
+    /// The 2L graph `G`.
+    pub graph: TwoLevelGraph,
+    /// Per first-level edge: the two relation names `(Rᵢ, R′ᵢ)`.
+    pub rels: Vec<(String, String)>,
+}
+
+impl CollapseCq {
+    /// The explicit CQ over `G^collapse`: variables `0..V` are node
+    /// variables, `V..V+C` are component variables.
+    pub fn to_cq(&self) -> Cq {
+        let comps = self.graph.rel_components();
+        let mut q = Cq::new(self.graph.num_vertices() + comps.edges.len());
+        for e in 0..self.graph.num_edges() {
+            let (x, x2) = self.graph.edge(e);
+            let y = self.graph.num_vertices() + comps.comp_of_edge[e];
+            q.atom(&self.rels[e].0, &[x, y]);
+            q.atom(&self.rels[e].1, &[y, x2]);
+        }
+        q
+    }
+}
+
+/// The Lemma 5.3 reduction: builds an ECRPQ with abstraction
+/// `collapse_cq.graph` and the expanded graph database `D̂` such that
+/// `D ⊨ q ⟺ D̂ ⊨ q_G`.
+///
+/// # Panics
+/// Panics if a referenced relation is missing from `db` or not binary, or
+/// if `db` has an empty domain.
+pub fn cq_to_ecrpq(collapse_cq: &CollapseCq, db: &RelationalDb) -> (Ecrpq, GraphDb) {
+    let g = &collapse_cq.graph;
+    assert_eq!(g.num_edges(), collapse_cq.rels.len());
+    let n = db.domain_size();
+    assert!(n > 0, "empty domain");
+    for (r, r2) in &collapse_cq.rels {
+        for name in [r, r2] {
+            let rel = db
+                .relation(name)
+                .unwrap_or_else(|| panic!("relation {name} missing"));
+            assert_eq!(rel.arity, 2, "relation {name} must be binary");
+        }
+    }
+
+    // Alphabet: one symbol per relation name used, plus '0' and '1'.
+    let mut alphabet = Alphabet::new();
+    let zero = alphabet.intern('0');
+    let one = alphabet.intern('1');
+    let mut rel_sym: HashMap<String, Symbol> = HashMap::new();
+    // deterministic order: sort the names
+    let mut names: Vec<String> = collapse_cq
+        .rels
+        .iter()
+        .flat_map(|(a, b)| [a.clone(), b.clone()])
+        .collect();
+    names.sort();
+    names.dedup();
+    let mut next_char = 'A';
+    for name in &names {
+        let sym = alphabet.intern(next_char);
+        rel_sym.insert(name.clone(), sym);
+        next_char = char::from_u32(next_char as u32 + 1).expect("alphabet exhausted");
+    }
+
+    // --- D̂: element vertices + binary-id cycles + relation edges.
+    // `bits` = ⌈log₂ n⌉, at least 1, so ids are distinct non-empty words.
+    let bits = {
+        let mut b = 1;
+        while (1usize << b) < n {
+            b += 1;
+        }
+        b
+    };
+    let mut gdb = GraphDb::with_alphabet(alphabet.clone());
+    let elems: Vec<_> = (0..n).map(|i| gdb.add_node(&format!("v{i}"))).collect();
+    for (i, &v) in elems.iter().enumerate() {
+        // simple cycle reading the `bits`-bit binary expansion of i
+        let mut cur = v;
+        for b in (0..bits).rev() {
+            let bit = if (i >> b) & 1 == 1 { one } else { zero };
+            let next = if b == 0 {
+                v
+            } else {
+                gdb.add_node(&format!("v{i}_c{b}"))
+            };
+            gdb.add_edge_sym(cur, bit, next);
+            cur = next;
+        }
+    }
+    for name in &names {
+        let sym = rel_sym[name];
+        for t in &db.relation(name).unwrap().tuples {
+            gdb.add_edge_sym(elems[t[0] as usize], sym, elems[t[1] as usize]);
+        }
+    }
+
+    // --- q_G: abstraction G; one relation per hyperedge.
+    let num_b = alphabet.len();
+    let mut q = Ecrpq::new(alphabet.clone());
+    let node_vars: Vec<_> = (0..g.num_vertices())
+        .map(|v| q.node_var(&format!("x{v}")))
+        .collect();
+    let path_vars: Vec<PathVar> = (0..g.num_edges())
+        .map(|e| {
+            let (src, dst) = g.edge(e);
+            q.path_atom(node_vars[src], &format!("p{e}"), node_vars[dst])
+        })
+        .collect();
+    for h in 0..g.num_hyperedges() {
+        let members = g.hyperedge(h);
+        let args: Vec<PathVar> = members.iter().map(|&e| path_vars[e]).collect();
+        let first: Vec<Symbol> = members
+            .iter()
+            .map(|&e| rel_sym[&collapse_cq.rels[e].0])
+            .collect();
+        let last: Vec<Symbol> = members
+            .iter()
+            .map(|&e| rel_sym[&collapse_cq.rels[e].1])
+            .collect();
+        let rel = sandwich_relation(&first, &last, zero, one, num_b);
+        q.rel_atom(&format!("H{h}"), Arc::new(rel), &args);
+    }
+    // Path variables in hyperedge-free components still need the sandwich
+    // constraint (their component variable must be joined too): give each a
+    // unary sandwich atom.
+    let comps = g.rel_components();
+    for (c, edge_list) in comps.edges.iter().enumerate() {
+        if !comps.hedges[c].is_empty() {
+            continue;
+        }
+        for &e in edge_list {
+            let first = [rel_sym[&collapse_cq.rels[e].0]];
+            let last = [rel_sym[&collapse_cq.rels[e].1]];
+            let rel = sandwich_relation(&first, &last, zero, one, num_b);
+            q.rel_atom(&format!("S{e}"), Arc::new(rel), &[path_vars[e]]);
+        }
+    }
+    (q, gdb)
+}
+
+/// The relation `{(first₁·w·last₁, …, first_k·w·last_k) : w ∈ {0,1}⁺}`.
+fn sandwich_relation(
+    first: &[Symbol],
+    last: &[Symbol],
+    zero: Symbol,
+    one: Symbol,
+    num_symbols: usize,
+) -> SyncRel {
+    let k = first.len();
+    debug_assert_eq!(last.len(), k);
+    // states: 0 → (first) → 1 → bit → 2 → bit* → 2 → (last) → 3(final)
+    let mut nfa: Nfa<Row> = Nfa::with_states(4);
+    nfa.set_initial(0);
+    nfa.set_final(3);
+    nfa.add_transition(0, first.iter().map(|&s| Track::Sym(s)).collect(), 1);
+    for &b in &[zero, one] {
+        nfa.add_transition(1, vec![Track::Sym(b); k], 2);
+        nfa.add_transition(2, vec![Track::Sym(b); k], 2);
+    }
+    nfa.add_transition(2, last.iter().map(|&s| Track::Sym(s)).collect(), 3);
+    SyncRel::from_nfa_unchecked(k, num_symbols, nfa)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecrpq_core::cq_eval::eval_cq;
+    use ecrpq_core::{eval_product, PreparedQuery};
+
+    /// Checks `D ⊨ q ⟺ D̂ ⊨ q_G` with independent evaluators.
+    fn check_equiv(cq: &CollapseCq, db: &RelationalDb) {
+        let expected = eval_cq(db, &cq.to_cq());
+        let (q, gdb) = cq_to_ecrpq(cq, db);
+        q.validate().unwrap();
+        let prepared = PreparedQuery::build(&q).unwrap();
+        let actual = eval_product(&gdb, &prepared);
+        assert_eq!(actual, expected, "Lemma 5.3 equivalence failed");
+    }
+
+    /// 2L graph: two edges sharing a hyperedge (one component).
+    fn pair_graph() -> TwoLevelGraph {
+        let mut g = TwoLevelGraph::new(3);
+        let e0 = g.add_edge(0, 1);
+        let e1 = g.add_edge(1, 2);
+        g.add_hyperedge(&[e0, e1]);
+        g
+    }
+
+    fn db_with(r_tuples: &[(u32, u32)], s_tuples: &[(u32, u32)], n: usize) -> RelationalDb {
+        let mut db = RelationalDb::new(n);
+        db.declare("R", 2);
+        db.declare("S", 2);
+        for &(a, b) in r_tuples {
+            db.insert("R", &[a, b]);
+        }
+        for &(a, b) in s_tuples {
+            db.insert("S", &[a, b]);
+        }
+        db
+    }
+
+    #[test]
+    fn satisfiable_instance() {
+        // CQ: R(x0,y) ∧ S(y,x1) ∧ R(x1,y') ∧ S(y',x2) — same component for
+        // both edges, so y = y' is shared.
+        let cq = CollapseCq {
+            graph: pair_graph(),
+            rels: vec![("R".into(), "S".into()), ("R".into(), "S".into())],
+        };
+        // R(0,1), S(1,2), R(2,1), S(1,0): x0=0,y=1,x1=2, then R(2,1),S(1,?)=0 ✓
+        let db = db_with(&[(0, 1), (2, 1)], &[(1, 2), (1, 0)], 3);
+        check_equiv(&cq, &db);
+        // ensure it is indeed satisfiable
+        assert!(eval_cq(&db, &cq.to_cq()));
+    }
+
+    #[test]
+    fn unsatisfiable_instance() {
+        let cq = CollapseCq {
+            graph: pair_graph(),
+            rels: vec![("R".into(), "S".into()), ("R".into(), "S".into())],
+        };
+        // R goes only into 1, S leaves only from 2: no shared middle
+        let db = db_with(&[(0, 1)], &[(2, 0)], 3);
+        assert!(!eval_cq(&db, &cq.to_cq()));
+        check_equiv(&cq, &db);
+    }
+
+    #[test]
+    fn component_join_is_enforced() {
+        // Two edges in ONE component must share the middle element; make an
+        // instance where each edge is individually satisfiable but only via
+        // different middles.
+        let cq = CollapseCq {
+            graph: pair_graph(),
+            rels: vec![("R".into(), "S".into()), ("T".into(), "U".into())],
+        };
+        let mut db = RelationalDb::new(4);
+        // edge0: R(0,1), S(1,2) — middle 1; edge1: T(2,3), U(3,0) — middle 3
+        db.insert("R", &[0, 1]);
+        db.insert("S", &[1, 2]);
+        db.insert("T", &[2, 3]);
+        db.insert("U", &[3, 0]);
+        assert!(!eval_cq(&db, &cq.to_cq())); // y shared: impossible
+        check_equiv(&cq, &db);
+        // now allow a shared middle
+        db.insert("T", &[2, 1]);
+        db.insert("U", &[1, 0]);
+        assert!(eval_cq(&db, &cq.to_cq()));
+        check_equiv(&cq, &db);
+    }
+
+    #[test]
+    fn separate_components_join_independently() {
+        // two edges in separate singleton-hyperedge components: middles free
+        let mut g = TwoLevelGraph::new(3);
+        let e0 = g.add_edge(0, 1);
+        let e1 = g.add_edge(1, 2);
+        g.add_hyperedge(&[e0]);
+        g.add_hyperedge(&[e1]);
+        let cq = CollapseCq {
+            graph: g,
+            rels: vec![("R".into(), "S".into()), ("T".into(), "U".into())],
+        };
+        let mut db = RelationalDb::new(4);
+        db.insert("R", &[0, 1]);
+        db.insert("S", &[1, 2]);
+        db.insert("T", &[2, 3]);
+        db.insert("U", &[3, 0]);
+        assert!(eval_cq(&db, &cq.to_cq()));
+        check_equiv(&cq, &db);
+    }
+
+    #[test]
+    fn hyperedge_free_edges_get_sandwich_atoms() {
+        let mut g = TwoLevelGraph::new(2);
+        g.add_edge(0, 1); // no hyperedge at all
+        let cq = CollapseCq {
+            graph: g,
+            rels: vec![("R".into(), "S".into())],
+        };
+        let mut db = RelationalDb::new(2);
+        db.insert("R", &[0, 1]);
+        db.insert("S", &[1, 1]);
+        assert!(eval_cq(&db, &cq.to_cq()));
+        check_equiv(&cq, &db);
+        // and unsatisfiable without the S tuple from the middle
+        let mut db2 = RelationalDb::new(2);
+        db2.insert("R", &[0, 1]);
+        db2.insert("S", &[0, 1]);
+        assert!(!eval_cq(&db2, &cq.to_cq()));
+        check_equiv(&cq, &db2);
+    }
+
+    #[test]
+    fn single_element_domain() {
+        let mut g = TwoLevelGraph::new(1);
+        let e = g.add_edge(0, 0);
+        g.add_hyperedge(&[e]);
+        let cq = CollapseCq {
+            graph: g,
+            rels: vec![("R".into(), "R".into())],
+        };
+        let mut db = RelationalDb::new(1);
+        db.insert("R", &[0, 0]);
+        check_equiv(&cq, &db);
+        let mut db2 = RelationalDb::new(1);
+        db2.declare("R", 2);
+        check_equiv(&cq, &db2);
+    }
+
+    #[test]
+    fn larger_random_style_instance() {
+        // triangle-ish 2L graph, 3 edges in one component
+        let mut g = TwoLevelGraph::new(3);
+        let e0 = g.add_edge(0, 1);
+        let e1 = g.add_edge(1, 2);
+        let e2 = g.add_edge(2, 0);
+        g.add_hyperedge(&[e0, e1]);
+        g.add_hyperedge(&[e1, e2]);
+        let cq = CollapseCq {
+            graph: g,
+            rels: vec![
+                ("R".into(), "S".into()),
+                ("R".into(), "S".into()),
+                ("R".into(), "S".into()),
+            ],
+        };
+        // build a db where element 2 is a universal middle
+        let mut db = RelationalDb::new(5);
+        for x in 0..5u32 {
+            db.insert("R", &[x, 2]);
+            db.insert("S", &[2, x]);
+        }
+        check_equiv(&cq, &db);
+        assert!(eval_cq(&db, &cq.to_cq()));
+    }
+}

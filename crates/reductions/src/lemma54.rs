@@ -1,0 +1,340 @@
+//! Lemma 5.4: parameterized intersection non-emptiness (p-IE) →
+//! p-eval-ECRPQ(C), the XNL-hardness engine of Theorem 3.1(1).
+//!
+//! Given `k` automata (the parameter) and a 2L graph from a class with
+//! unbounded `cc_vertex`, the reduction produces a query + database pair
+//! whose satisfiability equals `⋂ᵢ L(Aᵢ) ≠ ∅`. Two cases, as in the paper:
+//!
+//! * **(a) bounded hyperedge size** ([`pie_to_ecrpq_chain`]): find a chain
+//!   of `k` hyperedges `h₁,…,h_k` (each of size ≥ 2) linked by private
+//!   path variables `uᵢ ∈ ν(hᵢ) ∩ ν(hᵢ₊₁)`; relation `Rᵢ` forces `uᵢ₋₁`
+//!   and `uᵢ` to read marker words `$w#^{i−1}$` / `$w#^i$` with a shared
+//!   `w`, threading the marker database of [`crate::markers`].
+//! * **(b) unbounded hyperedge size** ([`pie_to_ecrpq_wide`]): a single
+//!   hyperedge with ≥ `k` members, its `j`-th member forced to `$w#^j$`.
+//!
+//! Implementation note: where the paper routes the `k`-th language through
+//! the endpoint tracks of the chain, we equivalently constrain one extra
+//! (non-link) member of `h₁` to `$w#^k$` — same index encoding, same FPT
+//! bounds, and the equivalence is differential-tested against the oracle.
+
+use crate::markers::{build_marker_db, marker_relation};
+use ecrpq_automata::{relations, Alphabet, Nfa, Symbol};
+use ecrpq_graph::GraphDb;
+use ecrpq_query::{Ecrpq, PathVar};
+use ecrpq_structure::TwoLevelGraph;
+use std::sync::Arc;
+
+/// Searches `g` for a chain of `k` hyperedges of size ≥ 2 with private
+/// linking edges (backtracking DFS; query graphs are small). Returns
+/// `(hyperedges, links)` with `links.len() == k - 1`.
+pub fn find_chain(g: &TwoLevelGraph, k: usize) -> Option<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 1);
+    let candidates: Vec<usize> = (0..g.num_hyperedges())
+        .filter(|&h| g.hyperedge(h).len() >= 2)
+        .collect();
+    for &start in &candidates {
+        let mut chain = vec![start];
+        let mut links = Vec::new();
+        if dfs(g, k, &candidates, &mut chain, &mut links) {
+            return Some((chain, links));
+        }
+    }
+    None
+}
+
+fn dfs(
+    g: &TwoLevelGraph,
+    k: usize,
+    candidates: &[usize],
+    chain: &mut Vec<usize>,
+    links: &mut Vec<usize>,
+) -> bool {
+    if chain.len() == k {
+        return true;
+    }
+    let last = *chain.last().unwrap();
+    for &h in candidates {
+        if chain.contains(&h) {
+            continue;
+        }
+        // no earlier link may touch h (links must be private to their pair)
+        if links.iter().any(|&u| g.hyperedge(h).contains(&u)) {
+            continue;
+        }
+        for &e in g.hyperedge(last) {
+            if !g.hyperedge(h).contains(&e) {
+                continue;
+            }
+            // e must not occur in any other chain hyperedge
+            if chain[..chain.len() - 1]
+                .iter()
+                .any(|&hh| g.hyperedge(hh).contains(&e))
+            {
+                continue;
+            }
+            if links.contains(&e) {
+                continue;
+            }
+            chain.push(h);
+            links.push(e);
+            if dfs(g, k, candidates, chain, links) {
+                return true;
+            }
+            chain.pop();
+            links.pop();
+        }
+    }
+    false
+}
+
+/// Shared scaffolding: node/path variables mirroring `g`'s first level.
+fn scaffold_query(q: &mut Ecrpq, g: &TwoLevelGraph) -> Vec<PathVar> {
+    let node_vars: Vec<_> = (0..g.num_vertices())
+        .map(|v| q.node_var(&format!("x{v}")))
+        .collect();
+    (0..g.num_edges())
+        .map(|e| {
+            let (src, dst) = g.edge(e);
+            q.path_atom(node_vars[src], &format!("p{e}"), node_vars[dst])
+        })
+        .collect()
+}
+
+/// Case (a) of Lemma 5.4: chain of hyperedges with private links.
+pub fn pie_to_ecrpq_chain(
+    automata: &[Nfa<Symbol>],
+    alphabet: &Alphabet,
+    g: &TwoLevelGraph,
+) -> Result<(Ecrpq, GraphDb), String> {
+    let k = automata.len();
+    if k == 0 {
+        return Err("need at least one automaton".into());
+    }
+    let (chain, links) =
+        find_chain(g, k).ok_or_else(|| format!("no hyperedge chain of length {k}"))?;
+    let a_syms: Vec<Symbol> = alphabet.symbols().collect();
+    let md = build_marker_db(automata, alphabet);
+    let num_b = md.alphabet.len();
+
+    // the extra member of h₁ that carries L_k's index
+    let extra = if k >= 2 {
+        *g.hyperedge(chain[0])
+            .iter()
+            .find(|&&e| e != links[0])
+            .expect("chain hyperedges have size ≥ 2")
+    } else {
+        g.hyperedge(chain[0])[0]
+    };
+
+    let mut q = Ecrpq::new(md.alphabet.clone());
+    let path_vars = scaffold_query(&mut q, g);
+    for h in 0..g.num_hyperedges() {
+        let members = g.hyperedge(h);
+        let args: Vec<PathVar> = members.iter().map(|&e| path_vars[e]).collect();
+        let pos = chain.iter().position(|&hh| hh == h);
+        let rel = match pos {
+            Some(i0) => {
+                let i = i0 + 1; // 1-based chain position
+                let mut constrained: Vec<(usize, usize)> = Vec::new();
+                let track_of = |e: usize| members.iter().position(|&m| m == e).unwrap();
+                if i >= 2 {
+                    constrained.push((track_of(links[i - 2]), i - 1));
+                }
+                if i < k {
+                    constrained.push((track_of(links[i - 1]), i));
+                }
+                if i == 1 {
+                    constrained.push((track_of(extra), k));
+                }
+                marker_relation(args.len(), &constrained, &a_syms, md.hash, md.dollar, num_b)
+            }
+            None => relations::universal(args.len(), num_b),
+        };
+        q.rel_atom(&format!("R{h}"), Arc::new(rel), &args);
+    }
+    Ok((q, md.db))
+}
+
+/// Case (b) of Lemma 5.4: one hyperedge with at least `k` members; its
+/// `j`-th member is forced to read `$w#^j$` for `j ≤ k`.
+pub fn pie_to_ecrpq_wide(
+    automata: &[Nfa<Symbol>],
+    alphabet: &Alphabet,
+    g: &TwoLevelGraph,
+) -> Result<(Ecrpq, GraphDb), String> {
+    let k = automata.len();
+    if k == 0 {
+        return Err("need at least one automaton".into());
+    }
+    let wide = (0..g.num_hyperedges())
+        .max_by_key(|&h| g.hyperedge(h).len())
+        .ok_or("2L graph has no hyperedges")?;
+    if g.hyperedge(wide).len() < k {
+        return Err(format!(
+            "widest hyperedge has {} members, need {k}",
+            g.hyperedge(wide).len()
+        ));
+    }
+    let a_syms: Vec<Symbol> = alphabet.symbols().collect();
+    let md = build_marker_db(automata, alphabet);
+    let num_b = md.alphabet.len();
+
+    let mut q = Ecrpq::new(md.alphabet.clone());
+    let path_vars = scaffold_query(&mut q, g);
+    for h in 0..g.num_hyperedges() {
+        let members = g.hyperedge(h);
+        let args: Vec<PathVar> = members.iter().map(|&e| path_vars[e]).collect();
+        let rel = if h == wide {
+            let constrained: Vec<(usize, usize)> =
+                (0..k).map(|j| (j, j + 1)).collect();
+            marker_relation(args.len(), &constrained, &a_syms, md.hash, md.dollar, num_b)
+        } else {
+            relations::universal(args.len(), num_b)
+        };
+        q.rel_atom(&format!("R{h}"), Arc::new(rel), &args);
+    }
+    Ok((q, md.db))
+}
+
+/// Applies whichever case of Lemma 5.4 the graph supports.
+pub fn pie_to_ecrpq(
+    automata: &[Nfa<Symbol>],
+    alphabet: &Alphabet,
+    g: &TwoLevelGraph,
+) -> Result<(Ecrpq, GraphDb), String> {
+    pie_to_ecrpq_chain(automata, alphabet, g).or_else(|e1| {
+        pie_to_ecrpq_wide(automata, alphabet, g)
+            .map_err(|e2| format!("case a: {e1}; case b: {e2}"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::intersection_nonempty;
+    use ecrpq_automata::Regex;
+    use ecrpq_core::{eval_product, PreparedQuery};
+
+    /// The canonical chain graph: k binary hyperedges `{eᵢ, eᵢ₊₁}` over
+    /// k+1 parallel edges; links are e₂ … e_k, all private.
+    fn chain_graph(k: usize) -> TwoLevelGraph {
+        let mut g = TwoLevelGraph::new(2);
+        let edges: Vec<usize> = (0..=k).map(|_| g.add_edge(0, 1)).collect();
+        for i in 0..k {
+            g.add_hyperedge(&[edges[i], edges[i + 1]]);
+        }
+        g
+    }
+
+    /// One wide hyperedge over r parallel edges.
+    fn wide_graph(r: usize) -> TwoLevelGraph {
+        let mut g = TwoLevelGraph::new(2);
+        let edges: Vec<usize> = (0..r).map(|_| g.add_edge(0, 1)).collect();
+        g.add_hyperedge(&edges);
+        g
+    }
+
+    fn langs(res: &[&str], alphabet: &mut Alphabet) -> Vec<Nfa<Symbol>> {
+        res.iter()
+            .map(|r| Regex::compile_str(r, alphabet).unwrap())
+            .collect()
+    }
+
+    fn check_equiv(
+        reduction: impl Fn(
+            &[Nfa<Symbol>],
+            &Alphabet,
+            &TwoLevelGraph,
+        ) -> Result<(Ecrpq, GraphDb), String>,
+        res: &[&str],
+        g: &TwoLevelGraph,
+    ) {
+        let mut alphabet = Alphabet::ascii_lower(2);
+        let ls = langs(res, &mut alphabet);
+        let expected = intersection_nonempty(&ls);
+        let (q, db) = reduction(&ls, &alphabet, g).unwrap();
+        q.validate().unwrap();
+        let prepared = PreparedQuery::build(&q).unwrap();
+        assert_eq!(
+            eval_product(&db, &prepared),
+            expected,
+            "reduction disagrees with oracle on {res:?}"
+        );
+    }
+
+    #[test]
+    fn find_chain_on_chain_graph() {
+        let g = chain_graph(4);
+        let (chain, links) = find_chain(&g, 4).unwrap();
+        assert_eq!(chain.len(), 4);
+        assert_eq!(links.len(), 3);
+        // links are private
+        for (i, &u) in links.iter().enumerate() {
+            for (j, &h) in chain.iter().enumerate() {
+                let member = g.hyperedge(h).contains(&u);
+                assert_eq!(member, j == i || j == i + 1, "link {i} vs hyperedge {j}");
+            }
+        }
+        assert!(find_chain(&g, 5).is_none());
+    }
+
+    #[test]
+    fn chain_case_equivalence() {
+        check_equiv(pie_to_ecrpq_chain, &["a*b", "(a|b)*b"], &chain_graph(2));
+        check_equiv(pie_to_ecrpq_chain, &["a+", "b+"], &chain_graph(2));
+        check_equiv(pie_to_ecrpq_chain, &["a*b", "ab*", "(a|b)+"], &chain_graph(3));
+        check_equiv(pie_to_ecrpq_chain, &["a", "aa", "a*"], &chain_graph(3));
+    }
+
+    #[test]
+    fn chain_case_k1() {
+        check_equiv(pie_to_ecrpq_chain, &["ab"], &chain_graph(1));
+        check_equiv(pie_to_ecrpq_chain, &["\\0"], &chain_graph(1));
+    }
+
+    #[test]
+    fn wide_case_equivalence() {
+        check_equiv(pie_to_ecrpq_wide, &["a*b", "(a|b)*b"], &wide_graph(2));
+        check_equiv(pie_to_ecrpq_wide, &["a+", "b+"], &wide_graph(3));
+        check_equiv(pie_to_ecrpq_wide, &["a*", "a+", "aa*"], &wide_graph(3));
+    }
+
+    #[test]
+    fn wide_case_rejects_narrow() {
+        let mut alphabet = Alphabet::ascii_lower(2);
+        let ls = langs(&["a", "b", "ab"], &mut alphabet);
+        assert!(pie_to_ecrpq_wide(&ls, &alphabet, &wide_graph(2)).is_err());
+    }
+
+    #[test]
+    fn auto_selection() {
+        let mut alphabet = Alphabet::ascii_lower(2);
+        let ls = langs(&["a*", "a+"], &mut alphabet);
+        assert!(pie_to_ecrpq(&ls, &alphabet, &chain_graph(2)).is_ok());
+        assert!(pie_to_ecrpq(&ls, &alphabet, &wide_graph(2)).is_ok());
+        assert!(pie_to_ecrpq(&ls, &alphabet, &wide_graph(1)).is_err());
+    }
+
+    #[test]
+    fn abstraction_matches() {
+        let mut alphabet = Alphabet::ascii_lower(2);
+        let ls = langs(&["a", "b"], &mut alphabet);
+        let g = chain_graph(2);
+        let (q, _) = pie_to_ecrpq_chain(&ls, &alphabet, &g).unwrap();
+        let a = q.abstraction();
+        assert_eq!(a.num_edges(), g.num_edges());
+        assert_eq!(a.num_hyperedges(), g.num_hyperedges());
+        assert_eq!(a.cc_vertex(), g.cc_vertex());
+    }
+
+    #[test]
+    fn chain_in_graph_with_decoys() {
+        // chain graph plus an unrelated hyperedge-free edge and a singleton
+        let mut g = chain_graph(2);
+        g.add_edge(0, 1);
+        let lone = g.add_edge(1, 0);
+        g.add_hyperedge(&[lone]);
+        check_equiv(pie_to_ecrpq_chain, &["a*b", "ba*"], &g);
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! The hardness reductions of §5 of the paper, implemented as *instance
+//! generators* with independently-checkable semantics.
+//!
+//! * [`oracle`] — a direct solver for (parameterized) intersection
+//!   non-emptiness of regular languages (IE / p-IE, §2.1), used as the
+//!   ground truth the reductions are differential-tested against;
+//! * [`lemma51`] — IE → eval-ECRPQ(C) for classes with unbounded
+//!   `cc_vertex + cc_hedge` (PSPACE-hardness, Theorem 3.2(1)), cases (1)
+//!   big component and (2) high-degree vertex;
+//! * [`lemma54`] — p-IE → p-eval-ECRPQ(C) for classes with unbounded
+//!   `cc_vertex` (XNL-hardness, Theorem 3.1(1)), cases (a) bounded and (b)
+//!   unbounded hyperedge size;
+//! * [`lemma53`] — `CQ_bin(C_collapse)` → p-eval-ECRPQ(C)
+//!   (W\[1\]-hardness, Theorem 3.1(2)), with the binary-id-cycle database
+//!   expansion.
+//!
+//! Each reduction returns a *(query, database)* pair whose satisfiability
+//! provably equals that of the source instance; the integration tests
+//! verify this equivalence on randomized instances using the evaluators of
+//! `ecrpq-core`.
+
+pub mod lemma51;
+pub mod lemma53;
+pub mod lemma54;
+pub mod markers;
+pub mod oracle;
+
+pub use lemma51::{ine_to_ecrpq, ine_to_ecrpq_big_component, ine_to_ecrpq_high_degree};
+pub use lemma53::{cq_to_ecrpq, CollapseCq};
+pub use lemma54::{pie_to_ecrpq, pie_to_ecrpq_chain, pie_to_ecrpq_wide};
+pub use oracle::{intersection_nonempty, intersection_witness, intersection_witness_dfas};

@@ -1,0 +1,283 @@
+//! Shared machinery of the §5 hardness reductions: the marker database
+//! `D = D₁ ∪ ⋯ ∪ D_m` and the marker relations.
+//!
+//! Both Lemma 5.1 (case 1) and Lemma 5.4 hinge on the same gadget. The
+//! database glues, on a distinguished vertex `s`, one sub-database `Dᵢ`
+//! per language `Lᵢ`: the transition graph of `Lᵢ`'s NFA, an entry edge
+//! `s →$ init`, and for every final state a `#`-chain of length `i`
+//! followed by a `$` back to `s`. A cycle at `s` reading `$ u #^i $` must
+//! then thread `Dᵢ` entirely, certifying `u ∈ Lᵢ`:
+//!
+//! * the first `$` can only be an entry edge (only `s` has outgoing `$`);
+//! * `u ∈ A*` stays inside `Dᵢ`'s NFA copy (no `A`-edges elsewhere);
+//! * `#` edges exist only from final states into the chain, whose length
+//!   is exactly `i`, and the closing `$` exists only at the chain's end.
+//!
+//! [`marker_relation`] is the synchronous relation forcing selected tracks
+//! to read `$ u #^{i_j} $` *with a shared `u`*, leaving the remaining
+//! tracks unconstrained — arbitrary words over the extended alphabet.
+
+use ecrpq_automata::{relations, Alphabet, Nfa, Row, StateId, Symbol, SyncRel, Track};
+use ecrpq_graph::GraphDb;
+
+/// The marker database together with the interned marker symbols.
+pub struct MarkerDb {
+    /// The glued database `D₁ ∪ ⋯ ∪ D_m` (shared vertex `s` has id 0).
+    pub db: GraphDb,
+    /// The extended alphabet `B = A ∪ {#, $}`.
+    pub alphabet: Alphabet,
+    /// The `#` marker.
+    pub hash: Symbol,
+    /// The `$` marker.
+    pub dollar: Symbol,
+}
+
+/// Builds the marker database for the given languages (1-based indices:
+/// `langs[i]` becomes `D_{i+1}` with a `#`-chain of length `i+1`).
+pub fn build_marker_db(langs: &[Nfa<Symbol>], alphabet: &Alphabet) -> MarkerDb {
+    let mut b = alphabet.clone();
+    let hash = b.intern('#');
+    let dollar = b.intern('$');
+    let mut db = GraphDb::with_alphabet(b.clone());
+    let s = db.add_node("s");
+    for (i, lang) in langs.iter().enumerate() {
+        let idx = i + 1;
+        let nfa = lang.remove_epsilon();
+        // materialize all states up front so ids are stable
+        let nodes: Vec<_> = (0..nfa.num_states())
+            .map(|q| db.add_node(&format!("A{idx}_q{q}")))
+            .collect();
+        for q in 0..nfa.num_states() as StateId {
+            for (sym, to) in nfa.transitions_from(q) {
+                db.add_edge_sym(nodes[q as usize], *sym, nodes[*to as usize]);
+            }
+        }
+        for &q0 in nfa.initial_states() {
+            db.add_edge_sym(s, dollar, nodes[q0 as usize]);
+        }
+        let chain: Vec<_> = (1..=idx)
+            .map(|t| db.add_node(&format!("A{idx}_c{t}")))
+            .collect();
+        for w in chain.windows(2) {
+            db.add_edge_sym(w[0], hash, w[1]);
+        }
+        db.add_edge_sym(*chain.last().unwrap(), dollar, s);
+        for qf in nfa.final_states() {
+            db.add_edge_sym(nodes[qf as usize], hash, chain[0]);
+        }
+    }
+    MarkerDb {
+        db,
+        alphabet: b,
+        hash,
+        dollar,
+    }
+}
+
+/// The marker relation of arity `arity`: tuples where, for every
+/// `(track, i)` in `constrained`, that track reads `$ u #^i $` — all with
+/// the **same** `u ∈ A*` — and every other track reads an arbitrary word
+/// over the extended alphabet.
+///
+/// `a_syms` are the symbols of the base alphabet `A` (markers excluded).
+/// Polynomial size: `O(max i)` stages times `(|B|+1)^{#free}` row options.
+///
+/// # Panics
+/// Panics if `constrained` is empty, repeats a track, or uses an index 0.
+pub fn marker_relation(
+    arity: usize,
+    constrained: &[(usize, usize)],
+    a_syms: &[Symbol],
+    hash: Symbol,
+    dollar: Symbol,
+    num_b: usize,
+) -> SyncRel {
+    assert!(!constrained.is_empty());
+    assert!(constrained.iter().all(|&(t, i)| t < arity && i >= 1));
+    {
+        let mut tracks: Vec<usize> = constrained.iter().map(|&(t, _)| t).collect();
+        tracks.sort_unstable();
+        tracks.dedup();
+        assert_eq!(tracks.len(), constrained.len(), "repeated track");
+    }
+    let idx_of: Vec<Option<usize>> = (0..arity)
+        .map(|t| constrained.iter().find(|&&(tt, _)| tt == t).map(|&(_, i)| i))
+        .collect();
+    let max_idx = constrained.iter().map(|&(_, i)| i).max().unwrap();
+    // free-track options: any symbol of B, or ⊥
+    let free_opts: Vec<Track> = (0..num_b as Symbol)
+        .map(Track::Sym)
+        .chain([Track::Pad])
+        .collect();
+
+    // stage templates for the constrained tracks:
+    //   stage 0: '$'; stage "w": each a ∈ A; stage t ∈ 1..=max_idx+1:
+    //   '#' while t ≤ i, '$' at t = i+1, '⊥' after; stage "done": '⊥'.
+    let constrained_row = |f: &dyn Fn(usize) -> Track| -> Vec<Option<Track>> {
+        (0..arity)
+            .map(|t| idx_of[t].map(f))
+            .collect()
+    };
+    // states: 0 = pre-'$', 1 = reading u, 1+t for t in 1..=max_idx+1,
+    // final = max_idx + 2, which loops for trailing free-track symbols.
+    let final_state = (max_idx + 2) as StateId;
+    let mut nfa: Nfa<Row> = Nfa::with_states(max_idx + 3);
+    nfa.set_initial(0);
+    nfa.set_final(final_state);
+
+    let mut add_rows = |from: StateId, to: StateId, template: Vec<Option<Track>>| {
+        // expand None (free) slots over all options
+        let mut rows: Vec<Row> = vec![Vec::with_capacity(arity)];
+        for slot in &template {
+            match slot {
+                Some(t) => rows.iter_mut().for_each(|r| r.push(*t)),
+                None => {
+                    let mut next = Vec::with_capacity(rows.len() * free_opts.len());
+                    for r in &rows {
+                        for &o in &free_opts {
+                            let mut r2 = r.clone();
+                            r2.push(o);
+                            next.push(r2);
+                        }
+                    }
+                    rows = next;
+                }
+            }
+        }
+        for row in rows {
+            if row.iter().all(|t| t.is_pad()) {
+                continue;
+            }
+            nfa.add_transition(from, row, to);
+        }
+    };
+
+    add_rows(0, 1, constrained_row(&|_| Track::Sym(dollar)));
+    for &a in a_syms {
+        add_rows(1, 1, constrained_row(&|_| Track::Sym(a)));
+    }
+    for t in 1..=(max_idx + 1) {
+        let from = if t == 1 { 1 } else { t as StateId };
+        let template = constrained_row(&|i| {
+            if t <= i {
+                Track::Sym(hash)
+            } else if t == i + 1 {
+                Track::Sym(dollar)
+            } else {
+                Track::Pad
+            }
+        });
+        add_rows(from, (t + 1) as StateId, template);
+    }
+    // trailing free-track activity after all constrained tracks finished
+    add_rows(final_state, final_state, constrained_row(&|_| Track::Pad));
+
+    if constrained.len() == arity {
+        // no free tracks: the construction is already pad-valid
+        SyncRel::from_nfa_unchecked(arity, num_b, nfa)
+    } else {
+        SyncRel::from_nfa(arity, num_b, nfa)
+    }
+}
+
+/// A universal relation over the extended alphabet (helper shared by the
+/// reductions).
+pub fn universal(arity: usize, num_b: usize) -> SyncRel {
+    relations::universal(arity, num_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecrpq_automata::Regex;
+
+    #[test]
+    fn marker_db_shape() {
+        let mut a = Alphabet::ascii_lower(2);
+        let l1 = Regex::compile_str("ab", &mut a).unwrap();
+        let md = build_marker_db(&[l1], &a);
+        assert_eq!(md.alphabet.len(), 4);
+        // s + 3 NFA states (word_lang-ish from regex: concat of symbol langs
+        // has 4 states + eps... after remove_epsilon trim is not applied, so
+        // just check s and the chain exist
+        assert!(md.db.node("s").is_some());
+        assert!(md.db.node("A1_c1").is_some());
+    }
+
+    #[test]
+    fn cycle_through_marker_db_reads_expected_word() {
+        let mut a = Alphabet::ascii_lower(2);
+        let l1 = Regex::compile_str("ab", &mut a).unwrap();
+        let l2 = Regex::compile_str("a*", &mut a).unwrap();
+        let md = build_marker_db(&[l1, l2], &a);
+        let s = md.db.node("s").unwrap();
+        // the word $ab#$ must label an s-cycle (through D1)
+        let word: Vec<Symbol> = vec![
+            md.dollar,
+            md.alphabet.symbol('a').unwrap(),
+            md.alphabet.symbol('b').unwrap(),
+            md.hash,
+            md.dollar,
+        ];
+        let lang = Nfa::word_lang(&word);
+        assert!(ecrpq_graph::paths::shortest_path_in_language(&md.db, s, s, &lang).is_some());
+        // $ab#$ through D2 impossible (chain length 2): $ab##$ neither (ab ∉ a*)
+        let word2: Vec<Symbol> = vec![
+            md.dollar,
+            md.alphabet.symbol('a').unwrap(),
+            md.alphabet.symbol('b').unwrap(),
+            md.hash,
+            md.hash,
+            md.dollar,
+        ];
+        let lang2 = Nfa::word_lang(&word2);
+        assert!(ecrpq_graph::paths::shortest_path_in_language(&md.db, s, s, &lang2).is_none());
+        // $a##$ through D2 works (a ∈ a*)
+        let word3: Vec<Symbol> = vec![
+            md.dollar,
+            md.alphabet.symbol('a').unwrap(),
+            md.hash,
+            md.hash,
+            md.dollar,
+        ];
+        let lang3 = Nfa::word_lang(&word3);
+        assert!(ecrpq_graph::paths::shortest_path_in_language(&md.db, s, s, &lang3).is_some());
+    }
+
+    #[test]
+    fn marker_relation_all_constrained() {
+        let a_syms = [0u8, 1];
+        let r = marker_relation(2, &[(0, 1), (1, 2)], &a_syms, 2, 3, 4);
+        // tracks: $u#$ and $u##$, shared u (symbols: hash=2, dollar=3)
+        let t0 = [3, 0, 1, 2, 3];
+        let t1 = [3, 0, 1, 2, 2, 3];
+        assert!(r.contains(&[&t0, &t1]));
+        // different u
+        let bad = [3, 1, 1, 2, 2, 3];
+        assert!(!r.contains(&[&t0, &bad]));
+        // wrong #-count
+        assert!(!r.contains(&[&t1, &t1]));
+        // empty u
+        assert!(r.contains(&[&[3, 2, 3], &[3, 2, 2, 3]]));
+    }
+
+    #[test]
+    fn marker_relation_with_free_track() {
+        let a_syms = [0u8, 1];
+        let r = marker_relation(3, &[(0, 1), (2, 2)], &a_syms, 2, 3, 4);
+        let t0 = [3, 0, 2, 3];
+        let t2 = [3, 0, 2, 2, 3];
+        // middle track free: anything
+        assert!(r.contains(&[&t0, &[], &t2]));
+        assert!(r.contains(&[&t0, &[1, 1, 1, 1, 1, 1, 1, 1], &t2]));
+        assert!(r.contains(&[&t0, &[3, 2], &t2]));
+        // constrained tracks still checked
+        assert!(!r.contains(&[&t2, &[], &t0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated track")]
+    fn repeated_constrained_track_panics() {
+        marker_relation(2, &[(0, 1), (0, 2)], &[0u8], 1, 2, 3);
+    }
+}

@@ -1,0 +1,270 @@
+//! Simple graphs and multigraphs.
+//!
+//! [`Graph`] is an undirected simple graph (adjacency-set representation)
+//! used for Gaifman graphs, `G^node`, and treewidth computation.
+//! [`MultiGraph`] keeps edge multiplicities, matching the paper's use of
+//! multigraphs as abstractions of `CQ_bin` queries (§2) and as the
+//! `G^collapse` representation (§5.2).
+
+use std::collections::HashSet;
+
+/// An undirected simple graph on vertices `0..n` (no self-loops).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    adj: Vec<HashSet<usize>>,
+}
+
+impl Graph {
+    /// The empty graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            n,
+            adj: vec![HashSet::new(); n],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(HashSet::len).sum::<usize>() / 2
+    }
+
+    /// Adds the undirected edge `{u, v}`; self-loops are ignored (they are
+    /// irrelevant to treewidth and to the Gaifman abstraction).
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n, "vertex out of range");
+        if u == v {
+            return;
+        }
+        self.adj[u].insert(v);
+        self.adj[v].insert(u);
+    }
+
+    /// Whether `{u, v}` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u].contains(&v)
+    }
+
+    /// The neighbourhood of `u`.
+    pub fn neighbors(&self, u: usize) -> &HashSet<usize> {
+        &self.adj[u]
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// All edges as ordered pairs `u < v`.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for u in 0..self.n {
+            for &v in &self.adj[u] {
+                if u < v {
+                    out.push((u, v));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Adds a clique on the given vertices (the `G^node` construction
+    /// “replaces connected components of `G^rel` with cliques on their
+    /// incident vertices”).
+    pub fn add_clique(&mut self, vertices: &[usize]) {
+        for (i, &u) in vertices.iter().enumerate() {
+            for &v in &vertices[i + 1..] {
+                self.add_edge(u, v);
+            }
+        }
+    }
+
+    /// Connected components, each as a sorted vertex list.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let mut seen = vec![false; self.n];
+        let mut comps = Vec::new();
+        for start in 0..self.n {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = vec![start];
+            seen[start] = true;
+            let mut stack = vec![start];
+            while let Some(u) = stack.pop() {
+                for &v in &self.adj[u] {
+                    if !seen[v] {
+                        seen[v] = true;
+                        comp.push(v);
+                        stack.push(v);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps
+    }
+
+    /// The complete graph `K_n`.
+    pub fn complete(n: usize) -> Self {
+        let mut g = Graph::new(n);
+        g.add_clique(&(0..n).collect::<Vec<_>>());
+        g
+    }
+
+    /// The cycle `C_n`.
+    pub fn cycle(n: usize) -> Self {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n);
+        }
+        g
+    }
+
+    /// The path `P_n` (`n` vertices, `n−1` edges).
+    pub fn path(n: usize) -> Self {
+        let mut g = Graph::new(n);
+        for i in 1..n {
+            g.add_edge(i - 1, i);
+        }
+        g
+    }
+
+    /// The `w × h` grid graph.
+    pub fn grid(w: usize, h: usize) -> Self {
+        let mut g = Graph::new(w * h);
+        for y in 0..h {
+            for x in 0..w {
+                let v = y * w + x;
+                if x + 1 < w {
+                    g.add_edge(v, v + 1);
+                }
+                if y + 1 < h {
+                    g.add_edge(v, v + w);
+                }
+            }
+        }
+        g
+    }
+}
+
+/// An undirected multigraph: a simple-graph skeleton plus edge
+/// multiplicities (self-loops allowed and counted).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MultiGraph {
+    n: usize,
+    /// Edge list with multiplicity (each occurrence listed), normalized to
+    /// `u ≤ v`.
+    edges: Vec<(usize, usize)>,
+}
+
+impl MultiGraph {
+    /// The empty multigraph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        MultiGraph { n, edges: Vec::new() }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges, counted with multiplicity.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds one occurrence of the edge `{u, v}` (possibly `u == v`).
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n, "vertex out of range");
+        self.edges.push((u.min(v), u.max(v)));
+    }
+
+    /// Multiplicity of the edge `{u, v}`.
+    pub fn multiplicity(&self, u: usize, v: usize) -> usize {
+        let key = (u.min(v), u.max(v));
+        self.edges.iter().filter(|&&e| e == key).count()
+    }
+
+    /// Edge list (with multiplicity), sorted.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut e = self.edges.clone();
+        e.sort_unstable();
+        e
+    }
+
+    /// The underlying simple graph (multiplicities and self-loops dropped);
+    /// “the treewidth of a multigraph is simply the treewidth of its
+    /// underlying simple graph” (§2).
+    pub fn simple(&self) -> Graph {
+        let mut g = Graph::new(self.n);
+        for &(u, v) in &self.edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_graph_ops() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 2); // ignored self-loop
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.edges(), vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn clique_insertion() {
+        let mut g = Graph::new(5);
+        g.add_clique(&[0, 2, 4]);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(0, 4));
+    }
+
+    #[test]
+    fn components() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(3, 4);
+        let comps = g.components();
+        assert_eq!(comps, vec![vec![0, 1], vec![2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn families() {
+        assert_eq!(Graph::complete(4).num_edges(), 6);
+        assert_eq!(Graph::cycle(5).num_edges(), 5);
+        assert_eq!(Graph::path(5).num_edges(), 4);
+        let grid = Graph::grid(3, 2);
+        assert_eq!(grid.num_vertices(), 6);
+        assert_eq!(grid.num_edges(), 7);
+    }
+
+    #[test]
+    fn multigraph_multiplicity() {
+        let mut m = MultiGraph::new(3);
+        m.add_edge(0, 1);
+        m.add_edge(1, 0);
+        m.add_edge(1, 1);
+        assert_eq!(m.num_edges(), 3);
+        assert_eq!(m.multiplicity(0, 1), 2);
+        assert_eq!(m.multiplicity(1, 1), 1);
+        let s = m.simple();
+        assert_eq!(s.num_edges(), 1);
+    }
+}

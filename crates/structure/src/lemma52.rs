@@ -1,0 +1,141 @@
+//! Lemma 5.2, constructively.
+//!
+//! The paper proves: if `cc_vertex(C) < ∞` and `tw(C^node) = ∞` then
+//! `tw(C^collapse) = ∞`, by the counterpositive — *“given a tree
+//! decomposition of `G^collapse` of width `k`, replacing in every bag each
+//! component vertex by the (at most `2n`) vertices incident to it yields a
+//! tree decomposition [of `G^node`] of width `≤ (k+1)·2n − 1`”*. This
+//! module implements that bag-replacement transformation and exposes the
+//! bound, so the lemma is exercised as executable code rather than only as
+//! a numeric property test.
+
+use crate::treewidth::TreeDecomposition;
+use crate::twolevel::TwoLevelGraph;
+
+/// Transforms a tree decomposition of `G^collapse` into one of `G^node`
+/// by the Lemma 5.2 bag replacement. Returns the new decomposition, whose
+/// width is at most `(k+1)·2n − 1` for `k` the input width and
+/// `n = cc_vertex(G)`.
+///
+/// # Panics
+/// Panics if the decomposition's vertices do not match `g.collapse()`
+/// (it must cover `num_vertices + #components` vertices).
+pub fn node_decomposition_from_collapse(
+    g: &TwoLevelGraph,
+    collapse_dec: &TreeDecomposition,
+) -> TreeDecomposition {
+    let comps = g.rel_components();
+    let num_v = g.num_vertices();
+    // incident node variables of each component
+    let incident: Vec<Vec<usize>> = comps
+        .edges
+        .iter()
+        .map(|edge_list| {
+            let mut verts: Vec<usize> = edge_list
+                .iter()
+                .flat_map(|&e| {
+                    let (u, v) = g.edge(e);
+                    [u, v]
+                })
+                .collect();
+            verts.sort_unstable();
+            verts.dedup();
+            verts
+        })
+        .collect();
+    let bags: Vec<Vec<usize>> = collapse_dec
+        .bags
+        .iter()
+        .map(|bag| {
+            let mut out: Vec<usize> = Vec::new();
+            for &v in bag {
+                if v < num_v {
+                    out.push(v);
+                } else {
+                    let c = v - num_v;
+                    assert!(c < incident.len(), "bag vertex out of collapse range");
+                    out.extend_from_slice(&incident[c]);
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            out
+        })
+        .collect();
+    TreeDecomposition {
+        bags,
+        edges: collapse_dec.edges.clone(),
+    }
+}
+
+/// The Lemma 5.2 width bound: `(k+1) · 2n − 1`.
+pub fn lemma52_bound(collapse_width: usize, cc_vertex: usize) -> usize {
+    ((collapse_width + 1) * 2 * cc_vertex.max(1)).saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::treewidth::treewidth_exact;
+
+    fn chain_2l(k: usize) -> TwoLevelGraph {
+        let mut g = TwoLevelGraph::new(k + 1);
+        let edges: Vec<usize> = (0..k).map(|i| g.add_edge(i, i + 1)).collect();
+        for w in edges.windows(2) {
+            g.add_hyperedge(w);
+        }
+        if k == 1 {
+            g.add_hyperedge(&[edges[0]]);
+        }
+        g
+    }
+
+    #[test]
+    fn transformed_decomposition_is_valid_and_bounded() {
+        for g in [chain_2l(2), chain_2l(4), paper_example()] {
+            let collapse = g.collapse().simple();
+            let (k, cdec) = treewidth_exact(&collapse);
+            cdec.validate(&collapse).unwrap();
+            let ndec = node_decomposition_from_collapse(&g, &cdec);
+            let node = g.node_graph();
+            ndec.validate(&node).expect("transformed decomposition invalid");
+            let bound = lemma52_bound(k, g.cc_vertex());
+            assert!(
+                ndec.width() <= bound,
+                "width {} exceeds Lemma 5.2 bound {bound}",
+                ndec.width()
+            );
+            // and it is an upper bound on the true treewidth, of course
+            let (tw_node, _) = treewidth_exact(&node);
+            assert!(tw_node <= ndec.width());
+        }
+    }
+
+    /// The running example of §3.
+    fn paper_example() -> TwoLevelGraph {
+        let mut g = TwoLevelGraph::new(6);
+        let p1 = g.add_edge(0, 1);
+        let p2 = g.add_edge(1, 2);
+        let p3 = g.add_edge(2, 3);
+        let p4 = g.add_edge(3, 4);
+        let p5 = g.add_edge(4, 5);
+        g.add_hyperedge(&[p1]);
+        g.add_hyperedge(&[p2, p3]);
+        g.add_hyperedge(&[p3, p4]);
+        g.add_hyperedge(&[p5]);
+        g
+    }
+
+    #[test]
+    fn self_loops_and_singletons_handled() {
+        let mut g = TwoLevelGraph::new(2);
+        let e0 = g.add_edge(0, 0); // self loop
+        let e1 = g.add_edge(0, 1);
+        g.add_hyperedge(&[e0]);
+        g.add_hyperedge(&[e1]);
+        let collapse = g.collapse().simple();
+        let (_, cdec) = treewidth_exact(&collapse);
+        let ndec = node_decomposition_from_collapse(&g, &cdec);
+        ndec.validate(&g.node_graph()).unwrap();
+    }
+}

@@ -1,0 +1,294 @@
+//! Nice tree decompositions.
+//!
+//! A *nice* decomposition normalizes an arbitrary tree decomposition into
+//! nodes of four shapes — the form dynamic programs are cleanest on (used
+//! by the counting evaluator in `ecrpq-core`):
+//!
+//! * **Leaf** — empty bag;
+//! * **Introduce(v)** — bag = child's bag ∪ {v};
+//! * **Forget(v)** — bag = child's bag ∖ {v};
+//! * **Join** — two children with identical bags.
+//!
+//! The transformation preserves width and produces `O(tw · n)` nodes.
+
+use crate::treewidth::TreeDecomposition;
+
+/// The shape of a nice-decomposition node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NiceKind {
+    /// Empty-bag leaf.
+    Leaf,
+    /// Adds the variable to the child's bag.
+    Introduce(usize),
+    /// Removes the variable from the child's bag.
+    Forget(usize),
+    /// Two children with the same bag.
+    Join,
+}
+
+/// A rooted nice tree decomposition.
+#[derive(Debug, Clone)]
+pub struct NiceDecomposition {
+    /// Bag of each node (sorted).
+    pub bags: Vec<Vec<usize>>,
+    /// Shape of each node.
+    pub kinds: Vec<NiceKind>,
+    /// Children of each node (0, 1 or 2).
+    pub children: Vec<Vec<usize>>,
+    /// The root node (its bag is empty).
+    pub root: usize,
+}
+
+impl NiceDecomposition {
+    /// Width (max bag − 1; 0 for trivial decompositions).
+    pub fn width(&self) -> usize {
+        self.bags.iter().map(Vec::len).max().unwrap_or(1).saturating_sub(1)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// Whether the decomposition has no nodes (never produced by
+    /// [`to_nice`], which emits at least a leaf).
+    pub fn is_empty(&self) -> bool {
+        self.bags.is_empty()
+    }
+
+    /// Structural validation of the four node shapes plus the root's
+    /// empty bag.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.bags[self.root].is_empty() {
+            return Err("root bag must be empty".into());
+        }
+        for i in 0..self.len() {
+            let kids = &self.children[i];
+            match self.kinds[i] {
+                NiceKind::Leaf => {
+                    if !kids.is_empty() || !self.bags[i].is_empty() {
+                        return Err(format!("node {i}: malformed leaf"));
+                    }
+                }
+                NiceKind::Introduce(v) => {
+                    if kids.len() != 1 {
+                        return Err(format!("node {i}: introduce needs one child"));
+                    }
+                    let mut expect = self.bags[kids[0]].clone();
+                    expect.push(v);
+                    expect.sort_unstable();
+                    if self.bags[i] != expect || self.bags[kids[0]].contains(&v) {
+                        return Err(format!("node {i}: bad introduce({v})"));
+                    }
+                }
+                NiceKind::Forget(v) => {
+                    if kids.len() != 1 {
+                        return Err(format!("node {i}: forget needs one child"));
+                    }
+                    let expect: Vec<usize> = self.bags[kids[0]]
+                        .iter()
+                        .copied()
+                        .filter(|&w| w != v)
+                        .collect();
+                    if self.bags[i] != expect || !self.bags[kids[0]].contains(&v) {
+                        return Err(format!("node {i}: bad forget({v})"));
+                    }
+                }
+                NiceKind::Join => {
+                    if kids.len() != 2 {
+                        return Err(format!("node {i}: join needs two children"));
+                    }
+                    if self.bags[kids[0]] != self.bags[i] || self.bags[kids[1]] != self.bags[i] {
+                        return Err(format!("node {i}: join children bags differ"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Converts any tree decomposition into a nice one of the same width.
+pub fn to_nice(dec: &TreeDecomposition) -> NiceDecomposition {
+    let mut out = Builder::default();
+    if dec.bags.is_empty() {
+        let leaf = out.push(Vec::new(), NiceKind::Leaf, vec![]);
+        return out.finish(leaf);
+    }
+    // root the original tree at 0
+    let nb = dec.bags.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nb];
+    for &(a, b) in &dec.edges {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    let top = out.build_subtree(dec, &adj, 0, usize::MAX);
+    // forget everything in the top bag down to the empty root
+    let mut bag = dec.bags[0].clone();
+    bag.sort_unstable();
+    let mut cur = top;
+    let mut cur_bag = bag.clone();
+    for v in bag.into_iter().rev() {
+        cur_bag.retain(|&w| w != v);
+        cur = out.push(cur_bag.clone(), NiceKind::Forget(v), vec![cur]);
+    }
+    out.finish(cur)
+}
+
+#[derive(Default)]
+struct Builder {
+    bags: Vec<Vec<usize>>,
+    kinds: Vec<NiceKind>,
+    children: Vec<Vec<usize>>,
+}
+
+impl Builder {
+    fn push(&mut self, bag: Vec<usize>, kind: NiceKind, children: Vec<usize>) -> usize {
+        self.bags.push(bag);
+        self.kinds.push(kind);
+        self.children.push(children);
+        self.bags.len() - 1
+    }
+
+    fn finish(self, root: usize) -> NiceDecomposition {
+        NiceDecomposition {
+            bags: self.bags,
+            kinds: self.kinds,
+            children: self.children,
+            root,
+        }
+    }
+
+    /// Builds a nice subtree whose top node has exactly `dec.bags[node]`
+    /// (sorted) as bag; returns its index.
+    fn build_subtree(
+        &mut self,
+        dec: &TreeDecomposition,
+        adj: &[Vec<usize>],
+        node: usize,
+        parent: usize,
+    ) -> usize {
+        let mut bag = dec.bags[node].clone();
+        bag.sort_unstable();
+        let kids: Vec<usize> = adj[node].iter().copied().filter(|&c| c != parent).collect();
+        if kids.is_empty() {
+            // introduce chain from the empty leaf
+            let mut cur = self.push(Vec::new(), NiceKind::Leaf, vec![]);
+            let mut cur_bag: Vec<usize> = Vec::new();
+            for &v in &bag {
+                cur_bag.push(v);
+                cur_bag.sort_unstable();
+                cur = self.push(cur_bag.clone(), NiceKind::Introduce(v), vec![cur]);
+            }
+            return cur;
+        }
+        // one branch per child: child subtree, then morph its bag into ours
+        let mut branches: Vec<usize> = Vec::with_capacity(kids.len());
+        for &c in &kids {
+            let mut cur = self.build_subtree(dec, adj, c, node);
+            let mut cur_bag = dec.bags[c].clone();
+            cur_bag.sort_unstable();
+            // forget vars not in our bag
+            let to_forget: Vec<usize> = cur_bag
+                .iter()
+                .copied()
+                .filter(|v| !bag.contains(v))
+                .collect();
+            for v in to_forget {
+                cur_bag.retain(|&w| w != v);
+                cur = self.push(cur_bag.clone(), NiceKind::Forget(v), vec![cur]);
+            }
+            // introduce vars missing from the child's bag
+            let to_introduce: Vec<usize> = bag
+                .iter()
+                .copied()
+                .filter(|v| !cur_bag.contains(v))
+                .collect();
+            for v in to_introduce {
+                cur_bag.push(v);
+                cur_bag.sort_unstable();
+                cur = self.push(cur_bag.clone(), NiceKind::Introduce(v), vec![cur]);
+            }
+            branches.push(cur);
+        }
+        // a spine branch introducing the bag from scratch guarantees every
+        // bag variable is introduced somewhere below the joins
+        let mut spine = self.push(Vec::new(), NiceKind::Leaf, vec![]);
+        let mut spine_bag: Vec<usize> = Vec::new();
+        for &v in &bag {
+            spine_bag.push(v);
+            spine_bag.sort_unstable();
+            spine = self.push(spine_bag.clone(), NiceKind::Introduce(v), vec![spine]);
+        }
+        branches.push(spine);
+        // fold branches with joins
+        let mut cur = branches[0];
+        for &b in &branches[1..] {
+            cur = self.push(bag.clone(), NiceKind::Join, vec![cur, b]);
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphs::Graph;
+    use crate::treewidth::treewidth_exact;
+
+    fn nice_of(g: &Graph) -> NiceDecomposition {
+        let (_, dec) = treewidth_exact(g);
+        dec.validate(g).unwrap();
+        let nice = to_nice(&dec);
+        nice.validate().unwrap();
+        nice
+    }
+
+    #[test]
+    fn nice_on_standard_graphs() {
+        for g in [
+            Graph::path(6),
+            Graph::cycle(5),
+            Graph::complete(4),
+            Graph::grid(3, 3),
+            Graph::new(3),
+        ] {
+            let (w, _) = treewidth_exact(&g);
+            let nice = nice_of(&g);
+            assert_eq!(nice.width(), w, "width preserved");
+            // every vertex introduced and forgotten somewhere
+            for v in 0..g.num_vertices() {
+                assert!(nice
+                    .kinds
+                    .iter()
+                    .any(|k| matches!(k, NiceKind::Forget(w) if *w == v)));
+            }
+        }
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let nice = nice_of(&Graph::new(1));
+        assert!(nice.validate().is_ok());
+        assert_eq!(nice.bags[nice.root], Vec::<usize>::new());
+    }
+
+    #[test]
+    fn every_edge_covered_by_some_nice_bag() {
+        let g = Graph::grid(3, 2);
+        let nice = nice_of(&g);
+        for (u, v) in g.edges() {
+            assert!(
+                nice.bags.iter().any(|b| b.contains(&u) && b.contains(&v)),
+                "edge ({u},{v}) uncovered"
+            );
+        }
+    }
+
+    #[test]
+    fn node_count_is_linear() {
+        let g = Graph::path(20);
+        let nice = nice_of(&g);
+        assert!(nice.len() <= 40 * 20, "blow-up too large: {}", nice.len());
+    }
+}

@@ -1,0 +1,519 @@
+//! Tree decompositions and treewidth.
+//!
+//! §2 of the paper recalls tree decompositions; note the paper's “width” is
+//! the maximum bag *size*, while this module uses the standard convention
+//! **width = max bag size − 1** (trees then have treewidth 1, cliques `K_n`
+//! treewidth `n − 1`). Boundedness statements — all that Theorems 3.1/3.2
+//! depend on — are identical under either convention.
+//!
+//! Provided algorithms:
+//!
+//! * [`decomposition_from_order`] — the classical elimination-order
+//!   construction (triangulate, bag = vertex + its elimination
+//!   neighbourhood);
+//! * [`min_degree_order`] / [`min_fill_order`] — greedy heuristic orders;
+//! * [`treewidth_upper_bound`] — best heuristic decomposition;
+//! * [`treewidth_lower_bound`] — the degeneracy (MMD) lower bound;
+//! * [`treewidth_exact`] — exact width by memoized search over elimination
+//!   orders (for graphs with ≤ 64 vertices; queries are small).
+//!
+//! Every decomposition can be checked with
+//! [`TreeDecomposition::validate`], and the property tests assert
+//! `lower ≤ exact ≤ heuristic` throughout.
+
+use crate::graphs::Graph;
+use std::collections::HashSet;
+
+/// A tree decomposition: bags plus tree edges between bag indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeDecomposition {
+    /// The bags (each a sorted vertex list).
+    pub bags: Vec<Vec<usize>>,
+    /// Tree edges between bag indices.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl TreeDecomposition {
+    /// Width = max bag size − 1 (0 for decompositions of edgeless or empty
+    /// graphs).
+    pub fn width(&self) -> usize {
+        self.bags
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(1)
+            .saturating_sub(1)
+    }
+
+    /// Validates the three tree-decomposition conditions against `g`:
+    /// every vertex occurs in a bag, every edge is covered by a bag, and
+    /// each vertex's bags induce a connected subtree — plus that the bag
+    /// graph is actually a tree.
+    pub fn validate(&self, g: &Graph) -> Result<(), String> {
+        let nb = self.bags.len();
+        if nb == 0 {
+            return if g.num_vertices() == 0 {
+                Ok(())
+            } else {
+                Err("no bags for a non-empty graph".into())
+            };
+        }
+        // Tree check: connected with nb-1 edges.
+        if self.edges.len() != nb - 1 {
+            return Err(format!(
+                "bag graph has {} edges, expected {}",
+                self.edges.len(),
+                nb - 1
+            ));
+        }
+        let mut adj = vec![Vec::new(); nb];
+        for &(a, b) in &self.edges {
+            if a >= nb || b >= nb {
+                return Err("tree edge out of range".into());
+            }
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let mut seen = vec![false; nb];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(b) = stack.pop() {
+            for &n in &adj[b] {
+                if !seen[n] {
+                    seen[n] = true;
+                    count += 1;
+                    stack.push(n);
+                }
+            }
+        }
+        if count != nb {
+            return Err("bag graph is not connected".into());
+        }
+        // Vertex coverage + connectivity of occurrence sets.
+        for v in 0..g.num_vertices() {
+            let occ: Vec<usize> = (0..nb)
+                .filter(|&b| self.bags[b].contains(&v))
+                .collect();
+            if occ.is_empty() {
+                return Err(format!("vertex {v} in no bag"));
+            }
+            let occ_set: HashSet<usize> = occ.iter().copied().collect();
+            let mut seen = HashSet::new();
+            let mut stack = vec![occ[0]];
+            seen.insert(occ[0]);
+            while let Some(b) = stack.pop() {
+                for &n in &adj[b] {
+                    if occ_set.contains(&n) && seen.insert(n) {
+                        stack.push(n);
+                    }
+                }
+            }
+            if seen.len() != occ.len() {
+                return Err(format!("occurrences of vertex {v} are disconnected"));
+            }
+        }
+        // Edge coverage.
+        for (u, v) in g.edges() {
+            if !self
+                .bags
+                .iter()
+                .any(|b| b.contains(&u) && b.contains(&v))
+            {
+                return Err(format!("edge ({u},{v}) not covered by any bag"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Dynamic elimination graph used by order construction.
+struct ElimGraph {
+    adj: Vec<HashSet<usize>>,
+    alive: Vec<bool>,
+}
+
+impl ElimGraph {
+    fn new(g: &Graph) -> Self {
+        ElimGraph {
+            adj: (0..g.num_vertices())
+                .map(|v| g.neighbors(v).clone())
+                .collect(),
+            alive: vec![true; g.num_vertices()],
+        }
+    }
+
+    /// Eliminates `v`: connects its (alive) neighbours into a clique,
+    /// returning them.
+    fn eliminate(&mut self, v: usize) -> Vec<usize> {
+        let neigh: Vec<usize> = self.adj[v]
+            .iter()
+            .copied()
+            .filter(|&u| self.alive[u])
+            .collect();
+        for (i, &a) in neigh.iter().enumerate() {
+            for &b in &neigh[i + 1..] {
+                self.adj[a].insert(b);
+                self.adj[b].insert(a);
+            }
+        }
+        for &u in &neigh {
+            self.adj[u].remove(&v);
+        }
+        self.alive[v] = false;
+        neigh
+    }
+
+    fn degree(&self, v: usize) -> usize {
+        self.adj[v].iter().filter(|&&u| self.alive[u]).count()
+    }
+
+    fn fill_in(&self, v: usize) -> usize {
+        let neigh: Vec<usize> = self.adj[v]
+            .iter()
+            .copied()
+            .filter(|&u| self.alive[u])
+            .collect();
+        let mut fill = 0;
+        for (i, &a) in neigh.iter().enumerate() {
+            for &b in &neigh[i + 1..] {
+                if !self.adj[a].contains(&b) {
+                    fill += 1;
+                }
+            }
+        }
+        fill
+    }
+}
+
+/// The min-degree greedy elimination order.
+pub fn min_degree_order(g: &Graph) -> Vec<usize> {
+    greedy_order(g, |eg, v| eg.degree(v))
+}
+
+/// The min-fill greedy elimination order.
+pub fn min_fill_order(g: &Graph) -> Vec<usize> {
+    greedy_order(g, |eg, v| eg.fill_in(v))
+}
+
+fn greedy_order(g: &Graph, score: impl Fn(&ElimGraph, usize) -> usize) -> Vec<usize> {
+    let n = g.num_vertices();
+    let mut eg = ElimGraph::new(g);
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&v| eg.alive[v])
+            .min_by_key(|&v| (score(&eg, v), v))
+            .unwrap();
+        eg.eliminate(v);
+        order.push(v);
+    }
+    order
+}
+
+/// Builds a tree decomposition from an elimination order: bag(v) = {v} ∪
+/// (neighbours of v alive at elimination time, after triangulation); the
+/// parent of bag(v) is the bag of the earliest-eliminated member of its
+/// neighbourhood. Disconnected pieces are chained to form a single tree.
+pub fn decomposition_from_order(g: &Graph, order: &[usize]) -> TreeDecomposition {
+    let n = g.num_vertices();
+    assert_eq!(order.len(), n, "order must cover all vertices");
+    if n == 0 {
+        return TreeDecomposition {
+            bags: Vec::new(),
+            edges: Vec::new(),
+        };
+    }
+    let mut pos = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v] = i;
+    }
+    let mut eg = ElimGraph::new(g);
+    let mut bags: Vec<Vec<usize>> = Vec::with_capacity(n);
+    let mut parent_vertex: Vec<Option<usize>> = Vec::with_capacity(n);
+    for &v in order {
+        let neigh = eg.eliminate(v);
+        let mut bag = neigh.clone();
+        bag.push(v);
+        bag.sort_unstable();
+        bags.push(bag);
+        parent_vertex.push(neigh.iter().copied().min_by_key(|&u| pos[u]));
+    }
+    // bag index of vertex v is pos[v]
+    let mut edges = Vec::new();
+    let mut roots = Vec::new();
+    for (i, pv) in parent_vertex.iter().enumerate() {
+        match pv {
+            Some(u) => edges.push((i, pos[*u])),
+            None => roots.push(i),
+        }
+    }
+    for w in roots.windows(2) {
+        edges.push((w[0], w[1]));
+    }
+    TreeDecomposition { bags, edges }
+}
+
+/// Best heuristic decomposition (min of min-degree and min-fill widths).
+pub fn treewidth_upper_bound(g: &Graph) -> (usize, TreeDecomposition) {
+    let d1 = decomposition_from_order(g, &min_degree_order(g));
+    let d2 = decomposition_from_order(g, &min_fill_order(g));
+    if d1.width() <= d2.width() {
+        (d1.width(), d1)
+    } else {
+        (d2.width(), d2)
+    }
+}
+
+/// The degeneracy (MMD) lower bound on treewidth.
+pub fn treewidth_lower_bound(g: &Graph) -> usize {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let mut eg = ElimGraph::new(g);
+    // For the lower bound we *remove* (not eliminate) min-degree vertices.
+    let mut best = 0;
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&v| eg.alive[v])
+            .min_by_key(|&v| eg.degree(v))
+            .unwrap();
+        best = best.max(eg.degree(v));
+        // plain removal: mark dead without fill
+        eg.alive[v] = false;
+    }
+    best
+}
+
+/// Exact treewidth with a witnessing decomposition, via memoized search
+/// over elimination orders (“`tw(G) ≤ k` iff some elimination order has all
+/// elimination degrees ≤ k”).
+///
+/// # Panics
+/// Panics if `g` has more than 64 vertices — query abstractions in this
+/// workspace are far smaller; use [`treewidth_upper_bound`] for big graphs.
+pub fn treewidth_exact(g: &Graph) -> (usize, TreeDecomposition) {
+    let n = g.num_vertices();
+    assert!(n <= 64, "exact treewidth limited to 64 vertices");
+    if n == 0 {
+        return (
+            0,
+            TreeDecomposition {
+                bags: Vec::new(),
+                edges: Vec::new(),
+            },
+        );
+    }
+    let lower = treewidth_lower_bound(g);
+    let (upper, upper_dec) = treewidth_upper_bound(g);
+    if lower == upper {
+        return (upper, upper_dec);
+    }
+    for k in lower..upper {
+        if let Some(order) = order_with_width(g, k) {
+            let dec = decomposition_from_order(g, &order);
+            debug_assert!(dec.width() <= k);
+            return (dec.width(), dec);
+        }
+    }
+    (upper, upper_dec)
+}
+
+/// Searches for an elimination order with all elimination degrees ≤ k.
+fn order_with_width(g: &Graph, k: usize) -> Option<Vec<usize>> {
+    let n = g.num_vertices();
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut failed: HashSet<u64> = HashSet::new();
+    let mut order = Vec::with_capacity(n);
+    if search(g, 0, full, k, &mut failed, &mut order) {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// Elimination degree of `v` given eliminated-set `elim`: the number of
+/// distinct non-eliminated vertices reachable from `v` through eliminated
+/// vertices (this is `v`'s neighbourhood in the elimination graph).
+fn elim_degree(g: &Graph, v: usize, elim: u64) -> usize {
+    let mut seen_elim: u64 = 0;
+    let mut result: u64 = 0;
+    let mut stack = vec![v];
+    while let Some(u) = stack.pop() {
+        for &w in g.neighbors(u) {
+            if w == v {
+                continue;
+            }
+            let bit = 1u64 << w;
+            if elim & bit != 0 {
+                if seen_elim & bit == 0 {
+                    seen_elim |= bit;
+                    stack.push(w);
+                }
+            } else {
+                result |= bit;
+            }
+        }
+    }
+    result.count_ones() as usize
+}
+
+fn search(
+    g: &Graph,
+    elim: u64,
+    full: u64,
+    k: usize,
+    failed: &mut HashSet<u64>,
+    order: &mut Vec<usize>,
+) -> bool {
+    if elim == full {
+        return true;
+    }
+    if failed.contains(&elim) {
+        return false;
+    }
+    let n = g.num_vertices();
+    // Safe-elimination rule: a vertex of elimination degree ≤ 1 can always
+    // be eliminated first without loss of optimality.
+    for v in 0..n {
+        if elim & (1u64 << v) != 0 {
+            continue;
+        }
+        if elim_degree(g, v, elim) <= 1.min(k) {
+            order.push(v);
+            if search(g, elim | (1u64 << v), full, k, failed, order) {
+                return true;
+            }
+            order.pop();
+            failed.insert(elim);
+            return false;
+        }
+    }
+    for v in 0..n {
+        if elim & (1u64 << v) != 0 {
+            continue;
+        }
+        if elim_degree(g, v, elim) <= k {
+            order.push(v);
+            if search(g, elim | (1u64 << v), full, k, failed, order) {
+                return true;
+            }
+            order.pop();
+        }
+    }
+    failed.insert(elim);
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_exact(g: &Graph, expected: usize) {
+        let (w, dec) = treewidth_exact(g);
+        assert_eq!(w, expected, "treewidth mismatch");
+        dec.validate(g).expect("invalid decomposition");
+        assert_eq!(dec.width(), w);
+        assert!(treewidth_lower_bound(g) <= w);
+        let (ub, ubdec) = treewidth_upper_bound(g);
+        assert!(ub >= w);
+        ubdec.validate(g).expect("invalid heuristic decomposition");
+    }
+
+    #[test]
+    fn known_treewidths() {
+        check_exact(&Graph::path(6), 1);
+        check_exact(&Graph::cycle(6), 2);
+        check_exact(&Graph::complete(5), 4);
+        check_exact(&Graph::grid(3, 3), 3);
+        check_exact(&Graph::grid(4, 4), 4);
+        check_exact(&Graph::new(4), 0); // edgeless
+    }
+
+    #[test]
+    fn single_vertex_and_empty() {
+        check_exact(&Graph::new(1), 0);
+        let (w, dec) = treewidth_exact(&Graph::new(0));
+        assert_eq!(w, 0);
+        dec.validate(&Graph::new(0)).unwrap();
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        // K4 ⊎ P3: treewidth 3
+        let mut g = Graph::new(7);
+        g.add_clique(&[0, 1, 2, 3]);
+        g.add_edge(4, 5);
+        g.add_edge(5, 6);
+        check_exact(&g, 3);
+    }
+
+    #[test]
+    fn star_graph() {
+        let mut g = Graph::new(6);
+        for i in 1..6 {
+            g.add_edge(0, i);
+        }
+        check_exact(&g, 1);
+    }
+
+    #[test]
+    fn complete_bipartite_k33() {
+        let mut g = Graph::new(6);
+        for i in 0..3 {
+            for j in 3..6 {
+                g.add_edge(i, j);
+            }
+        }
+        check_exact(&g, 3);
+    }
+
+    #[test]
+    fn validation_catches_bad_decompositions() {
+        let g = Graph::path(3);
+        // missing edge coverage
+        let bad = TreeDecomposition {
+            bags: vec![vec![0, 1], vec![2]],
+            edges: vec![(0, 1)],
+        };
+        assert!(bad.validate(&g).is_err());
+        // disconnected occurrences of vertex 0
+        let bad2 = TreeDecomposition {
+            bags: vec![vec![0, 1], vec![1, 2], vec![0]],
+            edges: vec![(0, 1), (1, 2)],
+        };
+        assert!(bad2.validate(&g).is_err());
+        // not a tree (cycle)
+        let bad3 = TreeDecomposition {
+            bags: vec![vec![0, 1], vec![1, 2], vec![0, 1, 2]],
+            edges: vec![(0, 1), (1, 2), (2, 0)],
+        };
+        assert!(bad3.validate(&g).is_err());
+        // valid one
+        let good = TreeDecomposition {
+            bags: vec![vec![0, 1], vec![1, 2]],
+            edges: vec![(0, 1)],
+        };
+        good.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn heuristic_orders_cover_all_vertices() {
+        let g = Graph::grid(3, 3);
+        let mut o1 = min_degree_order(&g);
+        let mut o2 = min_fill_order(&g);
+        o1.sort_unstable();
+        o2.sort_unstable();
+        let all: Vec<usize> = (0..9).collect();
+        assert_eq!(o1, all);
+        assert_eq!(o2, all);
+    }
+
+    #[test]
+    fn lower_bound_examples() {
+        assert_eq!(treewidth_lower_bound(&Graph::complete(5)), 4);
+        assert_eq!(treewidth_lower_bound(&Graph::cycle(6)), 2);
+        assert_eq!(treewidth_lower_bound(&Graph::path(6)), 1);
+    }
+}

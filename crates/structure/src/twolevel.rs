@@ -1,0 +1,389 @@
+//! Two-level multi-hypergraphs and the paper's structural measures.
+
+use crate::graphs::{Graph, MultiGraph};
+
+/// A two-level multi-hypergraph `G = (V, E, H, η, ν)` (§2 of the paper):
+/// `(V, E, η)` is a multigraph (first-level edges `E` between vertices, the
+/// path variables of a query), and `(E, H, ν)` is a multi-hypergraph
+/// (second-level hyperedges `H` over first-level edges, the relation atoms).
+///
+/// First-level edges are *directed* pairs here because reachability atoms
+/// `x →π y` are directed; the measures only use the underlying undirected
+/// structure, matching the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwoLevelGraph {
+    num_vertices: usize,
+    /// `η`: endpoints of each first-level edge (source, target).
+    edges: Vec<(usize, usize)>,
+    /// `ν`: each hyperedge is a non-empty set of first-level edge indices
+    /// (stored sorted, duplicates removed — `ν(h) ∈ φ(E)`).
+    hyperedges: Vec<Vec<usize>>,
+}
+
+/// The connected-component structure of `G^rel = (E, H, ν)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelComponents {
+    /// Component index of each first-level edge.
+    pub comp_of_edge: Vec<usize>,
+    /// Component index of each hyperedge.
+    pub comp_of_hedge: Vec<usize>,
+    /// For each component: sorted member edges.
+    pub edges: Vec<Vec<usize>>,
+    /// For each component: sorted member hyperedges.
+    pub hedges: Vec<Vec<usize>>,
+}
+
+impl TwoLevelGraph {
+    /// Creates a 2L graph with `num_vertices` vertices and no edges.
+    pub fn new(num_vertices: usize) -> Self {
+        TwoLevelGraph {
+            num_vertices,
+            edges: Vec::new(),
+            hyperedges: Vec::new(),
+        }
+    }
+
+    /// Number of vertices `|V|`.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of first-level edges `|E|`.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of hyperedges `|H|`.
+    pub fn num_hyperedges(&self) -> usize {
+        self.hyperedges.len()
+    }
+
+    /// Adds a first-level edge `src → dst`, returning its index.
+    pub fn add_edge(&mut self, src: usize, dst: usize) -> usize {
+        assert!(src < self.num_vertices && dst < self.num_vertices);
+        self.edges.push((src, dst));
+        self.edges.len() - 1
+    }
+
+    /// Adds a hyperedge over the given first-level edges, returning its
+    /// index.
+    ///
+    /// # Panics
+    /// Panics if `members` is empty or refers to a missing edge.
+    pub fn add_hyperedge(&mut self, members: &[usize]) -> usize {
+        assert!(!members.is_empty(), "hyperedges are non-empty (ν : H → φ(E))");
+        assert!(members.iter().all(|&e| e < self.edges.len()));
+        let mut m = members.to_vec();
+        m.sort_unstable();
+        m.dedup();
+        self.hyperedges.push(m);
+        self.hyperedges.len() - 1
+    }
+
+    /// Endpoints `η(e)` of first-level edge `e`.
+    pub fn edge(&self, e: usize) -> (usize, usize) {
+        self.edges[e]
+    }
+
+    /// Members `ν(h)` of hyperedge `h`.
+    pub fn hyperedge(&self, h: usize) -> &[usize] {
+        &self.hyperedges[h]
+    }
+
+    /// Connected components of `G^rel`: two first-level edges are connected
+    /// when some chain of hyperedges links them; a hyperedge belongs to the
+    /// component of its members. Hyperedge-free edges form singleton
+    /// components.
+    pub fn rel_components(&self) -> RelComponents {
+        let ne = self.edges.len();
+        let mut uf = UnionFind::new(ne);
+        for h in &self.hyperedges {
+            for w in h.windows(2) {
+                uf.union(w[0], w[1]);
+            }
+        }
+        // Dense component ids in first-seen order of edges.
+        let mut comp_id = vec![usize::MAX; ne];
+        let mut comp_of_edge = vec![0usize; ne];
+        let mut edges: Vec<Vec<usize>> = Vec::new();
+        for (e, slot) in comp_of_edge.iter_mut().enumerate() {
+            let root = uf.find(e);
+            if comp_id[root] == usize::MAX {
+                comp_id[root] = edges.len();
+                edges.push(Vec::new());
+            }
+            *slot = comp_id[root];
+            edges[comp_id[root]].push(e);
+        }
+        let mut hedges: Vec<Vec<usize>> = vec![Vec::new(); edges.len()];
+        let mut comp_of_hedge = Vec::with_capacity(self.hyperedges.len());
+        for (hi, h) in self.hyperedges.iter().enumerate() {
+            let c = comp_of_edge[h[0]];
+            debug_assert!(h.iter().all(|&e| comp_of_edge[e] == c));
+            comp_of_hedge.push(c);
+            hedges[c].push(hi);
+        }
+        RelComponents {
+            comp_of_edge,
+            comp_of_hedge,
+            edges,
+            hedges,
+        }
+    }
+
+    /// `cc_vertex(G)`: the maximum number of vertices of `G^rel` (i.e.
+    /// first-level edges / path variables) in one connected component of
+    /// `G^rel`. Zero for an edge-free graph.
+    pub fn cc_vertex(&self) -> usize {
+        self.rel_components()
+            .edges
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `cc_hedge(G)`: the maximum number of hyperedges in one connected
+    /// component of `G^rel`.
+    pub fn cc_hedge(&self) -> usize {
+        self.rel_components()
+            .hedges
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `G^node`: the graph on `V` where, for every connected component of
+    /// `G^rel` containing at least one hyperedge, the vertices incident to
+    /// the component's edges form a clique (§3, “2L graph measures”).
+    pub fn node_graph(&self) -> Graph {
+        let comps = self.rel_components();
+        let mut g = Graph::new(self.num_vertices);
+        for (c, edge_list) in comps.edges.iter().enumerate() {
+            if comps.hedges[c].is_empty() {
+                continue; // the formal definition requires hyperedges h, h'
+            }
+            let mut verts: Vec<usize> = edge_list
+                .iter()
+                .flat_map(|&e| {
+                    let (u, v) = self.edges[e];
+                    [u, v]
+                })
+                .collect();
+            verts.sort_unstable();
+            verts.dedup();
+            g.add_clique(&verts);
+        }
+        g
+    }
+
+    /// `G^collapse` (§5.2): the bipartite multigraph on `V ⊎ C` (`C` = the
+    /// connected components of `G^rel`) where each first-level edge
+    /// `η(e) = (v, v′)` in component `c` is split into the two edges
+    /// `{v, c}` and `{v′, c}`. Component vertices are numbered
+    /// `num_vertices ..`.
+    pub fn collapse(&self) -> MultiGraph {
+        let comps = self.rel_components();
+        let mut m = MultiGraph::new(self.num_vertices + comps.edges.len());
+        for (e, &(u, v)) in self.edges.iter().enumerate() {
+            let c = self.num_vertices + comps.comp_of_edge[e];
+            m.add_edge(u, c);
+            m.add_edge(v, c);
+        }
+        m
+    }
+
+    /// The merged graph `Ĝ` of §4: every connected component of `G^rel` is
+    /// replaced by a single hyperedge over all its edges. Returned as a new
+    /// 2L graph with the same vertices and first-level edges.
+    pub fn merged(&self) -> TwoLevelGraph {
+        let comps = self.rel_components();
+        let mut g = TwoLevelGraph::new(self.num_vertices);
+        g.edges = self.edges.clone();
+        for (c, edge_list) in comps.edges.iter().enumerate() {
+            if !comps.hedges[c].is_empty() {
+                g.add_hyperedge(edge_list);
+            }
+        }
+        g
+    }
+}
+
+/// Union-find with path compression and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were
+    /// distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example of §3 (“2L graph measures”): five path variables
+    /// π₁..π₅; hyperedges {π₁}, {π₂, π₃}, {π₃, π₄}, {π₅} — giving
+    /// cc_vertex = 3 and cc_hedge = 2, witnessed by {π₂, π₃, π₄}.
+    fn paper_example() -> TwoLevelGraph {
+        let mut g = TwoLevelGraph::new(6);
+        let p1 = g.add_edge(0, 1);
+        let p2 = g.add_edge(1, 2);
+        let p3 = g.add_edge(2, 3);
+        let p4 = g.add_edge(3, 4);
+        let p5 = g.add_edge(4, 5);
+        g.add_hyperedge(&[p1]);
+        g.add_hyperedge(&[p2, p3]);
+        g.add_hyperedge(&[p3, p4]);
+        g.add_hyperedge(&[p5]);
+        g
+    }
+
+    #[test]
+    fn paper_example_measures() {
+        let g = paper_example();
+        assert_eq!(g.cc_vertex(), 3);
+        assert_eq!(g.cc_hedge(), 2);
+    }
+
+    #[test]
+    fn rel_components_structure() {
+        let g = paper_example();
+        let c = g.rel_components();
+        assert_eq!(c.edges.len(), 3);
+        // component containing π2..π4
+        let big = c.comp_of_edge[1];
+        assert_eq!(c.comp_of_edge[2], big);
+        assert_eq!(c.comp_of_edge[3], big);
+        assert_ne!(c.comp_of_edge[0], big);
+        assert_eq!(c.edges[big], vec![1, 2, 3]);
+        assert_eq!(c.hedges[big].len(), 2);
+    }
+
+    #[test]
+    fn hyperedge_free_edges_are_singletons() {
+        let mut g = TwoLevelGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert_eq!(g.cc_vertex(), 1);
+        assert_eq!(g.cc_hedge(), 0);
+        // no hyperedges ⇒ G^node has no edges (formal definition)
+        assert_eq!(g.node_graph().num_edges(), 0);
+    }
+
+    #[test]
+    fn node_graph_cliques() {
+        let g = paper_example();
+        let ng = g.node_graph();
+        // component {π2,π3,π4} touches vertices 1..=4 → K4 on them;
+        // π1 → clique {0,1}; π5 → clique {4,5}.
+        assert!(ng.has_edge(1, 4));
+        assert!(ng.has_edge(2, 3));
+        assert!(ng.has_edge(0, 1));
+        assert!(ng.has_edge(4, 5));
+        assert!(!ng.has_edge(0, 2));
+        assert!(!ng.has_edge(3, 5));
+        assert_eq!(ng.num_edges(), 6 + 2);
+    }
+
+    #[test]
+    fn collapse_structure() {
+        let g = paper_example();
+        let m = g.collapse();
+        // 6 node vertices + 3 component vertices; 2 multigraph edges per
+        // first-level edge.
+        assert_eq!(m.num_vertices(), 9);
+        assert_eq!(m.num_edges(), 10);
+        // π1's component vertex links 0 and 1
+        let comps = g.rel_components();
+        let c_p1 = 6 + comps.comp_of_edge[0];
+        assert_eq!(m.multiplicity(0, c_p1), 1);
+        assert_eq!(m.multiplicity(1, c_p1), 1);
+    }
+
+    #[test]
+    fn collapse_self_loop_edge_doubles() {
+        // η(e) = (v, v): the split produces {v,c} twice.
+        let mut g = TwoLevelGraph::new(1);
+        let e = g.add_edge(0, 0);
+        g.add_hyperedge(&[e]);
+        let m = g.collapse();
+        assert_eq!(m.multiplicity(0, 1), 2);
+    }
+
+    #[test]
+    fn merged_collapses_components() {
+        let g = paper_example();
+        let m = g.merged();
+        assert_eq!(m.num_hyperedges(), 3);
+        assert_eq!(m.cc_hedge(), 1);
+        assert_eq!(m.cc_vertex(), 3);
+        // merging must not change G^node
+        assert_eq!(m.node_graph().edges(), g.node_graph().edges());
+    }
+
+    #[test]
+    fn union_find() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(3, 4));
+        assert!(!uf.union(1, 0));
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(1, 3));
+        uf.union(1, 3);
+        assert!(uf.same(0, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_hyperedge_panics() {
+        let mut g = TwoLevelGraph::new(1);
+        g.add_hyperedge(&[]);
+    }
+}

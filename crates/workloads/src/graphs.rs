@@ -1,0 +1,211 @@
+//! Graph database and automaton generators.
+
+use ecrpq_automata::{Alphabet, Nfa, Symbol};
+use ecrpq_graph::GraphDb;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A directed chain `v0 →a v1 →a ⋯ →a v_{n−1}`.
+pub fn chain_db(n: usize) -> GraphDb {
+    let mut g = GraphDb::new();
+    let nodes: Vec<_> = (0..n).map(|i| g.add_node(&format!("v{i}"))).collect();
+    for i in 1..n {
+        g.add_edge(nodes[i - 1], 'a', nodes[i]);
+    }
+    g
+}
+
+/// A directed cycle of length `n`, labels alternating over the first
+/// `num_labels` lowercase letters.
+pub fn cycle_db(n: usize, num_labels: usize) -> GraphDb {
+    assert!((1..=26).contains(&num_labels));
+    let mut g = GraphDb::with_alphabet(Alphabet::ascii_lower(num_labels));
+    let nodes: Vec<_> = (0..n).map(|i| g.add_node(&format!("v{i}"))).collect();
+    for i in 0..n {
+        let label = (b'a' + (i % num_labels) as u8) as char;
+        g.add_edge(nodes[i], label, nodes[(i + 1) % n]);
+    }
+    g
+}
+
+/// A `w × h` grid with rightward `a`-edges and downward `b`-edges.
+pub fn grid_db(w: usize, h: usize) -> GraphDb {
+    let mut g = GraphDb::with_alphabet(Alphabet::ascii_lower(2));
+    let nodes: Vec<_> = (0..w * h).map(|i| g.add_node(&format!("v{i}"))).collect();
+    for y in 0..h {
+        for x in 0..w {
+            let v = y * w + x;
+            if x + 1 < w {
+                g.add_edge(nodes[v], 'a', nodes[v + 1]);
+            }
+            if y + 1 < h {
+                g.add_edge(nodes[v], 'b', nodes[v + w]);
+            }
+        }
+    }
+    g
+}
+
+/// A random graph database: `n` vertices, ≈`avg_degree` outgoing edges per
+/// vertex, labels uniform over `num_labels` letters. Deterministic in
+/// `seed`.
+pub fn random_db(n: usize, avg_degree: f64, num_labels: usize, seed: u64) -> GraphDb {
+    assert!((1..=26).contains(&num_labels));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = GraphDb::with_alphabet(Alphabet::ascii_lower(num_labels));
+    let nodes: Vec<_> = (0..n).map(|i| g.add_node(&format!("v{i}"))).collect();
+    if n == 0 {
+        return g;
+    }
+    let num_edges = (n as f64 * avg_degree).round() as usize;
+    for _ in 0..num_edges {
+        let src = nodes[rng.gen_range(0..n)];
+        let dst = nodes[rng.gen_range(0..n)];
+        let label = (b'a' + rng.gen_range(0..num_labels) as u8) as char;
+        g.add_edge(src, label, dst);
+    }
+    g
+}
+
+/// A random *complete DFA* with `states` states over `num_symbols`
+/// symbols — the literal input format of the p-IE problem (§2.1 of the
+/// paper takes DFAs). State 0 is initial; each state is final with
+/// probability `final_prob` (at least one final is guaranteed).
+pub fn random_dfa(
+    states: usize,
+    num_symbols: usize,
+    final_prob: f64,
+    seed: u64,
+) -> ecrpq_automata::Dfa<Symbol> {
+    assert!(states >= 1 && num_symbols >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xD1F4);
+    let alphabet: Vec<Symbol> = (0..num_symbols as Symbol).collect();
+    let transitions: Vec<Vec<u32>> = (0..states)
+        .map(|_| {
+            (0..num_symbols)
+                .map(|_| rng.gen_range(0..states) as u32)
+                .collect()
+        })
+        .collect();
+    let mut finals: Vec<u32> = (0..states as u32)
+        .filter(|_| rng.gen_bool(final_prob))
+        .collect();
+    if finals.is_empty() {
+        finals.push(rng.gen_range(0..states) as u32);
+    }
+    ecrpq_automata::Dfa::from_parts(alphabet, transitions, 0, finals)
+}
+
+/// A random NFA with `states` states over `num_symbols` symbols:
+/// transition present with probability `density`, each non-initial state
+/// final with probability `final_prob`; state 0 is initial.
+pub fn random_nfa(
+    states: usize,
+    num_symbols: usize,
+    density: f64,
+    final_prob: f64,
+    seed: u64,
+) -> Nfa<Symbol> {
+    assert!(states >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut nfa = Nfa::with_states(states);
+    nfa.set_initial(0);
+    for q in 0..states as u32 {
+        for s in 0..num_symbols as Symbol {
+            for t in 0..states as u32 {
+                if rng.gen_bool(density) {
+                    nfa.add_transition(q, s, t);
+                }
+            }
+        }
+        if rng.gen_bool(final_prob) {
+            nfa.set_final(q);
+        }
+    }
+    // guarantee at least one final state
+    if nfa.final_states().next().is_none() {
+        nfa.set_final((states - 1) as u32);
+    }
+    nfa.normalize();
+    nfa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_shape() {
+        let g = chain_db(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn cycle_shape_and_labels() {
+        let g = cycle_db(6, 2);
+        assert_eq!(g.num_edges(), 6);
+        let a = g.alphabet().symbol('a').unwrap();
+        let b = g.alphabet().symbol('b').unwrap();
+        assert!(g.has_edge(0, a, 1));
+        assert!(g.has_edge(1, b, 2));
+        assert!(g.has_edge(5, b, 0));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid_db(3, 2);
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 7);
+    }
+
+    #[test]
+    fn random_db_deterministic() {
+        let g1 = random_db(20, 2.0, 2, 42);
+        let g2 = random_db(20, 2.0, 2, 42);
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+        let g3 = random_db(20, 2.0, 2, 43);
+        let e3: Vec<_> = g3.edges().collect();
+        assert_ne!(e1, e3);
+    }
+
+    #[test]
+    fn random_db_edge_count_scales() {
+        let g = random_db(100, 3.0, 3, 1);
+        // duplicates collapse, so ≤ 300, but should be close
+        assert!(g.num_edges() > 200 && g.num_edges() <= 300);
+    }
+
+    #[test]
+    fn random_nfa_valid() {
+        let n = random_nfa(5, 2, 0.3, 0.4, 7);
+        assert_eq!(n.num_states(), 5);
+        assert_eq!(n.initial_states(), &[0]);
+        assert!(n.final_states().next().is_some());
+        // deterministic
+        let n2 = random_nfa(5, 2, 0.3, 0.4, 7);
+        assert_eq!(n, n2);
+    }
+
+    #[test]
+    fn empty_random_db() {
+        let g = random_db(0, 2.0, 1, 0);
+        assert_eq!(g.num_nodes(), 0);
+    }
+
+    #[test]
+    fn random_dfa_is_complete_and_deterministic() {
+        let d = random_dfa(6, 2, 0.3, 9);
+        assert_eq!(d.num_states(), 6);
+        // complete: stepping never fails
+        let mut q = d.initial();
+        for s in [0u8, 1, 0, 0, 1] {
+            q = d.step(q, &s).unwrap();
+        }
+        assert_eq!(d, random_dfa(6, 2, 0.3, 9));
+        assert_ne!(random_dfa(6, 2, 0.3, 9), random_dfa(6, 2, 0.3, 10));
+    }
+}

@@ -1,0 +1,72 @@
+//! Intersection non-emptiness instance generators (inputs to the §5
+//! reductions and to experiments E3/E5).
+
+use crate::graphs::random_nfa;
+use ecrpq_automata::{Nfa, Symbol};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// `count` random NFAs over `num_symbols` symbols with `states` states
+/// each. Intersection emptiness is whatever it happens to be — use
+/// [`planted_ine`] when the answer must be controlled.
+pub fn random_ine(count: usize, states: usize, num_symbols: usize, seed: u64) -> Vec<Nfa<Symbol>> {
+    (0..count)
+        .map(|i| random_nfa(states, num_symbols, 0.15, 0.3, seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+/// `count` random NFAs that all accept a planted common word of length
+/// `word_len` (so the intersection is guaranteed non-empty), built by
+/// taking the union of a random NFA with the word automaton.
+pub fn planted_ine(
+    count: usize,
+    states: usize,
+    num_symbols: usize,
+    word_len: usize,
+    seed: u64,
+) -> (Vec<Nfa<Symbol>>, Vec<Symbol>) {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9);
+    let word: Vec<Symbol> = (0..word_len)
+        .map(|_| rng.gen_range(0..num_symbols as Symbol))
+        .collect();
+    let planted = Nfa::word_lang(&word);
+    let automata = (0..count)
+        .map(|i| {
+            let base = random_nfa(states, num_symbols, 0.15, 0.3, seed.wrapping_add(i as u64));
+            base.union(&planted)
+        })
+        .collect();
+    (automata, word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_ine_deterministic() {
+        let a = random_ine(3, 4, 2, 5);
+        let b = random_ine(3, 4, 2, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn planted_word_is_common() {
+        let (automata, word) = planted_ine(4, 5, 2, 3, 11);
+        assert_eq!(word.len(), 3);
+        for (i, a) in automata.iter().enumerate() {
+            assert!(a.accepts(&word), "automaton {i} rejects the planted word");
+        }
+    }
+
+    #[test]
+    fn planted_intersection_nonempty() {
+        let (automata, _) = planted_ine(3, 4, 2, 2, 99);
+        let mut acc = automata[0].clone();
+        for a in &automata[1..] {
+            acc = acc.intersect(a);
+        }
+        assert!(!acc.is_empty());
+    }
+}

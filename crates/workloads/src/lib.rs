@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Workload generators for the ECRPQ experiment suite.
+//!
+//! Each experiment in `EXPERIMENTS.md` sweeps a parameter of a query/data
+//! family; this crate provides those families:
+//!
+//! * [`graphs`] — graph databases (chains, cycles, grids, random
+//!   multi-label graphs, random NFAs/DFAs as inputs to the reductions);
+//! * [`queries`] — query families pinned to each complexity regime of
+//!   Theorems 3.1/3.2 (bounded-everything chains for PTIME/FPT, clique
+//!   patterns for the NP/W\[1\] regime, big relation components for the
+//!   PSPACE/XNL regime) plus fully random ECRPQs for differential
+//!   testing;
+//! * [`ine`] — intersection-non-emptiness instances (random automata,
+//!   plus families with a planted common word so non-emptiness is
+//!   controlled).
+//!
+//! All generators take an explicit `seed` and are deterministic.
+
+pub mod graphs;
+pub mod ine;
+pub mod queries;
+
+pub use graphs::{chain_db, cycle_db, grid_db, random_db, random_dfa, random_nfa};
+pub use ine::{planted_ine, random_ine};
+pub use queries::{big_component_query, clique_query, random_ecrpq, tractable_chain_query, RandomQueryParams};

@@ -1,0 +1,205 @@
+//! Query families pinned to the complexity regimes of Theorems 3.1/3.2,
+//! plus fully random ECRPQs for differential testing.
+
+use ecrpq_automata::{relations, Alphabet, Regex, SyncRel};
+use ecrpq_query::{Ecrpq, NodeVar, PathVar};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// **Tractable regime** (Theorem 3.2(3)): a chain of `len` equal-length
+/// diamonds, `xᵢ →aᵢ xᵢ₊₁ ∧ xᵢ →bᵢ xᵢ₊₁ ∧ eq_len(aᵢ, bᵢ)`. Measures:
+/// `cc_vertex = 2`, `cc_hedge = 1`, `tw = 1` — all bounded as `len` grows.
+/// The relation excludes empty paths (`eq_length_min` with `min_len = 1`)
+/// so satisfiability is non-trivial.
+pub fn tractable_chain_query(len: usize, num_symbols: usize) -> Ecrpq {
+    assert!(len >= 1);
+    let alphabet = Alphabet::ascii_lower(num_symbols);
+    let mut q = Ecrpq::new(alphabet);
+    let vars: Vec<NodeVar> = (0..=len).map(|i| q.node_var(&format!("x{i}"))).collect();
+    let eq_len = Arc::new(relations::eq_length_min(2, num_symbols, 1));
+    for i in 0..len {
+        let a = q.path_atom(vars[i], &format!("a{i}"), vars[i + 1]);
+        let b = q.path_atom(vars[i], &format!("b{i}"), vars[i + 1]);
+        q.rel_atom("eq_len1", eq_len.clone(), &[a, b]);
+    }
+    q
+}
+
+/// **NP / W\[1\] regime** (Theorem 3.2(2)): a `k`-clique pattern of CRPQ
+/// atoms `xᵢ -(L)-> xⱼ` for all `i < j`. Measures: `cc_vertex = 1`,
+/// `cc_hedge = 1`, `tw = k − 1` — treewidth unbounded in `k`.
+pub fn clique_query(k: usize, regex: &str, alphabet: &mut Alphabet) -> Ecrpq {
+    assert!(k >= 2);
+    let lang = Regex::compile_str(regex, alphabet).expect("valid regex");
+    let mut q = Ecrpq::new(alphabet.clone());
+    let vars: Vec<NodeVar> = (0..k).map(|i| q.node_var(&format!("x{i}"))).collect();
+    for i in 0..k {
+        for j in (i + 1)..k {
+            q.crpq_atom(vars[i], &lang, regex, vars[j]);
+        }
+    }
+    q
+}
+
+/// **PSPACE / XNL regime** (Theorem 3.2(1)): a single relation component
+/// with `r` path variables — `r` parallel paths of equal length between
+/// two node variables. Measures: `cc_vertex = r` (unbounded), `tw = 1`.
+pub fn big_component_query(r: usize, num_symbols: usize) -> Ecrpq {
+    assert!(r >= 2);
+    let alphabet = Alphabet::ascii_lower(num_symbols);
+    let mut q = Ecrpq::new(alphabet);
+    let x = q.node_var("x");
+    let y = q.node_var("y");
+    let ps: Vec<PathVar> = (0..r)
+        .map(|i| q.path_atom(x, &format!("p{i}"), y))
+        .collect();
+    q.rel_atom(
+        "eq_len1",
+        Arc::new(relations::eq_length_min(r, num_symbols, 1)),
+        &ps,
+    );
+    q
+}
+
+/// Parameters for [`random_ecrpq`].
+#[derive(Debug, Clone, Copy)]
+pub struct RandomQueryParams {
+    /// Number of node variables.
+    pub node_vars: usize,
+    /// Number of path atoms.
+    pub path_atoms: usize,
+    /// Number of relation atoms (clamped to what fits).
+    pub rel_atoms: usize,
+    /// Maximum relation arity.
+    pub max_arity: usize,
+    /// Alphabet size.
+    pub num_symbols: usize,
+}
+
+impl Default for RandomQueryParams {
+    fn default() -> Self {
+        RandomQueryParams {
+            node_vars: 3,
+            path_atoms: 4,
+            rel_atoms: 2,
+            max_arity: 2,
+            num_symbols: 2,
+        }
+    }
+}
+
+/// A random ECRPQ for differential testing: random reachability structure
+/// and random relation atoms drawn from a pool (equality, equal-length,
+/// prefix, short random-word languages, universal).
+pub fn random_ecrpq(params: &RandomQueryParams, seed: u64) -> Ecrpq {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let m = params.num_symbols;
+    let alphabet = Alphabet::ascii_lower(m);
+    let mut q = Ecrpq::new(alphabet);
+    let nodes: Vec<NodeVar> = (0..params.node_vars.max(1))
+        .map(|i| q.node_var(&format!("x{i}")))
+        .collect();
+    let paths: Vec<PathVar> = (0..params.path_atoms.max(1))
+        .map(|i| {
+            let s = nodes[rng.gen_range(0..nodes.len())];
+            let d = nodes[rng.gen_range(0..nodes.len())];
+            q.path_atom(s, &format!("p{i}"), d)
+        })
+        .collect();
+    for ai in 0..params.rel_atoms {
+        let arity = rng
+            .gen_range(1..=params.max_arity.max(1))
+            .min(paths.len());
+        // choose `arity` distinct path variables
+        let mut pool: Vec<PathVar> = paths.clone();
+        let mut args: Vec<PathVar> = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let i = rng.gen_range(0..pool.len());
+            args.push(pool.swap_remove(i));
+        }
+        let (name, rel): (&str, SyncRel) = match (arity, rng.gen_range(0..5u8)) {
+            (1, 0..=1) => {
+                // random word language of length ≤ 3
+                let len = rng.gen_range(0..=3);
+                let word: Vec<u8> = (0..len).map(|_| rng.gen_range(0..m as u8)).collect();
+                ("word", relations::word_relation(&word, m))
+            }
+            (1, _) => ("universal", relations::universal(1, m)),
+            (2, 0) => ("eq", relations::equality(m)),
+            (2, 1) => ("prefix", relations::prefix(m)),
+            (2, 2) => ("hamming", relations::hamming_le(1, m)),
+            (k, 3) => ("universal", relations::universal(k, m)),
+            (k, _) => ("eq_len", relations::eq_length(k, m)),
+        };
+        q.rel_atom(&format!("{name}{ai}"), Arc::new(rel), &args);
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tractable_chain_measures() {
+        for len in [1, 3, 6] {
+            let q = tractable_chain_query(len, 2);
+            q.validate().unwrap();
+            let m = q.measures();
+            assert_eq!(m.cc_vertex, 2, "len={len}");
+            assert_eq!(m.cc_hedge, 1);
+            assert_eq!(m.treewidth, 1);
+        }
+    }
+
+    #[test]
+    fn clique_measures_grow_in_treewidth() {
+        let mut alphabet = Alphabet::ascii_lower(2);
+        for k in [2, 3, 4] {
+            let q = clique_query(k, "a*", &mut alphabet);
+            q.validate().unwrap();
+            assert!(q.is_crpq());
+            let m = q.measures();
+            assert_eq!(m.cc_vertex, 1, "k={k}");
+            assert_eq!(m.treewidth, k - 1);
+        }
+    }
+
+    #[test]
+    fn big_component_measures() {
+        for r in [2, 3, 4] {
+            let q = big_component_query(r, 2);
+            q.validate().unwrap();
+            let m = q.measures();
+            assert_eq!(m.cc_vertex, r);
+            assert_eq!(m.cc_hedge, 1);
+            assert_eq!(m.treewidth, 1);
+        }
+    }
+
+    #[test]
+    fn random_queries_are_valid_and_deterministic() {
+        let params = RandomQueryParams::default();
+        for seed in 0..20 {
+            let q = random_ecrpq(&params, seed);
+            q.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let q2 = random_ecrpq(&params, seed);
+            assert_eq!(q.to_string(), q2.to_string());
+        }
+    }
+
+    #[test]
+    fn random_queries_with_bigger_arity() {
+        let params = RandomQueryParams {
+            node_vars: 4,
+            path_atoms: 5,
+            rel_atoms: 3,
+            max_arity: 3,
+            num_symbols: 2,
+        };
+        for seed in 0..10 {
+            random_ecrpq(&params, seed).validate().unwrap();
+        }
+    }
+}

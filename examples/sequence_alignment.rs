@@ -1,0 +1,89 @@
+//! Approximate sequence matching in a variant graph — the bioinformatics
+//! scenario the paper cites for path-label comparison ([3] in §1).
+//!
+//! A *variant graph* encodes a reference DNA sequence plus known variants
+//! as alternative branches. An ECRPQ with the synchronous relation
+//! “edit distance ≤ d” (Example 2.1 mentions “edit-distance at most 14”)
+//! finds pairs of walks spelling nearly-identical sequences.
+//!
+//! ```sh
+//! cargo run --example sequence_alignment
+//! ```
+
+use ecrpq::automata::relations;
+use ecrpq::eval::product::answers_product;
+use ecrpq::eval::PreparedQuery;
+use ecrpq::graph::GraphDb;
+use ecrpq::query::Ecrpq;
+use std::sync::Arc;
+
+fn main() {
+    // Three haplotypes of the same locus, as parallel branches spelling
+    //   ref: gattt    sub: gatct (t→c substitution)    ins: gacttt
+    // (one 'c' inserted into the reference).
+    let mut db = GraphDb::new();
+    let s = db.add_node("s");
+    let e = db.add_node("e");
+    let spell = |db: &mut GraphDb, prefix: &str, word: &str, s: u32, e: u32| {
+        let mut cur = s;
+        let chars: Vec<char> = word.chars().collect();
+        for (i, &c) in chars.iter().enumerate() {
+            let next = if i + 1 == chars.len() {
+                e
+            } else {
+                db.add_node(&format!("{prefix}{i}"))
+            };
+            db.add_edge(cur, c, next);
+            cur = next;
+        }
+    };
+    spell(&mut db, "r", "gattt", s, e);
+    spell(&mut db, "a", "gatct", s, e);
+    spell(&mut db, "i", "gacttt", s, e);
+    println!("{db}");
+
+    let num_symbols = db.alphabet().len();
+
+    // q(x, y): two walks x→y whose spelled sequences are within edit
+    // distance 1 — reference vs substitution qualifies, reference vs
+    // insertion qualifies, but not every pair does.
+    let mut q = Ecrpq::new(db.alphabet().clone());
+    let x = q.node_var("x");
+    let y = q.node_var("y");
+    let p1 = q.path_atom(x, "w1", y);
+    let p2 = q.path_atom(x, "w2", y);
+    q.rel_atom(
+        "edit<=1",
+        Arc::new(relations::edit_distance_le(1, num_symbols)),
+        &[p1, p2],
+    );
+    q.set_free(&[x, y]);
+    println!("query: {q}");
+
+    let prepared = PreparedQuery::build(&q).unwrap();
+    let answers = answers_product(&db, &prepared);
+    println!("{} (start,end) pairs admit 1-edit-close walk pairs", answers.len());
+    assert!(answers.contains(&vec![s, e]));
+
+    // Check which full haplotype pairs are 1-edit-close, via the witness
+    // relation directly:
+    let ed1 = relations::edit_distance_le(1, num_symbols);
+    let reference = db.alphabet().encode("gattt").unwrap();
+    let substitution = db.alphabet().encode("gatct").unwrap();
+    let insertion = db.alphabet().encode("gacttt").unwrap();
+    println!(
+        "ref↔sub within 1 edit: {}",
+        ed1.contains(&[&reference, &substitution])
+    );
+    println!(
+        "ref↔ins within 1 edit: {}",
+        ed1.contains(&[&reference, &insertion])
+    );
+    println!(
+        "sub↔ins within 1 edit: {}",
+        ed1.contains(&[&substitution, &insertion])
+    );
+    assert!(ed1.contains(&[&reference, &substitution]));
+    assert!(ed1.contains(&[&reference, &insertion]));
+    assert!(!ed1.contains(&[&substitution, &insertion])); // needs 2 edits
+}

@@ -1,0 +1,58 @@
+//! `ecrpq` — facade crate for the reproduction of *“When is the Evaluation
+//! of Extended CRPQ Tractable?”* (Figueira & Ramanathan, PODS 2022).
+//!
+//! Re-exports the workspace crates under stable module names. See
+//! `README.md` for a tour and `examples/` for runnable entry points.
+//!
+//! # Example
+//!
+//! Example 2.1 of the paper, end to end:
+//!
+//! ```
+//! use ecrpq::graph::parse_graph;
+//! use ecrpq::query::{parse_query, RelationRegistry};
+//! use ecrpq::eval::planner;
+//!
+//! let db = parse_graph("a1 -a-> m1\nm1 -a-> hub\nb1 -b-> m2\nm2 -b-> hub\n")?;
+//! let mut alphabet = db.alphabet().clone();
+//!
+//! // vertices with equal-length paths to a common target
+//! let q = parse_query(
+//!     "q(x, x') :- x -[p1]-> y, x' -[p2]-> y, eq_len(p1, p2)",
+//!     &mut alphabet,
+//!     &RelationRegistry::new(),
+//! )?;
+//!
+//! let plan = planner::plan(&db, &q);
+//! assert_eq!(plan.combined.to_string(), "PTIME");
+//!
+//! let answers = planner::answers(&db, &q);
+//! let (a1, b1) = (db.node("a1").unwrap(), db.node("b1").unwrap());
+//! assert!(answers.contains(&vec![a1, b1])); // both reach hub in two steps
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Satisfiability (decidable for ECRPQ, §1 contrasts this with
+//! CRPQ+Rational) with a canonical witness database:
+//!
+//! ```
+//! use ecrpq::automata::{relations, Alphabet};
+//! use ecrpq::query::Ecrpq;
+//! use std::sync::Arc;
+//!
+//! let mut q = Ecrpq::new(Alphabet::ascii_lower(2));
+//! let (x, y) = (q.node_var("x"), q.node_var("y"));
+//! let p1 = q.path_atom(x, "p1", y);
+//! let p2 = q.path_atom(x, "p2", y);
+//! q.rel_atom("eq", Arc::new(relations::equality(2)), &[p1, p2]);
+//! assert!(ecrpq::eval::satisfiable(&q)?.is_some());
+//! # Ok::<(), ecrpq::query::QueryError>(())
+//! ```
+
+pub use ecrpq_automata as automata;
+pub use ecrpq_core as eval;
+pub use ecrpq_graph as graph;
+pub use ecrpq_query as query;
+pub use ecrpq_reductions as reductions;
+pub use ecrpq_structure as structure;
+pub use ecrpq_workloads as workloads;

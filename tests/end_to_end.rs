@@ -1,0 +1,136 @@
+//! End-to-end flows: text → parser → measures → planner → evaluation →
+//! witnesses, across the public API surface.
+
+use ecrpq::eval::planner::{self, CombinedRegime, ParamRegime, Strategy};
+use ecrpq::eval::product::witness_product;
+use ecrpq::eval::PreparedQuery;
+use ecrpq::graph::{parse_graph, GraphDb};
+use ecrpq::query::{parse_query, RelationRegistry};
+
+fn grid_db() -> GraphDb {
+    ecrpq::workloads::grid_db(4, 3)
+}
+
+#[test]
+fn parse_plan_evaluate_roundtrip() {
+    let db = grid_db();
+    let mut alphabet = db.alphabet().clone();
+    let q = parse_query(
+        "q(x, y) :- x -[p1]-> y, x -[p2]-> y, eq_len(p1, p2), p1 in a*b*, p2 in b*a*",
+        &mut alphabet,
+        &RelationRegistry::new(),
+    )
+    .unwrap();
+    let plan = planner::plan(&db, &q);
+    assert_eq!(plan.combined, CombinedRegime::PolynomialTime);
+    assert_eq!(plan.param, ParamRegime::Fpt);
+    assert_eq!(plan.strategy, Strategy::CqTreedec);
+    let answers = planner::answers(&db, &q);
+    // on a grid, going right a, down b: paths "ab" and "ba" from corner 0
+    // to the (1,1) cell both have length 2
+    let tl = db.node("v0").unwrap();
+    let diag = db.node("v5").unwrap();
+    assert!(answers.contains(&vec![tl, diag]));
+    // every vertex with itself (empty paths)
+    assert!(answers.contains(&vec![tl, tl]));
+}
+
+#[test]
+fn witness_for_parsed_query() {
+    let db = grid_db();
+    let mut alphabet = db.alphabet().clone();
+    let q = parse_query(
+        "x -[p1]-> y, x -[p2]-> y, eq_len(p1, p2), p1 in aab, p2 in a(b|a)b",
+        &mut alphabet,
+        &RelationRegistry::new(),
+    )
+    .unwrap();
+    let prepared = PreparedQuery::build(&q).unwrap();
+    let w = witness_product(&db, &prepared).expect("satisfiable on the grid");
+    assert_eq!(w.paths.len(), 2);
+    let labels: Vec<String> = w
+        .paths
+        .iter()
+        .map(|(_, p)| db.alphabet().decode(&p.label()))
+        .collect();
+    assert_eq!(labels[0], "aab");
+    assert_eq!(labels[0].len(), labels[1].len());
+    assert_eq!(w.paths[0].1.target(), w.paths[1].1.target());
+}
+
+#[test]
+fn planner_switches_strategy_on_big_components() {
+    // 5 parallel paths under one 5-ary relation on a biggish database: the
+    // n^10 materialization must be rejected in favor of the product search.
+    let db = ecrpq::workloads::cycle_db(64, 1);
+    let q = ecrpq::workloads::big_component_query(5, 1);
+    let plan = planner::plan(&db, &q);
+    assert_eq!(plan.strategy, Strategy::DirectProduct);
+    assert_eq!(plan.combined, CombinedRegime::PolynomialTime); // fixed query: all measures finite
+    assert!(planner::evaluate(&db, &q)); // 5 equal-length loops exist
+}
+
+#[test]
+fn unsatisfiable_queries_report_false_everywhere() {
+    let db = parse_graph("u -a-> v\nv -a-> w\n").unwrap();
+    let mut alphabet = db.alphabet().clone();
+    // needs equal-length paths of length ≥ 3: the chain is too short
+    let q = parse_query(
+        "x -[p1]-> y, x -[p2]-> y, eq_len(p1, p2), p1 in aaa+",
+        &mut alphabet,
+        &RelationRegistry::new(),
+    )
+    .unwrap();
+    assert!(!planner::evaluate(&db, &q));
+    let prepared = PreparedQuery::build(&q).unwrap();
+    assert!(witness_product(&db, &prepared).is_none());
+    assert!(planner::answers(&db, &q).is_empty());
+}
+
+#[test]
+fn custom_relations_via_registry() {
+    use ecrpq::automata::relations;
+    use std::sync::Arc;
+    let db = parse_graph("u -a-> v\nv -b-> u\n").unwrap();
+    let mut alphabet = db.alphabet().clone();
+    let mut registry = RelationRegistry::new();
+    registry.register(
+        "same_or_one_off",
+        Arc::new(relations::edit_distance_le(1, 2)),
+    );
+    let q = parse_query(
+        "q(x) :- x -[p1]-> y, x -[p2]-> y, same_or_one_off(p1, p2)",
+        &mut alphabet,
+        &registry,
+    )
+    .unwrap();
+    let answers = planner::answers(&db, &q);
+    assert!(!answers.is_empty());
+}
+
+#[test]
+fn dot_export_of_query_database() {
+    let db = parse_graph("u -a-> v\n").unwrap();
+    let dot = ecrpq::graph::dot::to_dot(&db);
+    assert!(dot.contains("digraph"));
+    assert!(dot.contains("label=\"a\""));
+}
+
+#[test]
+fn measures_guide_regimes_consistently() {
+    // one query from each regime family; the planner's class view must
+    // match the theorems
+    let db = ecrpq::workloads::cycle_db(8, 1);
+    let chain = ecrpq::workloads::tractable_chain_query(2, 1);
+    let plan = planner::plan(&db, &chain);
+    assert_eq!(plan.measures.cc_vertex, 2);
+    assert_eq!(plan.measures.treewidth, 1);
+    assert_eq!(plan.combined, CombinedRegime::PolynomialTime);
+
+    let big = ecrpq::workloads::big_component_query(3, 1);
+    let plan = planner::plan(&db, &big);
+    assert_eq!(plan.measures.cc_vertex, 3);
+    // as a *class* with unbounded cc_vertex this would be PSPACE; the plan
+    // reports the bounded view of this single query
+    assert_eq!(plan.combined, CombinedRegime::PolynomialTime);
+}

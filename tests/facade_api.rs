@@ -1,0 +1,104 @@
+//! Coherence tests for the public facade: the features added on top of
+//! plain evaluation (optimizer, satisfiability, counting, unions) compose
+//! through `ecrpq::*` as documented.
+
+use ecrpq::eval::optimize::{optimize, Simplified};
+use ecrpq::eval::{count_ecrpq_assignments, planner, satisfiable, PreparedQuery};
+use ecrpq::eval::product::{answers_product, eval_product};
+use ecrpq::query::{NodeVar, Uecrpq};
+use ecrpq::workloads::{random_db, random_ecrpq, RandomQueryParams};
+
+#[test]
+fn optimizer_differential_on_workload_queries() {
+    let params = RandomQueryParams {
+        node_vars: 3,
+        path_atoms: 4,
+        rel_atoms: 3,
+        max_arity: 2,
+        num_symbols: 2,
+    };
+    for seed in 0..30u64 {
+        let mut q = random_ecrpq(&params, seed + 9000);
+        q.set_free(&[NodeVar(0), NodeVar(1)]);
+        let db = random_db(4, 1.6, 2, seed * 11 + 2);
+        let before = answers_product(&db, &PreparedQuery::build(&q).unwrap());
+        match optimize(&q).unwrap() {
+            Simplified::Query(opt) => {
+                let after = answers_product(&db, &PreparedQuery::build(&opt).unwrap());
+                assert_eq!(before, after, "seed {seed}: {q} vs {opt}");
+                // measures never grow
+                let (mb, ma) = (q.measures(), opt.measures());
+                assert!(ma.cc_vertex <= mb.cc_vertex, "seed {seed}");
+                assert!(ma.cc_hedge <= mb.cc_hedge, "seed {seed}");
+            }
+            Simplified::ConstFalse => {
+                assert!(before.is_empty(), "seed {seed}: const-false with answers");
+            }
+        }
+    }
+}
+
+#[test]
+fn satisfiability_consistent_with_planner() {
+    let params = RandomQueryParams::default();
+    let mut sat_count = 0;
+    for seed in 0..30u64 {
+        let q = random_ecrpq(&params, seed + 9100);
+        match satisfiable(&q).unwrap() {
+            Some(witness_db) => {
+                sat_count += 1;
+                // the canonical witness database satisfies the query
+                assert!(
+                    planner::evaluate(&witness_db, &q),
+                    "seed {seed}: witness db fails {q}"
+                );
+            }
+            None => {
+                // unsatisfiable everywhere: in particular on a random db
+                let db = random_db(4, 2.0, 2, seed);
+                assert!(!planner::evaluate(&db, &q), "seed {seed}");
+            }
+        }
+    }
+    assert!(sat_count > 10, "workload degenerate: {sat_count} satisfiable");
+}
+
+#[test]
+fn counting_union_and_witnesses_compose() {
+    let db = ecrpq::workloads::cycle_db(12, 1);
+    let mut q1 = ecrpq::workloads::tractable_chain_query(1, 1);
+    let all1: Vec<NodeVar> = (0..q1.num_node_vars() as u32).map(NodeVar).collect();
+    q1.set_free(&all1);
+    // counting matches enumeration
+    let prepared = PreparedQuery::build(&q1).unwrap();
+    let n_enum = answers_product(&db, &prepared).len() as u64;
+    assert_eq!(count_ecrpq_assignments(&db, &prepared), n_enum);
+    // a union of the query with itself has the same answers
+    let u = Uecrpq::from_disjuncts(vec![q1.clone(), q1.clone()]);
+    assert_eq!(planner::answers_union(&db, &u), planner::answers(&db, &q1));
+    // witnesses per answer
+    let with_wit = ecrpq::eval::product::answers_with_witnesses(&db, &prepared);
+    assert_eq!(with_wit.len() as u64, n_enum);
+    for (_, w) in &with_wit {
+        for (_, path) in &w.paths {
+            assert!(path.is_valid_in(&db));
+            assert!(!path.is_empty()); // eq_len_min(…,1) forbids ε
+        }
+    }
+}
+
+#[test]
+fn boolean_query_consistency_via_every_entry_point() {
+    let params = RandomQueryParams::default();
+    for seed in 0..20u64 {
+        let q = random_ecrpq(&params, seed + 9200);
+        let db = random_db(5, 1.5, 2, seed * 3 + 7);
+        let prepared = PreparedQuery::build(&q).unwrap();
+        let direct = eval_product(&db, &prepared);
+        assert_eq!(planner::evaluate(&db, &q), direct, "seed {seed}");
+        // a query unsatisfiable in the abstract cannot hold on db
+        if satisfiable(&q).unwrap().is_none() {
+            assert!(!direct, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based tests for the automata substrate.
+
+use ecrpq::automata::{Alphabet, Nfa, Regex, Symbol};
+use proptest::prelude::*;
+
+/// A strategy for small random NFAs over a 2-symbol alphabet.
+fn arb_nfa() -> impl Strategy<Value = Nfa<Symbol>> {
+    (2usize..6, proptest::collection::vec((0u32..6, 0u8..2, 0u32..6), 0..18), proptest::collection::vec(0u32..6, 1..4))
+        .prop_map(|(n, transitions, finals)| {
+            let n = n.max(1);
+            let mut nfa = Nfa::with_states(n);
+            nfa.set_initial(0);
+            for (q, s, t) in transitions {
+                if (q as usize) < n && (t as usize) < n {
+                    nfa.add_transition(q, s, t);
+                }
+            }
+            for f in finals {
+                if (f as usize) < n {
+                    nfa.set_final(f);
+                }
+            }
+            nfa.normalize();
+            nfa
+        })
+}
+
+fn arb_word() -> impl Strategy<Value = Vec<Symbol>> {
+    proptest::collection::vec(0u8..2, 0..7)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Determinization preserves the language.
+    #[test]
+    fn determinize_preserves(nfa in arb_nfa(), word in arb_word()) {
+        let dfa = nfa.determinize(&[0, 1]);
+        prop_assert_eq!(nfa.accepts(&word), dfa.accepts(&word));
+    }
+
+    /// Minimization preserves the language and never grows.
+    #[test]
+    fn minimize_preserves(nfa in arb_nfa(), word in arb_word()) {
+        let dfa = nfa.determinize(&[0, 1]);
+        let min = dfa.minimize();
+        prop_assert!(min.num_states() <= dfa.num_states());
+        prop_assert_eq!(dfa.accepts(&word), min.accepts(&word));
+    }
+
+    /// Complement is exact on every word.
+    #[test]
+    fn complement_is_exact(nfa in arb_nfa(), word in arb_word()) {
+        let dfa = nfa.determinize(&[0, 1]);
+        prop_assert_eq!(dfa.accepts(&word), !dfa.complement().accepts(&word));
+    }
+
+    /// Intersection = conjunction of memberships.
+    #[test]
+    fn intersection_is_conjunction(a in arb_nfa(), b in arb_nfa(), word in arb_word()) {
+        let i = a.intersect(&b);
+        prop_assert_eq!(i.accepts(&word), a.accepts(&word) && b.accepts(&word));
+    }
+
+    /// Union = disjunction of memberships.
+    #[test]
+    fn union_is_disjunction(a in arb_nfa(), b in arb_nfa(), word in arb_word()) {
+        let u = a.union(&b);
+        prop_assert_eq!(u.accepts(&word), a.accepts(&word) || b.accepts(&word));
+    }
+
+    /// Reversal accepts exactly the reversed words.
+    #[test]
+    fn reverse_is_exact(nfa in arb_nfa(), word in arb_word()) {
+        let rev = nfa.reverse();
+        let mut w = word.clone();
+        w.reverse();
+        prop_assert_eq!(nfa.accepts(&word), rev.accepts(&w));
+    }
+
+    /// ε-removal preserves the language and leaves no ε-transitions.
+    #[test]
+    fn epsilon_removal(a in arb_nfa(), b in arb_nfa(), word in arb_word()) {
+        // build something with ε-transitions via combinators
+        let c = a.concat(&b).optional();
+        let e = c.remove_epsilon();
+        prop_assert!(!e.has_epsilon());
+        prop_assert_eq!(c.accepts(&word), e.accepts(&word));
+    }
+
+    /// Emptiness agrees with the shortest-word search.
+    #[test]
+    fn emptiness_vs_shortest(nfa in arb_nfa()) {
+        prop_assert_eq!(nfa.is_empty(), nfa.shortest_word().is_none());
+        if let Some(w) = nfa.shortest_word() {
+            prop_assert!(nfa.accepts(&w));
+        }
+    }
+
+    /// Trim preserves the language.
+    #[test]
+    fn trim_preserves(nfa in arb_nfa(), word in arb_word()) {
+        prop_assert_eq!(nfa.accepts(&word), nfa.trim().accepts(&word));
+    }
+
+    /// `a.concat(b)` accepts every split concatenation.
+    #[test]
+    fn concat_contains_products(a in arb_nfa(), b in arb_nfa(), u in arb_word(), v in arb_word()) {
+        if a.accepts(&u) && b.accepts(&v) {
+            let mut w = u.clone();
+            w.extend_from_slice(&v);
+            prop_assert!(a.concat(&b).accepts(&w));
+        }
+    }
+
+    /// Kleene star: accepts ε and is closed under append-one-more.
+    #[test]
+    fn star_closure(a in arb_nfa(), u in arb_word(), v in arb_word()) {
+        let s = a.star();
+        prop_assert!(s.accepts(&[]));
+        if s.accepts(&u) && a.accepts(&v) {
+            let mut w = u.clone();
+            w.extend_from_slice(&v);
+            prop_assert!(s.accepts(&w));
+        }
+    }
+}
+
+/// A strategy for random regexes (as strings) over {a, b}.
+fn arb_regex() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![Just("a".to_string()), Just("b".to_string()), Just("()".to_string())];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| format!("{x}{y}")),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| format!("({x}|{y})")),
+            inner.clone().prop_map(|x| format!("({x})*")),
+            inner.clone().prop_map(|x| format!("({x})+")),
+            inner.prop_map(|x| format!("({x})?")),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Parse → display → parse is language-preserving.
+    #[test]
+    fn regex_display_roundtrip(re in arb_regex(), word in arb_word()) {
+        let r1 = Regex::parse(&re).unwrap();
+        let r2 = Regex::parse(&r1.to_string()).unwrap();
+        let mut a1 = Alphabet::ascii_lower(2);
+        let mut a2 = Alphabet::ascii_lower(2);
+        let n1 = r1.compile(&mut a1);
+        let n2 = r2.compile(&mut a2);
+        prop_assert_eq!(n1.accepts(&word), n2.accepts(&word));
+    }
+
+    /// DFA equivalence is reflexive through an independent construction.
+    #[test]
+    fn equivalence_reflexive(re in arb_regex()) {
+        let mut a = Alphabet::ascii_lower(2);
+        let n = Regex::compile_str(&re, &mut a).unwrap();
+        let d1 = n.remove_epsilon().determinize(&[0, 1]);
+        let d2 = n.reverse().reverse().remove_epsilon().determinize(&[0, 1]);
+        prop_assert!(d1.equivalent(&d2));
+    }
+
+    /// Kleene round-trip: regex → NFA → regex (state elimination) → NFA
+    /// preserves the language.
+    #[test]
+    fn nfa_to_regex_roundtrip(re in arb_regex()) {
+        let alphabet = Alphabet::ascii_lower(2);
+        let mut a1 = alphabet.clone();
+        let n = Regex::compile_str(&re, &mut a1).unwrap();
+        let back = ecrpq::automata::nfa_to_regex(&n, &alphabet);
+        let mut a2 = alphabet.clone();
+        let n2 = back.compile(&mut a2);
+        let d1 = n.remove_epsilon().determinize(&[0, 1]);
+        let d2 = n2.remove_epsilon().determinize(&[0, 1]);
+        prop_assert!(d1.equivalent(&d2), "{re} vs {back}");
+    }
+
+    /// State elimination also round-trips arbitrary NFAs.
+    #[test]
+    fn nfa_to_regex_roundtrip_random_nfa(nfa in arb_nfa()) {
+        let alphabet = Alphabet::ascii_lower(2);
+        let back = ecrpq::automata::nfa_to_regex(&nfa, &alphabet);
+        let mut a2 = alphabet.clone();
+        let n2 = back.compile(&mut a2);
+        let d1 = nfa.remove_epsilon().determinize(&[0, 1]);
+        let d2 = n2.remove_epsilon().determinize(&[0, 1]);
+        prop_assert!(d1.equivalent(&d2));
+    }
+}

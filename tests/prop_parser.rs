@@ -1,0 +1,77 @@
+//! Property-based tests for the query parser: generated well-formed
+//! queries parse and validate; arbitrary garbage never panics.
+
+use ecrpq::automata::Alphabet;
+use ecrpq::query::{parse_query, RelationRegistry};
+use proptest::prelude::*;
+
+/// Generates well-formed query strings from the grammar.
+fn arb_query_text() -> impl Strategy<Value = String> {
+    let var = prop_oneof![Just("x"), Just("y"), Just("z"), Just("w")];
+    let regex = prop_oneof![
+        Just("a*b"),
+        Just("(a|b)*"),
+        Just("ab?"),
+        Just("a+"),
+        Just("()"),
+    ];
+    let reach = (var.clone(), 0usize..100, var.clone())
+        .prop_map(|(s, i, d)| format!("{s} -[p{i}]-> {d}"));
+    let reach_lang =
+        (var.clone(), regex, var).prop_map(|(s, r, d)| format!("{s} -({r})-> {d}"));
+    let atom = prop_oneof![reach, reach_lang];
+    proptest::collection::vec(atom, 1..5).prop_map(|atoms| atoms.join(", "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Well-formed inputs either parse (and then validate) or produce a
+    /// clean error (duplicate path variables are legitimately rejected).
+    #[test]
+    fn wellformed_inputs_parse_or_error(text in arb_query_text()) {
+        let mut alphabet = Alphabet::ascii_lower(2);
+        match parse_query(&text, &mut alphabet, &RelationRegistry::new()) {
+            Ok(q) => {
+                q.validate().expect("parsed query must validate");
+                // parsing is deterministic
+                let mut a2 = Alphabet::ascii_lower(2);
+                let q2 = parse_query(&text, &mut a2, &RelationRegistry::new()).unwrap();
+                prop_assert_eq!(q.to_string(), q2.to_string());
+            }
+            Err(e) => {
+                // only the duplicate-path-variable clash is expected here
+                prop_assert!(
+                    e.message.contains("two reachability atoms"),
+                    "unexpected error on `{}`: {}", text, e
+                );
+            }
+        }
+    }
+
+    /// Arbitrary input never panics the parser.
+    #[test]
+    fn garbage_never_panics(text in "[ -~]{0,60}") {
+        let mut alphabet = Alphabet::ascii_lower(2);
+        let _ = parse_query(&text, &mut alphabet, &RelationRegistry::new());
+    }
+
+    /// Unicode garbage never panics either.
+    #[test]
+    fn unicode_never_panics(text in "\\PC{0,30}") {
+        let mut alphabet = Alphabet::new();
+        let _ = parse_query(&text, &mut alphabet, &RelationRegistry::new());
+    }
+
+    /// Parsed measures are stable across re-parsing.
+    #[test]
+    fn measures_deterministic(text in arb_query_text()) {
+        let mut a1 = Alphabet::ascii_lower(2);
+        let mut a2 = Alphabet::ascii_lower(2);
+        let q1 = parse_query(&text, &mut a1, &RelationRegistry::new());
+        let q2 = parse_query(&text, &mut a2, &RelationRegistry::new());
+        if let (Ok(q1), Ok(q2)) = (q1, q2) {
+            prop_assert_eq!(q1.measures(), q2.measures());
+        }
+    }
+}

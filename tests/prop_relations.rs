@@ -1,0 +1,152 @@
+//! Property-based tests for synchronous relations: the §2 claims about the
+//! class (boolean closure, convolution semantics) checked on samples.
+
+use ecrpq::automata::{convolve, deconvolve, relations, Symbol, SyncRel};
+use proptest::prelude::*;
+
+fn arb_word() -> impl Strategy<Value = Vec<Symbol>> {
+    proptest::collection::vec(0u8..2, 0..6)
+}
+
+fn arb_pair() -> impl Strategy<Value = (Vec<Symbol>, Vec<Symbol>)> {
+    (arb_word(), arb_word())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Convolution/deconvolution round-trips.
+    #[test]
+    fn convolution_roundtrip(u in arb_word(), v in arb_word(), w in arb_word()) {
+        let rows = convolve(&[&u, &v, &w]);
+        let back = deconvolve(3, &rows).unwrap();
+        prop_assert_eq!(back, vec![u, v, w]);
+    }
+
+    /// Equality relation = word equality.
+    #[test]
+    fn equality_semantics((u, v) in arb_pair()) {
+        let eq = relations::equality(2);
+        prop_assert_eq!(eq.contains(&[&u, &v]), u == v);
+    }
+
+    /// Prefix relation = prefix predicate.
+    #[test]
+    fn prefix_semantics((u, v) in arb_pair()) {
+        let p = relations::prefix(2);
+        prop_assert_eq!(p.contains(&[&u, &v]), v.starts_with(&u));
+    }
+
+    /// Equal-length relation = length equality.
+    #[test]
+    fn eq_length_semantics((u, v) in arb_pair()) {
+        let el = relations::eq_length(2, 2);
+        prop_assert_eq!(el.contains(&[&u, &v]), u.len() == v.len());
+    }
+
+    /// Hamming bound semantics.
+    #[test]
+    fn hamming_semantics((u, v) in arb_pair(), d in 0usize..3) {
+        let h = relations::hamming_le(d, 2);
+        let expected = u.len() == v.len()
+            && u.iter().zip(&v).filter(|(a, b)| a != b).count() <= d;
+        prop_assert_eq!(h.contains(&[&u, &v]), expected);
+    }
+
+    /// Edit-distance relation matches the DP reference.
+    #[test]
+    fn edit_distance_semantics((u, v) in arb_pair(), d in 0usize..3) {
+        let r = relations::edit_distance_le(d, 2);
+        prop_assert_eq!(
+            r.contains(&[&u, &v]),
+            relations::levenshtein(&u, &v) <= d,
+            "u={:?} v={:?} d={}", u, v, d
+        );
+    }
+
+    /// Boolean algebra: intersection/union/complement are pointwise.
+    #[test]
+    fn boolean_algebra((u, v) in arb_pair()) {
+        let eq = relations::equality(2);
+        let pre = relations::prefix(2);
+        let i = eq.intersect(&pre);
+        let un = eq.union(&pre);
+        let c = pre.complement();
+        let e = eq.contains(&[&u, &v]);
+        let p = pre.contains(&[&u, &v]);
+        prop_assert_eq!(i.contains(&[&u, &v]), e && p);
+        prop_assert_eq!(un.contains(&[&u, &v]), e || p);
+        prop_assert_eq!(c.contains(&[&u, &v]), !p);
+    }
+
+    /// De Morgan on samples: ¬(R ∩ S) = ¬R ∪ ¬S.
+    #[test]
+    fn de_morgan((u, v) in arb_pair()) {
+        let r = relations::eq_length(2, 2);
+        let s = relations::prefix(2);
+        let lhs = r.intersect(&s).complement();
+        let rhs = r.complement().union(&s.complement());
+        prop_assert_eq!(lhs.contains(&[&u, &v]), rhs.contains(&[&u, &v]));
+    }
+
+    /// Join of equality along a chain is transitive equality.
+    #[test]
+    fn join_equality_chain(u in arb_word(), v in arb_word(), w in arb_word()) {
+        let eq = relations::equality(2);
+        let joined = SyncRel::join(&[(&eq, &[0, 1]), (&eq, &[1, 2])], 3);
+        prop_assert_eq!(joined.contains(&[&u, &v, &w]), u == v && v == w);
+    }
+
+    /// Join respects each component independently (prefix ∧ eq-length).
+    #[test]
+    fn join_mixed(u in arb_word(), v in arb_word(), w in arb_word()) {
+        let pre = relations::prefix(2);
+        let el = relations::eq_length(2, 2);
+        let joined = SyncRel::join(&[(&pre, &[0, 1]), (&el, &[1, 2])], 3);
+        prop_assert_eq!(
+            joined.contains(&[&u, &v, &w]),
+            v.starts_with(&u) && v.len() == w.len()
+        );
+    }
+
+    /// Projection semantics: (u,v) ∈ R ⇒ u ∈ π₀(R), plus the converse via
+    /// a witness check on the prefix relation (π₀(prefix) = A*).
+    #[test]
+    fn projection_soundness((u, v) in arb_pair()) {
+        let pre = relations::prefix(2);
+        let p0 = pre.project(&[0]);
+        if pre.contains(&[&u, &v]) {
+            prop_assert!(p0.contains(&[&u]));
+        }
+        prop_assert!(p0.contains(&[&u])); // every word is a prefix of something
+    }
+
+    /// Universal relation contains everything; its complement is empty.
+    #[test]
+    fn universal_and_empty((u, v) in arb_pair()) {
+        let univ = relations::universal(2, 2);
+        prop_assert!(univ.contains(&[&u, &v]));
+        let empty = univ.complement();
+        prop_assert!(!empty.contains(&[&u, &v]));
+        prop_assert!(empty.is_empty());
+    }
+
+    /// Witnesses are members.
+    #[test]
+    fn witness_is_member(d in 0usize..2) {
+        let r = relations::edit_distance_le(d, 2);
+        let w = r.witness().unwrap();
+        let refs: Vec<&[Symbol]> = w.iter().map(|x| x.as_slice()).collect();
+        prop_assert!(r.contains(&refs));
+    }
+
+    /// eq_length_min filters by minimum length.
+    #[test]
+    fn eq_length_min_semantics((u, v) in arb_pair(), min in 0usize..3) {
+        let r = relations::eq_length_min(2, 2, min);
+        prop_assert_eq!(
+            r.contains(&[&u, &v]),
+            u.len() == v.len() && u.len() >= min
+        );
+    }
+}

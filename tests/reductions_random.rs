@@ -1,0 +1,219 @@
+//! Randomized equivalence checking for the §5 reductions, on larger and
+//! more varied instances than the unit tests: every reduction's output is
+//! evaluated with the core evaluators and compared against an independent
+//! oracle.
+
+use ecrpq::automata::Alphabet;
+use ecrpq::eval::cq_eval::eval_cq;
+use ecrpq::eval::{eval_product, PreparedQuery};
+use ecrpq::query::RelationalDb;
+use ecrpq::reductions::{
+    cq_to_ecrpq, ine_to_ecrpq_big_component, ine_to_ecrpq_high_degree, intersection_nonempty,
+    pie_to_ecrpq_chain, pie_to_ecrpq_wide, CollapseCq,
+};
+use ecrpq::structure::TwoLevelGraph;
+use ecrpq::workloads::{planted_ine, random_ine};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn flower(r: usize) -> TwoLevelGraph {
+    let mut g = TwoLevelGraph::new(2);
+    let edges: Vec<usize> = (0..r).map(|_| g.add_edge(0, 1)).collect();
+    for w in edges.windows(2) {
+        g.add_hyperedge(w);
+    }
+    if r == 1 {
+        g.add_hyperedge(&[edges[0]]);
+    }
+    g
+}
+
+fn star(r: usize) -> TwoLevelGraph {
+    let mut g = TwoLevelGraph::new(2);
+    let pivot = g.add_edge(0, 1);
+    for _ in 0..r {
+        let other = g.add_edge(0, 1);
+        g.add_hyperedge(&[pivot, other]);
+    }
+    g
+}
+
+fn chain_2l(k: usize) -> TwoLevelGraph {
+    let mut g = TwoLevelGraph::new(2);
+    let edges: Vec<usize> = (0..=k).map(|_| g.add_edge(0, 1)).collect();
+    for i in 0..k {
+        g.add_hyperedge(&[edges[i], edges[i + 1]]);
+    }
+    g
+}
+
+fn wide_2l(r: usize) -> TwoLevelGraph {
+    let mut g = TwoLevelGraph::new(2);
+    let edges: Vec<usize> = (0..r).map(|_| g.add_edge(0, 1)).collect();
+    g.add_hyperedge(&edges);
+    g
+}
+
+#[test]
+fn lemma51_case1_random_instances() {
+    let alphabet = Alphabet::ascii_lower(2);
+    let mut nonempty = 0;
+    for seed in 0..12u64 {
+        for r in [1usize, 2, 3] {
+            let langs = if seed % 2 == 0 {
+                random_ine(r, 3, 2, seed)
+            } else {
+                planted_ine(r, 3, 2, 2, seed).0
+            };
+            let expected = intersection_nonempty(&langs);
+            let (q, db) = ine_to_ecrpq_big_component(&langs, &alphabet, &flower(r)).unwrap();
+            let prepared = PreparedQuery::build(&q).unwrap();
+            assert_eq!(
+                eval_product(&db, &prepared),
+                expected,
+                "lemma 5.1 case 1, seed {seed}, r {r}"
+            );
+            if expected {
+                nonempty += 1;
+            }
+        }
+    }
+    assert!(nonempty > 5, "workload never non-empty");
+}
+
+#[test]
+fn lemma51_case2_random_instances() {
+    let alphabet = Alphabet::ascii_lower(2);
+    for seed in 0..12u64 {
+        for r in [1usize, 2, 3] {
+            let langs = if seed % 2 == 0 {
+                random_ine(r, 3, 2, seed + 100)
+            } else {
+                planted_ine(r, 3, 2, 2, seed + 100).0
+            };
+            let expected = intersection_nonempty(&langs);
+            let (q, db) = ine_to_ecrpq_high_degree(&langs, &alphabet, &star(r)).unwrap();
+            let prepared = PreparedQuery::build(&q).unwrap();
+            assert_eq!(
+                eval_product(&db, &prepared),
+                expected,
+                "lemma 5.1 case 2, seed {seed}, r {r}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lemma54_chain_random_instances() {
+    let alphabet = Alphabet::ascii_lower(2);
+    for seed in 0..10u64 {
+        for k in [1usize, 2, 3] {
+            let langs = if seed % 2 == 0 {
+                random_ine(k, 3, 2, seed + 200)
+            } else {
+                planted_ine(k, 3, 2, 2, seed + 200).0
+            };
+            let expected = intersection_nonempty(&langs);
+            let (q, db) = pie_to_ecrpq_chain(&langs, &alphabet, &chain_2l(k)).unwrap();
+            let prepared = PreparedQuery::build(&q).unwrap();
+            assert_eq!(
+                eval_product(&db, &prepared),
+                expected,
+                "lemma 5.4 chain, seed {seed}, k {k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lemma54_wide_random_instances() {
+    let alphabet = Alphabet::ascii_lower(2);
+    for seed in 0..10u64 {
+        for k in [1usize, 2, 3] {
+            let langs = if seed % 2 == 0 {
+                random_ine(k, 3, 2, seed + 300)
+            } else {
+                planted_ine(k, 3, 2, 2, seed + 300).0
+            };
+            let expected = intersection_nonempty(&langs);
+            let (q, db) = pie_to_ecrpq_wide(&langs, &alphabet, &wide_2l(k.max(2))).unwrap();
+            let prepared = PreparedQuery::build(&q).unwrap();
+            assert_eq!(
+                eval_product(&db, &prepared),
+                expected,
+                "lemma 5.4 wide, seed {seed}, k {k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lemma54_with_dfa_inputs() {
+    // p-IE's literal input format is DFAs; the chain reduction and the
+    // two oracles (NFA-product and DFA-product) must all agree.
+    use ecrpq::reductions::intersection_witness_dfas;
+    use ecrpq::workloads::random_dfa;
+    let alphabet = Alphabet::ascii_lower(2);
+    for seed in 0..12u64 {
+        for k in [1usize, 2, 3] {
+            let dfas: Vec<_> = (0..k)
+                .map(|i| random_dfa(3, 2, 0.4, seed * 7 + i as u64))
+                .collect();
+            let via_dfa = intersection_witness_dfas(&dfas).is_some();
+            let nfas: Vec<_> = dfas.iter().map(|d| d.to_nfa()).collect();
+            assert_eq!(via_dfa, intersection_nonempty(&nfas), "oracles disagree");
+            let (q, db) = pie_to_ecrpq_chain(&nfas, &alphabet, &chain_2l(k)).unwrap();
+            let prepared = PreparedQuery::build(&q).unwrap();
+            assert_eq!(
+                eval_product(&db, &prepared),
+                via_dfa,
+                "lemma 5.4 on DFAs, seed {seed}, k {k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lemma53_random_instances() {
+    for seed in 0..15u64 {
+        let mut rng = SmallRng::seed_from_u64(seed + 400);
+        // random 2L graph: 2-3 edges, one or two hyperedges
+        let mut g = TwoLevelGraph::new(3);
+        let e0 = g.add_edge(0, 1);
+        let e1 = g.add_edge(1, 2);
+        let e2 = g.add_edge(2, 0);
+        if rng.gen_bool(0.5) {
+            g.add_hyperedge(&[e0, e1]);
+            g.add_hyperedge(&[e1, e2]);
+        } else {
+            g.add_hyperedge(&[e0, e1, e2]);
+        }
+        let ccq = CollapseCq {
+            graph: g,
+            rels: vec![
+                ("R".into(), "S".into()),
+                ("T".into(), "U".into()),
+                ("R".into(), "U".into()),
+            ],
+        };
+        let n = rng.gen_range(2..6);
+        let mut rdb = RelationalDb::new(n);
+        for name in ["R", "S", "T", "U"] {
+            rdb.declare(name, 2);
+            let tuples = rng.gen_range(0..(n * n / 2 + 2));
+            for _ in 0..tuples {
+                let a = rng.gen_range(0..n) as u32;
+                let b = rng.gen_range(0..n) as u32;
+                rdb.insert(name, &[a, b]);
+            }
+        }
+        let expected = eval_cq(&rdb, &ccq.to_cq());
+        let (q, gdb) = cq_to_ecrpq(&ccq, &rdb);
+        let prepared = PreparedQuery::build(&q).unwrap();
+        assert_eq!(
+            eval_product(&gdb, &prepared),
+            expected,
+            "lemma 5.3, seed {seed}"
+        );
+    }
+}
