@@ -281,8 +281,8 @@ impl<S: Letter> Dfa<S> {
                 let next = sig_ids.len() as u32;
                 next_block[i] = *sig_ids.entry(sig).or_insert(next);
             }
-            let stable = sig_ids.len()
-                == block.iter().collect::<std::collections::HashSet<_>>().len();
+            let stable =
+                sig_ids.len() == block.iter().collect::<std::collections::HashSet<_>>().len();
             block = next_block;
             if stable {
                 break;

@@ -747,7 +747,13 @@ mod tests {
         assert!(c.has_epsilon());
         let e = c.remove_epsilon();
         assert!(!e.has_epsilon());
-        for w in [&[][..], &[0, 1][..], &[0, 1, 0, 1][..], &[0][..], &[1, 0][..]] {
+        for w in [
+            &[][..],
+            &[0, 1][..],
+            &[0, 1, 0, 1][..],
+            &[0][..],
+            &[1, 0][..],
+        ] {
             assert_eq!(c.accepts(w), e.accepts(w), "word {w:?}");
         }
     }

@@ -56,7 +56,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "regex parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -106,9 +110,7 @@ impl Regex {
             Regex::Empty => Nfa::empty_lang(),
             Regex::Epsilon => Nfa::epsilon_lang(),
             Regex::Char(c) => {
-                let s = alphabet
-                    .symbol(*c)
-                    .expect("literal interned by compile()");
+                let s = alphabet.symbol(*c).expect("literal interned by compile()");
                 Nfa::symbol_lang(s)
             }
             Regex::Dot => {

@@ -99,12 +99,13 @@ pub fn language(lang: &Nfa<Symbol>, num_symbols: usize) -> SyncRel {
 pub fn product_of_languages(langs: &[&Nfa<Symbol>], num_symbols: usize) -> SyncRel {
     assert!(!langs.is_empty());
     let unary: Vec<SyncRel> = langs.iter().map(|l| language(l, num_symbols)).collect();
-    let with_maps: Vec<(&SyncRel, Vec<usize>)> =
-        unary.iter().enumerate().map(|(i, r)| (r, vec![i])).collect();
-    let borrowed: Vec<(&SyncRel, &[usize])> = with_maps
+    let with_maps: Vec<(&SyncRel, Vec<usize>)> = unary
         .iter()
-        .map(|(r, m)| (*r, m.as_slice()))
+        .enumerate()
+        .map(|(i, r)| (r, vec![i]))
         .collect();
+    let borrowed: Vec<(&SyncRel, &[usize])> =
+        with_maps.iter().map(|(r, m)| (*r, m.as_slice())).collect();
     SyncRel::join(&borrowed, langs.len())
 }
 
@@ -129,16 +130,8 @@ pub fn length_diff_le(d: usize, num_symbols: usize) -> SyncRel {
             nfa.add_transition(0, vec![Track::Pad, Track::Sym(a)], u_ended(1));
             nfa.add_transition(0, vec![Track::Sym(a), Track::Pad], v_ended(1));
             for j in 1..d {
-                nfa.add_transition(
-                    u_ended(j),
-                    vec![Track::Pad, Track::Sym(a)],
-                    u_ended(j + 1),
-                );
-                nfa.add_transition(
-                    v_ended(j),
-                    vec![Track::Sym(a), Track::Pad],
-                    v_ended(j + 1),
-                );
+                nfa.add_transition(u_ended(j), vec![Track::Pad, Track::Sym(a)], u_ended(j + 1));
+                nfa.add_transition(v_ended(j), vec![Track::Sym(a), Track::Pad], v_ended(j + 1));
             }
         }
     }
@@ -348,7 +341,7 @@ impl EdState {
                 // then the row (new u symbol a), then the corner.
                 let col_ext = self.extend_col(d, b); // D[p-δ][q+1]
                 let row_ext = self.extend_row(d, a); // D[p+1][q-δ]
-                // corner D[p+1][q+1] = min(D[p][q+1]+1, D[p+1][q]+1, D[p][q]+neq(a,b))
+                                                     // corner D[p+1][q+1] = min(D[p][q+1]+1, D[p+1][q]+1, D[p][q]+neq(a,b))
                 let corner = cap(
                     (cell(col_ext[0]) + 1)
                         .min(cell(row_ext[0]) + 1)
@@ -629,10 +622,7 @@ mod tests {
         assert_eq!(levenshtein(&[0, 1, 0], &[1, 1, 1]), 2);
         assert_eq!(levenshtein(&[], &[0, 1, 0]), 3);
         // kitten/sitting-style: 0=k,1=i,2=t,3=e,4=n / 5=s,6=g over 7 syms
-        assert_eq!(
-            levenshtein(&[0, 1, 2, 2, 3, 4], &[5, 1, 2, 2, 1, 4, 6]),
-            3
-        );
+        assert_eq!(levenshtein(&[0, 1, 2, 2, 3, 4], &[5, 1, 2, 2, 1, 4, 6]), 3);
     }
 
     #[test]

@@ -99,7 +99,9 @@ pub fn deconvolve(arity: usize, rows: &[Row]) -> Option<Vec<Vec<Symbol>>> {
 /// (everything in `(A ∪ {⊥})^k` except the all-`⊥` column).
 pub fn all_rows(arity: usize, num_symbols: usize) -> Vec<Row> {
     let options = num_symbols + 1;
-    let total = options.checked_pow(arity as u32).expect("row space overflow");
+    let total = options
+        .checked_pow(arity as u32)
+        .expect("row space overflow");
     assert!(
         total <= 4_000_000,
         "row alphabet too large: ({num_symbols}+1)^{arity}"
@@ -431,11 +433,7 @@ impl SyncRel {
 
         while let Some(tuple) = queue.pop_front() {
             let id = ids[&tuple];
-            if tuple
-                .iter()
-                .zip(&components)
-                .all(|(&q, c)| c.is_final(q))
-            {
+            if tuple.iter().zip(&components).all(|(&q, c)| c.is_final(q)) {
                 out.set_final(id);
             }
             // Backtracking join over component transitions.

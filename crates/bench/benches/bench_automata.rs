@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("automata_micro");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for s in [8usize, 16, 32] {
         let nfa = random_nfa(s, 2, 0.15, 0.3, 5);
         group.bench_with_input(BenchmarkId::new("determinize", s), &s, |b, _| {

@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("E9_crpq_vs_ecrpq");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [16usize, 32, 64] {
         let db = random_db(n, 1.5, 2, 3);
         let mut alphabet = db.alphabet().clone();

@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("E10_data_complexity");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let chain = tractable_chain_query(2, 1);
     let pc = PreparedQuery::build(&chain).unwrap();
     let big = big_component_query(3, 1);

@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("E4_fpt");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (m, n) in [(1usize, 64usize), (2, 64), (4, 64), (2, 32), (2, 128)] {
         let db = cycle_db(n, 1);
         let q = tractable_chain_query(m, 1);

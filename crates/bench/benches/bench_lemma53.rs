@@ -33,7 +33,9 @@ fn instance(n: usize, seed: u64) -> (CollapseCq, RelationalDb) {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("E11_lemma53");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [8usize, 16, 32] {
         let (ccq, rdb) = instance(n, n as u64);
         group.bench_with_input(BenchmarkId::new("reduce_and_eval", n), &n, |b, _| {

@@ -7,7 +7,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("E7_materialize");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (r, n) in [(2usize, 16usize), (2, 32), (3, 8), (3, 16)] {
         let db = cycle_db(n, 1);
         let q = big_component_query(r, 1);

@@ -23,7 +23,9 @@ fn hamming_chain(l: usize) -> Ecrpq {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("E6_merge");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for l in [1usize, 2, 3, 4] {
         let q = hamming_chain(l);
         group.bench_with_input(BenchmarkId::new("component_atoms", l), &l, |b, _| {

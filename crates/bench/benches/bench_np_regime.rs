@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("E2_np_regime");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for k in [2usize, 3, 4] {
         let db = random_db(20, 1.5, 2, 7);
         let mut alphabet = db.alphabet().clone();

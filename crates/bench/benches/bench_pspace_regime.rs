@@ -22,7 +22,9 @@ fn flower(r: usize) -> TwoLevelGraph {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("E3_pspace_regime");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for r in [1usize, 2, 3, 4] {
         let alphabet = Alphabet::ascii_lower(2);
         let (langs, _) = planted_ine(r, 4, 2, 3, 31 + r as u64);

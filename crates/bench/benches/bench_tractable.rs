@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("E1_tractable");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [32usize, 64, 128] {
         let db = cycle_db(n, 1);
         let q = tractable_chain_query(2, 1);

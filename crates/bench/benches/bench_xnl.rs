@@ -19,7 +19,9 @@ fn chain_2l(k: usize) -> TwoLevelGraph {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("E5_xnl");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for k in [1usize, 2, 3] {
         let alphabet = Alphabet::ascii_lower(2);
         let (langs, _) = planted_ine(k, 4, 2, 3, 17 + k as u64);

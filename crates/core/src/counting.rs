@@ -126,9 +126,7 @@ pub fn count_cq_treedec(db: &RelationalDb, q: &Cq) -> u64 {
             let shared: Vec<(usize, usize)> = vars_b
                 .iter()
                 .enumerate()
-                .filter_map(|(i, v)| {
-                    vars_c.iter().position(|w| w == v).map(|j| (i, j))
-                })
+                .filter_map(|(i, v)| vars_c.iter().position(|w| w == v).map(|j| (i, j)))
                 .collect();
             // group child sums by shared-projection key
             let mut child_sum: HashMap<Vec<u32>, u64> = HashMap::new();
@@ -398,7 +396,11 @@ mod tests {
                 q.atom(name, &[u, v]);
             }
             let brute = count_cq_bruteforce(&db, &q);
-            assert_eq!(brute, count_cq_treedec(&db, &q), "treedec, seed {seed}: {q}");
+            assert_eq!(
+                brute,
+                count_cq_treedec(&db, &q),
+                "treedec, seed {seed}: {q}"
+            );
             assert_eq!(brute, count_cq_nice(&db, &q), "nice, seed {seed}: {q}");
         }
     }

@@ -12,14 +12,23 @@
 //!   Gaifman graph, hence fit in some bag), then reduced by an upward and a
 //!   downward semijoin pass.
 
+use crate::fnv::{FnvHashMap, FnvHashSet};
 use ecrpq_query::{Cq, CqAtom, RelationalDb};
 use ecrpq_structure::{treewidth_exact, treewidth_upper_bound, TreeDecomposition};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Evaluates a Boolean CQ by backtracking join.
 pub fn eval_cq(db: &RelationalDb, q: &Cq) -> bool {
+    eval_cq_part(db, q, None)
+}
+
+/// As [`eval_cq`], optionally restricted to one stride class
+/// `(parts, part)` of the first atom's candidate tuples — the parallel
+/// engine's partitioning hook. `None` searches everything.
+pub(crate) fn eval_cq_part(db: &RelationalDb, q: &Cq, part: Option<(usize, usize)>) -> bool {
     let mut found = false;
-    backtrack(db, q, &mut |_| {
+    backtrack(db, q, part, &mut |_| {
         found = true;
         true
     });
@@ -29,28 +38,67 @@ pub fn eval_cq(db: &RelationalDb, q: &Cq) -> bool {
 /// All answers of a CQ (tuples over its free variables) by backtracking.
 pub fn answers_cq(db: &RelationalDb, q: &Cq) -> BTreeSet<Vec<u32>> {
     let mut out = BTreeSet::new();
+    answers_cq_part(db, q, None, &mut out);
+    out
+}
+
+/// As [`answers_cq`], restricted to one stride class of the first atom's
+/// candidates and accumulating into `out` (so workers can merge cheaply).
+pub(crate) fn answers_cq_part(
+    db: &RelationalDb,
+    q: &Cq,
+    part: Option<(usize, usize)>,
+    out: &mut BTreeSet<Vec<u32>>,
+) {
     let domain = db.domain_size() as u32;
-    backtrack(db, q, &mut |assignment| {
-        let mut tuples: Vec<Vec<u32>> = vec![Vec::new()];
-        for &v in &q.free {
-            let choices: Vec<u32> = match assignment[v] {
-                None => (0..domain).collect(),
-                Some(x) => vec![x],
-            };
-            let mut next = Vec::with_capacity(tuples.len() * choices.len());
-            for t in &tuples {
-                for &c in &choices {
-                    let mut t2 = t.clone();
-                    t2.push(c);
-                    next.push(t2);
-                }
+    backtrack(db, q, part, &mut |assignment| {
+        for_each_free_tuple(assignment, &q.free, domain, |tuple| {
+            if !out.contains(tuple) {
+                out.insert(tuple.to_vec());
             }
-            tuples = next;
-        }
-        out.extend(tuples);
+        });
         false
     });
-    out
+}
+
+/// Expands the unassigned free variables of a satisfying assignment over
+/// the whole domain with a single odometer-advanced scratch tuple —
+/// replaces the old cartesian loop that cloned every partial tuple.
+fn for_each_free_tuple(
+    assignment: &[Option<u32>],
+    free: &[usize],
+    domain: u32,
+    mut emit: impl FnMut(&[u32]),
+) {
+    let mut tuple: Vec<u32> = Vec::with_capacity(free.len());
+    let mut open: Vec<usize> = Vec::new();
+    for (i, &v) in free.iter().enumerate() {
+        match assignment[v] {
+            None => {
+                open.push(i);
+                tuple.push(0);
+            }
+            Some(x) => tuple.push(x),
+        }
+    }
+    if !open.is_empty() && domain == 0 {
+        return;
+    }
+    loop {
+        emit(&tuple);
+        let mut i = 0;
+        loop {
+            let Some(&p) = open.get(i) else {
+                return;
+            };
+            tuple[p] += 1;
+            if tuple[p] < domain {
+                break;
+            }
+            tuple[p] = 0;
+            i += 1;
+        }
+    }
 }
 
 /// Join indexes built lazily per (relation, bound-position pattern):
@@ -59,8 +107,8 @@ pub fn answers_cq(db: &RelationalDb, q: &Cq) -> BTreeSet<Vec<u32>> {
 /// scan into a hash lookup.
 #[derive(Default)]
 struct JoinIndex {
-    snapshots: HashMap<String, Vec<Vec<u32>>>,
-    by_pattern: HashMap<(String, u64), HashMap<Vec<u32>, Vec<u32>>>,
+    snapshots: FnvHashMap<String, Vec<Vec<u32>>>,
+    by_pattern: FnvHashMap<(String, u64), FnvHashMap<Vec<u32>, Vec<u32>>>,
 }
 
 impl JoinIndex {
@@ -89,7 +137,7 @@ impl JoinIndex {
         }
         if !self.by_pattern.contains_key(&(relation.to_string(), mask)) {
             let snapshot = self.snapshot(db, relation).clone();
-            let mut index: HashMap<Vec<u32>, Vec<u32>> = HashMap::new();
+            let mut index: FnvHashMap<Vec<u32>, Vec<u32>> = FnvHashMap::default();
             for (i, t) in snapshot.iter().enumerate() {
                 let k: Vec<u32> = (0..t.len())
                     .filter(|&p| mask & (1 << p) != 0)
@@ -114,7 +162,18 @@ impl JoinIndex {
 /// Backtracking core: orders atoms to maximize bound variables, iterates
 /// matching tuples. `on_success` receives the assignment (variables not in
 /// any atom stay `None`) and returns `true` to stop.
-fn backtrack(db: &RelationalDb, q: &Cq, on_success: &mut impl FnMut(&[Option<u32>]) -> bool) {
+///
+/// With `part = Some((parts, p))`, only candidates of the **first** ordered
+/// atom whose index is ≡ `p (mod parts)` are explored. The first atom has
+/// no bound variables, so its candidate list is every tuple of its
+/// relation; the stride classes therefore partition the full search space
+/// (their union over `p = 0..parts` is exactly the unrestricted search).
+fn backtrack(
+    db: &RelationalDb,
+    q: &Cq,
+    part: Option<(usize, usize)>,
+    on_success: &mut impl FnMut(&[Option<u32>]) -> bool,
+) {
     // static greedy order: repeatedly pick the atom sharing most variables
     // with already-ordered atoms (ties: smaller relation first)
     let mut remaining: Vec<usize> = (0..q.atoms.len()).collect();
@@ -127,9 +186,7 @@ fn backtrack(db: &RelationalDb, q: &Cq, on_success: &mut impl FnMut(&[Option<u32
             .max_by_key(|(_, &i)| {
                 let a = &q.atoms[i];
                 let shared = a.vars.iter().filter(|v| bound.contains(v)).count();
-                let size = db
-                    .relation(&a.relation)
-                    .map_or(0, |r| r.tuples.len());
+                let size = db.relation(&a.relation).map_or(0, |r| r.tuples.len());
                 (shared, usize::MAX - size)
             })
             .unwrap();
@@ -141,14 +198,33 @@ fn backtrack(db: &RelationalDb, q: &Cq, on_success: &mut impl FnMut(&[Option<u32
     }
     let mut assignment: Vec<Option<u32>> = vec![None; q.num_vars];
     let mut index = JoinIndex::default();
-    rec(db, q, &order, 0, &mut assignment, &mut index, on_success);
+    // A zero-atom query succeeds once regardless of stride: run it only in
+    // part 0 so parallel workers don't multiply the success.
+    if order.is_empty() {
+        if part.is_none_or(|(_, p)| p == 0) {
+            on_success(&assignment);
+        }
+        return;
+    }
+    rec(
+        db,
+        q,
+        &order,
+        0,
+        part,
+        &mut assignment,
+        &mut index,
+        on_success,
+    );
 }
 
+#[allow(clippy::too_many_arguments)]
 fn rec(
     db: &RelationalDb,
     q: &Cq,
     order: &[usize],
     idx: usize,
+    part: Option<(usize, usize)>,
     assignment: &mut Vec<Option<u32>>,
     index: &mut JoinIndex,
     on_success: &mut impl FnMut(&[Option<u32>]) -> bool,
@@ -166,7 +242,17 @@ fn rec(
             key.push(x);
         }
     }
-    let candidates = index.candidates(db, &atom.relation, mask, &key);
+    let mut candidates = index.candidates(db, &atom.relation, mask, &key);
+    if idx == 0 {
+        if let Some((parts, p)) = part {
+            let mut ci = 0usize;
+            candidates.retain(|_| {
+                let keep = ci % parts == p;
+                ci += 1;
+                keep
+            });
+        }
+    }
     let mut tuple: Vec<u32> = Vec::new();
     'tuples: for &ti in &candidates {
         tuple.clear();
@@ -188,7 +274,7 @@ fn rec(
                 }
             }
         }
-        if rec(db, q, order, idx + 1, assignment, index, on_success) {
+        if rec(db, q, order, idx + 1, None, assignment, index, on_success) {
             for &w in &written {
                 assignment[w] = None;
             }
@@ -215,13 +301,18 @@ pub struct TreedecStats {
 /// Evaluates a Boolean CQ with the tree-decomposition + Yannakakis
 /// algorithm.
 pub fn eval_cq_treedec(db: &RelationalDb, q: &Cq) -> bool {
-    let (bags, _, _) = reduce(db, q);
+    eval_cq_treedec_threads(db, q, 1)
+}
+
+/// As [`eval_cq_treedec`], populating bags with `threads` workers.
+pub(crate) fn eval_cq_treedec_threads(db: &RelationalDb, q: &Cq, threads: usize) -> bool {
+    let (bags, _, _) = reduce(db, q, threads);
     bags.is_some_and(|b| b.iter().all(|r| !r.tuples.is_empty()))
 }
 
 /// As [`eval_cq_treedec`] with counters.
 pub fn eval_cq_treedec_with_stats(db: &RelationalDb, q: &Cq) -> (bool, TreedecStats) {
-    let (bags, _, stats) = reduce(db, q);
+    let (bags, _, stats) = reduce(db, q, 1);
     (
         bags.is_some_and(|b| b.iter().all(|r| !r.tuples.is_empty())),
         stats,
@@ -231,12 +322,26 @@ pub fn eval_cq_treedec_with_stats(db: &RelationalDb, q: &Cq) -> (bool, TreedecSt
 /// All answers via tree decomposition: semijoin-reduce, then enumerate the
 /// (now dangling-free) acyclic join by backtracking over bag relations.
 pub fn answers_cq_treedec(db: &RelationalDb, q: &Cq) -> BTreeSet<Vec<u32>> {
-    let (bags, dec, _) = reduce(db, q);
-    let Some(bags) = bags else {
-        return BTreeSet::new();
-    };
+    match treedec_join_instance(db, q, 1) {
+        Some((jdb, jq)) => answers_cq(&jdb, &jq),
+        None => BTreeSet::new(),
+    }
+}
+
+/// The reduced acyclic instance behind [`answers_cq_treedec`]: a database
+/// of semijoin-reduced bag relations `B0, B1, …` and a CQ joining them.
+/// `None` means the query is unsatisfiable (some bag emptied). Bags are
+/// populated with `threads` workers; the instance itself is deterministic
+/// regardless of thread count.
+pub(crate) fn treedec_join_instance(
+    db: &RelationalDb,
+    q: &Cq,
+    threads: usize,
+) -> Option<(RelationalDb, Cq)> {
+    let (bags, _dec, _) = reduce(db, q, threads);
+    let bags = bags?;
     if bags.iter().any(|r| r.tuples.is_empty()) {
-        return BTreeSet::new();
+        return None;
     }
     // Build a CQ whose atoms are the reduced bag relations.
     let mut jdb = RelationalDb::new(db.domain_size());
@@ -253,8 +358,7 @@ pub fn answers_cq_treedec(db: &RelationalDb, q: &Cq) -> BTreeSet<Vec<u32>> {
             vars: bag_rel.vars.clone(),
         });
     }
-    let _ = dec;
-    answers_cq(&jdb, &jq)
+    Some((jdb, jq))
 }
 
 /// A bag's relation: tuples over the bag's variables.
@@ -270,6 +374,7 @@ struct BagRelation {
 fn reduce(
     db: &RelationalDb,
     q: &Cq,
+    threads: usize,
 ) -> (Option<Vec<BagRelation>>, TreeDecomposition, TreedecStats) {
     let g = q.gaifman();
     let (width, dec) = if g.num_vertices() <= 64 {
@@ -283,11 +388,7 @@ fn reduce(
     };
     if dec.bags.is_empty() {
         // zero-variable query: vacuously true
-        return (
-            Some(Vec::new()),
-            dec,
-            stats,
-        );
+        return (Some(Vec::new()), dec, stats);
     }
     // Assign each atom to a bag containing all its variables.
     let mut atoms_of_bag: Vec<Vec<usize>> = vec![Vec::new(); dec.bags.len()];
@@ -302,10 +403,45 @@ fn reduce(
         }
     }
     // Populate bags: join the bag's atoms, then cartesian-fill uncovered
-    // bag variables over the domain.
-    let mut bags: Vec<BagRelation> = Vec::with_capacity(dec.bags.len());
-    for (bi, bag_vars) in dec.bags.iter().enumerate() {
-        let tuples = populate_bag(db, q, bag_vars, &atoms_of_bag[bi]);
+    // bag variables over the domain. Bags are independent until the
+    // semijoin passes, so this fans out across workers.
+    let nb = dec.bags.len();
+    let workers = threads.clamp(1, nb.max(1));
+    let tuples_per_bag: Vec<Vec<Vec<u32>>> = if workers <= 1 {
+        dec.bags
+            .iter()
+            .enumerate()
+            .map(|(bi, bag_vars)| populate_bag(db, q, bag_vars, &atoms_of_bag[bi]))
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Vec<Vec<u32>>> = vec![Vec::new(); nb];
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (next, dec, atoms_of_bag) = (&next, &dec, &atoms_of_bag);
+                    s.spawn(move || {
+                        let mut mine: Vec<(usize, Vec<Vec<u32>>)> = Vec::new();
+                        loop {
+                            let bi = next.fetch_add(1, Ordering::Relaxed);
+                            if bi >= nb {
+                                return mine;
+                            }
+                            mine.push((bi, populate_bag(db, q, &dec.bags[bi], &atoms_of_bag[bi])));
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (bi, tuples) in h.join().expect("bag-population worker panicked") {
+                    slots[bi] = tuples;
+                }
+            }
+        });
+        slots
+    };
+    let mut bags: Vec<BagRelation> = Vec::with_capacity(nb);
+    for (bag_vars, tuples) in dec.bags.iter().zip(tuples_per_bag) {
         stats.bag_tuples += tuples.len();
         bags.push(BagRelation {
             vars: bag_vars.clone(),
@@ -357,13 +493,7 @@ fn semijoin(bags: &mut [BagRelation], target: usize, other: usize) {
         .vars
         .iter()
         .enumerate()
-        .filter_map(|(i, v)| {
-            bags[other]
-                .vars
-                .iter()
-                .position(|w| w == v)
-                .map(|j| (i, j))
-        })
+        .filter_map(|(i, v)| bags[other].vars.iter().position(|w| w == v).map(|j| (i, j)))
         .collect();
     if shared.is_empty() {
         // no shared variables: keep target iff other is non-empty
@@ -372,7 +502,7 @@ fn semijoin(bags: &mut [BagRelation], target: usize, other: usize) {
         }
         return;
     }
-    let keys: HashSet<Vec<u32>> = bags[other]
+    let keys: FnvHashSet<Vec<u32>> = bags[other]
         .tuples
         .iter()
         .map(|t| shared.iter().map(|&(_, j)| t[j]).collect())
@@ -392,11 +522,8 @@ fn populate_bag(
     bag_vars: &[usize],
     atom_ids: &[usize],
 ) -> Vec<Vec<u32>> {
-    let pos_of: HashMap<usize, usize> = bag_vars
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v, i))
-        .collect();
+    let pos_of: FnvHashMap<usize, usize> =
+        bag_vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let mut partial: Vec<Option<u32>> = vec![None; bag_vars.len()];
     let mut out: Vec<Vec<u32>> = Vec::new();
     let mut index = JoinIndex::default();
@@ -406,32 +533,44 @@ fn populate_bag(
         q: &Cq,
         atom_ids: &[usize],
         idx: usize,
-        pos_of: &HashMap<usize, usize>,
+        pos_of: &FnvHashMap<usize, usize>,
         partial: &mut Vec<Option<u32>>,
         domain: u32,
         index: &mut JoinIndex,
         out: &mut Vec<Vec<u32>>,
     ) {
         if idx == atom_ids.len() {
-            // fill uncovered positions with every domain element
-            let mut tuples: Vec<Vec<u32>> = vec![Vec::with_capacity(partial.len())];
-            for slot in partial.iter() {
-                let choices: Vec<u32> = match slot {
-                    Some(x) => vec![*x],
-                    None => (0..domain).collect(),
-                };
-                let mut next = Vec::with_capacity(tuples.len() * choices.len());
-                for t in &tuples {
-                    for &c in &choices {
-                        let mut t2 = t.clone();
-                        t2.push(c);
-                        next.push(t2);
+            // fill uncovered positions with every domain element (odometer
+            // over the open slots, one allocation per emitted tuple)
+            let mut tuple: Vec<u32> = Vec::with_capacity(partial.len());
+            let mut open: Vec<usize> = Vec::new();
+            for (i, slot) in partial.iter().enumerate() {
+                match slot {
+                    Some(x) => tuple.push(*x),
+                    None => {
+                        open.push(i);
+                        tuple.push(0);
                     }
                 }
-                tuples = next;
             }
-            out.extend(tuples);
-            return;
+            if !open.is_empty() && domain == 0 {
+                return;
+            }
+            loop {
+                out.push(tuple.clone());
+                let mut i = 0;
+                loop {
+                    let Some(&p) = open.get(i) else {
+                        return;
+                    };
+                    tuple[p] += 1;
+                    if tuple[p] < domain {
+                        break;
+                    }
+                    tuple[p] = 0;
+                    i += 1;
+                }
+            }
         }
         let atom = &q.atoms[atom_ids[idx]];
         let mut mask: u64 = 0;
@@ -464,7 +603,17 @@ fn populate_bag(
                     }
                 }
             }
-            go(db, q, atom_ids, idx + 1, pos_of, partial, domain, index, out);
+            go(
+                db,
+                q,
+                atom_ids,
+                idx + 1,
+                pos_of,
+                partial,
+                domain,
+                index,
+                out,
+            );
             for &w in &written {
                 partial[w] = None;
             }
@@ -512,7 +661,7 @@ mod tests {
     fn boolean_backtracking() {
         let db = triangle_db();
         assert!(eval_cq(&db, &triangle_query())); // 0→1→2, 0→2
-        // no directed triangle through 3 only
+                                                  // no directed triangle through 3 only
         let mut db2 = RelationalDb::new(3);
         db2.insert("E", &[0, 1]);
         db2.insert("E", &[1, 2]);

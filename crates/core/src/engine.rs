@@ -1,0 +1,464 @@
+//! Parallel evaluation engine.
+//!
+//! Multi-threaded front-ends for the two evaluator families:
+//!
+//! * the **product** evaluator ([`eval_product`], [`answers_product`]) —
+//!   the top-level backtracking search is partitioned by the domain of the
+//!   first node variable it assigns: the domain is cut into
+//!   `threads × 4` chunks, and `std::thread::scope` workers pull chunks
+//!   from an atomic queue. Each worker carries its own feasibility memo and
+//!   visited-stamp arrays (thread-local, so chunk-internal memo locality is
+//!   preserved) and borrows the read-only [`SharedTables`] — automata,
+//!   reachability closure — built once up front;
+//! * the **CQ** evaluators ([`answers_cq`], [`answers_cq_treedec`]) — the
+//!   backtracking join is partitioned by stride over the first atom's
+//!   candidate tuples, and tree-decomposition bag population fans out
+//!   bag-per-worker before the (sequential) semijoin passes.
+//!
+//! Workers merge their [`ProductStats`] with saturating adds at join, and
+//! answer sets are `BTreeSet`s merged by union — so parallel runs return
+//! **bit-identical** answers to the sequential evaluators, and the work
+//! invariant `checks + cache_hits = sequential checks + cache_hits` holds
+//! for enumeration (each (atom, endpoints) feasibility question is asked
+//! the same number of times in total; only the memo-hit split shifts with
+//! the partitioning). Boolean search additionally propagates a stop flag
+//! so sibling workers abandon their chunks after the first success.
+
+use crate::cq_eval;
+use crate::prepare::PreparedQuery;
+use crate::product::{self, Evaluator, ProductStats, SharedTables};
+use ecrpq_graph::{GraphDb, NodeId};
+use ecrpq_query::{Cq, RelationalDb};
+use std::collections::BTreeSet;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Work-queue granularity: chunks per worker. More than 1 so a worker that
+/// drew an easy slice of the domain can steal further chunks; small enough
+/// that per-chunk memo warm-up stays amortized.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Options controlling parallel evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Worker threads. `0` (the default) means "use
+    /// [`std::thread::available_parallelism`]"; `1` runs the sequential
+    /// evaluators unchanged.
+    pub threads: usize,
+}
+
+impl EvalOptions {
+    /// Explicitly sequential evaluation.
+    pub fn sequential() -> Self {
+        EvalOptions { threads: 1 }
+    }
+
+    /// Evaluation with exactly `n` worker threads (`0` = auto).
+    pub fn with_threads(n: usize) -> Self {
+        EvalOptions { threads: n }
+    }
+
+    /// The concrete worker count: resolves `threads == 0` to the machine's
+    /// available parallelism (1 if that is unknown).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// Splits `0..domain` into at most `parts` non-empty contiguous ranges.
+fn chunk_ranges(domain: usize, parts: usize) -> Vec<Range<NodeId>> {
+    if domain == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, domain);
+    let base = domain / parts;
+    let extra = domain % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        ranges.push(start as NodeId..(start + len) as NodeId);
+        start += len;
+    }
+    ranges
+}
+
+/// How many workers a product-evaluator run should actually use: never
+/// more than the top-level domain, and 1 when there is nothing to split
+/// (no atoms, no node variables, or an empty database).
+fn product_workers(db: &GraphDb, query: &PreparedQuery, opts: &EvalOptions) -> usize {
+    let t = opts.effective_threads();
+    if t <= 1 || query.atoms.is_empty() || query.num_node_vars == 0 || db.num_nodes() == 0 {
+        return 1;
+    }
+    t.min(db.num_nodes())
+}
+
+/// Parallel Boolean product evaluation. Identical in outcome to
+/// [`crate::product::eval_product`]; with `threads > 1` the domain of the
+/// first assigned node variable is searched by concurrent workers, and the
+/// first success cancels the rest.
+pub fn eval_product(db: &GraphDb, query: &PreparedQuery, opts: &EvalOptions) -> bool {
+    eval_product_with_stats(db, query, opts).0
+}
+
+/// As [`eval_product`], returning the merged worker counters. Because the
+/// stop flag truncates sibling searches, Boolean counters are a lower
+/// bound on the sequential run's only when the query is satisfiable; for
+/// unsatisfiable queries every chunk is exhausted and
+/// `checks + cache_hits` matches the sequential total exactly.
+pub fn eval_product_with_stats(
+    db: &GraphDb,
+    query: &PreparedQuery,
+    opts: &EvalOptions,
+) -> (bool, ProductStats) {
+    let workers = product_workers(db, query, opts);
+    if workers <= 1 {
+        return product::eval_product_with_stats(db, query);
+    }
+    let tables = SharedTables::build(db, query);
+    let ranges = chunk_ranges(db.num_nodes(), workers * CHUNKS_PER_THREAD);
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let mut found = false;
+    let mut stats = ProductStats::default();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (next, stop, tables, ranges) = (&next, &stop, &tables, &ranges);
+                s.spawn(move || {
+                    let mut e = Evaluator::with_tables(db, query, tables);
+                    e.set_stop(stop);
+                    let mut hit = false;
+                    while !stop.load(Ordering::Relaxed) {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(r) = ranges.get(i) else { break };
+                        e.set_first_var_range(r.clone());
+                        if e.boolean() {
+                            hit = true;
+                            stop.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    (hit, e.stats)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (hit, s) = h.join().expect("product worker panicked");
+            found |= hit;
+            stats.merge(&s);
+        }
+    });
+    (found, stats)
+}
+
+/// Parallel answer enumeration for the product evaluator. Returns exactly
+/// the set [`crate::product::answers_product`] returns — workers enumerate
+/// disjoint slices of the first variable's domain and the per-worker
+/// `BTreeSet`s are merged by union.
+pub fn answers_product(
+    db: &GraphDb,
+    query: &PreparedQuery,
+    opts: &EvalOptions,
+) -> BTreeSet<Vec<NodeId>> {
+    answers_product_with_stats(db, query, opts).0
+}
+
+/// As [`answers_product`], returning the merged worker counters.
+/// Enumeration never stops early, so the merged `checks + cache_hits`
+/// equals the sequential total, as does `assignments`.
+pub fn answers_product_with_stats(
+    db: &GraphDb,
+    query: &PreparedQuery,
+    opts: &EvalOptions,
+) -> (BTreeSet<Vec<NodeId>>, ProductStats) {
+    let workers = product_workers(db, query, opts);
+    if workers <= 1 {
+        let tables = SharedTables::build(db, query);
+        let mut e = Evaluator::with_tables(db, query, &tables);
+        let answers = e.answers();
+        return (answers, e.stats);
+    }
+    let tables = SharedTables::build(db, query);
+    let ranges = chunk_ranges(db.num_nodes(), workers * CHUNKS_PER_THREAD);
+    let next = AtomicUsize::new(0);
+    let mut out: BTreeSet<Vec<NodeId>> = BTreeSet::new();
+    let mut stats = ProductStats::default();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (next, tables, ranges) = (&next, &tables, &ranges);
+                s.spawn(move || {
+                    let mut e = Evaluator::with_tables(db, query, tables);
+                    let mut mine: BTreeSet<Vec<NodeId>> = BTreeSet::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(r) = ranges.get(i) else { break };
+                        e.set_first_var_range(r.clone());
+                        e.answers_into(&mut mine);
+                    }
+                    (mine, e.stats)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (mine, s) = h.join().expect("product worker panicked");
+            if out.is_empty() {
+                out = mine;
+            } else {
+                out.extend(mine);
+            }
+            stats.merge(&s);
+        }
+    });
+    (out, stats)
+}
+
+/// How many workers a CQ backtracking run should use: bounded by the first
+/// atom's relation size (the stride partition is over its tuples).
+fn cq_workers(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -> usize {
+    let t = opts.effective_threads();
+    if t <= 1 || q.atoms.is_empty() {
+        return 1;
+    }
+    let max_rel = q
+        .atoms
+        .iter()
+        .map(|a| db.relation(&a.relation).map_or(0, |r| r.tuples.len()))
+        .max()
+        .unwrap_or(0);
+    t.min(max_rel.max(1))
+}
+
+/// Parallel Boolean CQ evaluation by stride-partitioned backtracking.
+pub fn eval_cq(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -> bool {
+    let workers = cq_workers(db, q, opts);
+    if workers <= 1 {
+        return cq_eval::eval_cq(db, q);
+    }
+    let stop = AtomicBool::new(false);
+    let mut found = false;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|p| {
+                let stop = &stop;
+                s.spawn(move || {
+                    if stop.load(Ordering::Relaxed) {
+                        return false;
+                    }
+                    let hit = cq_eval::eval_cq_part(db, q, Some((workers, p)));
+                    if hit {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                    hit
+                })
+            })
+            .collect();
+        for h in handles {
+            found |= h.join().expect("cq worker panicked");
+        }
+    });
+    found
+}
+
+/// Parallel CQ answer enumeration: workers cover disjoint stride classes
+/// of the first join atom's tuples; the merged set is identical to
+/// [`crate::cq_eval::answers_cq`].
+pub fn answers_cq(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -> BTreeSet<Vec<u32>> {
+    let workers = cq_workers(db, q, opts);
+    if workers <= 1 {
+        return cq_eval::answers_cq(db, q);
+    }
+    let mut out: BTreeSet<Vec<u32>> = BTreeSet::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|p| {
+                s.spawn(move || {
+                    let mut mine = BTreeSet::new();
+                    cq_eval::answers_cq_part(db, q, Some((workers, p)), &mut mine);
+                    mine
+                })
+            })
+            .collect();
+        for h in handles {
+            let mine = h.join().expect("cq worker panicked");
+            if out.is_empty() {
+                out = mine;
+            } else {
+                out.extend(mine);
+            }
+        }
+    });
+    out
+}
+
+/// Parallel Boolean tree-decomposition evaluation: bag population fans out
+/// across workers; the semijoin passes stay sequential (they are linear in
+/// the already-reduced bag sizes).
+pub fn eval_cq_treedec(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -> bool {
+    cq_eval::eval_cq_treedec_threads(db, q, opts.effective_threads())
+}
+
+/// Parallel tree-decomposition answer enumeration: parallel bag
+/// population, sequential semijoins, then stride-parallel enumeration of
+/// the reduced acyclic join. Identical output to
+/// [`crate::cq_eval::answers_cq_treedec`].
+pub fn answers_cq_treedec(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -> BTreeSet<Vec<u32>> {
+    let threads = opts.effective_threads();
+    match cq_eval::treedec_join_instance(db, q, threads) {
+        Some((jdb, jq)) => answers_cq(&jdb, &jq, opts),
+        None => BTreeSet::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecrpq_automata::relations;
+    use ecrpq_query::Ecrpq;
+    use std::sync::Arc;
+
+    fn chain_with_branches() -> GraphDb {
+        // 0 -a-> 1 -a-> 2 -a-> 3 -b-> 4, plus 0 -b-> 2, 2 -a-> 0
+        let mut g = GraphDb::new();
+        for i in 0..5 {
+            g.add_node(&format!("n{i}"));
+        }
+        g.add_edge(0, 'a', 1);
+        g.add_edge(1, 'a', 2);
+        g.add_edge(2, 'a', 3);
+        g.add_edge(3, 'b', 4);
+        g.add_edge(0, 'b', 2);
+        g.add_edge(2, 'a', 0);
+        g
+    }
+
+    fn eq_len_query(db: &GraphDb) -> Ecrpq {
+        let mut q = Ecrpq::new(db.alphabet().clone());
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let z = q.node_var("z");
+        let p1 = q.path_atom(x, "p1", z);
+        let p2 = q.path_atom(y, "p2", z);
+        q.rel_atom(
+            "eq_len",
+            Arc::new(relations::eq_length(2, db.alphabet().len())),
+            &[p1, p2],
+        );
+        q.set_free(&[x, y]);
+        q
+    }
+
+    #[test]
+    fn chunk_ranges_partition_domain() {
+        for domain in [0usize, 1, 2, 7, 16, 100] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(domain, parts);
+                let mut covered = 0usize;
+                let mut expect = 0u32;
+                for r in &ranges {
+                    assert_eq!(r.start, expect, "contiguous");
+                    assert!(r.end > r.start, "non-empty");
+                    covered += (r.end - r.start) as usize;
+                    expect = r.end;
+                }
+                assert_eq!(covered, domain);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_product_matches_sequential() {
+        let db = chain_with_branches();
+        let q = eq_len_query(&db);
+        let p = PreparedQuery::build(&q).unwrap();
+        let seq = crate::product::answers_product(&db, &p);
+        for threads in [1usize, 2, 3, 4, 7] {
+            let par = answers_product(&db, &p, &EvalOptions::with_threads(threads));
+            assert_eq!(par, seq, "threads={threads}");
+        }
+        let seq_bool = crate::product::eval_product(&db, &p);
+        for threads in [2usize, 4] {
+            assert_eq!(
+                eval_product(&db, &p, &EvalOptions::with_threads(threads)),
+                seq_bool
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_stats_cover_sequential_work() {
+        let db = chain_with_branches();
+        let q = eq_len_query(&db);
+        let p = PreparedQuery::build(&q).unwrap();
+        let (seq_ans, seq_stats) = {
+            let (a, s) = answers_product_with_stats(&db, &p, &EvalOptions::sequential());
+            (a, s)
+        };
+        for threads in [2usize, 4] {
+            let (ans, stats) =
+                answers_product_with_stats(&db, &p, &EvalOptions::with_threads(threads));
+            assert_eq!(ans, seq_ans);
+            // every feasibility question is asked exactly as often in
+            // total; only the hit/miss split moves between workers
+            assert_eq!(
+                stats.checks + stats.cache_hits,
+                seq_stats.checks + seq_stats.cache_hits,
+                "threads={threads}"
+            );
+            assert_eq!(stats.assignments, seq_stats.assignments);
+        }
+    }
+
+    #[test]
+    fn parallel_cq_matches_sequential() {
+        let mut db = RelationalDb::new(6);
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (4, 5), (5, 4)] {
+            db.insert("E", &[a, b]);
+        }
+        let mut q = Cq::new(3);
+        q.atom("E", &[0, 1]);
+        q.atom("E", &[1, 2]);
+        q.free = vec![0, 2];
+        let seq = cq_eval::answers_cq(&db, &q);
+        assert!(!seq.is_empty());
+        for threads in [2usize, 3, 4, 16] {
+            let opts = EvalOptions::with_threads(threads);
+            assert_eq!(answers_cq(&db, &q, &opts), seq, "threads={threads}");
+            assert_eq!(eval_cq(&db, &q, &opts), cq_eval::eval_cq(&db, &q));
+        }
+        let treedec_seq = cq_eval::answers_cq_treedec(&db, &q);
+        for threads in [2usize, 4] {
+            let opts = EvalOptions::with_threads(threads);
+            assert_eq!(answers_cq_treedec(&db, &q, &opts), treedec_seq);
+            assert_eq!(
+                eval_cq_treedec(&db, &q, &opts),
+                cq_eval::eval_cq_treedec(&db, &q)
+            );
+        }
+    }
+
+    #[test]
+    fn zero_atom_cq_not_duplicated() {
+        let db = RelationalDb::new(3);
+        let mut q = Cq::new(1);
+        q.free = vec![0];
+        let seq = cq_eval::answers_cq(&db, &q);
+        assert_eq!(seq.len(), 3);
+        assert_eq!(answers_cq(&db, &q, &EvalOptions::with_threads(4)), seq);
+    }
+
+    #[test]
+    fn effective_threads_resolution() {
+        assert_eq!(EvalOptions::sequential().effective_threads(), 1);
+        assert_eq!(EvalOptions::with_threads(3).effective_threads(), 3);
+        assert!(EvalOptions::default().effective_threads() >= 1);
+    }
+}

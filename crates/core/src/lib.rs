@@ -28,6 +28,8 @@
 pub mod counting;
 pub mod cq_eval;
 pub mod crpq;
+pub mod engine;
+pub mod fnv;
 pub mod optimize;
 pub mod planner;
 pub mod prepare;
@@ -37,6 +39,8 @@ pub mod to_cq;
 pub mod ucrpq;
 
 pub use counting::{count_cq_nice, count_cq_treedec, count_ecrpq_assignments};
+pub use engine::EvalOptions;
+pub use fnv::{FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher};
 pub use optimize::{optimize, Simplified};
 pub use planner::{evaluate, CombinedRegime, ParamRegime, Plan, Strategy};
 pub use prepare::{MergedAtom, PreparedQuery};

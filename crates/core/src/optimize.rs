@@ -112,9 +112,7 @@ pub fn optimize(query: &Ecrpq) -> Result<Simplified, QueryError> {
 
 /// Budgeted universality check: `R = (A*)^k`?
 fn is_universal(rel: &ecrpq_automata::SyncRel, num_symbols: usize) -> bool {
-    if rel.num_states() > UNIVERSALITY_STATE_BUDGET
-        || rel.arity() > UNIVERSALITY_ARITY_BUDGET
-    {
+    if rel.num_states() > UNIVERSALITY_STATE_BUDGET || rel.arity() > UNIVERSALITY_ARITY_BUDGET {
         return false; // conservatively keep the atom
     }
     relations::universal(rel.arity(), num_symbols).is_subset_of(rel)
@@ -170,11 +168,7 @@ mod tests {
         let y = q.node_var("y");
         let p = q.path_atom(x, "p", y);
         q.set_free(&[x, y]);
-        q.rel_atom(
-            "l1",
-            Arc::new(relations::language(&lang("a+"), 2)),
-            &[p],
-        );
+        q.rel_atom("l1", Arc::new(relations::language(&lang("a+"), 2)), &[p]);
         q.rel_atom(
             "l2",
             Arc::new(relations::language(&lang("(a|b)(a|b)"), 2)),
@@ -212,11 +206,7 @@ mod tests {
         let p1 = q.path_atom(x, "p1", y);
         let p2 = q.path_atom(y, "p2", z);
         q.set_free(&[x, z]);
-        q.rel_atom(
-            "univ",
-            Arc::new(relations::universal(2, 2)),
-            &[p1, p2],
-        );
+        q.rel_atom("univ", Arc::new(relations::universal(2, 2)), &[p1, p2]);
         q.rel_atom("l", Arc::new(relations::language(&lang("a+"), 2)), &[p1]);
         assert_eq!(q.measures().cc_vertex, 2);
         let opt = optimize(&q).unwrap();

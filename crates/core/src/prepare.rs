@@ -56,11 +56,9 @@ impl PreparedQuery {
         for (ci, edge_list) in comps.edges.iter().enumerate() {
             // every component has ≥ 1 hyperedge after normalization
             debug_assert!(!comps.hedges[ci].is_empty());
-            let path_vars: Vec<PathVar> =
-                edge_list.iter().map(|&e| PathVar(e as u32)).collect();
-            let track_of = |p: PathVar| -> usize {
-                path_vars.iter().position(|&q| q == p).expect("member")
-            };
+            let path_vars: Vec<PathVar> = edge_list.iter().map(|&e| PathVar(e as u32)).collect();
+            let track_of =
+                |p: PathVar| -> usize { path_vars.iter().position(|&q| q == p).expect("member") };
             let member_atoms: Vec<&ecrpq_query::ast::RelAtom> = comps.hedges[ci]
                 .iter()
                 .map(|&h| &query.rel_atoms()[h])
@@ -76,14 +74,13 @@ impl PreparedQuery {
                 .iter()
                 .map(|(r, m)| (*r, m.as_slice()))
                 .collect();
-            let rel = if borrowed.len() == 1
-                && borrowed[0].1.iter().enumerate().all(|(i, &p)| i == p)
-            {
-                // single atom already in track order: skip the join
-                borrowed[0].0.clone()
-            } else {
-                SyncRel::join(&borrowed, path_vars.len())
-            };
+            let rel =
+                if borrowed.len() == 1 && borrowed[0].1.iter().enumerate().all(|(i, &p)| i == p) {
+                    // single atom already in track order: skip the join
+                    borrowed[0].0.clone()
+                } else {
+                    SyncRel::join(&borrowed, path_vars.len())
+                };
             let endpoints: Vec<(NodeVar, NodeVar)> =
                 path_vars.iter().map(|&p| query.endpoints(p)).collect();
             atoms.push(MergedAtom {
@@ -177,11 +174,7 @@ mod tests {
         let eq = Arc::new(relations::eq_length(2, 2));
         q.rel_atom("e1", eq, &[p1, p2]);
         let p3 = q.path_atom(x, "p3", y);
-        q.rel_atom(
-            "lang",
-            Arc::new(relations::word_relation(&[0], 2)),
-            &[p3],
-        );
+        q.rel_atom("lang", Arc::new(relations::word_relation(&[0], 2)), &[p3]);
         let p = PreparedQuery::build(&q).unwrap();
         assert_eq!(p.atoms.len(), 2);
         assert_eq!(p.max_arity(), 2);

@@ -15,12 +15,22 @@
 //! atom at a time, memoizing feasibility per (atom, endpoint tuple). Worst
 //! case `O(|V|^{#nodevars})` assignments times `O(|Q|·|V|^k)` per check —
 //! the PSPACE behaviour the paper proves unavoidable in general.
+//!
+//! The evaluator splits its state into [`SharedTables`] (read-only after
+//! construction: trimmed automata, the reachability closure, stamp-array
+//! sizing) and the per-search mutable state ([`Evaluator`]: memo, visited
+//! stamps, counters). The split is what makes the parallel engine
+//! ([`crate::engine`]) cheap: workers borrow one `SharedTables` and each
+//! carry a thread-local `Evaluator`.
 
+use crate::fnv::{FnvHashMap, FnvHashSet};
 use crate::prepare::PreparedQuery;
 use ecrpq_automata::{Nfa, Row, StateId, Track};
 use ecrpq_graph::{Edge, GraphDb, NodeId, Path};
 use ecrpq_query::{NodeVar, PathVar};
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A full satisfying assignment: node values plus one concrete path per
 /// path variable (“(f_N, f_P)” in the paper).
@@ -45,17 +55,29 @@ pub struct ProductStats {
     pub assignments: u64,
 }
 
+impl ProductStats {
+    /// Accumulates another worker's counters (saturating, so merged totals
+    /// can never wrap even on pathological workloads).
+    pub fn merge(&mut self, other: &ProductStats) {
+        self.configurations = self.configurations.saturating_add(other.configurations);
+        self.checks = self.checks.saturating_add(other.checks);
+        self.cache_hits = self.cache_hits.saturating_add(other.cache_hits);
+        self.assignments = self.assignments.saturating_add(other.assignments);
+    }
+}
+
 /// Evaluates a prepared Boolean query on `db` via the product algorithm.
 ///
 /// # Panics
 /// Panics if the query's alphabet size differs from the database's.
 pub fn eval_product(db: &GraphDb, query: &PreparedQuery) -> bool {
-    Evaluator::new(db, query).boolean()
+    eval_product_with_stats(db, query).0
 }
 
 /// As [`eval_product`], returning the work counters.
 pub fn eval_product_with_stats(db: &GraphDb, query: &PreparedQuery) -> (bool, ProductStats) {
-    let mut e = Evaluator::new(db, query);
+    let tables = SharedTables::build(db, query);
+    let mut e = Evaluator::with_tables(db, query, &tables);
     let r = e.boolean();
     (r, e.stats)
 }
@@ -63,21 +85,21 @@ pub fn eval_product_with_stats(db: &GraphDb, query: &PreparedQuery) -> (bool, Pr
 /// All answers (tuples over the free node variables), via the product
 /// algorithm.
 pub fn answers_product(db: &GraphDb, query: &PreparedQuery) -> BTreeSet<Vec<NodeId>> {
-    Evaluator::new(db, query).answers()
+    let tables = SharedTables::build(db, query);
+    Evaluator::with_tables(db, query, &tables).answers()
 }
 
 /// A witness for a Boolean query, if satisfiable.
 pub fn witness_product(db: &GraphDb, query: &PreparedQuery) -> Option<Witness> {
-    Evaluator::new(db, query).witness()
+    let tables = SharedTables::build(db, query);
+    Evaluator::with_tables(db, query, &tables).witness()
 }
 
 /// All answers, each with one concrete witness (node assignment + paths).
 /// The per-answer witness uses the first satisfying assignment found.
-pub fn answers_with_witnesses(
-    db: &GraphDb,
-    query: &PreparedQuery,
-) -> Vec<(Vec<NodeId>, Witness)> {
-    let mut e = Evaluator::new(db, query);
+pub fn answers_with_witnesses(db: &GraphDb, query: &PreparedQuery) -> Vec<(Vec<NodeId>, Witness)> {
+    let tables = SharedTables::build(db, query);
+    let mut e = Evaluator::with_tables(db, query, &tables);
     if query.num_node_vars > 0 && db.num_nodes() == 0 {
         return Vec::new();
     }
@@ -93,28 +115,17 @@ pub fn answers_with_witnesses(
                 .iter()
                 .map(|&x| if x == UNASSIGNED { 0 } else { x as NodeId })
                 .collect();
-            // expand unconstrained free variables over the domain
-            let mut tuples: Vec<(Vec<NodeId>, Vec<NodeId>)> = vec![(Vec::new(), nodes.clone())];
-            for &NodeVar(v) in &free {
-                let choices: Vec<NodeId> = match assignment[v as usize] {
-                    UNASSIGNED => (0..nv as NodeId).collect(),
-                    x => vec![x as NodeId],
-                };
-                let mut next = Vec::with_capacity(tuples.len() * choices.len());
-                for (t, n) in &tuples {
-                    for &c in &choices {
-                        let mut t2 = t.clone();
-                        t2.push(c);
-                        let mut n2 = n.clone();
-                        n2[v as usize] = c;
-                        next.push((t2, n2));
+            for_each_free_tuple(assignment, &free, nv, |tuple, values| {
+                if !reps.contains_key(tuple) {
+                    // the representative assignment must agree with the
+                    // expanded free choices, not default to vertex 0
+                    let mut rep = nodes.clone();
+                    for (&NodeVar(v), &c) in free.iter().zip(values) {
+                        rep[v as usize] = c;
                     }
+                    reps.insert(tuple.to_vec(), rep);
                 }
-                tuples = next;
-            }
-            for (t, n) in tuples {
-                reps.entry(t).or_insert(n);
-            }
+            });
             false
         });
     }
@@ -146,22 +157,61 @@ pub fn answers_with_witnesses(
         .collect()
 }
 
-const UNASSIGNED: i64 = -1;
+/// Expands the unconstrained free variables of a satisfying assignment
+/// over the whole domain, without cloning partial tuples: one scratch
+/// tuple advanced like an odometer, `emit` called once per complete tuple
+/// with the tuple and the concrete per-free-variable values.
+///
+/// Replaces the old cartesian-product loop that cloned every partial
+/// tuple per choice (quadratic on wide free tuples).
+pub(crate) fn for_each_free_tuple(
+    assignment: &[i64],
+    free: &[NodeVar],
+    nv: usize,
+    mut emit: impl FnMut(&[NodeId], &[NodeId]),
+) {
+    let mut tuple: Vec<NodeId> = Vec::with_capacity(free.len());
+    let mut open: Vec<usize> = Vec::new(); // positions ranging over V
+    for (i, &NodeVar(v)) in free.iter().enumerate() {
+        match assignment[v as usize] {
+            UNASSIGNED => {
+                open.push(i);
+                tuple.push(0);
+            }
+            x => tuple.push(x as NodeId),
+        }
+    }
+    if !open.is_empty() && nv == 0 {
+        return;
+    }
+    loop {
+        emit(&tuple, &tuple);
+        // advance the open positions, least-significant first
+        let mut i = 0;
+        loop {
+            let Some(&p) = open.get(i) else {
+                return;
+            };
+            tuple[p] += 1;
+            if (tuple[p] as usize) < nv {
+                break;
+            }
+            tuple[p] = 0;
+            i += 1;
+        }
+    }
+}
 
-struct Evaluator<'a> {
-    db: &'a GraphDb,
-    query: &'a PreparedQuery,
-    /// ε-free relation automata, one per merged atom.
+pub(crate) const UNASSIGNED: i64 = -1;
+
+/// Read-only evaluation state, built once per (database, query) pair and
+/// shared by every worker of a parallel run.
+pub(crate) struct SharedTables {
+    /// ε-free trimmed relation automata, one per merged atom.
     automata: Vec<Nfa<Row>>,
-    memo: HashMap<(usize, Vec<NodeId>, Vec<NodeId>), bool>,
-    stats: ProductStats,
-    /// Configuration trace of the last witness-mode BFS.
-    last_witness_configs: Option<Vec<(StateId, Vec<NodeId>)>>,
-    /// Per-atom generation-stamped visited arrays for flat-indexable
-    /// configuration spaces (`None` when the space is too large, in which
-    /// case the BFS falls back to hashing).
-    stamps: Vec<Option<Vec<u32>>>,
-    generation: u32,
+    /// Flat visited-array sizes per atom (`None` = space too large, BFS
+    /// falls back to hashing).
+    stamp_sizes: Vec<Option<usize>>,
     /// Label-oblivious reachability closure: `closure[v]` = vertices
     /// reachable from `v`. A necessary condition checked before any
     /// product BFS — `ends[i]` unreachable from `starts[i]` kills the
@@ -169,8 +219,10 @@ struct Evaluator<'a> {
     closure: Vec<ecrpq_automata::BitSet>,
 }
 
-impl<'a> Evaluator<'a> {
-    fn new(db: &'a GraphDb, query: &'a PreparedQuery) -> Self {
+impl SharedTables {
+    /// # Panics
+    /// Panics if the query's alphabet size differs from the database's.
+    pub(crate) fn build(db: &GraphDb, query: &PreparedQuery) -> Self {
         assert_eq!(
             db.alphabet().len(),
             query.num_symbols,
@@ -186,32 +238,85 @@ impl<'a> Evaluator<'a> {
             .map(|a| a.rel.nfa().remove_epsilon().trim())
             .collect();
         let nv = db.num_nodes().max(1) as u128;
-        let stamps = query
+        let stamp_sizes = query
             .atoms
             .iter()
             .zip(&automata)
             .map(|(a, nfa)| {
                 let space = nv.pow(a.rel.arity() as u32) * nfa.num_states() as u128;
-                (space <= (1 << 27)).then(|| vec![0u32; space as usize])
+                (space <= (1 << 27)).then_some(space as usize)
             })
             .collect();
         let closure = (0..db.num_nodes() as NodeId)
             .map(|v| ecrpq_graph::paths::reachable_from(db, v))
             .collect();
+        SharedTables {
+            automata,
+            stamp_sizes,
+            closure,
+        }
+    }
+}
+
+pub(crate) struct Evaluator<'a> {
+    db: &'a GraphDb,
+    pub(crate) query: &'a PreparedQuery,
+    tables: &'a SharedTables,
+    memo: FnvHashMap<(usize, Vec<NodeId>, Vec<NodeId>), bool>,
+    pub(crate) stats: ProductStats,
+    /// Configuration trace of the last witness-mode BFS.
+    last_witness_configs: Option<Vec<(StateId, Vec<NodeId>)>>,
+    /// Per-atom generation-stamped visited arrays for flat-indexable
+    /// configuration spaces (`None` when the space is too large, in which
+    /// case the BFS falls back to hashing).
+    stamps: Vec<Option<Vec<u32>>>,
+    generation: u32,
+    /// When set, the first variable assigned by the top-level search only
+    /// ranges over this sub-range of the domain — the parallel engine's
+    /// partitioning hook.
+    first_var_range: Option<Range<NodeId>>,
+    /// Cooperative cancellation for parallel Boolean search: checked at
+    /// every top-level domain step; a worker that finds a satisfying
+    /// assignment sets it and the others abandon their chunks.
+    stop: Option<&'a AtomicBool>,
+}
+
+impl<'a> Evaluator<'a> {
+    pub(crate) fn with_tables(
+        db: &'a GraphDb,
+        query: &'a PreparedQuery,
+        tables: &'a SharedTables,
+    ) -> Self {
+        let stamps = tables
+            .stamp_sizes
+            .iter()
+            .map(|size| size.map(|s| vec![0u32; s]))
+            .collect();
         Evaluator {
             db,
             query,
-            automata,
-            memo: HashMap::new(),
+            tables,
+            memo: FnvHashMap::default(),
             stats: ProductStats::default(),
             last_witness_configs: None,
             stamps,
             generation: 0,
-            closure,
+            first_var_range: None,
+            stop: None,
         }
     }
 
-    fn boolean(&mut self) -> bool {
+    /// Restricts the top-level variable to `range` (parallel partitioning).
+    pub(crate) fn set_first_var_range(&mut self, range: Range<NodeId>) {
+        self.first_var_range = Some(range);
+    }
+
+    /// Installs the cross-worker cancellation flag.
+    pub(crate) fn set_stop(&mut self, stop: &'a AtomicBool) {
+        self.stop = Some(stop);
+    }
+
+    pub(crate) fn boolean(&mut self) -> bool {
         if self.query.num_node_vars > 0 && self.db.num_nodes() == 0 {
             return false;
         }
@@ -219,36 +324,29 @@ impl<'a> Evaluator<'a> {
         self.search(0, &mut assignment, &mut |_| true)
     }
 
-    fn answers(&mut self) -> BTreeSet<Vec<NodeId>> {
+    pub(crate) fn answers(&mut self) -> BTreeSet<Vec<NodeId>> {
         let mut out = BTreeSet::new();
+        self.answers_into(&mut out);
+        out
+    }
+
+    /// As [`Self::answers`], accumulating into an existing set (so a
+    /// parallel worker can reuse one set across chunks).
+    pub(crate) fn answers_into(&mut self, out: &mut BTreeSet<Vec<NodeId>>) {
         if self.query.num_node_vars > 0 && self.db.num_nodes() == 0 {
-            return out;
+            return;
         }
         let free = self.query.free.clone();
         let nv = self.db.num_nodes();
         let mut assignment = vec![UNASSIGNED; self.query.num_node_vars];
         self.search(0, &mut assignment, &mut |assignment| {
-            // Free variables not constrained by any atom range over V.
-            let mut tuples: Vec<Vec<NodeId>> = vec![Vec::new()];
-            for &NodeVar(v) in &free {
-                let choices: Vec<NodeId> = match assignment[v as usize] {
-                    UNASSIGNED => (0..nv as NodeId).collect(),
-                    x => vec![x as NodeId],
-                };
-                let mut next = Vec::with_capacity(tuples.len() * choices.len());
-                for t in &tuples {
-                    for &c in &choices {
-                        let mut t2 = t.clone();
-                        t2.push(c);
-                        next.push(t2);
-                    }
+            for_each_free_tuple(assignment, &free, nv, |tuple, _| {
+                if !out.contains(tuple) {
+                    out.insert(tuple.to_vec());
                 }
-                tuples = next;
-            }
-            out.extend(tuples);
+            });
             false // keep searching for more answers
         });
-        out
     }
 
     fn witness(&mut self) -> Option<Witness> {
@@ -343,7 +441,19 @@ impl<'a> Evaluator<'a> {
             }
             return false;
         }
-        for v in 0..nv {
+        // the first variable of the first atom is the parallel partition
+        // point: a worker only walks its assigned sub-range
+        let range = if atom_idx == 0 && vi == 0 {
+            self.first_var_range.clone().unwrap_or(0..nv)
+        } else {
+            0..nv
+        };
+        for v in range {
+            if let Some(stop) = self.stop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
             assignment[vars[vi] as usize] = i64::from(v);
             if self.enumerate(atom_idx, vars, vi + 1, assignment, nv, on_success) {
                 assignment[vars[vi] as usize] = UNASSIGNED;
@@ -361,7 +471,7 @@ impl<'a> Evaluator<'a> {
         if starts
             .iter()
             .zip(ends)
-            .any(|(&s, &e)| !self.closure[s as usize].contains(e as usize))
+            .any(|(&s, &e)| !self.tables.closure[s as usize].contains(e as usize))
         {
             return false;
         }
@@ -418,7 +528,7 @@ impl<'a> Evaluator<'a> {
         ends: &[NodeId],
         want_witness: bool,
     ) -> Option<Vec<Row>> {
-        let nfa = &self.automata[atom_idx];
+        let nfa = &self.tables.automata[atom_idx];
         let k = starts.len();
         let nv = self.db.num_nodes().max(1);
         type Config = (StateId, Vec<NodeId>);
@@ -441,8 +551,8 @@ impl<'a> Evaluator<'a> {
             self.generation += 1;
         }
         let generation = self.generation;
-        let mut seen: HashSet<Config> = HashSet::new();
-        let mut mark = |q: StateId, pos: &[NodeId], seen: &mut HashSet<Config>| -> bool {
+        let mut seen: FnvHashSet<Config> = FnvHashSet::default();
+        let mut mark = |q: StateId, pos: &[NodeId], seen: &mut FnvHashSet<Config>| -> bool {
             match &mut stamp {
                 Some(s) => {
                     let idx = encode(q, pos);
@@ -456,7 +566,7 @@ impl<'a> Evaluator<'a> {
                 None => seen.insert((q, pos.to_vec())),
             }
         };
-        let mut parent: HashMap<Config, (Config, Row)> = HashMap::new();
+        let mut parent: FnvHashMap<Config, (Config, Row)> = FnvHashMap::default();
         let mut queue: VecDeque<Config> = VecDeque::new();
         for &q in nfa.initial_states() {
             if mark(q, starts, &mut seen) {
@@ -600,7 +710,7 @@ mod tests {
         assert!(answers.contains(&vec![s1, s1]));
         assert!(answers.contains(&vec![s3, s3]));
         assert!(!answers.contains(&vec![s1, s3])); // lengths 2 vs 1
-        // trivial equal-length: empty paths from the same vertex
+                                                   // trivial equal-length: empty paths from the same vertex
         assert!(answers.contains(&vec![2, 2]));
     }
 
@@ -707,8 +817,7 @@ mod tests {
         let p = prepare(&q);
         let plain = answers_product(&db, &p);
         let with_wit = answers_with_witnesses(&db, &p);
-        let tuples: BTreeSet<Vec<NodeId>> =
-            with_wit.iter().map(|(t, _)| t.clone()).collect();
+        let tuples: BTreeSet<Vec<NodeId>> = with_wit.iter().map(|(t, _)| t.clone()).collect();
         assert_eq!(tuples, plain);
         for (tuple, w) in &with_wit {
             // witness consistent with the tuple
@@ -744,5 +853,28 @@ mod tests {
         assert!(eval_product(&db, &prepare(&q)));
         let w = witness_product(&db, &prepare(&q)).unwrap();
         assert_eq!(w.paths[0].1.len(), 3);
+    }
+
+    #[test]
+    fn free_tuple_expansion_matches_cartesian() {
+        // 2 of 3 free vars unassigned over a 3-vertex domain: 9 tuples
+        let free = [NodeVar(0), NodeVar(1), NodeVar(2)];
+        let assignment = [UNASSIGNED, 1, UNASSIGNED];
+        let mut got: Vec<Vec<NodeId>> = Vec::new();
+        for_each_free_tuple(&assignment, &free, 3, |t, _| got.push(t.to_vec()));
+        assert_eq!(got.len(), 9);
+        let set: BTreeSet<Vec<NodeId>> = got.iter().cloned().collect();
+        assert_eq!(set.len(), 9);
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                assert!(set.contains(&vec![a, 1, b]));
+            }
+        }
+        // no unassigned vars: exactly one tuple
+        let mut got = Vec::new();
+        for_each_free_tuple(&[2, 0], &[NodeVar(0), NodeVar(1)], 3, |t, _| {
+            got.push(t.to_vec())
+        });
+        assert_eq!(got, vec![vec![2, 0]]);
     }
 }

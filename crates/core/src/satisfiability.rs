@@ -78,11 +78,7 @@ mod tests {
         let y = q.node_var("y");
         let p1 = q.path_atom(x, "p1", y);
         let p2 = q.path_atom(x, "p2", y);
-        q.rel_atom(
-            "el",
-            Arc::new(relations::eq_length_min(2, 2, 3)),
-            &[p1, p2],
-        );
+        q.rel_atom("el", Arc::new(relations::eq_length_min(2, 2, 3)), &[p1, p2]);
         check_sat(&q, true);
     }
 

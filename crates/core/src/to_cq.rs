@@ -38,10 +38,28 @@ fn emit_combos(
         return;
     }
     if pad_mask & (1 << i) != 0 {
-        emit_combos(i + 1, base * nv + pos[i] as usize, k, nv, pad_mask, pos, options, sink);
+        emit_combos(
+            i + 1,
+            base * nv + pos[i] as usize,
+            k,
+            nv,
+            pad_mask,
+            pos,
+            options,
+            sink,
+        );
     } else {
         for &(_, t) in options[i] {
-            emit_combos(i + 1, base * nv + t as usize, k, nv, pad_mask, pos, options, sink);
+            emit_combos(
+                i + 1,
+                base * nv + t as usize,
+                k,
+                nv,
+                pad_mask,
+                pos,
+                options,
+                sink,
+            );
         }
     }
 }
@@ -232,11 +250,7 @@ mod tests {
         let x = q.node_var("x");
         let y = q.node_var("y");
         let p = q.path_atom(x, "p", y);
-        q.rel_atom(
-            "aa",
-            Arc::new(relations::word_relation(&[0, 0], 1)),
-            &[p],
-        );
+        q.rel_atom("aa", Arc::new(relations::word_relation(&[0, 0], 1)), &[p]);
         let prepared = PreparedQuery::build(&q).unwrap();
         let (cq, rdb, stats) = ecrpq_to_cq(&db, &prepared);
         assert_eq!(cq.atoms.len(), 1);
@@ -312,11 +326,7 @@ mod tests {
             let x = q.node_var("x");
             let y = q.node_var("y");
             let p = q.path_atom(x, "p", y);
-            q.rel_atom(
-                "w",
-                Arc::new(relations::word_relation(&word, 1)),
-                &[p],
-            );
+            q.rel_atom("w", Arc::new(relations::word_relation(&word, 1)), &[p]);
             let prepared = PreparedQuery::build(&q).unwrap();
             assert_eq!(eval_product(&db, &prepared), expect);
             let (cq, rdb, _) = ecrpq_to_cq(&db, &prepared);

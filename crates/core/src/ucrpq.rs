@@ -127,7 +127,9 @@ mod tests {
         let nodes: Vec<_> = (0..n).map(|i| db.add_node(&format!("v{i}"))).collect();
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         for _ in 0..8 {
@@ -141,7 +143,11 @@ mod tests {
 
     /// Reference evaluation: the same query with the recognizable atoms
     /// converted to synchronous relations.
-    fn via_sync(skeleton: &Ecrpq, atoms: &[RecAtom], db: &GraphDb) -> std::collections::BTreeSet<Vec<u32>> {
+    fn via_sync(
+        skeleton: &Ecrpq,
+        atoms: &[RecAtom],
+        db: &GraphDb,
+    ) -> std::collections::BTreeSet<Vec<u32>> {
         let mut q = skeleton.clone();
         for (i, a) in atoms.iter().enumerate() {
             q.rel_atom(&format!("rec{i}"), Arc::new(a.rel.to_sync()), &a.args);

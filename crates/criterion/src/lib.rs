@@ -1,0 +1,256 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion's API the workspace benches use —
+//! [`Criterion::benchmark_group`], `sample_size` / `measurement_time`,
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], [`black_box`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros — backed by a
+//! simple wall-clock harness: per sample it runs enough iterations to fill
+//! the per-sample time slice and reports min / median / max of the
+//! per-iteration means.
+//!
+//! `--test` on the command line (what `cargo test --benches` passes) runs
+//! every benchmark exactly once for smoke coverage; any other non-flag
+//! argument is a substring filter on benchmark names, like criterion's.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Returns `x` while preventing the optimizer from deleting its
+/// computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name with a parameter value.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {group_name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            group_name: group_name.to_string(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let (test_mode, skip) = (self.test_mode, self.skips(id));
+        if !skip {
+            run_one(id, test_mode, 10, Duration::from_secs(2), &mut f);
+        }
+        self
+    }
+
+    fn skips(&self, name: &str) -> bool {
+        self.filter.as_deref().is_some_and(|f| !name.contains(f))
+    }
+}
+
+/// A group of benchmarks sharing sample configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    group_name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.group_name, id);
+        if !self.criterion.skips(&name) {
+            run_one(
+                &name,
+                self.criterion.test_mode,
+                self.sample_size,
+                self.measurement_time,
+                &mut f,
+            );
+        }
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the measured closure; its [`iter`](Bencher::iter) runs the
+/// workload.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    budget: Duration,
+    /// Mean per-iteration durations, one per sample.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `f`, running it repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        // calibrate: how many iterations fit one sample slice
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let slice = self.budget / (self.sample_size as u32);
+        let iters = (slice.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / iters);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    test_mode: bool,
+    sample_size: usize,
+    budget: Duration,
+    f: &mut F,
+) {
+    let mut b = Bencher {
+        test_mode,
+        sample_size,
+        budget,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if test_mode {
+        println!("{name}: ok (test mode)");
+        return;
+    }
+    b.samples.sort_unstable();
+    if b.samples.is_empty() {
+        println!("{name}: no samples (Bencher::iter never called)");
+        return;
+    }
+    let median = b.samples[b.samples.len() / 2];
+    let (lo, hi) = (b.samples[0], b.samples[b.samples.len() - 1]);
+    println!(
+        "{name:<50} time: [{} {} {}]",
+        fmt_time(lo),
+        fmt_time(median),
+        fmt_time(hi)
+    );
+}
+
+fn fmt_time(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -101,7 +101,9 @@ impl GraphDb {
 
     /// Iterates over all vertex ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
-        (0..self.node_names.len() as NodeId).collect::<Vec<_>>().into_iter()
+        (0..self.node_names.len() as NodeId)
+            .collect::<Vec<_>>()
+            .into_iter()
     }
 
     /// Adds a labelled edge; the label character is interned. Returns
@@ -120,9 +122,7 @@ impl GraphDb {
             Err(pos) => {
                 self.out[src as usize].insert(pos, entry);
                 let rentry = (label, src);
-                let rpos = self.inc[dst as usize]
-                    .binary_search(&rentry)
-                    .unwrap_err();
+                let rpos = self.inc[dst as usize].binary_search(&rentry).unwrap_err();
                 self.inc[dst as usize].insert(rpos, rentry);
                 self.num_edges += 1;
                 true

@@ -26,7 +26,11 @@ pub struct GraphParseError {
 
 impl fmt::Display for GraphParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "graph parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "graph parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -147,10 +151,7 @@ mod tests {
         for e in g.edges() {
             let src2 = g2.node(g.node_name(e.src)).unwrap();
             let dst2 = g2.node(g.node_name(e.dst)).unwrap();
-            let sym = g2
-                .alphabet()
-                .symbol(g.alphabet().char_of(e.label))
-                .unwrap();
+            let sym = g2.alphabet().symbol(g.alphabet().char_of(e.label)).unwrap();
             assert!(g2.has_edge(src2, sym, dst2));
         }
         assert!(g2.node("lonely").is_some());

@@ -79,7 +79,9 @@ impl Path {
 
     /// Checks that the path exists in `db`.
     pub fn is_valid_in(&self, db: &GraphDb) -> bool {
-        self.edges.iter().all(|e| db.has_edge(e.src, e.label, e.dst))
+        self.edges
+            .iter()
+            .all(|e| db.has_edge(e.src, e.label, e.dst))
     }
 }
 
@@ -228,8 +230,16 @@ mod tests {
         let p = Path::from_edges(
             0,
             vec![
-                Edge { src: 0, label: a, dst: 1 },
-                Edge { src: 1, label: b, dst: 2 },
+                Edge {
+                    src: 0,
+                    label: a,
+                    dst: 1,
+                },
+                Edge {
+                    src: 1,
+                    label: b,
+                    dst: 2,
+                },
             ],
         );
         assert_eq!(p.label(), vec![a, b]);
@@ -243,8 +253,16 @@ mod tests {
         let _ = Path::from_edges(
             0,
             vec![
-                Edge { src: 0, label: 0, dst: 1 },
-                Edge { src: 2, label: 0, dst: 3 },
+                Edge {
+                    src: 0,
+                    label: 0,
+                    dst: 1,
+                },
+                Edge {
+                    src: 2,
+                    label: 0,
+                    dst: 3,
+                },
             ],
         );
     }

@@ -1,0 +1,210 @@
+//! String-pattern strategies: a `&str` literal acts as a strategy whose
+//! values are strings matching a small regex-like subset — character
+//! classes `[a-z0-9_]`, the proptest classes `\PC` (any non-control
+//! character) and `\pC` (control characters), `.`, literal characters,
+//! and the quantifiers `{m,n}`, `{n}`, `*`, `+`, `?`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniform `char` in `[lo, hi)`, skipping the surrogate gap.
+pub fn char_in(rng: &mut TestRng, lo: char, hi: char) -> char {
+    let (lo, hi) = (lo as u32, hi as u32);
+    assert!(lo < hi, "empty char range");
+    for _ in 0..64 {
+        let v = lo + rng.below_u128(u128::from(hi - lo)) as u32;
+        if let Some(c) = char::from_u32(v) {
+            return c;
+        }
+    }
+    char::from_u32(lo).expect("range start is a valid char")
+}
+
+/// One parsed pattern element: a set of candidate ranges plus repetition.
+struct Piece {
+    /// Inclusive scalar-value ranges to draw from.
+    ranges: Vec<(u32, u32)>,
+    min: usize,
+    max: usize,
+}
+
+/// Ranges for `\PC`: printable characters across several scripts (ASCII
+/// kept most likely so generated strings stress the common paths too).
+const NON_CONTROL: &[(u32, u32)] = &[
+    (0x20, 0x7e),
+    (0x20, 0x7e),
+    (0x20, 0x7e),
+    (0xa1, 0x24f),
+    (0x391, 0x3c9),
+    (0x410, 0x44f),
+    (0x4e00, 0x4e5f),
+    (0x1f600, 0x1f64f),
+];
+
+const CONTROL: &[(u32, u32)] = &[(0x00, 0x1f), (0x7f, 0x7f)];
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let ranges: Vec<(u32, u32)> = match chars[i] {
+            '[' => {
+                let mut members = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        members.push((lo as u32, chars[i + 2] as u32));
+                        i += 3;
+                    } else {
+                        members.push((lo as u32, lo as u32));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern {pattern}");
+                i += 1; // ']'
+                members
+            }
+            '\\' => {
+                i += 1;
+                let c = chars[i];
+                i += 1;
+                match c {
+                    'P' | 'p' => {
+                        let class = chars[i];
+                        i += 1;
+                        match (c, class) {
+                            ('P', 'C') => NON_CONTROL.to_vec(),
+                            ('p', 'C') => CONTROL.to_vec(),
+                            other => {
+                                panic!("unsupported class \\{}{} in {pattern}", other.0, other.1)
+                            }
+                        }
+                    }
+                    'd' => vec![('0' as u32, '9' as u32)],
+                    'w' => vec![
+                        ('a' as u32, 'z' as u32),
+                        ('A' as u32, 'Z' as u32),
+                        ('0' as u32, '9' as u32),
+                        ('_' as u32, '_' as u32),
+                    ],
+                    lit => vec![(lit as u32, lit as u32)],
+                }
+            }
+            '.' => {
+                i += 1;
+                NON_CONTROL.to_vec()
+            }
+            lit => {
+                i += 1;
+                vec![(lit as u32, lit as u32)]
+            }
+        };
+        // optional quantifier
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .expect("unterminated quantifier")
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("quantifier min"),
+                            hi.trim().parse().expect("quantifier max"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("quantifier count");
+                            (n, n)
+                        }
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { ranges, min, max });
+    }
+    pieces
+}
+
+fn generate_from(pieces: &[Piece], rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for p in pieces {
+        let count = p.min + rng.below(p.max - p.min + 1);
+        for _ in 0..count {
+            let (lo, hi) = p.ranges[rng.below(p.ranges.len())];
+            out.push(char_in(rng, char::from_u32(lo).unwrap(), {
+                // char_in is exclusive at the top; +1 may land in the
+                // surrogate gap, which char_in already skips
+                char::from_u32(hi + 1).unwrap_or('\u{e000}')
+            }));
+        }
+    }
+    out
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // parse anew per call: patterns are short and tests are not
+        // throughput-critical
+        generate_from(&parse(self), rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ascii_class_with_counts() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[ -~]{0,60}", &mut rng);
+            assert!(s.len() <= 60);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn non_control_class() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"\\PC{0,30}", &mut rng);
+            assert!(s.chars().count() <= 30);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = TestRng::from_seed(3);
+        let s = Strategy::generate(&"ab{3}c?", &mut rng);
+        assert!(s.starts_with("abbb"));
+        assert!(s.len() == 4 || s.len() == 5);
+    }
+}

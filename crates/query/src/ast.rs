@@ -314,9 +314,7 @@ impl Ecrpq {
         for (p, c) in covered.iter().enumerate() {
             if !*c {
                 let rel = universal
-                    .get_or_insert_with(|| {
-                        Arc::new(relations::universal(1, self.alphabet.len()))
-                    })
+                    .get_or_insert_with(|| Arc::new(relations::universal(1, self.alphabet.len())))
                     .clone();
                 out.rel_atoms.push(RelAtom {
                     name: "universal".to_string(),

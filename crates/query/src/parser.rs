@@ -92,20 +92,16 @@ impl RelationRegistry {
         };
         if let Some(d) = name.strip_prefix("hamming<=") {
             need_arity(2)?;
-            let d: usize = d
-                .parse()
-                .map_err(|_| QueryParseError {
-                    message: format!("bad distance bound in {name}"),
-                })?;
+            let d: usize = d.parse().map_err(|_| QueryParseError {
+                message: format!("bad distance bound in {name}"),
+            })?;
             return Ok(Arc::new(relations::hamming_le(d, num_symbols)));
         }
         if let Some(d) = name.strip_prefix("edit<=") {
             need_arity(2)?;
-            let d: usize = d
-                .parse()
-                .map_err(|_| QueryParseError {
-                    message: format!("bad distance bound in {name}"),
-                })?;
+            let d: usize = d.parse().map_err(|_| QueryParseError {
+                message: format!("bad distance bound in {name}"),
+            })?;
             if d > 4 {
                 return err("edit<=D supports D ≤ 4");
             }
@@ -292,7 +288,9 @@ pub fn parse_query(
         match atom {
             RawAtom::Membership { path, regex } => {
                 let Some(&p) = path_vars.get(path) else {
-                    return err(format!("membership atom on undeclared path variable {path}"));
+                    return err(format!(
+                        "membership atom on undeclared path variable {path}"
+                    ));
                 };
                 let nfa = nfas[i].as_ref().expect("compiled in phase 1");
                 let rel = relations::language(nfa, num_symbols);
@@ -357,10 +355,7 @@ fn parse_head(head: &str) -> Result<Vec<String>, QueryParseError> {
     if inner.trim().is_empty() {
         return Ok(Vec::new());
     }
-    Ok(inner
-        .split(',')
-        .map(|s| s.trim().to_string())
-        .collect())
+    Ok(inner.split(',').map(|s| s.trim().to_string()).collect())
 }
 
 /// Splits on commas at bracket depth 0.
@@ -429,10 +424,7 @@ fn parse_atom(src: &str) -> Result<RawAtom, QueryParseError> {
         check_ident_rel(&name)?;
         let inner = src.trim_end();
         let inner = &inner[open + 1..inner.len() - 1];
-        let args: Vec<String> = inner
-            .split(',')
-            .map(|s| s.trim().to_string())
-            .collect();
+        let args: Vec<String> = inner.split(',').map(|s| s.trim().to_string()).collect();
         if args.iter().any(String::is_empty) {
             return err(format!("empty argument in `{src}`"));
         }
@@ -545,10 +537,7 @@ mod tests {
     fn custom_registry() {
         let mut alphabet = Alphabet::ascii_lower(2);
         let mut reg = RelationRegistry::new();
-        reg.register(
-            "both_ab",
-            Arc::new(relations::eq_length(2, 2)),
-        );
+        reg.register("both_ab", Arc::new(relations::eq_length(2, 2)));
         let q = parse_query("x -[p]-> y, y -[r]-> x, both_ab(p, r)", &mut alphabet, &reg).unwrap();
         assert_eq!(q.rel_atoms()[0].name, "both_ab");
     }

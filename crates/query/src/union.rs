@@ -48,9 +48,7 @@ impl Uecrpq {
 
     /// Answer arity (number of free variables); `0` for Boolean unions.
     pub fn arity(&self) -> usize {
-        self.disjuncts
-            .first()
-            .map_or(0, |q| q.free_vars().len())
+        self.disjuncts.first().map_or(0, |q| q.free_vars().len())
     }
 
     /// Validates every disjunct and the common answer arity.
@@ -148,11 +146,7 @@ mod tests {
         let p1 = big.path_atom(x, "p1", y);
         let p2 = big.path_atom(x, "p2", y);
         let p3 = big.path_atom(x, "p3", y);
-        big.rel_atom(
-            "el",
-            Arc::new(relations::eq_length(3, 2)),
-            &[p1, p2, p3],
-        );
+        big.rel_atom("el", Arc::new(relations::eq_length(3, 2)), &[p1, p2, p3]);
         let u = Uecrpq::from_disjuncts(vec![small, big]);
         let m = u.measures();
         assert_eq!(m.cc_vertex, 3);

@@ -150,7 +150,13 @@ pub fn ine_to_ecrpq_high_degree(
                 // L_i on the pivot's track, A* elsewhere
                 let lang_nfas: Vec<&Nfa<Symbol>> = members
                     .iter()
-                    .map(|&e| if e == pivot { &langs[i] } else { &universal_lang })
+                    .map(|&e| {
+                        if e == pivot {
+                            &langs[i]
+                        } else {
+                            &universal_lang
+                        }
+                    })
                     .collect();
                 relations::product_of_languages(&lang_nfas, num_a)
             }
@@ -229,7 +235,10 @@ mod tests {
         q.validate().unwrap();
         let prepared = PreparedQuery::build(&q).unwrap();
         let actual = eval_product(&db, &prepared);
-        assert_eq!(actual, expected, "reduction disagrees with oracle on {res:?}");
+        assert_eq!(
+            actual, expected,
+            "reduction disagrees with oracle on {res:?}"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! middle element, which is exactly the CQ's join on the component
 //! variable.
 
-use ecrpq_automata::{Alphabet, Nfa, Row, SyncRel, Symbol, Track};
+use ecrpq_automata::{Alphabet, Nfa, Row, Symbol, SyncRel, Track};
 use ecrpq_graph::GraphDb;
 use ecrpq_query::{Cq, Ecrpq, PathVar, RelationalDb};
 use ecrpq_structure::TwoLevelGraph;

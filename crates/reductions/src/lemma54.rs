@@ -186,8 +186,7 @@ pub fn pie_to_ecrpq_wide(
         let members = g.hyperedge(h);
         let args: Vec<PathVar> = members.iter().map(|&e| path_vars[e]).collect();
         let rel = if h == wide {
-            let constrained: Vec<(usize, usize)> =
-                (0..k).map(|j| (j, j + 1)).collect();
+            let constrained: Vec<(usize, usize)> = (0..k).map(|j| (j, j + 1)).collect();
             marker_relation(args.len(), &constrained, &a_syms, md.hash, md.dollar, num_b)
         } else {
             relations::universal(args.len(), num_b)
@@ -204,8 +203,7 @@ pub fn pie_to_ecrpq(
     g: &TwoLevelGraph,
 ) -> Result<(Ecrpq, GraphDb), String> {
     pie_to_ecrpq_chain(automata, alphabet, g).or_else(|e1| {
-        pie_to_ecrpq_wide(automata, alphabet, g)
-            .map_err(|e2| format!("case a: {e1}; case b: {e2}"))
+        pie_to_ecrpq_wide(automata, alphabet, g).map_err(|e2| format!("case a: {e1}; case b: {e2}"))
     })
 }
 
@@ -283,7 +281,11 @@ mod tests {
     fn chain_case_equivalence() {
         check_equiv(pie_to_ecrpq_chain, &["a*b", "(a|b)*b"], &chain_graph(2));
         check_equiv(pie_to_ecrpq_chain, &["a+", "b+"], &chain_graph(2));
-        check_equiv(pie_to_ecrpq_chain, &["a*b", "ab*", "(a|b)+"], &chain_graph(3));
+        check_equiv(
+            pie_to_ecrpq_chain,
+            &["a*b", "ab*", "(a|b)+"],
+            &chain_graph(3),
+        );
         check_equiv(pie_to_ecrpq_chain, &["a", "aa", "a*"], &chain_graph(3));
     }
 

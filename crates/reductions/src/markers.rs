@@ -101,7 +101,12 @@ pub fn marker_relation(
         assert_eq!(tracks.len(), constrained.len(), "repeated track");
     }
     let idx_of: Vec<Option<usize>> = (0..arity)
-        .map(|t| constrained.iter().find(|&&(tt, _)| tt == t).map(|&(_, i)| i))
+        .map(|t| {
+            constrained
+                .iter()
+                .find(|&&(tt, _)| tt == t)
+                .map(|&(_, i)| i)
+        })
         .collect();
     let max_idx = constrained.iter().map(|&(_, i)| i).max().unwrap();
     // free-track options: any symbol of B, or ⊥
@@ -114,9 +119,7 @@ pub fn marker_relation(
     //   stage 0: '$'; stage "w": each a ∈ A; stage t ∈ 1..=max_idx+1:
     //   '#' while t ≤ i, '$' at t = i+1, '⊥' after; stage "done": '⊥'.
     let constrained_row = |f: &dyn Fn(usize) -> Track| -> Vec<Option<Track>> {
-        (0..arity)
-            .map(|t| idx_of[t].map(f))
-            .collect()
+        (0..arity).map(|t| idx_of[t].map(f)).collect()
     };
     // states: 0 = pre-'$', 1 = reading u, 1+t for t in 1..=max_idx+1,
     // final = max_idx + 2, which loops for trailing free-track symbols.

@@ -39,9 +39,7 @@ pub fn intersection_nonempty(automata: &[Nfa<Symbol>]) -> bool {
 ///
 /// # Panics
 /// Panics if `dfas` is empty or the alphabets differ.
-pub fn intersection_witness_dfas(
-    dfas: &[ecrpq_automata::Dfa<Symbol>],
-) -> Option<Vec<Symbol>> {
+pub fn intersection_witness_dfas(dfas: &[ecrpq_automata::Dfa<Symbol>]) -> Option<Vec<Symbol>> {
     use std::collections::{HashMap, VecDeque};
     assert!(!dfas.is_empty(), "intersection of zero languages");
     let alphabet = dfas[0].alphabet().to_vec();
@@ -49,8 +47,7 @@ pub fn intersection_witness_dfas(
         assert_eq!(d.alphabet(), alphabet.as_slice(), "alphabet mismatch");
     }
     let start: Vec<u32> = dfas.iter().map(|d| d.initial()).collect();
-    let accepting =
-        |t: &[u32]| dfas.iter().zip(t).all(|(d, &q)| d.is_final(q));
+    let accepting = |t: &[u32]| dfas.iter().zip(t).all(|(d, &q)| d.is_final(q));
     let mut parent: HashMap<Vec<u32>, (Vec<u32>, Symbol)> = HashMap::new();
     let mut queue: VecDeque<Vec<u32>> = VecDeque::new();
     queue.push_back(start.clone());
@@ -133,12 +130,8 @@ mod tests {
         // mod-2 and mod-3 counters over {a}: shortest common nonempty...
         // both accept ε at state 0, so shortest = ε; shift finals to test
         let d1 = ecrpq_automata::Dfa::from_parts(vec![0u8], vec![vec![1], vec![0]], 0, [1]);
-        let d2 = ecrpq_automata::Dfa::from_parts(
-            vec![0u8],
-            vec![vec![1], vec![2], vec![0]],
-            0,
-            [1],
-        );
+        let d2 =
+            ecrpq_automata::Dfa::from_parts(vec![0u8], vec![vec![1], vec![2], vec![0]], 0, [1]);
         // lengths ≡1 mod 2 and ≡1 mod 3 → shortest 1
         let w = intersection_witness_dfas(&[d1.clone(), d2.clone()]).unwrap();
         assert_eq!(w.len(), 1);
@@ -155,7 +148,10 @@ mod tests {
         // a^(2k) ∩ a^(3k), nonempty words: shortest nonempty common length 6 — but ε is in both!
         let l1 = nfa("(aa)*", &mut a);
         let l2 = nfa("(aaa)*", &mut a);
-        assert_eq!(intersection_witness(&[l1.clone(), l2.clone()]).unwrap(), vec![]);
+        assert_eq!(
+            intersection_witness(&[l1.clone(), l2.clone()]).unwrap(),
+            vec![]
+        );
         // exclude ε: a(aa)* ∩ a(aaa)*? lengths odd ∩ ≡1 mod 3 → 1, 7, ...
         let l3 = nfa("a(aa)*", &mut a);
         let l4 = nfa("a(aaa)*", &mut a);

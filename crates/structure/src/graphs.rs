@@ -167,7 +167,10 @@ pub struct MultiGraph {
 impl MultiGraph {
     /// The empty multigraph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        MultiGraph { n, edges: Vec::new() }
+        MultiGraph {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of vertices.

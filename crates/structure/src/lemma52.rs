@@ -98,7 +98,8 @@ mod tests {
             cdec.validate(&collapse).unwrap();
             let ndec = node_decomposition_from_collapse(&g, &cdec);
             let node = g.node_graph();
-            ndec.validate(&node).expect("transformed decomposition invalid");
+            ndec.validate(&node)
+                .expect("transformed decomposition invalid");
             let bound = lemma52_bound(k, g.cc_vertex());
             assert!(
                 ndec.width() <= bound,

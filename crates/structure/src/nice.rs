@@ -42,7 +42,12 @@ pub struct NiceDecomposition {
 impl NiceDecomposition {
     /// Width (max bag − 1; 0 for trivial decompositions).
     pub fn width(&self) -> usize {
-        self.bags.iter().map(Vec::len).max().unwrap_or(1).saturating_sub(1)
+        self.bags
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(1)
+            .saturating_sub(1)
     }
 
     /// Number of nodes.

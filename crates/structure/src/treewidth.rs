@@ -92,9 +92,7 @@ impl TreeDecomposition {
         }
         // Vertex coverage + connectivity of occurrence sets.
         for v in 0..g.num_vertices() {
-            let occ: Vec<usize> = (0..nb)
-                .filter(|&b| self.bags[b].contains(&v))
-                .collect();
+            let occ: Vec<usize> = (0..nb).filter(|&b| self.bags[b].contains(&v)).collect();
             if occ.is_empty() {
                 return Err(format!("vertex {v} in no bag"));
             }
@@ -115,11 +113,7 @@ impl TreeDecomposition {
         }
         // Edge coverage.
         for (u, v) in g.edges() {
-            if !self
-                .bags
-                .iter()
-                .any(|b| b.contains(&u) && b.contains(&v))
-            {
+            if !self.bags.iter().any(|b| b.contains(&u) && b.contains(&v)) {
                 return Err(format!("edge ({u},{v}) not covered by any bag"));
             }
         }

@@ -71,7 +71,10 @@ impl TwoLevelGraph {
     /// # Panics
     /// Panics if `members` is empty or refers to a missing edge.
     pub fn add_hyperedge(&mut self, members: &[usize]) -> usize {
-        assert!(!members.is_empty(), "hyperedges are non-empty (ν : H → φ(E))");
+        assert!(
+            !members.is_empty(),
+            "hyperedges are non-empty (ν : H → φ(E))"
+        );
         assert!(members.iter().all(|&e| e < self.edges.len()));
         let mut m = members.to_vec();
         m.sort_unstable();

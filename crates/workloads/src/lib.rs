@@ -24,4 +24,6 @@ pub mod queries;
 
 pub use graphs::{chain_db, cycle_db, grid_db, random_db, random_dfa, random_nfa};
 pub use ine::{planted_ine, random_ine};
-pub use queries::{big_component_query, clique_query, random_ecrpq, tractable_chain_query, RandomQueryParams};
+pub use queries::{
+    big_component_query, clique_query, random_ecrpq, tractable_chain_query, RandomQueryParams,
+};

@@ -108,9 +108,7 @@ pub fn random_ecrpq(params: &RandomQueryParams, seed: u64) -> Ecrpq {
         })
         .collect();
     for ai in 0..params.rel_atoms {
-        let arity = rng
-            .gen_range(1..=params.max_arity.max(1))
-            .min(paths.len());
+        let arity = rng.gen_range(1..=params.max_arity.max(1)).min(paths.len());
         // choose `arity` distinct path variables
         let mut pool: Vec<PathVar> = paths.clone();
         let mut args: Vec<PathVar> = Vec::with_capacity(arity);

@@ -47,8 +47,8 @@ fn main() {
     // Query 1: same number of legs, train-only vs flight-only, same
     // destination. `eq_len` is the synchronous relation of Example 2.1.
     let mut alphabet = db.alphabet().clone();
-    let q1 = parse_query
-        ("q(x, y) :- x -[train]-> y, x -[fly]-> y, eq_len(train, fly), train in t+, fly in f+",
+    let q1 = parse_query(
+        "q(x, y) :- x -[train]-> y, x -[fly]-> y, eq_len(train, fly), train in t+, fly in f+",
         &mut alphabet,
         &RelationRegistry::new(),
     )
@@ -93,7 +93,5 @@ fn main() {
     let paris = db.node("paris").unwrap();
     let milan = db.node("milan").unwrap();
     assert!(answers.contains(&vec![paris, milan]));
-    println!(
-        "  e.g. paris ⇒ milan: 'paris-t->lyon' extends to 'paris-t->lyon-t->milan'"
-    );
+    println!("  e.g. paris ⇒ milan: 'paris-t->lyon' extends to 'paris-t->lyon-t->milan'");
 }

@@ -53,11 +53,7 @@ fn main() {
 
     // Family 3: one growing relation component.
     let q3 = big_component_query(4, 2);
-    report(
-        "r parallel equal-length paths (r grows)",
-        &q3,
-        "cc_vertex",
-    );
+    report("r parallel equal-length paths (r grows)", &q3, "cc_vertex");
 
     // Family 4: growing number of binary atoms on two path variables —
     // cc_hedge grows while cc_vertex stays 2.

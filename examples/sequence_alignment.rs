@@ -62,7 +62,10 @@ fn main() {
 
     let prepared = PreparedQuery::build(&q).unwrap();
     let answers = answers_product(&db, &prepared);
-    println!("{} (start,end) pairs admit 1-edit-close walk pairs", answers.len());
+    println!(
+        "{} (start,end) pairs admit 1-edit-close walk pairs",
+        answers.len()
+    );
     assert!(answers.contains(&vec![s, e]));
 
     // Check which full haplotype pairs are 1-edit-close, via the witness

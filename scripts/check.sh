@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints, and the tier-1 build+test cycle.
+# Everything runs offline against the workspace's own dependency shims.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== tier-1: release build =="
+cargo build --release --offline
+
+echo "== tier-1: tests =="
+cargo test -q --offline
+
+echo "All checks passed."

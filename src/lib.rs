@@ -48,6 +48,30 @@
 //! assert!(ecrpq::eval::satisfiable(&q)?.is_some());
 //! # Ok::<(), ecrpq::query::QueryError>(())
 //! ```
+//!
+//! Multi-threaded evaluation via the parallel [`eval::engine`]:
+//!
+//! ```
+//! use ecrpq::eval::{engine, EvalOptions, PreparedQuery};
+//! use ecrpq::graph::parse_graph;
+//! use ecrpq::query::{parse_query, RelationRegistry};
+//!
+//! let db = parse_graph("a1 -a-> m1\nm1 -a-> hub\nb1 -b-> m2\nm2 -b-> hub\n")?;
+//! let mut alphabet = db.alphabet().clone();
+//! let q = parse_query(
+//!     "q(x, x') :- x -[p1]-> y, x' -[p2]-> y, eq_len(p1, p2)",
+//!     &mut alphabet,
+//!     &RelationRegistry::new(),
+//! )?;
+//! let prepared = PreparedQuery::build(&q)?;
+//!
+//! // threads = 0 means "use all available cores"; the answer set is
+//! // bit-identical to the sequential evaluator's.
+//! let par = engine::answers_product(&db, &prepared, &EvalOptions::default());
+//! let seq = ecrpq::eval::product::answers_product(&db, &prepared);
+//! assert_eq!(par, seq);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 pub use ecrpq_automata as automata;
 pub use ecrpq_core as eval;

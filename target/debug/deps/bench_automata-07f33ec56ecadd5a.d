@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_automata-07f33ec56ecadd5a.d: crates/bench/benches/bench_automata.rs
+
+/root/repo/target/debug/deps/bench_automata-07f33ec56ecadd5a: crates/bench/benches/bench_automata.rs
+
+crates/bench/benches/bench_automata.rs:

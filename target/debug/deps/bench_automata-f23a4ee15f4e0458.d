@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_automata-f23a4ee15f4e0458.d: crates/bench/benches/bench_automata.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_automata-f23a4ee15f4e0458.rmeta: crates/bench/benches/bench_automata.rs Cargo.toml
+
+crates/bench/benches/bench_automata.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

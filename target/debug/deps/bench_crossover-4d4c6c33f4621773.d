@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_crossover-4d4c6c33f4621773.d: crates/bench/benches/bench_crossover.rs
+
+/root/repo/target/debug/deps/bench_crossover-4d4c6c33f4621773: crates/bench/benches/bench_crossover.rs
+
+crates/bench/benches/bench_crossover.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_crossover-9e54600721c72ca7.d: crates/bench/benches/bench_crossover.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_crossover-9e54600721c72ca7.rmeta: crates/bench/benches/bench_crossover.rs Cargo.toml
+
+crates/bench/benches/bench_crossover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_crpq_vs_ecrpq-49c2516832736a92.d: crates/bench/benches/bench_crpq_vs_ecrpq.rs
+
+/root/repo/target/debug/deps/bench_crpq_vs_ecrpq-49c2516832736a92: crates/bench/benches/bench_crpq_vs_ecrpq.rs
+
+crates/bench/benches/bench_crpq_vs_ecrpq.rs:

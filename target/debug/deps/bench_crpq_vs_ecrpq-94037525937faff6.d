@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_crpq_vs_ecrpq-94037525937faff6.d: crates/bench/benches/bench_crpq_vs_ecrpq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_crpq_vs_ecrpq-94037525937faff6.rmeta: crates/bench/benches/bench_crpq_vs_ecrpq.rs Cargo.toml
+
+crates/bench/benches/bench_crpq_vs_ecrpq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_data_complexity-115d3c9ce27ffbda.d: crates/bench/benches/bench_data_complexity.rs
+
+/root/repo/target/debug/deps/bench_data_complexity-115d3c9ce27ffbda: crates/bench/benches/bench_data_complexity.rs
+
+crates/bench/benches/bench_data_complexity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_data_complexity-b9ba2e568a319137.d: crates/bench/benches/bench_data_complexity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_data_complexity-b9ba2e568a319137.rmeta: crates/bench/benches/bench_data_complexity.rs Cargo.toml
+
+crates/bench/benches/bench_data_complexity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

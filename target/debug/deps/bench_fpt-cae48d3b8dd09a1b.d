@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_fpt-cae48d3b8dd09a1b.d: crates/bench/benches/bench_fpt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_fpt-cae48d3b8dd09a1b.rmeta: crates/bench/benches/bench_fpt.rs Cargo.toml
+
+crates/bench/benches/bench_fpt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

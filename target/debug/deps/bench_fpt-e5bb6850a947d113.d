@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_fpt-e5bb6850a947d113.d: crates/bench/benches/bench_fpt.rs
+
+/root/repo/target/debug/deps/bench_fpt-e5bb6850a947d113: crates/bench/benches/bench_fpt.rs
+
+crates/bench/benches/bench_fpt.rs:

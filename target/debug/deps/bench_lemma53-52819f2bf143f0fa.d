@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_lemma53-52819f2bf143f0fa.d: crates/bench/benches/bench_lemma53.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_lemma53-52819f2bf143f0fa.rmeta: crates/bench/benches/bench_lemma53.rs Cargo.toml
+
+crates/bench/benches/bench_lemma53.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

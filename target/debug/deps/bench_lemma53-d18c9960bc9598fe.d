@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_lemma53-d18c9960bc9598fe.d: crates/bench/benches/bench_lemma53.rs
+
+/root/repo/target/debug/deps/bench_lemma53-d18c9960bc9598fe: crates/bench/benches/bench_lemma53.rs
+
+crates/bench/benches/bench_lemma53.rs:

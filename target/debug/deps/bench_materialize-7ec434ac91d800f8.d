@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_materialize-7ec434ac91d800f8.d: crates/bench/benches/bench_materialize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_materialize-7ec434ac91d800f8.rmeta: crates/bench/benches/bench_materialize.rs Cargo.toml
+
+crates/bench/benches/bench_materialize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

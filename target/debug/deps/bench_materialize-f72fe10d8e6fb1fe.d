@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_materialize-f72fe10d8e6fb1fe.d: crates/bench/benches/bench_materialize.rs
+
+/root/repo/target/debug/deps/bench_materialize-f72fe10d8e6fb1fe: crates/bench/benches/bench_materialize.rs
+
+crates/bench/benches/bench_materialize.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_merge-42d01234af38f01e.d: crates/bench/benches/bench_merge.rs
+
+/root/repo/target/debug/deps/bench_merge-42d01234af38f01e: crates/bench/benches/bench_merge.rs
+
+crates/bench/benches/bench_merge.rs:

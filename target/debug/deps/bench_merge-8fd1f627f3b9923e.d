@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_merge-8fd1f627f3b9923e.d: crates/bench/benches/bench_merge.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_merge-8fd1f627f3b9923e.rmeta: crates/bench/benches/bench_merge.rs Cargo.toml
+
+crates/bench/benches/bench_merge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

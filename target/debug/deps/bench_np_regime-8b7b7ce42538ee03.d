@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_np_regime-8b7b7ce42538ee03.d: crates/bench/benches/bench_np_regime.rs
+
+/root/repo/target/debug/deps/bench_np_regime-8b7b7ce42538ee03: crates/bench/benches/bench_np_regime.rs
+
+crates/bench/benches/bench_np_regime.rs:

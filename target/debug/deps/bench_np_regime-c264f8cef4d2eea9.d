@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_np_regime-c264f8cef4d2eea9.d: crates/bench/benches/bench_np_regime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_np_regime-c264f8cef4d2eea9.rmeta: crates/bench/benches/bench_np_regime.rs Cargo.toml
+
+crates/bench/benches/bench_np_regime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_parallel-268ca6341eecefa9.d: crates/bench/benches/bench_parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_parallel-268ca6341eecefa9.rmeta: crates/bench/benches/bench_parallel.rs Cargo.toml
+
+crates/bench/benches/bench_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_parallel-676f33929b1f18bb.d: crates/bench/benches/bench_parallel.rs
+
+/root/repo/target/debug/deps/bench_parallel-676f33929b1f18bb: crates/bench/benches/bench_parallel.rs
+
+crates/bench/benches/bench_parallel.rs:

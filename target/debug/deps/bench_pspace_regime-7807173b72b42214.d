@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_pspace_regime-7807173b72b42214.d: crates/bench/benches/bench_pspace_regime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_pspace_regime-7807173b72b42214.rmeta: crates/bench/benches/bench_pspace_regime.rs Cargo.toml
+
+crates/bench/benches/bench_pspace_regime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_pspace_regime-7ca7031e2a11af1f.d: crates/bench/benches/bench_pspace_regime.rs
+
+/root/repo/target/debug/deps/bench_pspace_regime-7ca7031e2a11af1f: crates/bench/benches/bench_pspace_regime.rs
+
+crates/bench/benches/bench_pspace_regime.rs:

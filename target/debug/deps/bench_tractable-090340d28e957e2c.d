@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_tractable-090340d28e957e2c.d: crates/bench/benches/bench_tractable.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_tractable-090340d28e957e2c.rmeta: crates/bench/benches/bench_tractable.rs Cargo.toml
+
+crates/bench/benches/bench_tractable.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_tractable-ba597df5c56039cc.d: crates/bench/benches/bench_tractable.rs
+
+/root/repo/target/debug/deps/bench_tractable-ba597df5c56039cc: crates/bench/benches/bench_tractable.rs
+
+crates/bench/benches/bench_tractable.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_xnl-4c7ef3d0097073bd.d: crates/bench/benches/bench_xnl.rs
+
+/root/repo/target/debug/deps/bench_xnl-4c7ef3d0097073bd: crates/bench/benches/bench_xnl.rs
+
+crates/bench/benches/bench_xnl.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_xnl-6797e909ea586936.d: crates/bench/benches/bench_xnl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_xnl-6797e909ea586936.rmeta: crates/bench/benches/bench_xnl.rs Cargo.toml
+
+crates/bench/benches/bench_xnl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-8e40f1382b5b4023.d: tests/differential.rs
+
+/root/repo/target/debug/deps/differential-8e40f1382b5b4023: tests/differential.rs
+
+tests/differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ecrpq-44aab59d47ad45ff.d: src/lib.rs
+
+/root/repo/target/debug/deps/ecrpq-44aab59d47ad45ff: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ecrpq-607c02850b1eb89e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecrpq-607c02850b1eb89e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ecrpq-767f843610812b30.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecrpq-767f843610812b30.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ecrpq-9c9661927af13b2f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libecrpq-9c9661927af13b2f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libecrpq-9c9661927af13b2f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ecrpq_bench-611c1c6cddcc56f9.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecrpq_bench-611c1c6cddcc56f9.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ecrpq_bench-885fcdd45837d5fe.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ecrpq_bench-885fcdd45837d5fe: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

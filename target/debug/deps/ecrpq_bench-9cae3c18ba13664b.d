@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ecrpq_bench-9cae3c18ba13664b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libecrpq_bench-9cae3c18ba13664b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libecrpq_bench-9cae3c18ba13664b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

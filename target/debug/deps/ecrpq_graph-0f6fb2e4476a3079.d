@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ecrpq_graph-0f6fb2e4476a3079.d: crates/graph/src/lib.rs crates/graph/src/db.rs crates/graph/src/dot.rs crates/graph/src/parse.rs crates/graph/src/paths.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecrpq_graph-0f6fb2e4476a3079.rmeta: crates/graph/src/lib.rs crates/graph/src/db.rs crates/graph/src/dot.rs crates/graph/src/parse.rs crates/graph/src/paths.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/db.rs:
+crates/graph/src/dot.rs:
+crates/graph/src/parse.rs:
+crates/graph/src/paths.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

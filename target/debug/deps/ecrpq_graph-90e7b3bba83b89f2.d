@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ecrpq_graph-90e7b3bba83b89f2.d: crates/graph/src/lib.rs crates/graph/src/db.rs crates/graph/src/dot.rs crates/graph/src/parse.rs crates/graph/src/paths.rs
+
+/root/repo/target/debug/deps/libecrpq_graph-90e7b3bba83b89f2.rlib: crates/graph/src/lib.rs crates/graph/src/db.rs crates/graph/src/dot.rs crates/graph/src/parse.rs crates/graph/src/paths.rs
+
+/root/repo/target/debug/deps/libecrpq_graph-90e7b3bba83b89f2.rmeta: crates/graph/src/lib.rs crates/graph/src/db.rs crates/graph/src/dot.rs crates/graph/src/parse.rs crates/graph/src/paths.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/db.rs:
+crates/graph/src/dot.rs:
+crates/graph/src/parse.rs:
+crates/graph/src/paths.rs:

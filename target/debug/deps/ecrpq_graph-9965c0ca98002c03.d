@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ecrpq_graph-9965c0ca98002c03.d: crates/graph/src/lib.rs crates/graph/src/db.rs crates/graph/src/dot.rs crates/graph/src/parse.rs crates/graph/src/paths.rs
+
+/root/repo/target/debug/deps/ecrpq_graph-9965c0ca98002c03: crates/graph/src/lib.rs crates/graph/src/db.rs crates/graph/src/dot.rs crates/graph/src/parse.rs crates/graph/src/paths.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/db.rs:
+crates/graph/src/dot.rs:
+crates/graph/src/parse.rs:
+crates/graph/src/paths.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ecrpq_query-03174dc2d9208302.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/cq.rs crates/query/src/parser.rs crates/query/src/union.rs
+
+/root/repo/target/debug/deps/libecrpq_query-03174dc2d9208302.rlib: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/cq.rs crates/query/src/parser.rs crates/query/src/union.rs
+
+/root/repo/target/debug/deps/libecrpq_query-03174dc2d9208302.rmeta: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/cq.rs crates/query/src/parser.rs crates/query/src/union.rs
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/cq.rs:
+crates/query/src/parser.rs:
+crates/query/src/union.rs:

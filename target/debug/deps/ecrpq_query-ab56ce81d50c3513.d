@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ecrpq_query-ab56ce81d50c3513.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/cq.rs crates/query/src/parser.rs crates/query/src/union.rs
+
+/root/repo/target/debug/deps/ecrpq_query-ab56ce81d50c3513: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/cq.rs crates/query/src/parser.rs crates/query/src/union.rs
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/cq.rs:
+crates/query/src/parser.rs:
+crates/query/src/union.rs:

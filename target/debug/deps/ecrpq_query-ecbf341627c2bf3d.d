@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ecrpq_query-ecbf341627c2bf3d.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/cq.rs crates/query/src/parser.rs crates/query/src/union.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecrpq_query-ecbf341627c2bf3d.rmeta: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/cq.rs crates/query/src/parser.rs crates/query/src/union.rs Cargo.toml
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/cq.rs:
+crates/query/src/parser.rs:
+crates/query/src/union.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

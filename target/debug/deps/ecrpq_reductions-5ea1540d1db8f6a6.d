@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ecrpq_reductions-5ea1540d1db8f6a6.d: crates/reductions/src/lib.rs crates/reductions/src/lemma51.rs crates/reductions/src/lemma53.rs crates/reductions/src/lemma54.rs crates/reductions/src/markers.rs crates/reductions/src/oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecrpq_reductions-5ea1540d1db8f6a6.rmeta: crates/reductions/src/lib.rs crates/reductions/src/lemma51.rs crates/reductions/src/lemma53.rs crates/reductions/src/lemma54.rs crates/reductions/src/markers.rs crates/reductions/src/oracle.rs Cargo.toml
+
+crates/reductions/src/lib.rs:
+crates/reductions/src/lemma51.rs:
+crates/reductions/src/lemma53.rs:
+crates/reductions/src/lemma54.rs:
+crates/reductions/src/markers.rs:
+crates/reductions/src/oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ecrpq_reductions-7b011163e38db27c.d: crates/reductions/src/lib.rs crates/reductions/src/lemma51.rs crates/reductions/src/lemma53.rs crates/reductions/src/lemma54.rs crates/reductions/src/markers.rs crates/reductions/src/oracle.rs
+
+/root/repo/target/debug/deps/libecrpq_reductions-7b011163e38db27c.rlib: crates/reductions/src/lib.rs crates/reductions/src/lemma51.rs crates/reductions/src/lemma53.rs crates/reductions/src/lemma54.rs crates/reductions/src/markers.rs crates/reductions/src/oracle.rs
+
+/root/repo/target/debug/deps/libecrpq_reductions-7b011163e38db27c.rmeta: crates/reductions/src/lib.rs crates/reductions/src/lemma51.rs crates/reductions/src/lemma53.rs crates/reductions/src/lemma54.rs crates/reductions/src/markers.rs crates/reductions/src/oracle.rs
+
+crates/reductions/src/lib.rs:
+crates/reductions/src/lemma51.rs:
+crates/reductions/src/lemma53.rs:
+crates/reductions/src/lemma54.rs:
+crates/reductions/src/markers.rs:
+crates/reductions/src/oracle.rs:

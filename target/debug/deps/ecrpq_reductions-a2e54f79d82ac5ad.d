@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ecrpq_reductions-a2e54f79d82ac5ad.d: crates/reductions/src/lib.rs crates/reductions/src/lemma51.rs crates/reductions/src/lemma53.rs crates/reductions/src/lemma54.rs crates/reductions/src/markers.rs crates/reductions/src/oracle.rs
+
+/root/repo/target/debug/deps/ecrpq_reductions-a2e54f79d82ac5ad: crates/reductions/src/lib.rs crates/reductions/src/lemma51.rs crates/reductions/src/lemma53.rs crates/reductions/src/lemma54.rs crates/reductions/src/markers.rs crates/reductions/src/oracle.rs
+
+crates/reductions/src/lib.rs:
+crates/reductions/src/lemma51.rs:
+crates/reductions/src/lemma53.rs:
+crates/reductions/src/lemma54.rs:
+crates/reductions/src/markers.rs:
+crates/reductions/src/oracle.rs:

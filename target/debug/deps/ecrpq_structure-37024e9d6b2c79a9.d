@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ecrpq_structure-37024e9d6b2c79a9.d: crates/structure/src/lib.rs crates/structure/src/graphs.rs crates/structure/src/lemma52.rs crates/structure/src/nice.rs crates/structure/src/treewidth.rs crates/structure/src/twolevel.rs
+
+/root/repo/target/debug/deps/ecrpq_structure-37024e9d6b2c79a9: crates/structure/src/lib.rs crates/structure/src/graphs.rs crates/structure/src/lemma52.rs crates/structure/src/nice.rs crates/structure/src/treewidth.rs crates/structure/src/twolevel.rs
+
+crates/structure/src/lib.rs:
+crates/structure/src/graphs.rs:
+crates/structure/src/lemma52.rs:
+crates/structure/src/nice.rs:
+crates/structure/src/treewidth.rs:
+crates/structure/src/twolevel.rs:

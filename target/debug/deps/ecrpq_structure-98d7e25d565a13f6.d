@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ecrpq_structure-98d7e25d565a13f6.d: crates/structure/src/lib.rs crates/structure/src/graphs.rs crates/structure/src/lemma52.rs crates/structure/src/nice.rs crates/structure/src/treewidth.rs crates/structure/src/twolevel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecrpq_structure-98d7e25d565a13f6.rmeta: crates/structure/src/lib.rs crates/structure/src/graphs.rs crates/structure/src/lemma52.rs crates/structure/src/nice.rs crates/structure/src/treewidth.rs crates/structure/src/twolevel.rs Cargo.toml
+
+crates/structure/src/lib.rs:
+crates/structure/src/graphs.rs:
+crates/structure/src/lemma52.rs:
+crates/structure/src/nice.rs:
+crates/structure/src/treewidth.rs:
+crates/structure/src/twolevel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

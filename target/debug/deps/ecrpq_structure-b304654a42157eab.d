@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ecrpq_structure-b304654a42157eab.d: crates/structure/src/lib.rs crates/structure/src/graphs.rs crates/structure/src/lemma52.rs crates/structure/src/nice.rs crates/structure/src/treewidth.rs crates/structure/src/twolevel.rs
+
+/root/repo/target/debug/deps/libecrpq_structure-b304654a42157eab.rlib: crates/structure/src/lib.rs crates/structure/src/graphs.rs crates/structure/src/lemma52.rs crates/structure/src/nice.rs crates/structure/src/treewidth.rs crates/structure/src/twolevel.rs
+
+/root/repo/target/debug/deps/libecrpq_structure-b304654a42157eab.rmeta: crates/structure/src/lib.rs crates/structure/src/graphs.rs crates/structure/src/lemma52.rs crates/structure/src/nice.rs crates/structure/src/treewidth.rs crates/structure/src/twolevel.rs
+
+crates/structure/src/lib.rs:
+crates/structure/src/graphs.rs:
+crates/structure/src/lemma52.rs:
+crates/structure/src/nice.rs:
+crates/structure/src/treewidth.rs:
+crates/structure/src/twolevel.rs:

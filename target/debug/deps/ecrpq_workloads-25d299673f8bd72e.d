@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ecrpq_workloads-25d299673f8bd72e.d: crates/workloads/src/lib.rs crates/workloads/src/graphs.rs crates/workloads/src/ine.rs crates/workloads/src/queries.rs
+
+/root/repo/target/debug/deps/libecrpq_workloads-25d299673f8bd72e.rlib: crates/workloads/src/lib.rs crates/workloads/src/graphs.rs crates/workloads/src/ine.rs crates/workloads/src/queries.rs
+
+/root/repo/target/debug/deps/libecrpq_workloads-25d299673f8bd72e.rmeta: crates/workloads/src/lib.rs crates/workloads/src/graphs.rs crates/workloads/src/ine.rs crates/workloads/src/queries.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/graphs.rs:
+crates/workloads/src/ine.rs:
+crates/workloads/src/queries.rs:

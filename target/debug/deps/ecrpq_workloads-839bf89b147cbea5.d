@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ecrpq_workloads-839bf89b147cbea5.d: crates/workloads/src/lib.rs crates/workloads/src/graphs.rs crates/workloads/src/ine.rs crates/workloads/src/queries.rs
+
+/root/repo/target/debug/deps/ecrpq_workloads-839bf89b147cbea5: crates/workloads/src/lib.rs crates/workloads/src/graphs.rs crates/workloads/src/ine.rs crates/workloads/src/queries.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/graphs.rs:
+crates/workloads/src/ine.rs:
+crates/workloads/src/queries.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ecrpq_workloads-87c6fdaf37eb5003.d: crates/workloads/src/lib.rs crates/workloads/src/graphs.rs crates/workloads/src/ine.rs crates/workloads/src/queries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecrpq_workloads-87c6fdaf37eb5003.rmeta: crates/workloads/src/lib.rs crates/workloads/src/graphs.rs crates/workloads/src/ine.rs crates/workloads/src/queries.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/graphs.rs:
+crates/workloads/src/ine.rs:
+crates/workloads/src/queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-51481ec867d7648c.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-51481ec867d7648c: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-9d1cc04660116dad.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-9d1cc04660116dad: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

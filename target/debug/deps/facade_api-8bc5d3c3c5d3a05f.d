@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/facade_api-8bc5d3c3c5d3a05f.d: tests/facade_api.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfacade_api-8bc5d3c3c5d3a05f.rmeta: tests/facade_api.rs Cargo.toml
+
+tests/facade_api.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/facade_api-edfafe02a37acaac.d: tests/facade_api.rs
+
+/root/repo/target/debug/deps/facade_api-edfafe02a37acaac: tests/facade_api.rs
+
+tests/facade_api.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-0fedb91e5bce90a9.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-0fedb91e5bce90a9: tests/paper_examples.rs
+
+tests/paper_examples.rs:

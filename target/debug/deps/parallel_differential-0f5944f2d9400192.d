@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_differential-0f5944f2d9400192.d: tests/parallel_differential.rs
+
+/root/repo/target/debug/deps/parallel_differential-0f5944f2d9400192: tests/parallel_differential.rs
+
+tests/parallel_differential.rs:

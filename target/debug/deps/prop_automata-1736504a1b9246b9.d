@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_automata-1736504a1b9246b9.d: tests/prop_automata.rs
+
+/root/repo/target/debug/deps/prop_automata-1736504a1b9246b9: tests/prop_automata.rs
+
+tests/prop_automata.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_automata-e33647a5f4d2b58e.d: tests/prop_automata.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_automata-e33647a5f4d2b58e.rmeta: tests/prop_automata.rs Cargo.toml
+
+tests/prop_automata.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

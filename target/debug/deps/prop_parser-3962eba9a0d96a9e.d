@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_parser-3962eba9a0d96a9e.d: tests/prop_parser.rs
+
+/root/repo/target/debug/deps/prop_parser-3962eba9a0d96a9e: tests/prop_parser.rs
+
+tests/prop_parser.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_parser-e27736069ff56e58.d: tests/prop_parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_parser-e27736069ff56e58.rmeta: tests/prop_parser.rs Cargo.toml
+
+tests/prop_parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

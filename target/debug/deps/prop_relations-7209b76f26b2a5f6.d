@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_relations-7209b76f26b2a5f6.d: tests/prop_relations.rs
+
+/root/repo/target/debug/deps/prop_relations-7209b76f26b2a5f6: tests/prop_relations.rs
+
+tests/prop_relations.rs:

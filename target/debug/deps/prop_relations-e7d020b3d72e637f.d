@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_relations-e7d020b3d72e637f.d: tests/prop_relations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_relations-e7d020b3d72e637f.rmeta: tests/prop_relations.rs Cargo.toml
+
+tests/prop_relations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_structure-1653ca7d101d6af7.d: tests/prop_structure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_structure-1653ca7d101d6af7.rmeta: tests/prop_structure.rs Cargo.toml
+
+tests/prop_structure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

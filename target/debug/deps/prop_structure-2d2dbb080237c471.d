@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_structure-2d2dbb080237c471.d: tests/prop_structure.rs
+
+/root/repo/target/debug/deps/prop_structure-2d2dbb080237c471: tests/prop_structure.rs
+
+tests/prop_structure.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-283aa66ed99ea1a1.d: crates/proptest/src/lib.rs crates/proptest/src/strategy.rs crates/proptest/src/string.rs crates/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-283aa66ed99ea1a1.rlib: crates/proptest/src/lib.rs crates/proptest/src/strategy.rs crates/proptest/src/string.rs crates/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-283aa66ed99ea1a1.rmeta: crates/proptest/src/lib.rs crates/proptest/src/strategy.rs crates/proptest/src/string.rs crates/proptest/src/test_runner.rs
+
+crates/proptest/src/lib.rs:
+crates/proptest/src/strategy.rs:
+crates/proptest/src/string.rs:
+crates/proptest/src/test_runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reductions_random-d10d90aa913f0fd3.d: tests/reductions_random.rs
+
+/root/repo/target/debug/deps/reductions_random-d10d90aa913f0fd3: tests/reductions_random.rs
+
+tests/reductions_random.rs:

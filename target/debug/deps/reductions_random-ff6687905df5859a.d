@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reductions_random-ff6687905df5859a.d: tests/reductions_random.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreductions_random-ff6687905df5859a.rmeta: tests/reductions_random.rs Cargo.toml
+
+tests/reductions_random.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ecrpq_cli-81963d559b932f1d.d: examples/ecrpq_cli.rs
+
+/root/repo/target/debug/examples/ecrpq_cli-81963d559b932f1d: examples/ecrpq_cli.rs
+
+examples/ecrpq_cli.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ecrpq_cli-d3d086a5c7c8703c.d: examples/ecrpq_cli.rs Cargo.toml
+
+/root/repo/target/debug/examples/libecrpq_cli-d3d086a5c7c8703c.rmeta: examples/ecrpq_cli.rs Cargo.toml
+
+examples/ecrpq_cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

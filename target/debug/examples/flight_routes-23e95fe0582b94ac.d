@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/flight_routes-23e95fe0582b94ac.d: examples/flight_routes.rs Cargo.toml
+
+/root/repo/target/debug/examples/libflight_routes-23e95fe0582b94ac.rmeta: examples/flight_routes.rs Cargo.toml
+
+examples/flight_routes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/flight_routes-ccdc9c30c5b2470a.d: examples/flight_routes.rs
+
+/root/repo/target/debug/examples/flight_routes-ccdc9c30c5b2470a: examples/flight_routes.rs
+
+examples/flight_routes.rs:

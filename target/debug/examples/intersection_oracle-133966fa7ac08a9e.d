@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/intersection_oracle-133966fa7ac08a9e.d: examples/intersection_oracle.rs
+
+/root/repo/target/debug/examples/intersection_oracle-133966fa7ac08a9e: examples/intersection_oracle.rs
+
+examples/intersection_oracle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/intersection_oracle-c7d04639fd174364.d: examples/intersection_oracle.rs Cargo.toml
+
+/root/repo/target/debug/examples/libintersection_oracle-c7d04639fd174364.rmeta: examples/intersection_oracle.rs Cargo.toml
+
+examples/intersection_oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

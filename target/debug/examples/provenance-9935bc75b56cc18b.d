@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/provenance-9935bc75b56cc18b.d: examples/provenance.rs
+
+/root/repo/target/debug/examples/provenance-9935bc75b56cc18b: examples/provenance.rs
+
+examples/provenance.rs:

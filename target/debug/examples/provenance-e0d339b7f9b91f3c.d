@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/provenance-e0d339b7f9b91f3c.d: examples/provenance.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprovenance-e0d339b7f9b91f3c.rmeta: examples/provenance.rs Cargo.toml
+
+examples/provenance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

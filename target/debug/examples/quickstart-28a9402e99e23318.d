@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-28a9402e99e23318.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-28a9402e99e23318: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/regime_classifier-b1f3d50f47322216.d: examples/regime_classifier.rs
+
+/root/repo/target/debug/examples/regime_classifier-b1f3d50f47322216: examples/regime_classifier.rs
+
+examples/regime_classifier.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/regime_classifier-ef65be3215473071.d: examples/regime_classifier.rs Cargo.toml
+
+/root/repo/target/debug/examples/libregime_classifier-ef65be3215473071.rmeta: examples/regime_classifier.rs Cargo.toml
+
+examples/regime_classifier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sequence_alignment-6a23bee8e7bd0352.d: examples/sequence_alignment.rs
+
+/root/repo/target/debug/examples/sequence_alignment-6a23bee8e7bd0352: examples/sequence_alignment.rs
+
+examples/sequence_alignment.rs:

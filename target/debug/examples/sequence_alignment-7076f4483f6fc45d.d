@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sequence_alignment-7076f4483f6fc45d.d: examples/sequence_alignment.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsequence_alignment-7076f4483f6fc45d.rmeta: examples/sequence_alignment.rs Cargo.toml
+
+examples/sequence_alignment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_parallel-7ebc6633dc445a3b.d: crates/bench/benches/bench_parallel.rs
+
+/root/repo/target/release/deps/bench_parallel-7ebc6633dc445a3b: crates/bench/benches/bench_parallel.rs
+
+crates/bench/benches/bench_parallel.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-0f06f10ac2a74a93.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-0f06f10ac2a74a93.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-0f06f10ac2a74a93.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

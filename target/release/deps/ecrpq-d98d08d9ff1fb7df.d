@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ecrpq-d98d08d9ff1fb7df.d: src/lib.rs
+
+/root/repo/target/release/deps/libecrpq-d98d08d9ff1fb7df.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libecrpq-d98d08d9ff1fb7df.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ecrpq_bench-1590db4da561ac57.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libecrpq_bench-1590db4da561ac57.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libecrpq_bench-1590db4da561ac57.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

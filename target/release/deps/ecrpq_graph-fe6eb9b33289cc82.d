@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ecrpq_graph-fe6eb9b33289cc82.d: crates/graph/src/lib.rs crates/graph/src/db.rs crates/graph/src/dot.rs crates/graph/src/parse.rs crates/graph/src/paths.rs
+
+/root/repo/target/release/deps/libecrpq_graph-fe6eb9b33289cc82.rlib: crates/graph/src/lib.rs crates/graph/src/db.rs crates/graph/src/dot.rs crates/graph/src/parse.rs crates/graph/src/paths.rs
+
+/root/repo/target/release/deps/libecrpq_graph-fe6eb9b33289cc82.rmeta: crates/graph/src/lib.rs crates/graph/src/db.rs crates/graph/src/dot.rs crates/graph/src/parse.rs crates/graph/src/paths.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/db.rs:
+crates/graph/src/dot.rs:
+crates/graph/src/parse.rs:
+crates/graph/src/paths.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ecrpq_query-99e31e26246ef99a.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/cq.rs crates/query/src/parser.rs crates/query/src/union.rs
+
+/root/repo/target/release/deps/libecrpq_query-99e31e26246ef99a.rlib: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/cq.rs crates/query/src/parser.rs crates/query/src/union.rs
+
+/root/repo/target/release/deps/libecrpq_query-99e31e26246ef99a.rmeta: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/cq.rs crates/query/src/parser.rs crates/query/src/union.rs
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/cq.rs:
+crates/query/src/parser.rs:
+crates/query/src/union.rs:

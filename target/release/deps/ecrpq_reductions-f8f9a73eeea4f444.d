@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ecrpq_reductions-f8f9a73eeea4f444.d: crates/reductions/src/lib.rs crates/reductions/src/lemma51.rs crates/reductions/src/lemma53.rs crates/reductions/src/lemma54.rs crates/reductions/src/markers.rs crates/reductions/src/oracle.rs
+
+/root/repo/target/release/deps/libecrpq_reductions-f8f9a73eeea4f444.rlib: crates/reductions/src/lib.rs crates/reductions/src/lemma51.rs crates/reductions/src/lemma53.rs crates/reductions/src/lemma54.rs crates/reductions/src/markers.rs crates/reductions/src/oracle.rs
+
+/root/repo/target/release/deps/libecrpq_reductions-f8f9a73eeea4f444.rmeta: crates/reductions/src/lib.rs crates/reductions/src/lemma51.rs crates/reductions/src/lemma53.rs crates/reductions/src/lemma54.rs crates/reductions/src/markers.rs crates/reductions/src/oracle.rs
+
+crates/reductions/src/lib.rs:
+crates/reductions/src/lemma51.rs:
+crates/reductions/src/lemma53.rs:
+crates/reductions/src/lemma54.rs:
+crates/reductions/src/markers.rs:
+crates/reductions/src/oracle.rs:

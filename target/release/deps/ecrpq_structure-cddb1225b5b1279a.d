@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ecrpq_structure-cddb1225b5b1279a.d: crates/structure/src/lib.rs crates/structure/src/graphs.rs crates/structure/src/lemma52.rs crates/structure/src/nice.rs crates/structure/src/treewidth.rs crates/structure/src/twolevel.rs
+
+/root/repo/target/release/deps/libecrpq_structure-cddb1225b5b1279a.rlib: crates/structure/src/lib.rs crates/structure/src/graphs.rs crates/structure/src/lemma52.rs crates/structure/src/nice.rs crates/structure/src/treewidth.rs crates/structure/src/twolevel.rs
+
+/root/repo/target/release/deps/libecrpq_structure-cddb1225b5b1279a.rmeta: crates/structure/src/lib.rs crates/structure/src/graphs.rs crates/structure/src/lemma52.rs crates/structure/src/nice.rs crates/structure/src/treewidth.rs crates/structure/src/twolevel.rs
+
+crates/structure/src/lib.rs:
+crates/structure/src/graphs.rs:
+crates/structure/src/lemma52.rs:
+crates/structure/src/nice.rs:
+crates/structure/src/treewidth.rs:
+crates/structure/src/twolevel.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ecrpq_workloads-00e713b06005d6b5.d: crates/workloads/src/lib.rs crates/workloads/src/graphs.rs crates/workloads/src/ine.rs crates/workloads/src/queries.rs
+
+/root/repo/target/release/deps/libecrpq_workloads-00e713b06005d6b5.rlib: crates/workloads/src/lib.rs crates/workloads/src/graphs.rs crates/workloads/src/ine.rs crates/workloads/src/queries.rs
+
+/root/repo/target/release/deps/libecrpq_workloads-00e713b06005d6b5.rmeta: crates/workloads/src/lib.rs crates/workloads/src/graphs.rs crates/workloads/src/ine.rs crates/workloads/src/queries.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/graphs.rs:
+crates/workloads/src/ine.rs:
+crates/workloads/src/queries.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-68c20ffc2f02324a.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-68c20ffc2f02324a: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-01c841ede966a222.d: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-01c841ede966a222.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-01c841ede966a222.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

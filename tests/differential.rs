@@ -66,7 +66,10 @@ fn answer_sets_agree_on_random_instances() {
         let (cq, rdb, _) = ecrpq_to_cq(&db, &prepared);
         let a_bt = answers_cq(&rdb, &cq);
         let a_td = answers_cq_treedec(&rdb, &cq);
-        assert_eq!(a_direct, a_bt, "seed {seed}: answers product vs backtracking");
+        assert_eq!(
+            a_direct, a_bt,
+            "seed {seed}: answers product vs backtracking"
+        );
         assert_eq!(a_direct, a_td, "seed {seed}: answers product vs treedec");
         assert_eq!(
             a_direct,

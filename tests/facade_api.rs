@@ -3,8 +3,8 @@
 //! through `ecrpq::*` as documented.
 
 use ecrpq::eval::optimize::{optimize, Simplified};
-use ecrpq::eval::{count_ecrpq_assignments, planner, satisfiable, PreparedQuery};
 use ecrpq::eval::product::{answers_product, eval_product};
+use ecrpq::eval::{count_ecrpq_assignments, planner, satisfiable, PreparedQuery};
 use ecrpq::query::{NodeVar, Uecrpq};
 use ecrpq::workloads::{random_db, random_ecrpq, RandomQueryParams};
 
@@ -60,7 +60,10 @@ fn satisfiability_consistent_with_planner() {
             }
         }
     }
-    assert!(sat_count > 10, "workload degenerate: {sat_count} satisfiable");
+    assert!(
+        sat_count > 10,
+        "workload degenerate: {sat_count} satisfiable"
+    );
 }
 
 #[test]

@@ -98,7 +98,11 @@ fn synchronous_closure_properties() {
     let el = relations::eq_length(2, 2);
     // equality = prefix ∩ eq-length
     let inter = pre.intersect(&el);
-    for (u, v) in [(vec![], vec![]), (vec![0, 1], vec![0, 1]), (vec![0], vec![0, 1])] {
+    for (u, v) in [
+        (vec![], vec![]),
+        (vec![0, 1], vec![0, 1]),
+        (vec![0], vec![0, 1]),
+    ] {
         assert_eq!(
             eq.contains(&[&u, &v]),
             inter.contains(&[&u, &v]),

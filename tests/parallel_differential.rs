@@ -1,0 +1,136 @@
+//! Differential testing of the parallel engine: at every thread count the
+//! engine must return answer sets bit-identical to the sequential
+//! evaluators, on randomized graphs and queries, and the merged worker
+//! counters must account for exactly the sequential amount of feasibility
+//! work.
+
+use ecrpq::eval::cq_eval::{
+    answers_cq as answers_cq_seq, answers_cq_treedec as answers_cq_treedec_seq,
+};
+use ecrpq::eval::product::answers_product as answers_product_seq;
+use ecrpq::eval::{ecrpq_to_cq, engine, EvalOptions, PreparedQuery};
+use ecrpq::query::NodeVar;
+use ecrpq::workloads::{random_db, random_ecrpq, RandomQueryParams};
+use proptest::prelude::*;
+
+fn params() -> RandomQueryParams {
+    RandomQueryParams {
+        node_vars: 3,
+        path_atoms: 3,
+        rel_atoms: 2,
+        max_arity: 2,
+        num_symbols: 2,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_product_answers_match_sequential(seed in 0..100_000u64) {
+        let mut q = random_ecrpq(&params(), seed);
+        q.set_free(&[NodeVar(0), NodeVar(1)]);
+        let db = random_db(5, 1.6, 2, seed.wrapping_mul(31).wrapping_add(1));
+        let prepared = PreparedQuery::build(&q).map_err(TestCaseError::fail)?;
+        let seq = answers_product_seq(&db, &prepared);
+        for threads in [2usize, 4] {
+            let par = engine::answers_product(&db, &prepared, &EvalOptions::with_threads(threads));
+            prop_assert_eq!(&par, &seq, "threads={} seed={}", threads, seed);
+            let par_bool = engine::eval_product(&db, &prepared, &EvalOptions::with_threads(threads));
+            prop_assert_eq!(par_bool, !seq.is_empty(), "boolean threads={} seed={}", threads, seed);
+        }
+    }
+
+    #[test]
+    fn parallel_cq_answers_match_sequential(seed in 0..100_000u64) {
+        let mut q = random_ecrpq(&params(), seed.wrapping_add(7_000));
+        q.set_free(&[NodeVar(0), NodeVar(1)]);
+        let db = random_db(4, 1.5, 2, seed.wrapping_mul(17).wrapping_add(3));
+        let prepared = PreparedQuery::build(&q).map_err(TestCaseError::fail)?;
+        let (cq, rdb, _) = ecrpq_to_cq(&db, &prepared);
+        let seq = answers_cq_seq(&rdb, &cq);
+        let seq_td = answers_cq_treedec_seq(&rdb, &cq);
+        for threads in [2usize, 4] {
+            let opts = EvalOptions::with_threads(threads);
+            prop_assert_eq!(
+                &engine::answers_cq(&rdb, &cq, &opts),
+                &seq,
+                "answers_cq threads={} seed={}", threads, seed
+            );
+            prop_assert_eq!(
+                &engine::answers_cq_treedec(&rdb, &cq, &opts),
+                &seq_td,
+                "answers_cq_treedec threads={} seed={}", threads, seed
+            );
+            prop_assert_eq!(
+                engine::eval_cq(&rdb, &cq, &opts),
+                !seq.is_empty(),
+                "eval_cq threads={} seed={}", threads, seed
+            );
+            prop_assert_eq!(
+                engine::eval_cq_treedec(&rdb, &cq, &opts),
+                !seq_td.is_empty(),
+                "eval_cq_treedec threads={} seed={}", threads, seed
+            );
+        }
+    }
+}
+
+/// The feasibility-work invariant: enumeration asks the same total number
+/// of (atom, endpoints) questions regardless of how the search space is
+/// partitioned, so merged `checks + cache_hits` (and `assignments`) match
+/// the sequential counters exactly. Only the hit/miss split may shift,
+/// because each worker warms its own memo.
+#[test]
+fn merged_stats_equal_sequential_totals() {
+    let mut covered = 0;
+    for seed in 0..12u64 {
+        let mut q = random_ecrpq(&params(), seed + 40_000);
+        let all: Vec<NodeVar> = (0..q.num_node_vars() as u32).map(NodeVar).collect();
+        q.set_free(&all);
+        let db = random_db(5, 1.8, 2, seed * 13 + 5);
+        let prepared = PreparedQuery::build(&q).unwrap();
+        let (seq_ans, seq) =
+            engine::answers_product_with_stats(&db, &prepared, &EvalOptions::sequential());
+        if seq.checks + seq.cache_hits == 0 {
+            continue; // nothing feasible to measure on this instance
+        }
+        covered += 1;
+        for threads in [2usize, 4] {
+            let (ans, merged) = engine::answers_product_with_stats(
+                &db,
+                &prepared,
+                &EvalOptions::with_threads(threads),
+            );
+            assert_eq!(ans, seq_ans, "seed {seed} threads {threads}");
+            assert_eq!(
+                merged.checks + merged.cache_hits,
+                seq.checks + seq.cache_hits,
+                "seed {seed} threads {threads}: feasibility questions"
+            );
+            assert_eq!(
+                merged.assignments, seq.assignments,
+                "seed {seed} threads {threads}: assignments"
+            );
+        }
+    }
+    assert!(
+        covered >= 5,
+        "too few instances with feasibility work ({covered})"
+    );
+}
+
+/// Thread counts beyond any reasonable core count, odd counts, and
+/// auto-detection all preserve the answer set.
+#[test]
+fn extreme_thread_counts() {
+    let mut q = random_ecrpq(&params(), 123);
+    q.set_free(&[NodeVar(0), NodeVar(1)]);
+    let db = random_db(6, 1.7, 2, 456);
+    let prepared = PreparedQuery::build(&q).unwrap();
+    let seq = answers_product_seq(&db, &prepared);
+    for threads in [3usize, 5, 16, 64, 0] {
+        let par = engine::answers_product(&db, &prepared, &EvalOptions::with_threads(threads));
+        assert_eq!(par, seq, "threads={threads}");
+    }
+}

@@ -5,7 +5,11 @@ use proptest::prelude::*;
 
 /// A strategy for small random NFAs over a 2-symbol alphabet.
 fn arb_nfa() -> impl Strategy<Value = Nfa<Symbol>> {
-    (2usize..6, proptest::collection::vec((0u32..6, 0u8..2, 0u32..6), 0..18), proptest::collection::vec(0u32..6, 1..4))
+    (
+        2usize..6,
+        proptest::collection::vec((0u32..6, 0u8..2, 0u32..6), 0..18),
+        proptest::collection::vec(0u32..6, 1..4),
+    )
         .prop_map(|(n, transitions, finals)| {
             let n = n.max(1);
             let mut nfa = Nfa::with_states(n);
@@ -128,7 +132,11 @@ proptest! {
 
 /// A strategy for random regexes (as strings) over {a, b}.
 fn arb_regex() -> impl Strategy<Value = String> {
-    let leaf = prop_oneof![Just("a".to_string()), Just("b".to_string()), Just("()".to_string())];
+    let leaf = prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("()".to_string())
+    ];
     leaf.prop_recursive(3, 16, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(x, y)| format!("{x}{y}")),

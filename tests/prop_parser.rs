@@ -15,10 +15,9 @@ fn arb_query_text() -> impl Strategy<Value = String> {
         Just("a+"),
         Just("()"),
     ];
-    let reach = (var.clone(), 0usize..100, var.clone())
-        .prop_map(|(s, i, d)| format!("{s} -[p{i}]-> {d}"));
-    let reach_lang =
-        (var.clone(), regex, var).prop_map(|(s, r, d)| format!("{s} -({r})-> {d}"));
+    let reach =
+        (var.clone(), 0usize..100, var.clone()).prop_map(|(s, i, d)| format!("{s} -[p{i}]-> {d}"));
+    let reach_lang = (var.clone(), regex, var).prop_map(|(s, r, d)| format!("{s} -({r})-> {d}"));
     let atom = prop_oneof![reach, reach_lang];
     proptest::collection::vec(atom, 1..5).prop_map(|atoms| atoms.join(", "))
 }

@@ -7,8 +7,11 @@ use ecrpq::structure::{treewidth_exact, treewidth_upper_bound, Graph, TwoLevelGr
 use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
-    (2usize..10, proptest::collection::vec((0usize..10, 0usize..10), 0..25)).prop_map(
-        |(n, edges)| {
+    (
+        2usize..10,
+        proptest::collection::vec((0usize..10, 0usize..10), 0..25),
+    )
+        .prop_map(|(n, edges)| {
             let mut g = Graph::new(n);
             for (u, v) in edges {
                 if u < n && v < n && u != v {
@@ -16,8 +19,7 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
                 }
             }
             g
-        },
-    )
+        })
 }
 
 fn arb_2l() -> impl Strategy<Value = TwoLevelGraph> {
