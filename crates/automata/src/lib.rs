@@ -27,6 +27,7 @@
 pub mod alphabet;
 pub mod bitset;
 pub mod dfa;
+pub mod fnv;
 pub mod nfa;
 pub mod recognizable;
 pub mod regex;
@@ -37,6 +38,7 @@ pub mod to_regex;
 pub use alphabet::{Alphabet, Symbol};
 pub use bitset::BitSet;
 pub use dfa::Dfa;
+pub use fnv::{FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher};
 pub use nfa::{Nfa, StateId};
 pub use recognizable::RecognizableRel;
 pub use regex::Regex;

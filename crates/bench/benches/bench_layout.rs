@@ -1,0 +1,65 @@
+//! Legacy vs flat data layouts of the product search (experiment E15's
+//! Criterion counterpart).
+//!
+//! Same E14 workload as `bench_parallel` (planted-intersection NFAs in a
+//! flower big component, all endpoints free), evaluated sequentially under
+//! each [`Layout`]: `legacy` is the pre-CSR path, `flat` the CSR + dense
+//! transition tables + odometer BFS without pruning (so it visits the
+//! identical configuration set — the ns/configuration comparison the PR's
+//! acceptance criterion is about), `flat-semijoin` the full production
+//! path with endpoint-domain pruning. Answer sets are asserted
+//! bit-identical across all three before any measurement runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecrpq_automata::Alphabet;
+use ecrpq_core::{answers_product_with_stats_layout, Layout, PreparedQuery};
+use ecrpq_query::NodeVar;
+use ecrpq_reductions::ine_to_ecrpq_big_component;
+use ecrpq_structure::TwoLevelGraph;
+use ecrpq_workloads::planted_ine;
+use std::time::Duration;
+
+fn flower(r: usize) -> TwoLevelGraph {
+    let mut g = TwoLevelGraph::new(2);
+    let edges: Vec<usize> = (0..r).map(|_| g.add_edge(0, 1)).collect();
+    for w in edges.windows(2) {
+        g.add_hyperedge(w);
+    }
+    if r == 1 {
+        g.add_hyperedge(&[edges[0]]);
+    }
+    g
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("product_layout");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let r = 3usize;
+    let alphabet = Alphabet::ascii_lower(2);
+    let (langs, _) = planted_ine(r, 4, 2, 3, 31 + r as u64);
+    let g = flower(r);
+    let (mut q, db) = ine_to_ecrpq_big_component(&langs, &alphabet, &g).unwrap();
+    let all_vars: Vec<NodeVar> = (0..q.num_node_vars() as u32).map(NodeVar).collect();
+    q.set_free(&all_vars);
+    let prepared = PreparedQuery::build(&q).unwrap();
+    let layouts = [
+        ("legacy", Layout::Legacy),
+        ("flat", Layout::FlatUnpruned),
+        ("flat-semijoin", Layout::Flat),
+    ];
+    // sanity: every layout must produce the bit-identical answer set
+    let (baseline, _) = answers_product_with_stats_layout(&db, &prepared, Layout::Legacy);
+    for (name, layout) in layouts {
+        let (answers, _) = answers_product_with_stats_layout(&db, &prepared, layout);
+        assert_eq!(answers, baseline, "answers diverge under layout {name}");
+        group.bench_with_input(BenchmarkId::new("layout", name), &layout, |b, &layout| {
+            b.iter(|| answers_product_with_stats_layout(&db, &prepared, layout))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -4,13 +4,18 @@
 //! (no experiment arguments = run everything). Each experiment prints a
 //! markdown table plus the fitted log–log slopes used to check the paper's
 //! complexity predictions. `--threads N` sets the worker count used by the
-//! parallel-engine experiment E14 (default: all available cores).
+//! parallel-engine experiment E14 (default: all available cores). E15
+//! compares the product-search data layouts (legacy scan vs flat CSR/dense
+//! tables vs flat + semijoin pruning) on the E14 workload.
 
 use ecrpq_bench::{fmt_duration, loglog_slope, time_median, Table};
 use ecrpq_core::cq_eval::{eval_cq, eval_cq_treedec};
 use ecrpq_core::crpq::eval_crpq;
 use ecrpq_core::product::eval_product_with_stats;
-use ecrpq_core::{ecrpq_to_cq, engine, eval_product, EvalOptions, PreparedQuery};
+use ecrpq_core::{
+    answers_product_with_stats_layout, ecrpq_to_cq, engine, eval_product, EvalOptions, Layout,
+    PreparedQuery,
+};
 use ecrpq_query::Ecrpq;
 use ecrpq_reductions::{
     cq_to_ecrpq, ine_to_ecrpq_big_component, intersection_nonempty, pie_to_ecrpq_chain, CollapseCq,
@@ -81,6 +86,95 @@ fn main() {
     if want("E14") {
         e14_thread_scaling(threads);
     }
+    if want("E15") {
+        e15_layout();
+    }
+}
+
+/// Throughput in product configurations per second, humanized.
+fn fmt_rate(configs: u64, d: Duration) -> String {
+    let rate = configs as f64 / d.as_secs_f64().max(1e-9);
+    if rate >= 1e6 {
+        format!("{:.1}M/s", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1}k/s", rate / 1e3)
+    } else {
+        format!("{rate:.0}/s")
+    }
+}
+
+fn e15_layout() {
+    println!("## E15 — Data layout of the product search: legacy vs flat vs flat+pruned");
+    println!();
+    println!("The E14 flower instance (r=3 planted-intersection NFAs, all node");
+    println!("variables free), enumerated sequentially under each product-search");
+    println!("data layout. `legacy` is the pre-CSR path (adjacency scans, eager");
+    println!("combination materialization); `flat` adds CSR slice lookups, dense");
+    println!("row-grouped transition tables and an allocation-free odometer;");
+    println!("`flat+semijoin` additionally prunes endpoint domains by single-track");
+    println!("reachability. Answer sets are asserted identical across layouts;");
+    println!("ns/config isolates per-configuration cost from search-space size.");
+    println!();
+    let r = 3usize;
+    let alphabet = ecrpq_automata::Alphabet::ascii_lower(2);
+    let (langs, _) = planted_ine(r, 4, 2, 3, 31 + r as u64);
+    let g = flower_graph(r);
+    let (mut q, db) = ine_to_ecrpq_big_component(&langs, &alphabet, &g).expect("reduction");
+    let all_vars: Vec<ecrpq_query::NodeVar> = (0..q.num_node_vars() as u32)
+        .map(ecrpq_query::NodeVar)
+        .collect();
+    q.set_free(&all_vars);
+    let prepared = PreparedQuery::build(&q).expect("valid");
+    let layouts = [
+        ("legacy", Layout::Legacy),
+        ("flat", Layout::FlatUnpruned),
+        ("flat+semijoin", Layout::Flat),
+    ];
+    let mut t = Table::new(&[
+        "layout",
+        "answers",
+        "configs",
+        "time",
+        "ns/config",
+        "configs/s",
+        "speedup",
+    ]);
+    let mut baseline: Option<std::collections::BTreeSet<Vec<u32>>> = None;
+    let mut base_time = Duration::ZERO;
+    let mut ns_per_config_of: Vec<f64> = Vec::new();
+    for (name, layout) in layouts {
+        let (answers, stats) = answers_product_with_stats_layout(&db, &prepared, layout);
+        match &baseline {
+            None => baseline = Some(answers.clone()),
+            Some(b) => assert_eq!(&answers, b, "layout {name} changed the answer set"),
+        }
+        let d = time_median(3, || {
+            answers_product_with_stats_layout(&db, &prepared, layout)
+        });
+        let ns_per_config = d.as_nanos() as f64 / stats.configurations.max(1) as f64;
+        ns_per_config_of.push(ns_per_config);
+        if layout == Layout::Legacy {
+            base_time = d;
+        }
+        t.row(&[
+            name.to_string(),
+            answers.len().to_string(),
+            stats.configurations.to_string(),
+            fmt_duration(d),
+            format!("{ns_per_config:.0}"),
+            fmt_rate(stats.configurations, d),
+            format!(
+                "{:.2}x",
+                base_time.as_secs_f64() / d.as_secs_f64().max(1e-9)
+            ),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+    println!(
+        "per-configuration speedup of the flat layout over legacy: {:.2}x",
+        ns_per_config_of[0] / ns_per_config_of[1].max(1e-9)
+    );
+    println!();
 }
 
 fn e14_thread_scaling(threads: usize) {
@@ -111,7 +205,7 @@ fn e14_thread_scaling(threads: usize) {
     let base_time = time_median(3, || {
         engine::answers_product(&db, &prepared, &EvalOptions::sequential())
     });
-    let mut t = Table::new(&["threads", "answers", "time", "speedup"]);
+    let mut t = Table::new(&["threads", "answers", "time", "speedup", "configs/s"]);
     let mut counts: Vec<usize> = vec![1];
     let mut n = 2;
     while n <= top {
@@ -123,7 +217,7 @@ fn e14_thread_scaling(threads: usize) {
     }
     for &n in &counts {
         let opts = EvalOptions::with_threads(n);
-        let answers = engine::answers_product(&db, &prepared, &opts);
+        let (answers, stats) = engine::answers_product_with_stats(&db, &prepared, &opts);
         assert_eq!(answers, baseline, "parallel answers diverge at {n} threads");
         let d = time_median(3, || engine::answers_product(&db, &prepared, &opts));
         t.row(&[
@@ -134,6 +228,7 @@ fn e14_thread_scaling(threads: usize) {
                 "{:.2}x",
                 base_time.as_secs_f64() / d.as_secs_f64().max(1e-9)
             ),
+            fmt_rate(stats.configurations, d),
         ]);
     }
     println!("{}", t.to_markdown());
@@ -307,7 +402,13 @@ fn e3_pspace_regime() {
     println!("r-vertex component. Expect runtime/configuration growth exponential");
     println!("in r (the query-side parameter), matching PSPACE-hardness.");
     println!();
-    let mut t = Table::new(&["r (languages)", "answer", "product configs", "time"]);
+    let mut t = Table::new(&[
+        "r (languages)",
+        "answer",
+        "product configs",
+        "time",
+        "configs/s",
+    ]);
     for r in [1usize, 2, 3, 4, 5] {
         let alphabet = ecrpq_automata::Alphabet::ascii_lower(2);
         let (langs, _) = planted_ine(r, 4, 2, 3, 31 + r as u64);
@@ -322,6 +423,7 @@ fn e3_pspace_regime() {
             res.to_string(),
             stats.configurations.to_string(),
             fmt_duration(d),
+            fmt_rate(stats.configurations, d),
         ]);
     }
     println!("{}", t.to_markdown());
@@ -367,7 +469,14 @@ fn e5_xnl() {
     println!("Lemma 5.4 chain reduction; runtime grows with the parameter k but");
     println!("stays polynomial in automaton size at fixed k (XNL behaviour).");
     println!();
-    let mut t = Table::new(&["k (automata)", "answer", "oracle agrees", "configs", "time"]);
+    let mut t = Table::new(&[
+        "k (automata)",
+        "answer",
+        "oracle agrees",
+        "configs",
+        "time",
+        "configs/s",
+    ]);
     for k in [1usize, 2, 3, 4] {
         let alphabet = ecrpq_automata::Alphabet::ascii_lower(2);
         let (langs, _) = planted_ine(k, 4, 2, 3, 17 + k as u64);
@@ -383,6 +492,7 @@ fn e5_xnl() {
             (res == oracle).to_string(),
             stats.configurations.to_string(),
             fmt_duration(d),
+            fmt_rate(stats.configurations, d),
         ]);
     }
     println!("{}", t.to_markdown());

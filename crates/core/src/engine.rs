@@ -8,8 +8,11 @@
 //!   `threads × 4` chunks, and `std::thread::scope` workers pull chunks
 //!   from an atomic queue. Each worker carries its own feasibility memo and
 //!   visited-stamp arrays (thread-local, so chunk-internal memo locality is
-//!   preserved) and borrows the read-only [`SharedTables`] — automata,
-//!   reachability closure — built once up front;
+//!   preserved) and borrows the read-only `SharedTables` — trimmed
+//!   automata, dense row-grouped transition tables, semijoin-pruned
+//!   enumeration domains, reachability closure — built once up front (the
+//!   build also freezes the database's CSR index, so no worker pays for
+//!   it);
 //! * the **CQ** evaluators ([`answers_cq`], [`answers_cq_treedec`]) — the
 //!   backtracking join is partitioned by stride over the first atom's
 //!   candidate tuples, and tree-decomposition bag population fans out

@@ -1,93 +1,7 @@
-//! FNV-1a hashing for the evaluators' hot maps.
+//! FNV-1a hashing — re-exported from `ecrpq-automata`.
 //!
-//! The product BFS and the CQ join index hash short `Vec<u32>`-shaped keys
-//! millions of times; SipHash's per-call setup dominates at those sizes.
-//! FNV-1a is a few shifts and multiplies per byte with no setup, and the
-//! keys are attacker-free internal state, so DoS hardening buys nothing
-//! here.
+//! The hasher moved to the workspace's dependency root so `ecrpq-graph`
+//! can use it for its name index and CSR build; this module keeps the
+//! long-standing `ecrpq_core::fnv::*` paths working.
 
-use std::collections::{HashMap, HashSet};
-use std::hash::{BuildHasherDefault, Hasher};
-
-/// A 64-bit FNV-1a hasher.
-#[derive(Debug, Clone)]
-pub struct FnvHasher(u64);
-
-impl Default for FnvHasher {
-    fn default() -> Self {
-        FnvHasher(0xcbf2_9ce4_8422_2325)
-    }
-}
-
-impl Hasher for FnvHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        let mut h = self.0;
-        for &b in bytes {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        self.0 = h;
-    }
-
-    #[inline]
-    fn write_u32(&mut self, v: u32) {
-        // one multiply per u32 instead of four: the dominant key shape is
-        // a sequence of node ids / state ids
-        self.0 = (self.0 ^ u64::from(v)).wrapping_mul(0x0000_0100_0000_01b3);
-    }
-
-    #[inline]
-    fn write_u64(&mut self, v: u64) {
-        self.0 = (self.0 ^ v).wrapping_mul(0x0000_0100_0000_01b3);
-    }
-
-    #[inline]
-    fn write_usize(&mut self, v: usize) {
-        self.write_u64(v as u64);
-    }
-}
-
-/// `BuildHasher` for [`FnvHasher`].
-pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
-
-/// A `HashMap` using FNV-1a.
-pub type FnvHashMap<K, V> = HashMap<K, V, FnvBuildHasher>;
-
-/// A `HashSet` using FNV-1a.
-pub type FnvHashSet<T> = HashSet<T, FnvBuildHasher>;
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn map_and_set_work() {
-        let mut m: FnvHashMap<Vec<u32>, usize> = FnvHashMap::default();
-        for i in 0..100u32 {
-            m.insert(vec![i, i + 1, i + 2], i as usize);
-        }
-        assert_eq!(m.len(), 100);
-        assert_eq!(m[&vec![7, 8, 9]], 7);
-        let mut s: FnvHashSet<(u32, Vec<u32>)> = FnvHashSet::default();
-        assert!(s.insert((1, vec![2, 3])));
-        assert!(!s.insert((1, vec![2, 3])));
-        assert!(s.insert((1, vec![2, 4])));
-    }
-
-    #[test]
-    fn distinct_keys_distinct_hashes_mostly() {
-        use std::hash::BuildHasher;
-        let bh = FnvBuildHasher::default();
-        let mut seen = std::collections::HashSet::new();
-        for i in 0..10_000u32 {
-            seen.insert(bh.hash_one((i, i ^ 0xabcd)));
-        }
-        assert_eq!(seen.len(), 10_000);
-    }
-}
+pub use ecrpq_automata::fnv::{FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher};

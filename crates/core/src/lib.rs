@@ -35,6 +35,7 @@ pub mod planner;
 pub mod prepare;
 pub mod product;
 pub mod satisfiability;
+mod semijoin;
 pub mod to_cq;
 pub mod ucrpq;
 
@@ -44,7 +45,10 @@ pub use fnv::{FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher};
 pub use optimize::{optimize, Simplified};
 pub use planner::{evaluate, CombinedRegime, ParamRegime, Plan, Strategy};
 pub use prepare::{MergedAtom, PreparedQuery};
-pub use product::{eval_product, Witness};
+pub use product::{
+    answers_product_with_stats_layout, eval_product, eval_product_with_stats_layout, Layout,
+    Witness,
+};
 pub use satisfiability::satisfiable;
 pub use to_cq::ecrpq_to_cq;
 pub use ucrpq::{recognizable_to_ucrpq, RecAtom};

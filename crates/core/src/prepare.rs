@@ -127,6 +127,21 @@ impl PreparedQuery {
     pub fn total_states(&self) -> usize {
         self.atoms.iter().map(|a| a.rel.num_states()).sum()
     }
+
+    /// The node variables that appear as an endpoint of some merged atom —
+    /// exactly the variables the semijoin pruning pass can constrain
+    /// (sorted, deduplicated). Variables outside this set are only
+    /// restricted by the query's free-tuple expansion.
+    pub fn constrained_node_vars(&self) -> Vec<NodeVar> {
+        let mut vars: Vec<NodeVar> = self
+            .atoms
+            .iter()
+            .flat_map(|a| a.endpoints.iter().flat_map(|&(s, d)| [s, d]))
+            .collect();
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +177,22 @@ mod tests {
         // merged relation = equal-length triples
         assert!(a.rel.contains(&[&[0], &[1], &[0]]));
         assert!(!a.rel.contains(&[&[0], &[1], &[]]));
+    }
+
+    #[test]
+    fn constrained_node_vars_are_endpoint_vars() {
+        // all four chain variables are endpoints of the merged atom
+        let p = PreparedQuery::build(&chain_query()).unwrap();
+        assert_eq!(
+            p.constrained_node_vars(),
+            vec![NodeVar(0), NodeVar(1), NodeVar(2), NodeVar(3)]
+        );
+        // a query with an extra node variable never used as an endpoint
+        let mut q = chain_query();
+        let lone = q.node_var("lone");
+        q.set_free(&[lone]);
+        let p = PreparedQuery::build(&q).unwrap();
+        assert!(!p.constrained_node_vars().contains(&lone));
     }
 
     #[test]

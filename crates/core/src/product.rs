@@ -16,15 +16,25 @@
 //! case `O(|V|^{#nodevars})` assignments times `O(|Q|·|V|^k)` per check —
 //! the PSPACE behaviour the paper proves unavoidable in general.
 //!
-//! The evaluator splits its state into [`SharedTables`] (read-only after
-//! construction: trimmed automata, the reachability closure, stamp-array
-//! sizing) and the per-search mutable state ([`Evaluator`]: memo, visited
-//! stamps, counters). The split is what makes the parallel engine
+//! The evaluator splits its state into `SharedTables` (read-only after
+//! construction: trimmed automata, dense transition tables, semijoin-pruned
+//! enumeration domains, the reachability closure, stamp-array sizing) and
+//! the per-search mutable state (`Evaluator`: memo, visited stamps,
+//! counters). The split is what makes the parallel engine
 //! ([`crate::engine`]) cheap: workers borrow one `SharedTables` and each
 //! carry a thread-local `Evaluator`.
+//!
+//! The hot BFS runs on flat data ([`Layout::Flat`], the default): CSR
+//! slice lookups for successors, row-grouped dense transition tables so
+//! each distinct convolution row's successor options are computed once and
+//! shared across its target states, and an odometer over option slices so
+//! a configuration is only allocated when it is first visited. The
+//! pre-flat path is preserved verbatim as [`Layout::Legacy`] for
+//! differential benchmarking (`bench_layout`, experiment E15).
 
 use crate::fnv::{FnvHashMap, FnvHashSet};
 use crate::prepare::PreparedQuery;
+use crate::semijoin::{self, PrunedDomains};
 use ecrpq_automata::{Nfa, Row, StateId, Track};
 use ecrpq_graph::{Edge, GraphDb, NodeId, Path};
 use ecrpq_query::{NodeVar, PathVar};
@@ -53,17 +63,47 @@ pub struct ProductStats {
     pub cache_hits: u64,
     /// Node-variable assignments attempted (innermost count).
     pub assignments: u64,
+    /// Peak BFS queue length across all product searches.
+    pub frontier_peak: u64,
+    /// Candidate values kept across semijoin-constrained variable domains.
+    pub domain_kept: u64,
+    /// Candidate values removed from variable domains by semijoin pruning.
+    pub domain_pruned: u64,
 }
 
 impl ProductStats {
     /// Accumulates another worker's counters (saturating, so merged totals
-    /// can never wrap even on pathological workloads).
+    /// can never wrap even on pathological workloads). Work counters add;
+    /// `frontier_peak` merges by maximum, and the domain counters — which
+    /// describe the shared tables, identical for every worker — merge by
+    /// maximum so they stay a property of the run, not of the worker count.
     pub fn merge(&mut self, other: &ProductStats) {
         self.configurations = self.configurations.saturating_add(other.configurations);
         self.checks = self.checks.saturating_add(other.checks);
         self.cache_hits = self.cache_hits.saturating_add(other.cache_hits);
         self.assignments = self.assignments.saturating_add(other.assignments);
+        self.frontier_peak = self.frontier_peak.max(other.frontier_peak);
+        self.domain_kept = self.domain_kept.max(other.domain_kept);
+        self.domain_pruned = self.domain_pruned.max(other.domain_pruned);
     }
+}
+
+/// Which data layout the product evaluator runs on. [`Layout::Flat`] is
+/// the default everywhere; the other variants exist so benchmarks and the
+/// differential suite can measure and cross-check the layers separately.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Layout {
+    /// CSR adjacency + dense row-grouped transition tables + semijoin
+    /// endpoint pruning (the production path).
+    #[default]
+    Flat,
+    /// The flat BFS without the semijoin pruning pass: isolates the
+    /// per-configuration layout win from the search-space reduction.
+    FlatUnpruned,
+    /// The pre-flat evaluation path — adjacency-list scans, per-transition
+    /// successor recomputation, per-combination allocation — kept verbatim
+    /// as the baseline for `bench_layout` and experiment E15.
+    Legacy,
 }
 
 /// Evaluates a prepared Boolean query on `db` via the product algorithm.
@@ -76,7 +116,16 @@ pub fn eval_product(db: &GraphDb, query: &PreparedQuery) -> bool {
 
 /// As [`eval_product`], returning the work counters.
 pub fn eval_product_with_stats(db: &GraphDb, query: &PreparedQuery) -> (bool, ProductStats) {
-    let tables = SharedTables::build(db, query);
+    eval_product_with_stats_layout(db, query, Layout::Flat)
+}
+
+/// As [`eval_product_with_stats`], on an explicit [`Layout`].
+pub fn eval_product_with_stats_layout(
+    db: &GraphDb,
+    query: &PreparedQuery,
+    layout: Layout,
+) -> (bool, ProductStats) {
+    let tables = SharedTables::build_with_layout(db, query, layout);
     let mut e = Evaluator::with_tables(db, query, &tables);
     let r = e.boolean();
     (r, e.stats)
@@ -87,6 +136,21 @@ pub fn eval_product_with_stats(db: &GraphDb, query: &PreparedQuery) -> (bool, Pr
 pub fn answers_product(db: &GraphDb, query: &PreparedQuery) -> BTreeSet<Vec<NodeId>> {
     let tables = SharedTables::build(db, query);
     Evaluator::with_tables(db, query, &tables).answers()
+}
+
+/// As [`answers_product`], on an explicit [`Layout`] and returning the
+/// work counters. Every layout returns the identical answer set; the
+/// counters differ (pruning shrinks `assignments`, the flat layouts
+/// change nothing but time per configuration).
+pub fn answers_product_with_stats_layout(
+    db: &GraphDb,
+    query: &PreparedQuery,
+    layout: Layout,
+) -> (BTreeSet<Vec<NodeId>>, ProductStats) {
+    let tables = SharedTables::build_with_layout(db, query, layout);
+    let mut e = Evaluator::with_tables(db, query, &tables);
+    let answers = e.answers();
+    (answers, e.stats)
 }
 
 /// A witness for a Boolean query, if satisfiable.
@@ -204,6 +268,95 @@ pub(crate) fn for_each_free_tuple(
 
 pub(crate) const UNASSIGNED: i64 = -1;
 
+/// One row-class group of a state's outgoing transitions: the interned
+/// row id plus the range of target states sharing that row. Grouping is
+/// what lets the BFS compute the successor-option slices once per distinct
+/// row instead of once per transition.
+#[derive(Debug, Clone, Copy)]
+struct RowGroup {
+    row: u32,
+    targets_start: u32,
+    targets_end: u32,
+}
+
+/// Dense transition tables of one trimmed atom automaton:
+/// `groups[state_offsets[q]..state_offsets[q+1]]` are state `q`'s
+/// row-class groups, each indexing a flat `targets` column.
+#[derive(Debug, Clone, Default)]
+struct DenseAtom {
+    state_offsets: Vec<u32>,
+    groups: Vec<RowGroup>,
+    targets: Vec<StateId>,
+}
+
+/// Dense tables for all atoms, with row interning **shared across
+/// tracks/atoms**: every distinct convolution row is stored once in a
+/// flat `row_data` column (rows have different arities, hence the bounds
+/// vector rather than fixed stride).
+#[derive(Debug, Clone, Default)]
+struct DenseTables {
+    row_data: Vec<Track>,
+    row_bounds: Vec<u32>,
+    atoms: Vec<DenseAtom>,
+}
+
+impl DenseTables {
+    fn build(automata: &[Nfa<Row>]) -> DenseTables {
+        let mut interner: FnvHashMap<Row, u32> = FnvHashMap::default();
+        let mut row_data: Vec<Track> = Vec::new();
+        let mut row_bounds: Vec<u32> = vec![0];
+        let mut atoms = Vec::with_capacity(automata.len());
+        for nfa in automata {
+            let nq = nfa.num_states();
+            let mut state_offsets = Vec::with_capacity(nq + 1);
+            let mut groups: Vec<RowGroup> = Vec::new();
+            let mut targets: Vec<StateId> = Vec::new();
+            state_offsets.push(0u32);
+            for q in 0..nq as StateId {
+                // `Nfa::normalize` sorts transitions by (row, target), so
+                // equal rows are adjacent and one pass groups them
+                let trans = nfa.transitions_from(q);
+                let mut i = 0;
+                while i < trans.len() {
+                    let row = &trans[i].0;
+                    let rid = *interner.entry(row.clone()).or_insert_with(|| {
+                        row_data.extend(row.iter().copied());
+                        row_bounds.push(row_data.len() as u32);
+                        (row_bounds.len() - 2) as u32
+                    });
+                    let targets_start = targets.len() as u32;
+                    while i < trans.len() && &trans[i].0 == row {
+                        targets.push(trans[i].1);
+                        i += 1;
+                    }
+                    groups.push(RowGroup {
+                        row: rid,
+                        targets_start,
+                        targets_end: targets.len() as u32,
+                    });
+                }
+                state_offsets.push(groups.len() as u32);
+            }
+            atoms.push(DenseAtom {
+                state_offsets,
+                groups,
+                targets,
+            });
+        }
+        DenseTables {
+            row_data,
+            row_bounds,
+            atoms,
+        }
+    }
+
+    #[inline]
+    fn row_of(&self, rid: u32) -> &[Track] {
+        &self.row_data
+            [self.row_bounds[rid as usize] as usize..self.row_bounds[rid as usize + 1] as usize]
+    }
+}
+
 /// Read-only evaluation state, built once per (database, query) pair and
 /// shared by every worker of a parallel run.
 pub(crate) struct SharedTables {
@@ -217,12 +370,27 @@ pub(crate) struct SharedTables {
     /// product BFS — `ends[i]` unreachable from `starts[i]` kills the
     /// check in O(k).
     closure: Vec<ecrpq_automata::BitSet>,
+    /// Which data layout the BFS and enumeration run on.
+    layout: Layout,
+    /// Dense row-grouped transition tables (empty under [`Layout::Legacy`]).
+    dense: DenseTables,
+    /// Semijoin-pruned per-variable enumeration domains (all `None` unless
+    /// the layout is [`Layout::Flat`]).
+    domains: Vec<Option<Vec<NodeId>>>,
+    /// Totals behind `domains`, surfaced into [`ProductStats`].
+    domain_kept: u64,
+    domain_pruned: u64,
 }
 
 impl SharedTables {
     /// # Panics
     /// Panics if the query's alphabet size differs from the database's.
     pub(crate) fn build(db: &GraphDb, query: &PreparedQuery) -> Self {
+        Self::build_with_layout(db, query, Layout::Flat)
+    }
+
+    /// As [`SharedTables::build`] on an explicit [`Layout`].
+    pub(crate) fn build_with_layout(db: &GraphDb, query: &PreparedQuery, layout: Layout) -> Self {
         assert_eq!(
             db.alphabet().len(),
             query.num_symbols,
@@ -250,11 +418,35 @@ impl SharedTables {
         let closure = (0..db.num_nodes() as NodeId)
             .map(|v| ecrpq_graph::paths::reachable_from(db, v))
             .collect();
+        let dense = if layout == Layout::Legacy {
+            DenseTables::default()
+        } else {
+            // freeze eagerly so the CSR build happens here, once, and not
+            // inside the first worker's first BFS
+            db.freeze();
+            DenseTables::build(&automata)
+        };
+        let pruned = if layout == Layout::Flat {
+            semijoin::prune_domains(db, query, &automata)
+        } else {
+            PrunedDomains::unconstrained(query.num_node_vars)
+        };
         SharedTables {
             automata,
             stamp_sizes,
             closure,
+            layout,
+            dense,
+            domains: pruned.domains,
+            domain_kept: pruned.kept,
+            domain_pruned: pruned.pruned,
         }
+    }
+
+    /// The pruned enumeration domain of a node variable, if constrained.
+    #[inline]
+    fn domain(&self, var: u32) -> Option<&[NodeId]> {
+        self.domains.get(var as usize).and_then(|d| d.as_deref())
     }
 }
 
@@ -297,7 +489,11 @@ impl<'a> Evaluator<'a> {
             query,
             tables,
             memo: FnvHashMap::default(),
-            stats: ProductStats::default(),
+            stats: ProductStats {
+                domain_kept: tables.domain_kept,
+                domain_pruned: tables.domain_pruned,
+                ..ProductStats::default()
+            },
             last_witness_configs: None,
             stamps,
             generation: 0,
@@ -448,19 +644,58 @@ impl<'a> Evaluator<'a> {
         } else {
             0..nv
         };
-        for v in range {
+        // walk the semijoin-pruned domain when the variable has one —
+        // values outside it cannot satisfy some atom, so skipping them
+        // cannot lose answers
+        // copy the `&'a SharedTables` out of self so the domain slice
+        // borrows the tables, not self — the recursion needs `&mut self`
+        let tables: &'a SharedTables = self.tables;
+        match tables.domain(vars[vi]) {
+            Some(dom) => {
+                let lo = dom.partition_point(|&x| x < range.start);
+                let hi = dom.partition_point(|&x| x < range.end);
+                let dom = &dom[lo..hi];
+                self.enumerate_values(
+                    atom_idx,
+                    vars,
+                    vi,
+                    assignment,
+                    nv,
+                    on_success,
+                    dom.iter().copied(),
+                )
+            }
+            None => self.enumerate_values(atom_idx, vars, vi, assignment, nv, on_success, range),
+        }
+    }
+
+    /// The domain walk of one variable: assign each candidate value and
+    /// recurse; restores `UNASSIGNED` on exit either way.
+    #[allow(clippy::too_many_arguments)]
+    fn enumerate_values(
+        &mut self,
+        atom_idx: usize,
+        vars: &[u32],
+        vi: usize,
+        assignment: &mut Vec<i64>,
+        nv: NodeId,
+        on_success: &mut impl FnMut(&[i64]) -> bool,
+        values: impl Iterator<Item = NodeId>,
+    ) -> bool {
+        let var = vars[vi] as usize;
+        for v in values {
             if let Some(stop) = self.stop {
                 if stop.load(Ordering::Relaxed) {
                     break;
                 }
             }
-            assignment[vars[vi] as usize] = i64::from(v);
+            assignment[var] = i64::from(v);
             if self.enumerate(atom_idx, vars, vi + 1, assignment, nv, on_success) {
-                assignment[vars[vi] as usize] = UNASSIGNED;
+                assignment[var] = UNASSIGNED;
                 return true;
             }
         }
-        assignment[vars[vi] as usize] = UNASSIGNED;
+        assignment[var] = UNASSIGNED;
         false
     }
 
@@ -520,7 +755,8 @@ impl<'a> Evaluator<'a> {
     /// BFS over configurations `(state, positions)`. Returns `Some(rows)` if
     /// an accepting configuration is reachable (empty rows vector when the
     /// initial configuration accepts); in witness mode also stores the
-    /// configuration trace in `self.last_witness_configs`.
+    /// configuration trace in `self.last_witness_configs`. Dispatches on
+    /// the shared tables' [`Layout`].
     fn product_bfs(
         &mut self,
         atom_idx: usize,
@@ -528,11 +764,36 @@ impl<'a> Evaluator<'a> {
         ends: &[NodeId],
         want_witness: bool,
     ) -> Option<Vec<Row>> {
-        let nfa = &self.tables.automata[atom_idx];
+        if self.tables.layout == Layout::Legacy {
+            self.product_bfs_legacy(atom_idx, starts, ends, want_witness)
+        } else {
+            self.product_bfs_flat(atom_idx, starts, ends, want_witness)
+        }
+    }
+
+    /// The flat-layout BFS inner loop. Per popped configuration it walks
+    /// the state's row-class groups; per group it assembles the successor
+    /// option **slices** (CSR lookups, no allocation; a `⊥` track's only
+    /// option is its — already reached — target), then drives an odometer
+    /// over the slices, reusing one scratch combination vector. A
+    /// configuration is cloned onto the queue only when it is first
+    /// visited, and the row options are shared by every target state of
+    /// the group.
+    fn product_bfs_flat(
+        &mut self,
+        atom_idx: usize,
+        starts: &[NodeId],
+        ends: &[NodeId],
+        want_witness: bool,
+    ) -> Option<Vec<Row>> {
+        let db = self.db;
+        let tables = self.tables;
+        let nfa = &tables.automata[atom_idx];
+        let atom = &tables.dense.atoms[atom_idx];
+        let dense = &tables.dense;
         let k = starts.len();
-        let nv = self.db.num_nodes().max(1);
+        let nv = db.num_nodes().max(1);
         type Config = (StateId, Vec<NodeId>);
-        let accepting = |q: StateId, pos: &[NodeId]| nfa.is_final(q) && pos == ends;
         let encode = |q: StateId, pos: &[NodeId]| -> usize {
             let mut idx = q as usize;
             for &p in pos {
@@ -566,6 +827,146 @@ impl<'a> Evaluator<'a> {
                 None => seen.insert((q, pos.to_vec())),
             }
         };
+        let mut parent: FnvHashMap<Config, (Config, u32)> = FnvHashMap::default();
+        let mut queue: VecDeque<Config> = VecDeque::new();
+        for &q in nfa.initial_states() {
+            if mark(q, starts, &mut seen) {
+                queue.push_back((q, starts.to_vec()));
+            }
+        }
+        let mut peak = queue.len() as u64;
+        let mut opts: Vec<&[NodeId]> = Vec::with_capacity(k);
+        let mut odometer: Vec<usize> = vec![0; k];
+        let mut combo: Vec<NodeId> = vec![0; k];
+        let mut goal: Option<Config> = None;
+        'bfs: while let Some((q, pos)) = queue.pop_front() {
+            self.stats.configurations += 1;
+            if nfa.is_final(q) && pos == ends {
+                goal = Some((q, pos));
+                break 'bfs;
+            }
+            let gs = atom.state_offsets[q as usize] as usize
+                ..atom.state_offsets[q as usize + 1] as usize;
+            'groups: for g in &atom.groups[gs] {
+                let row = dense.row_of(g.row);
+                opts.clear();
+                for (i, t) in row.iter().enumerate() {
+                    match *t {
+                        Track::Pad => {
+                            if pos[i] != ends[i] {
+                                continue 'groups;
+                            }
+                            opts.push(std::slice::from_ref(&ends[i]));
+                        }
+                        Track::Sym(a) => {
+                            let s = db.successors(pos[i], a);
+                            if s.is_empty() {
+                                continue 'groups;
+                            }
+                            opts.push(s);
+                        }
+                    }
+                }
+                let targets = &atom.targets[g.targets_start as usize..g.targets_end as usize];
+                for (i, o) in opts.iter().enumerate() {
+                    odometer[i] = 0;
+                    combo[i] = o[0];
+                }
+                'combos: loop {
+                    for &q2 in targets {
+                        if mark(q2, &combo, &mut seen) {
+                            let c: Config = (q2, combo.clone());
+                            if want_witness {
+                                parent.insert(c.clone(), ((q, pos.clone()), g.row));
+                            }
+                            queue.push_back(c);
+                        }
+                    }
+                    let mut i = 0;
+                    loop {
+                        if i == k {
+                            break 'combos;
+                        }
+                        odometer[i] += 1;
+                        if odometer[i] < opts[i].len() {
+                            combo[i] = opts[i][odometer[i]];
+                            break;
+                        }
+                        odometer[i] = 0;
+                        combo[i] = opts[i][0];
+                        i += 1;
+                    }
+                }
+            }
+            peak = peak.max(queue.len() as u64);
+        }
+        self.stamps[atom_idx] = stamp;
+        self.stats.frontier_peak = self.stats.frontier_peak.max(peak);
+        let goal = goal?;
+        if !want_witness {
+            return Some(Vec::new());
+        }
+        // reconstruct configuration trace + rows
+        let mut rows: Vec<Row> = Vec::new();
+        let mut configs: Vec<Config> = vec![goal.clone()];
+        let mut cur = goal;
+        while let Some((prev, rid)) = parent.get(&cur) {
+            rows.push(dense.row_of(*rid).to_vec());
+            configs.push(prev.clone());
+            cur = prev.clone();
+        }
+        rows.reverse();
+        configs.reverse();
+        self.last_witness_configs = Some(configs);
+        Some(rows)
+    }
+
+    /// The pre-flat BFS, preserved as the [`Layout::Legacy`] baseline:
+    /// per-transition adjacency scans and eager materialization of every
+    /// successor combination.
+    fn product_bfs_legacy(
+        &mut self,
+        atom_idx: usize,
+        starts: &[NodeId],
+        ends: &[NodeId],
+        want_witness: bool,
+    ) -> Option<Vec<Row>> {
+        let nfa = &self.tables.automata[atom_idx];
+        let k = starts.len();
+        let nv = self.db.num_nodes().max(1);
+        type Config = (StateId, Vec<NodeId>);
+        let accepting = |q: StateId, pos: &[NodeId]| nfa.is_final(q) && pos == ends;
+        let encode = |q: StateId, pos: &[NodeId]| -> usize {
+            let mut idx = q as usize;
+            for &p in pos {
+                idx = idx * nv + p as usize;
+            }
+            idx
+        };
+        let mut stamp = if want_witness {
+            None
+        } else {
+            self.stamps[atom_idx].take()
+        };
+        if stamp.is_some() {
+            self.generation += 1;
+        }
+        let generation = self.generation;
+        let mut seen: FnvHashSet<Config> = FnvHashSet::default();
+        let mut mark = |q: StateId, pos: &[NodeId], seen: &mut FnvHashSet<Config>| -> bool {
+            match &mut stamp {
+                Some(s) => {
+                    let idx = encode(q, pos);
+                    if s[idx] == generation {
+                        false
+                    } else {
+                        s[idx] = generation;
+                        true
+                    }
+                }
+                None => seen.insert((q, pos.to_vec())),
+            }
+        };
         let mut parent: FnvHashMap<Config, (Config, Row)> = FnvHashMap::default();
         let mut queue: VecDeque<Config> = VecDeque::new();
         for &q in nfa.initial_states() {
@@ -573,6 +974,7 @@ impl<'a> Evaluator<'a> {
                 queue.push_back((q, starts.to_vec()));
             }
         }
+        let mut peak = queue.len() as u64;
         let mut goal: Option<Config> = None;
         'bfs: while let Some((q, pos)) = queue.pop_front() {
             self.stats.configurations += 1;
@@ -595,7 +997,7 @@ impl<'a> Evaluator<'a> {
                             }
                         }
                         Track::Sym(a) => {
-                            let succ: Vec<NodeId> = self.db.successors(pos[i], a).collect();
+                            let succ: Vec<NodeId> = self.db.successors_scan(pos[i], a).collect();
                             if succ.is_empty() {
                                 dead = true;
                                 break;
@@ -630,8 +1032,10 @@ impl<'a> Evaluator<'a> {
                     }
                 }
             }
+            peak = peak.max(queue.len() as u64);
         }
         self.stamps[atom_idx] = stamp;
+        self.stats.frontier_peak = self.stats.frontier_peak.max(peak);
         let goal = goal?;
         if !want_witness {
             return Some(Vec::new());
@@ -712,6 +1116,23 @@ mod tests {
         assert!(!answers.contains(&vec![s1, s3])); // lengths 2 vs 1
                                                    // trivial equal-length: empty paths from the same vertex
         assert!(answers.contains(&vec![2, 2]));
+    }
+
+    #[test]
+    fn all_layouts_agree_on_answers() {
+        let db = two_chain_db();
+        let q = example_2_1_query(&db);
+        let p = prepare(&q);
+        let (flat, flat_stats) = answers_product_with_stats_layout(&db, &p, Layout::Flat);
+        let (unpruned, _) = answers_product_with_stats_layout(&db, &p, Layout::FlatUnpruned);
+        let (legacy, legacy_stats) = answers_product_with_stats_layout(&db, &p, Layout::Legacy);
+        assert_eq!(flat, unpruned);
+        assert_eq!(flat, legacy);
+        // pruning counters only populate on the pruned layout
+        assert!(flat_stats.domain_kept > 0);
+        assert_eq!(legacy_stats.domain_kept, 0);
+        assert!(flat_stats.frontier_peak > 0);
+        assert!(legacy_stats.frontier_peak > 0);
     }
 
     #[test]
@@ -808,6 +1229,8 @@ mod tests {
         assert!(res);
         assert!(stats.checks > 0);
         assert!(stats.configurations > 0);
+        assert!(stats.frontier_peak > 0);
+        assert!(stats.domain_kept + stats.domain_pruned > 0);
     }
 
     #[test]
@@ -876,5 +1299,34 @@ mod tests {
             got.push(t.to_vec())
         });
         assert_eq!(got, vec![vec![2, 0]]);
+    }
+
+    /// The dense tables must reproduce the NFA transition relation exactly:
+    /// per state, the multiset of (row, target) pairs.
+    #[test]
+    fn dense_tables_reproduce_transitions() {
+        let rel = relations::eq_length(2, 2);
+        let nfa = rel.nfa().remove_epsilon().trim();
+        let dense = DenseTables::build(std::slice::from_ref(&nfa));
+        let atom = &dense.atoms[0];
+        for q in 0..nfa.num_states() as StateId {
+            let mut expect: Vec<(Row, StateId)> = nfa
+                .transitions_from(q)
+                .iter()
+                .map(|(r, t)| (r.clone(), *t))
+                .collect();
+            let gs = atom.state_offsets[q as usize] as usize
+                ..atom.state_offsets[q as usize + 1] as usize;
+            let mut got: Vec<(Row, StateId)> = Vec::new();
+            for g in &atom.groups[gs] {
+                let row = dense.row_of(g.row).to_vec();
+                for &t in &atom.targets[g.targets_start as usize..g.targets_end as usize] {
+                    got.push((row.clone(), t));
+                }
+            }
+            expect.sort();
+            got.sort();
+            assert_eq!(got, expect, "state {q}");
+        }
     }
 }

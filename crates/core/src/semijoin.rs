@@ -1,0 +1,287 @@
+//! Semijoin endpoint pruning for the product evaluator.
+//!
+//! Before the backtracking enumeration, every merged atom contributes one
+//! necessary condition per track `i`: if `xᵢ = v`, then some accepting
+//! configuration must be **single-track reachable** from `v` — there is a
+//! run of the atom's automaton, projected to track `i`, that walks the
+//! database from `v` to acceptance. Symmetrically, `yᵢ = u` requires that
+//! the projection can *reach* `u` at acceptance from some source. Both
+//! sets are computed by one forward and one backward multi-source sweep
+//! over the `|Q| · |V|` product of the projected automaton with the
+//! database (CSR successors forward, CSR predecessors backward).
+//!
+//! Intersecting these per-(atom, track) feasible sets over all atoms
+//! shrinks each node variable's enumeration domain from the full `|V|`
+//! to the values that can possibly participate in an answer — a semijoin
+//! of the `O(|V|^{#nodevars})` outer enumeration against single-track
+//! reachability. Pruning is sound, never complete-by-itself: every real
+//! product run projects to a run of each track's projection, so a value
+//! outside the pruned domain can never satisfy the atom, and the answer
+//! set is bit-identical with pruning on or off (the differential suite
+//! asserts this).
+
+use crate::prepare::PreparedQuery;
+use ecrpq_automata::{BitSet, Nfa, Row, StateId, Track};
+use ecrpq_graph::{GraphDb, NodeId};
+
+/// Per-track sweeps are skipped when `|Q| · |V|` exceeds this bound, so
+/// the pruning pass can never dominate the evaluation it accelerates.
+const MAX_TRACK_SPACE: u128 = 1 << 24;
+
+/// Result of the pruning pass.
+pub(crate) struct PrunedDomains {
+    /// `domains[v]` = sorted allowed values for node variable `v`;
+    /// `None` = unconstrained (full domain).
+    pub domains: Vec<Option<Vec<NodeId>>>,
+    /// Total values kept across constrained variables.
+    pub kept: u64,
+    /// Total values removed across constrained variables.
+    pub pruned: u64,
+}
+
+impl PrunedDomains {
+    /// No pruning at all: every variable ranges over the full domain.
+    pub fn unconstrained(num_node_vars: usize) -> Self {
+        PrunedDomains {
+            domains: vec![None; num_node_vars],
+            kept: 0,
+            pruned: 0,
+        }
+    }
+}
+
+/// Runs the semijoin pass over every (atom, track) pair. `automata` are
+/// the trimmed ε-free automata of `query.atoms`, in order.
+pub(crate) fn prune_domains(
+    db: &GraphDb,
+    query: &PreparedQuery,
+    automata: &[Nfa<Row>],
+) -> PrunedDomains {
+    let nv = db.num_nodes();
+    let mut sets: Vec<Option<BitSet>> = vec![None; query.num_node_vars];
+    for (atom, nfa) in query.atoms.iter().zip(automata) {
+        let nq = nfa.num_states();
+        if (nq as u128) * (nv as u128) > MAX_TRACK_SPACE {
+            continue; // too large to sweep; this atom constrains nothing
+        }
+        for (i, &(src, dst)) in atom.endpoints.iter().enumerate() {
+            let (sources_ok, targets_ok) = track_feasible(db, nfa, i, nv);
+            for (var, ok) in [(src, sources_ok), (dst, targets_ok)] {
+                let slot = &mut sets[var.0 as usize];
+                match slot {
+                    Some(s) => s.intersect_with(&ok),
+                    None => *slot = Some(ok),
+                }
+            }
+        }
+    }
+    let mut kept = 0u64;
+    let mut pruned = 0u64;
+    let domains = sets
+        .into_iter()
+        .map(|s| {
+            s.map(|bs| {
+                let dom: Vec<NodeId> = bs.iter().map(|v| v as NodeId).collect();
+                kept += dom.len() as u64;
+                pruned += (nv - dom.len()) as u64;
+                dom
+            })
+        })
+        .collect();
+    PrunedDomains {
+        domains,
+        kept,
+        pruned,
+    }
+}
+
+/// Forward/backward reachability over the product of the track-`i`
+/// projection of `nfa` with the database. Returns `(sources_ok,
+/// targets_ok)`: vertices from which acceptance is projection-reachable,
+/// and vertices the projection can occupy in an accepting configuration.
+fn track_feasible(db: &GraphDb, nfa: &Nfa<Row>, track: usize, nv: usize) -> (BitSet, BitSet) {
+    let nq = nfa.num_states();
+    // deduplicated per-state projections of the transition relation
+    let mut fwd: Vec<Vec<(Track, StateId)>> = vec![Vec::new(); nq];
+    let mut rev: Vec<Vec<(Track, StateId)>> = vec![Vec::new(); nq];
+    for q in 0..nq as StateId {
+        for (row, q2) in nfa.transitions_from(q) {
+            let t = row[track];
+            fwd[q as usize].push((t, *q2));
+            rev[*q2 as usize].push((t, q));
+        }
+    }
+    for list in fwd.iter_mut().chain(rev.iter_mut()) {
+        list.sort_unstable();
+        list.dedup();
+    }
+    let idx = |q: StateId, v: usize| q as usize * nv + v;
+
+    // forward from all (initial state, vertex) pairs
+    let mut seen = BitSet::new(nq * nv);
+    let mut stack: Vec<(StateId, NodeId)> = Vec::new();
+    for &q0 in nfa.initial_states() {
+        for v in 0..nv {
+            if seen.insert(idx(q0, v)) {
+                stack.push((q0, v as NodeId));
+            }
+        }
+    }
+    while let Some((q, v)) = stack.pop() {
+        for &(t, q2) in &fwd[q as usize] {
+            match t {
+                Track::Pad => {
+                    if seen.insert(idx(q2, v as usize)) {
+                        stack.push((q2, v));
+                    }
+                }
+                Track::Sym(a) => {
+                    for &u in db.successors(v, a) {
+                        if seen.insert(idx(q2, u as usize)) {
+                            stack.push((q2, u));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut targets_ok = BitSet::new(nv);
+    for q in 0..nq as StateId {
+        if nfa.is_final(q) {
+            for v in 0..nv {
+                if seen.contains(idx(q, v)) {
+                    targets_ok.insert(v);
+                }
+            }
+        }
+    }
+
+    // backward from all (final state, vertex) pairs
+    let mut seen_b = BitSet::new(nq * nv);
+    let mut stack: Vec<(StateId, NodeId)> = Vec::new();
+    for q in 0..nq as StateId {
+        if nfa.is_final(q) {
+            for v in 0..nv {
+                if seen_b.insert(idx(q, v)) {
+                    stack.push((q, v as NodeId));
+                }
+            }
+        }
+    }
+    while let Some((q2, u)) = stack.pop() {
+        for &(t, q) in &rev[q2 as usize] {
+            match t {
+                Track::Pad => {
+                    if seen_b.insert(idx(q, u as usize)) {
+                        stack.push((q, u));
+                    }
+                }
+                Track::Sym(a) => {
+                    for &v in db.predecessors(u, a) {
+                        if seen_b.insert(idx(q, v as usize)) {
+                            stack.push((q, v));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut sources_ok = BitSet::new(nv);
+    for &q0 in nfa.initial_states() {
+        for v in 0..nv {
+            if seen_b.contains(idx(q0, v)) {
+                sources_ok.insert(v);
+            }
+        }
+    }
+    (sources_ok, targets_ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecrpq_automata::relations;
+    use ecrpq_query::Ecrpq;
+    use std::sync::Arc;
+
+    fn trimmed(p: &PreparedQuery) -> Vec<Nfa<Row>> {
+        p.atoms
+            .iter()
+            .map(|a| a.rel.nfa().remove_epsilon().trim())
+            .collect()
+    }
+
+    /// A word relation `aaa` on a 2-edge chain: no vertex can source a
+    /// 3-step `a`-path, so both endpoint domains must prune to empty.
+    #[test]
+    fn infeasible_word_relation_empties_domains() {
+        let mut db = GraphDb::new();
+        let u = db.add_node("u");
+        let v = db.add_node("v");
+        let w = db.add_node("w");
+        db.add_edge(u, 'a', v);
+        db.add_edge(v, 'a', w);
+        let mut q = Ecrpq::new(db.alphabet().clone());
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let p = q.path_atom(x, "p", y);
+        q.rel_atom(
+            "aaa",
+            Arc::new(relations::word_relation(&[0, 0, 0], 1)),
+            &[p],
+        );
+        let prepared = PreparedQuery::build(&q).unwrap();
+        let pd = prune_domains(&db, &prepared, &trimmed(&prepared));
+        assert_eq!(pd.domains[0].as_deref(), Some(&[][..]));
+        assert_eq!(pd.domains[1].as_deref(), Some(&[][..]));
+        assert_eq!(pd.kept, 0);
+        assert_eq!(pd.pruned, 6);
+    }
+
+    /// `aa` on the same chain: only `u` can source it, only `w` end it.
+    #[test]
+    fn word_relation_prunes_to_exact_endpoints() {
+        let mut db = GraphDb::new();
+        let u = db.add_node("u");
+        let v = db.add_node("v");
+        let w = db.add_node("w");
+        db.add_edge(u, 'a', v);
+        db.add_edge(v, 'a', w);
+        let mut q = Ecrpq::new(db.alphabet().clone());
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let p = q.path_atom(x, "p", y);
+        q.rel_atom("aa", Arc::new(relations::word_relation(&[0, 0], 1)), &[p]);
+        let prepared = PreparedQuery::build(&q).unwrap();
+        let pd = prune_domains(&db, &prepared, &trimmed(&prepared));
+        assert_eq!(pd.domains[0].as_deref(), Some(&[u][..]));
+        assert_eq!(pd.domains[1].as_deref(), Some(&[w][..]));
+        assert_eq!(pd.kept, 2);
+        assert_eq!(pd.pruned, 4);
+    }
+
+    /// Unconstrained relations (eq-length over the full alphabet) keep
+    /// every vertex: pruning must not over-restrict.
+    #[test]
+    fn permissive_relation_keeps_full_domain() {
+        let mut db = GraphDb::new();
+        let u = db.add_node("u");
+        let v = db.add_node("v");
+        db.add_edge(u, 'a', v);
+        db.add_edge(v, 'a', u);
+        let m = db.alphabet().len();
+        let mut q = Ecrpq::new(db.alphabet().clone());
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let z = q.node_var("z");
+        let p1 = q.path_atom(x, "p1", y);
+        let p2 = q.path_atom(y, "p2", z);
+        q.rel_atom("eq_len", Arc::new(relations::eq_length(2, m)), &[p1, p2]);
+        let prepared = PreparedQuery::build(&q).unwrap();
+        let pd = prune_domains(&db, &prepared, &trimmed(&prepared));
+        for d in &pd.domains {
+            assert_eq!(d.as_deref(), Some(&[u, v][..]));
+        }
+        assert_eq!(pd.pruned, 0);
+    }
+}

@@ -1,8 +1,19 @@
 //! The graph database representation.
+//!
+//! Two layouts coexist. The **builder** layout is per-vertex sorted
+//! adjacency vectors (`Vec<Vec<(Symbol, NodeId)>>`), cheap to mutate and
+//! the representation every `add_*` method maintains. The **frozen** layout
+//! is a CSR (compressed sparse row) index built lazily on first query:
+//! all edges flattened into one vector with per-vertex offsets, plus a
+//! `(vertex, label) → range` index so [`GraphDb::successors`] and
+//! [`GraphDb::predecessors`] are O(1) slice lookups — the access pattern
+//! the product evaluator's BFS performs per configuration expansion. Any
+//! mutation thaws the index; the next query rebuilds it.
 
+use ecrpq_automata::fnv::FnvHashMap;
 use ecrpq_automata::{Alphabet, Symbol};
-use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Identifier of a database vertex (dense, `0..num_nodes`).
 pub type NodeId = u32;
@@ -18,6 +29,82 @@ pub struct Edge {
     pub dst: NodeId,
 }
 
+/// The frozen CSR index of one adjacency direction: the flat `(label,
+/// neighbour)` pairs of all vertices, vertex offsets into them, the
+/// `(vertex, label) → range` offsets, and the neighbour column those label
+/// ranges index (so a successor lookup yields a `&[NodeId]` directly).
+#[derive(Debug, Clone, Default)]
+struct CsrSide {
+    flat: Vec<(Symbol, NodeId)>,
+    /// `flat[node[v]..node[v+1]]` = vertex `v`'s pairs.
+    node: Vec<u32>,
+    /// `targets[label[v·L + a]..label[v·L + a + 1]]` = `a`-neighbours of `v`.
+    label: Vec<u32>,
+    targets: Vec<NodeId>,
+}
+
+impl CsrSide {
+    fn build(lists: &[Vec<(Symbol, NodeId)>], num_labels: usize) -> CsrSide {
+        let total: usize = lists.iter().map(Vec::len).sum();
+        assert!(
+            total <= u32::MAX as usize,
+            "edge count overflows CSR offsets"
+        );
+        let mut flat = Vec::with_capacity(total);
+        let mut node = Vec::with_capacity(lists.len() + 1);
+        let mut label = Vec::with_capacity(lists.len() * num_labels + 1);
+        let mut targets = Vec::with_capacity(total);
+        node.push(0u32);
+        for list in lists {
+            // the builder's sorted inserts are what make the label ranges
+            // contiguous; a violation here means a mutator skipped the
+            // binary-search insert
+            debug_assert!(
+                list.windows(2).all(|w| w[0] < w[1]),
+                "adjacency list not sorted/deduped"
+            );
+            let base = flat.len();
+            let mut cursor = 0usize;
+            for a in 0..num_labels {
+                while cursor < list.len() && (list[cursor].0 as usize) < a {
+                    cursor += 1;
+                }
+                label.push((base + cursor) as u32);
+            }
+            flat.extend_from_slice(list);
+            targets.extend(list.iter().map(|&(_, t)| t));
+            node.push(flat.len() as u32);
+        }
+        label.push(total as u32);
+        CsrSide {
+            flat,
+            node,
+            label,
+            targets,
+        }
+    }
+
+    fn pairs(&self, v: NodeId) -> &[(Symbol, NodeId)] {
+        &self.flat[self.node[v as usize] as usize..self.node[v as usize + 1] as usize]
+    }
+
+    fn neighbours(&self, v: NodeId, a: Symbol, num_labels: usize) -> &[NodeId] {
+        if (a as usize) >= num_labels {
+            return &[];
+        }
+        let i = v as usize * num_labels + a as usize;
+        &self.targets[self.label[i] as usize..self.label[i + 1] as usize]
+    }
+}
+
+/// Both directions of the frozen index.
+#[derive(Debug, Clone)]
+struct Csr {
+    num_labels: usize,
+    out: CsrSide,
+    inc: CsrSide,
+}
+
 /// A finite edge-labelled directed graph with named vertices — the
 /// “graph database” of §2.
 ///
@@ -27,12 +114,14 @@ pub struct Edge {
 pub struct GraphDb {
     alphabet: Alphabet,
     node_names: Vec<String>,
-    name_index: HashMap<String, NodeId>,
+    name_index: FnvHashMap<String, NodeId>,
     /// `out[v]` lists `(label, dst)` pairs, sorted and deduped.
     out: Vec<Vec<(Symbol, NodeId)>>,
     /// `inc[v]` lists `(label, src)` pairs, sorted and deduped.
     inc: Vec<Vec<(Symbol, NodeId)>>,
     num_edges: usize,
+    /// Lazily frozen CSR index; taken (thawed) by every mutator.
+    csr: OnceLock<Csr>,
 }
 
 impl GraphDb {
@@ -55,8 +144,10 @@ impl GraphDb {
     }
 
     /// Mutable access to the alphabet (to intern marker symbols, as the
-    /// constructions in §5 of the paper do).
+    /// constructions in §5 of the paper do). Thaws the CSR index: the
+    /// label-range table is sized by the alphabet.
     pub fn alphabet_mut(&mut self) -> &mut Alphabet {
+        self.csr.take();
         &mut self.alphabet
     }
 
@@ -70,6 +161,28 @@ impl GraphDb {
         self.num_edges
     }
 
+    /// The frozen CSR index, building it on first use.
+    fn csr(&self) -> &Csr {
+        self.csr.get_or_init(|| Csr {
+            num_labels: self.alphabet.len(),
+            out: CsrSide::build(&self.out, self.alphabet.len()),
+            inc: CsrSide::build(&self.inc, self.alphabet.len()),
+        })
+    }
+
+    /// Forces the CSR freeze now instead of on the first query — useful
+    /// before handing shared references to parallel workers, so the build
+    /// happens once outside the measured/contended section. Idempotent;
+    /// any later mutation thaws the index again.
+    pub fn freeze(&self) {
+        let _ = self.csr();
+    }
+
+    /// Whether the CSR index is currently built.
+    pub fn is_frozen(&self) -> bool {
+        self.csr.get().is_some()
+    }
+
     /// Adds a vertex with an auto-generated name, returning its id.
     pub fn add_node_auto(&mut self) -> NodeId {
         let name = format!("v{}", self.node_names.len());
@@ -81,6 +194,7 @@ impl GraphDb {
         if let Some(&id) = self.name_index.get(name) {
             return id;
         }
+        self.csr.take();
         let id = NodeId::try_from(self.node_names.len()).expect("too many nodes");
         self.node_names.push(name.to_string());
         self.name_index.insert(name.to_string(), id);
@@ -120,6 +234,7 @@ impl GraphDb {
         match self.out[src as usize].binary_search(&entry) {
             Ok(_) => false,
             Err(pos) => {
+                self.csr.take();
                 self.out[src as usize].insert(pos, entry);
                 let rentry = (label, src);
                 let rpos = self.inc[dst as usize].binary_search(&rentry).unwrap_err();
@@ -132,16 +247,32 @@ impl GraphDb {
 
     /// Outgoing `(label, dst)` pairs of `v`, sorted by label then target.
     pub fn out_edges(&self, v: NodeId) -> &[(Symbol, NodeId)] {
-        &self.out[v as usize]
+        self.csr().out.pairs(v)
     }
 
     /// Incoming `(label, src)` pairs of `v`.
     pub fn in_edges(&self, v: NodeId) -> &[(Symbol, NodeId)] {
-        &self.inc[v as usize]
+        self.csr().inc.pairs(v)
     }
 
-    /// Successors of `v` on a given label.
-    pub fn successors(&self, v: NodeId, label: Symbol) -> impl Iterator<Item = NodeId> + '_ {
+    /// Successors of `v` on a given label — an O(1) range lookup into the
+    /// frozen CSR index.
+    pub fn successors(&self, v: NodeId, label: Symbol) -> &[NodeId] {
+        let c = self.csr();
+        c.out.neighbours(v, label, c.num_labels)
+    }
+
+    /// Predecessors of `v` on a given label — an O(1) range lookup into
+    /// the frozen CSR index.
+    pub fn predecessors(&self, v: NodeId, label: Symbol) -> &[NodeId] {
+        let c = self.csr();
+        c.inc.neighbours(v, label, c.num_labels)
+    }
+
+    /// Successors of `v` by linear partition-point scan over the builder
+    /// adjacency vectors — the pre-CSR access path, kept as the baseline
+    /// the legacy-layout evaluator and the differential benchmarks run on.
+    pub fn successors_scan(&self, v: NodeId, label: Symbol) -> impl Iterator<Item = NodeId> + '_ {
         let edges = &self.out[v as usize];
         let start = edges.partition_point(|&(l, _)| l < label);
         edges[start..]
@@ -254,8 +385,55 @@ mod tests {
         assert_eq!(g.num_edges(), 4);
         let a = g.alphabet().symbol('a').unwrap();
         let u = g.node("u").unwrap();
-        let succ: Vec<_> = g.successors(u, a).collect();
+        let succ = g.successors(u, a).to_vec();
         assert_eq!(succ, vec![g.node("v").unwrap(), g.node("w").unwrap()]);
+    }
+
+    #[test]
+    fn csr_matches_scan() {
+        let g = sample();
+        for v in 0..g.num_nodes() as NodeId {
+            for label in 0..g.alphabet().len() as Symbol {
+                let scan: Vec<NodeId> = g.successors_scan(v, label).collect();
+                assert_eq!(g.successors(v, label), scan.as_slice(), "v={v} a={label}");
+                let mut naive: Vec<NodeId> = g
+                    .edges()
+                    .filter(|e| e.dst == v && e.label == label)
+                    .map(|e| e.src)
+                    .collect();
+                naive.sort_unstable();
+                assert_eq!(
+                    g.predecessors(v, label),
+                    naive.as_slice(),
+                    "v={v} a={label}"
+                );
+            }
+        }
+        // a symbol the alphabet has never interned: empty slices, no panic
+        assert!(g.successors(0, 200).is_empty());
+        assert!(g.predecessors(0, 200).is_empty());
+    }
+
+    #[test]
+    fn mutation_thaws_frozen_index() {
+        let mut g = sample();
+        g.freeze();
+        assert!(g.is_frozen());
+        let u = g.node("u").unwrap();
+        let w = g.node("w").unwrap();
+        assert!(g.add_edge(w, 'b', u));
+        assert!(!g.is_frozen(), "add_edge must invalidate the CSR index");
+        let b = g.alphabet().symbol('b').unwrap();
+        assert_eq!(g.successors(w, b), &[u]);
+        assert!(g.is_frozen(), "query refreezes");
+        // a duplicate insert changes nothing and keeps the index
+        assert!(!g.add_edge(w, 'b', u));
+        assert!(g.is_frozen());
+        // interning a new alphabet symbol resizes the label table
+        g.alphabet_mut().intern('z');
+        assert!(!g.is_frozen());
+        let z = g.alphabet().symbol('z').unwrap();
+        assert!(g.successors(u, z).is_empty());
     }
 
     #[test]

@@ -16,4 +16,14 @@ cargo build --release --offline
 echo "== tier-1: tests =="
 cargo test -q --offline
 
+echo "== differential suites (evaluator equivalence, layout + parallel) =="
+cargo test -q --offline --test differential --test parallel_differential --test layout_differential
+
+echo "== cargo doc (deny warnings) =="
+# own crates only: the vendored shims (rand/proptest/criterion) mirror
+# upstream doc comments and are not held to this repo's doc standard
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --quiet --no-deps \
+  -p ecrpq -p ecrpq-automata -p ecrpq-graph -p ecrpq-structure -p ecrpq-query \
+  -p ecrpq-core -p ecrpq-reductions -p ecrpq-workloads -p ecrpq-bench
+
 echo "All checks passed."

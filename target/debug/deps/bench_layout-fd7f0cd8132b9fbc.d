@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_layout-fd7f0cd8132b9fbc.d: crates/bench/benches/bench_layout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_layout-fd7f0cd8132b9fbc.rmeta: crates/bench/benches/bench_layout.rs Cargo.toml
+
+crates/bench/benches/bench_layout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

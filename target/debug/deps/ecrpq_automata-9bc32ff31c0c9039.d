@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/ecrpq_automata-9bc32ff31c0c9039.d: crates/automata/src/lib.rs crates/automata/src/alphabet.rs crates/automata/src/bitset.rs crates/automata/src/dfa.rs crates/automata/src/nfa.rs crates/automata/src/recognizable.rs crates/automata/src/regex.rs crates/automata/src/relations.rs crates/automata/src/sync.rs crates/automata/src/to_regex.rs Cargo.toml
+/root/repo/target/debug/deps/ecrpq_automata-9bc32ff31c0c9039.d: crates/automata/src/lib.rs crates/automata/src/alphabet.rs crates/automata/src/bitset.rs crates/automata/src/dfa.rs crates/automata/src/fnv.rs crates/automata/src/nfa.rs crates/automata/src/recognizable.rs crates/automata/src/regex.rs crates/automata/src/relations.rs crates/automata/src/sync.rs crates/automata/src/to_regex.rs Cargo.toml
 
-/root/repo/target/debug/deps/libecrpq_automata-9bc32ff31c0c9039.rmeta: crates/automata/src/lib.rs crates/automata/src/alphabet.rs crates/automata/src/bitset.rs crates/automata/src/dfa.rs crates/automata/src/nfa.rs crates/automata/src/recognizable.rs crates/automata/src/regex.rs crates/automata/src/relations.rs crates/automata/src/sync.rs crates/automata/src/to_regex.rs Cargo.toml
+/root/repo/target/debug/deps/libecrpq_automata-9bc32ff31c0c9039.rmeta: crates/automata/src/lib.rs crates/automata/src/alphabet.rs crates/automata/src/bitset.rs crates/automata/src/dfa.rs crates/automata/src/fnv.rs crates/automata/src/nfa.rs crates/automata/src/recognizable.rs crates/automata/src/regex.rs crates/automata/src/relations.rs crates/automata/src/sync.rs crates/automata/src/to_regex.rs Cargo.toml
 
 crates/automata/src/lib.rs:
 crates/automata/src/alphabet.rs:
 crates/automata/src/bitset.rs:
 crates/automata/src/dfa.rs:
+crates/automata/src/fnv.rs:
 crates/automata/src/nfa.rs:
 crates/automata/src/recognizable.rs:
 crates/automata/src/regex.rs:

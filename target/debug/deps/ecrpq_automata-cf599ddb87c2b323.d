@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ecrpq_automata-cf599ddb87c2b323.d: crates/automata/src/lib.rs crates/automata/src/alphabet.rs crates/automata/src/bitset.rs crates/automata/src/dfa.rs crates/automata/src/fnv.rs crates/automata/src/nfa.rs crates/automata/src/recognizable.rs crates/automata/src/regex.rs crates/automata/src/relations.rs crates/automata/src/sync.rs crates/automata/src/to_regex.rs
+
+/root/repo/target/debug/deps/libecrpq_automata-cf599ddb87c2b323.rmeta: crates/automata/src/lib.rs crates/automata/src/alphabet.rs crates/automata/src/bitset.rs crates/automata/src/dfa.rs crates/automata/src/fnv.rs crates/automata/src/nfa.rs crates/automata/src/recognizable.rs crates/automata/src/regex.rs crates/automata/src/relations.rs crates/automata/src/sync.rs crates/automata/src/to_regex.rs
+
+crates/automata/src/lib.rs:
+crates/automata/src/alphabet.rs:
+crates/automata/src/bitset.rs:
+crates/automata/src/dfa.rs:
+crates/automata/src/fnv.rs:
+crates/automata/src/nfa.rs:
+crates/automata/src/recognizable.rs:
+crates/automata/src/regex.rs:
+crates/automata/src/relations.rs:
+crates/automata/src/sync.rs:
+crates/automata/src/to_regex.rs:

@@ -1,13 +1,14 @@
-/root/repo/target/debug/deps/ecrpq_automata-d29250b1138b238c.d: crates/automata/src/lib.rs crates/automata/src/alphabet.rs crates/automata/src/bitset.rs crates/automata/src/dfa.rs crates/automata/src/nfa.rs crates/automata/src/recognizable.rs crates/automata/src/regex.rs crates/automata/src/relations.rs crates/automata/src/sync.rs crates/automata/src/to_regex.rs
+/root/repo/target/debug/deps/ecrpq_automata-d29250b1138b238c.d: crates/automata/src/lib.rs crates/automata/src/alphabet.rs crates/automata/src/bitset.rs crates/automata/src/dfa.rs crates/automata/src/fnv.rs crates/automata/src/nfa.rs crates/automata/src/recognizable.rs crates/automata/src/regex.rs crates/automata/src/relations.rs crates/automata/src/sync.rs crates/automata/src/to_regex.rs
 
-/root/repo/target/debug/deps/libecrpq_automata-d29250b1138b238c.rlib: crates/automata/src/lib.rs crates/automata/src/alphabet.rs crates/automata/src/bitset.rs crates/automata/src/dfa.rs crates/automata/src/nfa.rs crates/automata/src/recognizable.rs crates/automata/src/regex.rs crates/automata/src/relations.rs crates/automata/src/sync.rs crates/automata/src/to_regex.rs
+/root/repo/target/debug/deps/libecrpq_automata-d29250b1138b238c.rlib: crates/automata/src/lib.rs crates/automata/src/alphabet.rs crates/automata/src/bitset.rs crates/automata/src/dfa.rs crates/automata/src/fnv.rs crates/automata/src/nfa.rs crates/automata/src/recognizable.rs crates/automata/src/regex.rs crates/automata/src/relations.rs crates/automata/src/sync.rs crates/automata/src/to_regex.rs
 
-/root/repo/target/debug/deps/libecrpq_automata-d29250b1138b238c.rmeta: crates/automata/src/lib.rs crates/automata/src/alphabet.rs crates/automata/src/bitset.rs crates/automata/src/dfa.rs crates/automata/src/nfa.rs crates/automata/src/recognizable.rs crates/automata/src/regex.rs crates/automata/src/relations.rs crates/automata/src/sync.rs crates/automata/src/to_regex.rs
+/root/repo/target/debug/deps/libecrpq_automata-d29250b1138b238c.rmeta: crates/automata/src/lib.rs crates/automata/src/alphabet.rs crates/automata/src/bitset.rs crates/automata/src/dfa.rs crates/automata/src/fnv.rs crates/automata/src/nfa.rs crates/automata/src/recognizable.rs crates/automata/src/regex.rs crates/automata/src/relations.rs crates/automata/src/sync.rs crates/automata/src/to_regex.rs
 
 crates/automata/src/lib.rs:
 crates/automata/src/alphabet.rs:
 crates/automata/src/bitset.rs:
 crates/automata/src/dfa.rs:
+crates/automata/src/fnv.rs:
 crates/automata/src/nfa.rs:
 crates/automata/src/recognizable.rs:
 crates/automata/src/regex.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ecrpq_bench-0bd78029bb0d4089.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libecrpq_bench-0bd78029bb0d4089.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/ecrpq_core-1462ccdc67bf30fc.d: crates/core/src/lib.rs crates/core/src/counting.rs crates/core/src/cq_eval.rs crates/core/src/crpq.rs crates/core/src/engine.rs crates/core/src/fnv.rs crates/core/src/optimize.rs crates/core/src/planner.rs crates/core/src/prepare.rs crates/core/src/product.rs crates/core/src/satisfiability.rs crates/core/src/to_cq.rs crates/core/src/ucrpq.rs Cargo.toml
+/root/repo/target/debug/deps/ecrpq_core-1462ccdc67bf30fc.d: crates/core/src/lib.rs crates/core/src/counting.rs crates/core/src/cq_eval.rs crates/core/src/crpq.rs crates/core/src/engine.rs crates/core/src/fnv.rs crates/core/src/optimize.rs crates/core/src/planner.rs crates/core/src/prepare.rs crates/core/src/product.rs crates/core/src/satisfiability.rs crates/core/src/semijoin.rs crates/core/src/to_cq.rs crates/core/src/ucrpq.rs Cargo.toml
 
-/root/repo/target/debug/deps/libecrpq_core-1462ccdc67bf30fc.rmeta: crates/core/src/lib.rs crates/core/src/counting.rs crates/core/src/cq_eval.rs crates/core/src/crpq.rs crates/core/src/engine.rs crates/core/src/fnv.rs crates/core/src/optimize.rs crates/core/src/planner.rs crates/core/src/prepare.rs crates/core/src/product.rs crates/core/src/satisfiability.rs crates/core/src/to_cq.rs crates/core/src/ucrpq.rs Cargo.toml
+/root/repo/target/debug/deps/libecrpq_core-1462ccdc67bf30fc.rmeta: crates/core/src/lib.rs crates/core/src/counting.rs crates/core/src/cq_eval.rs crates/core/src/crpq.rs crates/core/src/engine.rs crates/core/src/fnv.rs crates/core/src/optimize.rs crates/core/src/planner.rs crates/core/src/prepare.rs crates/core/src/product.rs crates/core/src/satisfiability.rs crates/core/src/semijoin.rs crates/core/src/to_cq.rs crates/core/src/ucrpq.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/counting.rs:
@@ -13,6 +13,7 @@ crates/core/src/planner.rs:
 crates/core/src/prepare.rs:
 crates/core/src/product.rs:
 crates/core/src/satisfiability.rs:
+crates/core/src/semijoin.rs:
 crates/core/src/to_cq.rs:
 crates/core/src/ucrpq.rs:
 Cargo.toml:

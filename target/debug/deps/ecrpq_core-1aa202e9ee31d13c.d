@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ecrpq_core-1aa202e9ee31d13c.d: crates/core/src/lib.rs crates/core/src/counting.rs crates/core/src/cq_eval.rs crates/core/src/crpq.rs crates/core/src/engine.rs crates/core/src/fnv.rs crates/core/src/optimize.rs crates/core/src/planner.rs crates/core/src/prepare.rs crates/core/src/product.rs crates/core/src/satisfiability.rs crates/core/src/semijoin.rs crates/core/src/to_cq.rs crates/core/src/ucrpq.rs
+
+/root/repo/target/debug/deps/libecrpq_core-1aa202e9ee31d13c.rmeta: crates/core/src/lib.rs crates/core/src/counting.rs crates/core/src/cq_eval.rs crates/core/src/crpq.rs crates/core/src/engine.rs crates/core/src/fnv.rs crates/core/src/optimize.rs crates/core/src/planner.rs crates/core/src/prepare.rs crates/core/src/product.rs crates/core/src/satisfiability.rs crates/core/src/semijoin.rs crates/core/src/to_cq.rs crates/core/src/ucrpq.rs
+
+crates/core/src/lib.rs:
+crates/core/src/counting.rs:
+crates/core/src/cq_eval.rs:
+crates/core/src/crpq.rs:
+crates/core/src/engine.rs:
+crates/core/src/fnv.rs:
+crates/core/src/optimize.rs:
+crates/core/src/planner.rs:
+crates/core/src/prepare.rs:
+crates/core/src/product.rs:
+crates/core/src/satisfiability.rs:
+crates/core/src/semijoin.rs:
+crates/core/src/to_cq.rs:
+crates/core/src/ucrpq.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/ecrpq_core-209befe94cf306cf.d: crates/core/src/lib.rs crates/core/src/counting.rs crates/core/src/cq_eval.rs crates/core/src/crpq.rs crates/core/src/engine.rs crates/core/src/fnv.rs crates/core/src/optimize.rs crates/core/src/planner.rs crates/core/src/prepare.rs crates/core/src/product.rs crates/core/src/satisfiability.rs crates/core/src/to_cq.rs crates/core/src/ucrpq.rs
+/root/repo/target/debug/deps/ecrpq_core-209befe94cf306cf.d: crates/core/src/lib.rs crates/core/src/counting.rs crates/core/src/cq_eval.rs crates/core/src/crpq.rs crates/core/src/engine.rs crates/core/src/fnv.rs crates/core/src/optimize.rs crates/core/src/planner.rs crates/core/src/prepare.rs crates/core/src/product.rs crates/core/src/satisfiability.rs crates/core/src/semijoin.rs crates/core/src/to_cq.rs crates/core/src/ucrpq.rs
 
-/root/repo/target/debug/deps/libecrpq_core-209befe94cf306cf.rlib: crates/core/src/lib.rs crates/core/src/counting.rs crates/core/src/cq_eval.rs crates/core/src/crpq.rs crates/core/src/engine.rs crates/core/src/fnv.rs crates/core/src/optimize.rs crates/core/src/planner.rs crates/core/src/prepare.rs crates/core/src/product.rs crates/core/src/satisfiability.rs crates/core/src/to_cq.rs crates/core/src/ucrpq.rs
+/root/repo/target/debug/deps/libecrpq_core-209befe94cf306cf.rlib: crates/core/src/lib.rs crates/core/src/counting.rs crates/core/src/cq_eval.rs crates/core/src/crpq.rs crates/core/src/engine.rs crates/core/src/fnv.rs crates/core/src/optimize.rs crates/core/src/planner.rs crates/core/src/prepare.rs crates/core/src/product.rs crates/core/src/satisfiability.rs crates/core/src/semijoin.rs crates/core/src/to_cq.rs crates/core/src/ucrpq.rs
 
-/root/repo/target/debug/deps/libecrpq_core-209befe94cf306cf.rmeta: crates/core/src/lib.rs crates/core/src/counting.rs crates/core/src/cq_eval.rs crates/core/src/crpq.rs crates/core/src/engine.rs crates/core/src/fnv.rs crates/core/src/optimize.rs crates/core/src/planner.rs crates/core/src/prepare.rs crates/core/src/product.rs crates/core/src/satisfiability.rs crates/core/src/to_cq.rs crates/core/src/ucrpq.rs
+/root/repo/target/debug/deps/libecrpq_core-209befe94cf306cf.rmeta: crates/core/src/lib.rs crates/core/src/counting.rs crates/core/src/cq_eval.rs crates/core/src/crpq.rs crates/core/src/engine.rs crates/core/src/fnv.rs crates/core/src/optimize.rs crates/core/src/planner.rs crates/core/src/prepare.rs crates/core/src/product.rs crates/core/src/satisfiability.rs crates/core/src/semijoin.rs crates/core/src/to_cq.rs crates/core/src/ucrpq.rs
 
 crates/core/src/lib.rs:
 crates/core/src/counting.rs:
@@ -15,5 +15,6 @@ crates/core/src/planner.rs:
 crates/core/src/prepare.rs:
 crates/core/src/product.rs:
 crates/core/src/satisfiability.rs:
+crates/core/src/semijoin.rs:
 crates/core/src/to_cq.rs:
 crates/core/src/ucrpq.rs:

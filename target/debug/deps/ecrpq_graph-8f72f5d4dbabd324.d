@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ecrpq_graph-8f72f5d4dbabd324.d: crates/graph/src/lib.rs crates/graph/src/db.rs crates/graph/src/dot.rs crates/graph/src/parse.rs crates/graph/src/paths.rs
+
+/root/repo/target/debug/deps/libecrpq_graph-8f72f5d4dbabd324.rmeta: crates/graph/src/lib.rs crates/graph/src/db.rs crates/graph/src/dot.rs crates/graph/src/parse.rs crates/graph/src/paths.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/db.rs:
+crates/graph/src/dot.rs:
+crates/graph/src/parse.rs:
+crates/graph/src/paths.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ecrpq_query-341b18e6d7738276.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/cq.rs crates/query/src/parser.rs crates/query/src/union.rs
+
+/root/repo/target/debug/deps/libecrpq_query-341b18e6d7738276.rmeta: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/cq.rs crates/query/src/parser.rs crates/query/src/union.rs
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/cq.rs:
+crates/query/src/parser.rs:
+crates/query/src/union.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ecrpq_reductions-0aa3e423288f4333.d: crates/reductions/src/lib.rs crates/reductions/src/lemma51.rs crates/reductions/src/lemma53.rs crates/reductions/src/lemma54.rs crates/reductions/src/markers.rs crates/reductions/src/oracle.rs
+
+/root/repo/target/debug/deps/libecrpq_reductions-0aa3e423288f4333.rmeta: crates/reductions/src/lib.rs crates/reductions/src/lemma51.rs crates/reductions/src/lemma53.rs crates/reductions/src/lemma54.rs crates/reductions/src/markers.rs crates/reductions/src/oracle.rs
+
+crates/reductions/src/lib.rs:
+crates/reductions/src/lemma51.rs:
+crates/reductions/src/lemma53.rs:
+crates/reductions/src/lemma54.rs:
+crates/reductions/src/markers.rs:
+crates/reductions/src/oracle.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ecrpq_structure-d0fe9381c9d4f5b8.d: crates/structure/src/lib.rs crates/structure/src/graphs.rs crates/structure/src/lemma52.rs crates/structure/src/nice.rs crates/structure/src/treewidth.rs crates/structure/src/twolevel.rs
+
+/root/repo/target/debug/deps/libecrpq_structure-d0fe9381c9d4f5b8.rmeta: crates/structure/src/lib.rs crates/structure/src/graphs.rs crates/structure/src/lemma52.rs crates/structure/src/nice.rs crates/structure/src/treewidth.rs crates/structure/src/twolevel.rs
+
+crates/structure/src/lib.rs:
+crates/structure/src/graphs.rs:
+crates/structure/src/lemma52.rs:
+crates/structure/src/nice.rs:
+crates/structure/src/treewidth.rs:
+crates/structure/src/twolevel.rs:

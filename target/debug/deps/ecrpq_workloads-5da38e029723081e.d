@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ecrpq_workloads-5da38e029723081e.d: crates/workloads/src/lib.rs crates/workloads/src/graphs.rs crates/workloads/src/ine.rs crates/workloads/src/queries.rs
+
+/root/repo/target/debug/deps/libecrpq_workloads-5da38e029723081e.rmeta: crates/workloads/src/lib.rs crates/workloads/src/graphs.rs crates/workloads/src/ine.rs crates/workloads/src/queries.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/graphs.rs:
+crates/workloads/src/ine.rs:
+crates/workloads/src/queries.rs:

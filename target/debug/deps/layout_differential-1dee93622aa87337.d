@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/layout_differential-1dee93622aa87337.d: tests/layout_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblayout_differential-1dee93622aa87337.rmeta: tests/layout_differential.rs Cargo.toml
+
+tests/layout_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/layout_differential-a548fd82667c1874.d: tests/layout_differential.rs
+
+/root/repo/target/debug/deps/layout_differential-a548fd82667c1874: tests/layout_differential.rs
+
+tests/layout_differential.rs:

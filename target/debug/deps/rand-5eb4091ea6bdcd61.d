@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-5eb4091ea6bdcd61.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-5eb4091ea6bdcd61.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

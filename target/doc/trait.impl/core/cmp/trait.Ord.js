@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["ecrpq_automata",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"enum\" href=\"ecrpq_automata/sync/enum.Track.html\" title=\"enum ecrpq_automata::sync::Track\">Track</a>",0]]],["ecrpq_graph",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"ecrpq_graph/db/struct.Edge.html\" title=\"struct ecrpq_graph::db::Edge\">Edge</a>",0]]],["ecrpq_query",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"ecrpq_query/ast/struct.NodeVar.html\" title=\"struct ecrpq_query::ast::NodeVar\">NodeVar</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"ecrpq_query/ast/struct.PathVar.html\" title=\"struct ecrpq_query::ast::PathVar\">PathVar</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[275,266,536]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["ecrpq_automata",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"struct\" href=\"ecrpq_automata/regex/struct.ParseError.html\" title=\"struct ecrpq_automata::regex::ParseError\">ParseError</a>",0]]],["ecrpq_graph",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"struct\" href=\"ecrpq_graph/parse/struct.GraphParseError.html\" title=\"struct ecrpq_graph::parse::GraphParseError\">GraphParseError</a>",0]]],["ecrpq_query",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"ecrpq_query/ast/enum.QueryError.html\" title=\"enum ecrpq_query::ast::QueryError\">QueryError</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"struct\" href=\"ecrpq_query/parser/struct.QueryParseError.html\" title=\"struct ecrpq_query::parser::QueryParseError\">QueryParseError</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[308,315,589]}

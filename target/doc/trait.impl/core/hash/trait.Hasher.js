@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["ecrpq_automata",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/hash/trait.Hasher.html\" title=\"trait core::hash::Hasher\">Hasher</a> for <a class=\"struct\" href=\"ecrpq_automata/fnv/struct.FnvHasher.html\" title=\"struct ecrpq_automata::fnv::FnvHasher\">FnvHasher</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[302]}

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_layout-d675e2924a542f83.d: crates/bench/benches/bench_layout.rs
+
+/root/repo/target/release/deps/bench_layout-d675e2924a542f83: crates/bench/benches/bench_layout.rs
+
+crates/bench/benches/bench_layout.rs:

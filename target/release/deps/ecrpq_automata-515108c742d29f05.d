@@ -1,13 +1,14 @@
-/root/repo/target/release/deps/ecrpq_automata-515108c742d29f05.d: crates/automata/src/lib.rs crates/automata/src/alphabet.rs crates/automata/src/bitset.rs crates/automata/src/dfa.rs crates/automata/src/nfa.rs crates/automata/src/recognizable.rs crates/automata/src/regex.rs crates/automata/src/relations.rs crates/automata/src/sync.rs crates/automata/src/to_regex.rs
+/root/repo/target/release/deps/ecrpq_automata-515108c742d29f05.d: crates/automata/src/lib.rs crates/automata/src/alphabet.rs crates/automata/src/bitset.rs crates/automata/src/dfa.rs crates/automata/src/fnv.rs crates/automata/src/nfa.rs crates/automata/src/recognizable.rs crates/automata/src/regex.rs crates/automata/src/relations.rs crates/automata/src/sync.rs crates/automata/src/to_regex.rs
 
-/root/repo/target/release/deps/libecrpq_automata-515108c742d29f05.rlib: crates/automata/src/lib.rs crates/automata/src/alphabet.rs crates/automata/src/bitset.rs crates/automata/src/dfa.rs crates/automata/src/nfa.rs crates/automata/src/recognizable.rs crates/automata/src/regex.rs crates/automata/src/relations.rs crates/automata/src/sync.rs crates/automata/src/to_regex.rs
+/root/repo/target/release/deps/libecrpq_automata-515108c742d29f05.rlib: crates/automata/src/lib.rs crates/automata/src/alphabet.rs crates/automata/src/bitset.rs crates/automata/src/dfa.rs crates/automata/src/fnv.rs crates/automata/src/nfa.rs crates/automata/src/recognizable.rs crates/automata/src/regex.rs crates/automata/src/relations.rs crates/automata/src/sync.rs crates/automata/src/to_regex.rs
 
-/root/repo/target/release/deps/libecrpq_automata-515108c742d29f05.rmeta: crates/automata/src/lib.rs crates/automata/src/alphabet.rs crates/automata/src/bitset.rs crates/automata/src/dfa.rs crates/automata/src/nfa.rs crates/automata/src/recognizable.rs crates/automata/src/regex.rs crates/automata/src/relations.rs crates/automata/src/sync.rs crates/automata/src/to_regex.rs
+/root/repo/target/release/deps/libecrpq_automata-515108c742d29f05.rmeta: crates/automata/src/lib.rs crates/automata/src/alphabet.rs crates/automata/src/bitset.rs crates/automata/src/dfa.rs crates/automata/src/fnv.rs crates/automata/src/nfa.rs crates/automata/src/recognizable.rs crates/automata/src/regex.rs crates/automata/src/relations.rs crates/automata/src/sync.rs crates/automata/src/to_regex.rs
 
 crates/automata/src/lib.rs:
 crates/automata/src/alphabet.rs:
 crates/automata/src/bitset.rs:
 crates/automata/src/dfa.rs:
+crates/automata/src/fnv.rs:
 crates/automata/src/nfa.rs:
 crates/automata/src/recognizable.rs:
 crates/automata/src/regex.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/ecrpq_core-65ef5228ec373d88.d: crates/core/src/lib.rs crates/core/src/counting.rs crates/core/src/cq_eval.rs crates/core/src/crpq.rs crates/core/src/engine.rs crates/core/src/fnv.rs crates/core/src/optimize.rs crates/core/src/planner.rs crates/core/src/prepare.rs crates/core/src/product.rs crates/core/src/satisfiability.rs crates/core/src/to_cq.rs crates/core/src/ucrpq.rs
+/root/repo/target/release/deps/ecrpq_core-65ef5228ec373d88.d: crates/core/src/lib.rs crates/core/src/counting.rs crates/core/src/cq_eval.rs crates/core/src/crpq.rs crates/core/src/engine.rs crates/core/src/fnv.rs crates/core/src/optimize.rs crates/core/src/planner.rs crates/core/src/prepare.rs crates/core/src/product.rs crates/core/src/satisfiability.rs crates/core/src/semijoin.rs crates/core/src/to_cq.rs crates/core/src/ucrpq.rs
 
-/root/repo/target/release/deps/libecrpq_core-65ef5228ec373d88.rlib: crates/core/src/lib.rs crates/core/src/counting.rs crates/core/src/cq_eval.rs crates/core/src/crpq.rs crates/core/src/engine.rs crates/core/src/fnv.rs crates/core/src/optimize.rs crates/core/src/planner.rs crates/core/src/prepare.rs crates/core/src/product.rs crates/core/src/satisfiability.rs crates/core/src/to_cq.rs crates/core/src/ucrpq.rs
+/root/repo/target/release/deps/libecrpq_core-65ef5228ec373d88.rlib: crates/core/src/lib.rs crates/core/src/counting.rs crates/core/src/cq_eval.rs crates/core/src/crpq.rs crates/core/src/engine.rs crates/core/src/fnv.rs crates/core/src/optimize.rs crates/core/src/planner.rs crates/core/src/prepare.rs crates/core/src/product.rs crates/core/src/satisfiability.rs crates/core/src/semijoin.rs crates/core/src/to_cq.rs crates/core/src/ucrpq.rs
 
-/root/repo/target/release/deps/libecrpq_core-65ef5228ec373d88.rmeta: crates/core/src/lib.rs crates/core/src/counting.rs crates/core/src/cq_eval.rs crates/core/src/crpq.rs crates/core/src/engine.rs crates/core/src/fnv.rs crates/core/src/optimize.rs crates/core/src/planner.rs crates/core/src/prepare.rs crates/core/src/product.rs crates/core/src/satisfiability.rs crates/core/src/to_cq.rs crates/core/src/ucrpq.rs
+/root/repo/target/release/deps/libecrpq_core-65ef5228ec373d88.rmeta: crates/core/src/lib.rs crates/core/src/counting.rs crates/core/src/cq_eval.rs crates/core/src/crpq.rs crates/core/src/engine.rs crates/core/src/fnv.rs crates/core/src/optimize.rs crates/core/src/planner.rs crates/core/src/prepare.rs crates/core/src/product.rs crates/core/src/satisfiability.rs crates/core/src/semijoin.rs crates/core/src/to_cq.rs crates/core/src/ucrpq.rs
 
 crates/core/src/lib.rs:
 crates/core/src/counting.rs:
@@ -15,5 +15,6 @@ crates/core/src/planner.rs:
 crates/core/src/prepare.rs:
 crates/core/src/product.rs:
 crates/core/src/satisfiability.rs:
+crates/core/src/semijoin.rs:
 crates/core/src/to_cq.rs:
 crates/core/src/ucrpq.rs:

@@ -1,0 +1,96 @@
+//! Differential testing of the flat data layouts: the CSR adjacency index
+//! must agree with the naive scan access path on random graphs, and the
+//! flat/pruned product layouts must return answer sets bit-identical to
+//! the legacy layout — and to the CQ-reduction evaluator — on random
+//! graphs and queries.
+
+use ecrpq::eval::product::{answers_product_with_stats_layout, Layout};
+use ecrpq::eval::{ecrpq_to_cq, engine, EvalOptions, PreparedQuery};
+use ecrpq::query::NodeVar;
+use ecrpq::workloads::{random_db, random_ecrpq, RandomQueryParams};
+use proptest::prelude::*;
+
+fn params() -> RandomQueryParams {
+    RandomQueryParams {
+        node_vars: 3,
+        path_atoms: 3,
+        rel_atoms: 2,
+        max_arity: 2,
+        num_symbols: 2,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// CSR `successors`/`predecessors` vs the pre-CSR scan path and a
+    /// naive transpose built from the edge list.
+    #[test]
+    fn csr_adjacency_matches_scan(seed in 0..100_000u64, n in 0..12usize) {
+        let db = random_db(n, 1.8, 3, seed);
+        let num_labels = db.alphabet().len() as u8;
+        for v in 0..db.num_nodes() as u32 {
+            for a in 0..num_labels {
+                let csr = db.successors(v, a).to_vec();
+                let scan: Vec<u32> = db.successors_scan(v, a).collect();
+                prop_assert_eq!(&csr, &scan, "successors v={} a={} seed={}", v, a, seed);
+                let mut naive: Vec<u32> = db
+                    .edges()
+                    .filter(|e| e.dst == v && e.label == a)
+                    .map(|e| e.src)
+                    .collect();
+                naive.sort_unstable();
+                naive.dedup();
+                let pred = db.predecessors(v, a).to_vec();
+                prop_assert_eq!(&pred, &naive, "predecessors v={} a={} seed={}", v, a, seed);
+            }
+            // out-of-alphabet labels are empty, not a panic
+            prop_assert!(db.successors(v, num_labels + 5).is_empty());
+            prop_assert!(db.predecessors(v, num_labels + 5).is_empty());
+        }
+    }
+
+    /// The three product layouts must agree bit-for-bit on the answer set;
+    /// semijoin pruning may only shrink the enumeration work.
+    #[test]
+    fn layouts_agree_on_answers(seed in 0..100_000u64) {
+        let mut q = random_ecrpq(&params(), seed.wrapping_add(55_000));
+        q.set_free(&[NodeVar(0), NodeVar(1)]);
+        let db = random_db(5, 1.6, 2, seed.wrapping_mul(29).wrapping_add(11));
+        let prepared = PreparedQuery::build(&q).map_err(TestCaseError::fail)?;
+        let (legacy, legacy_stats) =
+            answers_product_with_stats_layout(&db, &prepared, Layout::Legacy);
+        let (flat, flat_stats) =
+            answers_product_with_stats_layout(&db, &prepared, Layout::FlatUnpruned);
+        let (pruned, pruned_stats) =
+            answers_product_with_stats_layout(&db, &prepared, Layout::Flat);
+        prop_assert_eq!(&flat, &legacy, "flat vs legacy seed={}", seed);
+        prop_assert_eq!(&pruned, &legacy, "pruned vs legacy seed={}", seed);
+        // without pruning the two BFS implementations walk the same
+        // enumeration tree and answer the same feasibility questions
+        // (popped-configuration counts may differ slightly: the queue
+        // orders differ, so the early exit on an accepting configuration
+        // can trigger at different points)
+        prop_assert_eq!(flat_stats.checks, legacy_stats.checks);
+        prop_assert_eq!(flat_stats.cache_hits, legacy_stats.cache_hits);
+        prop_assert_eq!(flat_stats.assignments, legacy_stats.assignments);
+        // pruning only removes work, never adds it
+        prop_assert!(pruned_stats.assignments <= flat_stats.assignments);
+        prop_assert!(pruned_stats.checks <= flat_stats.checks);
+    }
+
+    /// Pruned product answers vs the independent Lemma 4.3 CQ reduction
+    /// (which runs its own BFS, untouched by the layout work).
+    #[test]
+    fn pruned_product_matches_cq_reduction(seed in 0..100_000u64) {
+        let mut q = random_ecrpq(&params(), seed.wrapping_add(77_000));
+        q.set_free(&[NodeVar(0), NodeVar(1)]);
+        let db = random_db(4, 1.5, 2, seed.wrapping_mul(23).wrapping_add(7));
+        let prepared = PreparedQuery::build(&q).map_err(TestCaseError::fail)?;
+        let (product, _) = answers_product_with_stats_layout(&db, &prepared, Layout::Flat);
+        let (cq, rdb, _) = ecrpq_to_cq(&db, &prepared);
+        let via_cq = engine::answers_cq(&rdb, &cq, &EvalOptions::sequential());
+        let product_u32: std::collections::BTreeSet<Vec<u32>> = product.into_iter().collect();
+        prop_assert_eq!(product_u32, via_cq, "product vs cq seed={}", seed);
+    }
+}

@@ -33,7 +33,7 @@ proptest! {
         let db = random_db(5, 1.6, 2, seed.wrapping_mul(31).wrapping_add(1));
         let prepared = PreparedQuery::build(&q).map_err(TestCaseError::fail)?;
         let seq = answers_product_seq(&db, &prepared);
-        for threads in [2usize, 4] {
+        for threads in [1usize, 2, 4, 8] {
             let par = engine::answers_product(&db, &prepared, &EvalOptions::with_threads(threads));
             prop_assert_eq!(&par, &seq, "threads={} seed={}", threads, seed);
             let par_bool = engine::eval_product(&db, &prepared, &EvalOptions::with_threads(threads));
