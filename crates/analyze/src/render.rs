@@ -1,0 +1,90 @@
+//! Rustc-style diagnostic rendering.
+//!
+//! ```text
+//! error[E001]: relation atom `l2` is unsatisfiable: its synchronous language is empty
+//!  --> query:1:23
+//!   |
+//! 1 | x -[p]-> y, p in a*b, p in b+
+//!   |                       ^^^^^^^
+//!   = note: no path tuple can satisfy this atom, …
+//! ```
+//!
+//! Columns are 1-based byte offsets within the line. When the diagnostic
+//! has no span (programmatic query) or no source is supplied, only the
+//! header and notes render.
+
+use crate::Diagnostic;
+
+/// Renders one diagnostic. `source` is the text the query was parsed from
+/// (`Ecrpq::source`), if any.
+pub fn render_diagnostic(d: &Diagnostic, source: Option<&str>) -> String {
+    let mut out = format!("{}[{}]: {}\n", d.severity, d.code, d.message);
+    let snippet = d.span.and_then(|span| {
+        let src = source?;
+        let (line, col) = span.line_col(src);
+        let text = src.lines().nth(line - 1).unwrap_or("");
+        Some((span, line, col, text))
+    });
+    let gutter = snippet.map_or(0, |(_, line, _, _)| line.to_string().len());
+    if let Some((span, line, col, text)) = snippet {
+        let carets = (span.end - span.start).min(text.len() + 1 - col).max(1);
+        out.push_str(&format!("{:gutter$}--> query:{line}:{col}\n", ""));
+        out.push_str(&format!("{:gutter$} |\n", ""));
+        out.push_str(&format!("{line} | {text}\n"));
+        out.push_str(&format!(
+            "{:gutter$} | {:col_pad$}{}\n",
+            "",
+            "",
+            "^".repeat(carets),
+            col_pad = col - 1
+        ));
+    }
+    for note in &d.notes {
+        out.push_str(&format!("{:gutter$} = note: {note}\n", ""));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Code, Diagnostic, Severity};
+    use ecrpq_query::Span;
+
+    fn diag(span: Option<Span>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            code: Code::EmptyLanguage,
+            message: "the message".to_string(),
+            span,
+            notes: vec!["the note".to_string()],
+        }
+    }
+
+    #[test]
+    fn spanned_rendering_has_carets() {
+        let src = "x -[p]-> y, p in a*b";
+        let out = super::render_diagnostic(&diag(Some(Span::new(12, 20))), Some(src));
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "error[E001]: the message");
+        assert_eq!(lines[1], " --> query:1:13");
+        assert_eq!(lines[2], "  |");
+        assert_eq!(lines[3], "1 | x -[p]-> y, p in a*b");
+        assert_eq!(lines[4], "  |             ^^^^^^^^");
+        assert_eq!(lines[5], "  = note: the note");
+    }
+
+    #[test]
+    fn unspanned_rendering_is_header_and_notes() {
+        let out = super::render_diagnostic(&diag(None), None);
+        assert_eq!(out, "error[E001]: the message\n = note: the note\n");
+    }
+
+    #[test]
+    fn second_line_span() {
+        let src = "x -[p]-> y,\n  p in ab";
+        let out = super::render_diagnostic(&diag(Some(Span::new(14, 21))), Some(src));
+        assert!(out.contains("--> query:2:3"), "{out}");
+        assert!(out.contains("2 |   p in ab"), "{out}");
+        assert!(out.contains(" |   ^^^^^^^"), "{out}");
+    }
+}

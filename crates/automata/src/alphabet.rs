@@ -58,6 +58,7 @@ impl Alphabet {
         if let Some(&s) = self.index.get(&c) {
             return s;
         }
+        // lint:allow(unwrap): documented panic: alphabet capped at 255 symbols
         let s = Symbol::try_from(self.chars.len()).expect("alphabet overflow (max 255 symbols)");
         self.chars.push(c);
         self.index.insert(c, s);

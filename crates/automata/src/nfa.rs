@@ -261,6 +261,7 @@ impl<S: Letter> Nfa<S> {
             map[q] = Some(next as StateId);
         }
         for q in live.iter() {
+            // lint:allow(unwrap): every live state was mapped in the loop above
             let nq = map[q].unwrap();
             for (s, to) in &self.transitions[q] {
                 if let Some(nt) = map[*to as usize] {

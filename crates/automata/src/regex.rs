@@ -110,6 +110,7 @@ impl Regex {
             Regex::Empty => Nfa::empty_lang(),
             Regex::Epsilon => Nfa::epsilon_lang(),
             Regex::Char(c) => {
+                // lint:allow(unwrap): compile() interns every literal before compiling
                 let s = alphabet.symbol(*c).expect("literal interned by compile()");
                 Nfa::symbol_lang(s)
             }
@@ -234,6 +235,7 @@ impl Parser {
             alts.push(self.concat()?);
         }
         Ok(if alts.len() == 1 {
+            // lint:allow(unwrap): guarded by the len() == 1 check on this branch
             alts.pop().unwrap()
         } else {
             Regex::Alt(alts)
@@ -250,6 +252,7 @@ impl Parser {
         }
         Ok(match items.len() {
             0 => Regex::Epsilon,
+            // lint:allow(unwrap): the match arm guarantees exactly one item
             1 => items.pop().unwrap(),
             _ => Regex::Concat(items),
         })

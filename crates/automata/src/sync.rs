@@ -101,6 +101,7 @@ pub fn all_rows(arity: usize, num_symbols: usize) -> Vec<Row> {
     let options = num_symbols + 1;
     let total = options
         .checked_pow(arity as u32)
+        // lint:allow(unwrap): documented panic: row space overflow is a caller bug
         .expect("row space overflow");
     assert!(
         total <= 4_000_000,

@@ -1,0 +1,136 @@
+//! Static query linter: `analyze [FILES…] [--workloads]`.
+//!
+//! Each file is parsed with the textual ECRPQ grammar and run through
+//! `ecrpq-analyze`; diagnostics render rustc-style with caret underlines
+//! into the file's source. `--workloads` additionally analyzes the
+//! programmatic workload query families and prints their regime table.
+//!
+//! Exit status: 0 when no file has an error-severity diagnostic (warnings
+//! are reported but don't fail the lint), 1 when some query is provably
+//! broken, 2 on usage/IO/parse failures.
+
+use ecrpq_analyze::{analyze, Analysis};
+use ecrpq_automata::Alphabet;
+use ecrpq_query::{parse_query, Ecrpq, RelationRegistry};
+use ecrpq_workloads::{
+    big_component_query, clique_query, random_ecrpq, tractable_chain_query, RandomQueryParams,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: analyze [FILES…] [--workloads]");
+        std::process::exit(2);
+    }
+    let workloads = args.iter().any(|a| a == "--workloads");
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if let Some(bad) = args
+        .iter()
+        .find(|a| a.starts_with("--") && *a != "--workloads")
+    {
+        eprintln!("unknown flag {bad}");
+        std::process::exit(2);
+    }
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+
+    for path in files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                std::process::exit(2);
+            }
+        };
+        match parse_file(&text) {
+            Ok(queries) => {
+                for (i, q) in queries.iter().enumerate() {
+                    let a = analyze(q);
+                    report(&format!("{path}[{i}]"), &a, q.source());
+                    errors += a.errors().count();
+                    warnings += a.warnings().count();
+                }
+            }
+            Err(msg) => {
+                eprintln!("{path}: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if workloads {
+        println!("| query | cc_vertex | cc_hedge | tw | combined | param |");
+        println!("|---|---|---|---|---|---|");
+        for (name, q) in workload_corpus() {
+            let a = analyze(&q);
+            println!(
+                "| {name} | {} | {} | {} | {} | {} |",
+                a.measures.cc_vertex,
+                a.measures.cc_hedge,
+                a.measures.treewidth,
+                a.combined,
+                a.param
+            );
+            for d in a.errors() {
+                eprint!("{}", ecrpq_analyze::render_diagnostic(d, None));
+            }
+            errors += a.errors().count();
+            warnings += a.warnings().count();
+        }
+    }
+
+    eprintln!("analyze: {errors} error(s), {warnings} warning(s)");
+    std::process::exit(if errors > 0 { 1 } else { 0 });
+}
+
+/// Parses a query file: one query per non-empty, non-`#`-comment line.
+fn parse_file(text: &str) -> Result<Vec<Ecrpq>, String> {
+    let registry = RelationRegistry::new();
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut alphabet = Alphabet::new();
+        let q = parse_query(trimmed, &mut alphabet, &registry).map_err(|e| e.to_string())?;
+        out.push(q);
+    }
+    Ok(out)
+}
+
+fn report(label: &str, a: &Analysis, source: Option<&str>) {
+    println!("{label}: {}", a.summary());
+    let rendered = a.render(source);
+    if !rendered.is_empty() {
+        print!("{rendered}");
+    }
+}
+
+/// The named workload families at the parameters the experiment suite
+/// uses, plus a deterministic sample of the random family.
+fn workload_corpus() -> Vec<(String, Ecrpq)> {
+    let mut out: Vec<(String, Ecrpq)> = Vec::new();
+    for len in [2, 4, 8] {
+        out.push((
+            format!("tractable_chain(len={len})"),
+            tractable_chain_query(len, 2),
+        ));
+    }
+    for k in [3, 4] {
+        let mut alphabet = Alphabet::ascii_lower(2);
+        out.push((
+            format!("clique(k={k})"),
+            clique_query(k, "a*", &mut alphabet),
+        ));
+    }
+    for r in [2, 3, 4] {
+        out.push((format!("big_component(r={r})"), big_component_query(r, 2)));
+    }
+    let params = RandomQueryParams::default();
+    for seed in 0..5u64 {
+        out.push((format!("random(seed={seed})"), random_ecrpq(&params, seed)));
+    }
+    out
+}

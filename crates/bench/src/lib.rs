@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Shared harness utilities for the experiment suite.
 //!
 //! The `experiments` binary (this crate's `src/bin/experiments.rs`) prints

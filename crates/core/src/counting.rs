@@ -64,6 +64,7 @@ pub fn count_cq_treedec(db: &RelationalDb, q: &Cq) -> u64 {
             .bags
             .iter()
             .position(|bag| atom.vars.iter().all(|v| bag.contains(v)))
+            // lint:allow(unwrap): tree decomposition covers every atom clique by construction
             .expect("atom variables form a clique, hence fit in a bag");
         atoms_of_bag[home].push(ai);
     }
@@ -174,6 +175,7 @@ fn enumerate_bag(
     ) {
         if i == bag_vars.len() {
             let assign = |v: usize| -> u32 {
+                // lint:allow(unwrap): bag_vars contains v: assign is only called on bag members
                 let p = bag_vars.iter().position(|&w| w == v).unwrap();
                 tuple[p]
             };
@@ -221,6 +223,7 @@ pub fn count_cq_nice(db: &RelationalDb, q: &Cq) -> u64 {
     for (ai, atom) in q.atoms.iter().enumerate() {
         let home = (0..nice.len())
             .find(|&i| atom.vars.iter().all(|v| nice.bags[i].contains(v)))
+            // lint:allow(unwrap): nice decompositions keep the bag-cover invariant
             .expect("atom variables fit in some bag");
         atoms_of_node[home].push(ai);
     }
@@ -238,6 +241,7 @@ pub fn count_cq_nice(db: &RelationalDb, q: &Cq) -> u64 {
             NiceKind::Leaf => HashMap::from([(Vec::new(), 1u64)]),
             NiceKind::Introduce(v) => {
                 let c = nice.children[i][0];
+                // lint:allow(unwrap): Introduce(v) nodes contain v by construction
                 let pos = nice.bags[i].iter().position(|&w| w == v).unwrap();
                 let mut t = HashMap::new();
                 for (tau, cnt) in &tables[c] {
@@ -251,6 +255,7 @@ pub fn count_cq_nice(db: &RelationalDb, q: &Cq) -> u64 {
             }
             NiceKind::Forget(v) => {
                 let c = nice.children[i][0];
+                // lint:allow(unwrap): Forget(v) children contain v by construction
                 let pos = nice.bags[c].iter().position(|&w| w == v).unwrap();
                 let mut t: HashMap<Vec<u32>, u64> = HashMap::new();
                 for (tau, cnt) in &tables[c] {
@@ -284,6 +289,7 @@ pub fn count_cq_nice(db: &RelationalDb, q: &Cq) -> u64 {
                         .vars
                         .iter()
                         .map(|v| {
+                            // lint:allow(unwrap): shared variables appear in both adjacent bags
                             let p = bag.iter().position(|w| w == v).unwrap();
                             tau[p]
                         })

@@ -189,6 +189,7 @@ fn backtrack(
                 let size = db.relation(&a.relation).map_or(0, |r| r.tuples.len());
                 (shared, usize::MAX - size)
             })
+            // lint:allow(unwrap): max_by_key over ≥1 candidate root
             .unwrap();
         order.push(best);
         for &v in &q.atoms[best].vars {
@@ -433,6 +434,7 @@ fn reduce(
                 })
                 .collect();
             for h in handles {
+                // lint:allow(unwrap): propagate worker panics instead of losing them
                 for (bi, tuples) in h.join().expect("bag-population worker panicked") {
                     slots[bi] = tuples;
                 }

@@ -50,6 +50,7 @@ fn unary_rel_to_nfa(rel: &ecrpq_automata::SyncRel) -> Nfa<Symbol> {
 /// validation.
 pub fn crpq_to_cq(db: &GraphDb, query: &Ecrpq) -> (Cq, RelationalDb) {
     assert!(query.is_crpq(), "crpq_to_cq requires a CRPQ");
+    // lint:allow(unwrap): documented panic: the API contract requires a valid CRPQ
     query.validate().expect("invalid query");
     let query = query.normalized();
     let mut cq = Cq::new(query.num_node_vars());

@@ -154,6 +154,7 @@ pub fn eval_product_with_stats(
             })
             .collect();
         for h in handles {
+            // lint:allow(unwrap): propagate worker panics instead of losing them
             let (hit, s) = h.join().expect("product worker panicked");
             found |= hit;
             stats.merge(&s);
@@ -212,6 +213,7 @@ pub fn answers_product_with_stats(
             })
             .collect();
         for h in handles {
+            // lint:allow(unwrap): propagate worker panics instead of losing them
             let (mine, s) = h.join().expect("product worker panicked");
             if out.is_empty() {
                 out = mine;
@@ -265,6 +267,7 @@ pub fn eval_cq(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -> bool {
             })
             .collect();
         for h in handles {
+            // lint:allow(unwrap): propagate worker panics instead of losing them
             found |= h.join().expect("cq worker panicked");
         }
     });
@@ -291,6 +294,7 @@ pub fn answers_cq(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -> BTreeSet<Vec
             })
             .collect();
         for h in handles {
+            // lint:allow(unwrap): propagate worker panics instead of losing them
             let mine = h.join().expect("cq worker panicked");
             if out.is_empty() {
                 out = mine;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! ECRPQ evaluation — the algorithms of Figueira & Ramanathan (PODS 2022).
@@ -43,7 +44,9 @@ pub use counting::{count_cq_nice, count_cq_treedec, count_ecrpq_assignments};
 pub use engine::EvalOptions;
 pub use fnv::{FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher};
 pub use optimize::{optimize, Simplified};
-pub use planner::{evaluate, CombinedRegime, ParamRegime, Plan, Strategy};
+pub use planner::{
+    answers_with_stats, evaluate, evaluate_with_stats, CombinedRegime, ParamRegime, Plan, Strategy,
+};
 pub use prepare::{MergedAtom, PreparedQuery};
 pub use product::{
     answers_product_with_stats_layout, eval_product, eval_product_with_stats_layout, Layout,

@@ -21,6 +21,9 @@ use ecrpq_query::{Ecrpq, PathVar, QueryError};
 use std::sync::Arc;
 
 /// Result of [`optimize`].
+// One short-lived value per optimize() call, immediately matched apart —
+// boxing the query would add indirection with no storage to save.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Simplified {
     /// An equivalent, structurally smaller (or equal) query.

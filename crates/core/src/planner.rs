@@ -13,8 +13,11 @@
 
 use crate::cq_eval::{answers_cq_treedec, eval_cq_treedec};
 use crate::prepare::PreparedQuery;
-use crate::product::{answers_product, eval_product};
+use crate::product::{
+    answers_product_with_stats_layout, eval_product_with_stats, Layout, ProductStats,
+};
 use crate::to_cq::ecrpq_to_cq;
+use ecrpq_analyze::{analyze, render_diagnostic, Analysis};
 use ecrpq_graph::{GraphDb, NodeId};
 use ecrpq_query::{Ecrpq, QueryMeasures};
 use std::collections::BTreeSet;
@@ -118,6 +121,13 @@ pub struct Plan {
     pub strategy: Strategy,
     /// Estimated materialized tuples for the CQ pipeline.
     pub estimated_tuples: f64,
+    /// Static analysis of the query: an error-severity diagnostic proves
+    /// the query unsatisfiable and [`evaluate`]/[`answers`] return their
+    /// empty result without touching the database.
+    pub analysis: Analysis,
+    /// The text the query was parsed from, for caret rendering in
+    /// [`Plan::explain`] (`None` for programmatic queries).
+    source: Option<String>,
 }
 
 impl Plan {
@@ -143,55 +153,90 @@ impl Plan {
                 self.estimated_tuples
             )),
         }
+        if self.analysis.has_errors() {
+            out.push_str(
+                "analysis: unsatisfiable — evaluation short-circuits to the empty answer set\n",
+            );
+        }
+        for d in &self.analysis.diagnostics {
+            out.push_str(&render_diagnostic(d, self.source.as_deref()));
+        }
         out
     }
 }
 
-/// Builds a plan for evaluating `query` on `db`.
+/// Builds a plan for evaluating `query` on `db`. The plan carries a full
+/// static [`Analysis`]; error-severity diagnostics make [`evaluate`] and
+/// [`answers`] return their empty result without entering the product
+/// search, and warnings surface in [`Plan::explain`].
 pub fn plan(db: &GraphDb, query: &Ecrpq) -> Plan {
-    let measures = query.measures();
+    let analysis = analyze(query);
+    let measures = analysis.measures;
     let bounds = ClassBounds {
         cc_vertex: Some(measures.cc_vertex),
         cc_hedge: Some(measures.cc_hedge),
         treewidth: Some(measures.treewidth),
     };
-    let nv = db.num_nodes().max(1) as f64;
-    let estimated_tuples = nv.powi(2 * measures.cc_vertex.max(1) as i32);
-    // The CQ pipeline materializes ≈ |V|^{2k} tuples per component; cap the
-    // budget and otherwise search directly.
-    const TUPLE_BUDGET: f64 = 5e7;
-    let strategy = if estimated_tuples <= TUPLE_BUDGET {
-        Strategy::CqTreedec
-    } else {
-        Strategy::DirectProduct
-    };
+    let (strategy, estimated_tuples) = choose_strategy(db, &measures);
     Plan {
         measures,
         combined: combined_regime(&bounds),
         param: param_regime(&bounds),
         strategy,
         estimated_tuples,
+        analysis,
+        source: query.source().map(str::to_owned),
     }
 }
 
-/// Evaluates a Boolean ECRPQ: rewrites the query
-/// ([`crate::optimize::optimize`]), plans, and runs the chosen strategy.
+/// Strategy selection from the measures alone: the CQ pipeline
+/// materializes ≈ `|V|^{2k}` tuples per component; cap the budget and
+/// otherwise search directly.
+fn choose_strategy(db: &GraphDb, measures: &QueryMeasures) -> (Strategy, f64) {
+    const TUPLE_BUDGET: f64 = 5e7;
+    let nv = db.num_nodes().max(1) as f64;
+    let estimated_tuples = nv.powi(2 * measures.cc_vertex.max(1) as i32);
+    let strategy = if estimated_tuples <= TUPLE_BUDGET {
+        Strategy::CqTreedec
+    } else {
+        Strategy::DirectProduct
+    };
+    (strategy, estimated_tuples)
+}
+
+/// Evaluates a Boolean ECRPQ: analyzes the query (errors short-circuit to
+/// `false`), rewrites it ([`crate::optimize::optimize`]), and runs the
+/// chosen strategy. Invalid queries are caught by the analyzer (arity or
+/// track mismatches are error diagnostics) and evaluate to `false`.
 ///
 /// # Panics
-/// Panics if the query is invalid or its alphabet disagrees with `db`.
+/// Panics if the query's alphabet disagrees with `db`.
 pub fn evaluate(db: &GraphDb, query: &Ecrpq) -> bool {
+    evaluate_with_stats(db, query).0
+}
+
+/// As [`evaluate`], also returning the product-search work counters. When
+/// the analyzer proves the query unsatisfiable (or the rewrite reduces it
+/// to constant false) the counters are all zero: no product configuration
+/// is ever expanded.
+pub fn evaluate_with_stats(db: &GraphDb, query: &Ecrpq) -> (bool, ProductStats) {
+    if analyze(query).has_errors() {
+        return (false, ProductStats::default());
+    }
+    // lint:allow(unwrap): validation errors were caught by the analyzer gate above
     let query = match crate::optimize::optimize(query).expect("invalid query") {
-        crate::optimize::Simplified::ConstFalse => return false,
+        crate::optimize::Simplified::ConstFalse => return (false, ProductStats::default()),
         crate::optimize::Simplified::Query(q) => q,
     };
-    let p = plan(db, &query);
+    let (strategy, _) = choose_strategy(db, &query.measures());
+    // lint:allow(unwrap): the optimizer only emits valid queries
     let prepared = PreparedQuery::build(&query).expect("invalid query");
-    match p.strategy {
+    match strategy {
         Strategy::CqTreedec => {
             let (cq, rdb, _) = ecrpq_to_cq(db, &prepared);
-            eval_cq_treedec(&rdb, &cq)
+            (eval_cq_treedec(&rdb, &cq), ProductStats::default())
         }
-        Strategy::DirectProduct => eval_product(db, &prepared),
+        Strategy::DirectProduct => eval_product_with_stats(db, &prepared),
     }
 }
 
@@ -208,6 +253,7 @@ pub fn evaluate_union(db: &GraphDb, query: &ecrpq_query::Uecrpq) -> bool {
 /// Panics if the disjuncts disagree on answer arity (use
 /// [`ecrpq_query::Uecrpq::validate`]).
 pub fn answers_union(db: &GraphDb, query: &ecrpq_query::Uecrpq) -> BTreeSet<Vec<NodeId>> {
+    // lint:allow(unwrap): documented panic: disjuncts must agree on arity
     query.validate().expect("valid union");
     let mut out = BTreeSet::new();
     for q in query.disjuncts() {
@@ -216,21 +262,36 @@ pub fn answers_union(db: &GraphDb, query: &ecrpq_query::Uecrpq) -> BTreeSet<Vec<
     out
 }
 
-/// Computes all answers of an ECRPQ with free variables (after the
-/// [`crate::optimize::optimize`] rewrite).
+/// Computes all answers of an ECRPQ with free variables: analyzer errors
+/// short-circuit to the empty set, otherwise the
+/// [`crate::optimize::optimize`] rewrite runs and the chosen strategy
+/// enumerates.
 pub fn answers(db: &GraphDb, query: &Ecrpq) -> BTreeSet<Vec<NodeId>> {
+    answers_with_stats(db, query).0
+}
+
+/// As [`answers`], also returning the product-search work counters (all
+/// zero when the analyzer or rewrite short-circuits).
+pub fn answers_with_stats(db: &GraphDb, query: &Ecrpq) -> (BTreeSet<Vec<NodeId>>, ProductStats) {
+    if analyze(query).has_errors() {
+        return (BTreeSet::new(), ProductStats::default());
+    }
+    // lint:allow(unwrap): validation errors were caught by the analyzer gate above
     let query = match crate::optimize::optimize(query).expect("invalid query") {
-        crate::optimize::Simplified::ConstFalse => return BTreeSet::new(),
+        crate::optimize::Simplified::ConstFalse => {
+            return (BTreeSet::new(), ProductStats::default())
+        }
         crate::optimize::Simplified::Query(q) => q,
     };
-    let p = plan(db, &query);
+    let (strategy, _) = choose_strategy(db, &query.measures());
+    // lint:allow(unwrap): the optimizer only emits valid queries
     let prepared = PreparedQuery::build(&query).expect("invalid query");
-    match p.strategy {
+    match strategy {
         Strategy::CqTreedec => {
             let (cq, rdb, _) = ecrpq_to_cq(db, &prepared);
-            answers_cq_treedec(&rdb, &cq)
+            (answers_cq_treedec(&rdb, &cq), ProductStats::default())
         }
-        Strategy::DirectProduct => answers_product(db, &prepared),
+        Strategy::DirectProduct => answers_product_with_stats_layout(db, &prepared, Layout::Flat),
     }
 }
 
@@ -316,7 +377,7 @@ mod tests {
     fn strategies_agree() {
         let (db, q) = small_db_and_query();
         let prepared = PreparedQuery::build(&q).unwrap();
-        let direct = eval_product(&db, &prepared);
+        let direct = crate::product::eval_product(&db, &prepared);
         let (cq, rdb, _) = ecrpq_to_cq(&db, &prepared);
         let via_cq = eval_cq_treedec(&rdb, &cq);
         assert_eq!(direct, via_cq);
@@ -348,6 +409,51 @@ mod tests {
         assert!(text.contains("PTIME"));
         assert!(text.contains("FPT"));
         assert!(text.contains("tree-decomposition"));
+    }
+
+    #[test]
+    fn analyzer_error_short_circuits_evaluation() {
+        let (db, _) = small_db_and_query();
+        let mut q = Ecrpq::new(db.alphabet().clone());
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let p1 = q.path_atom(x, "p1", y);
+        let p2 = q.path_atom(x, "p2", y);
+        let empty = relations::universal(2, 2).complement();
+        q.rel_atom("never", Arc::new(empty), &[p1, p2]);
+        q.set_free(&[x, y]);
+        let p = plan(&db, &q);
+        assert!(p.analysis.has_errors());
+        assert!(p.explain().contains("unsatisfiable"), "{}", p.explain());
+        assert!(p.explain().contains("error[E001]"), "{}", p.explain());
+        let (sat, stats) = evaluate_with_stats(&db, &q);
+        assert!(!sat);
+        assert_eq!(stats.configurations, 0);
+        assert_eq!(stats.checks, 0);
+        assert_eq!(stats.assignments, 0);
+        let (ans, astats) = answers_with_stats(&db, &q);
+        assert!(ans.is_empty());
+        assert_eq!(astats, ProductStats::default());
+    }
+
+    #[test]
+    fn explain_renders_analyzer_warnings() {
+        // two disconnected path atoms → W001; both unconstrained → W004
+        let mut db = GraphDb::new();
+        let u = db.add_node("u");
+        let v = db.add_node("v");
+        db.add_edge(u, 'a', v);
+        let mut q = Ecrpq::new(db.alphabet().clone());
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let z = q.node_var("z");
+        let w = q.node_var("w");
+        q.path_atom(x, "p", y);
+        q.path_atom(z, "r", w);
+        let text = plan(&db, &q).explain();
+        assert!(text.contains("warning[W001]"), "{text}");
+        assert!(text.contains("warning[W004]"), "{text}");
+        assert!(evaluate(&db, &q)); // warnings never change the answer
     }
 
     #[test]

@@ -58,6 +58,7 @@ impl PreparedQuery {
             debug_assert!(!comps.hedges[ci].is_empty());
             let path_vars: Vec<PathVar> = edge_list.iter().map(|&e| PathVar(e as u32)).collect();
             let track_of =
+                // lint:allow(unwrap): track_of is only called on this component's members
                 |p: PathVar| -> usize { path_vars.iter().position(|&q| q == p).expect("member") };
             let member_atoms: Vec<&ecrpq_query::ast::RelAtom> = comps.hedges[ci]
                 .iter()

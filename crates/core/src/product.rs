@@ -167,6 +167,9 @@ pub fn answers_with_witnesses(db: &GraphDb, query: &PreparedQuery) -> Vec<(Vec<N
     if query.num_node_vars > 0 && db.num_nodes() == 0 {
         return Vec::new();
     }
+    if tables.unsatisfiable() {
+        return Vec::new();
+    }
     let free = query.free.clone();
     let nv = db.num_nodes();
     // collect one full assignment per distinct free tuple
@@ -210,6 +213,7 @@ pub fn answers_with_witnesses(db: &GraphDb, query: &PreparedQuery) -> Vec<(Vec<N
                     .collect();
                 let atom_paths = e
                     .component_witness(atom_idx, &starts, &ends)
+                    // lint:allow(unwrap): the search only yields feasible assignments
                     .expect("answer assignments are feasible");
                 for (i, p) in atom_paths.into_iter().enumerate() {
                     paths.push((atom.path_vars[i], p));
@@ -448,6 +452,16 @@ impl SharedTables {
     fn domain(&self, var: u32) -> Option<&[NodeId]> {
         self.domains.get(var as usize).and_then(|d| d.as_deref())
     }
+
+    /// Whether the semijoin pass emptied some variable's domain. Pruning is
+    /// sound, so an empty domain proves the query has no satisfying
+    /// assignment on this database — every entry point returns its empty
+    /// result without running a single product check.
+    pub(crate) fn unsatisfiable(&self) -> bool {
+        self.domains
+            .iter()
+            .any(|d| d.as_ref().is_some_and(|dom| dom.is_empty()))
+    }
 }
 
 pub(crate) struct Evaluator<'a> {
@@ -516,6 +530,9 @@ impl<'a> Evaluator<'a> {
         if self.query.num_node_vars > 0 && self.db.num_nodes() == 0 {
             return false;
         }
+        if self.tables.unsatisfiable() {
+            return false;
+        }
         let mut assignment = vec![UNASSIGNED; self.query.num_node_vars];
         self.search(0, &mut assignment, &mut |_| true)
     }
@@ -530,6 +547,9 @@ impl<'a> Evaluator<'a> {
     /// parallel worker can reuse one set across chunks).
     pub(crate) fn answers_into(&mut self, out: &mut BTreeSet<Vec<NodeId>>) {
         if self.query.num_node_vars > 0 && self.db.num_nodes() == 0 {
+            return;
+        }
+        if self.tables.unsatisfiable() {
             return;
         }
         let free = self.query.free.clone();
@@ -547,6 +567,9 @@ impl<'a> Evaluator<'a> {
 
     fn witness(&mut self) -> Option<Witness> {
         if self.query.num_node_vars > 0 && self.db.num_nodes() == 0 {
+            return None;
+        }
+        if self.tables.unsatisfiable() {
             return None;
         }
         let mut assignment = vec![UNASSIGNED; self.query.num_node_vars];
@@ -575,6 +598,7 @@ impl<'a> Evaluator<'a> {
                 .collect();
             let atom_paths = self
                 .component_witness(ai, &starts, &ends)
+                // lint:allow(unwrap): the search only yields feasible assignments
                 .expect("feasible atom must yield a witness");
             for (i, p) in atom_paths.into_iter().enumerate() {
                 paths.push((atom.path_vars[i], p));
@@ -732,6 +756,7 @@ impl<'a> Evaluator<'a> {
         ends: &[NodeId],
     ) -> Option<Vec<Path>> {
         let rows = self.product_bfs(atom_idx, starts, ends, true)?;
+        // lint:allow(unwrap): witness-mode BFS always records its configurations
         let configs = self.last_witness_configs.take().expect("witness configs");
         debug_assert_eq!(configs.len(), rows.len() + 1);
         let k = starts.len();
@@ -1133,6 +1158,53 @@ mod tests {
         assert_eq!(legacy_stats.domain_kept, 0);
         assert!(flat_stats.frontier_peak > 0);
         assert!(legacy_stats.frontier_peak > 0);
+    }
+
+    /// An unsatisfiable word-relation atom (`aaa` on a 2-edge chain)
+    /// empties its endpoint domains; the evaluator must then do *no* work
+    /// at all — not even for the other, satisfiable atom group.
+    #[test]
+    fn empty_pruned_domain_short_circuits_search() {
+        let mut db = GraphDb::new();
+        let u = db.add_node("u");
+        let v = db.add_node("v");
+        let w = db.add_node("w");
+        db.add_edge(u, 'a', v);
+        db.add_edge(v, 'a', w);
+        let mut q = Ecrpq::new(db.alphabet().clone());
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let z = q.node_var("z");
+        let t = q.node_var("t");
+        let p = q.path_atom(x, "p", y);
+        let r = q.path_atom(z, "r", t);
+        // satisfiable group: `aa` relates u to w
+        q.rel_atom("aa", Arc::new(relations::word_relation(&[0, 0], 1)), &[p]);
+        // unsatisfiable group: no 3-step `a`-path exists anywhere
+        q.rel_atom(
+            "aaa",
+            Arc::new(relations::word_relation(&[0, 0, 0], 1)),
+            &[r],
+        );
+        let prepared = prepare(&q);
+        let (sat, stats) = eval_product_with_stats(&db, &prepared);
+        assert!(!sat);
+        assert_eq!(stats.configurations, 0);
+        assert_eq!(stats.checks, 0);
+        assert_eq!(stats.assignments, 0);
+        assert_eq!(stats.domain_kept, 2); // u for x, w for y
+        assert!(stats.domain_pruned >= 6); // z and t fully emptied
+                                           // answers and witness short-circuit the same way
+        let (ans, astats) = answers_product_with_stats_layout(&db, &prepared, Layout::Flat);
+        assert!(ans.is_empty());
+        assert_eq!(astats.assignments, 0);
+        assert!(witness_product(&db, &prepared).is_none());
+        assert!(answers_with_witnesses(&db, &prepared).is_empty());
+        // the unpruned layout reaches the same verdict by searching
+        let (unpruned, ustats) =
+            answers_product_with_stats_layout(&db, &prepared, Layout::FlatUnpruned);
+        assert!(unpruned.is_empty());
+        assert!(ustats.checks > 0);
     }
 
     #[test]

@@ -216,6 +216,7 @@ pub fn ecrpq_to_cq(db: &GraphDb, query: &PreparedQuery) -> (Cq, RelationalDb, Ma
                 break;
             }
         }
+        // lint:allow(unwrap): the relation was declared in the preceding loop
         let inst = rdb.relation_mut(&name).expect("declared above");
         inst.tuples.reserve(tuples.len());
         inst.tuples.extend(tuples);

@@ -195,6 +195,7 @@ impl GraphDb {
             return id;
         }
         self.csr.take();
+        // lint:allow(unwrap): documented panic: node count capped at u32
         let id = NodeId::try_from(self.node_names.len()).expect("too many nodes");
         self.node_names.push(name.to_string());
         self.name_index.insert(name.to_string(), id);
@@ -332,7 +333,9 @@ impl GraphDb {
             self.add_node(other.node_name(v));
         }
         for e in other.edges() {
+            // lint:allow(unwrap): every node of `other` was copied in the loop above
             let src = self.node(other.node_name(e.src)).unwrap();
+            // lint:allow(unwrap): every node of `other` was copied in the loop above
             let dst = self.node(other.node_name(e.dst)).unwrap();
             let c = other.alphabet.char_of(e.label);
             self.add_edge(src, c, dst);

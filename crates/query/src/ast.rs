@@ -5,6 +5,38 @@ use ecrpq_structure::{treewidth_exact, treewidth_upper_bound, TwoLevelGraph};
 use std::fmt;
 use std::sync::Arc;
 
+/// A half-open byte range `[start, end)` into the query's source text.
+///
+/// Spans are attached by the parser ([`crate::parser::parse_query`]) so
+/// that diagnostics (the `ecrpq-analyze` crate) can render rustc-style
+/// carets pointing into the original query string. Programmatically built
+/// queries carry no spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The `(line, column)` of `start` within `source`, both 1-based.
+    /// Out-of-range offsets clamp to the end of the text.
+    pub fn line_col(&self, source: &str) -> (usize, usize) {
+        let upto = &source[..self.start.min(source.len())];
+        let line = upto.matches('\n').count() + 1;
+        let col = upto.rfind('\n').map_or(self.start.min(source.len()), |p| {
+            self.start.min(source.len()) - p - 1
+        }) + 1;
+        (line, col)
+    }
+}
+
 /// A node variable (index into the query's node-variable table).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeVar(pub u32);
@@ -24,6 +56,8 @@ pub struct RelAtom {
     pub rel: Arc<SyncRel>,
     /// Argument path variables (pairwise distinct).
     pub args: Vec<PathVar>,
+    /// Source span of the atom text, when the query was parsed.
+    pub span: Option<Span>,
 }
 
 /// Errors raised by [`Ecrpq::validate`].
@@ -100,8 +134,14 @@ pub struct Ecrpq {
     path_names: Vec<String>,
     /// `endpoints[π] = (src, dst)` — the unique reachability atom of π.
     endpoints: Vec<(NodeVar, NodeVar)>,
+    /// `path_spans[π]` = source span of π's reachability atom, if parsed.
+    path_spans: Vec<Option<Span>>,
     rel_atoms: Vec<RelAtom>,
     free: Vec<NodeVar>,
+    /// `free_spans[i]` = source span of the i-th head variable, if parsed.
+    free_spans: Vec<Option<Span>>,
+    /// The original query text, when the query was parsed.
+    source: Option<Arc<str>>,
 }
 
 impl Ecrpq {
@@ -112,9 +152,23 @@ impl Ecrpq {
             node_names: Vec::new(),
             path_names: Vec::new(),
             endpoints: Vec::new(),
+            path_spans: Vec::new(),
             rel_atoms: Vec::new(),
             free: Vec::new(),
+            free_spans: Vec::new(),
+            source: None,
         }
+    }
+
+    /// Attaches the original source text (set by the parser; `None` for
+    /// programmatically built queries).
+    pub fn set_source(&mut self, text: &str) {
+        self.source = Some(Arc::from(text));
+    }
+
+    /// The original query text, if the query was parsed.
+    pub fn source(&self) -> Option<&str> {
+        self.source.as_deref()
     }
 
     /// The query's alphabet.
@@ -133,21 +187,45 @@ impl Ecrpq {
 
     /// Adds a reachability atom `src →π dst` with a fresh path variable.
     pub fn path_atom(&mut self, src: NodeVar, name: &str, dst: NodeVar) -> PathVar {
+        self.path_atom_spanned(src, name, dst, None)
+    }
+
+    /// As [`Ecrpq::path_atom`], recording the atom's source span.
+    pub fn path_atom_spanned(
+        &mut self,
+        src: NodeVar,
+        name: &str,
+        dst: NodeVar,
+        span: Option<Span>,
+    ) -> PathVar {
         assert!(
             !self.path_names.iter().any(|n| n == name),
             "path variable {name} already used — path variables may not repeat (§2)"
         );
         self.path_names.push(name.to_string());
         self.endpoints.push((src, dst));
+        self.path_spans.push(span);
         PathVar((self.path_names.len() - 1) as u32)
     }
 
     /// Adds a relation atom `R(args…)`.
     pub fn rel_atom(&mut self, name: &str, rel: Arc<SyncRel>, args: &[PathVar]) {
+        self.rel_atom_spanned(name, rel, args, None);
+    }
+
+    /// As [`Ecrpq::rel_atom`], recording the atom's source span.
+    pub fn rel_atom_spanned(
+        &mut self,
+        name: &str,
+        rel: Arc<SyncRel>,
+        args: &[PathVar],
+        span: Option<Span>,
+    ) {
         self.rel_atoms.push(RelAtom {
             name: name.to_string(),
             rel,
             args: args.to_vec(),
+            span,
         });
     }
 
@@ -170,6 +248,25 @@ impl Ecrpq {
     /// Declares the free (answer) variables; empty = Boolean query.
     pub fn set_free(&mut self, vars: &[NodeVar]) {
         self.free = vars.to_vec();
+        self.free_spans = vec![None; vars.len()];
+    }
+
+    /// As [`Ecrpq::set_free`], recording each head variable's source span
+    /// (`spans` must be the same length as `vars`).
+    pub fn set_free_spanned(&mut self, vars: &[NodeVar], spans: &[Option<Span>]) {
+        assert_eq!(vars.len(), spans.len(), "one span slot per free variable");
+        self.free = vars.to_vec();
+        self.free_spans = spans.to_vec();
+    }
+
+    /// Source span of path variable `p`'s reachability atom, if parsed.
+    pub fn path_span(&self, p: PathVar) -> Option<Span> {
+        self.path_spans[p.0 as usize]
+    }
+
+    /// Source span of the `i`-th free (head) variable, if parsed.
+    pub fn free_span(&self, i: usize) -> Option<Span> {
+        self.free_spans.get(i).copied().flatten()
     }
 
     /// The free variables.
@@ -320,6 +417,7 @@ impl Ecrpq {
                     name: "universal".to_string(),
                     rel,
                     args: vec![PathVar(p as u32)],
+                    span: self.path_spans[p],
                 });
             }
         }
@@ -464,6 +562,7 @@ mod tests {
             name: "eq".into(),
             rel: Arc::new(relations::equality(2)),
             args: vec![p, p],
+            span: None,
         });
         assert!(matches!(
             q2.validate(),

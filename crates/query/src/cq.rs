@@ -67,6 +67,7 @@ impl RelationalDb {
         self.declare(name, tuple.len());
         self.relations
             .get_mut(name)
+            // lint:allow(unwrap): declare() on the line above inserts the relation
             .unwrap()
             .tuples
             .insert(tuple.to_vec());

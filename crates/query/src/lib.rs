@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! The ECRPQ query language: AST, validation, abstraction, parser.
@@ -25,7 +26,7 @@ pub mod cq;
 pub mod parser;
 pub mod union;
 
-pub use ast::{Ecrpq, NodeVar, PathVar, QueryError, QueryMeasures};
+pub use ast::{Ecrpq, NodeVar, PathVar, QueryError, QueryMeasures, Span};
 pub use cq::{Cq, CqAtom, RelationalDb};
 pub use parser::{parse_query, parse_union, RelationRegistry};
 pub use union::Uecrpq;

@@ -17,7 +17,7 @@
 //! `prefix`, `universal` (any arity), `hamming<=D`, `edit<=D`. Custom
 //! relations can be registered.
 
-use crate::ast::{Ecrpq, PathVar};
+use crate::ast::{Ecrpq, PathVar, Span};
 use ecrpq_automata::{relations, Alphabet, Regex, SyncRel};
 use std::collections::HashMap;
 use std::fmt;
@@ -205,28 +205,41 @@ pub fn parse_query(
     alphabet: &mut Alphabet,
     registry: &RelationRegistry,
 ) -> Result<Ecrpq, QueryParseError> {
-    let input = input.trim();
-    let (head, body) = match input.find(":-") {
-        Some(pos) => (Some(&input[..pos]), input[pos + 2..].trim()),
-        None => (None, input),
+    // Spans are byte offsets into the *original* `input`, so diagnostics
+    // can point back into exactly what the caller supplied.
+    let full = input;
+    let trim_base = full.len() - full.trim_start().len();
+    let input = full.trim();
+    let (head, body, body_base) = match input.find(":-") {
+        Some(pos) => {
+            let raw_body = &input[pos + 2..];
+            let lead = raw_body.len() - raw_body.trim_start().len();
+            (
+                Some(&input[..pos]),
+                raw_body.trim(),
+                trim_base + pos + 2 + lead,
+            )
+        }
+        None => (None, input, trim_base),
     };
-    let free_names: Vec<String> = match head {
+    let free_names: Vec<(String, Span)> = match head {
         None => Vec::new(),
-        Some(h) => parse_head(h)?,
+        Some(h) => parse_head(h, trim_base)?,
     };
     if body.is_empty() {
         return err("empty query body");
     }
 
     let mut raw_atoms = Vec::new();
-    for atom_src in split_top_level(body) {
-        raw_atoms.push(parse_atom(atom_src.trim())?);
+    for (offset, atom_src) in split_top_level(body) {
+        let span = trimmed_span(body_base + offset, atom_src);
+        raw_atoms.push((span, parse_atom(atom_src.trim())?));
     }
 
     // Phase 1: intern every regex character so relation constructors see
     // the final alphabet size.
     let mut compiled: Vec<Option<Regex>> = Vec::with_capacity(raw_atoms.len());
-    for atom in &raw_atoms {
+    for (_, atom) in &raw_atoms {
         match atom {
             RawAtom::ReachLang { regex, .. } | RawAtom::Membership { regex, .. } => {
                 let r = Regex::parse(regex).map_err(|e| QueryParseError {
@@ -246,13 +259,14 @@ pub fn parse_query(
 
     // Phase 2: build the query.
     let mut q = Ecrpq::new(alphabet.clone());
+    q.set_source(full);
     let num_symbols = alphabet.len();
     let mut path_vars: HashMap<String, PathVar> = HashMap::new();
     let mut fresh = 0usize;
 
     // Reachability atoms first (so membership/relation atoms can refer to
     // any path variable regardless of order).
-    for (i, atom) in raw_atoms.iter().enumerate() {
+    for (i, (span, atom)) in raw_atoms.iter().enumerate() {
         match atom {
             RawAtom::Reach { src, path, dst } => {
                 if path_vars.contains_key(path) {
@@ -262,7 +276,7 @@ pub fn parse_query(
                 }
                 let s = q.node_var(src);
                 let d = q.node_var(dst);
-                let p = q.path_atom(s, path, d);
+                let p = q.path_atom_spanned(s, path, d, Some(*span));
                 path_vars.insert(path.clone(), p);
             }
             RawAtom::ReachLang { src, dst, .. } => {
@@ -275,16 +289,16 @@ pub fn parse_query(
                         break candidate;
                     }
                 };
-                let p = q.path_atom(s, &name, d);
+                let p = q.path_atom_spanned(s, &name, d, Some(*span));
                 path_vars.insert(name, p);
                 // remember which path var this language applies to
                 // (store via index: the i-th raw atom)
-                lang_targets_insert(&mut q, p, &nfas, i, num_symbols)?;
+                lang_targets_insert(&mut q, p, &nfas, i, num_symbols, *span)?;
             }
             _ => {}
         }
     }
-    for (i, atom) in raw_atoms.iter().enumerate() {
+    for (i, (span, atom)) in raw_atoms.iter().enumerate() {
         match atom {
             RawAtom::Membership { path, regex } => {
                 let Some(&p) = path_vars.get(path) else {
@@ -292,9 +306,10 @@ pub fn parse_query(
                         "membership atom on undeclared path variable {path}"
                     ));
                 };
+                // lint:allow(unwrap): phase 1 compiled an NFA for every regex atom
                 let nfa = nfas[i].as_ref().expect("compiled in phase 1");
                 let rel = relations::language(nfa, num_symbols);
-                q.rel_atom(&format!("lang[{regex}]"), Arc::new(rel), &[p]);
+                q.rel_atom_spanned(&format!("lang[{regex}]"), Arc::new(rel), &[p], Some(*span));
             }
             RawAtom::Relation { name, args } => {
                 let mut arg_vars = Vec::with_capacity(args.len());
@@ -305,7 +320,7 @@ pub fn parse_query(
                     arg_vars.push(p);
                 }
                 let rel = registry.resolve(name, arg_vars.len(), num_symbols)?;
-                q.rel_atom(name, rel, &arg_vars);
+                q.rel_atom_spanned(name, rel, &arg_vars, Some(*span));
             }
             _ => {}
         }
@@ -313,7 +328,8 @@ pub fn parse_query(
 
     // Free variables.
     let mut free = Vec::new();
-    for name in &free_names {
+    let mut free_spans = Vec::new();
+    for (name, span) in &free_names {
         // only names actually used as node variables are valid
         let before = q.num_node_vars();
         let v = q.node_var(name);
@@ -321,8 +337,9 @@ pub fn parse_query(
             return err(format!("free variable {name} does not occur in the body"));
         }
         free.push(v);
+        free_spans.push(Some(*span));
     }
-    q.set_free(&free);
+    q.set_free_spanned(&free, &free_spans);
     q.validate().map_err(|e| QueryParseError {
         message: e.to_string(),
     })?;
@@ -336,15 +353,28 @@ fn lang_targets_insert(
     nfas: &[Option<ecrpq_automata::Nfa<ecrpq_automata::Symbol>>],
     i: usize,
     num_symbols: usize,
+    span: Span,
 ) -> Result<(), QueryParseError> {
+    // lint:allow(unwrap): phase 1 compiled an NFA for every regex atom
     let nfa = nfas[i].as_ref().expect("compiled in phase 1");
     let rel = relations::language(nfa, num_symbols);
-    q.rel_atom("lang", Arc::new(rel), &[p]);
+    q.rel_atom_spanned("lang", Arc::new(rel), &[p], Some(span));
     Ok(())
 }
 
-fn parse_head(head: &str) -> Result<Vec<String>, QueryParseError> {
+/// The span of `text`'s trimmed extent, where `text` starts at byte
+/// offset `base` of the original input.
+fn trimmed_span(base: usize, text: &str) -> Span {
+    let lead = text.len() - text.trim_start().len();
+    Span::new(base + lead, base + lead + text.trim().len())
+}
+
+/// Parses `q(x, y)`; `base` is the head's byte offset in the original
+/// input, and each returned name carries its span.
+fn parse_head(head: &str, base: usize) -> Result<Vec<(String, Span)>, QueryParseError> {
+    let lead = head.len() - head.trim_start().len();
     let head = head.trim();
+    let base = base + lead;
     let Some(open) = head.find('(') else {
         return err("query head must look like `q(x, y)`");
     };
@@ -355,11 +385,15 @@ fn parse_head(head: &str) -> Result<Vec<String>, QueryParseError> {
     if inner.trim().is_empty() {
         return Ok(Vec::new());
     }
-    Ok(inner.split(',').map(|s| s.trim().to_string()).collect())
+    Ok(split_top_level(inner)
+        .into_iter()
+        .map(|(o, s)| (s.trim().to_string(), trimmed_span(base + open + 1 + o, s)))
+        .collect())
 }
 
-/// Splits on commas at bracket depth 0.
-fn split_top_level(s: &str) -> Vec<&str> {
+/// Splits on commas at bracket depth 0, returning each part with its byte
+/// offset in `s`.
+fn split_top_level(s: &str) -> Vec<(usize, &str)> {
     let mut parts = Vec::new();
     let mut depth = 0i32;
     let mut start = 0usize;
@@ -368,13 +402,13 @@ fn split_top_level(s: &str) -> Vec<&str> {
             '(' | '[' => depth += 1,
             ')' | ']' => depth -= 1,
             ',' if depth == 0 => {
-                parts.push(&s[start..i]);
+                parts.push((start, &s[start..i]));
                 start = i + 1;
             }
             _ => {}
         }
     }
-    parts.push(&s[start..]);
+    parts.push((start, &s[start..]));
     parts
 }
 
@@ -554,6 +588,36 @@ mod tests {
         assert!(parse("x -[p]-> ").is_err());
         assert!(parse("garbage !!").is_err());
         assert!(parse("x -[p]-> y, p in a*(b").is_err()); // bad regex
+    }
+
+    #[test]
+    fn spans_point_into_source() {
+        let src = "  q(x, x') :- x -[p]-> y,  x' -(a*b)-> y , eq_len(p, _p0)";
+        let q = parse(src).unwrap();
+        assert_eq!(q.source(), Some(src));
+        let slice = |s: Span| &src[s.start..s.end];
+        assert_eq!(slice(q.path_span(PathVar(0)).unwrap()), "x -[p]-> y");
+        assert_eq!(slice(q.path_span(PathVar(1)).unwrap()), "x' -(a*b)-> y");
+        let atoms = q.rel_atoms();
+        assert_eq!(slice(atoms[0].span.unwrap()), "x' -(a*b)-> y");
+        assert_eq!(slice(atoms[1].span.unwrap()), "eq_len(p, _p0)");
+        assert_eq!(slice(q.free_span(0).unwrap()), "x");
+        assert_eq!(slice(q.free_span(1).unwrap()), "x'");
+        // multi-line input: line/col of the second-line atom
+        let src2 = "x -[p]-> y,\n  p in ab";
+        let q2 = parse(src2).unwrap();
+        let m = q2.rel_atoms()[0].span.unwrap();
+        assert_eq!(&src2[m.start..m.end], "p in ab");
+        assert_eq!(m.line_col(src2), (2, 3));
+        // programmatic queries carry no spans
+        let mut q3 = Ecrpq::new(Alphabet::ascii_lower(1));
+        let x = q3.node_var("x");
+        let y = q3.node_var("y");
+        let p = q3.path_atom(x, "p", y);
+        q3.rel_atom("u", Arc::new(relations::universal(1, 1)), &[p]);
+        assert!(q3.source().is_none());
+        assert!(q3.path_span(p).is_none());
+        assert!(q3.rel_atoms()[0].span.is_none());
     }
 
     #[test]

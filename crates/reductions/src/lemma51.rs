@@ -72,6 +72,7 @@ pub fn ine_to_ecrpq_big_component(
         comps.edges[component]
             .iter()
             .position(|&e| e == edge)
+            // lint:allow(unwrap): index_of is only called on this component's edges
             .expect("member of component")
             + 1
     };

@@ -83,6 +83,7 @@ pub fn cq_to_ecrpq(collapse_cq: &CollapseCq, db: &RelationalDb) -> (Ecrpq, Graph
     for name in &names {
         let sym = alphabet.intern(next_char);
         rel_sym.insert(name.clone(), sym);
+        // lint:allow(unwrap): bounded by the relation count, far below char::MAX
         next_char = char::from_u32(next_char as u32 + 1).expect("alphabet exhausted");
     }
 
@@ -113,6 +114,7 @@ pub fn cq_to_ecrpq(collapse_cq: &CollapseCq, db: &RelationalDb) -> (Ecrpq, Graph
     }
     for name in &names {
         let sym = rel_sym[name];
+        // lint:allow(unwrap): names comes from the database's own relation list
         for t in &db.relation(name).unwrap().tuples {
             gdb.add_edge_sym(elems[t[0] as usize], sym, elems[t[1] as usize]);
         }

@@ -53,6 +53,7 @@ fn dfs(
     if chain.len() == k {
         return true;
     }
+    // lint:allow(unwrap): chain is non-empty: len() == k == 0 returns above
     let last = *chain.last().unwrap();
     for &h in candidates {
         if chain.contains(&h) {
@@ -122,6 +123,7 @@ pub fn pie_to_ecrpq_chain(
         *g.hyperedge(chain[0])
             .iter()
             .find(|&&e| e != links[0])
+            // lint:allow(unwrap): chain hyperedges have ≥ 2 endpoints when k ≥ 2
             .expect("chain hyperedges have size ≥ 2")
     } else {
         g.hyperedge(chain[0])[0]
@@ -137,6 +139,7 @@ pub fn pie_to_ecrpq_chain(
             Some(i0) => {
                 let i = i0 + 1; // 1-based chain position
                 let mut constrained: Vec<(usize, usize)> = Vec::new();
+                // lint:allow(unwrap): links are members of the same component
                 let track_of = |e: usize| members.iter().position(|&m| m == e).unwrap();
                 if i >= 2 {
                     constrained.push((track_of(links[i - 2]), i - 1));

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! The hardness reductions of §5 of the paper, implemented as *instance

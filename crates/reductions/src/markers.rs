@@ -61,6 +61,7 @@ pub fn build_marker_db(langs: &[Nfa<Symbol>], alphabet: &Alphabet) -> MarkerDb {
         for w in chain.windows(2) {
             db.add_edge_sym(w[0], hash, w[1]);
         }
+        // lint:allow(unwrap): chain always holds the start vertex
         db.add_edge_sym(*chain.last().unwrap(), dollar, s);
         for qf in nfa.final_states() {
             db.add_edge_sym(nodes[qf as usize], hash, chain[0]);
@@ -108,6 +109,7 @@ pub fn marker_relation(
                 .map(|&(_, i)| i)
         })
         .collect();
+    // lint:allow(unwrap): constrained is non-empty: every word has a track
     let max_idx = constrained.iter().map(|&(_, i)| i).max().unwrap();
     // free-track options: any symbol of B, or ⊥
     let free_opts: Vec<Track> = (0..num_b as Symbol)

@@ -198,6 +198,7 @@ fn greedy_order(g: &Graph, score: impl Fn(&ElimGraph, usize) -> usize) -> Vec<us
         let v = (0..n)
             .filter(|&v| eg.alive[v])
             .min_by_key(|&v| (score(&eg, v), v))
+            // lint:allow(unwrap): the loop runs only while some vertex is alive
             .unwrap();
         eg.eliminate(v);
         order.push(v);
@@ -272,6 +273,7 @@ pub fn treewidth_lower_bound(g: &Graph) -> usize {
         let v = (0..n)
             .filter(|&v| eg.alive[v])
             .min_by_key(|&v| eg.degree(v))
+            // lint:allow(unwrap): the loop runs only while some vertex is alive
             .unwrap();
         best = best.max(eg.degree(v));
         // plain removal: mark dead without fill

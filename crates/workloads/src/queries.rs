@@ -31,6 +31,7 @@ pub fn tractable_chain_query(len: usize, num_symbols: usize) -> Ecrpq {
 /// `cc_hedge = 1`, `tw = k − 1` — treewidth unbounded in `k`.
 pub fn clique_query(k: usize, regex: &str, alphabet: &mut Alphabet) -> Ecrpq {
     assert!(k >= 2);
+    // lint:allow(unwrap): documented panic: callers pass literal regexes
     let lang = Regex::compile_str(regex, alphabet).expect("valid regex");
     let mut q = Ecrpq::new(alphabet.clone());
     let vars: Vec<NodeVar> = (0..k).map(|i| q.node_var(&format!("x{i}"))).collect();

@@ -1,0 +1,273 @@
+//! The repo lint pass: rules clippy can't express because they encode
+//! project policy, not Rust style.
+//!
+//! Every rule is a pure function from `(path, content)` to violations, so
+//! the tests can seed one violation per rule without touching the tree.
+
+/// One finding of the lint pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number (0 = whole-file finding).
+    pub line: usize,
+    /// What rule fired and why.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: {}", self.file, self.message)
+        } else {
+            write!(f, "{}:{}: {}", self.file, self.line, self.message)
+        }
+    }
+}
+
+/// Crates this repo owns (not the offline stand-ins for crates.io
+/// dependencies, which mirror external APIs and are exempt from policy).
+pub const OWN_CRATES: &[&str] = &[
+    "analyze",
+    "automata",
+    "bench",
+    "core",
+    "graph",
+    "query",
+    "reductions",
+    "structure",
+    "workloads",
+    "xtask",
+];
+
+/// Modules on the product-search hot path: their maps are keyed by dense
+/// integers, where FNV beats SipHash by a wide margin (see DESIGN.md).
+pub const HOT_PATH_FILES: &[&str] = &[
+    "crates/core/src/product.rs",
+    "crates/core/src/semijoin.rs",
+    "crates/graph/src/db.rs",
+];
+
+/// Marker that exempts one audited `unwrap`/`expect` from [`lint_unwrap`].
+/// Put it at the end of the offending line or on the line just above, with
+/// a word on why the panic is unreachable.
+pub const ALLOW_MARKER: &str = "lint:allow(unwrap)";
+
+/// Rule 1: a crate entry point must start its attribute block with
+/// `#![forbid(unsafe_code)]`. Applies to `lib.rs`/`main.rs` of own crates.
+pub fn lint_forbid_unsafe(path: &str, content: &str) -> Vec<Violation> {
+    if content.contains("#![forbid(unsafe_code)]") {
+        return Vec::new();
+    }
+    vec![Violation {
+        file: path.to_string(),
+        line: 0,
+        message: "crate entry point is missing `#![forbid(unsafe_code)]`".to_string(),
+    }]
+}
+
+/// Rule 2: hot-path modules must not use the default (SipHash) hasher —
+/// `HashMap`/`HashSet` there must be the FNV aliases.
+pub fn lint_default_hasher(path: &str, content: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (idx, line) in content.lines().enumerate() {
+        let code = strip_comment(line);
+        for needle in ["HashMap", "HashSet"] {
+            for pos in match_positions(code, needle) {
+                // FnvHashMap / FnvHashSet are exactly the point of the rule
+                if pos >= 3 && &code[pos - 3..pos] == "Fnv" {
+                    continue;
+                }
+                // `use crate::fnv::...` re-export sites name the alias target
+                if code.trim_start().starts_with("use ") && code.contains("fnv") {
+                    continue;
+                }
+                out.push(Violation {
+                    file: path.to_string(),
+                    line: idx + 1,
+                    message: format!(
+                        "default-hasher `{needle}` on the hot path — use the FNV alias \
+                         from `fnv::` instead"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Rule 3: no `.unwrap()` / `.expect(` in library code outside tests.
+/// `#[cfg(test)]` blocks are skipped by brace tracking; comment lines are
+/// skipped; an audited case carries the [`ALLOW_MARKER`] on its line or
+/// the line above.
+pub fn lint_unwrap(path: &str, content: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let lines: Vec<&str> = content.lines().collect();
+    let mut i = 0usize;
+    let mut skip_depth: Option<i64> = None; // brace depth at cfg(test) entry
+    let mut depth: i64 = 0;
+    while i < lines.len() {
+        let line = lines[i];
+        let code = strip_comment(line);
+        if skip_depth.is_none() && code.contains("#[cfg(test)]") {
+            skip_depth = Some(depth);
+        }
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+        depth += opens - closes;
+        if let Some(d) = skip_depth {
+            // the cfg(test) item is over once we fall back to its depth
+            // after having entered it
+            if depth <= d && closes > 0 {
+                skip_depth = None;
+            }
+            i += 1;
+            continue;
+        }
+        let trimmed = line.trim_start();
+        let in_comment =
+            trimmed.starts_with("//") || trimmed.starts_with("///") || trimmed.starts_with("//!");
+        if !in_comment {
+            for needle in [".unwrap()", ".expect("] {
+                if code.contains(needle) {
+                    let allowed = line.contains(ALLOW_MARKER)
+                        || (i > 0 && lines[i - 1].contains(ALLOW_MARKER));
+                    if !allowed {
+                        out.push(Violation {
+                            file: path.to_string(),
+                            line: i + 1,
+                            message: format!(
+                                "`{needle}` in library code — handle the error, or audit it \
+                                 with `// {ALLOW_MARKER}: why this cannot panic`"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Rule 4: build artifacts must not be tracked. `tracked` is the output of
+/// `git ls-files` split into lines.
+pub fn lint_tracked_target<'a>(tracked: impl Iterator<Item = &'a str>) -> Vec<Violation> {
+    tracked
+        .filter(|p| p.starts_with("target/") || p.contains("/target/"))
+        .map(|p| Violation {
+            file: p.to_string(),
+            line: 0,
+            message: "build artifact tracked by git — `git rm --cached` it; `/target` is \
+                      ignored via .gitignore"
+                .to_string(),
+        })
+        .collect()
+}
+
+/// Drops a trailing `// …` comment (naive: does not parse string
+/// literals, which is fine for the policy rules above).
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(p) => &line[..p],
+        None => line,
+    }
+}
+
+/// Byte offsets of every occurrence of `needle` in `hay`.
+fn match_positions(hay: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(p) = hay[start..].find(needle) {
+        out.push(start + p);
+        start += p + needle.len();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forbid_unsafe_fires_on_missing_attribute() {
+        let v = lint_forbid_unsafe("crates/foo/src/lib.rs", "#![warn(missing_docs)]\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("forbid(unsafe_code)"));
+        assert!(lint_forbid_unsafe("x", "#![forbid(unsafe_code)]\n").is_empty());
+    }
+
+    #[test]
+    fn default_hasher_fires_on_std_map_but_not_fnv() {
+        let bad = "    let m: HashMap<u32, u32> = HashMap::default();\n";
+        let v = lint_default_hasher("crates/core/src/product.rs", bad);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].line, 1);
+        let good = "    let m: FnvHashMap<u32, u32> = FnvHashMap::default();\n";
+        assert!(lint_default_hasher("crates/core/src/product.rs", good).is_empty());
+        // comments and fnv re-export lines don't count
+        assert!(lint_default_hasher("f", "// a HashMap here\n").is_empty());
+        assert!(lint_default_hasher("f", "use crate::fnv::{FnvHashMap as HashMap};\n").is_empty());
+    }
+
+    #[test]
+    fn unwrap_fires_outside_tests_only() {
+        let src = "\
+fn lib_code() {
+    let x = foo().unwrap();
+}
+#[cfg(test)]
+mod tests {
+    fn t() {
+        let y = bar().unwrap();
+    }
+}
+";
+        let v = lint_unwrap("crates/foo/src/lib.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn unwrap_respects_allow_marker_and_comments() {
+        let audited = "\
+fn f() {
+    // lint:allow(unwrap): domain is never empty here
+    let x = foo().unwrap();
+    let y = bar().expect(\"always\"); // lint:allow(unwrap): invariant
+}
+";
+        assert!(lint_unwrap("f", audited).is_empty());
+        assert!(lint_unwrap("f", "// .unwrap() in prose\n").is_empty());
+        assert!(lint_unwrap("f", "/// doc: .expect(reason)\n").is_empty());
+        // unwrap_or_* are fine
+        assert!(lint_unwrap("f", "let x = foo().unwrap_or(0);\n").is_empty());
+        let v = lint_unwrap("f", "let x = foo().expect(\"boom\");\n");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn code_after_test_mod_is_linted_again() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t() { a().unwrap(); }
+}
+fn lib_code() {
+    b().unwrap();
+}
+";
+        let v = lint_unwrap("f", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 6);
+    }
+
+    #[test]
+    fn tracked_target_fires_per_artifact() {
+        let files = ["src/lib.rs", "target/debug/foo.d", "crates/a/src/lib.rs"];
+        let v = lint_tracked_target(files.iter().copied());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].file, "target/debug/foo.d");
+        assert!(lint_tracked_target(["src/lib.rs"].iter().copied()).is_empty());
+    }
+}

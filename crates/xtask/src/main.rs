@@ -1,0 +1,159 @@
+#![forbid(unsafe_code)]
+
+//! Repo automation. `cargo run -p xtask -- lint` runs the policy lints
+//! over the workspace (see [`lint`] for the rules); nonzero exit on any
+//! violation, so `scripts/check.sh` can gate on it.
+
+mod lint;
+
+use lint::{
+    lint_default_hasher, lint_forbid_unsafe, lint_tracked_target, lint_unwrap, Violation,
+    HOT_PATH_FILES, OWN_CRATES,
+};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint() -> ExitCode {
+    let root = workspace_root();
+    let mut violations: Vec<Violation> = Vec::new();
+
+    // Rule 1: crate entry points forbid unsafe code.
+    let mut entries: Vec<PathBuf> = vec![root.join("src/lib.rs")];
+    for c in OWN_CRATES {
+        let lib = root.join(format!("crates/{c}/src/lib.rs"));
+        let main = root.join(format!("crates/{c}/src/main.rs"));
+        entries.push(if lib.exists() { lib } else { main });
+    }
+    for path in &entries {
+        match std::fs::read_to_string(path) {
+            Ok(content) => violations.extend(lint_forbid_unsafe(&rel(&root, path), &content)),
+            Err(e) => {
+                eprintln!("xtask: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Rule 2: FNV-only maps on the hot path.
+    for hot in HOT_PATH_FILES {
+        let path = root.join(hot);
+        match std::fs::read_to_string(&path) {
+            Ok(content) => violations.extend(lint_default_hasher(hot, &content)),
+            Err(e) => {
+                eprintln!("xtask: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Rule 3: no unwrap/expect in library code. Binaries (`src/bin/`,
+    // `main.rs`), test/bench trees, the crates.io stand-ins and xtask
+    // itself (whose lint tables spell the banned tokens) are out of scope.
+    let mut lib_sources: Vec<PathBuf> = Vec::new();
+    collect_rs(&root.join("src"), &mut lib_sources);
+    for c in OWN_CRATES {
+        if *c == "xtask" {
+            continue;
+        }
+        collect_rs(&root.join(format!("crates/{c}/src")), &mut lib_sources);
+    }
+    for path in &lib_sources {
+        let p = rel(&root, path);
+        if p.contains("/bin/") || p.ends_with("main.rs") {
+            continue;
+        }
+        match std::fs::read_to_string(path) {
+            Ok(content) => violations.extend(lint_unwrap(&p, &content)),
+            Err(e) => {
+                eprintln!("xtask: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Rule 4: no tracked build artifacts.
+    match std::process::Command::new("git")
+        .arg("-C")
+        .arg(&root)
+        .args(["ls-files", "-z"])
+        .output()
+    {
+        Ok(out) if out.status.success() => {
+            let listing = String::from_utf8_lossy(&out.stdout);
+            violations.extend(lint_tracked_target(
+                listing.split('\0').filter(|s| !s.is_empty()),
+            ));
+        }
+        Ok(out) => {
+            eprintln!("xtask: git ls-files failed: {}", out.status);
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("xtask: cannot run git: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!(
+            "xtask lint: clean ({} entry points, {} hot files, {} library files)",
+            entries.len(),
+            HOT_PATH_FILES.len(),
+            lib_sources.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: this file is compiled at a fixed depth below it.
+fn workspace_root() -> PathBuf {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR")
+        .unwrap_or_else(|_| env!("CARGO_MANIFEST_DIR").to_string());
+    PathBuf::from(manifest)
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// All `.rs` files under `dir`, recursively, sorted for stable output.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut batch: Vec<PathBuf> = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            batch.push(path);
+        }
+    }
+    batch.sort();
+    out.extend(batch);
+}

@@ -19,11 +19,17 @@ cargo test -q --offline
 echo "== differential suites (evaluator equivalence, layout + parallel) =="
 cargo test -q --offline --test differential --test parallel_differential --test layout_differential
 
+echo "== xtask lint (repo policy) =="
+cargo run -q -p xtask --offline -- lint
+
+echo "== analyze CLI over the query corpus + workloads =="
+cargo run -q --release --offline -p ecrpq-bench --bin analyze -- queries/*.ecrpq --workloads
+
 echo "== cargo doc (deny warnings) =="
 # own crates only: the vendored shims (rand/proptest/criterion) mirror
 # upstream doc comments and are not held to this repo's doc standard
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --quiet --no-deps \
   -p ecrpq -p ecrpq-automata -p ecrpq-graph -p ecrpq-structure -p ecrpq-query \
-  -p ecrpq-core -p ecrpq-reductions -p ecrpq-workloads -p ecrpq-bench
+  -p ecrpq-analyze -p ecrpq-core -p ecrpq-reductions -p ecrpq-workloads -p ecrpq-bench
 
 echo "All checks passed."

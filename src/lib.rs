@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! `ecrpq` — facade crate for the reproduction of *“When is the Evaluation
 //! of Extended CRPQ Tractable?”* (Figueira & Ramanathan, PODS 2022).
 //!
@@ -73,6 +75,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub use ecrpq_analyze as analyze;
 pub use ecrpq_automata as automata;
 pub use ecrpq_core as eval;
 pub use ecrpq_graph as graph;

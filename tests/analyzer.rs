@@ -1,0 +1,193 @@
+//! Integration tests for the static query analyzer.
+//!
+//! Three layers: golden-file tests pin the rendered diagnostic output
+//! (carets, severity ordering) byte-for-byte; the workload corpus is
+//! checked for regime agreement between the analyzer and the planner's
+//! Theorem 3.1/3.2 transcription; and a differential sweep asserts that
+//! the analyzer-gated `planner::answers` stays bit-identical to the
+//! direct product search on every workload family.
+//!
+//! Regenerate goldens after an intentional rendering change with
+//! `UPDATE_GOLDEN=1 cargo test --test analyzer`.
+
+use ecrpq::analyze::{analyze, analyze_with, AnalyzerConfig, Severity};
+use ecrpq::automata::Alphabet;
+use ecrpq::eval::planner::{self, combined_regime, param_regime, ClassBounds};
+use ecrpq::eval::product::answers_product;
+use ecrpq::eval::PreparedQuery;
+use ecrpq::query::{parse_query, Ecrpq, NodeVar, RelationRegistry};
+use ecrpq::workloads::{
+    big_component_query, clique_query, random_db, random_ecrpq, tractable_chain_query,
+    RandomQueryParams,
+};
+use std::path::PathBuf;
+
+fn parse(src: &str) -> Ecrpq {
+    let mut alphabet = Alphabet::new();
+    parse_query(src, &mut alphabet, &RelationRegistry::new())
+        .unwrap_or_else(|e| panic!("fixture {src:?} must parse: {e}"))
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); bless with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "rendered diagnostics diverge from {name}; bless with UPDATE_GOLDEN=1 if intended"
+    );
+}
+
+/// E006 with caret underline into the query text.
+#[test]
+fn golden_contradictory_unaries() {
+    let q = parse("q(x) :- x -[p]-> y, p in a+, p in b+");
+    let a = analyze(&q);
+    assert!(a.has_errors());
+    check_golden("contradictory_unaries.txt", &a.render(q.source()));
+}
+
+/// A query with one error and several warnings: errors render first,
+/// warnings follow in source order.
+#[test]
+fn golden_severity_ordering() {
+    let q = parse("q(x, u) :- x -[p]-> y, u -[r]-> v, p in a+, p in b+");
+    let a = analyze(&q);
+    let rendered = a.render(q.source());
+    // pin the ordering structurally as well as byte-for-byte
+    let first_warning = rendered.find("warning[").expect("has warnings");
+    let last_error = rendered.rfind("error[").expect("has errors");
+    assert!(
+        last_error < first_warning,
+        "errors must render before warnings:\n{rendered}"
+    );
+    check_golden("severity_ordering.txt", &rendered);
+}
+
+/// Warning-only rendering: unconstrained path variable and threshold
+/// exceedance with the suggested split note.
+#[test]
+fn golden_threshold_warning() {
+    let q = parse(
+        "q(x) :- x -[p1]-> y, x -[p2]-> y, x -[p3]-> y, x -[p4]-> y, \
+         eq_len(p1, p2), eq_len(p2, p3), eq_len(p3, p4)",
+    );
+    let cfg = AnalyzerConfig {
+        cc_vertex_threshold: 2,
+        ..AnalyzerConfig::default()
+    };
+    let a = analyze_with(&q, &cfg);
+    assert!(!a.has_errors());
+    assert!(a.warnings().count() > 0);
+    check_golden("threshold_warning.txt", &a.render(q.source()));
+}
+
+fn workload_corpus() -> Vec<(String, Ecrpq)> {
+    let mut out: Vec<(String, Ecrpq)> = Vec::new();
+    for len in [2, 4, 8] {
+        out.push((
+            format!("tractable_chain(len={len})"),
+            tractable_chain_query(len, 2),
+        ));
+    }
+    for k in [3, 4] {
+        let mut alphabet = Alphabet::ascii_lower(2);
+        out.push((
+            format!("clique(k={k})"),
+            clique_query(k, "a*", &mut alphabet),
+        ));
+    }
+    for r in [2, 3, 4] {
+        out.push((format!("big_component(r={r})"), big_component_query(r, 2)));
+    }
+    let params = RandomQueryParams::default();
+    for seed in 0..5u64 {
+        out.push((format!("random(seed={seed})"), random_ecrpq(&params, seed)));
+    }
+    out
+}
+
+/// Acceptance: on every workload query the analyzer's classification
+/// matches `combined_regime`/`param_regime` for the threshold-induced
+/// class, under the default and under tight thresholds.
+#[test]
+fn workload_regimes_agree_with_planner() {
+    let configs = [
+        AnalyzerConfig::default(),
+        AnalyzerConfig {
+            cc_vertex_threshold: 1,
+            cc_hedge_threshold: 1,
+            treewidth_threshold: 1,
+            ..AnalyzerConfig::default()
+        },
+    ];
+    for (name, q) in workload_corpus() {
+        for cfg in &configs {
+            let a = analyze_with(&q, cfg);
+            let m = a.measures;
+            let bounds = ClassBounds {
+                cc_vertex: (m.cc_vertex <= cfg.cc_vertex_threshold)
+                    .then_some(cfg.cc_vertex_threshold),
+                cc_hedge: (m.cc_hedge <= cfg.cc_hedge_threshold).then_some(cfg.cc_hedge_threshold),
+                treewidth: (m.treewidth <= cfg.treewidth_threshold)
+                    .then_some(cfg.treewidth_threshold),
+            };
+            assert_eq!(
+                combined_regime(&bounds).to_string(),
+                a.combined.to_string(),
+                "{name}: combined regime"
+            );
+            assert_eq!(
+                param_regime(&bounds).to_string(),
+                a.param.to_string(),
+                "{name}: param regime"
+            );
+        }
+    }
+}
+
+/// The analyzer gate in `planner::answers` must not change any answer:
+/// bit-identical to the ungated direct product search on every workload
+/// family (and the workload corpus must be analyzer-clean, so the gate
+/// never fires here).
+#[test]
+fn analyzer_gated_planner_is_bit_identical_on_workloads() {
+    for (i, (name, mut q)) in workload_corpus().into_iter().enumerate() {
+        assert!(
+            !analyze(&q).has_errors(),
+            "{name}: workload corpus must be analyzer-clean"
+        );
+        q.set_free(&[NodeVar(0)]);
+        let db = random_db(4, 1.6, 2, i as u64 * 41 + 7);
+        let prepared = PreparedQuery::build(&q).expect("workload query is valid");
+        let direct = answers_product(&db, &prepared);
+        let gated = planner::answers(&db, &q);
+        assert_eq!(direct, gated, "{name}: planner answers diverge");
+    }
+}
+
+/// A provably-empty query reaches the empty answer set without a single
+/// product configuration being expanded, regardless of the database.
+#[test]
+fn error_diagnostics_short_circuit_before_the_search() {
+    let q = parse("q(x) :- x -[p]-> y, p in a+, p in b+");
+    let a = analyze(&q);
+    assert!(a.errors().any(|d| d.severity == Severity::Error));
+    let db = random_db(6, 2.0, 2, 3);
+    let (answers, stats) = planner::answers_with_stats(&db, &q);
+    assert!(answers.is_empty());
+    assert_eq!(stats.configurations, 0, "product search must not run");
+    let (sat, stats) = planner::evaluate_with_stats(&db, &q);
+    assert!(!sat);
+    assert_eq!(stats.configurations, 0);
+}

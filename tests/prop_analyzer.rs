@@ -1,0 +1,74 @@
+//! Property test: the analyzer's regime classification must agree with
+//! the planner's transcription of Theorems 3.1 and 3.2.
+//!
+//! The analyzer (`ecrpq-analyze`) re-derives the regime of a query from
+//! its measures and configurable thresholds, independently of
+//! `planner::combined_regime`/`param_regime`, which speak about *classes*
+//! via [`ClassBounds`]. The two must coincide when the class is read off
+//! the thresholds: a measure within its threshold is "bounded" (by the
+//! threshold), a measure over it is "unbounded" (`None`).
+
+use ecrpq::analyze::{analyze_with, AnalyzerConfig};
+use ecrpq::eval::planner::{combined_regime, param_regime, ClassBounds};
+use ecrpq::workloads::{random_ecrpq, RandomQueryParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// 200 random queries × random thresholds: the analyzer's
+    /// `CombinedClass`/`ParamClass` matches the planner's
+    /// `CombinedRegime`/`ParamRegime` for the induced class bounds.
+    #[test]
+    fn regime_classification_agrees_with_planner(
+        node_vars in 1usize..5,
+        path_atoms in 1usize..6,
+        rel_atoms in 0usize..4,
+        max_arity in 1usize..4,
+        seed in 0u64..1_000_000,
+        cc_vertex_threshold in 0usize..4,
+        cc_hedge_threshold in 0usize..4,
+        treewidth_threshold in 0usize..3,
+    ) {
+        let params = RandomQueryParams {
+            node_vars,
+            path_atoms,
+            rel_atoms,
+            max_arity,
+            num_symbols: 2,
+        };
+        let q = random_ecrpq(&params, seed);
+        let cfg = AnalyzerConfig {
+            cc_vertex_threshold,
+            cc_hedge_threshold,
+            treewidth_threshold,
+            ..AnalyzerConfig::default()
+        };
+        let a = analyze_with(&q, &cfg);
+        let m = a.measures;
+        // Thresholds induce a class: within threshold = bounded by it,
+        // over threshold = unbounded.
+        let bounds = ClassBounds {
+            cc_vertex: (m.cc_vertex <= cfg.cc_vertex_threshold)
+                .then_some(cfg.cc_vertex_threshold),
+            cc_hedge: (m.cc_hedge <= cfg.cc_hedge_threshold)
+                .then_some(cfg.cc_hedge_threshold),
+            treewidth: (m.treewidth <= cfg.treewidth_threshold)
+                .then_some(cfg.treewidth_threshold),
+        };
+        prop_assert_eq!(
+            combined_regime(&bounds).to_string(),
+            a.combined.to_string(),
+            "measures {:?} under thresholds v={} h={} t={}",
+            m, cc_vertex_threshold, cc_hedge_threshold, treewidth_threshold
+        );
+        prop_assert_eq!(
+            param_regime(&bounds).to_string(),
+            a.param.to_string(),
+            "measures {:?} under thresholds v={} t={}",
+            m, cc_vertex_threshold, treewidth_threshold
+        );
+        // The analyzer's measures are exactly `Ecrpq::measures`.
+        prop_assert_eq!(m, q.measures());
+    }
+}
