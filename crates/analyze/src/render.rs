@@ -9,11 +9,22 @@
 //!   = note: no path tuple can satisfy this atom, …
 //! ```
 //!
-//! Columns are 1-based byte offsets within the line. When the diagnostic
-//! has no span (programmatic query) or no source is supplied, only the
-//! header and notes render.
+//! Columns are 1-based *character* offsets within the line (identical to
+//! byte offsets for ASCII queries). When the diagnostic has no span
+//! (programmatic query) or no source is supplied, only the header and
+//! notes render.
 
 use crate::Diagnostic;
+
+/// Snaps `i` back to the nearest char boundary at or before it, clamping
+/// to the text length first, so that slicing at the result never panics.
+fn floor_char_boundary(s: &str, i: usize) -> usize {
+    let mut i = i.min(s.len());
+    while !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
 
 /// Renders one diagnostic. `source` is the text the query was parsed from
 /// (`Ecrpq::source`), if any.
@@ -23,11 +34,18 @@ pub fn render_diagnostic(d: &Diagnostic, source: Option<&str>) -> String {
         let src = source?;
         let (line, col) = span.line_col(src);
         let text = src.lines().nth(line - 1).unwrap_or("");
-        Some((span, line, col, text))
+        // caret count in characters, robust to spans that overhang the
+        // text or land inside a multi-byte character
+        let start = floor_char_boundary(src, span.start);
+        let end = floor_char_boundary(src, span.end).max(start);
+        let span_chars = src[start..end].chars().count();
+        Some((span_chars, line, col, text))
     });
     let gutter = snippet.map_or(0, |(_, line, _, _)| line.to_string().len());
-    if let Some((span, line, col, text)) = snippet {
-        let carets = (span.end - span.start).min(text.len() + 1 - col).max(1);
+    if let Some((span_chars, line, col, text)) = snippet {
+        let carets = span_chars
+            .min((text.chars().count() + 1).saturating_sub(col))
+            .max(1);
         out.push_str(&format!("{:gutter$}--> query:{line}:{col}\n", ""));
         out.push_str(&format!("{:gutter$} |\n", ""));
         out.push_str(&format!("{line} | {text}\n"));
@@ -77,6 +95,40 @@ mod tests {
     fn unspanned_rendering_is_header_and_notes() {
         let out = super::render_diagnostic(&diag(None), None);
         assert_eq!(out, "error[E001]: the message\n = note: the note\n");
+    }
+
+    /// Multi-byte characters before the span must not inflate the column
+    /// or the caret run, and rendering must not panic on byte arithmetic.
+    #[test]
+    fn non_ascii_prefix_aligns_carets() {
+        // "naïve" has a 2-byte 'ï': byte offset of "p in ab" is 16, but
+        // its character column is 16 (1-based 16? count: n,a,ï,v,e,_,-,[,p,],-,>,_,y,_ = 15 chars before) → col 16
+        let src = "naïve -[p]-> y, p in ab";
+        let start = src.find("p in ab").unwrap();
+        let out = super::render_diagnostic(
+            &diag(Some(Span::new(start, start + "p in ab".len()))),
+            Some(src),
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[1], " --> query:1:17");
+        assert_eq!(lines[3], "1 | naïve -[p]-> y, p in ab");
+        assert_eq!(lines[4], "  |                 ^^^^^^^");
+        // caret column (chars) equals the span text position (chars)
+        let caret_at = lines[4].chars().position(|c| c == '^').unwrap();
+        let text_byte = lines[3].rfind("p in ab").unwrap();
+        let text_at = lines[3][..text_byte].chars().count();
+        assert_eq!(caret_at, text_at);
+    }
+
+    /// A span inside a multi-byte character or overhanging the text must
+    /// clamp instead of panicking.
+    #[test]
+    fn degenerate_spans_clamp() {
+        let src = "xï";
+        for (s, e) in [(2, 3), (0, 99), (99, 120), (3, 2)] {
+            let out = super::render_diagnostic(&diag(Some(Span::new(s, e))), Some(src));
+            assert!(out.contains("error[E001]"), "{out}");
+        }
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! Each file is parsed with the textual ECRPQ grammar and run through
 //! `ecrpq-analyze`; diagnostics render rustc-style with caret underlines
 //! into the file's source. `--workloads` additionally analyzes the
-//! programmatic workload query families and prints their regime table.
+//! programmatic workload query families and prints their regime table,
+//! including the default resource budget the planner would govern each
+//! family with (generous in the PTIME regime, tight under NP/PSPACE).
 //!
 //! Exit status: 0 when no file has an error-severity diagnostic (warnings
 //! are reported but don't fail the lint), 1 when some query is provably
@@ -11,6 +13,7 @@
 
 use ecrpq_analyze::{analyze, Analysis};
 use ecrpq_automata::Alphabet;
+use ecrpq_core::planner::{budget_regime, regime_budget};
 use ecrpq_query::{parse_query, Ecrpq, RelationRegistry};
 use ecrpq_workloads::{
     big_component_query, clique_query, random_ecrpq, tractable_chain_query, RandomQueryParams,
@@ -60,12 +63,13 @@ fn main() {
     }
 
     if workloads {
-        println!("| query | cc_vertex | cc_hedge | tw | combined | param |");
-        println!("|---|---|---|---|---|---|");
+        println!("| query | cc_vertex | cc_hedge | tw | combined | param | default budget |");
+        println!("|---|---|---|---|---|---|---|");
         for (name, q) in workload_corpus() {
             let a = analyze(&q);
+            let budget = regime_budget(budget_regime(&a.measures));
             println!(
-                "| {name} | {} | {} | {} | {} | {} |",
+                "| {name} | {} | {} | {} | {} | {} | {budget} |",
                 a.measures.cc_vertex,
                 a.measures.cc_hedge,
                 a.measures.treewidth,

@@ -14,7 +14,7 @@ use ecrpq_core::crpq::eval_crpq;
 use ecrpq_core::product::eval_product_with_stats;
 use ecrpq_core::{
     answers_product_with_stats_layout, ecrpq_to_cq, engine, eval_product, EvalOptions, Layout,
-    PreparedQuery,
+    PreparedQuery, ResourceBudget,
 };
 use ecrpq_query::Ecrpq;
 use ecrpq_reductions::{
@@ -89,6 +89,99 @@ fn main() {
     if want("E15") {
         e15_layout();
     }
+    if want("E17") {
+        e17_budget();
+    }
+}
+
+fn e17_budget() {
+    use ecrpq_query::NodeVar;
+    use ecrpq_workloads::random_db as rdb;
+    println!("## E17 — Resource governance: answers recovered vs. budget fraction");
+    println!();
+    println!("A PSPACE-regime workload (big_component r=3: three equal-length");
+    println!("paths between free endpoints, so `cc_vertex = 3` drives a");
+    println!("`|Q|·|V|^3` configuration space) enumerated under configuration");
+    println!("budgets set to fractions of the unbudgeted total work. The governed");
+    println!("engine returns the sound partial answer set found before the cap");
+    println!("tripped; `recovered` is its size relative to the complete set. A");
+    println!("wall-clock deadline row shows the same truncation driven by time");
+    println!("instead of work.");
+    println!();
+    let mut q = big_component_query(3, 2);
+    q.set_free(&[NodeVar(0), NodeVar(1)]);
+    let db = rdb(40, 2.0, 2, 97);
+    let prepared = PreparedQuery::build(&q).expect("valid");
+    let unbudgeted = engine::answers_product_governed(&db, &prepared, &EvalOptions::sequential());
+    assert!(unbudgeted.termination.is_complete());
+    let full = unbudgeted.answers;
+    let total_work = unbudgeted.stats.configurations.max(1);
+    println!(
+        "(full run: {} answers, {} work units)",
+        full.len(),
+        total_work
+    );
+    println!();
+    let mut t = Table::new(&[
+        "budget",
+        "cap (work units)",
+        "time",
+        "answers",
+        "recovered",
+        "termination",
+    ]);
+    for fraction in [0.001f64, 0.01, 0.05, 0.25, 0.5, 1.0, 2.0] {
+        let cap = ((total_work as f64 * fraction) as u64).max(1);
+        let opts = EvalOptions::sequential()
+            .with_budget(ResourceBudget::unlimited().with_max_configurations(cap));
+        let start = std::time::Instant::now();
+        let o = engine::answers_product_governed(&db, &prepared, &opts);
+        let d = start.elapsed();
+        assert!(o.answers.is_subset(&full), "partial answers must be sound");
+        if o.termination.is_complete() {
+            assert_eq!(o.answers, full, "Complete must be bit-identical");
+        }
+        t.row(&[
+            format!("{:.1}%", fraction * 100.0),
+            cap.to_string(),
+            fmt_duration(d),
+            o.answers.len().to_string(),
+            format!(
+                "{:.1}%",
+                100.0 * o.answers.len() as f64 / full.len().max(1) as f64
+            ),
+            o.termination.to_string(),
+        ]);
+    }
+    // the same truncation driven by wall clock instead of work units
+    let deadline = Duration::from_millis(50);
+    let opts =
+        EvalOptions::sequential().with_budget(ResourceBudget::unlimited().with_deadline(deadline));
+    let start = std::time::Instant::now();
+    let o = engine::answers_product_governed(&db, &prepared, &opts);
+    let d = start.elapsed();
+    assert!(o.answers.is_subset(&full));
+    t.row(&[
+        "50ms deadline".to_string(),
+        "—".to_string(),
+        fmt_duration(d),
+        o.answers.len().to_string(),
+        format!(
+            "{:.1}%",
+            100.0 * o.answers.len() as f64 / full.len().max(1) as f64
+        ),
+        o.termination.to_string(),
+    ]);
+    println!("{}", t.to_markdown());
+    println!("Answers recovered grow monotonically with the budget (the");
+    println!("sequential search is deterministic, so a larger cap replays the");
+    println!("same prefix and then keeps going). The cap fractions are relative");
+    println!("to the reported BFS configuration count, but the governor also");
+    println!("meters the semijoin sweeps and the answer odometer, so the 100%");
+    println!("row recovers every answer yet still trips just past the last one;");
+    println!("the 200% row completes and is asserted bit-identical to the");
+    println!("ungoverned run.");
+    println!();
 }
 
 /// Throughput in product configurations per second, humanized.

@@ -13,6 +13,7 @@
 //!   downward semijoin pass.
 
 use crate::fnv::{FnvHashMap, FnvHashSet};
+use crate::governor::{Governor, Pacer};
 use ecrpq_query::{Cq, CqAtom, RelationalDb};
 use ecrpq_structure::{treewidth_exact, treewidth_upper_bound, TreeDecomposition};
 use std::collections::{BTreeSet, HashSet};
@@ -20,15 +21,21 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Evaluates a Boolean CQ by backtracking join.
 pub fn eval_cq(db: &RelationalDb, q: &Cq) -> bool {
-    eval_cq_part(db, q, None)
+    eval_cq_part(db, q, None, None)
 }
 
 /// As [`eval_cq`], optionally restricted to one stride class
 /// `(parts, part)` of the first atom's candidate tuples — the parallel
-/// engine's partitioning hook. `None` searches everything.
-pub(crate) fn eval_cq_part(db: &RelationalDb, q: &Cq, part: Option<(usize, usize)>) -> bool {
+/// engine's partitioning hook. `None` searches everything. The budget
+/// `governor`, when present, is checked in the candidate loops.
+pub(crate) fn eval_cq_part(
+    db: &RelationalDb,
+    q: &Cq,
+    part: Option<(usize, usize)>,
+    governor: Option<&Governor>,
+) -> bool {
     let mut found = false;
-    backtrack(db, q, part, &mut |_| {
+    backtrack(db, q, part, governor, &mut |_| {
         found = true;
         true
     });
@@ -38,7 +45,7 @@ pub(crate) fn eval_cq_part(db: &RelationalDb, q: &Cq, part: Option<(usize, usize
 /// All answers of a CQ (tuples over its free variables) by backtracking.
 pub fn answers_cq(db: &RelationalDb, q: &Cq) -> BTreeSet<Vec<u32>> {
     let mut out = BTreeSet::new();
-    answers_cq_part(db, q, None, &mut out);
+    answers_cq_part(db, q, None, None, &mut out);
     out
 }
 
@@ -48,27 +55,57 @@ pub(crate) fn answers_cq_part(
     db: &RelationalDb,
     q: &Cq,
     part: Option<(usize, usize)>,
+    governor: Option<&Governor>,
     out: &mut BTreeSet<Vec<u32>>,
 ) {
     let domain = db.domain_size() as u32;
-    backtrack(db, q, part, &mut |assignment| {
+    // the free-tuple odometer charges its own work units (it can emit
+    // |D|^f tuples per satisfying assignment without touching a relation)
+    let mut odometer_work: u64 = 0;
+    backtrack(db, q, part, governor, &mut |assignment| {
+        let mut tripped = false;
         for_each_free_tuple(assignment, &q.free, domain, |tuple| {
+            if let Some(g) = governor {
+                odometer_work += 1;
+                if odometer_work >= g.check_interval() {
+                    let _ = g.checkpoint(std::mem::take(&mut odometer_work));
+                }
+                if g.stopped() {
+                    tripped = true;
+                    return true;
+                }
+            }
             if !out.contains(tuple) {
+                if let Some(g) = governor {
+                    if !g.try_claim_answer() {
+                        tripped = true;
+                        return true;
+                    }
+                    g.charge_memory(24 + 4 * tuple.len() as u64);
+                }
                 out.insert(tuple.to_vec());
             }
+            false
         });
-        false
+        tripped // abandon the search once the budget trips
     });
+    if odometer_work > 0 {
+        if let Some(g) = governor {
+            g.checkpoint(odometer_work);
+        }
+    }
 }
 
 /// Expands the unassigned free variables of a satisfying assignment over
 /// the whole domain with a single odometer-advanced scratch tuple —
 /// replaces the old cartesian loop that cloned every partial tuple.
+/// `emit` returns `true` to abandon the expansion early (budget
+/// exhaustion).
 fn for_each_free_tuple(
     assignment: &[Option<u32>],
     free: &[usize],
     domain: u32,
-    mut emit: impl FnMut(&[u32]),
+    mut emit: impl FnMut(&[u32]) -> bool,
 ) {
     let mut tuple: Vec<u32> = Vec::with_capacity(free.len());
     let mut open: Vec<usize> = Vec::new();
@@ -85,7 +122,9 @@ fn for_each_free_tuple(
         return;
     }
     loop {
-        emit(&tuple);
+        if emit(&tuple) {
+            return;
+        }
         let mut i = 0;
         loop {
             let Some(&p) = open.get(i) else {
@@ -172,6 +211,7 @@ fn backtrack(
     db: &RelationalDb,
     q: &Cq,
     part: Option<(usize, usize)>,
+    governor: Option<&Governor>,
     on_success: &mut impl FnMut(&[Option<u32>]) -> bool,
 ) {
     // static greedy order: repeatedly pick the atom sharing most variables
@@ -207,6 +247,7 @@ fn backtrack(
         }
         return;
     }
+    let mut pacer = Pacer::new(governor);
     rec(
         db,
         q,
@@ -215,8 +256,10 @@ fn backtrack(
         part,
         &mut assignment,
         &mut index,
+        &mut pacer,
         on_success,
     );
+    pacer.flush();
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -228,6 +271,7 @@ fn rec(
     part: Option<(usize, usize)>,
     assignment: &mut Vec<Option<u32>>,
     index: &mut JoinIndex,
+    pacer: &mut Pacer<'_>,
     on_success: &mut impl FnMut(&[Option<u32>]) -> bool,
 ) -> bool {
     if idx == order.len() {
@@ -256,6 +300,12 @@ fn rec(
     }
     let mut tuple: Vec<u32> = Vec::new();
     'tuples: for &ti in &candidates {
+        // cooperative budget check: one work unit per candidate tuple,
+        // plus a cheap stop-flag load so sibling loops unwind promptly
+        // once some worker trips the budget
+        if pacer.tick() || pacer.stopped() {
+            break 'tuples;
+        }
         tuple.clear();
         tuple.extend_from_slice(index.tuple(&atom.relation, ti));
         debug_assert_eq!(tuple.len(), atom.vars.len());
@@ -275,7 +325,17 @@ fn rec(
                 }
             }
         }
-        if rec(db, q, order, idx + 1, None, assignment, index, on_success) {
+        if rec(
+            db,
+            q,
+            order,
+            idx + 1,
+            None,
+            assignment,
+            index,
+            pacer,
+            on_success,
+        ) {
             for &w in &written {
                 assignment[w] = None;
             }
@@ -302,18 +362,28 @@ pub struct TreedecStats {
 /// Evaluates a Boolean CQ with the tree-decomposition + Yannakakis
 /// algorithm.
 pub fn eval_cq_treedec(db: &RelationalDb, q: &Cq) -> bool {
-    eval_cq_treedec_threads(db, q, 1)
+    eval_cq_treedec_threads(db, q, 1, None)
 }
 
-/// As [`eval_cq_treedec`], populating bags with `threads` workers.
-pub(crate) fn eval_cq_treedec_threads(db: &RelationalDb, q: &Cq, threads: usize) -> bool {
-    let (bags, _, _) = reduce(db, q, threads);
-    bags.is_some_and(|b| b.iter().all(|r| !r.tuples.is_empty()))
+/// As [`eval_cq_treedec`], populating bags with `threads` workers under an
+/// optional budget governor. "All bags non-empty ⇒ satisfiable" only
+/// holds for a *complete* reduction, so a budget-tripped run never reports
+/// `true` — a governed `false` under a non-`Complete` termination means
+/// "not proven", which is the sound direction.
+pub(crate) fn eval_cq_treedec_threads(
+    db: &RelationalDb,
+    q: &Cq,
+    threads: usize,
+    governor: Option<&Governor>,
+) -> bool {
+    let (bags, _, _) = reduce(db, q, threads, governor);
+    !governor.is_some_and(Governor::stopped)
+        && bags.is_some_and(|b| b.iter().all(|r| !r.tuples.is_empty()))
 }
 
 /// As [`eval_cq_treedec`] with counters.
 pub fn eval_cq_treedec_with_stats(db: &RelationalDb, q: &Cq) -> (bool, TreedecStats) {
-    let (bags, _, stats) = reduce(db, q, 1);
+    let (bags, _, stats) = reduce(db, q, 1, None);
     (
         bags.is_some_and(|b| b.iter().all(|r| !r.tuples.is_empty())),
         stats,
@@ -323,7 +393,7 @@ pub fn eval_cq_treedec_with_stats(db: &RelationalDb, q: &Cq) -> (bool, TreedecSt
 /// All answers via tree decomposition: semijoin-reduce, then enumerate the
 /// (now dangling-free) acyclic join by backtracking over bag relations.
 pub fn answers_cq_treedec(db: &RelationalDb, q: &Cq) -> BTreeSet<Vec<u32>> {
-    match treedec_join_instance(db, q, 1) {
+    match treedec_join_instance(db, q, 1, None) {
         Some((jdb, jq)) => answers_cq(&jdb, &jq),
         None => BTreeSet::new(),
     }
@@ -338,8 +408,9 @@ pub(crate) fn treedec_join_instance(
     db: &RelationalDb,
     q: &Cq,
     threads: usize,
+    governor: Option<&Governor>,
 ) -> Option<(RelationalDb, Cq)> {
-    let (bags, _dec, _) = reduce(db, q, threads);
+    let (bags, _dec, _) = reduce(db, q, threads, governor);
     let bags = bags?;
     if bags.iter().any(|r| r.tuples.is_empty()) {
         return None;
@@ -376,6 +447,7 @@ fn reduce(
     db: &RelationalDb,
     q: &Cq,
     threads: usize,
+    governor: Option<&Governor>,
 ) -> (Option<Vec<BagRelation>>, TreeDecomposition, TreedecStats) {
     let g = q.gaifman();
     let (width, dec) = if g.num_vertices() <= 64 {
@@ -412,7 +484,7 @@ fn reduce(
         dec.bags
             .iter()
             .enumerate()
-            .map(|(bi, bag_vars)| populate_bag(db, q, bag_vars, &atoms_of_bag[bi]))
+            .map(|(bi, bag_vars)| populate_bag(db, q, bag_vars, &atoms_of_bag[bi], governor))
             .collect()
     } else {
         let next = AtomicUsize::new(0);
@@ -425,10 +497,13 @@ fn reduce(
                         let mut mine: Vec<(usize, Vec<Vec<u32>>)> = Vec::new();
                         loop {
                             let bi = next.fetch_add(1, Ordering::Relaxed);
-                            if bi >= nb {
+                            if bi >= nb || governor.is_some_and(Governor::stopped) {
                                 return mine;
                             }
-                            mine.push((bi, populate_bag(db, q, &dec.bags[bi], &atoms_of_bag[bi])));
+                            mine.push((
+                                bi,
+                                populate_bag(db, q, &dec.bags[bi], &atoms_of_bag[bi], governor),
+                            ));
                         }
                     })
                 })
@@ -463,6 +538,7 @@ fn reduce(
     let mut stack = vec![0usize];
     visited[0] = true;
     while let Some(b) = stack.pop() {
+        // lint:allow(unguarded-loop): O(#bags) tree-order computation
         order.push(b);
         for &c in &adj[b] {
             if !visited[c] {
@@ -472,14 +548,22 @@ fn reduce(
             }
         }
     }
-    // Bottom-up semijoin: parent ⋉ child.
+    // Bottom-up semijoin: parent ⋉ child. Per-bag budget check: a tripped
+    // run keeps whatever reduction it reached (semijoins only remove
+    // tuples, so stopping early is sound).
     for &b in order.iter().rev() {
+        if governor.is_some_and(Governor::stopped) {
+            break;
+        }
         if let Some(p) = parent[b] {
             semijoin(&mut bags, p, b);
         }
     }
     // Top-down semijoin: child ⋉ parent.
     for &b in order.iter() {
+        if governor.is_some_and(Governor::stopped) {
+            break;
+        }
         if let Some(p) = parent[b] {
             semijoin(&mut bags, b, p);
         }
@@ -523,12 +607,14 @@ fn populate_bag(
     q: &Cq,
     bag_vars: &[usize],
     atom_ids: &[usize],
+    governor: Option<&Governor>,
 ) -> Vec<Vec<u32>> {
     let pos_of: FnvHashMap<usize, usize> =
         bag_vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let mut partial: Vec<Option<u32>> = vec![None; bag_vars.len()];
     let mut out: Vec<Vec<u32>> = Vec::new();
     let mut index = JoinIndex::default();
+    let mut pacer = Pacer::new(governor);
     #[allow(clippy::too_many_arguments)]
     fn go(
         db: &RelationalDb,
@@ -539,6 +625,7 @@ fn populate_bag(
         partial: &mut Vec<Option<u32>>,
         domain: u32,
         index: &mut JoinIndex,
+        pacer: &mut Pacer<'_>,
         out: &mut Vec<Vec<u32>>,
     ) {
         if idx == atom_ids.len() {
@@ -559,6 +646,11 @@ fn populate_bag(
                 return;
             }
             loop {
+                // cooperative budget check per emitted tuple: a bag with
+                // many uncovered variables can emit |D|^open tuples here
+                if pacer.tick() || pacer.stopped() {
+                    return;
+                }
                 out.push(tuple.clone());
                 let mut i = 0;
                 loop {
@@ -586,6 +678,10 @@ fn populate_bag(
         let candidates = index.candidates(db, &atom.relation, mask, &key);
         let mut tuple: Vec<u32> = Vec::new();
         'tuples: for &ti in &candidates {
+            // cooperative budget check per candidate tuple
+            if pacer.tick() || pacer.stopped() {
+                break 'tuples;
+            }
             tuple.clear();
             tuple.extend_from_slice(index.tuple(&atom.relation, ti));
             let mut written: Vec<usize> = Vec::new();
@@ -614,6 +710,7 @@ fn populate_bag(
                 partial,
                 domain,
                 index,
+                pacer,
                 out,
             );
             for &w in &written {
@@ -630,8 +727,15 @@ fn populate_bag(
         &mut partial,
         db.domain_size() as u32,
         &mut index,
+        &mut pacer,
         &mut out,
     );
+    pacer.flush();
+    if let Some(g) = governor {
+        // the populated bag is retained memory: charge a coarse estimate
+        let width = bag_vars.len() as u64;
+        g.charge_memory(out.len() as u64 * (24 + 4 * width));
+    }
     out.sort();
     out.dedup();
     out

@@ -28,8 +28,9 @@
 //! so sibling workers abandon their chunks after the first success.
 
 use crate::cq_eval;
+use crate::governor::{Governor, Outcome, ResourceBudget, Termination};
 use crate::prepare::PreparedQuery;
-use crate::product::{self, Evaluator, ProductStats, SharedTables};
+use crate::product::{self, Evaluator, Layout, ProductStats, SharedTables};
 use ecrpq_graph::{GraphDb, NodeId};
 use ecrpq_query::{Cq, RelationalDb};
 use std::collections::BTreeSet;
@@ -48,17 +49,32 @@ pub struct EvalOptions {
     /// [`std::thread::available_parallelism`]"; `1` runs the sequential
     /// evaluators unchanged.
     pub threads: usize,
+    /// Resource budget for the `*_governed` entry points (unlimited by
+    /// default). The ungoverned entry points ignore it.
+    pub budget: ResourceBudget,
 }
 
 impl EvalOptions {
     /// Explicitly sequential evaluation.
     pub fn sequential() -> Self {
-        EvalOptions { threads: 1 }
+        EvalOptions {
+            threads: 1,
+            ..EvalOptions::default()
+        }
     }
 
     /// Evaluation with exactly `n` worker threads (`0` = auto).
     pub fn with_threads(n: usize) -> Self {
-        EvalOptions { threads: n }
+        EvalOptions {
+            threads: n,
+            ..EvalOptions::default()
+        }
+    }
+
+    /// Returns these options with `budget` installed (builder style).
+    pub fn with_budget(mut self, budget: ResourceBudget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// The concrete worker count: resolves `threads == 0` to the machine's
@@ -258,7 +274,7 @@ pub fn eval_cq(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -> bool {
                     if stop.load(Ordering::Relaxed) {
                         return false;
                     }
-                    let hit = cq_eval::eval_cq_part(db, q, Some((workers, p)));
+                    let hit = cq_eval::eval_cq_part(db, q, Some((workers, p)), None);
                     if hit {
                         stop.store(true, Ordering::Relaxed);
                     }
@@ -288,7 +304,7 @@ pub fn answers_cq(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -> BTreeSet<Vec
             .map(|p| {
                 s.spawn(move || {
                     let mut mine = BTreeSet::new();
-                    cq_eval::answers_cq_part(db, q, Some((workers, p)), &mut mine);
+                    cq_eval::answers_cq_part(db, q, Some((workers, p)), None, &mut mine);
                     mine
                 })
             })
@@ -310,7 +326,7 @@ pub fn answers_cq(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -> BTreeSet<Vec
 /// across workers; the semijoin passes stay sequential (they are linear in
 /// the already-reduced bag sizes).
 pub fn eval_cq_treedec(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -> bool {
-    cq_eval::eval_cq_treedec_threads(db, q, opts.effective_threads())
+    cq_eval::eval_cq_treedec_threads(db, q, opts.effective_threads(), None)
 }
 
 /// Parallel tree-decomposition answer enumeration: parallel bag
@@ -319,9 +335,313 @@ pub fn eval_cq_treedec(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -> bool {
 /// [`crate::cq_eval::answers_cq_treedec`].
 pub fn answers_cq_treedec(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -> BTreeSet<Vec<u32>> {
     let threads = opts.effective_threads();
-    match cq_eval::treedec_join_instance(db, q, threads) {
+    match cq_eval::treedec_join_instance(db, q, threads, None) {
         Some((jdb, jq)) => answers_cq(&jdb, &jq, opts),
         None => BTreeSet::new(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resource-governed entry points
+// ---------------------------------------------------------------------------
+
+/// Stats for the CQ family under governance: the governor's work counter is
+/// the only cross-worker aggregate the CQ evaluators maintain, so it is
+/// surfaced through `configurations`.
+fn governed_cq_stats(governor: &Governor) -> ProductStats {
+    ProductStats {
+        configurations: governor.work_charged(),
+        budget_checks: governor.checkpoints_run(),
+        budget_aborts: u64::from(governor.stopped()),
+        ..ProductStats::default()
+    }
+}
+
+/// Resource-governed Boolean product evaluation.
+///
+/// Identical to [`eval_product_with_stats`] while the budget in
+/// `opts.budget` holds; when a limit is hit the search stops cooperatively
+/// and the [`Outcome::termination`] field reports which resource ran out.
+/// A `true` answer is always definitive (a concrete satisfying assignment
+/// was verified); a `false` answer under a non-[`Termination::Complete`]
+/// termination only means "not proven satisfiable within budget".
+pub fn eval_product_governed(
+    db: &GraphDb,
+    query: &PreparedQuery,
+    opts: &EvalOptions,
+) -> Outcome<bool> {
+    let governor = Governor::new(&opts.budget);
+    let tables = SharedTables::build_governed(db, query, Layout::Flat, Some(&governor));
+    let workers = product_workers(db, query, opts);
+    let mut found = false;
+    let mut stats = ProductStats::default();
+    if workers <= 1 {
+        let mut e = Evaluator::with_tables(db, query, &tables);
+        e.set_governor(&governor);
+        found = e.boolean();
+        e.flush_budget();
+        stats = e.stats;
+    } else {
+        let ranges = chunk_ranges(db.num_nodes(), workers * CHUNKS_PER_THREAD);
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (next, stop, tables, ranges, governor) =
+                        (&next, &stop, &tables, &ranges, &governor);
+                    s.spawn(move || {
+                        let mut e = Evaluator::with_tables(db, query, tables);
+                        e.set_stop(stop);
+                        e.set_governor(governor);
+                        let mut hit = false;
+                        while !stop.load(Ordering::Relaxed) && !governor.stopped() {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(r) = ranges.get(i) else { break };
+                            e.set_first_var_range(r.clone());
+                            if e.boolean() {
+                                hit = true;
+                                stop.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                        e.flush_budget();
+                        (hit, e.stats)
+                    })
+                })
+                .collect();
+            for h in handles {
+                // lint:allow(unwrap): propagate worker panics instead of losing them
+                let (hit, s) = h.join().expect("product worker panicked");
+                found |= hit;
+                stats.merge(&s);
+            }
+        });
+    }
+    stats.budget_checks = governor.checkpoints_run();
+    let termination = if found {
+        Termination::Complete
+    } else {
+        governor.termination()
+    };
+    Outcome {
+        answers: found,
+        stats,
+        termination,
+    }
+}
+
+/// Resource-governed answer enumeration for the product evaluator.
+///
+/// The returned set is always a **subset** of the ungoverned answer set
+/// (budget truncation can only lose answers, never invent them), and when
+/// [`Outcome::termination`] is [`Termination::Complete`] it is
+/// bit-identical to [`answers_product`].
+pub fn answers_product_governed(
+    db: &GraphDb,
+    query: &PreparedQuery,
+    opts: &EvalOptions,
+) -> Outcome<BTreeSet<Vec<NodeId>>> {
+    let governor = Governor::new(&opts.budget);
+    let tables = SharedTables::build_governed(db, query, Layout::Flat, Some(&governor));
+    let workers = product_workers(db, query, opts);
+    let mut out: BTreeSet<Vec<NodeId>> = BTreeSet::new();
+    let mut stats = ProductStats::default();
+    if workers <= 1 {
+        let mut e = Evaluator::with_tables(db, query, &tables);
+        e.set_governor(&governor);
+        e.answers_into(&mut out);
+        e.flush_budget();
+        stats = e.stats;
+    } else {
+        let ranges = chunk_ranges(db.num_nodes(), workers * CHUNKS_PER_THREAD);
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (next, tables, ranges, governor) = (&next, &tables, &ranges, &governor);
+                    s.spawn(move || {
+                        let mut e = Evaluator::with_tables(db, query, tables);
+                        e.set_governor(governor);
+                        let mut mine: BTreeSet<Vec<NodeId>> = BTreeSet::new();
+                        while !governor.stopped() {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(r) = ranges.get(i) else { break };
+                            e.set_first_var_range(r.clone());
+                            e.answers_into(&mut mine);
+                        }
+                        e.flush_budget();
+                        (mine, e.stats)
+                    })
+                })
+                .collect();
+            for h in handles {
+                // lint:allow(unwrap): propagate worker panics instead of losing them
+                let (mine, s) = h.join().expect("product worker panicked");
+                if out.is_empty() {
+                    out = mine;
+                } else {
+                    out.extend(mine);
+                }
+                stats.merge(&s);
+            }
+        });
+    }
+    stats.budget_checks = governor.checkpoints_run();
+    let termination = governor.termination();
+    Outcome {
+        answers: out,
+        stats,
+        termination,
+    }
+}
+
+/// Resource-governed Boolean CQ evaluation. `true` is definitive; `false`
+/// with a non-complete termination means "not proven within budget".
+pub fn eval_cq_governed(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -> Outcome<bool> {
+    let governor = Governor::new(&opts.budget);
+    let workers = cq_workers(db, q, opts);
+    let mut found = false;
+    if workers <= 1 {
+        found = cq_eval::eval_cq_part(db, q, None, Some(&governor));
+    } else {
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|p| {
+                    let (stop, governor) = (&stop, &governor);
+                    s.spawn(move || {
+                        if stop.load(Ordering::Relaxed) || governor.stopped() {
+                            return false;
+                        }
+                        let hit = cq_eval::eval_cq_part(db, q, Some((workers, p)), Some(governor));
+                        if hit {
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                        hit
+                    })
+                })
+                .collect();
+            for h in handles {
+                // lint:allow(unwrap): propagate worker panics instead of losing them
+                found |= h.join().expect("cq worker panicked");
+            }
+        });
+    }
+    let termination = if found {
+        Termination::Complete
+    } else {
+        governor.termination()
+    };
+    Outcome {
+        answers: found,
+        stats: governed_cq_stats(&governor),
+        termination,
+    }
+}
+
+/// Resource-governed Boolean tree-decomposition evaluation. The
+/// Yannakakis reduction only certifies satisfiability when it ran to
+/// completion, so a run cut short by the budget never returns `true` —
+/// `false` under a non-complete termination means "not proven".
+pub fn eval_cq_treedec_governed(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -> Outcome<bool> {
+    let governor = Governor::new(&opts.budget);
+    let sat = cq_eval::eval_cq_treedec_threads(db, q, opts.effective_threads(), Some(&governor));
+    let termination = if sat {
+        Termination::Complete
+    } else {
+        governor.termination()
+    };
+    Outcome {
+        answers: sat,
+        stats: governed_cq_stats(&governor),
+        termination,
+    }
+}
+
+/// Resource-governed CQ answer enumeration. Same subset/complete
+/// guarantees as [`answers_product_governed`], relative to [`answers_cq`].
+pub fn answers_cq_governed(
+    db: &RelationalDb,
+    q: &Cq,
+    opts: &EvalOptions,
+) -> Outcome<BTreeSet<Vec<u32>>> {
+    let governor = Governor::new(&opts.budget);
+    let answers = answers_cq_governed_inner(db, q, opts, &governor);
+    Outcome {
+        answers,
+        stats: governed_cq_stats(&governor),
+        termination: governor.termination(),
+    }
+}
+
+/// Shared governed CQ enumeration body (also the tail of the governed
+/// tree-decomposition pipeline, which reuses one governor across both
+/// phases so the deadline spans the whole run).
+fn answers_cq_governed_inner(
+    db: &RelationalDb,
+    q: &Cq,
+    opts: &EvalOptions,
+    governor: &Governor,
+) -> BTreeSet<Vec<u32>> {
+    let workers = cq_workers(db, q, opts);
+    if workers <= 1 {
+        let mut out = BTreeSet::new();
+        cq_eval::answers_cq_part(db, q, None, Some(governor), &mut out);
+        return out;
+    }
+    let mut out: BTreeSet<Vec<u32>> = BTreeSet::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|p| {
+                s.spawn(move || {
+                    let mut mine = BTreeSet::new();
+                    if !governor.stopped() {
+                        cq_eval::answers_cq_part(
+                            db,
+                            q,
+                            Some((workers, p)),
+                            Some(governor),
+                            &mut mine,
+                        );
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for h in handles {
+            // lint:allow(unwrap): propagate worker panics instead of losing them
+            let mine = h.join().expect("cq worker panicked");
+            if out.is_empty() {
+                out = mine;
+            } else {
+                out.extend(mine);
+            }
+        }
+    });
+    out
+}
+
+/// Resource-governed tree-decomposition answer enumeration: one governor
+/// spans bag population, the semijoin reduction, and the final acyclic
+/// join, so a deadline covers the whole pipeline. A run cut short during
+/// reduction enumerates over under-filled bags, which can only shrink the
+/// answer set — the subset guarantee is preserved.
+pub fn answers_cq_treedec_governed(
+    db: &RelationalDb,
+    q: &Cq,
+    opts: &EvalOptions,
+) -> Outcome<BTreeSet<Vec<u32>>> {
+    let governor = Governor::new(&opts.budget);
+    let threads = opts.effective_threads();
+    let answers = match cq_eval::treedec_join_instance(db, q, threads, Some(&governor)) {
+        Some((jdb, jq)) => answers_cq_governed_inner(&jdb, &jq, opts, &governor),
+        None => BTreeSet::new(),
+    };
+    Outcome {
+        answers,
+        stats: governed_cq_stats(&governor),
+        termination: governor.termination(),
     }
 }
 

@@ -31,6 +31,7 @@ pub mod cq_eval;
 pub mod crpq;
 pub mod engine;
 pub mod fnv;
+pub mod governor;
 pub mod optimize;
 pub mod planner;
 pub mod prepare;
@@ -43,9 +44,11 @@ pub mod ucrpq;
 pub use counting::{count_cq_nice, count_cq_treedec, count_ecrpq_assignments};
 pub use engine::EvalOptions;
 pub use fnv::{FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher};
+pub use governor::{ExhaustedResource, Outcome, ResourceBudget, Termination};
 pub use optimize::{optimize, Simplified};
 pub use planner::{
-    answers_with_stats, evaluate, evaluate_with_stats, CombinedRegime, ParamRegime, Plan, Strategy,
+    answers_governed, answers_with_stats, evaluate, evaluate_governed, evaluate_with_stats,
+    regime_budget, CombinedRegime, ParamRegime, Plan, Strategy,
 };
 pub use prepare::{MergedAtom, PreparedQuery};
 pub use product::{

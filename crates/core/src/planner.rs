@@ -12,6 +12,8 @@
 //! space the search visits.
 
 use crate::cq_eval::{answers_cq_treedec, eval_cq_treedec};
+use crate::engine::{self, EvalOptions};
+use crate::governor::{Outcome, ResourceBudget, Termination};
 use crate::prepare::PreparedQuery;
 use crate::product::{
     answers_product_with_stats_layout, eval_product_with_stats, Layout, ProductStats,
@@ -22,6 +24,7 @@ use ecrpq_graph::{GraphDb, NodeId};
 use ecrpq_query::{Ecrpq, QueryMeasures};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::time::Duration;
 
 /// Boundedness description of a class of 2L graphs (`None` = unbounded).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -97,6 +100,47 @@ pub fn param_regime(bounds: &ClassBounds) -> ParamRegime {
     }
 }
 
+/// Measures at or above these thresholds are treated as "effectively
+/// unbounded" when picking a default resource budget: for a single query
+/// every measure is finite (so the Theorem 3.2 class regime is trivially
+/// PTIME), but a large `cc_vertex` still drives the product search through
+/// the PSPACE-hard configuration space, and the budget should anticipate
+/// that.
+const BUDGET_CC_THRESHOLD: usize = 3;
+/// Treewidth threshold for the NP-ish default budget (see
+/// [`BUDGET_CC_THRESHOLD`]).
+const BUDGET_TW_THRESHOLD: usize = 4;
+
+/// The regime used for *budget* selection: measures at or above the
+/// thresholds count as unbounded, so a concrete query with a wide merged
+/// component is budgeted like a PSPACE-regime class member even though its
+/// own class is formally PTIME.
+pub fn budget_regime(measures: &QueryMeasures) -> CombinedRegime {
+    let bounds = ClassBounds {
+        cc_vertex: (measures.cc_vertex < BUDGET_CC_THRESHOLD).then_some(measures.cc_vertex),
+        cc_hedge: (measures.cc_hedge < BUDGET_CC_THRESHOLD).then_some(measures.cc_hedge),
+        treewidth: (measures.treewidth < BUDGET_TW_THRESHOLD).then_some(measures.treewidth),
+    };
+    combined_regime(&bounds)
+}
+
+/// The default [`ResourceBudget`] for a regime: generous where evaluation
+/// is tractable, tight where the search space is exponential and a runaway
+/// query would otherwise monopolize the engine.
+pub fn regime_budget(regime: CombinedRegime) -> ResourceBudget {
+    match regime {
+        CombinedRegime::PolynomialTime => {
+            ResourceBudget::unlimited().with_max_configurations(1_000_000_000)
+        }
+        CombinedRegime::NpComplete => ResourceBudget::unlimited()
+            .with_max_configurations(100_000_000)
+            .with_deadline(Duration::from_secs(10)),
+        CombinedRegime::PspaceComplete => ResourceBudget::unlimited()
+            .with_max_configurations(10_000_000)
+            .with_deadline(Duration::from_secs(2)),
+    }
+}
+
 /// Evaluation strategies the planner can pick.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Strategy {
@@ -121,6 +165,10 @@ pub struct Plan {
     pub strategy: Strategy,
     /// Estimated materialized tuples for the CQ pipeline.
     pub estimated_tuples: f64,
+    /// The regime-derived default budget [`evaluate_governed`] and
+    /// [`answers_governed`] fall back to when the caller's
+    /// [`EvalOptions::budget`] is unlimited.
+    pub default_budget: ResourceBudget,
     /// Static analysis of the query: an error-severity diagnostic proves
     /// the query unsatisfiable and [`evaluate`]/[`answers`] return their
     /// empty result without touching the database.
@@ -142,6 +190,11 @@ impl Plan {
         out.push_str(&format!(
             "class regimes (Thm 3.2 / Thm 3.1): {} / {}\n",
             self.combined, self.param
+        ));
+        out.push_str(&format!(
+            "default budget ({} regime): {}\n",
+            budget_regime(&self.measures),
+            self.default_budget
         ));
         match self.strategy {
             Strategy::CqTreedec => out.push_str(&format!(
@@ -184,6 +237,7 @@ pub fn plan(db: &GraphDb, query: &Ecrpq) -> Plan {
         param: param_regime(&bounds),
         strategy,
         estimated_tuples,
+        default_budget: regime_budget(budget_regime(&measures)),
         analysis,
         source: query.source().map(str::to_owned),
     }
@@ -292,6 +346,96 @@ pub fn answers_with_stats(db: &GraphDb, query: &Ecrpq) -> (BTreeSet<Vec<NodeId>>
             (answers_cq_treedec(&rdb, &cq), ProductStats::default())
         }
         Strategy::DirectProduct => answers_product_with_stats_layout(db, &prepared, Layout::Flat),
+    }
+}
+
+/// The budget a governed run actually uses: the caller's, unless the
+/// caller's is unlimited, in which case the regime default for `measures`.
+fn resolve_budget(opts: &EvalOptions, measures: &QueryMeasures) -> EvalOptions {
+    if opts.budget.is_unlimited() {
+        opts.with_budget(regime_budget(budget_regime(measures)))
+    } else {
+        *opts
+    }
+}
+
+/// Resource-governed [`evaluate`]: same pipeline (analyzer gate, rewrite,
+/// strategy selection), but the evaluation runs under
+/// [`EvalOptions::budget`] — or, when that is unlimited, under the
+/// regime-derived default of [`Plan::default_budget`]. A `true` answer is
+/// always definitive; `false` with a non-complete
+/// [`Outcome::termination`] means "not proven satisfiable within budget".
+pub fn evaluate_governed(db: &GraphDb, query: &Ecrpq, opts: &EvalOptions) -> Outcome<bool> {
+    if analyze(query).has_errors() {
+        return Outcome {
+            answers: false,
+            stats: ProductStats::default(),
+            termination: Termination::Complete,
+        };
+    }
+    // lint:allow(unwrap): validation errors were caught by the analyzer gate above
+    let query = match crate::optimize::optimize(query).expect("invalid query") {
+        crate::optimize::Simplified::ConstFalse => {
+            return Outcome {
+                answers: false,
+                stats: ProductStats::default(),
+                termination: Termination::Complete,
+            }
+        }
+        crate::optimize::Simplified::Query(q) => q,
+    };
+    let measures = query.measures();
+    let (strategy, _) = choose_strategy(db, &measures);
+    let opts = resolve_budget(opts, &measures);
+    // lint:allow(unwrap): the optimizer only emits valid queries
+    let prepared = PreparedQuery::build(&query).expect("invalid query");
+    match strategy {
+        Strategy::CqTreedec => {
+            let (cq, rdb, _) = ecrpq_to_cq(db, &prepared);
+            engine::eval_cq_treedec_governed(&rdb, &cq, &opts)
+        }
+        Strategy::DirectProduct => engine::eval_product_governed(db, &prepared, &opts),
+    }
+}
+
+/// Resource-governed [`answers`]: the returned set is a subset of the
+/// ungoverned answers, bit-identical when [`Outcome::termination`] is
+/// [`Termination::Complete`]. Falls back to the regime default budget as
+/// [`evaluate_governed`] does.
+pub fn answers_governed(
+    db: &GraphDb,
+    query: &Ecrpq,
+    opts: &EvalOptions,
+) -> Outcome<BTreeSet<Vec<NodeId>>> {
+    if analyze(query).has_errors() {
+        return Outcome {
+            answers: BTreeSet::new(),
+            stats: ProductStats::default(),
+            termination: Termination::Complete,
+        };
+    }
+    // lint:allow(unwrap): validation errors were caught by the analyzer gate above
+    let query = match crate::optimize::optimize(query).expect("invalid query") {
+        crate::optimize::Simplified::ConstFalse => {
+            return Outcome {
+                answers: BTreeSet::new(),
+                stats: ProductStats::default(),
+                termination: Termination::Complete,
+            }
+        }
+        crate::optimize::Simplified::Query(q) => q,
+    };
+    let measures = query.measures();
+    let (strategy, _) = choose_strategy(db, &measures);
+    let opts = resolve_budget(opts, &measures);
+    // lint:allow(unwrap): the optimizer only emits valid queries
+    let prepared = PreparedQuery::build(&query).expect("invalid query");
+    match strategy {
+        Strategy::CqTreedec => {
+            let (cq, rdb, _) = ecrpq_to_cq(db, &prepared);
+            engine::answers_cq_treedec_governed(&rdb, &cq, &opts)
+        }
+        Strategy::DirectProduct => engine::answers_product_governed(db, &prepared, &opts),
     }
 }
 

@@ -33,6 +33,7 @@
 //! differential benchmarking (`bench_layout`, experiment E15).
 
 use crate::fnv::{FnvHashMap, FnvHashSet};
+use crate::governor::{Governor, Pacer};
 use crate::prepare::PreparedQuery;
 use crate::semijoin::{self, PrunedDomains};
 use ecrpq_automata::{Nfa, Row, StateId, Track};
@@ -69,6 +70,11 @@ pub struct ProductStats {
     pub domain_kept: u64,
     /// Candidate values removed from variable domains by semijoin pruning.
     pub domain_pruned: u64,
+    /// Amortized budget check-ins executed (zero on ungoverned runs).
+    pub budget_checks: u64,
+    /// Hot loops abandoned because the budget tripped (zero on complete
+    /// runs).
+    pub budget_aborts: u64,
 }
 
 impl ProductStats {
@@ -85,6 +91,8 @@ impl ProductStats {
         self.frontier_peak = self.frontier_peak.max(other.frontier_peak);
         self.domain_kept = self.domain_kept.max(other.domain_kept);
         self.domain_pruned = self.domain_pruned.max(other.domain_pruned);
+        self.budget_checks = self.budget_checks.saturating_add(other.budget_checks);
+        self.budget_aborts = self.budget_aborts.saturating_add(other.budget_aborts);
     }
 }
 
@@ -192,6 +200,7 @@ pub fn answers_with_witnesses(db: &GraphDb, query: &PreparedQuery) -> Vec<(Vec<N
                     }
                     reps.insert(tuple.to_vec(), rep);
                 }
+                false
             });
             false
         });
@@ -228,7 +237,8 @@ pub fn answers_with_witnesses(db: &GraphDb, query: &PreparedQuery) -> Vec<(Vec<N
 /// Expands the unconstrained free variables of a satisfying assignment
 /// over the whole domain, without cloning partial tuples: one scratch
 /// tuple advanced like an odometer, `emit` called once per complete tuple
-/// with the tuple and the concrete per-free-variable values.
+/// with the tuple and the concrete per-free-variable values. `emit`
+/// returns `true` to abandon the expansion early (budget exhaustion).
 ///
 /// Replaces the old cartesian-product loop that cloned every partial
 /// tuple per choice (quadratic on wide free tuples).
@@ -236,7 +246,7 @@ pub(crate) fn for_each_free_tuple(
     assignment: &[i64],
     free: &[NodeVar],
     nv: usize,
-    mut emit: impl FnMut(&[NodeId], &[NodeId]),
+    mut emit: impl FnMut(&[NodeId], &[NodeId]) -> bool,
 ) {
     let mut tuple: Vec<NodeId> = Vec::with_capacity(free.len());
     let mut open: Vec<usize> = Vec::new(); // positions ranging over V
@@ -253,7 +263,9 @@ pub(crate) fn for_each_free_tuple(
         return;
     }
     loop {
-        emit(&tuple, &tuple);
+        if emit(&tuple, &tuple) {
+            return;
+        }
         // advance the open positions, least-significant first
         let mut i = 0;
         loop {
@@ -395,6 +407,21 @@ impl SharedTables {
 
     /// As [`SharedTables::build`] on an explicit [`Layout`].
     pub(crate) fn build_with_layout(db: &GraphDb, query: &PreparedQuery, layout: Layout) -> Self {
+        Self::build_governed(db, query, layout, None)
+    }
+
+    /// As [`SharedTables::build_with_layout`], cooperatively checking the
+    /// governor during the closure build and the semijoin sweeps. When the
+    /// budget trips mid-build, the remaining closure rows stay empty and
+    /// the remaining sweeps are skipped — both are necessary-condition
+    /// filters, so the truncation can only *drop* answers, which is sound
+    /// under the non-`Complete` termination the governor then reports.
+    pub(crate) fn build_governed(
+        db: &GraphDb,
+        query: &PreparedQuery,
+        layout: Layout,
+        governor: Option<&Governor>,
+    ) -> Self {
         assert_eq!(
             db.alphabet().len(),
             query.num_symbols,
@@ -419,9 +446,25 @@ impl SharedTables {
                 (space <= (1 << 27)).then_some(space as usize)
             })
             .collect();
-        let closure = (0..db.num_nodes() as NodeId)
-            .map(|v| ecrpq_graph::paths::reachable_from(db, v))
-            .collect();
+        let n = db.num_nodes();
+        let closure = match governor {
+            None => (0..n as NodeId)
+                .map(|v| ecrpq_graph::paths::reachable_from(db, v))
+                .collect(),
+            Some(g) => {
+                let mut rows = Vec::with_capacity(n);
+                for v in 0..n as NodeId {
+                    // one checkpoint per source vertex: `reachable_from`
+                    // is O(E), so the deadline is honoured per row
+                    if g.checkpoint(1) {
+                        rows.push(ecrpq_automata::BitSet::new(n));
+                    } else {
+                        rows.push(ecrpq_graph::paths::reachable_from(db, v));
+                    }
+                }
+                rows
+            }
+        };
         let dense = if layout == Layout::Legacy {
             DenseTables::default()
         } else {
@@ -431,7 +474,7 @@ impl SharedTables {
             DenseTables::build(&automata)
         };
         let pruned = if layout == Layout::Flat {
-            semijoin::prune_domains(db, query, &automata)
+            semijoin::prune_domains(db, query, &automata, governor)
         } else {
             PrunedDomains::unconstrained(query.num_node_vars)
         };
@@ -485,6 +528,11 @@ pub(crate) struct Evaluator<'a> {
     /// every top-level domain step; a worker that finds a satisfying
     /// assignment sets it and the others abandon their chunks.
     stop: Option<&'a AtomicBool>,
+    /// Per-worker budget bookkeeping: counts work units (one per
+    /// feasibility check plus one per BFS configuration) and checks in
+    /// with the shared governor every ~4k units. A no-op when the run is
+    /// ungoverned.
+    pacer: Pacer<'a>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -513,6 +561,7 @@ impl<'a> Evaluator<'a> {
             generation: 0,
             first_var_range: None,
             stop: None,
+            pacer: Pacer::new(None),
         }
     }
 
@@ -524,6 +573,33 @@ impl<'a> Evaluator<'a> {
     /// Installs the cross-worker cancellation flag.
     pub(crate) fn set_stop(&mut self, stop: &'a AtomicBool) {
         self.stop = Some(stop);
+    }
+
+    /// Installs the shared budget governor and charges this worker's
+    /// fixed allocations (the visited-stamp arrays) to the tracked-memory
+    /// estimate.
+    pub(crate) fn set_governor(&mut self, governor: &'a Governor) {
+        let stamp_bytes: u64 = self
+            .stamps
+            .iter()
+            .flatten()
+            .map(|s| 4 * s.len() as u64)
+            .sum();
+        governor.charge_memory(stamp_bytes);
+        self.pacer = Pacer::new(Some(governor));
+    }
+
+    /// Flushes locally counted work units to the governor; call when a
+    /// worker finishes so the shared work counter stays accurate.
+    pub(crate) fn flush_budget(&mut self) {
+        self.pacer.flush();
+    }
+
+    /// Combined cooperative-cancellation check: the parallel early-success
+    /// flag or the budget governor's stop flag.
+    #[inline]
+    fn should_stop(&self) -> bool {
+        self.stop.is_some_and(|s| s.load(Ordering::Relaxed)) || self.pacer.stopped()
     }
 
     pub(crate) fn boolean(&mut self) -> bool {
@@ -555,14 +631,45 @@ impl<'a> Evaluator<'a> {
         let free = self.query.free.clone();
         let nv = self.db.num_nodes();
         let mut assignment = vec![UNASSIGNED; self.query.num_node_vars];
+        let governor = self.pacer.governor();
+        // the free-tuple odometer charges its own work units: a query with
+        // few constrained variables can emit |V|^f tuples per satisfying
+        // assignment without running a single product check
+        let mut odometer_work: u64 = 0;
         self.search(0, &mut assignment, &mut |assignment| {
+            let mut tripped = false;
             for_each_free_tuple(assignment, &free, nv, |tuple, _| {
+                if let Some(g) = governor {
+                    odometer_work += 1;
+                    if odometer_work >= g.check_interval() {
+                        let _ = g.checkpoint(std::mem::take(&mut odometer_work));
+                    }
+                    if g.stopped() {
+                        tripped = true;
+                        return true;
+                    }
+                }
                 if !out.contains(tuple) {
+                    if let Some(g) = governor {
+                        if !g.try_claim_answer() {
+                            tripped = true;
+                            return true;
+                        }
+                        // answers are retained: charge them to the
+                        // tracked-memory estimate
+                        g.charge_memory(24 + 4 * tuple.len() as u64);
+                    }
                     out.insert(tuple.to_vec());
                 }
+                false
             });
-            false // keep searching for more answers
+            tripped // abandon the search once the budget trips
         });
+        if odometer_work > 0 {
+            if let Some(g) = governor {
+                g.checkpoint(odometer_work);
+            }
+        }
     }
 
     fn witness(&mut self) -> Option<Witness> {
@@ -708,10 +815,8 @@ impl<'a> Evaluator<'a> {
     ) -> bool {
         let var = vars[vi] as usize;
         for v in values {
-            if let Some(stop) = self.stop {
-                if stop.load(Ordering::Relaxed) {
-                    break;
-                }
+            if self.should_stop() {
+                break;
             }
             assignment[var] = i64::from(v);
             if self.enumerate(atom_idx, vars, vi + 1, assignment, nv, on_success) {
@@ -726,6 +831,9 @@ impl<'a> Evaluator<'a> {
     /// Memoized product-reachability check for one merged atom with fixed
     /// endpoints.
     fn feasible(&mut self, atom_idx: usize, starts: &[NodeId], ends: &[NodeId]) -> bool {
+        // one work unit per check keeps the deadline honoured even when
+        // every check is a closure reject or a memo hit (no BFS configs)
+        let _ = self.pacer.tick();
         // necessary condition: every target plain-reachable from its source
         if starts
             .iter()
@@ -741,6 +849,18 @@ impl<'a> Evaluator<'a> {
         }
         self.stats.checks += 1;
         let result = self.product_bfs(atom_idx, starts, ends, false).is_some();
+        if !result && self.pacer.stopped() {
+            // the BFS may have been truncated by the budget, so an
+            // "infeasible" verdict is unproven — report it (losing answers
+            // is sound under a non-`Complete` termination) but never
+            // memoize it
+            return false;
+        }
+        if let Some(g) = self.pacer.governor() {
+            // coarse per-entry estimate: two endpoint vectors + value +
+            // hash-table overhead
+            g.charge_memory(64 + 8 * starts.len() as u64);
+        }
         self.memo.insert(key, result);
         result
     }
@@ -866,6 +986,11 @@ impl<'a> Evaluator<'a> {
         let mut goal: Option<Config> = None;
         'bfs: while let Some((q, pos)) = queue.pop_front() {
             self.stats.configurations += 1;
+            // cooperative budget check, amortized to every ~4k configs
+            if self.pacer.tick() {
+                self.stats.budget_aborts += 1;
+                break 'bfs;
+            }
             if nfa.is_final(q) && pos == ends {
                 goal = Some((q, pos));
                 break 'bfs;
@@ -936,6 +1061,7 @@ impl<'a> Evaluator<'a> {
         let mut configs: Vec<Config> = vec![goal.clone()];
         let mut cur = goal;
         while let Some((prev, rid)) = parent.get(&cur) {
+            // lint:allow(unguarded-loop): O(path-length) trace rebuild
             rows.push(dense.row_of(*rid).to_vec());
             configs.push(prev.clone());
             cur = prev.clone();
@@ -1003,6 +1129,11 @@ impl<'a> Evaluator<'a> {
         let mut goal: Option<Config> = None;
         'bfs: while let Some((q, pos)) = queue.pop_front() {
             self.stats.configurations += 1;
+            // cooperative budget check, amortized to every ~4k configs
+            if self.pacer.tick() {
+                self.stats.budget_aborts += 1;
+                break 'bfs;
+            }
             if accepting(q, &pos) {
                 goal = Some((q, pos));
                 break 'bfs;
@@ -1070,6 +1201,7 @@ impl<'a> Evaluator<'a> {
         let mut configs: Vec<Config> = vec![goal.clone()];
         let mut cur = goal;
         while let Some((prev, row)) = parent.get(&cur) {
+            // lint:allow(unguarded-loop): O(path-length) trace rebuild
             rows.push(row.clone());
             configs.push(prev.clone());
             cur = prev.clone();
@@ -1356,7 +1488,10 @@ mod tests {
         let free = [NodeVar(0), NodeVar(1), NodeVar(2)];
         let assignment = [UNASSIGNED, 1, UNASSIGNED];
         let mut got: Vec<Vec<NodeId>> = Vec::new();
-        for_each_free_tuple(&assignment, &free, 3, |t, _| got.push(t.to_vec()));
+        for_each_free_tuple(&assignment, &free, 3, |t, _| {
+            got.push(t.to_vec());
+            false
+        });
         assert_eq!(got.len(), 9);
         let set: BTreeSet<Vec<NodeId>> = got.iter().cloned().collect();
         assert_eq!(set.len(), 9);
@@ -1368,7 +1503,8 @@ mod tests {
         // no unassigned vars: exactly one tuple
         let mut got = Vec::new();
         for_each_free_tuple(&[2, 0], &[NodeVar(0), NodeVar(1)], 3, |t, _| {
-            got.push(t.to_vec())
+            got.push(t.to_vec());
+            false
         });
         assert_eq!(got, vec![vec![2, 0]]);
     }

@@ -20,6 +20,7 @@
 //! set is bit-identical with pruning on or off (the differential suite
 //! asserts this).
 
+use crate::governor::{Governor, Pacer};
 use crate::prepare::PreparedQuery;
 use ecrpq_automata::{BitSet, Nfa, Row, StateId, Track};
 use ecrpq_graph::{GraphDb, NodeId};
@@ -52,20 +53,31 @@ impl PrunedDomains {
 
 /// Runs the semijoin pass over every (atom, track) pair. `automata` are
 /// the trimmed ε-free automata of `query.atoms`, in order.
+///
+/// The sweeps check in with `governor` cooperatively. An aborted sweep is
+/// an *under*-approximation of the feasible sets — intersecting it into a
+/// domain would prune values that can participate in answers — so a sweep
+/// cut short by the budget contributes no constraint at all and every
+/// remaining sweep is skipped. The resulting (weaker) pruning is still
+/// sound, and the governor's tripped state tells the caller the run is no
+/// longer complete.
 pub(crate) fn prune_domains(
     db: &GraphDb,
     query: &PreparedQuery,
     automata: &[Nfa<Row>],
+    governor: Option<&Governor>,
 ) -> PrunedDomains {
     let nv = db.num_nodes();
     let mut sets: Vec<Option<BitSet>> = vec![None; query.num_node_vars];
-    for (atom, nfa) in query.atoms.iter().zip(automata) {
+    'atoms: for (atom, nfa) in query.atoms.iter().zip(automata) {
         let nq = nfa.num_states();
         if (nq as u128) * (nv as u128) > MAX_TRACK_SPACE {
             continue; // too large to sweep; this atom constrains nothing
         }
         for (i, &(src, dst)) in atom.endpoints.iter().enumerate() {
-            let (sources_ok, targets_ok) = track_feasible(db, nfa, i, nv);
+            let Some((sources_ok, targets_ok)) = track_feasible(db, nfa, i, nv, governor) else {
+                break 'atoms; // budget tripped mid-sweep: stop pruning
+            };
             for (var, ok) in [(src, sources_ok), (dst, targets_ok)] {
                 let slot = &mut sets[var.0 as usize];
                 match slot {
@@ -98,8 +110,17 @@ pub(crate) fn prune_domains(
 /// Forward/backward reachability over the product of the track-`i`
 /// projection of `nfa` with the database. Returns `(sources_ok,
 /// targets_ok)`: vertices from which acceptance is projection-reachable,
-/// and vertices the projection can occupy in an accepting configuration.
-fn track_feasible(db: &GraphDb, nfa: &Nfa<Row>, track: usize, nv: usize) -> (BitSet, BitSet) {
+/// and vertices the projection can occupy in an accepting configuration —
+/// or `None` when the budget governor tripped mid-sweep (the partial sets
+/// must not be used: they under-approximate and would over-prune).
+fn track_feasible(
+    db: &GraphDb,
+    nfa: &Nfa<Row>,
+    track: usize,
+    nv: usize,
+    governor: Option<&Governor>,
+) -> Option<(BitSet, BitSet)> {
+    let mut pacer = Pacer::new(governor);
     let nq = nfa.num_states();
     // deduplicated per-state projections of the transition relation
     let mut fwd: Vec<Vec<(Track, StateId)>> = vec![Vec::new(); nq];
@@ -128,6 +149,10 @@ fn track_feasible(db: &GraphDb, nfa: &Nfa<Row>, track: usize, nv: usize) -> (Bit
         }
     }
     while let Some((q, v)) = stack.pop() {
+        // cooperative budget check, amortized to every ~4k pops
+        if pacer.tick() {
+            return None;
+        }
         for &(t, q2) in &fwd[q as usize] {
             match t {
                 Track::Pad => {
@@ -169,6 +194,10 @@ fn track_feasible(db: &GraphDb, nfa: &Nfa<Row>, track: usize, nv: usize) -> (Bit
         }
     }
     while let Some((q2, u)) = stack.pop() {
+        // cooperative budget check, amortized to every ~4k pops
+        if pacer.tick() {
+            return None;
+        }
         for &(t, q) in &rev[q2 as usize] {
             match t {
                 Track::Pad => {
@@ -194,7 +223,8 @@ fn track_feasible(db: &GraphDb, nfa: &Nfa<Row>, track: usize, nv: usize) -> (Bit
             }
         }
     }
-    (sources_ok, targets_ok)
+    pacer.flush();
+    Some((sources_ok, targets_ok))
 }
 
 #[cfg(test)]
@@ -231,7 +261,7 @@ mod tests {
             &[p],
         );
         let prepared = PreparedQuery::build(&q).unwrap();
-        let pd = prune_domains(&db, &prepared, &trimmed(&prepared));
+        let pd = prune_domains(&db, &prepared, &trimmed(&prepared), None);
         assert_eq!(pd.domains[0].as_deref(), Some(&[][..]));
         assert_eq!(pd.domains[1].as_deref(), Some(&[][..]));
         assert_eq!(pd.kept, 0);
@@ -253,7 +283,7 @@ mod tests {
         let p = q.path_atom(x, "p", y);
         q.rel_atom("aa", Arc::new(relations::word_relation(&[0, 0], 1)), &[p]);
         let prepared = PreparedQuery::build(&q).unwrap();
-        let pd = prune_domains(&db, &prepared, &trimmed(&prepared));
+        let pd = prune_domains(&db, &prepared, &trimmed(&prepared), None);
         assert_eq!(pd.domains[0].as_deref(), Some(&[u][..]));
         assert_eq!(pd.domains[1].as_deref(), Some(&[w][..]));
         assert_eq!(pd.kept, 2);
@@ -278,7 +308,7 @@ mod tests {
         let p2 = q.path_atom(y, "p2", z);
         q.rel_atom("eq_len", Arc::new(relations::eq_length(2, m)), &[p1, p2]);
         let prepared = PreparedQuery::build(&q).unwrap();
-        let pd = prune_domains(&db, &prepared, &trimmed(&prepared));
+        let pd = prune_domains(&db, &prepared, &trimmed(&prepared), None);
         for d in &pd.domains {
             assert_eq!(d.as_deref(), Some(&[u, v][..]));
         }

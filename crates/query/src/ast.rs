@@ -25,14 +25,20 @@ impl Span {
         Span { start, end }
     }
 
-    /// The `(line, column)` of `start` within `source`, both 1-based.
-    /// Out-of-range offsets clamp to the end of the text.
+    /// The `(line, column)` of `start` within `source`, both 1-based. The
+    /// column counts *characters*, not bytes, so multi-byte text renders
+    /// correctly (for ASCII the two coincide). Out-of-range offsets clamp
+    /// to the end of the text; offsets inside a multi-byte character snap
+    /// back to its first byte.
     pub fn line_col(&self, source: &str) -> (usize, usize) {
-        let upto = &source[..self.start.min(source.len())];
+        let mut start = self.start.min(source.len());
+        while !source.is_char_boundary(start) {
+            start -= 1;
+        }
+        let upto = &source[..start];
         let line = upto.matches('\n').count() + 1;
-        let col = upto.rfind('\n').map_or(self.start.min(source.len()), |p| {
-            self.start.min(source.len()) - p - 1
-        }) + 1;
+        let line_start = upto.rfind('\n').map_or(0, |p| p + 1);
+        let col = upto[line_start..].chars().count() + 1;
         (line, col)
     }
 }

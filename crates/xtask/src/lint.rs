@@ -53,6 +53,20 @@ pub const HOT_PATH_FILES: &[&str] = &[
 /// a word on why the panic is unreachable.
 pub const ALLOW_MARKER: &str = "lint:allow(unwrap)";
 
+/// Modules whose worklist loops sit on the governed evaluation hot path:
+/// an unguarded loop there can run arbitrarily long without ever
+/// discovering that a deadline or budget tripped.
+pub const BUDGET_HOT_FILES: &[&str] = &[
+    "crates/core/src/product.rs",
+    "crates/core/src/semijoin.rs",
+    "crates/core/src/cq_eval.rs",
+];
+
+/// Marker that exempts one audited loop from [`lint_budget_checkpoints`].
+/// Put it on the loop header line or the first line of the body, with a
+/// word on why the loop is bounded (e.g. O(path-length) reconstruction).
+pub const ALLOW_UNGUARDED: &str = "lint:allow(unguarded-loop)";
+
 /// Rule 1: a crate entry point must start its attribute block with
 /// `#![forbid(unsafe_code)]`. Applies to `lib.rs`/`main.rs` of own crates.
 pub fn lint_forbid_unsafe(path: &str, content: &str) -> Vec<Violation> {
@@ -165,6 +179,64 @@ pub fn lint_tracked_target<'a>(tracked: impl Iterator<Item = &'a str>) -> Vec<Vi
         .collect()
 }
 
+/// Rule 5: every `while let Some(` worklist loop in a
+/// [`BUDGET_HOT_FILES`] module must check in with the budget governor
+/// somewhere in its body — a `.tick(`, `checkpoint(` or `stopped(` call —
+/// or carry the [`ALLOW_UNGUARDED`] audit marker on its header or first
+/// body line. Worklist loops are where evaluation time actually goes; one
+/// that never checks in turns a 50 ms deadline into "whenever the loop
+/// drains".
+pub fn lint_budget_checkpoints(path: &str, content: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let lines: Vec<&str> = content.lines().collect();
+    for (idx, header) in lines.iter().enumerate() {
+        let code = strip_comment(header);
+        if !code.contains("while let Some(") {
+            continue;
+        }
+        if header.contains(ALLOW_UNGUARDED)
+            || lines
+                .get(idx + 1)
+                .is_some_and(|l| l.contains(ALLOW_UNGUARDED))
+        {
+            continue;
+        }
+        // brace-track the loop body: from the header line until the depth
+        // falls back to zero after having opened
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut guarded = false;
+        for body_line in &lines[idx..] {
+            let body_code = strip_comment(body_line);
+            for needle in [".tick(", "checkpoint(", "stopped("] {
+                if body_code.contains(needle) {
+                    guarded = true;
+                }
+            }
+            depth += body_code.matches('{').count() as i64;
+            depth -= body_code.matches('}').count() as i64;
+            if depth > 0 {
+                opened = true;
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+        }
+        if !guarded {
+            out.push(Violation {
+                file: path.to_string(),
+                line: idx + 1,
+                message: format!(
+                    "unguarded worklist loop on the budget hot path — call `pacer.tick()` \
+                     (or `checkpoint`/`stopped`) in the body, or audit it with \
+                     `// {ALLOW_UNGUARDED}: why the loop is bounded`"
+                ),
+            });
+        }
+    }
+    out
+}
+
 /// Drops a trailing `// …` comment (naive: does not parse string
 /// literals, which is fine for the policy rules above).
 fn strip_comment(line: &str) -> &str {
@@ -260,6 +332,70 @@ fn lib_code() {
         let v = lint_unwrap("f", src);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].line, 6);
+    }
+
+    #[test]
+    fn budget_checkpoint_fires_on_unguarded_worklist_loop() {
+        let bad = "\
+fn sweep() {
+    while let Some(x) = stack.pop() {
+        expand(x);
+    }
+}
+";
+        let v = lint_budget_checkpoints("crates/core/src/semijoin.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].message.contains("unguarded worklist loop"));
+    }
+
+    #[test]
+    fn budget_checkpoint_accepts_ticked_loops_and_markers() {
+        let ticked = "\
+fn sweep() {
+    while let Some(x) = stack.pop() {
+        if pacer.tick() {
+            return None;
+        }
+        expand(x);
+    }
+}
+";
+        assert!(lint_budget_checkpoints("f", ticked).is_empty());
+        let marked = "\
+fn trace() {
+    while let Some(p) = parent.get(&cur) {
+        // lint:allow(unguarded-loop): O(path-length) trace rebuild
+        cur = p;
+    }
+}
+";
+        assert!(lint_budget_checkpoints("f", marked).is_empty());
+        // a checkpoint-flavoured call in a nested helper position counts
+        let checkpointed = "\
+fn drain() {
+    while let Some(x) = q.pop_front() {
+        if governor.checkpoint(1) {
+            break;
+        }
+    }
+}
+";
+        assert!(lint_budget_checkpoints("f", checkpointed).is_empty());
+        // a guarded loop followed by an unguarded one: only the second fires
+        let mixed = "\
+fn both() {
+    while let Some(x) = a.pop() {
+        pacer.tick();
+    }
+    while let Some(y) = b.pop() {
+        expand(y);
+    }
+}
+";
+        let v = lint_budget_checkpoints("f", mixed);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 5);
     }
 
     #[test]

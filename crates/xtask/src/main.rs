@@ -7,8 +7,8 @@
 mod lint;
 
 use lint::{
-    lint_default_hasher, lint_forbid_unsafe, lint_tracked_target, lint_unwrap, Violation,
-    HOT_PATH_FILES, OWN_CRATES,
+    lint_budget_checkpoints, lint_default_hasher, lint_forbid_unsafe, lint_tracked_target,
+    lint_unwrap, Violation, BUDGET_HOT_FILES, HOT_PATH_FILES, OWN_CRATES,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -105,14 +105,29 @@ fn run_lint() -> ExitCode {
         }
     }
 
+    // Rule 5: worklist loops on the budget hot path must check in with
+    // the governor (or carry an audit marker).
+    for hot in BUDGET_HOT_FILES {
+        let path = root.join(hot);
+        match std::fs::read_to_string(&path) {
+            Ok(content) => violations.extend(lint_budget_checkpoints(hot, &content)),
+            Err(e) => {
+                eprintln!("xtask: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     for v in &violations {
         println!("{v}");
     }
     if violations.is_empty() {
         println!(
-            "xtask lint: clean ({} entry points, {} hot files, {} library files)",
+            "xtask lint: clean ({} entry points, {} hot files, {} budget-hot files, \
+             {} library files)",
             entries.len(),
             HOT_PATH_FILES.len(),
+            BUDGET_HOT_FILES.len(),
             lib_sources.len()
         );
         ExitCode::SUCCESS

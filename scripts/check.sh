@@ -16,8 +16,9 @@ cargo build --release --offline
 echo "== tier-1: tests =="
 cargo test -q --offline
 
-echo "== differential suites (evaluator equivalence, layout + parallel) =="
-cargo test -q --offline --test differential --test parallel_differential --test layout_differential
+echo "== differential suites (evaluator equivalence, layout + parallel + budget) =="
+cargo test -q --offline --test differential --test parallel_differential --test layout_differential \
+  --test budget_differential
 
 echo "== xtask lint (repo policy) =="
 cargo run -q -p xtask --offline -- lint

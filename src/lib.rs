@@ -74,6 +74,51 @@
 //! assert_eq!(par, seq);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Resource-governed evaluation
+//!
+//! ECRPQ evaluation is PSPACE-complete in combined complexity (Theorem
+//! 3.2), so any engine that accepts untrusted queries needs a way to stop.
+//! A [`eval::ResourceBudget`] carried in [`eval::EvalOptions`] bounds a
+//! run by wall-clock deadline, total work (product configurations),
+//! answer count, or tracked memory; the `*_governed` entry points check
+//! it cooperatively (amortized, every few thousand work units) across the
+//! product search, semijoin pruning, CQ evaluation and all parallel
+//! workers. Running out of budget is not an error: the
+//! [`eval::Outcome`] carries the answers found so far (always a *subset*
+//! of the full answer set — truncation never invents answers) and a
+//! [`eval::Termination`] saying whether the run was complete. When it is
+//! [`eval::Termination::Complete`], the answers are bit-identical to the
+//! ungoverned evaluator's.
+//!
+//! ```
+//! use ecrpq::eval::{planner, EvalOptions, ResourceBudget, Termination};
+//! use ecrpq::graph::parse_graph;
+//! use ecrpq::query::{parse_query, RelationRegistry};
+//! use std::time::Duration;
+//!
+//! let db = parse_graph("a1 -a-> m1\nm1 -a-> hub\nb1 -b-> m2\nm2 -b-> hub\n")?;
+//! let mut alphabet = db.alphabet().clone();
+//! let q = parse_query(
+//!     "q(x, x') :- x -[p1]-> y, x' -[p2]-> y, eq_len(p1, p2)",
+//!     &mut alphabet,
+//!     &RelationRegistry::new(),
+//! )?;
+//!
+//! // a generous budget: this tiny query completes well inside it, so the
+//! // governed answers equal the ungoverned ones exactly
+//! let opts = EvalOptions::sequential()
+//!     .with_budget(ResourceBudget::unlimited().with_deadline(Duration::from_secs(5)));
+//! let outcome = planner::answers_governed(&db, &q, &opts);
+//! assert_eq!(outcome.termination, Termination::Complete);
+//! assert_eq!(outcome.answers, planner::answers(&db, &q));
+//!
+//! // leaving the budget unlimited lets the planner pick a regime default
+//! // (generous for PTIME-shaped queries, tight for PSPACE-shaped ones)
+//! let plan = planner::plan(&db, &q);
+//! assert!(plan.explain().contains("default budget"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 pub use ecrpq_analyze as analyze;
 pub use ecrpq_automata as automata;

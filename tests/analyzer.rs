@@ -57,6 +57,29 @@ fn golden_contradictory_unaries() {
     check_golden("contradictory_unaries.txt", &a.render(q.source()));
 }
 
+/// E006 again, but with multi-byte identifiers before the span: columns
+/// and caret runs must count characters, not bytes (a byte-based renderer
+/// would misalign the underline or panic on the slice arithmetic).
+#[test]
+fn golden_non_ascii_identifiers() {
+    let q = parse("q(χ) :- χ -[π]-> ψ, π in a+, π in b+");
+    let a = analyze(&q);
+    assert!(a.has_errors());
+    let rendered = a.render(q.source());
+    // the caret run must start under the final atom, aligned by chars
+    let lines: Vec<&str> = rendered.lines().collect();
+    let src_line = lines.iter().find(|l| l.starts_with("1 | ")).unwrap();
+    let caret_line = lines
+        .iter()
+        .find(|l| l.contains('^'))
+        .unwrap_or_else(|| panic!("no caret line in {rendered}"));
+    let caret_at = caret_line.chars().position(|c| c == '^').unwrap();
+    let atom_byte = src_line.rfind("π in b+").unwrap();
+    let atom_at = src_line[..atom_byte].chars().count();
+    assert_eq!(caret_at, atom_at, "{rendered}");
+    check_golden("non_ascii_identifiers.txt", &rendered);
+}
+
 /// A query with one error and several warnings: errors render first,
 /// warnings follow in source order.
 #[test]

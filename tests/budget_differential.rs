@@ -1,0 +1,231 @@
+//! Differential testing of resource-governed evaluation.
+//!
+//! Soundness contract under test: a budgeted run returns a **subset** of
+//! the unbudgeted answers (truncation loses answers, never invents them);
+//! a run that reports [`Termination::Complete`] is **bit-identical** to
+//! the ungoverned evaluator; and a wall-clock deadline is honoured to
+//! within the cooperative check interval — less than 2× the deadline —
+//! at every thread count.
+//!
+//! The deadline test runs on a PSPACE-regime workload
+//! ([`big_component_query`]: one merged relation component with `r` path
+//! variables, so `cc_vertex = r` drives the product through a
+//! `|Q| · |V|^r` configuration space) sized so that full enumeration
+//! takes orders of magnitude longer than the deadline — truncation
+//! genuinely happens, and partial answers genuinely exist.
+
+use ecrpq::eval::{engine, EvalOptions, PreparedQuery, ResourceBudget, Termination};
+use ecrpq::query::NodeVar;
+use ecrpq::workloads::{big_component_query, random_db};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// The PSPACE-regime workload: `r` equal-length paths between free `x`
+/// and `y` on a random graph with `n` nodes.
+fn workload(r: usize, n: usize) -> (ecrpq::graph::GraphDb, ecrpq::query::Ecrpq) {
+    let mut q = big_component_query(r, 2);
+    q.set_free(&[NodeVar(0), NodeVar(1)]);
+    let db = random_db(n, 2.0, 2, 97);
+    (db, q)
+}
+
+/// The acceptance test: a 50 ms deadline on a PSPACE workload whose full
+/// enumeration takes seconds returns `DeadlineExceeded` with non-empty
+/// partial answers that are a subset of the full set, and never
+/// overshoots 2× the deadline — at any thread count.
+#[test]
+fn deadline_yields_partial_answers_without_overshoot() {
+    let (db, q) = workload(3, 30);
+    let prepared = PreparedQuery::build(&q).expect("valid");
+    let full = engine::answers_product(&db, &prepared, &EvalOptions::with_threads(0));
+    assert!(full.len() > 100, "workload must have many answers");
+    let deadline = Duration::from_millis(50);
+    for threads in [1usize, 2, 4, 8] {
+        let opts = EvalOptions::with_threads(threads)
+            .with_budget(ResourceBudget::unlimited().with_deadline(deadline));
+        let start = Instant::now();
+        let outcome = engine::answers_product_governed(&db, &prepared, &opts);
+        let elapsed = start.elapsed();
+        assert_eq!(
+            outcome.termination,
+            Termination::DeadlineExceeded,
+            "threads={threads}"
+        );
+        assert!(
+            !outcome.answers.is_empty(),
+            "threads={threads}: no partial answers within {deadline:?}"
+        );
+        assert!(
+            outcome.answers.is_subset(&full),
+            "threads={threads}: partial answers must be a subset"
+        );
+        assert!(
+            elapsed < 2 * deadline,
+            "threads={threads}: overshot the deadline: {elapsed:?}"
+        );
+        assert!(outcome.stats.budget_checks > 0, "threads={threads}");
+    }
+}
+
+/// A configuration budget truncates the same way: subset answers, an
+/// explicit `BudgetExhausted` termination while the cap binds, and —
+/// because the sequential search is deterministic — monotonically more
+/// answers as the cap grows, converging to the complete set.
+#[test]
+fn configuration_budget_sweep_recovers_answers() {
+    let (db, q) = workload(3, 14);
+    let prepared = PreparedQuery::build(&q).expect("valid");
+    let unbudgeted = engine::answers_product_governed(&db, &prepared, &EvalOptions::sequential());
+    assert_eq!(unbudgeted.termination, Termination::Complete);
+    let full = unbudgeted.answers;
+    assert!(full.len() >= 10, "need a meaningful answer set");
+    let total_work = unbudgeted.stats.configurations.max(1);
+    let mut last_len = 0usize;
+    let mut saw_exhausted = false;
+    for fraction in [0.01f64, 0.1, 0.5, 1.0] {
+        let cap = ((total_work as f64 * fraction) as u64).max(1);
+        let opts = EvalOptions::sequential()
+            .with_budget(ResourceBudget::unlimited().with_max_configurations(cap));
+        let outcome = engine::answers_product_governed(&db, &prepared, &opts);
+        assert!(
+            outcome.answers.is_subset(&full),
+            "fraction={fraction}: subset violated"
+        );
+        match outcome.termination {
+            Termination::Complete => assert_eq!(outcome.answers, full, "fraction={fraction}"),
+            _ => saw_exhausted = true,
+        }
+        // more budget never recovers fewer answers on the same
+        // deterministic sequential search
+        assert!(
+            outcome.answers.len() >= last_len,
+            "fraction={fraction}: answers shrank"
+        );
+        last_len = outcome.answers.len();
+    }
+    assert!(saw_exhausted, "the small fractions must actually truncate");
+    // an effectively unbounded cap completes and matches bit-for-bit
+    let opts = EvalOptions::sequential()
+        .with_budget(ResourceBudget::unlimited().with_max_configurations(u64::MAX / 4));
+    let outcome = engine::answers_product_governed(&db, &prepared, &opts);
+    assert_eq!(outcome.termination, Termination::Complete);
+    assert_eq!(outcome.answers, full);
+}
+
+/// Sequential answer caps are exact: a cap of `k` returns `min(k, total)`
+/// answers, and the run is `Complete` iff the cap was not the binding
+/// constraint — so `Complete` ⇔ bit-identical answers.
+#[test]
+fn answer_cap_is_exact_sequentially() {
+    let (db, q) = workload(3, 14);
+    let prepared = PreparedQuery::build(&q).expect("valid");
+    let full = engine::answers_product(&db, &prepared, &EvalOptions::sequential());
+    let total = full.len() as u64;
+    assert!(total >= 2, "need a few answers to cap");
+    for cap in [1, total / 2, total, total + 7] {
+        let opts = EvalOptions::sequential()
+            .with_budget(ResourceBudget::unlimited().with_max_answers(cap));
+        let outcome = engine::answers_product_governed(&db, &prepared, &opts);
+        assert_eq!(
+            outcome.answers.len() as u64,
+            cap.min(total),
+            "cap={cap}: wrong answer count"
+        );
+        assert!(outcome.answers.is_subset(&full), "cap={cap}");
+        let complete = outcome.termination == Termination::Complete;
+        assert_eq!(
+            complete,
+            cap >= total,
+            "cap={cap}: Complete iff cap covers all answers"
+        );
+        if complete {
+            assert_eq!(outcome.answers, full, "cap={cap}");
+        }
+    }
+}
+
+/// Boolean search under governance: `true` is definitive even when the
+/// budget is tiny, and a truncated `false` is reported as such.
+#[test]
+fn boolean_governed_is_sound() {
+    let (db, q) = workload(3, 14);
+    let prepared = PreparedQuery::build(&q).expect("valid");
+    assert!(ecrpq::eval::product::eval_product(&db, &prepared));
+    // generous budget: finds the answer, Complete
+    let opts = EvalOptions::sequential()
+        .with_budget(ResourceBudget::unlimited().with_deadline(Duration::from_secs(30)));
+    let outcome = engine::eval_product_governed(&db, &prepared, &opts);
+    assert!(outcome.answers);
+    assert_eq!(outcome.termination, Termination::Complete);
+    // zero deadline: either it found a witness before the first
+    // checkpoint (true, definitive) or it reports DeadlineExceeded and
+    // claims nothing
+    let opts = EvalOptions::with_threads(4)
+        .with_budget(ResourceBudget::unlimited().with_deadline(Duration::ZERO));
+    let outcome = engine::eval_product_governed(&db, &prepared, &opts);
+    if !outcome.answers {
+        assert_eq!(outcome.termination, Termination::DeadlineExceeded);
+    }
+}
+
+/// The governed planner honours an explicit budget and falls back to the
+/// regime default otherwise; Complete runs match the ungoverned planner.
+#[test]
+fn planner_governed_matches_ungoverned_when_complete() {
+    use ecrpq::eval::planner;
+    let (db, q) = workload(3, 20);
+    let full = planner::answers(&db, &q);
+    // explicit generous budget → Complete, identical
+    let opts = EvalOptions::sequential()
+        .with_budget(ResourceBudget::unlimited().with_max_configurations(u64::MAX / 4));
+    let outcome = planner::answers_governed(&db, &q, &opts);
+    assert_eq!(outcome.termination, Termination::Complete);
+    assert_eq!(outcome.answers, full);
+    // unlimited options → the PSPACE-shaped regime default kicks in (the
+    // plan explains it); answers stay a sound subset either way
+    let plan = planner::plan(&db, &q);
+    assert!(
+        plan.explain().contains("default budget (PSPACE"),
+        "{}",
+        plan.explain()
+    );
+    let outcome = planner::answers_governed(&db, &q, &EvalOptions::sequential());
+    assert!(outcome.answers.is_subset(&full));
+    if outcome.termination == Termination::Complete {
+        assert_eq!(outcome.answers, full);
+    }
+}
+
+/// Tree-decomposition and plain CQ governed paths obey the same subset /
+/// complete-iff-identical contract.
+#[test]
+fn governed_cq_paths_are_sound() {
+    use ecrpq::eval::ecrpq_to_cq;
+    let (db, q) = workload(2, 10);
+    let prepared = PreparedQuery::build(&q).expect("valid");
+    let (cq, rdb, _) = ecrpq_to_cq(&db, &prepared);
+    let full: BTreeSet<Vec<u32>> = engine::answers_cq(&rdb, &cq, &EvalOptions::sequential());
+    for cap in [64u64, 4096, u64::MAX / 4] {
+        let opts = EvalOptions::sequential()
+            .with_budget(ResourceBudget::unlimited().with_max_configurations(cap));
+        let o = engine::answers_cq_governed(&rdb, &cq, &opts);
+        assert!(o.answers.is_subset(&full), "cap={cap}");
+        if o.termination == Termination::Complete {
+            assert_eq!(o.answers, full, "cap={cap}");
+        }
+        let td = engine::answers_cq_treedec_governed(&rdb, &cq, &opts);
+        assert!(td.answers.is_subset(&full), "treedec cap={cap}");
+        if td.termination == Termination::Complete {
+            assert_eq!(td.answers, full, "treedec cap={cap}");
+        }
+        let b = engine::eval_cq_governed(&rdb, &cq, &opts);
+        if b.answers {
+            // `true` is always definitive
+            assert!(!full.is_empty(), "cap={cap}");
+        }
+        let tb = engine::eval_cq_treedec_governed(&rdb, &cq, &opts);
+        if tb.answers {
+            assert!(!full.is_empty(), "treedec boolean cap={cap}");
+        }
+    }
+}

@@ -20,8 +20,62 @@ fn params() -> RandomQueryParams {
     }
 }
 
+/// Regression: a database with zero nodes must not panic anywhere in the
+/// pipeline — CSR freeze, flat-table construction, semijoin sweeps, chunk
+/// partitioning — and must return the empty answer set (respectively
+/// `false`) at every layout and thread count.
+#[test]
+fn empty_database_evaluates_cleanly() {
+    let mut q = random_ecrpq(&params(), 1234);
+    q.set_free(&[NodeVar(0), NodeVar(1)]);
+    let db = ecrpq::graph::GraphDb::with_alphabet(q.alphabet().clone());
+    assert_eq!(db.num_nodes(), 0);
+    let prepared = PreparedQuery::build(&q).unwrap();
+    for layout in [Layout::Legacy, Layout::FlatUnpruned, Layout::Flat] {
+        let (ans, _) = answers_product_with_stats_layout(&db, &prepared, layout);
+        assert!(ans.is_empty(), "{layout:?}");
+    }
+    for threads in [1usize, 2, 4, 8] {
+        let opts = EvalOptions::with_threads(threads);
+        assert!(engine::answers_product(&db, &prepared, &opts).is_empty());
+        assert!(!engine::eval_product(&db, &prepared, &opts));
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Regression: zero free variables makes the query *Boolean* — the
+    /// enumeration must yield exactly one empty tuple iff the query is
+    /// satisfiable, identically across all three layouts and any thread
+    /// count (a buggy odometer could emit the empty tuple once per
+    /// satisfying assignment or chunk, or never).
+    #[test]
+    fn boolean_query_yields_one_empty_tuple(seed in 0..100_000u64) {
+        let mut q = random_ecrpq(&params(), seed.wrapping_add(91_000));
+        q.set_free(&[]);
+        let db = random_db(4, 1.6, 2, seed.wrapping_mul(31).wrapping_add(3));
+        let prepared = PreparedQuery::build(&q).map_err(TestCaseError::fail)?;
+        let sat = ecrpq::eval::product::eval_product(&db, &prepared);
+        for layout in [Layout::Legacy, Layout::FlatUnpruned, Layout::Flat] {
+            let (ans, _) = answers_product_with_stats_layout(&db, &prepared, layout);
+            if sat {
+                prop_assert_eq!(ans.len(), 1, "layout={:?} seed={}", layout, seed);
+                prop_assert!(ans.contains(&Vec::new()));
+            } else {
+                prop_assert!(ans.is_empty(), "layout={:?} seed={}", layout, seed);
+            }
+        }
+        for threads in [2usize, 4, 8] {
+            let par = engine::answers_product(&db, &prepared, &EvalOptions::with_threads(threads));
+            if sat {
+                prop_assert_eq!(par.len(), 1, "threads={} seed={}", threads, seed);
+                prop_assert!(par.contains(&Vec::new()));
+            } else {
+                prop_assert!(par.is_empty(), "threads={} seed={}", threads, seed);
+            }
+        }
+    }
 
     /// CSR `successors`/`predecessors` vs the pre-CSR scan path and a
     /// naive transpose built from the edge list.

@@ -8,7 +8,7 @@ use ecrpq::eval::cq_eval::{
     answers_cq as answers_cq_seq, answers_cq_treedec as answers_cq_treedec_seq,
 };
 use ecrpq::eval::product::answers_product as answers_product_seq;
-use ecrpq::eval::{ecrpq_to_cq, engine, EvalOptions, PreparedQuery};
+use ecrpq::eval::{ecrpq_to_cq, engine, EvalOptions, PreparedQuery, ResourceBudget, Termination};
 use ecrpq::query::NodeVar;
 use ecrpq::workloads::{random_db, random_ecrpq, RandomQueryParams};
 use proptest::prelude::*;
@@ -71,6 +71,67 @@ proptest! {
                 engine::eval_cq_treedec(&rdb, &cq, &opts),
                 !seq_td.is_empty(),
                 "eval_cq_treedec threads={} seed={}", threads, seed
+            );
+        }
+    }
+
+    /// The governed-evaluation soundness contract, differentially against
+    /// the ungoverned engine at several thread counts: budgeted answers
+    /// are always a **subset** of the unbudgeted set, a run that reports
+    /// [`Termination::Complete`] is **bit-identical**, and an unlimited
+    /// budget always completes bit-identically (the governed path must not
+    /// perturb the search, only truncate it).
+    #[test]
+    fn budgeted_answers_are_a_sound_subset(seed in 0..100_000u64) {
+        let mut q = random_ecrpq(&params(), seed.wrapping_add(63_000));
+        q.set_free(&[NodeVar(0), NodeVar(1)]);
+        let db = random_db(5, 1.7, 2, seed.wrapping_mul(37).wrapping_add(9));
+        let prepared = PreparedQuery::build(&q).map_err(TestCaseError::fail)?;
+        let full = answers_product_seq(&db, &prepared);
+        // a spread of configuration caps: from certainly-truncating to
+        // certainly-complete, exercised at every thread count
+        for threads in [1usize, 2, 4] {
+            for cap in [1u64, 256, 16_384, u64::MAX / 4] {
+                let opts = EvalOptions::with_threads(threads)
+                    .with_budget(ResourceBudget::unlimited().with_max_configurations(cap));
+                let o = engine::answers_product_governed(&db, &prepared, &opts);
+                prop_assert!(
+                    o.answers.is_subset(&full),
+                    "threads={} cap={} seed={}: subset violated", threads, cap, seed
+                );
+                if o.termination == Termination::Complete {
+                    prop_assert_eq!(
+                        &o.answers, &full,
+                        "threads={} cap={} seed={}: Complete must be bit-identical",
+                        threads, cap, seed
+                    );
+                }
+            }
+            // an unlimited budget through the governed path is Complete
+            // and bit-identical by construction
+            let opts = EvalOptions::with_threads(threads)
+                .with_budget(ResourceBudget::unlimited());
+            let o = engine::answers_product_governed(&db, &prepared, &opts);
+            prop_assert_eq!(o.termination, Termination::Complete, "threads={}", threads);
+            prop_assert_eq!(&o.answers, &full, "threads={} seed={}", threads, seed);
+        }
+        // the answer cap is sequential-exact: claimed before insertion, so
+        // min(cap, total) answers come back and Complete ⇔ cap ≥ total
+        let total = full.len() as u64;
+        for cap in [1u64, total.max(1), total + 3] {
+            let opts = EvalOptions::sequential()
+                .with_budget(ResourceBudget::unlimited().with_max_answers(cap));
+            let o = engine::answers_product_governed(&db, &prepared, &opts);
+            prop_assert_eq!(
+                o.answers.len() as u64,
+                cap.min(total),
+                "answer cap={} seed={}", cap, seed
+            );
+            prop_assert!(o.answers.is_subset(&full), "answer cap={} seed={}", cap, seed);
+            prop_assert_eq!(
+                o.termination == Termination::Complete,
+                cap >= total,
+                "answer cap={} seed={}", cap, seed
             );
         }
     }
