@@ -1,4 +1,4 @@
-//! Static query linter: `analyze [FILES…] [--workloads]`.
+//! Static query linter: `analyze [FILES…] [--workloads] [--trace]`.
 //!
 //! Each file is parsed with the textual ECRPQ grammar and run through
 //! `ecrpq-analyze`; diagnostics render rustc-style with caret underlines
@@ -6,6 +6,9 @@
 //! programmatic workload query families and prints their regime table,
 //! including the default resource budget the planner would govern each
 //! family with (generous in the PTIME regime, tight under NP/PSPACE).
+//! `--trace` evaluates every analyzed query on a small deterministic
+//! random graph under a collecting tracer and prints the per-query phase
+//! table (where the prepare/semijoin/BFS/odometer/join time went).
 //!
 //! Exit status: 0 when no file has an error-severity diagnostic (warnings
 //! are reported but don't fail the lint), 1 when some query is provably
@@ -14,22 +17,25 @@
 use ecrpq_analyze::{analyze, Analysis};
 use ecrpq_automata::Alphabet;
 use ecrpq_core::planner::{budget_regime, regime_budget};
+use ecrpq_core::{render_phase_table, EvalOptions};
 use ecrpq_query::{parse_query, Ecrpq, RelationRegistry};
 use ecrpq_workloads::{
-    big_component_query, clique_query, random_ecrpq, tractable_chain_query, RandomQueryParams,
+    big_component_query, clique_query, random_db, random_ecrpq, tractable_chain_query,
+    RandomQueryParams,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: analyze [FILES…] [--workloads]");
+        eprintln!("usage: analyze [FILES…] [--workloads] [--trace]");
         std::process::exit(2);
     }
     let workloads = args.iter().any(|a| a == "--workloads");
+    let trace = args.iter().any(|a| a == "--trace");
     let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if let Some(bad) = args
         .iter()
-        .find(|a| a.starts_with("--") && *a != "--workloads")
+        .find(|a| a.starts_with("--") && *a != "--workloads" && *a != "--trace")
     {
         eprintln!("unknown flag {bad}");
         std::process::exit(2);
@@ -53,6 +59,9 @@ fn main() {
                     report(&format!("{path}[{i}]"), &a, q.source());
                     errors += a.errors().count();
                     warnings += a.warnings().count();
+                    if trace && !a.has_errors() {
+                        trace_query(&format!("{path}[{i}]"), q);
+                    }
                 }
             }
             Err(msg) => {
@@ -81,6 +90,9 @@ fn main() {
             }
             errors += a.errors().count();
             warnings += a.warnings().count();
+            if trace && !a.has_errors() {
+                trace_query(&name, &q);
+            }
         }
     }
 
@@ -102,6 +114,26 @@ fn parse_file(text: &str) -> Result<Vec<Ecrpq>, String> {
         out.push(q);
     }
     Ok(out)
+}
+
+/// `--trace`: evaluates `q` on a small deterministic random graph over the
+/// query's own alphabet and prints the folded per-phase table.
+fn trace_query(label: &str, q: &Ecrpq) {
+    let nsym = q.alphabet().len();
+    if !(1..=26).contains(&nsym) {
+        println!("{label}: trace skipped (alphabet size {nsym} outside 1..=26)");
+        return;
+    }
+    let db = random_db(10, 1.5, nsym, 11);
+    let outcome = ecrpq_core::answers_traced(&db, q, &EvalOptions::sequential());
+    println!(
+        "{label}: trace on random(n=10, seed=11) — {} answer(s), {}",
+        outcome.answers.len(),
+        outcome.termination
+    );
+    if let Some(m) = &outcome.metrics {
+        print!("{}", render_phase_table(m));
+    }
 }
 
 fn report(label: &str, a: &Analysis, source: Option<&str>) {

@@ -14,6 +14,7 @@
 
 use crate::fnv::{FnvHashMap, FnvHashSet};
 use crate::governor::{Governor, Pacer};
+use crate::trace::{NoopTracer, Phase, PhaseSpan, Tracer};
 use ecrpq_query::{Cq, CqAtom, RelationalDb};
 use ecrpq_structure::{treewidth_exact, treewidth_upper_bound, TreeDecomposition};
 use std::collections::{BTreeSet, HashSet};
@@ -21,56 +22,69 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Evaluates a Boolean CQ by backtracking join.
 pub fn eval_cq(db: &RelationalDb, q: &Cq) -> bool {
-    eval_cq_part(db, q, None, None)
+    eval_cq_part(db, q, None, None, &NoopTracer)
 }
 
 /// As [`eval_cq`], optionally restricted to one stride class
 /// `(parts, part)` of the first atom's candidate tuples — the parallel
 /// engine's partitioning hook. `None` searches everything. The budget
 /// `governor`, when present, is checked in the candidate loops.
-pub(crate) fn eval_cq_part(
+pub(crate) fn eval_cq_part<T: Tracer>(
     db: &RelationalDb,
     q: &Cq,
     part: Option<(usize, usize)>,
     governor: Option<&Governor>,
+    tracer: &T,
 ) -> bool {
     let mut found = false;
-    backtrack(db, q, part, governor, &mut |_| {
+    let span = PhaseSpan::start(tracer, Phase::CqJoin);
+    backtrack(db, q, part, governor, tracer, &mut |_| {
         found = true;
         true
     });
+    span.finish(tracer);
     found
 }
 
 /// All answers of a CQ (tuples over its free variables) by backtracking.
 pub fn answers_cq(db: &RelationalDb, q: &Cq) -> BTreeSet<Vec<u32>> {
     let mut out = BTreeSet::new();
-    answers_cq_part(db, q, None, None, &mut out);
+    answers_cq_part(db, q, None, None, &NoopTracer, &mut out);
     out
 }
 
 /// As [`answers_cq`], restricted to one stride class of the first atom's
 /// candidates and accumulating into `out` (so workers can merge cheaply).
-pub(crate) fn answers_cq_part(
+///
+/// The [`Phase::CqJoin`] span covers the whole backtracking run, including
+/// the nested free-tuple odometer (whose *items* are still booked under
+/// [`Phase::Odometer`]).
+pub(crate) fn answers_cq_part<T: Tracer>(
     db: &RelationalDb,
     q: &Cq,
     part: Option<(usize, usize)>,
     governor: Option<&Governor>,
+    tracer: &T,
     out: &mut BTreeSet<Vec<u32>>,
 ) {
     let domain = db.domain_size() as u32;
     // the free-tuple odometer charges its own work units (it can emit
     // |D|^f tuples per satisfying assignment without touching a relation)
     let mut odometer_work: u64 = 0;
-    backtrack(db, q, part, governor, &mut |assignment| {
+    let span = PhaseSpan::start(tracer, Phase::CqJoin);
+    backtrack(db, q, part, governor, tracer, &mut |assignment| {
         let mut tripped = false;
         for_each_free_tuple(assignment, &q.free, domain, |tuple| {
+            tracer.count(Phase::Odometer, 1);
             if let Some(g) = governor {
                 odometer_work += 1;
                 if odometer_work >= g.check_interval() {
+                    tracer.governor_check(Phase::Odometer, 1);
                     let _ = g.checkpoint(std::mem::take(&mut odometer_work));
                 }
                 if g.stopped() {
+                    tracer.governor_check(Phase::Odometer, 1);
+                    tracer.governor_abort(Phase::Odometer);
                     tripped = true;
                     return true;
                 }
@@ -78,6 +92,8 @@ pub(crate) fn answers_cq_part(
             if !out.contains(tuple) {
                 if let Some(g) = governor {
                     if !g.try_claim_answer() {
+                        tracer.governor_check(Phase::Odometer, 1);
+                        tracer.governor_abort(Phase::Odometer);
                         tripped = true;
                         return true;
                     }
@@ -89,6 +105,7 @@ pub(crate) fn answers_cq_part(
         });
         tripped // abandon the search once the budget trips
     });
+    span.finish(tracer);
     if odometer_work > 0 {
         if let Some(g) = governor {
             g.checkpoint(odometer_work);
@@ -207,11 +224,12 @@ impl JoinIndex {
 /// no bound variables, so its candidate list is every tuple of its
 /// relation; the stride classes therefore partition the full search space
 /// (their union over `p = 0..parts` is exactly the unrestricted search).
-fn backtrack(
+fn backtrack<T: Tracer>(
     db: &RelationalDb,
     q: &Cq,
     part: Option<(usize, usize)>,
     governor: Option<&Governor>,
+    tracer: &T,
     on_success: &mut impl FnMut(&[Option<u32>]) -> bool,
 ) {
     // static greedy order: repeatedly pick the atom sharing most variables
@@ -257,13 +275,14 @@ fn backtrack(
         &mut assignment,
         &mut index,
         &mut pacer,
+        tracer,
         on_success,
     );
     pacer.flush();
 }
 
 #[allow(clippy::too_many_arguments)]
-fn rec(
+fn rec<T: Tracer>(
     db: &RelationalDb,
     q: &Cq,
     order: &[usize],
@@ -272,6 +291,7 @@ fn rec(
     assignment: &mut Vec<Option<u32>>,
     index: &mut JoinIndex,
     pacer: &mut Pacer<'_>,
+    tracer: &T,
     on_success: &mut impl FnMut(&[Option<u32>]) -> bool,
 ) -> bool {
     if idx == order.len() {
@@ -303,8 +323,11 @@ fn rec(
         // cooperative budget check: one work unit per candidate tuple,
         // plus a cheap stop-flag load so sibling loops unwind promptly
         // once some worker trips the budget
-        if pacer.tick() || pacer.stopped() {
+        if pacer.tick_traced(tracer, Phase::CqJoin) || pacer.stopped() {
             break 'tuples;
+        }
+        if T::ENABLED {
+            tracer.count(Phase::CqJoin, 1);
         }
         tuple.clear();
         tuple.extend_from_slice(index.tuple(&atom.relation, ti));
@@ -334,6 +357,7 @@ fn rec(
             assignment,
             index,
             pacer,
+            tracer,
             on_success,
         ) {
             for &w in &written {
@@ -362,7 +386,7 @@ pub struct TreedecStats {
 /// Evaluates a Boolean CQ with the tree-decomposition + Yannakakis
 /// algorithm.
 pub fn eval_cq_treedec(db: &RelationalDb, q: &Cq) -> bool {
-    eval_cq_treedec_threads(db, q, 1, None)
+    eval_cq_treedec_threads(db, q, 1, None, &NoopTracer)
 }
 
 /// As [`eval_cq_treedec`], populating bags with `threads` workers under an
@@ -370,20 +394,21 @@ pub fn eval_cq_treedec(db: &RelationalDb, q: &Cq) -> bool {
 /// holds for a *complete* reduction, so a budget-tripped run never reports
 /// `true` — a governed `false` under a non-`Complete` termination means
 /// "not proven", which is the sound direction.
-pub(crate) fn eval_cq_treedec_threads(
+pub(crate) fn eval_cq_treedec_threads<T: Tracer>(
     db: &RelationalDb,
     q: &Cq,
     threads: usize,
     governor: Option<&Governor>,
+    tracer: &T,
 ) -> bool {
-    let (bags, _, _) = reduce(db, q, threads, governor);
+    let (bags, _, _) = reduce(db, q, threads, governor, tracer);
     !governor.is_some_and(Governor::stopped)
         && bags.is_some_and(|b| b.iter().all(|r| !r.tuples.is_empty()))
 }
 
 /// As [`eval_cq_treedec`] with counters.
 pub fn eval_cq_treedec_with_stats(db: &RelationalDb, q: &Cq) -> (bool, TreedecStats) {
-    let (bags, _, stats) = reduce(db, q, 1, None);
+    let (bags, _, stats) = reduce(db, q, 1, None, &NoopTracer);
     (
         bags.is_some_and(|b| b.iter().all(|r| !r.tuples.is_empty())),
         stats,
@@ -393,7 +418,7 @@ pub fn eval_cq_treedec_with_stats(db: &RelationalDb, q: &Cq) -> (bool, TreedecSt
 /// All answers via tree decomposition: semijoin-reduce, then enumerate the
 /// (now dangling-free) acyclic join by backtracking over bag relations.
 pub fn answers_cq_treedec(db: &RelationalDb, q: &Cq) -> BTreeSet<Vec<u32>> {
-    match treedec_join_instance(db, q, 1, None) {
+    match treedec_join_instance(db, q, 1, None, &NoopTracer) {
         Some((jdb, jq)) => answers_cq(&jdb, &jq),
         None => BTreeSet::new(),
     }
@@ -404,13 +429,14 @@ pub fn answers_cq_treedec(db: &RelationalDb, q: &Cq) -> BTreeSet<Vec<u32>> {
 /// `None` means the query is unsatisfiable (some bag emptied). Bags are
 /// populated with `threads` workers; the instance itself is deterministic
 /// regardless of thread count.
-pub(crate) fn treedec_join_instance(
+pub(crate) fn treedec_join_instance<T: Tracer>(
     db: &RelationalDb,
     q: &Cq,
     threads: usize,
     governor: Option<&Governor>,
+    tracer: &T,
 ) -> Option<(RelationalDb, Cq)> {
-    let (bags, _dec, _) = reduce(db, q, threads, governor);
+    let (bags, _dec, _) = reduce(db, q, threads, governor, tracer);
     let bags = bags?;
     if bags.iter().any(|r| r.tuples.is_empty()) {
         return None;
@@ -443,11 +469,12 @@ struct BagRelation {
 /// Returns `None` bags when some atom cannot be placed (only possible for
 /// an invalid decomposition — defensive).
 #[allow(clippy::type_complexity)]
-fn reduce(
+fn reduce<T: Tracer>(
     db: &RelationalDb,
     q: &Cq,
     threads: usize,
     governor: Option<&Governor>,
+    tracer: &T,
 ) -> (Option<Vec<BagRelation>>, TreeDecomposition, TreedecStats) {
     let g = q.gaifman();
     let (width, dec) = if g.num_vertices() <= 64 {
@@ -484,7 +511,9 @@ fn reduce(
         dec.bags
             .iter()
             .enumerate()
-            .map(|(bi, bag_vars)| populate_bag(db, q, bag_vars, &atoms_of_bag[bi], governor))
+            .map(|(bi, bag_vars)| {
+                populate_bag(db, q, bag_vars, &atoms_of_bag[bi], governor, tracer)
+            })
             .collect()
     } else {
         let next = AtomicUsize::new(0);
@@ -493,6 +522,9 @@ fn reduce(
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let (next, dec, atoms_of_bag) = (&next, &dec, &atoms_of_bag);
+                    // fork before spawn so worker counter blocks register
+                    // in deterministic (spawn) order
+                    let worker_tracer = tracer.fork_worker();
                     s.spawn(move || {
                         let mut mine: Vec<(usize, Vec<Vec<u32>>)> = Vec::new();
                         loop {
@@ -502,7 +534,14 @@ fn reduce(
                             }
                             mine.push((
                                 bi,
-                                populate_bag(db, q, &dec.bags[bi], &atoms_of_bag[bi], governor),
+                                populate_bag(
+                                    db,
+                                    q,
+                                    &dec.bags[bi],
+                                    &atoms_of_bag[bi],
+                                    governor,
+                                    &worker_tracer,
+                                ),
                             ));
                         }
                     })
@@ -602,13 +641,15 @@ fn semijoin(bags: &mut [BagRelation], target: usize, other: usize) {
 
 /// Enumerates the satisfying assignments of a bag by joining its atoms and
 /// filling uncovered variables from the domain.
-fn populate_bag(
+fn populate_bag<T: Tracer>(
     db: &RelationalDb,
     q: &Cq,
     bag_vars: &[usize],
     atom_ids: &[usize],
     governor: Option<&Governor>,
+    tracer: &T,
 ) -> Vec<Vec<u32>> {
+    let span = PhaseSpan::start(tracer, Phase::TreedecBags);
     let pos_of: FnvHashMap<usize, usize> =
         bag_vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let mut partial: Vec<Option<u32>> = vec![None; bag_vars.len()];
@@ -616,7 +657,7 @@ fn populate_bag(
     let mut index = JoinIndex::default();
     let mut pacer = Pacer::new(governor);
     #[allow(clippy::too_many_arguments)]
-    fn go(
+    fn go<T: Tracer>(
         db: &RelationalDb,
         q: &Cq,
         atom_ids: &[usize],
@@ -626,6 +667,7 @@ fn populate_bag(
         domain: u32,
         index: &mut JoinIndex,
         pacer: &mut Pacer<'_>,
+        tracer: &T,
         out: &mut Vec<Vec<u32>>,
     ) {
         if idx == atom_ids.len() {
@@ -648,8 +690,11 @@ fn populate_bag(
             loop {
                 // cooperative budget check per emitted tuple: a bag with
                 // many uncovered variables can emit |D|^open tuples here
-                if pacer.tick() || pacer.stopped() {
+                if pacer.tick_traced(tracer, Phase::TreedecBags) || pacer.stopped() {
                     return;
+                }
+                if T::ENABLED {
+                    tracer.count(Phase::TreedecBags, 1);
                 }
                 out.push(tuple.clone());
                 let mut i = 0;
@@ -679,7 +724,7 @@ fn populate_bag(
         let mut tuple: Vec<u32> = Vec::new();
         'tuples: for &ti in &candidates {
             // cooperative budget check per candidate tuple
-            if pacer.tick() || pacer.stopped() {
+            if pacer.tick_traced(tracer, Phase::TreedecBags) || pacer.stopped() {
                 break 'tuples;
             }
             tuple.clear();
@@ -711,6 +756,7 @@ fn populate_bag(
                 domain,
                 index,
                 pacer,
+                tracer,
                 out,
             );
             for &w in &written {
@@ -728,6 +774,7 @@ fn populate_bag(
         db.domain_size() as u32,
         &mut index,
         &mut pacer,
+        tracer,
         &mut out,
     );
     pacer.flush();
@@ -738,6 +785,7 @@ fn populate_bag(
     }
     out.sort();
     out.dedup();
+    span.finish(tracer);
     out
 }
 

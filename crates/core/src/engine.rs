@@ -31,6 +31,7 @@ use crate::cq_eval;
 use crate::governor::{Governor, Outcome, ResourceBudget, Termination};
 use crate::prepare::PreparedQuery;
 use crate::product::{self, Evaluator, Layout, ProductStats, SharedTables};
+use crate::trace::{NoopTracer, Tracer};
 use ecrpq_graph::{GraphDb, NodeId};
 use ecrpq_query::{Cq, RelationalDb};
 use std::collections::BTreeSet;
@@ -199,14 +200,27 @@ pub fn answers_product_with_stats(
     query: &PreparedQuery,
     opts: &EvalOptions,
 ) -> (BTreeSet<Vec<NodeId>>, ProductStats) {
+    answers_product_with_stats_traced(db, query, opts, &NoopTracer)
+}
+
+/// As [`answers_product_with_stats`], reporting per-phase counters and
+/// wall-times to `tracer`. Worker counter blocks are forked (registered)
+/// in spawn order, *before* the workers start, so a collecting tracer's
+/// fold is deterministic at one thread and lossless at any thread count.
+/// With [`crate::trace::NoopTracer`] this is exactly the untraced run.
+pub fn answers_product_with_stats_traced<T: Tracer>(
+    db: &GraphDb,
+    query: &PreparedQuery,
+    opts: &EvalOptions,
+    tracer: &T,
+) -> (BTreeSet<Vec<NodeId>>, ProductStats) {
     let workers = product_workers(db, query, opts);
+    let tables = SharedTables::build_traced(db, query, Layout::Flat, None, tracer);
     if workers <= 1 {
-        let tables = SharedTables::build(db, query);
-        let mut e = Evaluator::with_tables(db, query, &tables);
+        let mut e = Evaluator::with_tables_traced(db, query, &tables, tracer.fork_worker());
         let answers = e.answers();
         return (answers, e.stats);
     }
-    let tables = SharedTables::build(db, query);
     let ranges = chunk_ranges(db.num_nodes(), workers * CHUNKS_PER_THREAD);
     let next = AtomicUsize::new(0);
     let mut out: BTreeSet<Vec<NodeId>> = BTreeSet::new();
@@ -215,8 +229,10 @@ pub fn answers_product_with_stats(
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let (next, tables, ranges) = (&next, &tables, &ranges);
+                // fork before spawn: deterministic registration order
+                let worker_tracer = tracer.fork_worker();
                 s.spawn(move || {
-                    let mut e = Evaluator::with_tables(db, query, tables);
+                    let mut e = Evaluator::with_tables_traced(db, query, tables, worker_tracer);
                     let mut mine: BTreeSet<Vec<NodeId>> = BTreeSet::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -274,7 +290,7 @@ pub fn eval_cq(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -> bool {
                     if stop.load(Ordering::Relaxed) {
                         return false;
                     }
-                    let hit = cq_eval::eval_cq_part(db, q, Some((workers, p)), None);
+                    let hit = cq_eval::eval_cq_part(db, q, Some((workers, p)), None, &NoopTracer);
                     if hit {
                         stop.store(true, Ordering::Relaxed);
                     }
@@ -294,17 +310,39 @@ pub fn eval_cq(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -> bool {
 /// of the first join atom's tuples; the merged set is identical to
 /// [`crate::cq_eval::answers_cq`].
 pub fn answers_cq(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -> BTreeSet<Vec<u32>> {
+    answers_cq_traced(db, q, opts, &NoopTracer)
+}
+
+/// As [`answers_cq`], reporting join/odometer counters to `tracer`
+/// (worker blocks forked in spawn order).
+pub fn answers_cq_traced<T: Tracer>(
+    db: &RelationalDb,
+    q: &Cq,
+    opts: &EvalOptions,
+    tracer: &T,
+) -> BTreeSet<Vec<u32>> {
     let workers = cq_workers(db, q, opts);
     if workers <= 1 {
-        return cq_eval::answers_cq(db, q);
+        let mut out = BTreeSet::new();
+        cq_eval::answers_cq_part(db, q, None, None, &tracer.fork_worker(), &mut out);
+        return out;
     }
     let mut out: BTreeSet<Vec<u32>> = BTreeSet::new();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|p| {
+                // fork before spawn: deterministic registration order
+                let worker_tracer = tracer.fork_worker();
                 s.spawn(move || {
                     let mut mine = BTreeSet::new();
-                    cq_eval::answers_cq_part(db, q, Some((workers, p)), None, &mut mine);
+                    cq_eval::answers_cq_part(
+                        db,
+                        q,
+                        Some((workers, p)),
+                        None,
+                        &worker_tracer,
+                        &mut mine,
+                    );
                     mine
                 })
             })
@@ -326,7 +364,7 @@ pub fn answers_cq(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -> BTreeSet<Vec
 /// across workers; the semijoin passes stay sequential (they are linear in
 /// the already-reduced bag sizes).
 pub fn eval_cq_treedec(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -> bool {
-    cq_eval::eval_cq_treedec_threads(db, q, opts.effective_threads(), None)
+    cq_eval::eval_cq_treedec_threads(db, q, opts.effective_threads(), None, &NoopTracer)
 }
 
 /// Parallel tree-decomposition answer enumeration: parallel bag
@@ -334,9 +372,21 @@ pub fn eval_cq_treedec(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -> bool {
 /// the reduced acyclic join. Identical output to
 /// [`crate::cq_eval::answers_cq_treedec`].
 pub fn answers_cq_treedec(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -> BTreeSet<Vec<u32>> {
+    answers_cq_treedec_traced(db, q, opts, &NoopTracer)
+}
+
+/// As [`answers_cq_treedec`], reporting bag-population work under
+/// [`crate::trace::Phase::TreedecBags`] and the final enumeration under
+/// [`crate::trace::Phase::CqJoin`] / [`crate::trace::Phase::Odometer`].
+pub fn answers_cq_treedec_traced<T: Tracer>(
+    db: &RelationalDb,
+    q: &Cq,
+    opts: &EvalOptions,
+    tracer: &T,
+) -> BTreeSet<Vec<u32>> {
     let threads = opts.effective_threads();
-    match cq_eval::treedec_join_instance(db, q, threads, None) {
-        Some((jdb, jq)) => answers_cq(&jdb, &jq, opts),
+    match cq_eval::treedec_join_instance(db, q, threads, None, tracer) {
+        Some((jdb, jq)) => answers_cq_traced(&jdb, &jq, opts, tracer),
         None => BTreeSet::new(),
     }
 }
@@ -428,6 +478,7 @@ pub fn eval_product_governed(
         answers: found,
         stats,
         termination,
+        metrics: None,
     }
 }
 
@@ -442,13 +493,27 @@ pub fn answers_product_governed(
     query: &PreparedQuery,
     opts: &EvalOptions,
 ) -> Outcome<BTreeSet<Vec<NodeId>>> {
+    answers_product_governed_traced(db, query, opts, &NoopTracer)
+}
+
+/// As [`answers_product_governed`], reporting per-phase counters to
+/// `tracer` (worker blocks forked in spawn order, as in
+/// [`answers_product_with_stats_traced`]). The returned
+/// [`Outcome::metrics`] stays `None` — fold the collecting tracer you
+/// passed in (its `metrics()`) to read the phase split.
+pub fn answers_product_governed_traced<T: Tracer>(
+    db: &GraphDb,
+    query: &PreparedQuery,
+    opts: &EvalOptions,
+    tracer: &T,
+) -> Outcome<BTreeSet<Vec<NodeId>>> {
     let governor = Governor::new(&opts.budget);
-    let tables = SharedTables::build_governed(db, query, Layout::Flat, Some(&governor));
+    let tables = SharedTables::build_traced(db, query, Layout::Flat, Some(&governor), tracer);
     let workers = product_workers(db, query, opts);
     let mut out: BTreeSet<Vec<NodeId>> = BTreeSet::new();
     let mut stats = ProductStats::default();
     if workers <= 1 {
-        let mut e = Evaluator::with_tables(db, query, &tables);
+        let mut e = Evaluator::with_tables_traced(db, query, &tables, tracer.fork_worker());
         e.set_governor(&governor);
         e.answers_into(&mut out);
         e.flush_budget();
@@ -460,8 +525,10 @@ pub fn answers_product_governed(
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let (next, tables, ranges, governor) = (&next, &tables, &ranges, &governor);
+                    // fork before spawn: deterministic registration order
+                    let worker_tracer = tracer.fork_worker();
                     s.spawn(move || {
-                        let mut e = Evaluator::with_tables(db, query, tables);
+                        let mut e = Evaluator::with_tables_traced(db, query, tables, worker_tracer);
                         e.set_governor(governor);
                         let mut mine: BTreeSet<Vec<NodeId>> = BTreeSet::new();
                         while !governor.stopped() {
@@ -493,6 +560,7 @@ pub fn answers_product_governed(
         answers: out,
         stats,
         termination,
+        metrics: None,
     }
 }
 
@@ -503,7 +571,7 @@ pub fn eval_cq_governed(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -> Outcom
     let workers = cq_workers(db, q, opts);
     let mut found = false;
     if workers <= 1 {
-        found = cq_eval::eval_cq_part(db, q, None, Some(&governor));
+        found = cq_eval::eval_cq_part(db, q, None, Some(&governor), &NoopTracer);
     } else {
         let stop = AtomicBool::new(false);
         std::thread::scope(|s| {
@@ -514,7 +582,13 @@ pub fn eval_cq_governed(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -> Outcom
                         if stop.load(Ordering::Relaxed) || governor.stopped() {
                             return false;
                         }
-                        let hit = cq_eval::eval_cq_part(db, q, Some((workers, p)), Some(governor));
+                        let hit = cq_eval::eval_cq_part(
+                            db,
+                            q,
+                            Some((workers, p)),
+                            Some(governor),
+                            &NoopTracer,
+                        );
                         if hit {
                             stop.store(true, Ordering::Relaxed);
                         }
@@ -537,6 +611,7 @@ pub fn eval_cq_governed(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -> Outcom
         answers: found,
         stats: governed_cq_stats(&governor),
         termination,
+        metrics: None,
     }
 }
 
@@ -546,7 +621,13 @@ pub fn eval_cq_governed(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -> Outcom
 /// `false` under a non-complete termination means "not proven".
 pub fn eval_cq_treedec_governed(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -> Outcome<bool> {
     let governor = Governor::new(&opts.budget);
-    let sat = cq_eval::eval_cq_treedec_threads(db, q, opts.effective_threads(), Some(&governor));
+    let sat = cq_eval::eval_cq_treedec_threads(
+        db,
+        q,
+        opts.effective_threads(),
+        Some(&governor),
+        &NoopTracer,
+    );
     let termination = if sat {
         Termination::Complete
     } else {
@@ -556,6 +637,7 @@ pub fn eval_cq_treedec_governed(db: &RelationalDb, q: &Cq, opts: &EvalOptions) -
         answers: sat,
         stats: governed_cq_stats(&governor),
         termination,
+        metrics: None,
     }
 }
 
@@ -566,34 +648,48 @@ pub fn answers_cq_governed(
     q: &Cq,
     opts: &EvalOptions,
 ) -> Outcome<BTreeSet<Vec<u32>>> {
+    answers_cq_governed_traced(db, q, opts, &NoopTracer)
+}
+
+/// As [`answers_cq_governed`], reporting per-phase counters to `tracer`.
+pub fn answers_cq_governed_traced<T: Tracer>(
+    db: &RelationalDb,
+    q: &Cq,
+    opts: &EvalOptions,
+    tracer: &T,
+) -> Outcome<BTreeSet<Vec<u32>>> {
     let governor = Governor::new(&opts.budget);
-    let answers = answers_cq_governed_inner(db, q, opts, &governor);
+    let answers = answers_cq_governed_inner(db, q, opts, &governor, tracer);
     Outcome {
         answers,
         stats: governed_cq_stats(&governor),
         termination: governor.termination(),
+        metrics: None,
     }
 }
 
 /// Shared governed CQ enumeration body (also the tail of the governed
 /// tree-decomposition pipeline, which reuses one governor across both
 /// phases so the deadline spans the whole run).
-fn answers_cq_governed_inner(
+fn answers_cq_governed_inner<T: Tracer>(
     db: &RelationalDb,
     q: &Cq,
     opts: &EvalOptions,
     governor: &Governor,
+    tracer: &T,
 ) -> BTreeSet<Vec<u32>> {
     let workers = cq_workers(db, q, opts);
     if workers <= 1 {
         let mut out = BTreeSet::new();
-        cq_eval::answers_cq_part(db, q, None, Some(governor), &mut out);
+        cq_eval::answers_cq_part(db, q, None, Some(governor), &tracer.fork_worker(), &mut out);
         return out;
     }
     let mut out: BTreeSet<Vec<u32>> = BTreeSet::new();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|p| {
+                // fork before spawn: deterministic registration order
+                let worker_tracer = tracer.fork_worker();
                 s.spawn(move || {
                     let mut mine = BTreeSet::new();
                     if !governor.stopped() {
@@ -602,6 +698,7 @@ fn answers_cq_governed_inner(
                             q,
                             Some((workers, p)),
                             Some(governor),
+                            &worker_tracer,
                             &mut mine,
                         );
                     }
@@ -632,16 +729,28 @@ pub fn answers_cq_treedec_governed(
     q: &Cq,
     opts: &EvalOptions,
 ) -> Outcome<BTreeSet<Vec<u32>>> {
+    answers_cq_treedec_governed_traced(db, q, opts, &NoopTracer)
+}
+
+/// As [`answers_cq_treedec_governed`], reporting per-phase counters to
+/// `tracer`.
+pub fn answers_cq_treedec_governed_traced<T: Tracer>(
+    db: &RelationalDb,
+    q: &Cq,
+    opts: &EvalOptions,
+    tracer: &T,
+) -> Outcome<BTreeSet<Vec<u32>>> {
     let governor = Governor::new(&opts.budget);
     let threads = opts.effective_threads();
-    let answers = match cq_eval::treedec_join_instance(db, q, threads, Some(&governor)) {
-        Some((jdb, jq)) => answers_cq_governed_inner(&jdb, &jq, opts, &governor),
+    let answers = match cq_eval::treedec_join_instance(db, q, threads, Some(&governor), tracer) {
+        Some((jdb, jq)) => answers_cq_governed_inner(&jdb, &jq, opts, &governor, tracer),
         None => BTreeSet::new(),
     };
     Outcome {
         answers,
         stats: governed_cq_stats(&governor),
         termination: governor.termination(),
+        metrics: None,
     }
 }
 

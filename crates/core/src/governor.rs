@@ -26,6 +26,7 @@
 //! cancellation path the parallel Boolean engine uses for early success.
 
 use crate::product::ProductStats;
+use crate::trace::{Metrics, Phase, Tracer};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::time::{Duration, Instant};
@@ -209,6 +210,9 @@ pub struct Outcome<A> {
     pub stats: ProductStats,
     /// How the run ended.
     pub termination: Termination,
+    /// Folded per-phase observability counters — `Some` only when the run
+    /// was driven by a traced entry point with a collecting tracer.
+    pub metrics: Option<Metrics>,
 }
 
 const CAUSE_NONE: u8 = 0;
@@ -388,6 +392,36 @@ impl<'a> Pacer<'a> {
             return self.flush();
         }
         g.stopped()
+    }
+
+    /// [`Pacer::tick`] with the observability sampling hook attached:
+    /// tracing reuses the budget check-in cadence, so a traced loop pays
+    /// exactly one amortized check site. Under a disabled tracer this
+    /// compiles to `tick()` verbatim. With an enabled tracer the pacer
+    /// counts work even when ungoverned, so [`Tracer::sample`] fires every
+    /// [`CHECK_INTERVAL`] work units regardless of a budget being
+    /// installed; each flush is reported as a governor check, and a flush
+    /// that discovers a trip as a governor abort, attributed to `phase`.
+    #[inline]
+    pub(crate) fn tick_traced<T: Tracer>(&mut self, tracer: &T, phase: Phase) -> bool {
+        if !T::ENABLED {
+            return self.tick();
+        }
+        self.pending += 1;
+        if self.pending >= self.interval {
+            tracer.sample(phase, self.pending);
+            if self.governor.is_some() {
+                tracer.governor_check(phase, 1);
+                let stop = self.flush();
+                if stop {
+                    tracer.governor_abort(phase);
+                }
+                return stop;
+            }
+            self.pending = 0;
+            return false;
+        }
+        self.stopped()
     }
 
     /// Flushes the locally counted work to the governor and returns

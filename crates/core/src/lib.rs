@@ -39,6 +39,7 @@ pub mod product;
 pub mod satisfiability;
 mod semijoin;
 pub mod to_cq;
+pub mod trace;
 pub mod ucrpq;
 
 pub use counting::{count_cq_nice, count_cq_treedec, count_ecrpq_assignments};
@@ -47,8 +48,8 @@ pub use fnv::{FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher};
 pub use governor::{ExhaustedResource, Outcome, ResourceBudget, Termination};
 pub use optimize::{optimize, Simplified};
 pub use planner::{
-    answers_governed, answers_with_stats, evaluate, evaluate_governed, evaluate_with_stats,
-    regime_budget, CombinedRegime, ParamRegime, Plan, Strategy,
+    answers_governed, answers_traced, answers_with_stats, evaluate, evaluate_governed,
+    evaluate_with_stats, regime_budget, CombinedRegime, ParamRegime, Plan, Strategy,
 };
 pub use prepare::{MergedAtom, PreparedQuery};
 pub use product::{
@@ -57,4 +58,8 @@ pub use product::{
 };
 pub use satisfiability::satisfiable;
 pub use to_cq::ecrpq_to_cq;
+pub use trace::{
+    render_phase_table, CollectingTracer, Metrics, NoopTracer, Phase, PhaseMetrics, PhaseSpan,
+    Tracer,
+};
 pub use ucrpq::{recognizable_to_ucrpq, RecAtom};

@@ -19,6 +19,7 @@ use crate::product::{
     answers_product_with_stats_layout, eval_product_with_stats, Layout, ProductStats,
 };
 use crate::to_cq::ecrpq_to_cq;
+use crate::trace::{render_phase_table, CollectingTracer, Metrics, NoopTracer, Tracer};
 use ecrpq_analyze::{analyze, render_diagnostic, Analysis};
 use ecrpq_graph::{GraphDb, NodeId};
 use ecrpq_query::{Ecrpq, QueryMeasures};
@@ -216,6 +217,16 @@ impl Plan {
         }
         out
     }
+
+    /// [`Plan::explain`] followed by the per-phase summary of a traced run
+    /// (see [`answers_traced`], whose [`Outcome::metrics`] supplies the
+    /// argument).
+    pub fn explain_traced(&self, metrics: &Metrics) -> String {
+        let mut out = self.explain();
+        out.push_str("phase summary:\n");
+        out.push_str(&render_phase_table(metrics));
+        out
+    }
 }
 
 /// Builds a plan for evaluating `query` on `db`. The plan carries a full
@@ -371,6 +382,7 @@ pub fn evaluate_governed(db: &GraphDb, query: &Ecrpq, opts: &EvalOptions) -> Out
             answers: false,
             stats: ProductStats::default(),
             termination: Termination::Complete,
+            metrics: None,
         };
     }
     // lint:allow(unwrap): validation errors were caught by the analyzer gate above
@@ -380,6 +392,7 @@ pub fn evaluate_governed(db: &GraphDb, query: &Ecrpq, opts: &EvalOptions) -> Out
                 answers: false,
                 stats: ProductStats::default(),
                 termination: Termination::Complete,
+                metrics: None,
             }
         }
         crate::optimize::Simplified::Query(q) => q,
@@ -407,11 +420,25 @@ pub fn answers_governed(
     query: &Ecrpq,
     opts: &EvalOptions,
 ) -> Outcome<BTreeSet<Vec<NodeId>>> {
+    answers_governed_with_tracer(db, query, opts, &NoopTracer)
+}
+
+/// The governed planner pipeline with an explicit [`Tracer`]. With
+/// [`NoopTracer`] this is exactly [`answers_governed`]; pass a
+/// [`CollectingTracer`] (or use [`answers_traced`]) to get the per-phase
+/// split of the run the planner actually chose.
+pub fn answers_governed_with_tracer<T: Tracer>(
+    db: &GraphDb,
+    query: &Ecrpq,
+    opts: &EvalOptions,
+    tracer: &T,
+) -> Outcome<BTreeSet<Vec<NodeId>>> {
     if analyze(query).has_errors() {
         return Outcome {
             answers: BTreeSet::new(),
             stats: ProductStats::default(),
             termination: Termination::Complete,
+            metrics: None,
         };
     }
     // lint:allow(unwrap): validation errors were caught by the analyzer gate above
@@ -421,6 +448,7 @@ pub fn answers_governed(
                 answers: BTreeSet::new(),
                 stats: ProductStats::default(),
                 termination: Termination::Complete,
+                metrics: None,
             }
         }
         crate::optimize::Simplified::Query(q) => q,
@@ -433,10 +461,28 @@ pub fn answers_governed(
     match strategy {
         Strategy::CqTreedec => {
             let (cq, rdb, _) = ecrpq_to_cq(db, &prepared);
-            engine::answers_cq_treedec_governed(&rdb, &cq, &opts)
+            engine::answers_cq_treedec_governed_traced(&rdb, &cq, &opts, tracer)
         }
-        Strategy::DirectProduct => engine::answers_product_governed(db, &prepared, &opts),
+        Strategy::DirectProduct => {
+            engine::answers_product_governed_traced(db, &prepared, &opts, tracer)
+        }
     }
+}
+
+/// [`answers_governed`] with observability: runs the chosen strategy under
+/// a [`CollectingTracer`] and folds the per-worker counters into
+/// [`Outcome::metrics`] (always `Some` on this entry point). Render the
+/// result with [`Plan::explain_traced`] or
+/// [`crate::trace::render_phase_table`].
+pub fn answers_traced(
+    db: &GraphDb,
+    query: &Ecrpq,
+    opts: &EvalOptions,
+) -> Outcome<BTreeSet<Vec<NodeId>>> {
+    let tracer = CollectingTracer::new();
+    let mut outcome = answers_governed_with_tracer(db, query, opts, &tracer);
+    outcome.metrics = Some(tracer.metrics());
+    outcome
 }
 
 #[cfg(test)]

@@ -36,6 +36,7 @@ use crate::fnv::{FnvHashMap, FnvHashSet};
 use crate::governor::{Governor, Pacer};
 use crate::prepare::PreparedQuery;
 use crate::semijoin::{self, PrunedDomains};
+use crate::trace::{NoopTracer, Phase, PhaseSpan, Tracer};
 use ecrpq_automata::{Nfa, Row, StateId, Track};
 use ecrpq_graph::{Edge, GraphDb, NodeId, Path};
 use ecrpq_query::{NodeVar, PathVar};
@@ -422,6 +423,20 @@ impl SharedTables {
         layout: Layout,
         governor: Option<&Governor>,
     ) -> Self {
+        Self::build_traced(db, query, layout, governor, &NoopTracer)
+    }
+
+    /// As [`SharedTables::build_governed`], reporting the preparation work
+    /// (closure rows, dense tables) under [`Phase::Prepare`] and the
+    /// endpoint-domain sweeps under [`Phase::Semijoin`] to `tracer`.
+    pub(crate) fn build_traced<T: Tracer>(
+        db: &GraphDb,
+        query: &PreparedQuery,
+        layout: Layout,
+        governor: Option<&Governor>,
+        tracer: &T,
+    ) -> Self {
+        let prepare_span = PhaseSpan::start(tracer, Phase::Prepare);
         assert_eq!(
             db.alphabet().len(),
             query.num_symbols,
@@ -473,8 +488,14 @@ impl SharedTables {
             db.freeze();
             DenseTables::build(&automata)
         };
+        tracer.count(Phase::Prepare, n as u64);
+        prepare_span.finish(tracer);
         let pruned = if layout == Layout::Flat {
-            semijoin::prune_domains(db, query, &automata, governor)
+            let semijoin_span = PhaseSpan::start(tracer, Phase::Semijoin);
+            let pruned = semijoin::prune_domains(db, query, &automata, governor, tracer);
+            tracer.prune(Phase::Semijoin, pruned.pruned);
+            semijoin_span.finish(tracer);
+            pruned
         } else {
             PrunedDomains::unconstrained(query.num_node_vars)
         };
@@ -507,7 +528,7 @@ impl SharedTables {
     }
 }
 
-pub(crate) struct Evaluator<'a> {
+pub(crate) struct Evaluator<'a, T: Tracer = NoopTracer> {
     db: &'a GraphDb,
     pub(crate) query: &'a PreparedQuery,
     tables: &'a SharedTables,
@@ -533,6 +554,8 @@ pub(crate) struct Evaluator<'a> {
     /// with the shared governor every ~4k units. A no-op when the run is
     /// ungoverned.
     pacer: Pacer<'a>,
+    /// Observability hooks; [`NoopTracer`] (the default) erases them.
+    tracer: T,
 }
 
 impl<'a> Evaluator<'a> {
@@ -540,6 +563,20 @@ impl<'a> Evaluator<'a> {
         db: &'a GraphDb,
         query: &'a PreparedQuery,
         tables: &'a SharedTables,
+    ) -> Self {
+        Evaluator::with_tables_traced(db, query, tables, NoopTracer)
+    }
+}
+
+impl<'a, T: Tracer> Evaluator<'a, T> {
+    /// As [`Evaluator::with_tables`], recording per-phase counters and
+    /// times into `tracer`. With [`NoopTracer`] this monomorphizes to the
+    /// untraced evaluator exactly.
+    pub(crate) fn with_tables_traced(
+        db: &'a GraphDb,
+        query: &'a PreparedQuery,
+        tables: &'a SharedTables,
+        tracer: T,
     ) -> Self {
         let stamps = tables
             .stamp_sizes
@@ -562,6 +599,7 @@ impl<'a> Evaluator<'a> {
             first_var_range: None,
             stop: None,
             pacer: Pacer::new(None),
+            tracer,
         }
     }
 
@@ -636,15 +674,21 @@ impl<'a> Evaluator<'a> {
         // few constrained variables can emit |V|^f tuples per satisfying
         // assignment without running a single product check
         let mut odometer_work: u64 = 0;
+        let tracer = self.tracer.clone();
         self.search(0, &mut assignment, &mut |assignment| {
+            let span = PhaseSpan::start(&tracer, Phase::Odometer);
             let mut tripped = false;
             for_each_free_tuple(assignment, &free, nv, |tuple, _| {
+                tracer.count(Phase::Odometer, 1);
                 if let Some(g) = governor {
                     odometer_work += 1;
                     if odometer_work >= g.check_interval() {
+                        tracer.governor_check(Phase::Odometer, 1);
                         let _ = g.checkpoint(std::mem::take(&mut odometer_work));
                     }
                     if g.stopped() {
+                        tracer.governor_check(Phase::Odometer, 1);
+                        tracer.governor_abort(Phase::Odometer);
                         tripped = true;
                         return true;
                     }
@@ -652,6 +696,8 @@ impl<'a> Evaluator<'a> {
                 if !out.contains(tuple) {
                     if let Some(g) = governor {
                         if !g.try_claim_answer() {
+                            tracer.governor_check(Phase::Odometer, 1);
+                            tracer.governor_abort(Phase::Odometer);
                             tripped = true;
                             return true;
                         }
@@ -663,6 +709,7 @@ impl<'a> Evaluator<'a> {
                 }
                 false
             });
+            span.finish(&tracer);
             tripped // abandon the search once the budget trips
         });
         if odometer_work > 0 {
@@ -833,7 +880,7 @@ impl<'a> Evaluator<'a> {
     fn feasible(&mut self, atom_idx: usize, starts: &[NodeId], ends: &[NodeId]) -> bool {
         // one work unit per check keeps the deadline honoured even when
         // every check is a closure reject or a memo hit (no BFS configs)
-        let _ = self.pacer.tick();
+        let _ = self.pacer.tick_traced(&self.tracer, Phase::ProductBfs);
         // necessary condition: every target plain-reachable from its source
         if starts
             .iter()
@@ -848,7 +895,9 @@ impl<'a> Evaluator<'a> {
             return r;
         }
         self.stats.checks += 1;
+        let span = PhaseSpan::start(&self.tracer, Phase::ProductBfs);
         let result = self.product_bfs(atom_idx, starts, ends, false).is_some();
+        span.finish(&self.tracer);
         if !result && self.pacer.stopped() {
             // the BFS may have been truncated by the budget, so an
             // "infeasible" verdict is unproven — report it (losing answers
@@ -986,8 +1035,11 @@ impl<'a> Evaluator<'a> {
         let mut goal: Option<Config> = None;
         'bfs: while let Some((q, pos)) = queue.pop_front() {
             self.stats.configurations += 1;
+            if T::ENABLED {
+                self.tracer.count(Phase::ProductBfs, 1);
+            }
             // cooperative budget check, amortized to every ~4k configs
-            if self.pacer.tick() {
+            if self.pacer.tick_traced(&self.tracer, Phase::ProductBfs) {
                 self.stats.budget_aborts += 1;
                 break 'bfs;
             }
@@ -1052,6 +1104,9 @@ impl<'a> Evaluator<'a> {
         }
         self.stamps[atom_idx] = stamp;
         self.stats.frontier_peak = self.stats.frontier_peak.max(peak);
+        if T::ENABLED {
+            self.tracer.frontier(Phase::ProductBfs, peak);
+        }
         let goal = goal?;
         if !want_witness {
             return Some(Vec::new());
@@ -1129,8 +1184,11 @@ impl<'a> Evaluator<'a> {
         let mut goal: Option<Config> = None;
         'bfs: while let Some((q, pos)) = queue.pop_front() {
             self.stats.configurations += 1;
+            if T::ENABLED {
+                self.tracer.count(Phase::ProductBfs, 1);
+            }
             // cooperative budget check, amortized to every ~4k configs
-            if self.pacer.tick() {
+            if self.pacer.tick_traced(&self.tracer, Phase::ProductBfs) {
                 self.stats.budget_aborts += 1;
                 break 'bfs;
             }
@@ -1192,6 +1250,9 @@ impl<'a> Evaluator<'a> {
         }
         self.stamps[atom_idx] = stamp;
         self.stats.frontier_peak = self.stats.frontier_peak.max(peak);
+        if T::ENABLED {
+            self.tracer.frontier(Phase::ProductBfs, peak);
+        }
         let goal = goal?;
         if !want_witness {
             return Some(Vec::new());

@@ -22,6 +22,7 @@
 
 use crate::governor::{Governor, Pacer};
 use crate::prepare::PreparedQuery;
+use crate::trace::{Phase, Tracer};
 use ecrpq_automata::{BitSet, Nfa, Row, StateId, Track};
 use ecrpq_graph::{GraphDb, NodeId};
 
@@ -61,11 +62,12 @@ impl PrunedDomains {
 /// remaining sweep is skipped. The resulting (weaker) pruning is still
 /// sound, and the governor's tripped state tells the caller the run is no
 /// longer complete.
-pub(crate) fn prune_domains(
+pub(crate) fn prune_domains<T: Tracer>(
     db: &GraphDb,
     query: &PreparedQuery,
     automata: &[Nfa<Row>],
     governor: Option<&Governor>,
+    tracer: &T,
 ) -> PrunedDomains {
     let nv = db.num_nodes();
     let mut sets: Vec<Option<BitSet>> = vec![None; query.num_node_vars];
@@ -75,7 +77,8 @@ pub(crate) fn prune_domains(
             continue; // too large to sweep; this atom constrains nothing
         }
         for (i, &(src, dst)) in atom.endpoints.iter().enumerate() {
-            let Some((sources_ok, targets_ok)) = track_feasible(db, nfa, i, nv, governor) else {
+            let Some((sources_ok, targets_ok)) = track_feasible(db, nfa, i, nv, governor, tracer)
+            else {
                 break 'atoms; // budget tripped mid-sweep: stop pruning
             };
             for (var, ok) in [(src, sources_ok), (dst, targets_ok)] {
@@ -113,12 +116,13 @@ pub(crate) fn prune_domains(
 /// and vertices the projection can occupy in an accepting configuration —
 /// or `None` when the budget governor tripped mid-sweep (the partial sets
 /// must not be used: they under-approximate and would over-prune).
-fn track_feasible(
+fn track_feasible<T: Tracer>(
     db: &GraphDb,
     nfa: &Nfa<Row>,
     track: usize,
     nv: usize,
     governor: Option<&Governor>,
+    tracer: &T,
 ) -> Option<(BitSet, BitSet)> {
     let mut pacer = Pacer::new(governor);
     let nq = nfa.num_states();
@@ -150,8 +154,11 @@ fn track_feasible(
     }
     while let Some((q, v)) = stack.pop() {
         // cooperative budget check, amortized to every ~4k pops
-        if pacer.tick() {
+        if pacer.tick_traced(tracer, Phase::Semijoin) {
             return None;
+        }
+        if T::ENABLED {
+            tracer.count(Phase::Semijoin, 1);
         }
         for &(t, q2) in &fwd[q as usize] {
             match t {
@@ -195,8 +202,11 @@ fn track_feasible(
     }
     while let Some((q2, u)) = stack.pop() {
         // cooperative budget check, amortized to every ~4k pops
-        if pacer.tick() {
+        if pacer.tick_traced(tracer, Phase::Semijoin) {
             return None;
+        }
+        if T::ENABLED {
+            tracer.count(Phase::Semijoin, 1);
         }
         for &(t, q) in &rev[q2 as usize] {
             match t {
@@ -261,7 +271,13 @@ mod tests {
             &[p],
         );
         let prepared = PreparedQuery::build(&q).unwrap();
-        let pd = prune_domains(&db, &prepared, &trimmed(&prepared), None);
+        let pd = prune_domains(
+            &db,
+            &prepared,
+            &trimmed(&prepared),
+            None,
+            &crate::trace::NoopTracer,
+        );
         assert_eq!(pd.domains[0].as_deref(), Some(&[][..]));
         assert_eq!(pd.domains[1].as_deref(), Some(&[][..]));
         assert_eq!(pd.kept, 0);
@@ -283,7 +299,13 @@ mod tests {
         let p = q.path_atom(x, "p", y);
         q.rel_atom("aa", Arc::new(relations::word_relation(&[0, 0], 1)), &[p]);
         let prepared = PreparedQuery::build(&q).unwrap();
-        let pd = prune_domains(&db, &prepared, &trimmed(&prepared), None);
+        let pd = prune_domains(
+            &db,
+            &prepared,
+            &trimmed(&prepared),
+            None,
+            &crate::trace::NoopTracer,
+        );
         assert_eq!(pd.domains[0].as_deref(), Some(&[u][..]));
         assert_eq!(pd.domains[1].as_deref(), Some(&[w][..]));
         assert_eq!(pd.kept, 2);
@@ -308,7 +330,13 @@ mod tests {
         let p2 = q.path_atom(y, "p2", z);
         q.rel_atom("eq_len", Arc::new(relations::eq_length(2, m)), &[p1, p2]);
         let prepared = PreparedQuery::build(&q).unwrap();
-        let pd = prune_domains(&db, &prepared, &trimmed(&prepared), None);
+        let pd = prune_domains(
+            &db,
+            &prepared,
+            &trimmed(&prepared),
+            None,
+            &crate::trace::NoopTracer,
+        );
         for d in &pd.domains {
             assert_eq!(d.as_deref(), Some(&[u, v][..]));
         }

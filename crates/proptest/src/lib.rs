@@ -88,7 +88,8 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
-                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                let seed = $crate::test_runner::seed_for_name(stringify!($name));
+                let mut rng = $crate::TestRng::from_seed(seed);
                 for case in 0..config.cases {
                     let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
                         $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
@@ -97,10 +98,12 @@ macro_rules! proptest {
                     })();
                     if let ::std::result::Result::Err(e) = result {
                         panic!(
-                            "proptest '{}' failed at case {}/{}: {}",
+                            "proptest '{}' failed at case {}/{} (effective seed {:#018x}; \
+                             reproduce or vary with ECRPQ_TEST_SEED): {}",
                             stringify!($name),
                             case + 1,
                             config.cases,
+                            seed,
                             e
                         );
                     }

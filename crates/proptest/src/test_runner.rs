@@ -30,15 +30,40 @@ pub struct TestRng {
     state: u64,
 }
 
+/// The effective base seed for a named test: FNV-1a over the test name,
+/// XOR-mixed with a bit-diffused `ECRPQ_TEST_SEED` when that environment
+/// variable is set. With the variable unset the seed depends only on the
+/// name, so default runs are stable across machines and sessions; setting
+/// it perturbs every property test's stream at once for exploratory
+/// fuzzing. Failure messages print the effective seed.
+pub fn seed_for_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    if let Ok(s) = std::env::var("ECRPQ_TEST_SEED") {
+        let base: u64 = s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("ECRPQ_TEST_SEED must be a decimal u64, got {s:?}"));
+        // diffuse the base (splitmix64 finalizer) so small seeds flip
+        // high bits too, then mix
+        let mut z = base.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= z ^ (z >> 31);
+    }
+    h
+}
+
 impl TestRng {
-    /// Seeds from a test name (FNV-1a over the bytes).
+    /// Seeds from a test name via [`seed_for_name`] (honours
+    /// `ECRPQ_TEST_SEED`).
     pub fn from_name(name: &str) -> Self {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for &b in name.as_bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        TestRng {
+            state: seed_for_name(name),
         }
-        TestRng { state: h }
     }
 
     /// Seeds directly from a `u64`.

@@ -15,16 +15,35 @@
 //!   testing;
 //! * [`ine`] — intersection-non-emptiness instances (random automata,
 //!   plus families with a planted common word so non-emptiness is
-//!   controlled).
+//!   controlled);
+//! * [`oracle`] — a brute-force ECRPQ evaluator used as differential-test
+//!   ground truth.
 //!
 //! All generators take an explicit `seed` and are deterministic.
 
 pub mod graphs;
 pub mod ine;
+pub mod oracle;
 pub mod queries;
 
 pub use graphs::{chain_db, cycle_db, grid_db, random_db, random_dfa, random_nfa};
 pub use ine::{planted_ine, random_ine};
+pub use oracle::{oracle_answers, oracle_eval};
 pub use queries::{
     big_component_query, clique_query, random_ecrpq, tractable_chain_query, RandomQueryParams,
 };
+
+/// Base seed for randomized test suites: the `ECRPQ_TEST_SEED` environment
+/// variable when set (decimal), otherwise `default`. Suites offset their
+/// per-case seeds by this base and print it in assertion messages, so a
+/// failure seen under an exploratory seed is reproducible with
+/// `ECRPQ_TEST_SEED=<base> cargo test …`.
+pub fn env_seed(default: u64) -> u64 {
+    match std::env::var("ECRPQ_TEST_SEED") {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("ECRPQ_TEST_SEED must be a decimal u64, got {s:?}")),
+        Err(_) => default,
+    }
+}

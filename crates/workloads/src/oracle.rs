@@ -1,0 +1,235 @@
+//! Brute-force oracle evaluator — differential-test ground truth.
+//!
+//! [`oracle_answers`] evaluates an ECRPQ by exhaustive enumeration with
+//! *none* of the engine's machinery: no Lemma 4.1 merge, no automaton
+//! product, no semijoin pruning, no memoization. It enumerates every
+//! node-variable assignment, every bounded-length walk for every path
+//! variable, and checks each relation atom by direct
+//! [`ecrpq_automata::SyncRel::contains`] membership on the chosen label
+//! words. The cost
+//! is exponential in everything; the value is that the only shared code
+//! with the real evaluators is the word-membership test itself.
+//!
+//! Walks are bounded by `max_len` edges, so the oracle is *sound but
+//! possibly incomplete*: every answer it reports is a real answer, but
+//! answers whose shortest witness paths exceed the bound are missed.
+//! Differential tests therefore assert `oracle ⊆ engine` unconditionally
+//! and assert equality only once the oracle's answer set has stabilized
+//! under a growing bound (see `tests/oracle_differential.rs`).
+
+use ecrpq_automata::Symbol;
+use ecrpq_graph::{GraphDb, NodeId};
+use ecrpq_query::Ecrpq;
+use std::collections::BTreeSet;
+
+/// All label words of walks of at most `max_len` edges starting at
+/// `src`, bucketed by destination node: `result[dst]` lists the words
+/// (including the empty word at `result[src]` — a length-0 path).
+fn walk_words(db: &GraphDb, src: NodeId, max_len: usize) -> Vec<Vec<Vec<Symbol>>> {
+    let mut buckets: Vec<Vec<Vec<Symbol>>> = vec![Vec::new(); db.num_nodes()];
+    // iterative DFS over (node, word-so-far)
+    let mut stack: Vec<(NodeId, Vec<Symbol>)> = vec![(src, Vec::new())];
+    while let Some((v, word)) = stack.pop() {
+        buckets[v as usize].push(word.clone());
+        if word.len() == max_len {
+            continue;
+        }
+        for &(label, dst) in db.out_edges(v) {
+            let mut next = word.clone();
+            next.push(label);
+            stack.push((dst, next));
+        }
+    }
+    buckets
+}
+
+/// Does some choice of candidate words satisfy every relation atom?
+///
+/// `candidates[i]` are the admissible words for path variable `i` (walks
+/// between its assigned endpoints); `atoms` are `(relation-membership
+/// closure, argument path-variable indices)` pairs. Plain backtracking:
+/// assign path variables in index order, check an atom as soon as its
+/// last argument is assigned.
+fn choose_words(
+    candidates: &[&Vec<Vec<Symbol>>],
+    atoms: &[(&ecrpq_automata::SyncRel, Vec<usize>)],
+    chosen: &mut Vec<usize>,
+) -> bool {
+    let i = chosen.len();
+    if i == candidates.len() {
+        return true;
+    }
+    'word: for (w, _) in candidates[i].iter().enumerate() {
+        chosen.push(w);
+        for (rel, args) in atoms {
+            // checkable exactly when the last argument was just assigned
+            if args.iter().max() == Some(&i) {
+                let words: Vec<&[Symbol]> = args
+                    .iter()
+                    .map(|&a| candidates[a][chosen[a]].as_slice())
+                    .collect();
+                if !rel.contains(&words) {
+                    chosen.pop();
+                    continue 'word;
+                }
+            }
+        }
+        if choose_words(candidates, atoms, chosen) {
+            return true;
+        }
+        chosen.pop();
+    }
+    false
+}
+
+/// Brute-force answer enumeration: the set of free-variable tuples for
+/// which some node assignment and some tuple of walks (each at most
+/// `max_len` edges) satisfies every path and relation atom. For a
+/// Boolean query the result is `{[]}` when satisfiable, `{}` otherwise
+/// — matching the engine's answer-set convention.
+pub fn oracle_answers(db: &GraphDb, q: &Ecrpq, max_len: usize) -> BTreeSet<Vec<NodeId>> {
+    let n = db.num_nodes();
+    let mut out: BTreeSet<Vec<NodeId>> = BTreeSet::new();
+    if n == 0 {
+        return out;
+    }
+    // walk languages from every source, bucketed by destination
+    let lang: Vec<Vec<Vec<Vec<Symbol>>>> = (0..n)
+        .map(|s| walk_words(db, s as NodeId, max_len))
+        .collect();
+    let paths: Vec<(usize, usize)> = q
+        .path_atoms()
+        .map(|(_, s, d)| (s.0 as usize, d.0 as usize))
+        .collect();
+    let atoms: Vec<(&ecrpq_automata::SyncRel, Vec<usize>)> = q
+        .rel_atoms()
+        .iter()
+        .map(|a| (&*a.rel, a.args.iter().map(|p| p.0 as usize).collect()))
+        .collect();
+    let num_vars = q.num_node_vars();
+    let free: Vec<usize> = q.free_vars().iter().map(|v| v.0 as usize).collect();
+
+    // odometer over all n^num_vars node assignments
+    let mut assign: Vec<NodeId> = vec![0; num_vars];
+    loop {
+        let candidates: Vec<&Vec<Vec<Symbol>>> = paths
+            .iter()
+            .map(|&(s, d)| &lang[assign[s] as usize][assign[d] as usize])
+            .collect();
+        if candidates.iter().all(|c| !c.is_empty()) {
+            let tuple: Vec<NodeId> = free.iter().map(|&i| assign[i]).collect();
+            // skip the search when this free tuple is already known
+            if !out.contains(&tuple) {
+                let mut chosen = Vec::with_capacity(candidates.len());
+                if choose_words(&candidates, &atoms, &mut chosen) {
+                    out.insert(tuple);
+                }
+            }
+        }
+        // advance the odometer
+        let mut i = 0;
+        loop {
+            if i == num_vars {
+                return out;
+            }
+            assign[i] += 1;
+            if (assign[i] as usize) < n {
+                break;
+            }
+            assign[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Brute-force Boolean evaluation: is the query satisfiable with walks
+/// of at most `max_len` edges?
+pub fn oracle_eval(db: &GraphDb, q: &Ecrpq, max_len: usize) -> bool {
+    let mut q = q.clone();
+    q.set_free(&[]);
+    !oracle_answers(db, &q, max_len).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecrpq_automata::{relations, Alphabet};
+    use ecrpq_query::RelationRegistry;
+
+    // parse against the db's alphabet so symbol interning agrees
+    fn parse(db: &GraphDb, text: &str) -> Ecrpq {
+        let mut alphabet = db.alphabet().clone();
+        ecrpq_query::parse_query(text, &mut alphabet, &RelationRegistry::new()).unwrap()
+    }
+
+    fn chain_ab() -> GraphDb {
+        // v0 -a-> v1 -b-> v2
+        let mut db = GraphDb::new();
+        let v0 = db.add_node("v0");
+        let v1 = db.add_node("v1");
+        let v2 = db.add_node("v2");
+        db.add_edge(v0, 'a', v1);
+        db.add_edge(v1, 'b', v2);
+        db
+    }
+
+    #[test]
+    fn finds_the_only_walk_on_a_chain() {
+        let db = chain_ab();
+        let q = parse(&db, "q(x, y) :- x -[p]-> y, p in ab");
+        let got = oracle_answers(&db, &q, 4);
+        assert_eq!(got, BTreeSet::from([vec![0, 2]]));
+    }
+
+    #[test]
+    fn respects_the_length_bound() {
+        let db = chain_ab();
+        let q = parse(&db, "q(x, y) :- x -[p]-> y, p in ab");
+        // witness needs 2 edges; a bound of 1 must miss it
+        assert!(oracle_answers(&db, &q, 1).is_empty());
+    }
+
+    #[test]
+    fn empty_word_satisfies_a_starred_atom() {
+        let db = chain_ab();
+        let q = parse(&db, "q(x, y) :- x -[p]-> y, p in a*");
+        let got = oracle_answers(&db, &q, 2);
+        // ε at every node (x = y) plus the single a-edge
+        let expect: BTreeSet<Vec<NodeId>> =
+            BTreeSet::from([vec![0, 0], vec![1, 1], vec![2, 2], vec![0, 1]]);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn shared_path_variable_must_satisfy_both_atoms() {
+        let db = chain_ab();
+        // eq(p, r) forces both walks to carry the same label word;
+        // chained with `p in ab` only the full chain survives.
+        let q = parse(
+            &db,
+            "q(x, y, z, w) :- x -[p]-> y, z -[r]-> w, p in ab, eq(p, r)",
+        );
+        let got = oracle_answers(&db, &q, 4);
+        assert_eq!(got, BTreeSet::from([vec![0, 2, 0, 2]]));
+    }
+
+    #[test]
+    fn boolean_oracle_matches_nonempty_answers() {
+        let db = chain_ab();
+        let q = parse(&db, "q() :- x -[p]-> y, p in ab");
+        assert!(oracle_eval(&db, &q, 4));
+        let q2 = parse(&db, "q() :- x -[p]-> y, p in ba");
+        assert!(!oracle_eval(&db, &q2, 4));
+    }
+
+    #[test]
+    fn membership_check_is_the_raw_sync_relation() {
+        // sanity: the oracle's only dependence on the automata layer
+        let mut alphabet = Alphabet::new();
+        let a = alphabet.intern('a');
+        let b = alphabet.intern('b');
+        let rel = relations::word_relation(&[a, b], alphabet.len());
+        assert!(rel.contains(&[&[a, b]]));
+        assert!(!rel.contains(&[&[b, a]]));
+    }
+}

@@ -208,7 +208,7 @@ pub fn lint_budget_checkpoints(path: &str, content: &str) -> Vec<Violation> {
         let mut guarded = false;
         for body_line in &lines[idx..] {
             let body_code = strip_comment(body_line);
-            for needle in [".tick(", "checkpoint(", "stopped("] {
+            for needle in [".tick(", ".tick_traced(", "checkpoint(", "stopped("] {
                 if body_code.contains(needle) {
                     guarded = true;
                 }
@@ -230,6 +230,54 @@ pub fn lint_budget_checkpoints(path: &str, content: &str) -> Vec<Violation> {
                     "unguarded worklist loop on the budget hot path — call `pacer.tick()` \
                      (or `checkpoint`/`stopped`) in the body, or audit it with \
                      `// {ALLOW_UNGUARDED}: why the loop is bounded`"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Modules on the evaluation hot path that must not read the wall clock
+/// directly: all timing goes through the tracer's `PhaseSpan`, which is
+/// compiled out under `NoopTracer`. A raw `Instant::now()` here is paid
+/// on every run, traced or not — exactly the overhead the observability
+/// layer exists to avoid.
+pub const CLOCK_HOT_FILES: &[&str] = &[
+    "crates/core/src/product.rs",
+    "crates/core/src/semijoin.rs",
+    "crates/core/src/cq_eval.rs",
+    "crates/core/src/engine.rs",
+];
+
+/// Marker that exempts one audited clock read from [`lint_raw_clock`].
+/// Put it on the offending line or the line just above, with a word on
+/// why the read is off the per-configuration path.
+pub const ALLOW_RAW_CLOCK: &str = "lint:allow(raw-clock)";
+
+/// Rule 6: no direct `Instant::now()` / `SystemTime::now()` in a
+/// [`CLOCK_HOT_FILES`] module. Phase timing belongs in `trace::PhaseSpan`
+/// (zero-cost when tracing is off); deadline checks belong in the
+/// governor. Comment lines are skipped; an audited read carries the
+/// [`ALLOW_RAW_CLOCK`] marker on its line or the line above.
+pub fn lint_raw_clock(path: &str, content: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let lines: Vec<&str> = content.lines().collect();
+    for (idx, line) in lines.iter().enumerate() {
+        let code = strip_comment(line);
+        let hit = ["Instant::now()", "SystemTime::now()"]
+            .iter()
+            .find(|n| code.contains(*n));
+        let Some(needle) = hit else { continue };
+        let allowed =
+            line.contains(ALLOW_RAW_CLOCK) || (idx > 0 && lines[idx - 1].contains(ALLOW_RAW_CLOCK));
+        if !allowed {
+            out.push(Violation {
+                file: path.to_string(),
+                line: idx + 1,
+                message: format!(
+                    "`{needle}` on the evaluation hot path — time phases with \
+                     `trace::PhaseSpan` (free under `NoopTracer`), or audit it with \
+                     `// {ALLOW_RAW_CLOCK}: why this read is off the hot loop`"
                 ),
             });
         }
@@ -396,6 +444,46 @@ fn both() {
         let v = lint_budget_checkpoints("f", mixed);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn tick_traced_counts_as_a_checkpoint() {
+        let traced = "\
+fn sweep() {
+    while let Some(x) = stack.pop() {
+        if pacer.tick_traced(tracer, Phase::Semijoin) {
+            return None;
+        }
+        expand(x);
+    }
+}
+";
+        assert!(lint_budget_checkpoints("crates/core/src/semijoin.rs", traced).is_empty());
+    }
+
+    #[test]
+    fn raw_clock_fires_outside_the_tracer() {
+        let bad = "fn f() {\n    let t0 = Instant::now();\n}\n";
+        let v = lint_raw_clock("crates/core/src/product.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].message.contains("PhaseSpan"));
+        let sys = "let t = std::time::SystemTime::now();\n";
+        assert_eq!(lint_raw_clock("f", sys).len(), 1);
+    }
+
+    #[test]
+    fn raw_clock_respects_marker_and_comments() {
+        let audited = "\
+fn f() {
+    // lint:allow(raw-clock): once per run, outside the search loop
+    let t0 = Instant::now();
+    let t1 = Instant::now(); // lint:allow(raw-clock): cold path
+}
+";
+        assert!(lint_raw_clock("f", audited).is_empty());
+        assert!(lint_raw_clock("f", "// Instant::now() in prose\n").is_empty());
+        assert!(lint_raw_clock("f", "/// doc about Instant::now()\n").is_empty());
     }
 
     #[test]

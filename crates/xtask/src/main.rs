@@ -7,8 +7,9 @@
 mod lint;
 
 use lint::{
-    lint_budget_checkpoints, lint_default_hasher, lint_forbid_unsafe, lint_tracked_target,
-    lint_unwrap, Violation, BUDGET_HOT_FILES, HOT_PATH_FILES, OWN_CRATES,
+    lint_budget_checkpoints, lint_default_hasher, lint_forbid_unsafe, lint_raw_clock,
+    lint_tracked_target, lint_unwrap, Violation, BUDGET_HOT_FILES, CLOCK_HOT_FILES, HOT_PATH_FILES,
+    OWN_CRATES,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -118,16 +119,30 @@ fn run_lint() -> ExitCode {
         }
     }
 
+    // Rule 6: no raw wall-clock reads on the evaluation hot path — phase
+    // timing goes through the tracer (or carries an audit marker).
+    for hot in CLOCK_HOT_FILES {
+        let path = root.join(hot);
+        match std::fs::read_to_string(&path) {
+            Ok(content) => violations.extend(lint_raw_clock(hot, &content)),
+            Err(e) => {
+                eprintln!("xtask: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     for v in &violations {
         println!("{v}");
     }
     if violations.is_empty() {
         println!(
             "xtask lint: clean ({} entry points, {} hot files, {} budget-hot files, \
-             {} library files)",
+             {} clock-hot files, {} library files)",
             entries.len(),
             HOT_PATH_FILES.len(),
             BUDGET_HOT_FILES.len(),
+            CLOCK_HOT_FILES.len(),
             lib_sources.len()
         );
         ExitCode::SUCCESS

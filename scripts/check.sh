@@ -16,15 +16,19 @@ cargo build --release --offline
 echo "== tier-1: tests =="
 cargo test -q --offline
 
-echo "== differential suites (evaluator equivalence, layout + parallel + budget) =="
+echo "== differential suites (evaluator equivalence, layout + parallel + budget + oracle) =="
 cargo test -q --offline --test differential --test parallel_differential --test layout_differential \
-  --test budget_differential
+  --test budget_differential --test oracle_differential --test metrics_invariants \
+  --test trace_observability
 
 echo "== xtask lint (repo policy) =="
 cargo run -q -p xtask --offline -- lint
 
 echo "== analyze CLI over the query corpus + workloads =="
 cargo run -q --release --offline -p ecrpq-bench --bin analyze -- queries/*.ecrpq --workloads
+
+echo "== analyze --trace (per-query phase tables) =="
+cargo run -q --release --offline -p ecrpq-bench --bin analyze -- queries/*.ecrpq --trace > /dev/null
 
 echo "== cargo doc (deny warnings) =="
 # own crates only: the vendored shims (rand/proptest/criterion) mirror

@@ -119,6 +119,53 @@
 //! assert!(plan.explain().contains("default budget"));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Observability
+//!
+//! The evaluators are generic over a [`eval::Tracer`]: the default
+//! [`eval::NoopTracer`] compiles the instrumentation away entirely
+//! (`const ENABLED: bool = false`, so untraced runs pay nothing), while a
+//! [`eval::CollectingTracer`] accumulates per-phase timers and counters —
+//! configurations expanded, endpoints pruned, frontier peaks, governor
+//! check-ins — across all workers, losslessly at any thread count.
+//! [`eval::answers_traced`] is the convenience entry point: it runs the
+//! planner's chosen strategy under a fresh `CollectingTracer` and folds
+//! the counters into [`eval::Outcome::metrics`]. Tracing never changes
+//! answers: traced and untraced runs are bit-identical.
+//!
+//! ```
+//! use ecrpq::eval::{self, engine, render_phase_table, CollectingTracer};
+//! use ecrpq::eval::{EvalOptions, Phase, PreparedQuery};
+//! use ecrpq::graph::parse_graph;
+//! use ecrpq::query::{parse_query, RelationRegistry};
+//!
+//! let db = parse_graph("a1 -a-> m1\nm1 -a-> hub\nb1 -b-> m2\nm2 -b-> hub\n")?;
+//! let mut alphabet = db.alphabet().clone();
+//! let q = parse_query(
+//!     "q(x, x') :- x -[p1]-> y, x' -[p2]-> y, eq_len(p1, p2)",
+//!     &mut alphabet,
+//!     &RelationRegistry::new(),
+//! )?;
+//!
+//! // explicit tracer: attach to any instrumented engine entry point
+//! let prepared = PreparedQuery::build(&q)?;
+//! let tracer = CollectingTracer::new();
+//! let (answers, stats) = engine::answers_product_with_stats_traced(
+//!     &db,
+//!     &prepared,
+//!     &EvalOptions::sequential(),
+//!     &tracer,
+//! );
+//! let metrics = tracer.metrics();
+//! assert_eq!(metrics.phase(Phase::ProductBfs).items, stats.configurations);
+//! assert_eq!(answers, eval::product::answers_product(&db, &prepared));
+//!
+//! // or let the planner wire it up and render the per-phase table
+//! let outcome = eval::answers_traced(&db, &q, &EvalOptions::sequential());
+//! let table = render_phase_table(outcome.metrics.as_ref().expect("always Some"));
+//! assert!(table.contains("product-bfs"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 pub use ecrpq_analyze as analyze;
 pub use ecrpq_automata as automata;
