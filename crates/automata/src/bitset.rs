@@ -116,6 +116,69 @@ impl BitSet {
             .all(|(a, b)| a & !b == 0)
     }
 
+    /// The backing `u64` words, least-significant bit first. Bits at or
+    /// beyond `capacity` are always zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// ORs `mask` into word `w` and returns the bits that were newly set
+    /// (`mask & !old`). The caller is responsible for keeping `mask`
+    /// within `capacity`; word `w` must exist.
+    #[inline]
+    pub fn or_word(&mut self, w: usize, mask: u64) -> u64 {
+        let old = self.words[w];
+        self.words[w] = old | mask;
+        mask & !old
+    }
+
+    /// Zeroes word `w` (no-op when `w` is past the last word).
+    #[inline]
+    pub fn clear_word(&mut self, w: usize) {
+        if let Some(word) = self.words.get_mut(w) {
+            *word = 0;
+        }
+    }
+
+    /// In-place union that reports change: returns `true` iff `self`
+    /// gained at least one element. Both sets must have equal capacity.
+    pub fn union_assign(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity);
+        let mut grew = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let merged = *a | b;
+            grew |= merged != *a;
+            *a = merged;
+        }
+        grew
+    }
+
+    /// Iterates over the elements in increasing order, skipping zero
+    /// words without inspecting their bits. Equivalent to [`BitSet::iter`]
+    /// but written as an explicit word loop so sparse sets over large
+    /// capacities cost one load-and-compare per empty word.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        let words = &self.words;
+        let mut word_idx = 0usize;
+        let mut current = 0u64;
+        std::iter::from_fn(move || loop {
+            if current != 0 {
+                let b = current.trailing_zeros() as usize;
+                current &= current - 1;
+                return Some((word_idx - 1) * 64 + b);
+            }
+            // word-skipping fast path: scan for the next nonzero word
+            while word_idx < words.len() && words[word_idx] == 0 {
+                word_idx += 1;
+            }
+            if word_idx >= words.len() {
+                return None;
+            }
+            current = words[word_idx];
+            word_idx += 1;
+        })
+    }
+
     /// Iterates over the elements in increasing order.
     pub fn iter(&self) -> Iter<'_> {
         Iter {
@@ -226,5 +289,40 @@ mod tests {
     fn out_of_range_contains_is_false() {
         let s = BitSet::new(10);
         assert!(!s.contains(1000));
+    }
+
+    #[test]
+    fn or_word_reports_newly_set_bits() {
+        let mut s = BitSet::new(130);
+        assert_eq!(s.or_word(0, 0b1010), 0b1010);
+        assert_eq!(s.or_word(0, 0b1100), 0b0100);
+        assert_eq!(s.or_word(0, 0b1110), 0);
+        assert!(s.contains(1) && s.contains(2) && s.contains(3));
+        assert_eq!(s.or_word(2, 1), 1);
+        assert!(s.contains(128));
+        s.clear_word(0);
+        assert!(!s.contains(1));
+        assert!(s.contains(128));
+        s.clear_word(9999); // past the end: no-op, no panic
+    }
+
+    #[test]
+    fn union_assign_reports_growth() {
+        let mut a = BitSet::from_iter_with_capacity(100, [1, 70]);
+        let b = BitSet::from_iter_with_capacity(100, [1, 2]);
+        assert!(a.union_assign(&b));
+        assert!(!a.union_assign(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 70]);
+    }
+
+    #[test]
+    fn iter_ones_matches_iter_on_sparse_sets() {
+        let s = BitSet::from_iter_with_capacity(100_000, [0, 63, 64, 65_537, 99_999]);
+        assert_eq!(
+            s.iter_ones().collect::<Vec<_>>(),
+            s.iter().collect::<Vec<_>>()
+        );
+        let empty = BitSet::new(10_000);
+        assert_eq!(empty.iter_ones().count(), 0);
     }
 }

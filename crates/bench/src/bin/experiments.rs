@@ -22,7 +22,8 @@ use ecrpq_reductions::{
 };
 use ecrpq_structure::TwoLevelGraph;
 use ecrpq_workloads::{
-    big_component_query, clique_query, cycle_db, planted_ine, random_db, tractable_chain_query,
+    big_component_query, clique_query, cycle_db, planted_ine, planted_power_law_instance,
+    random_db, tractable_chain_query,
 };
 use std::time::Duration;
 
@@ -95,6 +96,130 @@ fn main() {
     if want("E18") {
         e18_observability();
     }
+    if want("E19") {
+        e19_bitparallel();
+    }
+}
+
+/// E19 — Flat vs BitParallel configs/s on the planted power-law instance,
+/// at 1/2/4/8 worker threads. Graph size defaults to 10⁶ nodes and is
+/// overridden by `ECRPQ_E19_NODES` (the CI smoke run uses a small size);
+/// the JSON record lands at `ECRPQ_E19_OUT`, default
+/// `BENCH_bitparallel.json` in the working directory.
+fn e19_bitparallel() {
+    println!("## E19 — Bit-parallel product BFS: configs/s, flat vs bit-parallel");
+    println!();
+    println!("The planted power-law reachability instance: a scale-free core over");
+    println!("labels {{a, b}}, 8 source vertices entering the hub by a `c`-edge and");
+    println!("one sink behind a 64-vertex chain tail, queried with");
+    println!("`q(x) :- x -[p]-> y, p in c(a|b)*d`. The semijoin prunes the");
+    println!("endpoint domains to the 8 sources and the single sink, so each run");
+    println!("is 8 product-BFS sweeps over essentially the whole core — the");
+    println!("configs/s column measures the BFS inner loop. Answer sets are");
+    println!("asserted identical across both layouts and every thread count.");
+    println!();
+    let n: usize = std::env::var("ECRPQ_E19_NODES")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(1_000_000);
+    let out_path =
+        std::env::var("ECRPQ_E19_OUT").unwrap_or_else(|_| String::from("BENCH_bitparallel.json"));
+    let sources = 8usize;
+    let seed = ecrpq_workloads::env_seed(2022);
+    let (db, q, _srcs) = planted_power_law_instance(n, sources, seed);
+    db.freeze();
+    println!(
+        "(nodes: {}, edges: {}, seed: {seed})",
+        db.num_nodes(),
+        db.num_edges()
+    );
+    println!();
+    let prepared = PreparedQuery::build(&q).expect("valid");
+    let layouts = [("flat", Layout::Flat), ("bitparallel", Layout::BitParallel)];
+    let thread_counts = [1usize, 2, 4, 8];
+    let mut t = Table::new(&[
+        "layout",
+        "threads",
+        "answers",
+        "configs",
+        "time",
+        "configs/s",
+        "vs flat",
+    ]);
+    let mut baseline: Option<std::collections::BTreeSet<Vec<u32>>> = None;
+    let mut rows: Vec<(String, usize, u64, f64)> = Vec::new();
+    for &threads in &thread_counts {
+        let mut flat_rate = 0f64;
+        for (name, layout) in layouts {
+            let opts = EvalOptions::with_threads(threads).with_layout(layout);
+            let (answers, stats) = engine::answers_product_with_stats(&db, &prepared, &opts);
+            assert_eq!(answers.len(), sources, "{name} at {threads} threads");
+            match &baseline {
+                None => baseline = Some(answers),
+                Some(b) => assert_eq!(&answers, b, "{name} diverged at {threads} threads"),
+            }
+            let d = time_median(3, || engine::answers_product(&db, &prepared, &opts));
+            let rate = stats.configurations as f64 / d.as_secs_f64().max(1e-9);
+            if layout == Layout::Flat {
+                flat_rate = rate;
+            }
+            t.row(&[
+                name.to_string(),
+                threads.to_string(),
+                sources.to_string(),
+                stats.configurations.to_string(),
+                fmt_duration(d),
+                fmt_rate(stats.configurations, d),
+                format!("{:.2}x", rate / flat_rate.max(1e-9)),
+            ]);
+            rows.push((name.to_string(), threads, stats.configurations, rate));
+        }
+    }
+    println!("{}", t.to_markdown());
+    let speedup_at = |threads: usize| -> f64 {
+        let rate_of = |name: &str| {
+            rows.iter()
+                .find(|(l, th, _, _)| l == name && *th == threads)
+                .map_or(0.0, |&(_, _, _, r)| r)
+        };
+        rate_of("bitparallel") / rate_of("flat").max(1e-9)
+    };
+    let best = thread_counts
+        .iter()
+        .map(|&th| speedup_at(th))
+        .fold(0.0f64, f64::max);
+    println!(
+        "bit-parallel configs/s speedup over flat: {:.2}x at 1 thread, {best:.2}x best",
+        speedup_at(1)
+    );
+    println!();
+    // JSON record: the perf-trajectory artifact diffed by scripts/check.sh
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"experiment\": \"E19\",\n");
+    json.push_str(&format!("  \"nodes\": {},\n", db.num_nodes()));
+    json.push_str(&format!("  \"edges\": {},\n", db.num_edges()));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"sources\": {sources},\n"));
+    json.push_str("  \"rows\": [\n");
+    for (i, (layout, threads, configs, rate)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"layout\": \"{layout}\", \"threads\": {threads}, \"configs\": {configs}, \"configs_per_sec\": {rate:.0}}}{comma}\n",
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"speedup_single_thread\": {:.2},\n",
+        speedup_at(1)
+    ));
+    json.push_str(&format!("  \"speedup_best\": {best:.2}\n"));
+    json.push_str("}\n");
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("(wrote {out_path})"),
+        Err(e) => println!("(could not write {out_path}: {e})"),
+    }
+    println!();
 }
 
 fn e18_observability() {
@@ -341,6 +466,7 @@ fn e15_layout() {
         ("legacy", Layout::Legacy),
         ("flat", Layout::FlatUnpruned),
         ("flat+semijoin", Layout::Flat),
+        ("bitparallel", Layout::BitParallel),
     ];
     let mut t = Table::new(&[
         "layout",

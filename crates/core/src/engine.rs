@@ -53,6 +53,11 @@ pub struct EvalOptions {
     /// Resource budget for the `*_governed` entry points (unlimited by
     /// default). The ungoverned entry points ignore it.
     pub budget: ResourceBudget,
+    /// Product-evaluator data layout ([`Layout::Flat`] by default). The CQ
+    /// entry points ignore it. [`Layout::BitParallel`] additionally
+    /// switches the worker pool to word-granular chunk stealing so chunk
+    /// boundaries line up with the kernel's 64-configuration bitmap words.
+    pub layout: Layout,
 }
 
 impl EvalOptions {
@@ -78,6 +83,12 @@ impl EvalOptions {
         self
     }
 
+    /// Returns these options with `layout` installed (builder style).
+    pub fn with_layout(mut self, layout: Layout) -> Self {
+        self.layout = layout;
+        self
+    }
+
     /// The concrete worker count: resolves `threads == 0` to the machine's
     /// available parallelism (1 if that is unknown).
     pub fn effective_threads(&self) -> usize {
@@ -89,6 +100,44 @@ impl EvalOptions {
             self.threads
         }
     }
+}
+
+/// Node-id width of one bitmap word in the bit-parallel kernel: chunk
+/// boundaries for [`Layout::BitParallel`] runs are aligned to 64-id
+/// multiples so a steal unit matches the kernel's word-wide unit of work.
+const WORD_IDS: usize = 64;
+
+/// Chunks per worker under word-granular stealing: finer than
+/// [`CHUNKS_PER_THREAD`] because word-aligned chunks can only be balanced
+/// in whole-word steps, so load evening relies on the steal queue instead
+/// of the remainder spread.
+const WORD_CHUNKS_PER_THREAD: usize = 16;
+
+/// First-variable domain partition for the product worker pool. The flat
+/// and legacy layouts use the plain [`chunk_ranges`] split; the
+/// bit-parallel layout replaces it with word-granular ranges — every chunk
+/// a whole number of 64-id words (the last absorbs the remainder) and
+/// [`WORD_CHUNKS_PER_THREAD`] chunks per worker for finer stealing.
+fn product_chunk_ranges(domain: usize, workers: usize, layout: Layout) -> Vec<Range<NodeId>> {
+    if layout != Layout::BitParallel {
+        return chunk_ranges(domain, workers * CHUNKS_PER_THREAD);
+    }
+    if domain == 0 {
+        return Vec::new();
+    }
+    let words = domain.div_ceil(WORD_IDS);
+    let parts = (workers * WORD_CHUNKS_PER_THREAD).clamp(1, words);
+    let base = words / parts;
+    let extra = words % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for i in 0..parts {
+        let len = (base + usize::from(i < extra)) * WORD_IDS;
+        let end = (start + len).min(domain);
+        ranges.push(start as NodeId..end as NodeId);
+        start = end;
+    }
+    ranges
 }
 
 /// Splits `0..domain` into at most `parts` non-empty contiguous ranges.
@@ -140,10 +189,10 @@ pub fn eval_product_with_stats(
 ) -> (bool, ProductStats) {
     let workers = product_workers(db, query, opts);
     if workers <= 1 {
-        return product::eval_product_with_stats(db, query);
+        return product::eval_product_with_stats_layout(db, query, opts.layout);
     }
-    let tables = SharedTables::build(db, query);
-    let ranges = chunk_ranges(db.num_nodes(), workers * CHUNKS_PER_THREAD);
+    let tables = SharedTables::build_with_layout(db, query, opts.layout);
+    let ranges = product_chunk_ranges(db.num_nodes(), workers, opts.layout);
     let next = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
     let mut found = false;
@@ -215,13 +264,13 @@ pub fn answers_product_with_stats_traced<T: Tracer>(
     tracer: &T,
 ) -> (BTreeSet<Vec<NodeId>>, ProductStats) {
     let workers = product_workers(db, query, opts);
-    let tables = SharedTables::build_traced(db, query, Layout::Flat, None, tracer);
+    let tables = SharedTables::build_traced(db, query, opts.layout, None, tracer);
     if workers <= 1 {
         let mut e = Evaluator::with_tables_traced(db, query, &tables, tracer.fork_worker());
         let answers = e.answers();
         return (answers, e.stats);
     }
-    let ranges = chunk_ranges(db.num_nodes(), workers * CHUNKS_PER_THREAD);
+    let ranges = product_chunk_ranges(db.num_nodes(), workers, opts.layout);
     let next = AtomicUsize::new(0);
     let mut out: BTreeSet<Vec<NodeId>> = BTreeSet::new();
     let mut stats = ProductStats::default();
@@ -421,7 +470,7 @@ pub fn eval_product_governed(
     opts: &EvalOptions,
 ) -> Outcome<bool> {
     let governor = Governor::new(&opts.budget);
-    let tables = SharedTables::build_governed(db, query, Layout::Flat, Some(&governor));
+    let tables = SharedTables::build_governed(db, query, opts.layout, Some(&governor));
     let workers = product_workers(db, query, opts);
     let mut found = false;
     let mut stats = ProductStats::default();
@@ -432,7 +481,7 @@ pub fn eval_product_governed(
         e.flush_budget();
         stats = e.stats;
     } else {
-        let ranges = chunk_ranges(db.num_nodes(), workers * CHUNKS_PER_THREAD);
+        let ranges = product_chunk_ranges(db.num_nodes(), workers, opts.layout);
         let next = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
         std::thread::scope(|s| {
@@ -508,7 +557,7 @@ pub fn answers_product_governed_traced<T: Tracer>(
     tracer: &T,
 ) -> Outcome<BTreeSet<Vec<NodeId>>> {
     let governor = Governor::new(&opts.budget);
-    let tables = SharedTables::build_traced(db, query, Layout::Flat, Some(&governor), tracer);
+    let tables = SharedTables::build_traced(db, query, opts.layout, Some(&governor), tracer);
     let workers = product_workers(db, query, opts);
     let mut out: BTreeSet<Vec<NodeId>> = BTreeSet::new();
     let mut stats = ProductStats::default();
@@ -519,7 +568,7 @@ pub fn answers_product_governed_traced<T: Tracer>(
         e.flush_budget();
         stats = e.stats;
     } else {
-        let ranges = chunk_ranges(db.num_nodes(), workers * CHUNKS_PER_THREAD);
+        let ranges = product_chunk_ranges(db.num_nodes(), workers, opts.layout);
         let next = AtomicUsize::new(0);
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
@@ -807,6 +856,45 @@ mod tests {
                 }
                 assert_eq!(covered, domain);
             }
+        }
+    }
+
+    #[test]
+    fn word_chunk_ranges_partition_and_align() {
+        for domain in [1usize, 63, 64, 65, 1000, 4097] {
+            for workers in [1usize, 2, 8] {
+                let ranges = product_chunk_ranges(domain, workers, Layout::BitParallel);
+                let mut expect = 0u32;
+                for (i, r) in ranges.iter().enumerate() {
+                    assert_eq!(r.start, expect, "contiguous");
+                    assert!(r.end > r.start, "non-empty");
+                    assert_eq!(r.start as usize % WORD_IDS, 0, "word-aligned start");
+                    if i + 1 < ranges.len() {
+                        assert_eq!((r.end - r.start) as usize % WORD_IDS, 0, "whole words");
+                    }
+                    expect = r.end;
+                }
+                assert_eq!(expect as usize, domain, "covers domain");
+            }
+        }
+        // other layouts keep the plain split
+        assert_eq!(
+            product_chunk_ranges(100, 2, Layout::Flat),
+            chunk_ranges(100, 2 * CHUNKS_PER_THREAD)
+        );
+    }
+
+    #[test]
+    fn bitparallel_engine_matches_flat() {
+        let db = chain_with_branches();
+        let q = eq_len_query(&db);
+        let p = PreparedQuery::build(&q).unwrap();
+        let seq = crate::product::answers_product(&db, &p);
+        let seq_bool = crate::product::eval_product(&db, &p);
+        for threads in [1usize, 2, 4, 8] {
+            let opts = EvalOptions::with_threads(threads).with_layout(Layout::BitParallel);
+            assert_eq!(answers_product(&db, &p, &opts), seq, "threads={threads}");
+            assert_eq!(eval_product(&db, &p, &opts), seq_bool, "threads={threads}");
         }
     }
 

@@ -424,6 +424,43 @@ impl<'a> Pacer<'a> {
         self.stopped()
     }
 
+    /// Batched [`Pacer::tick_traced`]: counts `n` work units at once. The
+    /// bit-parallel BFS retires configurations a word at a time, so its
+    /// natural check-in granularity is the popcount of a processed word
+    /// batch rather than a single configuration; charging the whole batch
+    /// keeps the governor's work ledger exact while paying one check site
+    /// per batch. Returns `true` when the loop should abort.
+    #[inline]
+    pub(crate) fn tick_batch_traced<T: Tracer>(
+        &mut self,
+        n: u64,
+        tracer: &T,
+        phase: Phase,
+    ) -> bool {
+        if self.governor.is_none() && !T::ENABLED {
+            return false;
+        }
+        self.pending += n;
+        if self.pending >= self.interval {
+            if T::ENABLED {
+                tracer.sample(phase, self.pending);
+            }
+            if self.governor.is_some() {
+                if T::ENABLED {
+                    tracer.governor_check(phase, 1);
+                }
+                let stop = self.flush();
+                if T::ENABLED && stop {
+                    tracer.governor_abort(phase);
+                }
+                return stop;
+            }
+            self.pending = 0;
+            return false;
+        }
+        self.stopped()
+    }
+
     /// Flushes the locally counted work to the governor and returns
     /// whether the run should stop. Call once more when a loop finishes so
     /// the shared work counter stays accurate.

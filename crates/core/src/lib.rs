@@ -26,6 +26,7 @@
 //! them — and the Boolean evaluators can produce full witnesses (node
 //! assignment plus one concrete path per path variable).
 
+mod bitbfs;
 pub mod counting;
 pub mod cq_eval;
 pub mod crpq;

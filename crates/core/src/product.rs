@@ -32,6 +32,7 @@
 //! pre-flat path is preserved verbatim as [`Layout::Legacy`] for
 //! differential benchmarking (`bench_layout`, experiment E15).
 
+use crate::bitbfs::{self, BitBfsInput, BitScratch, BumpArena};
 use crate::fnv::{FnvHashMap, FnvHashSet};
 use crate::governor::{Governor, Pacer};
 use crate::prepare::PreparedQuery;
@@ -113,6 +114,15 @@ pub enum Layout {
     /// successor recomputation, per-combination allocation — kept verbatim
     /// as the baseline for `bench_layout` and experiment E15.
     Legacy,
+    /// The flat layout with the BFS inner loop replaced by the word-packed
+    /// bitmap kernel of `crate::bitbfs`: dense `(state, positions)`
+    /// bitmaps, CSR OR-scatter transition steps, no per-configuration
+    /// allocation. Atoms whose configuration space does not fit the dense
+    /// bitmaps (or exceeds the kernel's arity bound) fall back per-atom to
+    /// the flat scalar path, so answers stay bit-identical to
+    /// [`Layout::Flat`] on every input. Semijoin pruning runs exactly as
+    /// under [`Layout::Flat`].
+    BitParallel,
 }
 
 /// Evaluates a prepared Boolean query on `db` via the product algorithm.
@@ -186,12 +196,13 @@ pub fn answers_with_witnesses(db: &GraphDb, query: &PreparedQuery) -> Vec<(Vec<N
         std::collections::BTreeMap::new();
     {
         let mut assignment = vec![UNASSIGNED; query.num_node_vars];
+        let mut arena = BumpArena::new();
         e.search(0, &mut assignment, &mut |assignment| {
             let nodes: Vec<NodeId> = assignment
                 .iter()
                 .map(|&x| if x == UNASSIGNED { 0 } else { x as NodeId })
                 .collect();
-            for_each_free_tuple(assignment, &free, nv, |tuple, values| {
+            for_each_free_tuple(assignment, &free, nv, &mut arena, |tuple, values| {
                 if !reps.contains_key(tuple) {
                     // the representative assignment must agree with the
                     // expanded free choices, not default to vertex 0
@@ -242,37 +253,44 @@ pub fn answers_with_witnesses(db: &GraphDb, query: &PreparedQuery) -> Vec<(Vec<N
 /// returns `true` to abandon the expansion early (budget exhaustion).
 ///
 /// Replaces the old cartesian-product loop that cloned every partial
-/// tuple per choice (quadratic on wide free tuples).
+/// tuple per choice (quadratic on wide free tuples). The scratch tuple
+/// and the open-position list live in the caller's bump arena so the
+/// per-answer expansion allocates nothing after the first call.
 pub(crate) fn for_each_free_tuple(
     assignment: &[i64],
     free: &[NodeVar],
     nv: usize,
+    arena: &mut BumpArena,
     mut emit: impl FnMut(&[NodeId], &[NodeId]) -> bool,
 ) {
-    let mut tuple: Vec<NodeId> = Vec::with_capacity(free.len());
-    let mut open: Vec<usize> = Vec::new(); // positions ranging over V
+    arena.reset();
+    let buf = arena.alloc(2 * free.len());
+    let (tuple, open) = arena.slice_mut(buf).split_at_mut(free.len());
+    let mut open_len = 0usize; // prefix of `open`: positions ranging over V
     for (i, &NodeVar(v)) in free.iter().enumerate() {
         match assignment[v as usize] {
             UNASSIGNED => {
-                open.push(i);
-                tuple.push(0);
+                open[open_len] = i as u32;
+                open_len += 1;
+                tuple[i] = 0;
             }
-            x => tuple.push(x as NodeId),
+            x => tuple[i] = x as NodeId,
         }
     }
-    if !open.is_empty() && nv == 0 {
+    if open_len > 0 && nv == 0 {
         return;
     }
     loop {
-        if emit(&tuple, &tuple) {
+        if emit(tuple, tuple) {
             return;
         }
         // advance the open positions, least-significant first
         let mut i = 0;
         loop {
-            let Some(&p) = open.get(i) else {
+            let Some(&p) = open[..open_len].get(i) else {
                 return;
             };
+            let p = p as usize;
             tuple[p] += 1;
             if (tuple[p] as usize) < nv {
                 break;
@@ -285,25 +303,45 @@ pub(crate) fn for_each_free_tuple(
 
 pub(crate) const UNASSIGNED: i64 = -1;
 
+/// Bit budget of the all-pairs reachability closure: build it only while
+/// `|V|² ≤ 2²⁷` bits (16 MiB, |V| ≲ 11.5k). Beyond that the closure's
+/// O(|V|²) memory and build time would dominate any evaluation — the
+/// large-graph layouts rely on the semijoin pass for endpoint pruning
+/// instead.
+const CLOSURE_MAX_BITS: u128 = 1 << 27;
+
+/// Bit budget of one dense configuration bitmap for
+/// [`Layout::BitParallel`]: the kernel keeps three bitmaps (visited +
+/// two frontiers), so an atom qualifies while `3·space ≤ 2²⁷` bits
+/// (16 MiB of scratch per worker). 10⁷ nodes × a 4-state unary automaton
+/// is 4·10⁷ configurations — comfortably inside.
+const BITMAP_MAX_BITS: u128 = 1 << 27;
+
+/// Arity bound of the bit-parallel kernel: beyond triple convolutions the
+/// per-configuration decode (k divisions) and the odometer bookkeeping
+/// wash out the word-packing win, so wider atoms run the flat scalar path
+/// (its generation stamps are cheaper at that shape).
+const BITMAP_MAX_ARITY: usize = 3;
+
 /// One row-class group of a state's outgoing transitions: the interned
 /// row id plus the range of target states sharing that row. Grouping is
 /// what lets the BFS compute the successor-option slices once per distinct
 /// row instead of once per transition.
 #[derive(Debug, Clone, Copy)]
-struct RowGroup {
-    row: u32,
-    targets_start: u32,
-    targets_end: u32,
+pub(crate) struct RowGroup {
+    pub(crate) row: u32,
+    pub(crate) targets_start: u32,
+    pub(crate) targets_end: u32,
 }
 
 /// Dense transition tables of one trimmed atom automaton:
 /// `groups[state_offsets[q]..state_offsets[q+1]]` are state `q`'s
 /// row-class groups, each indexing a flat `targets` column.
 #[derive(Debug, Clone, Default)]
-struct DenseAtom {
-    state_offsets: Vec<u32>,
-    groups: Vec<RowGroup>,
-    targets: Vec<StateId>,
+pub(crate) struct DenseAtom {
+    pub(crate) state_offsets: Vec<u32>,
+    pub(crate) groups: Vec<RowGroup>,
+    pub(crate) targets: Vec<StateId>,
 }
 
 /// Dense tables for all atoms, with row interning **shared across
@@ -311,10 +349,10 @@ struct DenseAtom {
 /// flat `row_data` column (rows have different arities, hence the bounds
 /// vector rather than fixed stride).
 #[derive(Debug, Clone, Default)]
-struct DenseTables {
+pub(crate) struct DenseTables {
     row_data: Vec<Track>,
     row_bounds: Vec<u32>,
-    atoms: Vec<DenseAtom>,
+    pub(crate) atoms: Vec<DenseAtom>,
 }
 
 impl DenseTables {
@@ -368,7 +406,7 @@ impl DenseTables {
     }
 
     #[inline]
-    fn row_of(&self, rid: u32) -> &[Track] {
+    pub(crate) fn row_of(&self, rid: u32) -> &[Track] {
         &self.row_data
             [self.row_bounds[rid as usize] as usize..self.row_bounds[rid as usize + 1] as usize]
     }
@@ -382,11 +420,18 @@ pub(crate) struct SharedTables {
     /// Flat visited-array sizes per atom (`None` = space too large, BFS
     /// falls back to hashing).
     stamp_sizes: Vec<Option<usize>>,
+    /// Dense-bitmap sizes per atom for [`Layout::BitParallel`] (`None` =
+    /// the atom fails the bitmap gate and falls back to the flat scalar
+    /// path; always all-`None` under the other layouts).
+    bitmap_sizes: Vec<Option<usize>>,
     /// Label-oblivious reachability closure: `closure[v]` = vertices
     /// reachable from `v`. A necessary condition checked before any
     /// product BFS — `ends[i]` unreachable from `starts[i]` kills the
-    /// check in O(k).
-    closure: Vec<ecrpq_automata::BitSet>,
+    /// check in O(k). `None` when `|V|²` bits exceed [`CLOSURE_MAX_BITS`]
+    /// (the closure is quadratic in the vertex count, so million-node
+    /// graphs must skip it); skipping only loses a pruning filter, never
+    /// soundness.
+    closure: Option<Vec<ecrpq_automata::BitSet>>,
     /// Which data layout the BFS and enumeration run on.
     layout: Layout,
     /// Dense row-grouped transition tables (empty under [`Layout::Legacy`]).
@@ -452,7 +497,7 @@ impl SharedTables {
             .map(|a| a.rel.nfa().remove_epsilon().trim())
             .collect();
         let nv = db.num_nodes().max(1) as u128;
-        let stamp_sizes = query
+        let stamp_sizes: Vec<Option<usize>> = query
             .atoms
             .iter()
             .zip(&automata)
@@ -461,24 +506,44 @@ impl SharedTables {
                 (space <= (1 << 27)).then_some(space as usize)
             })
             .collect();
+        let bitmap_sizes: Vec<Option<usize>> = if layout == Layout::BitParallel {
+            query
+                .atoms
+                .iter()
+                .zip(&automata)
+                .map(|(a, nfa)| {
+                    let arity = a.rel.arity();
+                    let space = nv.pow(arity as u32) * nfa.num_states() as u128;
+                    (arity <= BITMAP_MAX_ARITY && 3 * space <= BITMAP_MAX_BITS)
+                        .then_some(space as usize)
+                })
+                .collect()
+        } else {
+            vec![None; query.atoms.len()]
+        };
         let n = db.num_nodes();
-        let closure = match governor {
-            None => (0..n as NodeId)
-                .map(|v| ecrpq_graph::paths::reachable_from(db, v))
-                .collect(),
-            Some(g) => {
-                let mut rows = Vec::with_capacity(n);
-                for v in 0..n as NodeId {
-                    // one checkpoint per source vertex: `reachable_from`
-                    // is O(E), so the deadline is honoured per row
-                    if g.checkpoint(1) {
-                        rows.push(ecrpq_automata::BitSet::new(n));
-                    } else {
-                        rows.push(ecrpq_graph::paths::reachable_from(db, v));
+        let closure = if (n as u128) * (n as u128) > CLOSURE_MAX_BITS {
+            // quadratic in |V| — skipped on large graphs (only a filter)
+            None
+        } else {
+            Some(match governor {
+                None => (0..n as NodeId)
+                    .map(|v| ecrpq_graph::paths::reachable_from(db, v))
+                    .collect(),
+                Some(g) => {
+                    let mut rows = Vec::with_capacity(n);
+                    for v in 0..n as NodeId {
+                        // one checkpoint per source vertex: `reachable_from`
+                        // is O(E), so the deadline is honoured per row
+                        if g.checkpoint(1) {
+                            rows.push(ecrpq_automata::BitSet::new(n));
+                        } else {
+                            rows.push(ecrpq_graph::paths::reachable_from(db, v));
+                        }
                     }
+                    rows
                 }
-                rows
-            }
+            })
         };
         let dense = if layout == Layout::Legacy {
             DenseTables::default()
@@ -490,7 +555,9 @@ impl SharedTables {
         };
         tracer.count(Phase::Prepare, n as u64);
         prepare_span.finish(tracer);
-        let pruned = if layout == Layout::Flat {
+        // BitParallel prunes exactly like Flat: identical domains are what
+        // make the two layouts' answer sets bit-identical by construction
+        let pruned = if matches!(layout, Layout::Flat | Layout::BitParallel) {
             let semijoin_span = PhaseSpan::start(tracer, Phase::Semijoin);
             let pruned = semijoin::prune_domains(db, query, &automata, governor, tracer);
             tracer.prune(Phase::Semijoin, pruned.pruned);
@@ -502,6 +569,7 @@ impl SharedTables {
         SharedTables {
             automata,
             stamp_sizes,
+            bitmap_sizes,
             closure,
             layout,
             dense,
@@ -538,8 +606,14 @@ pub(crate) struct Evaluator<'a, T: Tracer = NoopTracer> {
     last_witness_configs: Option<Vec<(StateId, Vec<NodeId>)>>,
     /// Per-atom generation-stamped visited arrays for flat-indexable
     /// configuration spaces (`None` when the space is too large, in which
-    /// case the BFS falls back to hashing).
+    /// case the BFS falls back to hashing). Under [`Layout::BitParallel`]
+    /// a stamp is only allocated for atoms that *fell back* to the flat
+    /// scalar path — bitmap-kernel atoms never touch it.
     stamps: Vec<Option<Vec<u32>>>,
+    /// Per-atom bitmap kernel scratch (visited/frontier/next bitmaps +
+    /// word lists) under [`Layout::BitParallel`]; `None` for fallback
+    /// atoms and under every other layout.
+    bit_scratch: Vec<Option<BitScratch>>,
     generation: u32,
     /// When set, the first variable assigned by the top-level search only
     /// ranges over this sub-range of the domain — the parallel engine's
@@ -578,10 +652,26 @@ impl<'a, T: Tracer> Evaluator<'a, T> {
         tables: &'a SharedTables,
         tracer: T,
     ) -> Self {
-        let stamps = tables
+        // a bitmap-kernel atom never consults its stamp array, so skip the
+        // allocation for it; fallback atoms (and every other layout) get
+        // their stamps as before — this is the "downgrade still allocates
+        // stamps" path whose bytes `set_governor` must see
+        let stamps: Vec<Option<Vec<u32>>> = tables
             .stamp_sizes
             .iter()
-            .map(|size| size.map(|s| vec![0u32; s]))
+            .zip(&tables.bitmap_sizes)
+            .map(|(size, bitmap)| {
+                if bitmap.is_some() {
+                    None
+                } else {
+                    size.map(|s| vec![0u32; s])
+                }
+            })
+            .collect();
+        let bit_scratch = tables
+            .bitmap_sizes
+            .iter()
+            .map(|size| size.map(BitScratch::new))
             .collect();
         Evaluator {
             db,
@@ -595,6 +685,7 @@ impl<'a, T: Tracer> Evaluator<'a, T> {
             },
             last_witness_configs: None,
             stamps,
+            bit_scratch,
             generation: 0,
             first_var_range: None,
             stop: None,
@@ -614,8 +705,13 @@ impl<'a, T: Tracer> Evaluator<'a, T> {
     }
 
     /// Installs the shared budget governor and charges this worker's
-    /// fixed allocations (the visited-stamp arrays) to the tracked-memory
-    /// estimate.
+    /// fixed allocations to the tracked-memory estimate: the visited-stamp
+    /// arrays **and** the bit-parallel bitmaps. The stamp sum is computed
+    /// from the arrays actually allocated, not from `tables.stamp_sizes` —
+    /// under a `BitParallel` per-atom downgrade the fallback atoms carry
+    /// stamps even though the layout nominally doesn't, and deriving the
+    /// charge from the layout would let those bytes slip past the budget
+    /// (the regression in `tests/budget_differential.rs` pins this).
     pub(crate) fn set_governor(&mut self, governor: &'a Governor) {
         let stamp_bytes: u64 = self
             .stamps
@@ -623,7 +719,13 @@ impl<'a, T: Tracer> Evaluator<'a, T> {
             .flatten()
             .map(|s| 4 * s.len() as u64)
             .sum();
-        governor.charge_memory(stamp_bytes);
+        let bitmap_bytes: u64 = self
+            .bit_scratch
+            .iter()
+            .flatten()
+            .map(BitScratch::bytes)
+            .sum();
+        governor.charge_memory(stamp_bytes + bitmap_bytes);
         self.pacer = Pacer::new(Some(governor));
     }
 
@@ -675,10 +777,11 @@ impl<'a, T: Tracer> Evaluator<'a, T> {
         // assignment without running a single product check
         let mut odometer_work: u64 = 0;
         let tracer = self.tracer.clone();
+        let mut arena = BumpArena::new();
         self.search(0, &mut assignment, &mut |assignment| {
             let span = PhaseSpan::start(&tracer, Phase::Odometer);
             let mut tripped = false;
-            for_each_free_tuple(assignment, &free, nv, |tuple, _| {
+            for_each_free_tuple(assignment, &free, nv, &mut arena, |tuple, _| {
                 tracer.count(Phase::Odometer, 1);
                 if let Some(g) = governor {
                     odometer_work += 1;
@@ -881,13 +984,17 @@ impl<'a, T: Tracer> Evaluator<'a, T> {
         // one work unit per check keeps the deadline honoured even when
         // every check is a closure reject or a memo hit (no BFS configs)
         let _ = self.pacer.tick_traced(&self.tracer, Phase::ProductBfs);
-        // necessary condition: every target plain-reachable from its source
-        if starts
-            .iter()
-            .zip(ends)
-            .any(|(&s, &e)| !self.tables.closure[s as usize].contains(e as usize))
-        {
-            return false;
+        // necessary condition: every target plain-reachable from its
+        // source (filter only — skipped when the graph is too large for
+        // the quadratic closure)
+        if let Some(closure) = &self.tables.closure {
+            if starts
+                .iter()
+                .zip(ends)
+                .any(|(&s, &e)| !closure[s as usize].contains(e as usize))
+            {
+                return false;
+            }
         }
         let key = (atom_idx, starts.to_vec(), ends.to_vec());
         if let Some(&r) = self.memo.get(&key) {
@@ -959,10 +1066,34 @@ impl<'a, T: Tracer> Evaluator<'a, T> {
         want_witness: bool,
     ) -> Option<Vec<Row>> {
         if self.tables.layout == Layout::Legacy {
-            self.product_bfs_legacy(atom_idx, starts, ends, want_witness)
-        } else {
-            self.product_bfs_flat(atom_idx, starts, ends, want_witness)
+            return self.product_bfs_legacy(atom_idx, starts, ends, want_witness);
         }
+        // the bitmap kernel holds no parent links, so witness mode always
+        // runs the scalar path; fallback atoms (no scratch) do too
+        if !want_witness {
+            if let Some(scratch) = self.bit_scratch[atom_idx].take() {
+                let mut scratch = scratch;
+                let input = BitBfsInput {
+                    db: self.db,
+                    nfa: &self.tables.automata[atom_idx],
+                    atom: &self.tables.dense.atoms[atom_idx],
+                    dense: &self.tables.dense,
+                    starts,
+                    ends,
+                    nv: self.db.num_nodes().max(1),
+                };
+                let hit = bitbfs::run(
+                    &input,
+                    &mut scratch,
+                    &mut self.pacer,
+                    &self.tracer,
+                    &mut self.stats,
+                );
+                self.bit_scratch[atom_idx] = Some(scratch);
+                return hit.then(Vec::new);
+            }
+        }
+        self.product_bfs_flat(atom_idx, starts, ends, want_witness)
     }
 
     /// The flat-layout BFS inner loop. Per popped configuration it walks
@@ -1344,13 +1475,62 @@ mod tests {
         let (flat, flat_stats) = answers_product_with_stats_layout(&db, &p, Layout::Flat);
         let (unpruned, _) = answers_product_with_stats_layout(&db, &p, Layout::FlatUnpruned);
         let (legacy, legacy_stats) = answers_product_with_stats_layout(&db, &p, Layout::Legacy);
+        let (bitpar, bitpar_stats) =
+            answers_product_with_stats_layout(&db, &p, Layout::BitParallel);
         assert_eq!(flat, unpruned);
         assert_eq!(flat, legacy);
+        assert_eq!(flat, bitpar);
+        assert!(bitpar_stats.frontier_peak > 0);
         // pruning counters only populate on the pruned layout
         assert!(flat_stats.domain_kept > 0);
         assert_eq!(legacy_stats.domain_kept, 0);
         assert!(flat_stats.frontier_peak > 0);
         assert!(legacy_stats.frontier_peak > 0);
+    }
+
+    /// The bit-parallel size gate, inspected directly on the shared
+    /// tables: a small dense space gets a bitmap, an oversized space or a
+    /// wide atom is downgraded to the scalar path — per atom, and only
+    /// under `Layout::BitParallel`.
+    #[test]
+    fn bitmap_gate_downgrades_oversized_and_wide_atoms() {
+        let db = two_chain_db();
+        let q = example_2_1_query(&db);
+        let p = prepare(&q);
+        // 6 nodes × a few states: comfortably inside the gate
+        let tables = SharedTables::build_with_layout(&db, &p, Layout::BitParallel);
+        assert!(tables.bitmap_sizes.iter().all(Option::is_some));
+        // other layouts never allocate bitmaps, whatever the size
+        let flat = SharedTables::build_with_layout(&db, &p, Layout::Flat);
+        assert!(flat.bitmap_sizes.iter().all(Option::is_none));
+
+        // 300k vertices push the arity-2 space to states × 9·10¹⁰
+        // configurations — far past `BITMAP_MAX_BITS`, so every atom must
+        // fall back (and the closure gate skips the all-pairs table too)
+        let mut big = GraphDb::with_alphabet(db.alphabet().clone());
+        big.add_nodes_anon(300_000);
+        let tables = SharedTables::build_with_layout(&big, &p, Layout::BitParallel);
+        assert!(tables.bitmap_sizes.iter().all(Option::is_none));
+        assert!(tables.closure.is_none());
+
+        // an arity-4 atom exceeds `BITMAP_MAX_ARITY` on any graph; the
+        // downgrade keeps the scalar stamp array (whose bytes the governor
+        // must still see — tests/budget_differential.rs pins that end)
+        let mut q4 = Ecrpq::new(db.alphabet().clone());
+        let x = q4.node_var("x");
+        let y = q4.node_var("y");
+        let ps: Vec<_> = (0..4)
+            .map(|i| q4.path_atom(x, &format!("p{i}"), y))
+            .collect();
+        q4.rel_atom(
+            "eq4",
+            Arc::new(relations::eq_length(4, db.alphabet().len())),
+            &ps,
+        );
+        let p4 = prepare(&q4);
+        let t4 = SharedTables::build_with_layout(&db, &p4, Layout::BitParallel);
+        assert!(t4.bitmap_sizes.iter().all(Option::is_none));
+        assert!(t4.stamp_sizes.iter().all(Option::is_some));
     }
 
     /// An unsatisfiable word-relation atom (`aaa` on a 2-edge chain)
@@ -1549,7 +1729,8 @@ mod tests {
         let free = [NodeVar(0), NodeVar(1), NodeVar(2)];
         let assignment = [UNASSIGNED, 1, UNASSIGNED];
         let mut got: Vec<Vec<NodeId>> = Vec::new();
-        for_each_free_tuple(&assignment, &free, 3, |t, _| {
+        let mut arena = BumpArena::new();
+        for_each_free_tuple(&assignment, &free, 3, &mut arena, |t, _| {
             got.push(t.to_vec());
             false
         });
@@ -1563,7 +1744,7 @@ mod tests {
         }
         // no unassigned vars: exactly one tuple
         let mut got = Vec::new();
-        for_each_free_tuple(&[2, 0], &[NodeVar(0), NodeVar(1)], 3, |t, _| {
+        for_each_free_tuple(&[2, 0], &[NodeVar(0), NodeVar(1)], 3, &mut arena, |t, _| {
             got.push(t.to_vec());
             false
         });

@@ -189,6 +189,24 @@ impl GraphDb {
         self.add_node(&name)
     }
 
+    /// Adds `count` *anonymous* vertices in one call, returning the id of
+    /// the first (ids are contiguous). Anonymous vertices carry an empty
+    /// name and no name-index entry — [`Self::node`] will not find them
+    /// and [`Self::node_name`] returns `""` — so a 10⁶–10⁷-node synthetic
+    /// graph does not pay two heap strings per vertex.
+    pub fn add_nodes_anon(&mut self, count: usize) -> NodeId {
+        self.csr.take();
+        // lint:allow(unwrap): documented panic: node count capped at u32
+        let first = NodeId::try_from(self.node_names.len()).expect("too many nodes");
+        let end = self.node_names.len() + count;
+        // lint:allow(unwrap): documented panic: node count capped at u32
+        let _ = NodeId::try_from(end).expect("too many nodes");
+        self.node_names.resize(end, String::new());
+        self.out.resize(end, Vec::new());
+        self.inc.resize(end, Vec::new());
+        first
+    }
+
     /// Adds (or finds) a vertex by name.
     pub fn add_node(&mut self, name: &str) -> NodeId {
         if let Some(&id) = self.name_index.get(name) {
@@ -268,6 +286,30 @@ impl GraphDb {
     pub fn predecessors(&self, v: NodeId, label: Symbol) -> &[NodeId] {
         let c = self.csr();
         c.inc.neighbours(v, label, c.num_labels)
+    }
+
+    /// The `(start, end)` offsets of `v`'s `label`-successors inside
+    /// [`GraphDb::csr_targets`]. Bulk access path for kernels that walk
+    /// many adjacency ranges over one pinned targets slice — pairs with
+    /// `csr_targets()` so the borrow of the shared slice is taken once,
+    /// outside the per-node loop. Out-of-alphabet labels yield an empty
+    /// range.
+    #[inline]
+    pub fn successor_range(&self, v: NodeId, label: Symbol) -> std::ops::Range<usize> {
+        let c = self.csr();
+        if (label as usize) >= c.num_labels {
+            return 0..0;
+        }
+        let i = v as usize * c.num_labels + label as usize;
+        c.out.label[i] as usize..c.out.label[i + 1] as usize
+    }
+
+    /// The frozen CSR target array: `csr_targets()[r]` for
+    /// `r = successor_range(v, a)` are the `a`-successors of `v`, sorted
+    /// ascending. Freezes the index on first use.
+    #[inline]
+    pub fn csr_targets(&self) -> &[NodeId] {
+        &self.csr().out.targets
     }
 
     /// Successors of `v` by linear partition-point scan over the builder

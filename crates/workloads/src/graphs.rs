@@ -1,7 +1,8 @@
 //! Graph database and automaton generators.
 
-use ecrpq_automata::{Alphabet, Nfa, Symbol};
-use ecrpq_graph::GraphDb;
+use ecrpq_automata::{Alphabet, Nfa, Regex, Symbol};
+use ecrpq_graph::{GraphDb, NodeId};
+use ecrpq_query::Ecrpq;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -44,6 +45,131 @@ pub fn grid_db(w: usize, h: usize) -> GraphDb {
         }
     }
     g
+}
+
+/// As [`grid_db`] with anonymous (unnamed) vertices, so a 1000×1000 or
+/// larger grid does not pay two heap strings per vertex. Vertex ids keep
+/// the same row-major numbering.
+pub fn grid_db_anon(w: usize, h: usize) -> GraphDb {
+    let mut g = GraphDb::with_alphabet(Alphabet::ascii_lower(2));
+    let first = g.add_nodes_anon(w * h);
+    let (a, b) = (g.alphabet_mut().intern('a'), g.alphabet_mut().intern('b'));
+    for y in 0..h {
+        for x in 0..w {
+            let v = first + (y * w + x) as NodeId;
+            if x + 1 < w {
+                g.add_edge_sym(v, a, v + 1);
+            }
+            if y + 1 < h {
+                g.add_edge_sym(v, b, v + w as NodeId);
+            }
+        }
+    }
+    g
+}
+
+/// A scale-free graph grown by preferential attachment (Barabási–Albert
+/// style): node `i` joins with one *tree* edge `parent → i` — so every
+/// vertex is reachable from the hub (node 0) and the depth of the core is
+/// `O(log n)` w.h.p. — plus `edges_per_node − 1` extra out-edges
+/// `i → target`, targets drawn degree-proportionally. Labels are uniform
+/// over the first `num_labels` letters. Deterministic in `seed`; vertices
+/// are anonymous so the generator scales to 10⁶–10⁷ nodes.
+pub fn power_law_db(n: usize, edges_per_node: usize, num_labels: usize, seed: u64) -> GraphDb {
+    assert!((1..=26).contains(&num_labels));
+    let mut g = GraphDb::with_alphabet(Alphabet::ascii_lower(num_labels));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    add_power_law_core(&mut g, n, edges_per_node, num_labels, &mut rng);
+    g
+}
+
+/// Appends an `n`-vertex preferential-attachment core to `g` (labels over
+/// the first `num_labels` letters of `g`'s alphabet), returning the hub's
+/// id. Shared by [`power_law_db`] and [`planted_power_law_instance`].
+fn add_power_law_core(
+    g: &mut GraphDb,
+    n: usize,
+    edges_per_node: usize,
+    num_labels: usize,
+    rng: &mut SmallRng,
+) -> NodeId {
+    let syms: Vec<Symbol> = (0..num_labels)
+        .map(|i| g.alphabet_mut().intern((b'a' + i as u8) as char))
+        .collect();
+    let m = edges_per_node.max(1);
+    let hub = g.add_nodes_anon(n.max(1));
+    // endpoint pool: every edge endpoint is appended once, so a uniform
+    // draw from the pool is a degree-proportional attachment choice
+    let mut pool: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    pool.push(hub);
+    for i in 1..n {
+        let v = hub + i as NodeId;
+        for e in 0..m {
+            let target = pool[rng.gen_range(0..pool.len())];
+            let label = syms[rng.gen_range(0..num_labels)];
+            if e == 0 {
+                // tree edge: parent → v keeps the core hub-rooted
+                g.add_edge_sym(target, label, v);
+            } else {
+                g.add_edge_sym(v, label, target);
+            }
+            pool.push(target);
+            pool.push(v);
+        }
+    }
+    hub
+}
+
+/// Number of chain-tail vertices in [`planted_power_law_instance`]: deep
+/// enough that the level-synchronous BFS sweeps the whole `O(log n)`-
+/// diameter core before the goal configuration appears.
+const PLANTED_TAIL: usize = 64;
+
+/// The planted large-graph reachability instance of experiment E19: a
+/// power-law core over labels `{a, b}`, `sources` entry vertices with
+/// `c`-edges into the hub, and a `PLANTED_TAIL`-vertex `a`-chain off the
+/// hub ending in the single `d`-edge to the sink. The query
+/// `q(x) :- x -[p]-> y, p ∈ c(a|b)*d` then has exactly the entry
+/// vertices as answers (returned as the third component), and each
+/// feasibility check is one product BFS that must sweep essentially the
+/// whole core — the configs/s metric measures the BFS inner loop, not the
+/// enumeration around it. The entry vertices are *core* vertices spread
+/// evenly through the id space, so the parallel engine's first-variable
+/// chunk partition spreads the checks across workers.
+pub fn planted_power_law_instance(
+    n: usize,
+    sources: usize,
+    seed: u64,
+) -> (GraphDb, Ecrpq, Vec<NodeId>) {
+    assert!(sources >= 1 && n >= 2 * sources);
+    let mut alphabet = Alphabet::ascii_lower(4);
+    // lint:allow(unwrap): literal regex over the fixed 4-letter alphabet
+    let lang = Regex::compile_str("c(a|b)*d", &mut alphabet).expect("valid regex");
+    let mut g = GraphDb::with_alphabet(alphabet.clone());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let hub = add_power_law_core(&mut g, n, 2, 2, &mut rng);
+    let tail = g.add_nodes_anon(PLANTED_TAIL);
+    let sink = g.add_nodes_anon(1);
+    g.add_edge(hub, 'a', tail);
+    for i in 1..PLANTED_TAIL {
+        g.add_edge(tail + i as NodeId - 1, 'a', tail + i as NodeId);
+    }
+    g.add_edge(tail + PLANTED_TAIL as NodeId - 1, 'd', sink);
+    // entry vertices: the `c`-move is the only legal first step of the
+    // regex, so giving evenly-spaced core vertices a `c`-edge into the hub
+    // plants exactly `sources` answers without touching the (a|b)* sweep
+    let srcs: Vec<NodeId> = (0..sources)
+        .map(|j| (n / (2 * sources) + j * (n / sources)) as NodeId)
+        .collect();
+    for &s in &srcs {
+        g.add_edge(s, 'c', hub);
+    }
+    let mut q = Ecrpq::new(alphabet);
+    let x = q.node_var("x");
+    let y = q.node_var("y");
+    q.crpq_atom(x, &lang, "c(a|b)*d", y);
+    q.set_free(&[x]);
+    (g, q, srcs)
 }
 
 /// A random graph database: `n` vertices, ≈`avg_degree` outgoing edges per
@@ -157,6 +283,65 @@ mod tests {
         let g = grid_db(3, 2);
         assert_eq!(g.num_nodes(), 6);
         assert_eq!(g.num_edges(), 7);
+    }
+
+    #[test]
+    fn grid_db_anon_matches_named_grid() {
+        let named = grid_db(4, 3);
+        let anon = grid_db_anon(4, 3);
+        assert_eq!(anon.num_nodes(), named.num_nodes());
+        assert_eq!(anon.num_edges(), named.num_edges());
+        let e1: Vec<_> = named.edges().collect();
+        let e2: Vec<_> = anon.edges().collect();
+        assert_eq!(e1, e2);
+        assert_eq!(anon.node_name(0), "");
+    }
+
+    #[test]
+    fn power_law_core_is_hub_reachable() {
+        let n = 500;
+        let g = power_law_db(n, 2, 2, 7);
+        assert_eq!(g.num_nodes(), n);
+        // every vertex reachable from the hub via the tree edges
+        let mut seen = vec![false; n];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        while let Some(v) = stack.pop() {
+            for a in 0..2u8 {
+                for &t in g.successors(v, a) {
+                    if !seen[t as usize] {
+                        seen[t as usize] = true;
+                        stack.push(t);
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "core fully hub-reachable");
+        // deterministic in the seed
+        let e1: Vec<_> = g.edges().collect();
+        let e2: Vec<_> = power_law_db(n, 2, 2, 7).edges().collect();
+        assert_eq!(e1, e2);
+        let e3: Vec<_> = power_law_db(n, 2, 2, 8).edges().collect();
+        assert_ne!(e1, e3);
+        // scale-free-ish: the max out-degree dwarfs the average
+        let max_deg = (0..n as u32)
+            .map(|v| g.out_edges(v).len())
+            .max()
+            .unwrap_or(0);
+        assert!(max_deg >= 8, "expected a hub, max out-degree {max_deg}");
+    }
+
+    #[test]
+    fn planted_instance_answers_are_the_sources() {
+        let (g, q, srcs) = planted_power_law_instance(300, 5, 11);
+        q.validate().unwrap();
+        // nodes: 300 core + tail + sink (sources are core vertices)
+        assert_eq!(g.num_nodes(), 300 + super::PLANTED_TAIL + 1);
+        assert_eq!(srcs.len(), 5);
+        let prepared = ecrpq_core::prepare::PreparedQuery::build(&q).unwrap();
+        let answers = ecrpq_core::product::answers_product(&g, &prepared);
+        let expect: std::collections::BTreeSet<Vec<u32>> = srcs.iter().map(|&s| vec![s]).collect();
+        assert_eq!(answers, expect);
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub mod ine;
 pub mod oracle;
 pub mod queries;
 
-pub use graphs::{chain_db, cycle_db, grid_db, random_db, random_dfa, random_nfa};
+pub use graphs::{
+    chain_db, cycle_db, grid_db, grid_db_anon, planted_power_law_instance, power_law_db, random_db,
+    random_dfa, random_nfa,
+};
 pub use ine::{planted_ine, random_ine};
 pub use oracle::{oracle_answers, oracle_eval};
 pub use queries::{

@@ -60,6 +60,7 @@ pub const BUDGET_HOT_FILES: &[&str] = &[
     "crates/core/src/product.rs",
     "crates/core/src/semijoin.rs",
     "crates/core/src/cq_eval.rs",
+    "crates/core/src/bitbfs.rs",
 ];
 
 /// Marker that exempts one audited loop from [`lint_budget_checkpoints`].
@@ -247,6 +248,7 @@ pub const CLOCK_HOT_FILES: &[&str] = &[
     "crates/core/src/semijoin.rs",
     "crates/core/src/cq_eval.rs",
     "crates/core/src/engine.rs",
+    "crates/core/src/bitbfs.rs",
 ];
 
 /// Marker that exempts one audited clock read from [`lint_raw_clock`].
@@ -281,6 +283,68 @@ pub fn lint_raw_clock(path: &str, content: &str) -> Vec<Violation> {
                 ),
             });
         }
+    }
+    out
+}
+
+/// Modules holding the bit-parallel BFS kernel: their inner loops are
+/// word-at-a-time by design, and a per-element map probe there silently
+/// reintroduces the scalar access pattern the kernel exists to avoid
+/// (one cache miss per configuration instead of per 64).
+pub const BITPARALLEL_HOT_FILES: &[&str] = &["crates/core/src/bitbfs.rs"];
+
+/// Marker that exempts one audited scalar probe from
+/// [`lint_scalar_probe`]. Put it on the offending line or the line just
+/// above, with a word on why the probe is off the per-word path.
+pub const ALLOW_SCALAR_PROBE: &str = "lint:allow(scalar-probe)";
+
+/// Rule 7: no per-element map/set probes — `.get(` or `.insert(` — in a
+/// [`BITPARALLEL_HOT_FILES`] module. Kernel state belongs in dense
+/// word-indexed arrays (`BitSet`, the bump arena, CSR slices); a probe
+/// per configuration is exactly the scalar layout the kernel replaces.
+/// `#[cfg(test)]` blocks and comment lines are skipped; an audited probe
+/// carries the [`ALLOW_SCALAR_PROBE`] marker on its line or the line
+/// above.
+pub fn lint_scalar_probe(path: &str, content: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let lines: Vec<&str> = content.lines().collect();
+    let mut i = 0usize;
+    let mut skip_depth: Option<i64> = None; // brace depth at cfg(test) entry
+    let mut depth: i64 = 0;
+    while i < lines.len() {
+        let line = lines[i];
+        let code = strip_comment(line);
+        if skip_depth.is_none() && code.contains("#[cfg(test)]") {
+            skip_depth = Some(depth);
+        }
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+        depth += opens - closes;
+        if let Some(d) = skip_depth {
+            if depth <= d && closes > 0 {
+                skip_depth = None;
+            }
+            i += 1;
+            continue;
+        }
+        for needle in [".get(", ".insert("] {
+            if code.contains(needle) {
+                let allowed = line.contains(ALLOW_SCALAR_PROBE)
+                    || (i > 0 && lines[i - 1].contains(ALLOW_SCALAR_PROBE));
+                if !allowed {
+                    out.push(Violation {
+                        file: path.to_string(),
+                        line: i + 1,
+                        message: format!(
+                            "scalar probe `{needle}` in the bit-parallel kernel — keep state \
+                             in dense word-indexed arrays, or audit it with \
+                             `// {ALLOW_SCALAR_PROBE}: why this probe is off the per-word path`"
+                        ),
+                    });
+                }
+            }
+        }
+        i += 1;
     }
     out
 }
@@ -484,6 +548,46 @@ fn f() {
         assert!(lint_raw_clock("f", audited).is_empty());
         assert!(lint_raw_clock("f", "// Instant::now() in prose\n").is_empty());
         assert!(lint_raw_clock("f", "/// doc about Instant::now()\n").is_empty());
+    }
+
+    #[test]
+    fn scalar_probe_fires_in_kernel_code() {
+        let bad = "\
+fn expand() {
+    if visited.get(&idx).is_none() {
+        frontier.insert(idx);
+    }
+}
+";
+        let v = lint_scalar_probe("crates/core/src/bitbfs.rs", bad);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[1].line, 3);
+        assert!(v[0].message.contains("scalar probe"));
+    }
+
+    #[test]
+    fn scalar_probe_respects_marker_tests_and_comments() {
+        let audited = "\
+fn expand() {
+    // lint:allow(scalar-probe): one lookup per atom, not per config
+    let dense = tables.get(&atom);
+    let x = cache.insert(k, v); // lint:allow(scalar-probe): setup path
+}
+";
+        assert!(lint_scalar_probe("f", audited).is_empty());
+        assert!(lint_scalar_probe("f", "// .get( in prose\n").is_empty());
+        // word-at-a-time accessors are fine: the rule names probes only
+        assert!(lint_scalar_probe("f", "let w = words.get_mut(i);\n").is_empty());
+        let test_only = "\
+#[cfg(test)]
+mod tests {
+    fn t() {
+        assert!(seen.insert(cfg));
+    }
+}
+";
+        assert!(lint_scalar_probe("f", test_only).is_empty());
     }
 
     #[test]

@@ -8,8 +8,8 @@ mod lint;
 
 use lint::{
     lint_budget_checkpoints, lint_default_hasher, lint_forbid_unsafe, lint_raw_clock,
-    lint_tracked_target, lint_unwrap, Violation, BUDGET_HOT_FILES, CLOCK_HOT_FILES, HOT_PATH_FILES,
-    OWN_CRATES,
+    lint_scalar_probe, lint_tracked_target, lint_unwrap, Violation, BITPARALLEL_HOT_FILES,
+    BUDGET_HOT_FILES, CLOCK_HOT_FILES, HOT_PATH_FILES, OWN_CRATES,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -132,17 +132,31 @@ fn run_lint() -> ExitCode {
         }
     }
 
+    // Rule 7: no per-element map probes inside the bit-parallel kernel —
+    // state lives in dense word-indexed arrays (or carries an audit marker).
+    for hot in BITPARALLEL_HOT_FILES {
+        let path = root.join(hot);
+        match std::fs::read_to_string(&path) {
+            Ok(content) => violations.extend(lint_scalar_probe(hot, &content)),
+            Err(e) => {
+                eprintln!("xtask: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     for v in &violations {
         println!("{v}");
     }
     if violations.is_empty() {
         println!(
             "xtask lint: clean ({} entry points, {} hot files, {} budget-hot files, \
-             {} clock-hot files, {} library files)",
+             {} clock-hot files, {} kernel files, {} library files)",
             entries.len(),
             HOT_PATH_FILES.len(),
             BUDGET_HOT_FILES.len(),
             CLOCK_HOT_FILES.len(),
+            BITPARALLEL_HOT_FILES.len(),
             lib_sources.len()
         );
         ExitCode::SUCCESS

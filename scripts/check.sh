@@ -24,6 +24,18 @@ cargo test -q --offline --test differential --test parallel_differential --test 
 echo "== xtask lint (repo policy) =="
 cargo run -q -p xtask --offline -- lint
 
+echo "== E19 smoke (bit-parallel vs flat at a small size) =="
+# a 20k-node instance exercises the full E19 path — generator, both
+# layouts, the layout-equality assertions — in a couple of seconds; the
+# committed BENCH_bitparallel.json is produced by the full-size run
+ECRPQ_E19_NODES=20000 ECRPQ_E19_OUT=target/e19_smoke.json \
+  cargo run -q --release --offline -p ecrpq-bench --bin experiments -- E19 > /dev/null
+# schema drift gate: the smoke output must carry exactly the key set of
+# the committed benchmark file
+diff <(grep -o '"[a-z_]*":' target/e19_smoke.json | sort -u) \
+     <(grep -o '"[a-z_]*":' BENCH_bitparallel.json | sort -u) \
+  || { echo "E19 JSON schema drifted from BENCH_bitparallel.json"; exit 1; }
+
 echo "== analyze CLI over the query corpus + workloads =="
 cargo run -q --release --offline -p ecrpq-bench --bin analyze -- queries/*.ecrpq --workloads
 

@@ -196,6 +196,75 @@ fn planner_governed_matches_ungoverned_when_complete() {
     }
 }
 
+/// Governed bit-parallel runs obey the same soundness contract as flat:
+/// subset answers under truncation, bit-identical answers on `Complete` —
+/// at every thread count, with the bitmap kernel actually engaged (the
+/// arity-3 workload sits inside both bit-parallel gates).
+#[test]
+fn governed_bitparallel_matches_flat() {
+    use ecrpq::eval::Layout;
+    let (db, q) = workload(3, 14);
+    let prepared = PreparedQuery::build(&q).expect("valid");
+    let full = engine::answers_product(&db, &prepared, &EvalOptions::sequential());
+    assert!(full.len() >= 10, "need a meaningful answer set");
+    let mut saw_truncated = false;
+    for threads in [1usize, 2, 4, 8] {
+        for cap in [200u64, u64::MAX / 4] {
+            let opts = EvalOptions::with_threads(threads)
+                .with_layout(Layout::BitParallel)
+                .with_budget(ResourceBudget::unlimited().with_max_configurations(cap));
+            let o = engine::answers_product_governed(&db, &prepared, &opts);
+            assert!(
+                o.answers.is_subset(&full),
+                "threads={threads} cap={cap}: subset violated"
+            );
+            if o.termination.is_complete() {
+                assert_eq!(o.answers, full, "threads={threads} cap={cap}");
+            } else {
+                saw_truncated = true;
+            }
+        }
+    }
+    assert!(saw_truncated, "the small cap must actually truncate");
+}
+
+/// Regression (memory accounting): under `Layout::BitParallel` an arity-4
+/// atom exceeds the kernel's arity gate and is downgraded to the scalar
+/// path, which still allocates its visited-stamp array even though the
+/// layout nominally replaces stamps with bitmaps. Those bytes must reach
+/// the governor: a memory cap smaller than the stamp array has to trip.
+/// (The fix computes the charge from the arrays actually allocated rather
+/// than from the layout, which would let the downgraded bytes slip past.)
+#[test]
+fn memory_cap_sees_stamps_of_downgraded_atoms() {
+    use ecrpq::eval::{ExhaustedResource, Layout};
+    let mut q = big_component_query(4, 2);
+    q.set_free(&[NodeVar(0), NodeVar(1)]);
+    let db = random_db(10, 2.0, 2, 97);
+    let prepared = PreparedQuery::build(&q).expect("valid");
+    // arity 4 > the bitmap arity gate: the atom runs scalar and keeps
+    // stamps of 10⁴ × |Q| u32 slots ≈ 80 kB — above the 64 KiB cap, while
+    // the run's other tracked allocations stay well below it
+    let cap_opts = |bytes: u64| {
+        EvalOptions::sequential()
+            .with_layout(Layout::BitParallel)
+            .with_budget(ResourceBudget::unlimited().with_max_memory_bytes(bytes))
+    };
+    let o = engine::answers_product_governed(&db, &prepared, &cap_opts(64 << 10));
+    assert_eq!(
+        o.termination,
+        Termination::BudgetExhausted {
+            resource: ExhaustedResource::Memory
+        },
+        "downgraded stamp bytes slipped past the memory cap"
+    );
+    // a cap that accommodates the stamps completes and matches flat
+    let o = engine::answers_product_governed(&db, &prepared, &cap_opts(1 << 30));
+    assert!(o.termination.is_complete());
+    let full = engine::answers_product(&db, &prepared, &EvalOptions::sequential());
+    assert_eq!(o.answers, full);
+}
+
 /// Tree-decomposition and plain CQ governed paths obey the same subset /
 /// complete-iff-identical contract.
 #[test]

@@ -31,14 +31,52 @@ fn empty_database_evaluates_cleanly() {
     let db = ecrpq::graph::GraphDb::with_alphabet(q.alphabet().clone());
     assert_eq!(db.num_nodes(), 0);
     let prepared = PreparedQuery::build(&q).unwrap();
-    for layout in [Layout::Legacy, Layout::FlatUnpruned, Layout::Flat] {
+    for layout in [
+        Layout::Legacy,
+        Layout::FlatUnpruned,
+        Layout::Flat,
+        Layout::BitParallel,
+    ] {
         let (ans, _) = answers_product_with_stats_layout(&db, &prepared, layout);
         assert!(ans.is_empty(), "{layout:?}");
     }
     for threads in [1usize, 2, 4, 8] {
-        let opts = EvalOptions::with_threads(threads);
-        assert!(engine::answers_product(&db, &prepared, &opts).is_empty());
-        assert!(!engine::eval_product(&db, &prepared, &opts));
+        for layout in [Layout::Flat, Layout::BitParallel] {
+            let opts = EvalOptions::with_threads(threads).with_layout(layout);
+            assert!(engine::answers_product(&db, &prepared, &opts).is_empty());
+            assert!(!engine::eval_product(&db, &prepared, &opts));
+        }
+    }
+}
+
+/// Regression for the bit-parallel size gate: when the dense configuration
+/// space overflows the bitmap budget, `Layout::BitParallel` must downgrade
+/// every atom to the scalar BFS and still agree with `Flat` at every
+/// thread count. 9 000 vertices × the 2-state eq-length automaton is
+/// 1.6·10⁸ configurations — past the stamp gate *and* the (tighter)
+/// three-bitmap gate, so the fallback runs the memoized scalar path. The
+/// graph is nearly edgeless to keep the run cheap; a single `a`-edge makes
+/// the Boolean query satisfiable.
+#[test]
+fn bitparallel_falls_back_on_oversized_config_space() {
+    use ecrpq::workloads::big_component_query;
+    let q = big_component_query(2, 2); // free vars default to none: Boolean
+    let mut db = ecrpq::graph::GraphDb::with_alphabet(q.alphabet().clone());
+    let first = db.add_nodes_anon(9_000);
+    db.add_edge(first, 'a', first + 1);
+    let prepared = PreparedQuery::build(&q).unwrap();
+    let (flat, _) = answers_product_with_stats_layout(&db, &prepared, Layout::Flat);
+    let (bitpar, _) = answers_product_with_stats_layout(&db, &prepared, Layout::BitParallel);
+    assert_eq!(flat, bitpar, "fallback answers diverge");
+    assert_eq!(flat.len(), 1, "satisfiable Boolean query: one empty tuple");
+    for threads in [1usize, 2, 4, 8] {
+        let opts = EvalOptions::with_threads(threads).with_layout(Layout::BitParallel);
+        let par = engine::answers_product(&db, &prepared, &opts);
+        assert_eq!(par, flat, "{threads} threads");
+        assert!(
+            engine::eval_product(&db, &prepared, &opts),
+            "{threads} threads"
+        );
     }
 }
 
@@ -57,7 +95,12 @@ proptest! {
         let db = random_db(4, 1.6, 2, seed.wrapping_mul(31).wrapping_add(3));
         let prepared = PreparedQuery::build(&q).map_err(TestCaseError::fail)?;
         let sat = ecrpq::eval::product::eval_product(&db, &prepared);
-        for layout in [Layout::Legacy, Layout::FlatUnpruned, Layout::Flat] {
+        for layout in [
+            Layout::Legacy,
+            Layout::FlatUnpruned,
+            Layout::Flat,
+            Layout::BitParallel,
+        ] {
             let (ans, _) = answers_product_with_stats_layout(&db, &prepared, layout);
             if sat {
                 prop_assert_eq!(ans.len(), 1, "layout={:?} seed={}", layout, seed);
@@ -67,12 +110,15 @@ proptest! {
             }
         }
         for threads in [2usize, 4, 8] {
-            let par = engine::answers_product(&db, &prepared, &EvalOptions::with_threads(threads));
-            if sat {
-                prop_assert_eq!(par.len(), 1, "threads={} seed={}", threads, seed);
-                prop_assert!(par.contains(&Vec::new()));
-            } else {
-                prop_assert!(par.is_empty(), "threads={} seed={}", threads, seed);
+            for layout in [Layout::Flat, Layout::BitParallel] {
+                let opts = EvalOptions::with_threads(threads).with_layout(layout);
+                let par = engine::answers_product(&db, &prepared, &opts);
+                if sat {
+                    prop_assert_eq!(par.len(), 1, "threads={} layout={:?} seed={}", threads, layout, seed);
+                    prop_assert!(par.contains(&Vec::new()));
+                } else {
+                    prop_assert!(par.is_empty(), "threads={} layout={:?} seed={}", threads, layout, seed);
+                }
             }
         }
     }
@@ -88,6 +134,9 @@ proptest! {
                 let csr = db.successors(v, a).to_vec();
                 let scan: Vec<u32> = db.successors_scan(v, a).collect();
                 prop_assert_eq!(&csr, &scan, "successors v={} a={} seed={}", v, a, seed);
+                // bulk accessors expose the same ranges as the slice API
+                let bulk = &db.csr_targets()[db.successor_range(v, a)];
+                prop_assert_eq!(bulk, &csr[..], "bulk range v={} a={} seed={}", v, a, seed);
                 let mut naive: Vec<u32> = db
                     .edges()
                     .filter(|e| e.dst == v && e.label == a)
@@ -101,6 +150,7 @@ proptest! {
             // out-of-alphabet labels are empty, not a panic
             prop_assert!(db.successors(v, num_labels + 5).is_empty());
             prop_assert!(db.predecessors(v, num_labels + 5).is_empty());
+            prop_assert!(db.successor_range(v, num_labels + 5).is_empty());
         }
     }
 
@@ -118,8 +168,12 @@ proptest! {
             answers_product_with_stats_layout(&db, &prepared, Layout::FlatUnpruned);
         let (pruned, pruned_stats) =
             answers_product_with_stats_layout(&db, &prepared, Layout::Flat);
+        let (bitpar, _) = answers_product_with_stats_layout(&db, &prepared, Layout::BitParallel);
         prop_assert_eq!(&flat, &legacy, "flat vs legacy seed={}", seed);
         prop_assert_eq!(&pruned, &legacy, "pruned vs legacy seed={}", seed);
+        // the bit-parallel layout shares the pruned semijoin domains but
+        // swaps the BFS inner loop; answers must stay bit-identical
+        prop_assert_eq!(&bitpar, &legacy, "bitparallel vs legacy seed={}", seed);
         // without pruning the two BFS implementations walk the same
         // enumeration tree and answer the same feasibility questions
         // (popped-configuration counts may differ slightly: the queue

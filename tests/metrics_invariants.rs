@@ -69,7 +69,12 @@ fn frontier_peak_bounded_by_configurations() {
         q.set_free(&[NodeVar(0)]);
         let db = random_db(10, 1.8, 2, seed * 29 + 1);
         let prepared = PreparedQuery::build(&q).unwrap();
-        for layout in [Layout::Legacy, Layout::FlatUnpruned, Layout::Flat] {
+        for layout in [
+            Layout::Legacy,
+            Layout::FlatUnpruned,
+            Layout::Flat,
+            Layout::BitParallel,
+        ] {
             let (_, stats) = answers_product_with_stats_layout(&db, &prepared, layout);
             assert!(
                 stats.frontier_peak <= stats.configurations,
@@ -78,6 +83,48 @@ fn frontier_peak_bounded_by_configurations() {
                 stats.configurations
             );
         }
+    }
+}
+
+/// The bit-parallel kernel defines `frontier_peak` as the popcount of the
+/// densest BFS level (configurations *inserted* per level), merged across
+/// workers by max. On single-file chains every level inserts exactly one
+/// configuration, so the peak must be exactly 1 at every thread count — a
+/// sum-merge across workers, or counting a whole word instead of its
+/// popcount, would exceed 1.
+#[test]
+fn bitparallel_frontier_peak_is_max_of_level_popcounts() {
+    use ecrpq::automata::Alphabet;
+    use ecrpq::graph::GraphDb;
+    use ecrpq::query::{parse_query, RelationRegistry};
+    let mut db = GraphDb::with_alphabet(Alphabet::ascii_lower(2));
+    // four disjoint chains a¹⁰b, so parallel workers sweep independent
+    // single-file frontiers that must merge by max, not sum
+    for _ in 0..4 {
+        let first = db.add_nodes_anon(12);
+        for i in 0..10u32 {
+            db.add_edge(first + i, 'a', first + i + 1);
+        }
+        db.add_edge(first + 10, 'b', first + 11);
+    }
+    let mut alphabet = db.alphabet().clone();
+    let q = parse_query(
+        "q(x) :- x -[p]-> y, p in a*b",
+        &mut alphabet,
+        &RelationRegistry::new(),
+    )
+    .unwrap();
+    let prepared = PreparedQuery::build(&q).unwrap();
+    for threads in [1usize, 2, 4, 8] {
+        let opts = EvalOptions::with_threads(threads).with_layout(Layout::BitParallel);
+        let (answers, stats) = engine::answers_product_with_stats(&db, &prepared, &opts);
+        // nodes 0..=10 of each chain reach the b-edge
+        assert_eq!(answers.len(), 44, "{threads} threads");
+        assert_eq!(
+            stats.frontier_peak, 1,
+            "{threads} threads: chain BFS peak must be one inserted config per level"
+        );
+        assert!(stats.configurations > 10, "{threads} threads");
     }
 }
 
@@ -170,28 +217,30 @@ fn parallel_fold_loses_no_counts() {
     let prepared = PreparedQuery::build(&q).unwrap();
     let mut expected = None;
     for threads in [1usize, 2, 4, 8] {
-        let tracer = CollectingTracer::new();
-        let (answers, stats) = engine::answers_product_with_stats_traced(
-            &db,
-            &prepared,
-            &EvalOptions::with_threads(threads),
-            &tracer,
-        );
-        let m = tracer.metrics();
-        assert_eq!(
-            m.phase(Phase::ProductBfs).items,
-            stats.configurations,
-            "{threads} threads: fold dropped BFS work (base seed {base})"
-        );
-        assert_eq!(
-            m.phase(Phase::ProductBfs).frontier_peak,
-            stats.frontier_peak,
-            "{threads} threads: frontier fold"
-        );
-        // answers are bit-identical at every thread count
-        match &expected {
-            None => expected = Some(answers),
-            Some(e) => assert_eq!(&answers, e, "{threads} threads: answers differ"),
+        for layout in [Layout::Flat, Layout::BitParallel] {
+            let tracer = CollectingTracer::new();
+            let (answers, stats) = engine::answers_product_with_stats_traced(
+                &db,
+                &prepared,
+                &EvalOptions::with_threads(threads).with_layout(layout),
+                &tracer,
+            );
+            let m = tracer.metrics();
+            assert_eq!(
+                m.phase(Phase::ProductBfs).items,
+                stats.configurations,
+                "{threads} threads, {layout:?}: fold dropped BFS work (base seed {base})"
+            );
+            assert_eq!(
+                m.phase(Phase::ProductBfs).frontier_peak,
+                stats.frontier_peak,
+                "{threads} threads, {layout:?}: frontier fold"
+            );
+            // answers are bit-identical at every thread count and layout
+            match &expected {
+                None => expected = Some(answers),
+                Some(e) => assert_eq!(&answers, e, "{threads} threads, {layout:?}"),
+            }
         }
     }
 }

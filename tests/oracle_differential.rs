@@ -60,7 +60,12 @@ fn oracle_agrees_with_every_answer_evaluator() {
         settled += exact as usize;
 
         // every layout of the product search
-        for layout in [Layout::Legacy, Layout::FlatUnpruned, Layout::Flat] {
+        for layout in [
+            Layout::Legacy,
+            Layout::FlatUnpruned,
+            Layout::Flat,
+            Layout::BitParallel,
+        ] {
             let (got, _) = answers_product_with_stats_layout(&db, &prepared, layout);
             check(
                 &truth,
@@ -69,15 +74,18 @@ fn oracle_agrees_with_every_answer_evaluator() {
                 &format!("seed {seed}: {layout:?} layout"),
             );
         }
-        // every thread count of the parallel engine
-        for threads in [1usize, 2, 4] {
-            let got = engine::answers_product(&db, &prepared, &EvalOptions::with_threads(threads));
-            check(
-                &truth,
-                &got,
-                exact,
-                &format!("seed {seed}: {threads} thread(s)"),
-            );
+        // every thread count of the parallel engine, flat and bit-parallel
+        for threads in [1usize, 2, 4, 8] {
+            for layout in [Layout::Flat, Layout::BitParallel] {
+                let opts = EvalOptions::with_threads(threads).with_layout(layout);
+                let got = engine::answers_product(&db, &prepared, &opts);
+                check(
+                    &truth,
+                    &got,
+                    exact,
+                    &format!("seed {seed}: {threads} thread(s), {layout:?}"),
+                );
+            }
         }
         // the Lemma 4.3 reduction, backtracking and treedec
         let (cq, rdb, _) = ecrpq_to_cq(&db, &prepared);

@@ -1,6 +1,6 @@
 //! Property-based tests for the automata substrate.
 
-use ecrpq::automata::{Alphabet, Nfa, Regex, Symbol};
+use ecrpq::automata::{Alphabet, BitSet, Nfa, Regex, Symbol};
 use proptest::prelude::*;
 
 /// A strategy for small random NFAs over a 2-symbol alphabet.
@@ -126,6 +126,91 @@ proptest! {
             let mut w = u.clone();
             w.extend_from_slice(&v);
             prop_assert!(s.accepts(&w));
+        }
+    }
+}
+
+/// A scripted `BitSet` op, mirrored against a naive `Vec<bool>` model.
+#[derive(Debug, Clone)]
+enum BitOp {
+    Insert(usize),
+    Remove(usize),
+    UnionAssign(Vec<usize>),
+    OrWord(usize, u64),
+    ClearWord(usize),
+}
+
+fn arb_bitop(cap: usize) -> impl Strategy<Value = BitOp> {
+    prop_oneof![
+        (0..cap).prop_map(BitOp::Insert),
+        (0..cap).prop_map(BitOp::Remove),
+        proptest::collection::vec(0..cap, 0..8).prop_map(BitOp::UnionAssign),
+        (0..cap / 64, 0u64..=u64::MAX).prop_map(|(w, m)| BitOp::OrWord(w, m)),
+        (0..cap.div_ceil(64)).prop_map(BitOp::ClearWord),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `BitSet` against a `Vec<bool>` model through a random op script:
+    /// membership, length, word view, and both iterators must agree after
+    /// every step, and change-reporting ops must report the model's delta.
+    #[test]
+    fn bitset_matches_vec_bool_model(ops in proptest::collection::vec(arb_bitop(192), 0..40)) {
+        const CAP: usize = 192;
+        let mut s = BitSet::new(CAP);
+        let mut model = [false; CAP];
+        for op in ops {
+            match op {
+                BitOp::Insert(i) => {
+                    let fresh = !model[i];
+                    model[i] = true;
+                    prop_assert_eq!(s.insert(i), fresh);
+                }
+                BitOp::Remove(i) => {
+                    let present = model[i];
+                    model[i] = false;
+                    prop_assert_eq!(s.remove(i), present);
+                }
+                BitOp::UnionAssign(elems) => {
+                    let other = BitSet::from_iter_with_capacity(CAP, elems.iter().copied());
+                    let grew = elems.iter().any(|&i| !model[i]);
+                    for &i in &elems {
+                        model[i] = true;
+                    }
+                    prop_assert_eq!(s.union_assign(&other), grew);
+                }
+                BitOp::OrWord(w, mask) => {
+                    let mut newly = 0u64;
+                    for b in 0..64 {
+                        if mask & (1 << b) != 0 && !model[w * 64 + b] {
+                            newly |= 1 << b;
+                            model[w * 64 + b] = true;
+                        }
+                    }
+                    prop_assert_eq!(s.or_word(w, mask), newly);
+                }
+                BitOp::ClearWord(w) => {
+                    for b in 0..64 {
+                        if let Some(m) = model.get_mut(w * 64 + b) {
+                            *m = false;
+                        }
+                    }
+                    s.clear_word(w);
+                }
+            }
+            let expected: Vec<usize> =
+                (0..CAP).filter(|&i| model[i]).collect();
+            prop_assert_eq!(s.iter().collect::<Vec<_>>(), expected.clone());
+            prop_assert_eq!(s.iter_ones().collect::<Vec<_>>(), expected.clone());
+            prop_assert_eq!(s.len(), expected.len());
+            for (w, &word) in s.words().iter().enumerate() {
+                for b in 0..64 {
+                    let bit = word & (1 << b) != 0;
+                    prop_assert_eq!(bit, model.get(w * 64 + b).copied().unwrap_or(false));
+                }
+            }
         }
     }
 }
