@@ -30,7 +30,10 @@
 //! Diagnostics render rustc-style with carets when the query was parsed
 //! from text ([`Analysis::render`]).
 
+pub mod acyclic;
 mod render;
+
+pub use acyclic::{acyclic_join_tree, cq_hyperedges, gyo_join_tree, JoinTree};
 
 use ecrpq_query::{Ecrpq, QueryMeasures, Span};
 use ecrpq_structure::{treewidth_exact, treewidth_upper_bound};

@@ -16,7 +16,7 @@
 
 use ecrpq_analyze::{analyze, Analysis};
 use ecrpq_automata::Alphabet;
-use ecrpq_core::planner::{budget_regime, regime_budget};
+use ecrpq_core::planner::{budget_regime, large_db_strategy, regime_budget, Strategy};
 use ecrpq_core::{render_phase_table, EvalOptions};
 use ecrpq_query::{parse_query, Ecrpq, RelationRegistry};
 use ecrpq_workloads::{
@@ -72,18 +72,21 @@ fn main() {
     }
 
     if workloads {
-        println!("| query | cc_vertex | cc_hedge | tw | combined | param | default budget |");
-        println!("|---|---|---|---|---|---|---|");
+        println!(
+            "| query | cc_vertex | cc_hedge | tw | combined | param | default budget | large-db strategy |"
+        );
+        println!("|---|---|---|---|---|---|---|---|");
         for (name, q) in workload_corpus() {
             let a = analyze(&q);
             let budget = regime_budget(budget_regime(&a.measures));
             println!(
-                "| {name} | {} | {} | {} | {} | {} | {budget} |",
+                "| {name} | {} | {} | {} | {} | {} | {budget} | {} |",
                 a.measures.cc_vertex,
                 a.measures.cc_hedge,
                 a.measures.treewidth,
                 a.combined,
-                a.param
+                a.param,
+                strategy_name(&q)
             );
             for d in a.errors() {
                 eprint!("{}", ecrpq_analyze::render_diagnostic(d, None));
@@ -98,6 +101,17 @@ fn main() {
 
     eprintln!("analyze: {errors} error(s), {warnings} warning(s)");
     std::process::exit(if errors > 0 { 1 } else { 0 });
+}
+
+/// The strategy the planner would pick for this query when the database
+/// is too large to materialize the CQ reduction — the acyclicity-aware
+/// branch point of the evaluation pipeline.
+fn strategy_name(q: &Ecrpq) -> &'static str {
+    match large_db_strategy(q) {
+        Strategy::CqTreedec => "cq+treedec",
+        Strategy::Yannakakis => "yannakakis",
+        Strategy::DirectProduct => "direct product",
+    }
 }
 
 /// Parses a query file: one query per non-empty, non-`#`-comment line.

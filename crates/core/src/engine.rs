@@ -28,10 +28,12 @@
 //! so sibling workers abandon their chunks after the first success.
 
 use crate::cq_eval;
+use crate::enumerate::AnswerIter;
 use crate::governor::{Governor, Outcome, ResourceBudget, Termination};
 use crate::prepare::PreparedQuery;
 use crate::product::{self, Evaluator, Layout, ProductStats, SharedTables};
 use crate::trace::{NoopTracer, Tracer};
+use ecrpq_analyze::JoinTree;
 use ecrpq_graph::{GraphDb, NodeId};
 use ecrpq_query::{Cq, RelationalDb};
 use std::collections::BTreeSet;
@@ -263,6 +265,12 @@ pub fn answers_product_with_stats_traced<T: Tracer>(
     opts: &EvalOptions,
     tracer: &T,
 ) -> (BTreeSet<Vec<NodeId>>, ProductStats) {
+    if opts.budget.max_answers.is_some() {
+        // an answer cap on the otherwise-ungoverned entry points routes
+        // through the streaming enumerator, so enumeration terminates
+        // exactly at the cap instead of materializing everything first
+        return answers_product_capped(db, query, opts, tracer);
+    }
     let workers = product_workers(db, query, opts);
     let tables = SharedTables::build_traced(db, query, opts.layout, None, tracer);
     if workers <= 1 {
@@ -305,6 +313,189 @@ pub fn answers_product_with_stats_traced<T: Tracer>(
         }
     });
     (out, stats)
+}
+
+/// The `max_answers`-capped ungoverned product path: a governor carrying
+/// *only* the answer cap drives the streaming enumerator, so the search
+/// stops exactly when the cap-th distinct tuple has been claimed — no
+/// further configuration is explored. The other budget axes stay ignored,
+/// as documented on [`EvalOptions::budget`] for the ungoverned family.
+fn answers_product_capped<T: Tracer>(
+    db: &GraphDb,
+    query: &PreparedQuery,
+    opts: &EvalOptions,
+    tracer: &T,
+) -> (BTreeSet<Vec<NodeId>>, ProductStats) {
+    let cap =
+        ResourceBudget::unlimited().with_max_answers(opts.budget.max_answers.unwrap_or(u64::MAX));
+    let governor = Governor::new(&cap);
+    let tables = SharedTables::build_traced(db, query, opts.layout, Some(&governor), tracer);
+    let workers = product_workers(db, query, opts);
+    stream_answers(db, query, &tables, Some(&governor), workers, tracer)
+}
+
+/// Drains streaming [`AnswerIter`]s over pre-built tables: one full-range
+/// iterator sequentially, or one per worker over a *static* partition of
+/// the first assigned variable's range. Per-worker dedup is local (free
+/// tuples cycled by different workers' odometers can coincide), so the
+/// per-worker sets are merged by union; without a governor the union is
+/// bit-identical to the sequential materialized set.
+fn stream_answers<T: Tracer>(
+    db: &GraphDb,
+    query: &PreparedQuery,
+    tables: &SharedTables,
+    governor: Option<&Governor>,
+    workers: usize,
+    tracer: &T,
+) -> (BTreeSet<Vec<NodeId>>, ProductStats) {
+    if workers <= 1 {
+        let mut out = BTreeSet::new();
+        let mut it =
+            AnswerIter::with_parts(db, query, tables, governor, None, tracer.fork_worker());
+        it.drain_into(&mut out);
+        return (out, *it.stats());
+    }
+    let ranges = chunk_ranges(db.num_nodes(), workers);
+    let mut out: BTreeSet<Vec<NodeId>> = BTreeSet::new();
+    let mut stats = ProductStats::default();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|r| {
+                let r = r.clone();
+                // fork before spawn: deterministic registration order
+                let worker_tracer = tracer.fork_worker();
+                s.spawn(move || {
+                    let mut it =
+                        AnswerIter::with_parts(db, query, tables, governor, Some(r), worker_tracer);
+                    let mut mine: BTreeSet<Vec<NodeId>> = BTreeSet::new();
+                    it.drain_into(&mut mine);
+                    (mine, *it.stats())
+                })
+            })
+            .collect();
+        for h in handles {
+            // lint:allow(unwrap): propagate worker panics instead of losing them
+            let (mine, s) = h.join().expect("streaming worker panicked");
+            if out.is_empty() {
+                out = mine;
+            } else {
+                out.extend(mine);
+            }
+            stats.merge(&s);
+        }
+    });
+    (out, stats)
+}
+
+// ---------------------------------------------------------------------------
+// Yannakakis strategy entry points
+// ---------------------------------------------------------------------------
+
+/// Boolean evaluation under the Yannakakis preparation: the two semijoin
+/// passes over `tree` make every domain globally consistent before the
+/// (sequential — Boolean search exits on first success anyway) product
+/// search runs over them.
+pub fn eval_yannakakis_with_stats(
+    db: &GraphDb,
+    query: &PreparedQuery,
+    tree: &JoinTree,
+) -> (bool, ProductStats) {
+    let tables =
+        SharedTables::build_traced_with(db, query, Layout::Flat, None, &NoopTracer, Some(tree));
+    let mut e = Evaluator::with_tables(db, query, &tables);
+    let found = e.boolean();
+    (found, e.stats)
+}
+
+/// Resource-governed [`eval_yannakakis_with_stats`]: preparation and
+/// search check in with one governor, and a budget tripped mid-pass keeps
+/// the domains sound (over-approximate), so `true` is always definitive.
+pub fn eval_yannakakis_governed(
+    db: &GraphDb,
+    query: &PreparedQuery,
+    tree: &JoinTree,
+    opts: &EvalOptions,
+) -> Outcome<bool> {
+    let governor = Governor::new(&opts.budget);
+    let tables = SharedTables::build_traced_with(
+        db,
+        query,
+        Layout::Flat,
+        Some(&governor),
+        &NoopTracer,
+        Some(tree),
+    );
+    let mut e = Evaluator::with_tables(db, query, &tables);
+    e.set_governor(&governor);
+    let found = e.boolean();
+    e.flush_budget();
+    let mut stats = e.stats;
+    stats.budget_checks = governor.checkpoints_run();
+    let termination = if found {
+        Termination::Complete
+    } else {
+        governor.termination()
+    };
+    Outcome {
+        answers: found,
+        stats,
+        termination,
+        metrics: None,
+    }
+}
+
+/// Answer enumeration under the Yannakakis strategy: semijoin program
+/// over the join tree, then streaming enumeration over the globally
+/// consistent domains. Parallel runs use a static first-variable
+/// partition (one contiguous range per worker); the union of the
+/// per-worker streams is bit-identical to the sequential set.
+pub fn answers_yannakakis_with_stats(
+    db: &GraphDb,
+    query: &PreparedQuery,
+    tree: &JoinTree,
+    opts: &EvalOptions,
+) -> (BTreeSet<Vec<NodeId>>, ProductStats) {
+    answers_yannakakis_inner(db, query, tree, opts, None, &NoopTracer)
+}
+
+/// Resource-governed [`answers_yannakakis_with_stats`] with tracing. The
+/// returned set is a subset of the ungoverned answers, bit-identical when
+/// [`Outcome::termination`] is [`Termination::Complete`]; `max_answers`
+/// stops the streaming enumeration exactly at the cap.
+pub fn answers_yannakakis_governed_traced<T: Tracer>(
+    db: &GraphDb,
+    query: &PreparedQuery,
+    tree: &JoinTree,
+    opts: &EvalOptions,
+    tracer: &T,
+) -> Outcome<BTreeSet<Vec<NodeId>>> {
+    let governor = Governor::new(&opts.budget);
+    let (answers, mut stats) =
+        answers_yannakakis_inner(db, query, tree, opts, Some(&governor), tracer);
+    stats.budget_checks = governor.checkpoints_run();
+    Outcome {
+        answers,
+        stats,
+        termination: governor.termination(),
+        metrics: None,
+    }
+}
+
+/// Shared Yannakakis enumeration body: build the tables with the
+/// tree-driven semijoin program, then stream.
+fn answers_yannakakis_inner<T: Tracer>(
+    db: &GraphDb,
+    query: &PreparedQuery,
+    tree: &JoinTree,
+    opts: &EvalOptions,
+    governor: Option<&Governor>,
+    tracer: &T,
+) -> (BTreeSet<Vec<NodeId>>, ProductStats) {
+    let tables =
+        SharedTables::build_traced_with(db, query, Layout::Flat, governor, tracer, Some(tree));
+    let workers = product_workers(db, query, opts);
+    stream_answers(db, query, &tables, governor, workers, tracer)
 }
 
 /// How many workers a CQ backtracking run should use: bounded by the first
@@ -562,11 +753,19 @@ pub fn answers_product_governed_traced<T: Tracer>(
     let mut out: BTreeSet<Vec<NodeId>> = BTreeSet::new();
     let mut stats = ProductStats::default();
     if workers <= 1 {
-        let mut e = Evaluator::with_tables_traced(db, query, &tables, tracer.fork_worker());
-        e.set_governor(&governor);
-        e.answers_into(&mut out);
-        e.flush_budget();
-        stats = e.stats;
+        // single full-range streaming iterator: same visit order, memo
+        // and claim discipline as the materialized path, but a tripped
+        // answer cap stops the search at the cap instead of after it
+        let mut it = AnswerIter::with_parts(
+            db,
+            query,
+            &tables,
+            Some(&governor),
+            None,
+            tracer.fork_worker(),
+        );
+        it.drain_into(&mut out);
+        stats = *it.stats();
     } else {
         let ranges = product_chunk_ranges(db.num_nodes(), workers, opts.layout);
         let next = AtomicUsize::new(0);

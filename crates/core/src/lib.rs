@@ -31,6 +31,7 @@ pub mod counting;
 pub mod cq_eval;
 pub mod crpq;
 pub mod engine;
+pub mod enumerate;
 pub mod fnv;
 pub mod governor;
 pub mod optimize;
@@ -45,12 +46,14 @@ pub mod ucrpq;
 
 pub use counting::{count_cq_nice, count_cq_treedec, count_ecrpq_assignments};
 pub use engine::EvalOptions;
+pub use enumerate::{AnswerIter, Enumerator};
 pub use fnv::{FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher};
 pub use governor::{ExhaustedResource, Outcome, ResourceBudget, Termination};
 pub use optimize::{optimize, Simplified};
 pub use planner::{
     answers_governed, answers_traced, answers_with_stats, evaluate, evaluate_governed,
-    evaluate_with_stats, regime_budget, CombinedRegime, ParamRegime, Plan, Strategy,
+    evaluate_with_stats, large_db_strategy, regime_budget, CombinedRegime, ParamRegime, Plan,
+    Strategy,
 };
 pub use prepare::{MergedAtom, PreparedQuery};
 pub use product::{

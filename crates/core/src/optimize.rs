@@ -13,6 +13,10 @@
 //!   relation constrain nothing; dropping them can disconnect (shrink)
 //!   relation components, reducing `cc_vertex`/`cc_hedge` and possibly
 //!   the treewidth of `G^node`;
+//! * **subsumption elimination** — a non-unary atom whose language
+//!   contains another atom's language *on the same argument list* (the
+//!   analyzer's W005 finding) constrains nothing beyond the tighter
+//!   atom, and is dropped — fewer hyperedges, identical answers;
 //! * **emptiness propagation** — an empty relation atom makes the whole
 //!   query constantly false.
 
@@ -45,6 +49,12 @@ impl Simplified {
 /// Budget guards for the (exponential-in-principle) universality check.
 const UNIVERSALITY_STATE_BUDGET: usize = 32;
 const UNIVERSALITY_ARITY_BUDGET: usize = 3;
+
+/// Budget guards for the pairwise inclusion check — kept equal to the
+/// analyzer's `inclusion_state_budget`/`inclusion_arity_budget` defaults
+/// so every W005 diagnostic corresponds to an atom this rewrite drops.
+const INCLUSION_STATE_BUDGET: usize = 48;
+const INCLUSION_ARITY_BUDGET: usize = 3;
 
 /// Applies the rewrites described in the module docs.
 ///
@@ -99,13 +109,34 @@ pub fn optimize(query: &Ecrpq) -> Result<Simplified, QueryError> {
         out.rel_atom(&name, Arc::new(fused), &[PathVar(p as u32)]);
     }
 
-    // 3. Non-unary atoms: drop universal, fail on empty.
+    // 3. Non-unary atoms: drop universal and subsumed, fail on empty.
+    // Subsumption mirrors the analyzer's W005 check exactly (same budgets,
+    // same pair orientation): of two atoms over the same argument list the
+    // one with the *larger* language is implied by the other and dropped.
+    let atoms = query.rel_atoms();
+    let within = |i: usize| {
+        atoms[i].rel.num_states() <= INCLUSION_STATE_BUDGET
+            && atoms[i].rel.arity() <= INCLUSION_ARITY_BUDGET
+    };
+    let mut dropped = vec![false; atoms.len()];
+    for (a, &i) in others.iter().enumerate() {
+        for &j in &others[a + 1..] {
+            if atoms[i].args != atoms[j].args || !within(i) || !within(j) {
+                continue;
+            }
+            if !dropped[j] && atoms[i].rel.is_subset_of(&atoms[j].rel) {
+                dropped[j] = true;
+            } else if !dropped[i] && atoms[j].rel.is_subset_of(&atoms[i].rel) {
+                dropped[i] = true;
+            }
+        }
+    }
     for &i in &others {
         let atom = &query.rel_atoms()[i];
         if atom.rel.is_empty() {
             return Ok(Simplified::ConstFalse);
         }
-        if is_universal(&atom.rel, num_symbols) {
+        if dropped[i] || is_universal(&atom.rel, num_symbols) {
             continue;
         }
         out.rel_atom(&atom.name, atom.rel.clone(), &atom.args);
@@ -241,6 +272,42 @@ mod tests {
         q.rel_atom("eq", Arc::new(relations::equality(2)), &[p1, p2]);
         let opt = optimize(&q).unwrap();
         assert_eq!(opt.query().unwrap().rel_atoms().len(), 1);
+        check_equivalent(&q);
+    }
+
+    #[test]
+    fn subsumed_nonunary_atom_dropped() {
+        // equality ⊆ eq-length on the same argument list: the analyzer
+        // flags `el` (W005) and the optimizer drops it
+        let mut q = Ecrpq::new(Alphabet::ascii_lower(2));
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let p1 = q.path_atom(x, "p1", y);
+        let p2 = q.path_atom(x, "p2", y);
+        q.set_free(&[x, y]);
+        q.rel_atom("eq", Arc::new(relations::equality(2)), &[p1, p2]);
+        q.rel_atom("el", Arc::new(relations::eq_length(2, 2)), &[p1, p2]);
+        let opt = optimize(&q).unwrap();
+        let opt_q = opt.query().unwrap();
+        assert_eq!(opt_q.rel_atoms().len(), 1);
+        assert_eq!(opt_q.rel_atoms()[0].name, "eq");
+        check_equivalent(&q);
+    }
+
+    #[test]
+    fn same_language_different_args_kept() {
+        // identical languages over *different* argument lists are not
+        // subsumption — both atoms must survive
+        let mut q = Ecrpq::new(Alphabet::ascii_lower(2));
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let p1 = q.path_atom(x, "p1", y);
+        let p2 = q.path_atom(x, "p2", y);
+        q.set_free(&[x, y]);
+        q.rel_atom("e1", Arc::new(relations::eq_length(2, 2)), &[p1, p2]);
+        q.rel_atom("e2", Arc::new(relations::eq_length(2, 2)), &[p2, p1]);
+        let opt = optimize(&q).unwrap();
+        assert_eq!(opt.query().unwrap().rel_atoms().len(), 2);
         check_equivalent(&q);
     }
 

@@ -20,7 +20,7 @@ use crate::product::{
 };
 use crate::to_cq::ecrpq_to_cq;
 use crate::trace::{render_phase_table, CollectingTracer, Metrics, NoopTracer, Tracer};
-use ecrpq_analyze::{analyze, render_diagnostic, Analysis};
+use ecrpq_analyze::{analyze, render_diagnostic, Analysis, Code, JoinTree};
 use ecrpq_graph::{GraphDb, NodeId};
 use ecrpq_query::{Ecrpq, QueryMeasures};
 use std::collections::BTreeSet;
@@ -148,8 +148,16 @@ pub enum Strategy {
     /// Lemma 4.3 materialization + tree-decomposition CQ evaluation (the
     /// tractable pipeline of Theorem 3.2(3)).
     CqTreedec,
+    /// Yannakakis semijoin program over the join tree of the α-acyclic CQ
+    /// reduction, followed by output-sensitive streaming enumeration —
+    /// used when materialization is too large but the reduction is
+    /// acyclic, so globally consistent domains are computable by two
+    /// semijoin passes without materializing any relation.
+    Yannakakis,
     /// Direct product search (the Prop. 2.2 algorithm) — used when
-    /// materialization would be too large.
+    /// materialization would be too large and the CQ reduction is cyclic
+    /// (or a single merged atom, which the independent sweeps already
+    /// handle optimally).
     DirectProduct,
 }
 
@@ -174,6 +182,10 @@ pub struct Plan {
     /// the query unsatisfiable and [`evaluate`]/[`answers`] return their
     /// empty result without touching the database.
     pub analysis: Analysis,
+    /// The GYO join tree of the CQ reduction, present exactly when
+    /// [`Plan::strategy`] is [`Strategy::Yannakakis`]. Atom indices match
+    /// the merged-atom indices of [`PreparedQuery::build`].
+    pub join_tree: Option<JoinTree>,
     /// The text the query was parsed from, for caret rendering in
     /// [`Plan::explain`] (`None` for programmatic queries).
     source: Option<String>,
@@ -202,10 +214,25 @@ impl Plan {
                 "strategy: Lemma 4.1 merge → Lemma 4.3 materialization (≈{:.1e} tuples) → tree-decomposition CQ evaluation\n",
                 self.estimated_tuples
             )),
+            Strategy::Yannakakis => out.push_str(&format!(
+                "strategy: Yannakakis semijoin program on the acyclic CQ reduction (materialization of ≈{:.1e} tuples over budget) → streaming enumeration\n",
+                self.estimated_tuples
+            )),
             Strategy::DirectProduct => out.push_str(&format!(
                 "strategy: direct product search (materialization of ≈{:.1e} tuples over budget)\n",
                 self.estimated_tuples
             )),
+        }
+        if let Some(tree) = &self.join_tree {
+            out.push_str(&format!("join tree (merged-atom arcs): {}\n", tree.arcs()));
+        }
+        for d in &self.analysis.diagnostics {
+            if d.code == Code::SubsumedAtom {
+                out.push_str(&format!(
+                    "rewrite: {} — atom dropped before evaluation\n",
+                    d.message
+                ));
+            }
         }
         if self.analysis.has_errors() {
             out.push_str(
@@ -241,7 +268,7 @@ pub fn plan(db: &GraphDb, query: &Ecrpq) -> Plan {
         cc_hedge: Some(measures.cc_hedge),
         treewidth: Some(measures.treewidth),
     };
-    let (strategy, estimated_tuples) = choose_strategy(db, &measures);
+    let (strategy, estimated_tuples, join_tree) = choose_strategy(db, query, &measures);
     Plan {
         measures,
         combined: combined_regime(&bounds),
@@ -250,23 +277,47 @@ pub fn plan(db: &GraphDb, query: &Ecrpq) -> Plan {
         estimated_tuples,
         default_budget: regime_budget(budget_regime(&measures)),
         analysis,
+        join_tree,
         source: query.source().map(str::to_owned),
     }
 }
 
-/// Strategy selection from the measures alone: the CQ pipeline
-/// materializes ≈ `|V|^{2k}` tuples per component; cap the budget and
-/// otherwise search directly.
-fn choose_strategy(db: &GraphDb, measures: &QueryMeasures) -> (Strategy, f64) {
+/// Strategy selection: the CQ pipeline materializes ≈ `|V|^{2k}` tuples
+/// per component — affordable under the tuple budget (the Theorem 3.2(3)
+/// pipeline). Over budget, structure decides: an α-acyclic CQ reduction
+/// with at least two merged atoms gets the Yannakakis semijoin program
+/// with streaming enumeration, everything else the direct product search.
+fn choose_strategy(
+    db: &GraphDb,
+    query: &Ecrpq,
+    measures: &QueryMeasures,
+) -> (Strategy, f64, Option<JoinTree>) {
     const TUPLE_BUDGET: f64 = 5e7;
     let nv = db.num_nodes().max(1) as f64;
     let estimated_tuples = nv.powi(2 * measures.cc_vertex.max(1) as i32);
-    let strategy = if estimated_tuples <= TUPLE_BUDGET {
-        Strategy::CqTreedec
-    } else {
-        Strategy::DirectProduct
-    };
-    (strategy, estimated_tuples)
+    if estimated_tuples <= TUPLE_BUDGET {
+        return (Strategy::CqTreedec, estimated_tuples, None);
+    }
+    let (strategy, tree) = large_db_plan(query);
+    (strategy, estimated_tuples, tree)
+}
+
+/// The strategy the planner picks when the database is too large for the
+/// Lemma 4.3 materialization, decided from the query structure alone
+/// (no database needed): [`Strategy::Yannakakis`] when the CQ reduction
+/// is α-acyclic with at least two merged atoms (a single atom gains
+/// nothing over the independent semijoin sweeps), otherwise
+/// [`Strategy::DirectProduct`].
+pub fn large_db_strategy(query: &Ecrpq) -> Strategy {
+    large_db_plan(query).0
+}
+
+/// [`large_db_strategy`] plus the join tree that licenses Yannakakis.
+fn large_db_plan(query: &Ecrpq) -> (Strategy, Option<JoinTree>) {
+    match ecrpq_analyze::acyclic_join_tree(query) {
+        Some(tree) if tree.parent.len() >= 2 => (Strategy::Yannakakis, Some(tree)),
+        _ => (Strategy::DirectProduct, None),
+    }
 }
 
 /// Evaluates a Boolean ECRPQ: analyzes the query (errors short-circuit to
@@ -293,13 +344,18 @@ pub fn evaluate_with_stats(db: &GraphDb, query: &Ecrpq) -> (bool, ProductStats) 
         crate::optimize::Simplified::ConstFalse => return (false, ProductStats::default()),
         crate::optimize::Simplified::Query(q) => q,
     };
-    let (strategy, _) = choose_strategy(db, &query.measures());
+    let (strategy, _, join_tree) = choose_strategy(db, &query, &query.measures());
     // lint:allow(unwrap): the optimizer only emits valid queries
     let prepared = PreparedQuery::build(&query).expect("invalid query");
     match strategy {
         Strategy::CqTreedec => {
             let (cq, rdb, _) = ecrpq_to_cq(db, &prepared);
             (eval_cq_treedec(&rdb, &cq), ProductStats::default())
+        }
+        Strategy::Yannakakis => {
+            // lint:allow(unwrap): Yannakakis is only chosen with a tree
+            let tree = join_tree.expect("join tree");
+            engine::eval_yannakakis_with_stats(db, &prepared, &tree)
         }
         Strategy::DirectProduct => eval_product_with_stats(db, &prepared),
     }
@@ -348,13 +404,18 @@ pub fn answers_with_stats(db: &GraphDb, query: &Ecrpq) -> (BTreeSet<Vec<NodeId>>
         }
         crate::optimize::Simplified::Query(q) => q,
     };
-    let (strategy, _) = choose_strategy(db, &query.measures());
+    let (strategy, _, join_tree) = choose_strategy(db, &query, &query.measures());
     // lint:allow(unwrap): the optimizer only emits valid queries
     let prepared = PreparedQuery::build(&query).expect("invalid query");
     match strategy {
         Strategy::CqTreedec => {
             let (cq, rdb, _) = ecrpq_to_cq(db, &prepared);
             (answers_cq_treedec(&rdb, &cq), ProductStats::default())
+        }
+        Strategy::Yannakakis => {
+            // lint:allow(unwrap): Yannakakis is only chosen with a tree
+            let tree = join_tree.expect("join tree");
+            engine::answers_yannakakis_with_stats(db, &prepared, &tree, &EvalOptions::sequential())
         }
         Strategy::DirectProduct => answers_product_with_stats_layout(db, &prepared, Layout::Flat),
     }
@@ -398,7 +459,7 @@ pub fn evaluate_governed(db: &GraphDb, query: &Ecrpq, opts: &EvalOptions) -> Out
         crate::optimize::Simplified::Query(q) => q,
     };
     let measures = query.measures();
-    let (strategy, _) = choose_strategy(db, &measures);
+    let (strategy, _, join_tree) = choose_strategy(db, &query, &measures);
     let opts = resolve_budget(opts, &measures);
     // lint:allow(unwrap): the optimizer only emits valid queries
     let prepared = PreparedQuery::build(&query).expect("invalid query");
@@ -406,6 +467,11 @@ pub fn evaluate_governed(db: &GraphDb, query: &Ecrpq, opts: &EvalOptions) -> Out
         Strategy::CqTreedec => {
             let (cq, rdb, _) = ecrpq_to_cq(db, &prepared);
             engine::eval_cq_treedec_governed(&rdb, &cq, &opts)
+        }
+        Strategy::Yannakakis => {
+            // lint:allow(unwrap): Yannakakis is only chosen with a tree
+            let tree = join_tree.expect("join tree");
+            engine::eval_yannakakis_governed(db, &prepared, &tree, &opts)
         }
         Strategy::DirectProduct => engine::eval_product_governed(db, &prepared, &opts),
     }
@@ -454,7 +520,7 @@ pub fn answers_governed_with_tracer<T: Tracer>(
         crate::optimize::Simplified::Query(q) => q,
     };
     let measures = query.measures();
-    let (strategy, _) = choose_strategy(db, &measures);
+    let (strategy, _, join_tree) = choose_strategy(db, &query, &measures);
     let opts = resolve_budget(opts, &measures);
     // lint:allow(unwrap): the optimizer only emits valid queries
     let prepared = PreparedQuery::build(&query).expect("invalid query");
@@ -462,6 +528,11 @@ pub fn answers_governed_with_tracer<T: Tracer>(
         Strategy::CqTreedec => {
             let (cq, rdb, _) = ecrpq_to_cq(db, &prepared);
             engine::answers_cq_treedec_governed_traced(&rdb, &cq, &opts, tracer)
+        }
+        Strategy::Yannakakis => {
+            // lint:allow(unwrap): Yannakakis is only chosen with a tree
+            let tree = join_tree.expect("join tree");
+            engine::answers_yannakakis_governed_traced(db, &prepared, &tree, &opts, tracer)
         }
         Strategy::DirectProduct => {
             engine::answers_product_governed_traced(db, &prepared, &opts, tracer)
@@ -673,6 +744,101 @@ mod tests {
         qb.set_free(&[x1]);
         let u = ecrpq_query::Uecrpq::from_disjuncts(vec![qa.clone(), qb]);
         assert_eq!(answers_union(&db, &u), answers(&db, &qa));
+    }
+
+    /// A 100-node chain with a query whose CQ reduction has hyperedges
+    /// `{x,y}` (eq-length–merged pair) and `{y,z}` (unary atom):
+    /// `cc_vertex = 2`, so 100⁴ = 1e8 tuples is over budget, and the
+    /// reduction is α-acyclic with two merged atoms.
+    fn chain_db_acyclic_query() -> (GraphDb, Ecrpq) {
+        let mut db = GraphDb::new();
+        let nodes: Vec<_> = (0..100).map(|i| db.add_node(&format!("n{i}"))).collect();
+        for i in 1..100 {
+            db.add_edge(nodes[i - 1], 'a', nodes[i]);
+        }
+        let mut q = Ecrpq::new(db.alphabet().clone());
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let z = q.node_var("z");
+        let p1 = q.path_atom(x, "p1", y);
+        let p2 = q.path_atom(x, "p2", y);
+        let r = q.path_atom(y, "r", z);
+        q.rel_atom(
+            "eq_len",
+            Arc::new(relations::eq_length(2, db.alphabet().len())),
+            &[p1, p2],
+        );
+        q.rel_atom(
+            "a",
+            Arc::new(relations::word_relation(&[0], db.alphabet().len())),
+            &[r],
+        );
+        q.set_free(&[x, z]);
+        (db, q)
+    }
+
+    #[test]
+    fn acyclic_over_budget_picks_yannakakis() {
+        let (db, q) = chain_db_acyclic_query();
+        let p = plan(&db, &q);
+        assert_eq!(p.strategy, Strategy::Yannakakis);
+        let tree = p.join_tree.as_ref().expect("join tree on the plan");
+        assert_eq!(tree.parent.len(), 2);
+        assert!(p.explain().contains("Yannakakis"), "{}", p.explain());
+        assert!(p.explain().contains("join tree"), "{}", p.explain());
+    }
+
+    #[test]
+    fn yannakakis_answers_match_direct_product() {
+        let (db, q) = chain_db_acyclic_query();
+        let prepared = PreparedQuery::build(&q).unwrap();
+        let direct = crate::product::answers_product(&db, &prepared);
+        assert!(!direct.is_empty());
+        assert_eq!(answers(&db, &q), direct);
+        assert!(evaluate(&db, &q));
+    }
+
+    #[test]
+    fn large_db_strategy_follows_acyclicity() {
+        let (_, acyclic) = chain_db_acyclic_query();
+        assert_eq!(large_db_strategy(&acyclic), Strategy::Yannakakis);
+        // cyclic reduction: three unary-constrained atoms closing a triangle
+        let mut q = Ecrpq::new(acyclic.alphabet().clone());
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let z = q.node_var("z");
+        let p = q.path_atom(x, "p", y);
+        let r = q.path_atom(y, "r", z);
+        let s = q.path_atom(z, "s", x);
+        let w = Arc::new(relations::word_relation(&[0], 1));
+        q.rel_atom("lp", w.clone(), &[p]);
+        q.rel_atom("lr", w.clone(), &[r]);
+        q.rel_atom("ls", w, &[s]);
+        assert_eq!(large_db_strategy(&q), Strategy::DirectProduct);
+        // single merged atom: trivially acyclic, but the tree has one
+        // node — the independent sweeps already do the whole job
+        let (_, single) = small_db_and_query();
+        assert_eq!(large_db_strategy(&single), Strategy::DirectProduct);
+    }
+
+    #[test]
+    fn explain_notes_subsumption_rewrite() {
+        let mut db = GraphDb::new();
+        let u = db.add_node("u");
+        let v = db.add_node("v");
+        db.add_edge(u, 'a', v);
+        let mut q = Ecrpq::new(db.alphabet().clone());
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let p1 = q.path_atom(x, "p1", y);
+        let p2 = q.path_atom(x, "p2", y);
+        q.set_free(&[x, y]);
+        let n = db.alphabet().len();
+        q.rel_atom("eq", Arc::new(relations::equality(n)), &[p1, p2]);
+        q.rel_atom("el", Arc::new(relations::eq_length(2, n)), &[p1, p2]);
+        let text = plan(&db, &q).explain();
+        assert!(text.contains("rewrite:"), "{text}");
+        assert!(text.contains("subsumed"), "{text}");
     }
 
     #[test]

@@ -481,6 +481,21 @@ impl SharedTables {
         governor: Option<&Governor>,
         tracer: &T,
     ) -> Self {
+        Self::build_traced_with(db, query, layout, governor, tracer, None)
+    }
+
+    /// As [`SharedTables::build_traced`], optionally upgrading the
+    /// independent semijoin sweeps to the full Yannakakis semijoin
+    /// program over `join_tree` (the `Strategy::Yannakakis` preparation:
+    /// globally consistent domains instead of per-atom ones).
+    pub(crate) fn build_traced_with<T: Tracer>(
+        db: &GraphDb,
+        query: &PreparedQuery,
+        layout: Layout,
+        governor: Option<&Governor>,
+        tracer: &T,
+        join_tree: Option<&ecrpq_analyze::JoinTree>,
+    ) -> Self {
         let prepare_span = PhaseSpan::start(tracer, Phase::Prepare);
         assert_eq!(
             db.alphabet().len(),
@@ -557,7 +572,11 @@ impl SharedTables {
         prepare_span.finish(tracer);
         // BitParallel prunes exactly like Flat: identical domains are what
         // make the two layouts' answer sets bit-identical by construction
-        let pruned = if matches!(layout, Layout::Flat | Layout::BitParallel) {
+        let pruned = if let Some(tree) = join_tree {
+            let pruned = semijoin::yannakakis_domains(db, query, &automata, tree, governor, tracer);
+            tracer.prune(Phase::YannakakisDown, pruned.pruned);
+            pruned
+        } else if matches!(layout, Layout::Flat | Layout::BitParallel) {
             let semijoin_span = PhaseSpan::start(tracer, Phase::Semijoin);
             let pruned = semijoin::prune_domains(db, query, &automata, governor, tracer);
             tracer.prune(Phase::Semijoin, pruned.pruned);
@@ -581,7 +600,7 @@ impl SharedTables {
 
     /// The pruned enumeration domain of a node variable, if constrained.
     #[inline]
-    fn domain(&self, var: u32) -> Option<&[NodeId]> {
+    pub(crate) fn domain(&self, var: u32) -> Option<&[NodeId]> {
         self.domains.get(var as usize).and_then(|d| d.as_deref())
     }
 
@@ -738,7 +757,7 @@ impl<'a, T: Tracer> Evaluator<'a, T> {
     /// Combined cooperative-cancellation check: the parallel early-success
     /// flag or the budget governor's stop flag.
     #[inline]
-    fn should_stop(&self) -> bool {
+    pub(crate) fn should_stop(&self) -> bool {
         self.stop.is_some_and(|s| s.load(Ordering::Relaxed)) || self.pacer.stopped()
     }
 
@@ -980,7 +999,7 @@ impl<'a, T: Tracer> Evaluator<'a, T> {
 
     /// Memoized product-reachability check for one merged atom with fixed
     /// endpoints.
-    fn feasible(&mut self, atom_idx: usize, starts: &[NodeId], ends: &[NodeId]) -> bool {
+    pub(crate) fn feasible(&mut self, atom_idx: usize, starts: &[NodeId], ends: &[NodeId]) -> bool {
         // one work unit per check keeps the deadline honoured even when
         // every check is a closure reject or a memo hit (no BFS configs)
         let _ = self.pacer.tick_traced(&self.tracer, Phase::ProductBfs);

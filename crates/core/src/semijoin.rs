@@ -19,10 +19,23 @@
 //! outside the pruned domain can never satisfy the atom, and the answer
 //! set is bit-identical with pruning on or off (the differential suite
 //! asserts this).
+//!
+//! When the CQ reduction is α-acyclic ([`ecrpq_analyze::acyclic`]), the
+//! independent sweeps upgrade to a full *Yannakakis semijoin program*
+//! ([`yannakakis_domains`]): the same sweeps, but *seeded* with the
+//! current domain of the swept endpoint, run bottom-up then top-down over
+//! the join tree. A seeded forward sweep computes exactly the semijoin
+//! message "targets reachable from the currently-allowed sources"; the
+//! seeded backward sweep computes "sources that reach a currently-allowed
+//! target". After both passes every domain is *globally* consistent — on
+//! single-track (tree-shaped) queries this is arc consistency on a tree,
+//! so the subsequent enumeration is backtrack-free and its delay is
+//! bounded by the domain sizes rather than the database size.
 
 use crate::governor::{Governor, Pacer};
 use crate::prepare::PreparedQuery;
 use crate::trace::{Phase, Tracer};
+use ecrpq_analyze::JoinTree;
 use ecrpq_automata::{BitSet, Nfa, Row, StateId, Track};
 use ecrpq_graph::{GraphDb, NodeId};
 
@@ -77,8 +90,17 @@ pub(crate) fn prune_domains<T: Tracer>(
             continue; // too large to sweep; this atom constrains nothing
         }
         for (i, &(src, dst)) in atom.endpoints.iter().enumerate() {
-            let Some((sources_ok, targets_ok)) = track_feasible(db, nfa, i, nv, governor, tracer)
-            else {
+            let Some((sources_ok, targets_ok)) = track_feasible_within(
+                db,
+                nfa,
+                i,
+                nv,
+                None,
+                None,
+                governor,
+                tracer,
+                Phase::Semijoin,
+            ) else {
                 break 'atoms; // budget tripped mid-sweep: stop pruning
             };
             for (var, ok) in [(src, sources_ok), (dst, targets_ok)] {
@@ -90,6 +112,83 @@ pub(crate) fn prune_domains<T: Tracer>(
             }
         }
     }
+    finish_domains(sets, nv)
+}
+
+/// The Yannakakis semijoin program over an α-acyclic join tree: the same
+/// per-(atom, track) sweeps as [`prune_domains`], but *seeded* with the
+/// current domains of the swept endpoints and scheduled bottom-up
+/// (`tree.order` forwards, [`Phase::YannakakisUp`]) then top-down
+/// (backwards, [`Phase::YannakakisDown`]). Each seeded sweep is a
+/// directed semijoin message along a join-tree arc; after both passes
+/// every constrained variable's domain contains only globally consistent
+/// values.
+///
+/// Soundness under budgets matches `prune_domains`: the domain sets
+/// always over-approximate the answer-participating values (a seeded
+/// sweep only propagates that invariant), and a sweep cut short by the
+/// governor refines nothing further — the current, weaker domains are
+/// returned as-is.
+pub(crate) fn yannakakis_domains<T: Tracer>(
+    db: &GraphDb,
+    query: &PreparedQuery,
+    automata: &[Nfa<Row>],
+    tree: &JoinTree,
+    governor: Option<&Governor>,
+    tracer: &T,
+) -> PrunedDomains {
+    let nv = db.num_nodes();
+    let mut sets: Vec<Option<BitSet>> = vec![None; query.num_node_vars];
+    for (phase, bottom_up) in [(Phase::YannakakisUp, true), (Phase::YannakakisDown, false)] {
+        let span = crate::trace::PhaseSpan::start(tracer, phase);
+        let order: Vec<usize> = if bottom_up {
+            tree.order.clone()
+        } else {
+            tree.order.iter().rev().copied().collect()
+        };
+        let mut tripped = false;
+        'atoms: for ai in order {
+            let (atom, nfa) = (&query.atoms[ai], &automata[ai]);
+            let nq = nfa.num_states();
+            if (nq as u128) * (nv as u128) > MAX_TRACK_SPACE {
+                continue; // too large to sweep; this atom constrains nothing
+            }
+            for (i, &(src, dst)) in atom.endpoints.iter().enumerate() {
+                let Some((sources_ok, targets_ok)) = track_feasible_within(
+                    db,
+                    nfa,
+                    i,
+                    nv,
+                    sets[src.0 as usize].as_ref(),
+                    sets[dst.0 as usize].as_ref(),
+                    governor,
+                    tracer,
+                    phase,
+                ) else {
+                    // budget tripped: keep current (sound) domains
+                    tripped = true;
+                    break 'atoms;
+                };
+                for (var, ok) in [(src, sources_ok), (dst, targets_ok)] {
+                    let slot = &mut sets[var.0 as usize];
+                    match slot {
+                        Some(s) => s.intersect_with(&ok),
+                        None => *slot = Some(ok),
+                    }
+                }
+            }
+        }
+        span.finish(tracer);
+        if tripped {
+            break;
+        }
+    }
+    finish_domains(sets, nv)
+}
+
+/// Converts per-variable bit sets into the sorted-domain representation
+/// shared by both pruning passes, tallying kept/pruned counts.
+fn finish_domains(sets: Vec<Option<BitSet>>, nv: usize) -> PrunedDomains {
     let mut kept = 0u64;
     let mut pruned = 0u64;
     let domains = sets
@@ -111,18 +210,28 @@ pub(crate) fn prune_domains<T: Tracer>(
 }
 
 /// Forward/backward reachability over the product of the track-`i`
-/// projection of `nfa` with the database. Returns `(sources_ok,
-/// targets_ok)`: vertices from which acceptance is projection-reachable,
-/// and vertices the projection can occupy in an accepting configuration —
-/// or `None` when the budget governor tripped mid-sweep (the partial sets
-/// must not be used: they under-approximate and would over-prune).
-fn track_feasible<T: Tracer>(
+/// projection of `nfa` with the database, optionally *seeded*: the
+/// forward sweep starts only from source vertices in `src_seed`, the
+/// backward sweep only from target vertices in `dst_seed` (`None` = the
+/// full vertex set, recovering the independent sweep). Returns
+/// `(sources_ok, targets_ok)`: `sources_ok` = vertices from which the
+/// projection can reach acceptance *at a `dst_seed` vertex*, and
+/// `targets_ok` = vertices where the projection can accept having
+/// *started from a `src_seed` vertex* — the two directed semijoin
+/// messages of a Yannakakis arc. Returns `None` when the budget
+/// governor tripped mid-sweep (the partial sets must not be used: they
+/// under-approximate and would over-prune).
+#[allow(clippy::too_many_arguments)]
+fn track_feasible_within<T: Tracer>(
     db: &GraphDb,
     nfa: &Nfa<Row>,
     track: usize,
     nv: usize,
+    src_seed: Option<&BitSet>,
+    dst_seed: Option<&BitSet>,
     governor: Option<&Governor>,
     tracer: &T,
+    phase: Phase,
 ) -> Option<(BitSet, BitSet)> {
     let mut pacer = Pacer::new(governor);
     let nq = nfa.num_states();
@@ -147,18 +256,18 @@ fn track_feasible<T: Tracer>(
     let mut stack: Vec<(StateId, NodeId)> = Vec::new();
     for &q0 in nfa.initial_states() {
         for v in 0..nv {
-            if seen.insert(idx(q0, v)) {
+            if src_seed.is_none_or(|s| s.contains(v)) && seen.insert(idx(q0, v)) {
                 stack.push((q0, v as NodeId));
             }
         }
     }
     while let Some((q, v)) = stack.pop() {
         // cooperative budget check, amortized to every ~4k pops
-        if pacer.tick_traced(tracer, Phase::Semijoin) {
+        if pacer.tick_traced(tracer, phase) {
             return None;
         }
         if T::ENABLED {
-            tracer.count(Phase::Semijoin, 1);
+            tracer.count(phase, 1);
         }
         for &(t, q2) in &fwd[q as usize] {
             match t {
@@ -194,7 +303,7 @@ fn track_feasible<T: Tracer>(
     for q in 0..nq as StateId {
         if nfa.is_final(q) {
             for v in 0..nv {
-                if seen_b.insert(idx(q, v)) {
+                if dst_seed.is_none_or(|s| s.contains(v)) && seen_b.insert(idx(q, v)) {
                     stack.push((q, v as NodeId));
                 }
             }
@@ -202,11 +311,11 @@ fn track_feasible<T: Tracer>(
     }
     while let Some((q2, u)) = stack.pop() {
         // cooperative budget check, amortized to every ~4k pops
-        if pacer.tick_traced(tracer, Phase::Semijoin) {
+        if pacer.tick_traced(tracer, phase) {
             return None;
         }
         if T::ENABLED {
-            tracer.count(Phase::Semijoin, 1);
+            tracer.count(phase, 1);
         }
         for &(t, q) in &rev[q2 as usize] {
             match t {
@@ -341,5 +450,107 @@ mod tests {
             assert_eq!(d.as_deref(), Some(&[u, v][..]));
         }
         assert_eq!(pd.pruned, 0);
+    }
+
+    /// Two language atoms `a` on x→y and y→z over the chain u→v→w: the
+    /// independent sweeps leave D(x) = {u,v} (both source an `a`-edge),
+    /// but the Yannakakis top-down pass propagates D(y) = {v} back
+    /// through the first atom, so D(x) shrinks to exactly {u} and D(z)
+    /// to {w} — globally consistent domains the independent pass cannot
+    /// reach.
+    #[test]
+    fn yannakakis_is_strictly_tighter_than_independent_sweeps() {
+        let mut db = GraphDb::new();
+        let u = db.add_node("u");
+        let v = db.add_node("v");
+        let w = db.add_node("w");
+        db.add_edge(u, 'a', v);
+        db.add_edge(v, 'a', w);
+        let mut q = Ecrpq::new(db.alphabet().clone());
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let z = q.node_var("z");
+        let p = q.path_atom(x, "p", y);
+        let r = q.path_atom(y, "r", z);
+        let a_word = Arc::new(relations::word_relation(&[0], 1));
+        q.rel_atom("la", a_word.clone(), &[p]);
+        q.rel_atom("lb", a_word, &[r]);
+        let prepared = PreparedQuery::build(&q).unwrap();
+        let automata = trimmed(&prepared);
+        let tracer = crate::trace::NoopTracer;
+
+        let indep = prune_domains(&db, &prepared, &automata, None, &tracer);
+        assert_eq!(indep.domains[0].as_deref(), Some(&[u, v][..]));
+        assert_eq!(indep.domains[1].as_deref(), Some(&[v][..]));
+        assert_eq!(indep.domains[2].as_deref(), Some(&[v, w][..]));
+
+        let tree = ecrpq_analyze::acyclic_join_tree(&q).expect("chain is acyclic");
+        let yan = yannakakis_domains(&db, &prepared, &automata, &tree, None, &tracer);
+        assert_eq!(yan.domains[0].as_deref(), Some(&[u][..]));
+        assert_eq!(yan.domains[1].as_deref(), Some(&[v][..]));
+        assert_eq!(yan.domains[2].as_deref(), Some(&[w][..]));
+        assert!(yan.kept < indep.kept);
+    }
+
+    /// Seeding with the full domain must reproduce the independent
+    /// sweeps exactly — the Yannakakis program on a single-atom tree
+    /// degenerates to `prune_domains`.
+    #[test]
+    fn yannakakis_on_single_atom_matches_independent() {
+        let mut db = GraphDb::new();
+        let u = db.add_node("u");
+        let v = db.add_node("v");
+        let w = db.add_node("w");
+        db.add_edge(u, 'a', v);
+        db.add_edge(v, 'a', w);
+        let mut q = Ecrpq::new(db.alphabet().clone());
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let p = q.path_atom(x, "p", y);
+        q.rel_atom("aa", Arc::new(relations::word_relation(&[0, 0], 1)), &[p]);
+        let prepared = PreparedQuery::build(&q).unwrap();
+        let automata = trimmed(&prepared);
+        let tracer = crate::trace::NoopTracer;
+        let indep = prune_domains(&db, &prepared, &automata, None, &tracer);
+        let tree = ecrpq_analyze::acyclic_join_tree(&q).unwrap();
+        let yan = yannakakis_domains(&db, &prepared, &automata, &tree, None, &tracer);
+        assert_eq!(yan.domains, indep.domains);
+    }
+
+    /// An exhausted configuration budget stops refinement but keeps the
+    /// domains sound (possibly fully unconstrained) — never empty.
+    #[test]
+    fn yannakakis_budget_trip_keeps_sound_domains() {
+        use crate::governor::{Governor, ResourceBudget};
+        let mut db = GraphDb::new();
+        let u = db.add_node("u");
+        let v = db.add_node("v");
+        db.add_edge(u, 'a', v);
+        db.add_edge(v, 'a', u);
+        let mut q = Ecrpq::new(db.alphabet().clone());
+        let x = q.node_var("x");
+        let y = q.node_var("y");
+        let z = q.node_var("z");
+        let p = q.path_atom(x, "p", y);
+        let r = q.path_atom(y, "r", z);
+        let a_word = Arc::new(relations::word_relation(&[0], 1));
+        q.rel_atom("la", a_word.clone(), &[p]);
+        q.rel_atom("lb", a_word, &[r]);
+        let prepared = PreparedQuery::build(&q).unwrap();
+        let automata = trimmed(&prepared);
+        let tree = ecrpq_analyze::acyclic_join_tree(&q).unwrap();
+        let governor = Governor::new(&ResourceBudget::default().with_max_configurations(0));
+        let yan = yannakakis_domains(
+            &db,
+            &prepared,
+            &automata,
+            &tree,
+            Some(&governor),
+            &crate::trace::NoopTracer,
+        );
+        // both vertices stay allowed wherever a domain was installed
+        for d in yan.domains.iter().flatten() {
+            assert_eq!(d, &vec![u, v]);
+        }
     }
 }

@@ -1,7 +1,8 @@
 //! Phase-scoped observability: tracers, timers, and the metrics registry.
 //!
-//! Evaluation time is spent in six phases (preparation, semijoin pruning,
-//! product BFS, odometer expansion, CQ join, tree-decomposition bag
+//! Evaluation time is spent in nine phases (preparation, semijoin
+//! pruning, the two Yannakakis semijoin passes, product BFS, odometer
+//! expansion, streaming enumeration, CQ join, tree-decomposition bag
 //! population); the complexity theorems of the paper predict *which* phase
 //! dominates in each regime, so the experiments need a per-phase split.
 //! This module provides it without any cost to untraced runs:
@@ -37,10 +38,16 @@ pub enum Phase {
     Prepare,
     /// The semijoin endpoint-domain pruning sweeps.
     Semijoin,
+    /// The bottom-up (leaves-to-root) Yannakakis semijoin pass.
+    YannakakisUp,
+    /// The top-down (root-to-leaves) Yannakakis semijoin pass.
+    YannakakisDown,
     /// The product-graph BFS of the Lemma 4.2 / Prop. 2.2 search.
     ProductBfs,
     /// Free-tuple odometer expansion of found assignments into answers.
     Odometer,
+    /// Streaming answer enumeration (the `AnswerIter` backtracker).
+    Enumerate,
     /// Backtracking join over the materialized CQ.
     CqJoin,
     /// Tree-decomposition bag population and semijoin reduction.
@@ -49,11 +56,14 @@ pub enum Phase {
 
 impl Phase {
     /// All phases, in rendering order.
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 9] = [
         Phase::Prepare,
         Phase::Semijoin,
+        Phase::YannakakisUp,
+        Phase::YannakakisDown,
         Phase::ProductBfs,
         Phase::Odometer,
+        Phase::Enumerate,
         Phase::CqJoin,
         Phase::TreedecBags,
     ];
@@ -71,8 +81,11 @@ impl Phase {
         match self {
             Phase::Prepare => "prepare",
             Phase::Semijoin => "semijoin",
+            Phase::YannakakisUp => "yanna-up",
+            Phase::YannakakisDown => "yanna-down",
             Phase::ProductBfs => "product-bfs",
             Phase::Odometer => "odometer",
+            Phase::Enumerate => "enumerate",
             Phase::CqJoin => "cq-join",
             Phase::TreedecBags => "treedec-bags",
         }

@@ -172,6 +172,88 @@ pub fn planted_power_law_instance(
     (g, q, srcs)
 }
 
+/// Decoy-cycle length in [`planted_acyclic_instance`]: each product-BFS
+/// feasibility check from a decoy vertex sweeps its whole cycle (plus
+/// chords) before failing, so this constant sets the per-check cost the
+/// independent-sweep baseline pays on every decoy.
+const ACYCLIC_DECOY_CYCLE: usize = 256;
+
+/// Length of the `b`-chain between the join vertex and the sink in
+/// [`planted_acyclic_instance`].
+const ACYCLIC_MID: usize = 32;
+
+/// The planted acyclic low-output instance of experiment E20: the query
+///
+/// ```text
+/// q(x, z) :- x -[p]-> y, y -[r]-> z, p ∈ aa*, r ∈ bb*d
+/// ```
+///
+/// has the α-acyclic CQ reduction `{x,y} – {y,z}`, so on a large database
+/// the planner runs the Yannakakis semijoin program with streaming
+/// enumeration. The database is `n` decoy vertices arranged in `a`-cycles
+/// (with random intra-cycle chords), plus a planted `a`-chain of `k`
+/// heads `c_0 → ⋯ → c_{k−1}` entering a `b`-chain that ends in the single
+/// `d`-edge to the sink. Independent per-atom semijoin sweeps keep every
+/// decoy in `D(x)` — each has `aa*` paths, just none that reach the join
+/// vertex — so the product baseline pays one cycle-sweeping BFS per decoy;
+/// the Yannakakis top-down pass propagates `D(y)` backwards and shrinks
+/// `D(x)` to the `k` chain heads before enumeration starts. The answer set
+/// is exactly `{(c_i, sink)}` and is returned as the third component.
+pub fn planted_acyclic_instance(
+    n: usize,
+    k: usize,
+    seed: u64,
+) -> (GraphDb, Ecrpq, std::collections::BTreeSet<Vec<NodeId>>) {
+    assert!(k >= 1 && n >= 2);
+    let mut alphabet = Alphabet::ascii_lower(4);
+    // lint:allow(unwrap): literal regexes over the fixed 4-letter alphabet
+    let lang_a = Regex::compile_str("aa*", &mut alphabet).expect("valid regex");
+    // lint:allow(unwrap): literal regex over the fixed 4-letter alphabet
+    let lang_bd = Regex::compile_str("bb*d", &mut alphabet).expect("valid regex");
+    let mut g = GraphDb::with_alphabet(alphabet.clone());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let a = g.alphabet_mut().intern('a');
+    // decoys: a-cycles with intra-cycle chords — no edge ever leaves a
+    // cycle, so no decoy reaches the planted join vertex
+    let first = g.add_nodes_anon(n);
+    let mut start = 0usize;
+    while start < n {
+        let len = ACYCLIC_DECOY_CYCLE.min(n - start);
+        for i in 0..len {
+            let v = first + (start + i) as NodeId;
+            let w = first + (start + (i + 1) % len) as NodeId;
+            g.add_edge_sym(v, a, w);
+        }
+        for _ in 0..len / 4 {
+            let u = first + (start + rng.gen_range(0..len)) as NodeId;
+            let v = first + (start + rng.gen_range(0..len)) as NodeId;
+            g.add_edge_sym(u, a, v);
+        }
+        start += len;
+    }
+    // planted structure: c_0 →a ⋯ →a c_{k−1} →a p_0 →b ⋯ →b p_{m−1} →d sink
+    let heads = g.add_nodes_anon(k);
+    let mid = g.add_nodes_anon(ACYCLIC_MID);
+    let sink = g.add_nodes_anon(1);
+    for i in 1..k {
+        g.add_edge(heads + i as NodeId - 1, 'a', heads + i as NodeId);
+    }
+    g.add_edge(heads + k as NodeId - 1, 'a', mid);
+    for i in 1..ACYCLIC_MID {
+        g.add_edge(mid + i as NodeId - 1, 'b', mid + i as NodeId);
+    }
+    g.add_edge(mid + ACYCLIC_MID as NodeId - 1, 'd', sink);
+    let mut q = Ecrpq::new(alphabet);
+    let x = q.node_var("x");
+    let y = q.node_var("y");
+    let z = q.node_var("z");
+    q.crpq_atom(x, &lang_a, "aa*", y);
+    q.crpq_atom(y, &lang_bd, "bb*d", z);
+    q.set_free(&[x, z]);
+    let answers = (0..k).map(|i| vec![heads + i as NodeId, sink]).collect();
+    (g, q, answers)
+}
+
 /// A random graph database: `n` vertices, ≈`avg_degree` outgoing edges per
 /// vertex, labels uniform over `num_labels` letters. Deterministic in
 /// `seed`.
@@ -342,6 +424,28 @@ mod tests {
         let answers = ecrpq_core::product::answers_product(&g, &prepared);
         let expect: std::collections::BTreeSet<Vec<u32>> = srcs.iter().map(|&s| vec![s]).collect();
         assert_eq!(answers, expect);
+    }
+
+    #[test]
+    fn planted_acyclic_answers_are_the_chain_heads() {
+        let (g, q, expected) = planted_acyclic_instance(600, 4, 11);
+        q.validate().unwrap();
+        assert_eq!(g.num_nodes(), 600 + 4 + super::ACYCLIC_MID + 1);
+        assert_eq!(expected.len(), 4);
+        let prepared = ecrpq_core::prepare::PreparedQuery::build(&q).unwrap();
+        let answers = ecrpq_core::product::answers_product(&g, &prepared);
+        assert_eq!(answers, expected);
+        // the CQ reduction is α-acyclic with two merged atoms, so the
+        // large-database strategy is the Yannakakis semijoin program
+        assert_eq!(
+            ecrpq_core::large_db_strategy(&q),
+            ecrpq_core::Strategy::Yannakakis
+        );
+        // deterministic in the seed
+        let (g2, _, _) = planted_acyclic_instance(600, 4, 11);
+        let e1: Vec<_> = g.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
     }
 
     #[test]

@@ -349,6 +349,69 @@ pub fn lint_scalar_probe(path: &str, content: &str) -> Vec<Violation> {
     out
 }
 
+/// Modules implementing the streaming answer enumerator: their contract
+/// is constant-memory, per-tuple yielding — materializing intermediate
+/// answer vectors there silently turns "streaming" back into "collect
+/// everything, then iterate", which is exactly what the enumerator
+/// replaces (and what lets `max_answers` overshoot).
+pub const ENUMERATOR_FILES: &[&str] = &["crates/core/src/enumerate.rs"];
+
+/// Marker that exempts one audited materialization from
+/// [`lint_materialize`]. Put it on the offending line or the line just
+/// above, with a word on why the allocation is bounded (e.g. once per
+/// query, O(#vars), not per answer).
+pub const ALLOW_MATERIALIZE: &str = "lint:allow(materialize)";
+
+/// Rule 8: no `.collect::<Vec` / `.push(` in an [`ENUMERATOR_FILES`]
+/// module — the streaming enumerator must yield tuples one at a time, not
+/// buffer them. Setup-time allocations (the step program, per-variable
+/// domains) are audited with the [`ALLOW_MATERIALIZE`] marker on the line
+/// or the line above; `#[cfg(test)]` blocks and comment lines are
+/// skipped.
+pub fn lint_materialize(path: &str, content: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let lines: Vec<&str> = content.lines().collect();
+    let mut i = 0usize;
+    let mut skip_depth: Option<i64> = None; // brace depth at cfg(test) entry
+    let mut depth: i64 = 0;
+    while i < lines.len() {
+        let line = lines[i];
+        let code = strip_comment(line);
+        if skip_depth.is_none() && code.contains("#[cfg(test)]") {
+            skip_depth = Some(depth);
+        }
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+        depth += opens - closes;
+        if let Some(d) = skip_depth {
+            if depth <= d && closes > 0 {
+                skip_depth = None;
+            }
+            i += 1;
+            continue;
+        }
+        for needle in [".collect::<Vec", ".push("] {
+            if code.contains(needle) {
+                let allowed = line.contains(ALLOW_MATERIALIZE)
+                    || (i > 0 && lines[i - 1].contains(ALLOW_MATERIALIZE));
+                if !allowed {
+                    out.push(Violation {
+                        file: path.to_string(),
+                        line: i + 1,
+                        message: format!(
+                            "`{needle}` in the streaming enumerator — yield tuples instead of \
+                             buffering them, or audit a setup-time allocation with \
+                             `// {ALLOW_MATERIALIZE}: why this is bounded`"
+                        ),
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
 /// Drops a trailing `// …` comment (naive: does not parse string
 /// literals, which is fine for the policy rules above).
 fn strip_comment(line: &str) -> &str {
@@ -588,6 +651,43 @@ mod tests {
 }
 ";
         assert!(lint_scalar_probe("f", test_only).is_empty());
+    }
+
+    #[test]
+    fn materialize_fires_in_enumerator_code() {
+        let bad = "\
+fn drain() {
+    let all = answers.iter().collect::<Vec<_>>();
+    buffer.push(tuple);
+}
+";
+        let v = lint_materialize("crates/core/src/enumerate.rs", bad);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[1].line, 3);
+        assert!(v[0].message.contains("streaming enumerator"));
+    }
+
+    #[test]
+    fn materialize_respects_marker_tests_and_comments() {
+        let audited = "\
+fn build() {
+    // lint:allow(materialize): once per query, O(#vars), not per answer
+    let order = tree_order.collect::<Vec<_>>();
+    steps.push(step); // lint:allow(materialize): setup-time step program
+}
+";
+        assert!(lint_materialize("f", audited).is_empty());
+        assert!(lint_materialize("f", "// .push( in prose\n").is_empty());
+        let test_only = "\
+#[cfg(test)]
+mod tests {
+    fn t() {
+        got.push(ans);
+    }
+}
+";
+        assert!(lint_materialize("f", test_only).is_empty());
     }
 
     #[test]

@@ -7,9 +7,10 @@
 mod lint;
 
 use lint::{
-    lint_budget_checkpoints, lint_default_hasher, lint_forbid_unsafe, lint_raw_clock,
-    lint_scalar_probe, lint_tracked_target, lint_unwrap, Violation, BITPARALLEL_HOT_FILES,
-    BUDGET_HOT_FILES, CLOCK_HOT_FILES, HOT_PATH_FILES, OWN_CRATES,
+    lint_budget_checkpoints, lint_default_hasher, lint_forbid_unsafe, lint_materialize,
+    lint_raw_clock, lint_scalar_probe, lint_tracked_target, lint_unwrap, Violation,
+    BITPARALLEL_HOT_FILES, BUDGET_HOT_FILES, CLOCK_HOT_FILES, ENUMERATOR_FILES, HOT_PATH_FILES,
+    OWN_CRATES,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -145,18 +146,32 @@ fn run_lint() -> ExitCode {
         }
     }
 
+    // Rule 8: the streaming enumerator must not buffer answers — no
+    // `.collect::<Vec` / `.push(` there (or carries an audit marker).
+    for hot in ENUMERATOR_FILES {
+        let path = root.join(hot);
+        match std::fs::read_to_string(&path) {
+            Ok(content) => violations.extend(lint_materialize(hot, &content)),
+            Err(e) => {
+                eprintln!("xtask: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     for v in &violations {
         println!("{v}");
     }
     if violations.is_empty() {
         println!(
             "xtask lint: clean ({} entry points, {} hot files, {} budget-hot files, \
-             {} clock-hot files, {} kernel files, {} library files)",
+             {} clock-hot files, {} kernel files, {} enumerator files, {} library files)",
             entries.len(),
             HOT_PATH_FILES.len(),
             BUDGET_HOT_FILES.len(),
             CLOCK_HOT_FILES.len(),
             BITPARALLEL_HOT_FILES.len(),
+            ENUMERATOR_FILES.len(),
             lib_sources.len()
         );
         ExitCode::SUCCESS

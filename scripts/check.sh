@@ -36,6 +36,16 @@ diff <(grep -o '"[a-z_]*":' target/e19_smoke.json | sort -u) \
      <(grep -o '"[a-z_]*":' BENCH_bitparallel.json | sort -u) \
   || { echo "E19 JSON schema drifted from BENCH_bitparallel.json"; exit 1; }
 
+echo "== E20 smoke (yannakakis vs flat on the planted acyclic instance) =="
+# 8000 nodes is the smallest round size past the planner's nv^2 tuple
+# budget (~7071 nodes), so the in-bench Strategy::Yannakakis assertion
+# still fires; the committed BENCH_yannakakis.json is the full-size run
+ECRPQ_E20_NODES=8000 ECRPQ_E20_OUT=target/e20_smoke.json \
+  cargo run -q --release --offline -p ecrpq-bench --bin experiments -- E20 > /dev/null
+diff <(grep -o '"[a-z_]*":' target/e20_smoke.json | sort -u) \
+     <(grep -o '"[a-z_]*":' BENCH_yannakakis.json | sort -u) \
+  || { echo "E20 JSON schema drifted from BENCH_yannakakis.json"; exit 1; }
+
 echo "== analyze CLI over the query corpus + workloads =="
 cargo run -q --release --offline -p ecrpq-bench --bin analyze -- queries/*.ecrpq --workloads
 

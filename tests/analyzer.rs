@@ -140,6 +140,40 @@ fn workload_corpus() -> Vec<(String, Ecrpq)> {
     out
 }
 
+/// Golden: the workload regime table the `analyze --workloads` CLI
+/// prints, including the planner's large-database strategy column — the
+/// acyclicity-aware branch point per query family. The rendering here
+/// mirrors the CLI's format strings; a drift in either shows up as a
+/// golden diff. Bless with `UPDATE_GOLDEN=1`.
+#[test]
+fn golden_workload_strategy_table() {
+    use ecrpq::eval::planner::{budget_regime, regime_budget};
+    use ecrpq::eval::{large_db_strategy, Strategy};
+    let mut out = String::new();
+    out.push_str(
+        "| query | cc_vertex | cc_hedge | tw | combined | param | default budget | large-db strategy |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|---|\n");
+    for (name, q) in workload_corpus() {
+        let a = analyze(&q);
+        let budget = regime_budget(budget_regime(&a.measures));
+        let strategy = match large_db_strategy(&q) {
+            Strategy::CqTreedec => "cq+treedec",
+            Strategy::Yannakakis => "yannakakis",
+            Strategy::DirectProduct => "direct product",
+        };
+        out.push_str(&format!(
+            "| {name} | {} | {} | {} | {} | {} | {budget} | {strategy} |\n",
+            a.measures.cc_vertex, a.measures.cc_hedge, a.measures.treewidth, a.combined, a.param,
+        ));
+    }
+    // the corpus must exercise both large-db strategies, or the column
+    // (and the golden) stops guarding the planner's branch point
+    assert!(out.contains("| yannakakis |"), "{out}");
+    assert!(out.contains("| direct product |"), "{out}");
+    check_golden("workload_strategy_table.txt", &out);
+}
+
 /// Acceptance: on every workload query the analyzer's classification
 /// matches `combined_regime`/`param_regime` for the threshold-induced
 /// class, under the default and under tight thresholds.

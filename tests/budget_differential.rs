@@ -144,6 +144,44 @@ fn answer_cap_is_exact_sequentially() {
     }
 }
 
+/// Regression (answer-cap overshoot): the *ungoverned* `answers_*` entry
+/// points route a `max_answers` budget through the streaming enumerator,
+/// so the search terminates at the cap instead of materializing the full
+/// answer set and truncating. The pin: with every node variable free a
+/// satisfying assignment is an answer, so the assignment counter must
+/// stop exactly at the cap — on a database of any size.
+#[test]
+fn ungoverned_answer_cap_stops_the_search() {
+    let cap = 3u64;
+    let opts =
+        EvalOptions::sequential().with_budget(ResourceBudget::unlimited().with_max_answers(cap));
+    let mut at_cap = Vec::new();
+    for n in [20usize, 40] {
+        let (db, q) = workload(3, n);
+        let prepared = PreparedQuery::build(&q).expect("valid");
+        let (full, full_stats) =
+            engine::answers_product_with_stats(&db, &prepared, &EvalOptions::sequential());
+        assert!(full.len() as u64 > 3 * cap, "n={n}: need answers to spare");
+        let (capped, capped_stats) = engine::answers_product_with_stats(&db, &prepared, &opts);
+        assert_eq!(capped.len() as u64, cap, "n={n}: cap not exact");
+        assert!(capped.is_subset(&full), "n={n}");
+        assert!(
+            capped_stats.assignments < full_stats.assignments,
+            "n={n}: capped search did all {} assignments — the cap did not stop it",
+            full_stats.assignments
+        );
+        at_cap.push(capped_stats.assignments);
+    }
+    // doubling the database must not grow the satisfying-assignment work:
+    // the streaming search stops right at the cap-th distinct tuple (the
+    // one-past-cap assignment is the claim that trips the governor)
+    assert_eq!(
+        at_cap[0], at_cap[1],
+        "assignments after the cap grew with the database"
+    );
+    assert!(at_cap[0] <= cap + 1, "assignments ran past the cap");
+}
+
 /// Boolean search under governance: `true` is definitive even when the
 /// budget is tiny, and a truncated `false` is reported as such.
 #[test]

@@ -5,10 +5,11 @@
 //! graphs and queries.
 
 use ecrpq::eval::product::{answers_product_with_stats_layout, Layout};
-use ecrpq::eval::{ecrpq_to_cq, engine, EvalOptions, PreparedQuery};
+use ecrpq::eval::{ecrpq_to_cq, engine, Enumerator, EvalOptions, PreparedQuery, ResourceBudget};
 use ecrpq::query::NodeVar;
-use ecrpq::workloads::{random_db, random_ecrpq, RandomQueryParams};
+use ecrpq::workloads::{planted_acyclic_instance, random_db, random_ecrpq, RandomQueryParams};
 use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 fn params() -> RandomQueryParams {
     RandomQueryParams {
@@ -80,8 +81,80 @@ fn bitparallel_falls_back_on_oversized_config_space() {
     }
 }
 
+/// Counter-based bounded-delay check on the planted acyclic instance:
+/// after the Yannakakis up/down passes every domain is globally
+/// consistent, so the streaming enumerator never dead-ends — the
+/// backtracker work between consecutive answers is a small constant,
+/// independent of the decoy count. The independently-pruned preparation
+/// keeps every decoy in D(x), so its first answer only arrives after the
+/// enumerator has waded through all of them.
+#[test]
+fn yannakakis_streaming_has_bounded_delay() {
+    let (db, q, expected) = planted_acyclic_instance(600, 4, 7);
+    let prepared = PreparedQuery::build(&q).unwrap();
+    let tree = ecrpq::analyze::acyclic_join_tree(&q).expect("reduction is acyclic");
+
+    let delays = |e: &Enumerator| -> (Vec<u64>, BTreeSet<Vec<u32>>) {
+        let mut it = e.iter();
+        let mut got = BTreeSet::new();
+        let mut last = it.work();
+        let mut delays = Vec::new();
+        while let Some(t) = it.next() {
+            delays.push(it.work() - last);
+            last = it.work();
+            got.insert(t);
+        }
+        delays.push(it.work() - last); // exhaustion tail
+        (delays, got)
+    };
+
+    let yan = Enumerator::yannakakis(&db, &prepared, &tree, &ResourceBudget::unlimited());
+    let (yan_delays, yan_got) = delays(&yan);
+    assert_eq!(yan_got, expected);
+    let yan_max = yan_delays.iter().copied().max().unwrap();
+    assert!(
+        yan_max <= 64,
+        "yannakakis delay {yan_max} steps — not output-sensitive"
+    );
+
+    let flat = Enumerator::new(&db, &prepared);
+    let (flat_delays, flat_got) = delays(&flat);
+    assert_eq!(flat_got, expected, "preparations disagree");
+    let flat_max = flat_delays.iter().copied().max().unwrap();
+    assert!(
+        flat_max >= 600,
+        "independent sweeps pruned the decoys ({flat_max} steps)? — \
+         the instance no longer exercises the delay gap"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The streaming enumerator must produce exactly the materialized
+    /// answer set — same tuples, no duplicates — under both the
+    /// independent-sweep preparation and (when the CQ reduction is
+    /// acyclic) the Yannakakis preparation.
+    #[test]
+    fn streamed_answers_match_materialized(seed in 0..100_000u64) {
+        let mut q = random_ecrpq(&params(), seed.wrapping_add(33_000));
+        q.set_free(&[NodeVar(0), NodeVar(1)]);
+        let db = random_db(5, 1.6, 2, seed.wrapping_mul(37).wrapping_add(13));
+        let prepared = PreparedQuery::build(&q).map_err(TestCaseError::fail)?;
+        let (materialized, _) = answers_product_with_stats_layout(&db, &prepared, Layout::Flat);
+        let e = Enumerator::new(&db, &prepared);
+        let streamed: Vec<Vec<u32>> = e.iter().collect();
+        let as_set: BTreeSet<Vec<u32>> = streamed.iter().cloned().collect();
+        prop_assert_eq!(streamed.len(), as_set.len(), "duplicate tuples, seed={}", seed);
+        prop_assert_eq!(&as_set, &materialized, "streamed vs materialized seed={}", seed);
+        if let Some(tree) = ecrpq::analyze::acyclic_join_tree(&q) {
+            let ey = Enumerator::yannakakis(&db, &prepared, &tree, &ResourceBudget::unlimited());
+            let sy: Vec<Vec<u32>> = ey.iter().collect();
+            let sy_set: BTreeSet<Vec<u32>> = sy.iter().cloned().collect();
+            prop_assert_eq!(sy.len(), sy_set.len(), "yannakakis duplicates, seed={}", seed);
+            prop_assert_eq!(&sy_set, &materialized, "yannakakis stream seed={}", seed);
+        }
+    }
 
     /// Regression: zero free variables makes the query *Boolean* — the
     /// enumeration must yield exactly one empty tuple iff the query is

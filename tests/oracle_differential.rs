@@ -109,6 +109,66 @@ fn oracle_agrees_with_every_answer_evaluator() {
     );
 }
 
+/// The Yannakakis semijoin program + streaming enumerator vs the oracle
+/// and the product search, at every thread count. Only queries whose CQ
+/// reduction is α-acyclic qualify (the planner's own gate); the suite
+/// asserts that the random workload keeps producing enough of them.
+#[test]
+fn oracle_agrees_with_yannakakis_streaming() {
+    let base = env_seed(0);
+    let params = RandomQueryParams {
+        node_vars: 3,
+        path_atoms: 2,
+        rel_atoms: 2,
+        max_arity: 2,
+        num_symbols: 2,
+    };
+    let mut acyclic = 0usize;
+    const CASES: u64 = 15;
+    for case in 0..CASES {
+        let seed = base + case;
+        let mut q = random_ecrpq(&params, seed + 8000);
+        q.set_free(&[NodeVar(0), NodeVar(1)]);
+        let db = random_db(4, 1.5, 2, seed * 19 + 3);
+        let Some(tree) = ecrpq::analyze::acyclic_join_tree(&q) else {
+            continue;
+        };
+        acyclic += 1;
+        let prepared = PreparedQuery::build(&q).unwrap();
+        let truth = oracle_answers(&db, &q, MAX_LEN);
+        let exact = converged(&db, &q, &truth);
+        let product = answers_product(&db, &prepared);
+        for threads in [1usize, 2, 4, 8] {
+            let opts = EvalOptions::with_threads(threads);
+            let (got, _) = engine::answers_yannakakis_with_stats(&db, &prepared, &tree, &opts);
+            check(
+                &truth,
+                &got,
+                exact,
+                &format!("seed {seed}: yannakakis, {threads} thread(s)"),
+            );
+            assert_eq!(
+                got, product,
+                "seed {seed}: yannakakis vs product at {threads} thread(s)"
+            );
+        }
+        // governed with an unlimited budget: must complete bit-identically
+        let o = engine::answers_yannakakis_governed_traced(
+            &db,
+            &prepared,
+            &tree,
+            &EvalOptions::sequential(),
+            &ecrpq::eval::NoopTracer,
+        );
+        assert!(o.termination.is_complete(), "seed {seed}: spurious trip");
+        assert_eq!(o.answers, product, "seed {seed}: governed yannakakis");
+    }
+    assert!(
+        acyclic as u64 >= CASES / 2,
+        "only {acyclic}/{CASES} acyclic cases (base seed {base}) — workload drifted"
+    );
+}
+
 /// `oracle ⊆ engine` always; equality when the oracle has converged.
 fn check(truth: &BTreeSet<Vec<NodeId>>, engine: &BTreeSet<Vec<NodeId>>, exact: bool, what: &str) {
     assert!(
