@@ -31,13 +31,26 @@
 //! from text ([`Analysis::render`]).
 
 pub mod acyclic;
+pub mod minimize;
 mod render;
 
 pub use acyclic::{acyclic_join_tree, cq_hyperedges, gyo_join_tree, JoinTree};
+pub use minimize::{fix_source, minimize, minimize_with, AppliedStep, Minimized, StepKind};
 
 use ecrpq_query::{Ecrpq, QueryMeasures, Span};
 use ecrpq_structure::{treewidth_exact, treewidth_upper_bound};
 use std::fmt;
+
+/// Language-inclusion and intersection checks (W005 subsumption, the
+/// minimizer's containment verification, `core::optimize` rewrites) are
+/// skipped when either automaton has more states than this — the check
+/// complements one side, which determinizes. One shared source of truth so
+/// the analyzer and the rewriter can never drift.
+pub const INCLUSION_STATE_BUDGET: usize = 48;
+
+/// Inclusion checks are skipped above this relation arity (the row
+/// alphabet is `(|A|+1)^arity`). Shared with `core::optimize`.
+pub const INCLUSION_ARITY_BUDGET: usize = 3;
 
 /// How bad a diagnostic is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -46,6 +59,8 @@ pub enum Severity {
     Error,
     /// The query is legal but structurally expensive or suspicious.
     Warning,
+    /// Informational: a check was skipped or an opportunity exists.
+    Note,
 }
 
 impl fmt::Display for Severity {
@@ -53,6 +68,7 @@ impl fmt::Display for Severity {
         match self {
             Severity::Error => write!(f, "error"),
             Severity::Warning => write!(f, "warning"),
+            Severity::Note => write!(f, "note"),
         }
     }
 }
@@ -84,10 +100,15 @@ pub enum Code {
     UnconstrainedPathVar,
     /// A relation atom is implied by another atom on the same arguments.
     SubsumedAtom,
+    /// The query is equivalent to a rewrite in the PTIME regime (the
+    /// minimizer found a verified rewrite sequence).
+    MinimizableQuery,
+    /// A budget-guarded check was skipped: the report may be incomplete.
+    CheckSkippedBudget,
 }
 
 impl Code {
-    /// The `E…`/`W…` code rendered in diagnostics.
+    /// The `E…`/`W…`/`N…` code rendered in diagnostics.
     pub fn as_str(self) -> &'static str {
         match self {
             Code::EmptyLanguage => "E001",
@@ -101,6 +122,8 @@ impl Code {
             Code::CcHedgeOverThreshold => "W003",
             Code::UnconstrainedPathVar => "W004",
             Code::SubsumedAtom => "W005",
+            Code::MinimizableQuery => "W006",
+            Code::CheckSkippedBudget => "N001",
         }
     }
 
@@ -108,6 +131,8 @@ impl Code {
     pub fn severity(self) -> Severity {
         if self.as_str().starts_with('E') {
             Severity::Error
+        } else if self.as_str().starts_with('N') {
+            Severity::Note
         } else {
             Severity::Warning
         }
@@ -133,6 +158,10 @@ pub struct Diagnostic {
     pub span: Option<Span>,
     /// Secondary `note:` lines.
     pub notes: Vec<String>,
+    /// Machine-applicable replacement for the spanned source line (the
+    /// rewritten query text of W006); rendered as a `help:` line and
+    /// applied by `analyze --fix`.
+    pub suggestion: Option<String>,
 }
 
 /// The combined-complexity classification of a single query under the
@@ -204,8 +233,8 @@ impl Default for AnalyzerConfig {
             cc_vertex_threshold: 3,
             cc_hedge_threshold: 3,
             treewidth_threshold: 2,
-            inclusion_state_budget: 48,
-            inclusion_arity_budget: 3,
+            inclusion_state_budget: INCLUSION_STATE_BUDGET,
+            inclusion_arity_budget: INCLUSION_ARITY_BUDGET,
         }
     }
 }
@@ -246,6 +275,13 @@ impl Analysis {
             .filter(|d| d.severity == Severity::Warning)
     }
 
+    /// The note-severity diagnostics (skipped checks, opportunities).
+    pub fn notes(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Note)
+    }
+
     /// Renders every diagnostic rustc-style. With `source` (the text the
     /// query was parsed from), spanned diagnostics show the offending line
     /// with a caret underline; without it only messages and notes print.
@@ -260,7 +296,7 @@ impl Analysis {
 
     /// One-line measures + regimes + counts summary.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "cc_vertex={} cc_hedge={} tw={} | combined: {} | param: {} | {} error(s), {} warning(s)",
             self.measures.cc_vertex,
             self.measures.cc_hedge,
@@ -269,7 +305,12 @@ impl Analysis {
             self.param,
             self.errors().count(),
             self.warnings().count(),
-        )
+        );
+        let notes = self.notes().count();
+        if notes > 0 {
+            s.push_str(&format!(", {notes} note(s)"));
+        }
+        s
     }
 }
 
@@ -310,6 +351,7 @@ pub fn analyze_with(query: &Ecrpq, cfg: &AnalyzerConfig) -> Analysis {
     check_unconstrained_paths(query, &mut diags);
     if !had_errors {
         check_subsumption(query, cfg, &mut diags);
+        check_minimizable(query, cfg, &mut diags);
     }
 
     diags.sort_by_key(|d| (d.severity, d.span.map_or(usize::MAX, |s| s.start), d.code));
@@ -357,6 +399,7 @@ fn push(
         message,
         span,
         notes,
+        suggestion: None,
     });
 }
 
@@ -459,6 +502,7 @@ fn check_contradictory_unaries(query: &Ecrpq, cfg: &AnalyzerConfig, diags: &mut 
         }
     }
     let state_cap = cfg.inclusion_state_budget * cfg.inclusion_state_budget;
+    let mut skipped_vars: Vec<String> = Vec::new();
     for (p, ids) in unary_of.iter().enumerate() {
         if ids.len() < 2 {
             continue;
@@ -467,7 +511,11 @@ fn check_contradictory_unaries(query: &Ecrpq, cfg: &AnalyzerConfig, diags: &mut 
         let mut used = vec![ids[0]];
         for &i in &ids[1..] {
             if fused.num_states() * atoms[i].rel.num_states() > state_cap {
-                break; // too large to fuse further; stay sound, check what we have
+                // too large to fuse further; stay sound, check what we
+                // have — but say so, a clean report must be
+                // distinguishable from an unchecked one
+                skipped_vars.push(query.path_name(ecrpq_query::PathVar(p as u32)).to_string());
+                break;
             }
             fused = fused.intersect(&atoms[i].rel);
             used.push(i);
@@ -496,6 +544,19 @@ fn check_contradictory_unaries(query: &Ecrpq, cfg: &AnalyzerConfig, diags: &mut 
                 break;
             }
         }
+    }
+    for name in skipped_vars {
+        push(
+            diags,
+            Code::CheckSkippedBudget,
+            None,
+            format!("unary-contradiction check on path variable `{name}` skipped: budget exceeded"),
+            vec![format!(
+                "the intersection automaton outgrew the {state_cap}-state cap, so later \
+                 constraints on `{name}` were not fused; the absence of E006 here is not a \
+                 proof of satisfiability"
+            )],
+        );
     }
 }
 
@@ -690,9 +751,14 @@ fn check_subsumption(query: &Ecrpq, cfg: &AnalyzerConfig, diags: &mut Vec<Diagno
             && atoms[i].rel.arity() <= cfg.inclusion_arity_budget
     };
     let mut flagged = vec![false; atoms.len()];
+    let mut skipped_pairs = 0usize;
     for i in 0..atoms.len() {
         for j in (i + 1)..atoms.len() {
-            if atoms[i].args != atoms[j].args || !within(i) || !within(j) {
+            if atoms[i].args != atoms[j].args {
+                continue;
+            }
+            if !within(i) || !within(j) {
+                skipped_pairs += 1;
                 continue;
             }
             // the atom with the *larger* language is the redundant one
@@ -721,6 +787,92 @@ fn check_subsumption(query: &Ecrpq, cfg: &AnalyzerConfig, diags: &mut Vec<Diagno
                 );
             }
         }
+    }
+    if skipped_pairs > 0 {
+        push(
+            diags,
+            Code::CheckSkippedBudget,
+            None,
+            format!("subsumption check skipped for {skipped_pairs} atom pair(s): budget exceeded"),
+            vec![format!(
+                "language inclusion was not decided for pairs whose automata exceed {} states \
+                 or arity {}; the absence of W005 on them is not a proof of independence",
+                cfg.inclusion_state_budget, cfg.inclusion_arity_budget
+            )],
+        );
+    }
+}
+
+/// W006: the bounded best-first rewrite search found a verified equivalent
+/// query in the PTIME regime — report it, with the rewritten text as a
+/// machine-applicable suggestion when the query unparses. Also surfaces
+/// N001 when the search itself skipped rewrite checks on budget.
+fn check_minimizable(query: &Ecrpq, cfg: &AnalyzerConfig, diags: &mut Vec<Diagnostic>) {
+    let m = minimize::minimize_with(query, cfg);
+    if m.after_class == CombinedClass::PolynomialTime
+        && m.before_class != CombinedClass::PolynomialTime
+    {
+        let mut notes: Vec<String> = m
+            .steps
+            .iter()
+            .map(|s| format!("{}: {}", s.kind, s.detail))
+            .collect();
+        notes.push(format!(
+            "all {} rewrite step(s) verified by two-way language inclusion; measures drop \
+             cc_vertex {}→{}, cc_hedge {}→{}, tw {}→{}",
+            m.steps.len(),
+            m.before.cc_vertex,
+            m.after.cc_vertex,
+            m.before.cc_hedge,
+            m.after.cc_hedge,
+            m.before.treewidth,
+            m.after.treewidth,
+        ));
+        let suggestion = ecrpq_query::unparse(&m.query, cfg.inclusion_state_budget);
+        if suggestion.is_none() {
+            notes.push(format!("equivalent PTIME-regime form: {}", m.query));
+        }
+        let span = m.steps.iter().find_map(|s| s.span);
+        diags.push(Diagnostic {
+            severity: Code::MinimizableQuery.severity(),
+            code: Code::MinimizableQuery,
+            message: format!(
+                "query is equivalent to a PTIME-regime rewrite ({} → {})",
+                m.before_class, m.after_class
+            ),
+            span,
+            notes,
+            suggestion,
+        });
+    }
+    if m.skipped {
+        push(
+            diags,
+            Code::CheckSkippedBudget,
+            None,
+            "regime-minimization search skipped: query too large for the rewrite budget"
+                .to_string(),
+            vec![
+                "the best-first rewrite search only runs on queries within its size bound; a \
+                 cheaper equivalent form may exist"
+                    .to_string(),
+            ],
+        );
+    } else if m.budget_skips > 0 {
+        push(
+            diags,
+            Code::CheckSkippedBudget,
+            None,
+            format!(
+                "{} rewrite check(s) skipped during regime minimization: budget exceeded",
+                m.budget_skips
+            ),
+            vec![
+                "containment verification was not decided for some candidate rewrites, so \
+                 they were rejected conservatively; a cheaper equivalent form may exist"
+                    .to_string(),
+            ],
+        );
     }
 }
 

@@ -1,0 +1,849 @@
+//! Semantic regime minimization: a bounded best-first search over
+//! *verified* equivalence-preserving rewrites, aimed at moving a query
+//! into a cheaper complexity regime of Theorem 3.2.
+//!
+//! The paper's tractability frontier is a property of the query *text*:
+//! `cc_vertex`, `cc_hedge` and the treewidth of `G^node` decide the
+//! regime, but only up to equivalence — an expensive-looking query may
+//! have an equivalent form with smaller measures (Figueira–Morvan,
+//! arXiv:2212.01679, prove such gaps are real for CRPQs). This module
+//! searches for one with a small catalogue of rewrite steps:
+//!
+//! * **merge-parallel / drop-subsumed** — two relation atoms on the same
+//!   argument list conjoin to one language; keep the stronger atom or
+//!   their intersection (lowers `cc_hedge` / atom count);
+//! * **drop-universal** — an atom whose language is the universal
+//!   relation constrains nothing (normalization re-adds universal unary
+//!   atoms, so dropping is free);
+//! * **contract-equality** — an equality atom `eq(π, π′)` makes the two
+//!   paths word-interchangeable; when `π′` is otherwise fresh, fold it
+//!   (and its private endpoints) into `π` (lowers `cc_vertex` and, by
+//!   vertex identification, never raises `tw`);
+//! * **elide-reachability** — a path atom whose only constraints are
+//!   universal and whose endpoints stay connected through the remaining
+//!   atoms is implied by path concatenation; drop it (lowers `tw`).
+//!
+//! **Verification obligation**: every candidate is admitted only after a
+//! two-way containment check (`verify_equiv`, language inclusion in
+//! both directions) on the languages the step equates, under the shared
+//! inclusion budgets — an unverifiable candidate is *rejected*, never
+//! trusted, so the search is sound by construction. The search itself is
+//! a best-first expansion ordered by
+//! `(regime, cc_vertex, cc_hedge, tw, atoms, paths)` with a fixed
+//! expansion bound; every step strictly shrinks the query, so it
+//! terminates regardless.
+
+use crate::{classify_combined, AnalyzerConfig, CombinedClass};
+use ecrpq_automata::{relations, SyncRel};
+use ecrpq_query::{Ecrpq, NodeVar, PathVar, QueryMeasures, Span};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+/// Queries with more than this many atoms + path variables skip the
+/// search (each expansion measures treewidth and runs automata checks).
+const SIZE_BOUND: usize = 20;
+
+/// Maximum number of search-tree expansions.
+const MAX_EXPANSIONS: usize = 24;
+
+/// The rewrite step catalogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepKind {
+    /// Two same-argument atoms replaced by their intersection.
+    MergeParallel,
+    /// A same-argument atom dropped because another atom implies it.
+    DropSubsumed,
+    /// An atom dropped because its language is universal.
+    DropUniversal,
+    /// An equality atom contracted: one path folded into the other.
+    ContractEquality,
+    /// An unconstrained path atom dropped: reachability is implied.
+    ElideReachability,
+}
+
+impl fmt::Display for StepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepKind::MergeParallel => write!(f, "merge-parallel"),
+            StepKind::DropSubsumed => write!(f, "drop-subsumed"),
+            StepKind::DropUniversal => write!(f, "drop-universal"),
+            StepKind::ContractEquality => write!(f, "contract-equality"),
+            StepKind::ElideReachability => write!(f, "elide-reachability"),
+        }
+    }
+}
+
+/// One applied, verified rewrite step.
+#[derive(Debug, Clone)]
+pub struct AppliedStep {
+    /// Which rule fired.
+    pub kind: StepKind,
+    /// Human-readable account of what changed.
+    pub detail: String,
+    /// Span in the *original* source the step anchors to.
+    pub span: Option<Span>,
+}
+
+/// The result of a minimization search.
+#[derive(Debug, Clone)]
+pub struct Minimized {
+    /// The best equivalent query found (the input itself when no step
+    /// applied).
+    pub query: Ecrpq,
+    /// The verified rewrite sequence leading to [`Minimized::query`].
+    pub steps: Vec<AppliedStep>,
+    /// Measures of the input query.
+    pub before: QueryMeasures,
+    /// Measures of the rewritten query.
+    pub after: QueryMeasures,
+    /// Regime of the input query.
+    pub before_class: CombinedClass,
+    /// Regime of the rewritten query.
+    pub after_class: CombinedClass,
+    /// Containment checks refused on budget (candidates rejected
+    /// conservatively; a cheaper form may exist).
+    pub budget_skips: usize,
+    /// Containment checks that refuted a candidate.
+    pub rejected: usize,
+    /// Whether the whole search was skipped (query over `SIZE_BOUND`).
+    pub skipped: bool,
+}
+
+/// Outcome of a two-way containment check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    /// Inclusion holds in both directions: the languages are equal.
+    Verified,
+    /// Inclusion fails in some direction.
+    Refuted,
+    /// The automata exceed the inclusion budgets; nothing was decided.
+    Budget,
+}
+
+#[derive(Debug, Default)]
+struct Stats {
+    budget_skips: usize,
+    rejected: usize,
+}
+
+/// The containment-verification chokepoint: language equality by
+/// inclusion in both directions, refusing (never trusting) checks whose
+/// automata exceed the shared budgets.
+fn verify_equiv(a: &SyncRel, b: &SyncRel, cfg: &AnalyzerConfig) -> Verdict {
+    if a.arity() != b.arity() || a.num_symbols() != b.num_symbols() {
+        return Verdict::Refuted;
+    }
+    if a.num_states() > cfg.inclusion_state_budget
+        || b.num_states() > cfg.inclusion_state_budget
+        || a.arity() > cfg.inclusion_arity_budget
+    {
+        return Verdict::Budget;
+    }
+    if a.is_subset_of(b) && b.is_subset_of(a) {
+        Verdict::Verified
+    } else {
+        Verdict::Refuted
+    }
+}
+
+/// Minimizes `q` under the default [`AnalyzerConfig`].
+pub fn minimize(q: &Ecrpq) -> Minimized {
+    minimize_with(q, &AnalyzerConfig::default())
+}
+
+/// Bounded best-first search for a verified equivalent of `q` with
+/// smaller `(regime, cc_vertex, cc_hedge, tw, atoms, paths)`.
+pub fn minimize_with(q: &Ecrpq, cfg: &AnalyzerConfig) -> Minimized {
+    let before = q.measures();
+    let before_class = classify_combined(&before, cfg);
+    let unchanged = |skipped: bool| Minimized {
+        query: q.clone(),
+        steps: Vec::new(),
+        before,
+        after: before,
+        before_class,
+        after_class: before_class,
+        budget_skips: 0,
+        rejected: 0,
+        skipped,
+    };
+    if q.rel_atoms().len() + q.num_path_vars() > SIZE_BOUND {
+        return unchanged(true);
+    }
+    if q.validate().is_err() {
+        return unchanged(false);
+    }
+
+    let mut stats = Stats::default();
+    let mut nodes: Vec<(Ecrpq, Vec<AppliedStep>)> = vec![(q.clone(), Vec::new())];
+    let s0 = score(q, cfg);
+    let mut heap: BinaryHeap<Reverse<(Score, usize)>> = BinaryHeap::new();
+    heap.push(Reverse((s0, 0)));
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    seen.insert(dedup_key(q));
+    let mut best = 0usize;
+    let mut best_score = s0;
+    let mut expansions = 0usize;
+    while let Some(Reverse((_, idx))) = heap.pop() {
+        if expansions >= MAX_EXPANSIONS {
+            break;
+        }
+        expansions += 1;
+        let (cur, cur_steps) = nodes[idx].clone();
+        for (step, q2) in candidates(&cur, cfg, &mut stats) {
+            if !seen.insert(dedup_key(&q2)) {
+                continue;
+            }
+            let s2 = score(&q2, cfg);
+            let mut steps2 = cur_steps.clone();
+            steps2.push(step);
+            let id = nodes.len();
+            nodes.push((q2, steps2));
+            heap.push(Reverse((s2, id)));
+            if s2 < best_score {
+                best_score = s2;
+                best = id;
+            }
+        }
+    }
+
+    let (query, steps) = nodes.swap_remove(best);
+    let after = query.measures();
+    let after_class = classify_combined(&after, cfg);
+    Minimized {
+        query,
+        steps,
+        before,
+        after,
+        before_class,
+        after_class,
+        budget_skips: stats.budget_skips,
+        rejected: stats.rejected,
+        skipped: false,
+    }
+}
+
+/// The search order: regime first (the point of the exercise), then the
+/// paper's measures, then sheer size.
+type Score = (u8, usize, usize, usize, usize, usize);
+
+fn score(q: &Ecrpq, cfg: &AnalyzerConfig) -> Score {
+    let m = q.measures();
+    let rank = match classify_combined(&m, cfg) {
+        CombinedClass::PolynomialTime => 0u8,
+        CombinedClass::NpComplete => 1,
+        CombinedClass::PspaceComplete => 2,
+    };
+    (
+        rank,
+        m.cc_vertex,
+        m.cc_hedge,
+        m.treewidth,
+        q.rel_atoms().len(),
+        q.num_path_vars(),
+    )
+}
+
+/// Structural identity of a search node: the printed query plus per-atom
+/// automaton sizes (two merges of different relations can print alike).
+fn dedup_key(q: &Ecrpq) -> String {
+    let sizes: Vec<String> = q
+        .rel_atoms()
+        .iter()
+        .map(|a| a.rel.num_states().to_string())
+        .collect();
+    format!("{q}|{}", sizes.join(","))
+}
+
+/// What happens to each relation atom in a rebuilt candidate.
+#[derive(Debug, Clone)]
+enum RelEdit {
+    Keep,
+    Drop,
+    Replace(String, Arc<SyncRel>),
+}
+
+/// All verified single-step successors of `q`. Every push into
+/// `candidates` is dominated by a `verify_equiv` call on the languages
+/// the step equates — xtask lint rule 9 audits exactly this property.
+fn candidates(q: &Ecrpq, cfg: &AnalyzerConfig, stats: &mut Stats) -> Vec<(AppliedStep, Ecrpq)> {
+    let mut candidates: Vec<(AppliedStep, Ecrpq)> = Vec::new();
+    let atoms = q.rel_atoms();
+    let n = q.alphabet().len();
+    let keep_all = || vec![RelEdit::Keep; atoms.len()];
+
+    // merge-parallel / drop-subsumed: same-argument atom pairs conjoin.
+    for i in 0..atoms.len() {
+        for j in (i + 1)..atoms.len() {
+            if atoms[i].args != atoms[j].args {
+                continue;
+            }
+            let (ri, rj) = (&atoms[i].rel, &atoms[j].rel);
+            if ri.num_states().saturating_mul(rj.num_states())
+                > cfg.inclusion_state_budget * cfg.inclusion_state_budget
+            {
+                stats.budget_skips += 1;
+                continue;
+            }
+            let both = ri.intersect(rj);
+            if both.is_empty() {
+                continue; // contradiction; E001/E006 territory, not ours
+            }
+            // try: drop the weaker side, else replace both by the merge
+            let trials: [(usize, RelEdit, StepKind); 3] = [
+                (j, RelEdit::Keep, StepKind::DropSubsumed),
+                (i, RelEdit::Keep, StepKind::DropSubsumed),
+                (
+                    j,
+                    RelEdit::Replace(
+                        format!("{}&{}", atoms[i].name, atoms[j].name),
+                        Arc::new(both.minimized()),
+                    ),
+                    StepKind::MergeParallel,
+                ),
+            ];
+            let mut admitted = false;
+            for (dropped, edit, kind) in trials {
+                if admitted {
+                    break;
+                }
+                let kept = if dropped == i { j } else { i };
+                let replacement: &SyncRel = match &edit {
+                    RelEdit::Replace(_, r) => r,
+                    _ => &atoms[kept].rel,
+                };
+                match verify_equiv(&both, replacement, cfg) {
+                    Verdict::Budget => stats.budget_skips += 1,
+                    Verdict::Refuted => stats.rejected += 1,
+                    Verdict::Verified => {
+                        let mut edits = keep_all();
+                        edits[dropped] = RelEdit::Drop;
+                        if let RelEdit::Replace(..) = edit {
+                            edits[kept] = edit;
+                        }
+                        let Some(q2) = rebuild(
+                            q,
+                            &BTreeSet::new(),
+                            &BTreeMap::new(),
+                            &BTreeMap::new(),
+                            &edits,
+                        ) else {
+                            continue;
+                        };
+                        let detail = match kind {
+                            StepKind::MergeParallel => format!(
+                                "merged parallel atoms `{}` and `{}` into their intersection",
+                                atoms[i].name, atoms[j].name
+                            ),
+                            _ => format!(
+                                "dropped `{}`: subsumed by `{}` on the same arguments",
+                                atoms[dropped].name, atoms[kept].name
+                            ),
+                        };
+                        candidates.push((
+                            AppliedStep {
+                                kind,
+                                detail,
+                                span: atoms[dropped].span.or(atoms[kept].span),
+                            },
+                            q2,
+                        ));
+                        admitted = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // drop-universal: an atom equal to the universal relation constrains
+    // nothing. Unary atoms are only dropped when the path variable keeps
+    // another constraint (otherwise the drop merely trades the atom for a
+    // W004 warning and the normalizer puts it back).
+    for (i, atom) in atoms.iter().enumerate() {
+        let arity = atom.rel.arity();
+        if arity != atom.args.len() {
+            continue;
+        }
+        if arity == 1 {
+            let p = atom.args[0];
+            let constrained_elsewhere = atoms
+                .iter()
+                .enumerate()
+                .any(|(k, a)| k != i && a.args.contains(&p));
+            if !constrained_elsewhere {
+                continue;
+            }
+        }
+        match verify_equiv(&atom.rel, &relations::universal(arity, n), cfg) {
+            Verdict::Budget => stats.budget_skips += 1,
+            Verdict::Refuted => stats.rejected += 1,
+            Verdict::Verified => {
+                let mut edits = keep_all();
+                edits[i] = RelEdit::Drop;
+                if let Some(q2) = rebuild(
+                    q,
+                    &BTreeSet::new(),
+                    &BTreeMap::new(),
+                    &BTreeMap::new(),
+                    &edits,
+                ) {
+                    candidates.push((
+                        AppliedStep {
+                            kind: StepKind::DropUniversal,
+                            detail: format!(
+                                "dropped `{}`: its language is the universal relation",
+                                atom.name
+                            ),
+                            span: atom.span,
+                        },
+                        q2,
+                    ));
+                }
+            }
+        }
+    }
+
+    // contract-equality: eq(π, π′) makes the paths word-interchangeable;
+    // fold the one with otherwise-private endpoints into the other.
+    for (e, atom) in atoms.iter().enumerate() {
+        if atom.args.len() != 2 || atom.rel.arity() != 2 {
+            continue;
+        }
+        match verify_equiv(&atom.rel, &relations::equality(n), cfg) {
+            Verdict::Budget => stats.budget_skips += 1,
+            Verdict::Refuted => stats.rejected += 1,
+            Verdict::Verified => {
+                for (keep, drop) in [(atom.args[0], atom.args[1]), (atom.args[1], atom.args[0])] {
+                    if let Some(cand) = contract(q, e, keep, drop) {
+                        candidates.push(cand);
+                        break; // one direction per equality atom suffices
+                    }
+                }
+            }
+        }
+    }
+
+    // elide-reachability: a path whose constraints are all (verified)
+    // universal and whose endpoints stay connected by the remaining path
+    // atoms is implied by concatenation — drop it and its constraints.
+    'paths: for (p, src, dst) in q.path_atoms() {
+        if q.num_path_vars() <= 1 {
+            break;
+        }
+        let constraining: Vec<usize> = atoms
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.args.contains(&p))
+            .map(|(i, _)| i)
+            .collect();
+        for &c in &constraining {
+            if atoms[c].args.len() != 1 || atoms[c].rel.arity() != 1 {
+                continue 'paths;
+            }
+            match verify_equiv(&atoms[c].rel, &relations::universal(1, n), cfg) {
+                Verdict::Verified => {}
+                Verdict::Budget => {
+                    stats.budget_skips += 1;
+                    continue 'paths;
+                }
+                Verdict::Refuted => {
+                    stats.rejected += 1;
+                    continue 'paths;
+                }
+            }
+        }
+        if !chain_reaches(q, p, src, dst) {
+            continue;
+        }
+        let mut edits = keep_all();
+        for &c in &constraining {
+            edits[c] = RelEdit::Drop;
+        }
+        let mut drops = BTreeSet::new();
+        drops.insert(p.0);
+        if let Some(q2) = rebuild(q, &drops, &BTreeMap::new(), &BTreeMap::new(), &edits) {
+            candidates.push((
+                AppliedStep {
+                    kind: StepKind::ElideReachability,
+                    detail: format!(
+                        "elided path `{}`: `{}` already reaches `{}` through the remaining \
+                         atoms, and every constraint on it is universal",
+                        q.path_name(p),
+                        q.node_name(src),
+                        q.node_name(dst)
+                    ),
+                    span: q.path_span(p),
+                },
+                q2,
+            ));
+        }
+    }
+
+    candidates
+}
+
+/// The contract-equality step for one direction: fold path `drop` (and
+/// its endpoints, where they differ and are otherwise unused) into
+/// `keep`. Returns `None` when the structural side-conditions fail —
+/// the *language* condition was already verified by the caller.
+fn contract(q: &Ecrpq, e: usize, keep: PathVar, drop: PathVar) -> Option<(AppliedStep, Ecrpq)> {
+    let atoms = q.rel_atoms();
+    // substitution must keep every atom's arguments pairwise distinct
+    for (k, a) in atoms.iter().enumerate() {
+        if k != e && a.args.contains(&keep) && a.args.contains(&drop) {
+            return None;
+        }
+    }
+    let (sk, dk) = q.endpoints(keep);
+    let (sd, dd) = q.endpoints(drop);
+    let mut node_map: BTreeMap<u32, u32> = BTreeMap::new();
+    for (from, to) in [(sd, sk), (dd, dk)] {
+        if from == to {
+            continue;
+        }
+        match node_map.get(&from.0) {
+            Some(&t) if t != to.0 => return None, // self-loop vs two targets
+            _ => {
+                node_map.insert(from.0, to.0);
+            }
+        }
+    }
+    // a folded-away endpoint must be private to the dropped path: not
+    // free, and on no other path atom — otherwise identifying it with
+    // `keep`'s endpoint would genuinely change the query
+    for &from in node_map.keys() {
+        let v = NodeVar(from);
+        if q.free_vars().contains(&v) {
+            return None;
+        }
+        for (pp, s, d) in q.path_atoms() {
+            if pp != drop && (s == v || d == v) {
+                return None;
+            }
+        }
+    }
+    let mut edits: Vec<RelEdit> = vec![RelEdit::Keep; atoms.len()];
+    edits[e] = RelEdit::Drop;
+    let mut drops = BTreeSet::new();
+    drops.insert(drop.0);
+    let mut path_map = BTreeMap::new();
+    path_map.insert(drop.0, keep.0);
+    let q2 = rebuild(q, &drops, &path_map, &node_map, &edits)?;
+    Some((
+        AppliedStep {
+            kind: StepKind::ContractEquality,
+            detail: format!(
+                "contracted equality `{}({}, {})`: folded path `{}` into `{}`",
+                atoms[e].name,
+                q.path_name(atoms[e].args[0]),
+                q.path_name(atoms[e].args[1]),
+                q.path_name(drop),
+                q.path_name(keep)
+            ),
+            span: atoms[e].span,
+        },
+        q2,
+    ))
+}
+
+/// Whether `src` reaches `dst` through the directed path atoms of `q`
+/// other than `skip` (trivially true when `src == dst` — the empty path).
+fn chain_reaches(q: &Ecrpq, skip: PathVar, src: NodeVar, dst: NodeVar) -> bool {
+    if src == dst {
+        return true;
+    }
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); q.num_node_vars()];
+    for (p, s, d) in q.path_atoms() {
+        if p != skip {
+            adj[s.0 as usize].push(d.0);
+        }
+    }
+    let mut visited = vec![false; q.num_node_vars()];
+    let mut queue = VecDeque::new();
+    visited[src.0 as usize] = true;
+    queue.push_back(src.0);
+    while let Some(v) = queue.pop_front() {
+        if v == dst.0 {
+            return true;
+        }
+        for &w in &adj[v as usize] {
+            if !visited[w as usize] {
+                visited[w as usize] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    false
+}
+
+/// Rebuilds a candidate query: drops the paths in `drop_paths`,
+/// substitutes relation-atom arguments through `path_map` and node
+/// variables through `node_map`, applies the per-atom `edits`, garbage
+/// collects node variables no kept path touches, and preserves every
+/// surviving span (so step diagnostics anchor into the original source).
+/// Returns `None` when the result would be degenerate (no paths left, a
+/// free variable floating, repeated arguments, or invalid).
+fn rebuild(
+    q: &Ecrpq,
+    drop_paths: &BTreeSet<u32>,
+    path_map: &BTreeMap<u32, u32>,
+    node_map: &BTreeMap<u32, u32>,
+    edits: &[RelEdit],
+) -> Option<Ecrpq> {
+    let map_node = |v: NodeVar| NodeVar(*node_map.get(&v.0).unwrap_or(&v.0));
+    let kept: Vec<(PathVar, NodeVar, NodeVar)> = q
+        .path_atoms()
+        .filter(|(p, _, _)| !drop_paths.contains(&p.0))
+        .collect();
+    if kept.is_empty() {
+        return None;
+    }
+    let mut used: BTreeSet<u32> = BTreeSet::new();
+    for &(_, s, d) in &kept {
+        used.insert(map_node(s).0);
+        used.insert(map_node(d).0);
+    }
+    for &f in q.free_vars() {
+        if !used.contains(&map_node(f).0) {
+            return None; // a free variable would float off the body
+        }
+    }
+
+    let mut out = Ecrpq::new(q.alphabet().clone());
+    let mut node_ids: BTreeMap<u32, NodeVar> = BTreeMap::new();
+    let mut path_ids: BTreeMap<u32, PathVar> = BTreeMap::new();
+    for &(p, s, d) in &kept {
+        let sm = map_node(s);
+        let dm = map_node(d);
+        let sv = *node_ids
+            .entry(sm.0)
+            .or_insert_with(|| out.node_var(q.node_name(sm)));
+        let dv = *node_ids
+            .entry(dm.0)
+            .or_insert_with(|| out.node_var(q.node_name(dm)));
+        let np = out.path_atom_spanned(sv, q.path_name(p), dv, q.path_span(p));
+        path_ids.insert(p.0, np);
+    }
+    for (i, atom) in q.rel_atoms().iter().enumerate() {
+        let (name, rel) = match edits.get(i)? {
+            RelEdit::Drop => continue,
+            RelEdit::Keep => (atom.name.clone(), atom.rel.clone()),
+            RelEdit::Replace(n, r) => (n.clone(), r.clone()),
+        };
+        let mut args: Vec<PathVar> = Vec::with_capacity(atom.args.len());
+        for &a in &atom.args {
+            let mapped = *path_map.get(&a.0).unwrap_or(&a.0);
+            args.push(*path_ids.get(&mapped)?);
+        }
+        let mut sorted = args.clone();
+        sorted.sort();
+        sorted.dedup();
+        if sorted.len() != args.len() {
+            return None;
+        }
+        out.rel_atom_spanned(&name, rel, &args, atom.span);
+    }
+    let frees: Vec<NodeVar> = q
+        .free_vars()
+        .iter()
+        .map(|&f| node_ids.get(&map_node(f).0).copied())
+        .collect::<Option<_>>()?;
+    let spans: Vec<Option<Span>> = (0..frees.len()).map(|i| q.free_span(i)).collect();
+    out.set_free_spanned(&frees, &spans);
+    out.validate().ok()?;
+    Some(out)
+}
+
+/// Applies every W006 suggestion of [`crate::analyze`] to a query file
+/// (one query per non-empty, non-`#` line, each parsed with a fresh
+/// alphabet — the convention of the `analyze` CLI). Lines that fail to
+/// parse are kept verbatim. Returns the rewritten text and the number of
+/// changed lines; running it twice is a no-op, because a query rewritten
+/// into the PTIME regime can never earn another W006.
+pub fn fix_source(text: &str) -> (String, usize) {
+    let registry = ecrpq_query::RelationRegistry::new();
+    let mut out = String::new();
+    let mut changed = 0usize;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        let mut fixed: Option<String> = None;
+        if !trimmed.is_empty() && !trimmed.starts_with('#') {
+            let mut alphabet = ecrpq_automata::Alphabet::new();
+            if let Ok(q) = ecrpq_query::parse_query(trimmed, &mut alphabet, &registry) {
+                let analysis = crate::analyze(&q);
+                fixed = analysis
+                    .diagnostics
+                    .iter()
+                    .find(|d| d.code == crate::Code::MinimizableQuery)
+                    .and_then(|d| d.suggestion.clone());
+            }
+        }
+        match fixed {
+            Some(replacement) => {
+                changed += 1;
+                out.push_str(&replacement);
+            }
+            None => out.push_str(line),
+        }
+        out.push('\n');
+    }
+    (out, changed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecrpq_automata::Alphabet;
+    use ecrpq_query::{parse_query, RelationRegistry};
+
+    fn parsed(src: &str) -> Ecrpq {
+        let mut alphabet = Alphabet::ascii_lower(2);
+        parse_query(src, &mut alphabet, &RelationRegistry::new()).unwrap()
+    }
+
+    #[test]
+    fn ptime_query_is_left_alone() {
+        let q = parsed("q(x) :- x -(a*b)-> y");
+        let m = minimize(&q);
+        assert!(m.steps.is_empty());
+        assert_eq!(m.before_class, CombinedClass::PolynomialTime);
+        assert_eq!(m.after_class, CombinedClass::PolynomialTime);
+    }
+
+    #[test]
+    fn parallel_equality_paths_contract_to_ptime() {
+        // four parallel equal paths: cc_vertex 4 → PSPACE; contracting
+        // the equalities folds them into one path → PTIME
+        let q =
+            parsed("x -[p]-> y, x -[r]-> y, x -[s]-> y, x -[t]-> y, eq(p, r), eq(r, s), eq(s, t)");
+        let m = minimize(&q);
+        assert_eq!(m.before_class, CombinedClass::PspaceComplete);
+        assert_eq!(
+            m.after_class,
+            CombinedClass::PolynomialTime,
+            "{:?}",
+            m.steps
+        );
+        assert!(m.steps.iter().all(|s| s.kind == StepKind::ContractEquality));
+        assert_eq!(m.query.num_path_vars(), 1);
+    }
+
+    #[test]
+    fn chorded_clique_elides_to_a_chain() {
+        // the node graph is a 4-clique (tw 3 → NP); the three chords are
+        // universal-constrained and implied by the chain → PTIME
+        let q = parsed(
+            "q(w, z) :- w -[p1]-> x, x -[p2]-> y, y -[p3]-> z, \
+             w -[c1]-> y, x -[c2]-> z, w -[c3]-> z, \
+             p1 in a*b, p2 in (a|b)*a, p3 in b*, \
+             c1 in (a|b)*, c2 in (a|b)*, c3 in (a|b)*",
+        );
+        let m = minimize(&q);
+        assert_eq!(m.before_class, CombinedClass::NpComplete);
+        assert_eq!(
+            m.after_class,
+            CombinedClass::PolynomialTime,
+            "{:?}",
+            m.steps
+        );
+        assert_eq!(m.query.num_path_vars(), 3);
+        assert!(m.after.treewidth <= 1);
+    }
+
+    #[test]
+    fn subsumed_atom_is_dropped() {
+        let q = parsed("x -[p]-> y, p in a+, p in (a|b)*");
+        let m = minimize(&q);
+        assert!(m
+            .steps
+            .iter()
+            .any(|s| s.kind == StepKind::DropSubsumed || s.kind == StepKind::MergeParallel));
+        assert!(m.query.rel_atoms().len() < q.rel_atoms().len());
+    }
+
+    #[test]
+    fn universal_binary_atom_is_dropped() {
+        let q = parsed("x -[p]-> y, y -[r]-> z, p in a+, r in b+, universal(p, r)");
+        let m = minimize(&q);
+        assert!(m.steps.iter().any(|s| s.kind == StepKind::DropUniversal));
+        assert_eq!(m.query.rel_atoms().len(), 2);
+    }
+
+    #[test]
+    fn equality_between_shared_endpoints_is_not_contracted() {
+        // eq on paths with *distinct, used* endpoints must not fold —
+        // the endpoints are observable through the free tuple
+        let q = parsed("q(x, y, w, z) :- x -[p]-> y, w -[r]-> z, eq(p, r)");
+        let m = minimize(&q);
+        assert!(
+            m.steps.iter().all(|s| s.kind != StepKind::ContractEquality),
+            "{:?}",
+            m.steps
+        );
+    }
+
+    #[test]
+    fn eq_length_is_not_mistaken_for_equality() {
+        let q = parsed("x -[p]-> y, x -[r]-> y, eq_len(p, r)");
+        let m = minimize(&q);
+        assert!(
+            m.steps.iter().all(|s| s.kind != StepKind::ContractEquality),
+            "{:?}",
+            m.steps
+        );
+    }
+
+    #[test]
+    fn constrained_path_is_not_elided() {
+        let q = parsed("x -[p]-> y, y -[r]-> z, x -[c]-> z, p in a*, r in a*, c in ab");
+        let m = minimize(&q);
+        assert!(
+            m.steps
+                .iter()
+                .all(|s| s.kind != StepKind::ElideReachability),
+            "{:?}",
+            m.steps
+        );
+    }
+
+    #[test]
+    fn oversized_queries_are_skipped() {
+        let mut q = Ecrpq::new(Alphabet::ascii_lower(2));
+        let vars: Vec<NodeVar> = (0..=SIZE_BOUND + 1)
+            .map(|i| q.node_var(&format!("x{i}")))
+            .collect();
+        for i in 0..SIZE_BOUND + 1 {
+            q.path_atom(vars[i], &format!("p{i}"), vars[i + 1]);
+        }
+        let m = minimize(&q);
+        assert!(m.skipped);
+        assert!(m.steps.is_empty());
+    }
+
+    #[test]
+    fn steps_anchor_into_the_original_source() {
+        let src = "x -[p]-> y, x -[r]-> y, eq(p, r)";
+        let q = parsed(src);
+        let m = minimize(&q);
+        assert!(!m.steps.is_empty());
+        for s in &m.steps {
+            let sp = s.span.expect("parsed atoms carry spans");
+            assert!(sp.end <= src.len(), "span {sp:?} outside source");
+        }
+    }
+
+    #[test]
+    fn fix_source_rewrites_only_minimizable_lines_and_is_idempotent() {
+        let text = "# corpus\n\
+                    q(x) :- x -(a*b)-> y\n\
+                    x -[p]-> y, x -[r]-> y, x -[s]-> y, x -[t]-> y, eq(p, r), eq(r, s), eq(s, t)\n";
+        let (fixed, changed) = fix_source(text);
+        assert_eq!(changed, 1, "{fixed}");
+        assert!(fixed.starts_with("# corpus\n"));
+        let (fixed2, changed2) = fix_source(&fixed);
+        assert_eq!(changed2, 0);
+        assert_eq!(fixed, fixed2);
+    }
+}

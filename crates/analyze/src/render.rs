@@ -60,6 +60,12 @@ pub fn render_diagnostic(d: &Diagnostic, source: Option<&str>) -> String {
     for note in &d.notes {
         out.push_str(&format!("{:gutter$} = note: {note}\n", ""));
     }
+    if let Some(suggestion) = &d.suggestion {
+        out.push_str(&format!(
+            "{:gutter$} = help: replace the query with: {suggestion}\n",
+            ""
+        ));
+    }
     out
 }
 
@@ -75,7 +81,19 @@ mod tests {
             message: "the message".to_string(),
             span,
             notes: vec!["the note".to_string()],
+            suggestion: None,
         }
+    }
+
+    #[test]
+    fn suggestion_renders_as_help_line() {
+        let mut d = diag(None);
+        d.suggestion = Some("q(x) :- x -[p]-> y, p in a*".to_string());
+        let out = super::render_diagnostic(&d, None);
+        assert!(
+            out.ends_with(" = help: replace the query with: q(x) :- x -[p]-> y, p in a*\n"),
+            "{out}"
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Static query linter: `analyze [FILES…] [--workloads] [--trace]`.
+//! Static query linter: `analyze [FILES…] [--workloads] [--trace] [--fix]`.
 //!
 //! Each file is parsed with the textual ECRPQ grammar and run through
 //! `ecrpq-analyze`; diagnostics render rustc-style with caret underlines
@@ -9,6 +9,10 @@
 //! `--trace` evaluates every analyzed query on a small deterministic
 //! random graph under a collecting tracer and prints the per-query phase
 //! table (where the prepare/semijoin/BFS/odometer/join time went).
+//! `--fix` applies the machine-applicable W006 suggestions in place:
+//! every line whose query the regime minimizer rewrote to a verified
+//! PTIME equivalent is replaced by the rewritten text (idempotent — a
+//! PTIME query never earns another W006).
 //!
 //! Exit status: 0 when no file has an error-severity diagnostic (warnings
 //! are reported but don't fail the lint), 1 when some query is provably
@@ -27,15 +31,16 @@ use ecrpq_workloads::{
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: analyze [FILES…] [--workloads] [--trace]");
+        eprintln!("usage: analyze [FILES…] [--workloads] [--trace] [--fix]");
         std::process::exit(2);
     }
     let workloads = args.iter().any(|a| a == "--workloads");
     let trace = args.iter().any(|a| a == "--trace");
+    let fix = args.iter().any(|a| a == "--fix");
     let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if let Some(bad) = args
         .iter()
-        .find(|a| a.starts_with("--") && *a != "--workloads" && *a != "--trace")
+        .find(|a| a.starts_with("--") && *a != "--workloads" && *a != "--trace" && *a != "--fix")
     {
         eprintln!("unknown flag {bad}");
         std::process::exit(2);
@@ -52,6 +57,17 @@ fn main() {
                 std::process::exit(2);
             }
         };
+        if fix {
+            let (fixed, applied) = ecrpq_analyze::fix_source(&text);
+            if applied > 0 {
+                if let Err(e) = std::fs::write(path, &fixed) {
+                    eprintln!("{path}: cannot write: {e}");
+                    std::process::exit(2);
+                }
+            }
+            println!("{path}: {applied} fix(es) applied");
+            continue;
+        }
         match parse_file(&text) {
             Ok(queries) => {
                 for (i, q) in queries.iter().enumerate() {

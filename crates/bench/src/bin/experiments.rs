@@ -23,7 +23,7 @@ use ecrpq_reductions::{
 use ecrpq_structure::TwoLevelGraph;
 use ecrpq_workloads::{
     big_component_query, clique_query, cycle_db, planted_acyclic_instance, planted_ine,
-    planted_power_law_instance, random_db, tractable_chain_query,
+    planted_power_law_instance, planted_regime_shift_instance, random_db, tractable_chain_query,
 };
 use std::time::Duration;
 
@@ -102,6 +102,188 @@ fn main() {
     if want("E20") {
         e20_yannakakis();
     }
+    if want("E21") {
+        e21_minimize();
+    }
+}
+
+/// E21 — Semantic regime minimization: the verified rewrite search of
+/// `ecrpq-analyze::minimize`. Reports the regime-shift rate over the
+/// workload corpus (plus the `queries/` file corpus when run from the
+/// repository root) and the end-to-end speedup of the minimizing pipeline
+/// over the minimization-disabled baseline on the planted NP→PTIME
+/// instance. Decoy count defaults to 96 and is overridden by
+/// `ECRPQ_E21_NODES`; the JSON record lands at `ECRPQ_E21_OUT`, default
+/// `BENCH_minimize.json` in the working directory.
+fn e21_minimize() {
+    use ecrpq_analyze::minimize;
+    println!("## E21 — Semantic regime minimization: verified rewrite search");
+    println!();
+    println!("Every corpus query runs through the bounded best-first rewrite search");
+    println!("(equality contraction, parallel-atom merge, universal-atom drops,");
+    println!("implied-reachability elision — each step admitted only after a");
+    println!("two-way containment check). The table reports the Theorem 3.2 regime");
+    println!("before and after. The planted instance is the K4 chord query on decoy");
+    println!("a-cycles: its chords are implied by the chain, so minimization turns");
+    println!("the cyclic NP-regime query (direct product search) into a chain");
+    println!("(Yannakakis), and the pipeline speedup is end-to-end, minimization");
+    println!("time included.");
+    println!();
+    let mut t = Table::new(&["query", "before", "after", "steps", "shifted"]);
+    let mut rows: Vec<(String, String, String, usize, bool)> = Vec::new();
+    for (name, q) in minimize_corpus() {
+        let m = minimize(&q);
+        let shifted = m.after_class != m.before_class;
+        let steps = m.steps.len();
+        let before = m.before_class.to_string();
+        let after = m.after_class.to_string();
+        t.row(&[
+            name.clone(),
+            before.clone(),
+            after.clone(),
+            steps.to_string(),
+            if shifted { "yes" } else { "" }.to_string(),
+        ]);
+        rows.push((name, before, after, steps, shifted));
+    }
+    let shifted = rows.iter().filter(|r| r.4).count();
+    println!("{}", t.to_markdown());
+    println!(
+        "regime shifts: {shifted}/{} corpus queries rewrote into a cheaper regime",
+        rows.len()
+    );
+    println!();
+
+    let n: usize = std::env::var("ECRPQ_E21_NODES")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(96);
+    let seed = ecrpq_workloads::env_seed(2022);
+    let (db, q, expected) = planted_regime_shift_instance(n, seed);
+    db.freeze();
+    let m = minimize(&q);
+    assert_eq!(
+        m.steps.len(),
+        3,
+        "the three chords of the planted query must elide"
+    );
+    assert_ne!(
+        m.before_class, m.after_class,
+        "the planted query must shift regime"
+    );
+    let minimized_answers = ecrpq_core::planner::answers(&db, &q);
+    let baseline_answers = ecrpq_core::planner::answers_without_minimize(&db, &q);
+    assert_eq!(minimized_answers, expected, "minimized answers");
+    assert_eq!(baseline_answers, expected, "baseline answers");
+    let min_d = time_median(3, || ecrpq_core::planner::answers(&db, &q));
+    let base_d = time_median(3, || ecrpq_core::planner::answers_without_minimize(&db, &q));
+    let speedup = base_d.as_secs_f64() / min_d.as_secs_f64().max(1e-9);
+    println!(
+        "planted instance (n={}, {} answers): baseline {} → minimized {} — {speedup:.2}x end-to-end",
+        db.num_nodes(),
+        expected.len(),
+        fmt_duration(base_d),
+        fmt_duration(min_d)
+    );
+    println!(
+        "({} → {} via {} verified step(s))",
+        m.before_class,
+        m.after_class,
+        m.steps.len()
+    );
+    println!();
+
+    let out_path =
+        std::env::var("ECRPQ_E21_OUT").unwrap_or_else(|_| String::from("BENCH_minimize.json"));
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"experiment\": \"E21\",\n");
+    json.push_str(&format!("  \"nodes\": {},\n", db.num_nodes()));
+    json.push_str(&format!("  \"edges\": {},\n", db.num_edges()));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str("  \"threads\": 1,\n");
+    json.push_str("  \"rows\": [\n");
+    for (i, (name, before, after, steps, shifted)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"query\": \"{name}\", \"before\": \"{before}\", \"after\": \"{after}\", \"steps\": {steps}, \"shifted\": {shifted}}}{comma}\n",
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"regime_shifts\": {shifted},\n"));
+    json.push_str(&format!("  \"corpus_size\": {},\n", rows.len()));
+    json.push_str(&format!(
+        "  \"baseline_ms\": {:.2},\n",
+        base_d.as_secs_f64() * 1e3
+    ));
+    json.push_str(&format!(
+        "  \"minimized_ms\": {:.2},\n",
+        min_d.as_secs_f64() * 1e3
+    ));
+    json.push_str(&format!("  \"speedup_planted\": {speedup:.2}\n"));
+    json.push_str("}\n");
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("(wrote {out_path})"),
+        Err(e) => println!("(could not write {out_path}: {e})"),
+    }
+    println!();
+}
+
+/// The E21 corpus: the named workload families at experiment parameters,
+/// the planted regime-shift query, and every query in `queries/*.ecrpq`
+/// when the directory is readable (it is when run from the repo root).
+fn minimize_corpus() -> Vec<(String, Ecrpq)> {
+    use ecrpq_automata::Alphabet;
+    let mut out: Vec<(String, Ecrpq)> = Vec::new();
+    for len in [2usize, 4, 8] {
+        out.push((
+            format!("tractable_chain(len={len})"),
+            tractable_chain_query(len, 2),
+        ));
+    }
+    for k in [3usize, 4] {
+        let mut alphabet = Alphabet::ascii_lower(2);
+        out.push((
+            format!("clique(k={k})"),
+            clique_query(k, "a*", &mut alphabet),
+        ));
+    }
+    for r in [2usize, 3, 4] {
+        out.push((format!("big_component(r={r})"), big_component_query(r, 2)));
+    }
+    out.push((
+        "planted_regime_shift".to_string(),
+        planted_regime_shift_instance(48, 2022).1,
+    ));
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir("queries")
+        .map(|dir| {
+            dir.filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "ecrpq"))
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    let registry = ecrpq_query::RelationRegistry::new();
+    for path in files {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let stem = path
+            .file_stem()
+            .map_or_else(String::new, |s| s.to_string_lossy().into_owned());
+        for (i, line) in text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .enumerate()
+        {
+            let mut alphabet = Alphabet::new();
+            if let Ok(q) = ecrpq_query::parse_query(line, &mut alphabet, &registry) {
+                out.push((format!("{stem}[{i}]"), q));
+            }
+        }
+    }
+    out
 }
 
 /// E20 — Yannakakis semijoin program + streaming enumeration vs the flat

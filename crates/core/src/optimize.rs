@@ -50,11 +50,10 @@ impl Simplified {
 const UNIVERSALITY_STATE_BUDGET: usize = 32;
 const UNIVERSALITY_ARITY_BUDGET: usize = 3;
 
-/// Budget guards for the pairwise inclusion check — kept equal to the
-/// analyzer's `inclusion_state_budget`/`inclusion_arity_budget` defaults
-/// so every W005 diagnostic corresponds to an atom this rewrite drops.
-const INCLUSION_STATE_BUDGET: usize = 48;
-const INCLUSION_ARITY_BUDGET: usize = 3;
+// Budget guards for the pairwise inclusion check come from the analyzer
+// (the one source of truth), so every W005 diagnostic corresponds to an
+// atom this rewrite drops.
+use ecrpq_analyze::{INCLUSION_ARITY_BUDGET, INCLUSION_STATE_BUDGET};
 
 /// Applies the rewrites described in the module docs.
 ///

@@ -19,8 +19,10 @@ use crate::product::{
     answers_product_with_stats_layout, eval_product_with_stats, Layout, ProductStats,
 };
 use crate::to_cq::ecrpq_to_cq;
-use crate::trace::{render_phase_table, CollectingTracer, Metrics, NoopTracer, Tracer};
-use ecrpq_analyze::{analyze, render_diagnostic, Analysis, Code, JoinTree};
+use crate::trace::{
+    render_phase_table, CollectingTracer, Metrics, NoopTracer, Phase, PhaseSpan, Tracer,
+};
+use ecrpq_analyze::{analyze, minimize, render_diagnostic, Analysis, Code, JoinTree, Minimized};
 use ecrpq_graph::{GraphDb, NodeId};
 use ecrpq_query::{Ecrpq, QueryMeasures};
 use std::collections::BTreeSet;
@@ -186,6 +188,11 @@ pub struct Plan {
     /// [`Plan::strategy`] is [`Strategy::Yannakakis`]. Atom indices match
     /// the merged-atom indices of [`PreparedQuery::build`].
     pub join_tree: Option<JoinTree>,
+    /// The verified regime-minimization result, present exactly when at
+    /// least one rewrite step applied. When present, every other plan
+    /// field ([`Plan::measures`], regimes, strategy, budget, join tree)
+    /// describes the *minimized* query — the one evaluation runs.
+    pub minimize: Option<Minimized>,
     /// The text the query was parsed from, for caret rendering in
     /// [`Plan::explain`] (`None` for programmatic queries).
     source: Option<String>,
@@ -226,6 +233,17 @@ impl Plan {
         if let Some(tree) = &self.join_tree {
             out.push_str(&format!("join tree (merged-atom arcs): {}\n", tree.arcs()));
         }
+        if let Some(m) = &self.minimize {
+            for s in &m.steps {
+                out.push_str(&format!("rewrite: {} — {}\n", s.kind, s.detail));
+            }
+            out.push_str(&format!(
+                "rewrote {} → {} (minimizer: {} verified step(s))\n",
+                m.before_class,
+                m.after_class,
+                m.steps.len()
+            ));
+        }
         for d in &self.analysis.diagnostics {
             if d.code == Code::SubsumedAtom {
                 out.push_str(&format!(
@@ -262,13 +280,19 @@ impl Plan {
 /// search, and warnings surface in [`Plan::explain`].
 pub fn plan(db: &GraphDb, query: &Ecrpq) -> Plan {
     let analysis = analyze(query);
-    let measures = analysis.measures;
+    let minimized = (!analysis.has_errors())
+        .then(|| minimize(query))
+        .filter(|m| !m.steps.is_empty());
+    // Every quantitative field describes the query evaluation will run:
+    // the minimized one when the verified rewrite search improved it.
+    let effective = minimized.as_ref().map_or(query, |m| &m.query);
+    let measures = minimized.as_ref().map_or(analysis.measures, |m| m.after);
     let bounds = ClassBounds {
         cc_vertex: Some(measures.cc_vertex),
         cc_hedge: Some(measures.cc_hedge),
         treewidth: Some(measures.treewidth),
     };
-    let (strategy, estimated_tuples, join_tree) = choose_strategy(db, query, &measures);
+    let (strategy, estimated_tuples, join_tree) = choose_strategy(db, effective, &measures);
     Plan {
         measures,
         combined: combined_regime(&bounds),
@@ -278,8 +302,21 @@ pub fn plan(db: &GraphDb, query: &Ecrpq) -> Plan {
         default_budget: regime_budget(budget_regime(&measures)),
         analysis,
         join_tree,
+        minimize: minimized,
         source: query.source().map(str::to_owned),
     }
+}
+
+/// Runs the verified regime-minimization search under the
+/// [`Phase::Minimize`] span and returns the rewritten query when at
+/// least one step applied (`None` = evaluate the input as-is). The
+/// counter records the number of verified steps.
+fn minimized_query<T: Tracer>(query: &Ecrpq, tracer: &T) -> Option<Ecrpq> {
+    let span = PhaseSpan::start(tracer, Phase::Minimize);
+    let m = minimize(query);
+    tracer.count(Phase::Minimize, m.steps.len() as u64);
+    span.finish(tracer);
+    (!m.steps.is_empty()).then_some(m.query)
 }
 
 /// Strategy selection: the CQ pipeline materializes ≈ `|V|^{2k}` tuples
@@ -339,6 +376,8 @@ pub fn evaluate_with_stats(db: &GraphDb, query: &Ecrpq) -> (bool, ProductStats) 
     if analyze(query).has_errors() {
         return (false, ProductStats::default());
     }
+    let minimized = minimized_query(query, &NoopTracer);
+    let query = minimized.as_ref().unwrap_or(query);
     // lint:allow(unwrap): validation errors were caught by the analyzer gate above
     let query = match crate::optimize::optimize(query).expect("invalid query") {
         crate::optimize::Simplified::ConstFalse => return (false, ProductStats::default()),
@@ -397,6 +436,26 @@ pub fn answers_with_stats(db: &GraphDb, query: &Ecrpq) -> (BTreeSet<Vec<NodeId>>
     if analyze(query).has_errors() {
         return (BTreeSet::new(), ProductStats::default());
     }
+    let minimized = minimized_query(query, &NoopTracer);
+    let query = minimized.as_ref().unwrap_or(query);
+    answers_pipeline(db, query)
+}
+
+/// [`answers`] with the regime-minimization step disabled: the baseline
+/// the E21 experiment (and the differential suite) compares against. The
+/// answer set is identical — minimization only applies rewrites verified
+/// equivalent both ways — but the regime, and therefore the cost, may
+/// differ dramatically.
+pub fn answers_without_minimize(db: &GraphDb, query: &Ecrpq) -> BTreeSet<Vec<NodeId>> {
+    if analyze(query).has_errors() {
+        return BTreeSet::new();
+    }
+    answers_pipeline(db, query).0
+}
+
+/// The shared post-minimization answer pipeline: rewrite, pick a
+/// strategy, enumerate.
+fn answers_pipeline(db: &GraphDb, query: &Ecrpq) -> (BTreeSet<Vec<NodeId>>, ProductStats) {
     // lint:allow(unwrap): validation errors were caught by the analyzer gate above
     let query = match crate::optimize::optimize(query).expect("invalid query") {
         crate::optimize::Simplified::ConstFalse => {
@@ -446,6 +505,8 @@ pub fn evaluate_governed(db: &GraphDb, query: &Ecrpq, opts: &EvalOptions) -> Out
             metrics: None,
         };
     }
+    let minimized = minimized_query(query, &NoopTracer);
+    let query = minimized.as_ref().unwrap_or(query);
     // lint:allow(unwrap): validation errors were caught by the analyzer gate above
     let query = match crate::optimize::optimize(query).expect("invalid query") {
         crate::optimize::Simplified::ConstFalse => {
@@ -507,6 +568,8 @@ pub fn answers_governed_with_tracer<T: Tracer>(
             metrics: None,
         };
     }
+    let minimized = minimized_query(query, tracer);
+    let query = minimized.as_ref().unwrap_or(query);
     // lint:allow(unwrap): validation errors were caught by the analyzer gate above
     let query = match crate::optimize::optimize(query).expect("invalid query") {
         crate::optimize::Simplified::ConstFalse => {
@@ -749,13 +812,16 @@ mod tests {
     /// A 100-node chain with a query whose CQ reduction has hyperedges
     /// `{x,y}` (eq-length–merged pair) and `{y,z}` (unary atom):
     /// `cc_vertex = 2`, so 100⁴ = 1e8 tuples is over budget, and the
-    /// reduction is α-acyclic with two merged atoms.
+    /// reduction is α-acyclic with two merged atoms. The alphabet has two
+    /// letters so `eq_len` is *not* equality and the regime minimizer
+    /// leaves the component intact.
     fn chain_db_acyclic_query() -> (GraphDb, Ecrpq) {
         let mut db = GraphDb::new();
         let nodes: Vec<_> = (0..100).map(|i| db.add_node(&format!("n{i}"))).collect();
         for i in 1..100 {
             db.add_edge(nodes[i - 1], 'a', nodes[i]);
         }
+        db.add_edge(nodes[0], 'b', nodes[0]);
         let mut q = Ecrpq::new(db.alphabet().clone());
         let x = q.node_var("x");
         let y = q.node_var("y");

@@ -1,9 +1,10 @@
 //! Phase-scoped observability: tracers, timers, and the metrics registry.
 //!
-//! Evaluation time is spent in nine phases (preparation, semijoin
+//! Evaluation time is spent in ten phases (preparation, semijoin
 //! pruning, the two Yannakakis semijoin passes, product BFS, odometer
 //! expansion, streaming enumeration, CQ join, tree-decomposition bag
-//! population); the complexity theorems of the paper predict *which* phase
+//! population, semantic regime minimization); the complexity theorems of
+//! the paper predict *which* phase
 //! dominates in each regime, so the experiments need a per-phase split.
 //! This module provides it without any cost to untraced runs:
 //!
@@ -52,11 +53,14 @@ pub enum Phase {
     CqJoin,
     /// Tree-decomposition bag population and semijoin reduction.
     TreedecBags,
+    /// Semantic regime minimization: the verified rewrite search that
+    /// runs before planning (counter = verified rewrite steps applied).
+    Minimize,
 }
 
 impl Phase {
     /// All phases, in rendering order.
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 10] = [
         Phase::Prepare,
         Phase::Semijoin,
         Phase::YannakakisUp,
@@ -66,6 +70,7 @@ impl Phase {
         Phase::Enumerate,
         Phase::CqJoin,
         Phase::TreedecBags,
+        Phase::Minimize,
     ];
 
     /// Number of phases.
@@ -88,6 +93,7 @@ impl Phase {
             Phase::Enumerate => "enumerate",
             Phase::CqJoin => "cq-join",
             Phase::TreedecBags => "treedec-bags",
+            Phase::Minimize => "minimize",
         }
     }
 }

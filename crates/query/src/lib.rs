@@ -25,8 +25,10 @@ pub mod ast;
 pub mod cq;
 pub mod parser;
 pub mod union;
+pub mod unparse;
 
 pub use ast::{Ecrpq, NodeVar, PathVar, QueryError, QueryMeasures, Span};
 pub use cq::{Cq, CqAtom, RelationalDb};
 pub use parser::{parse_query, parse_union, RelationRegistry};
 pub use union::Uecrpq;
+pub use unparse::unparse;

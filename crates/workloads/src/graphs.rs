@@ -254,6 +254,83 @@ pub fn planted_acyclic_instance(
     (g, q, answers)
 }
 
+/// Decoy-cycle length in [`planted_regime_shift_instance`]: every
+/// product-search feasibility check sweeps a whole cycle, so this sets
+/// the per-check cost the unminimized direct-product baseline pays.
+const SHIFT_DECOY_CYCLE: usize = 24;
+
+/// The planted NP→PTIME regime-shift instance of experiment E21: the query
+///
+/// ```text
+/// q(w, z) :- w -[p1]-> x, x -[p2]-> y, y -[p3]-> z,
+///            w -[c1]-> y, x -[c2]-> z, w -[c3]-> z,
+///            p1, p2, p3 ∈ a*b,   c1, c2, c3 ∈ (a|b)*
+/// ```
+///
+/// has `G^node = K4` (treewidth 3 → NP regime) before minimization. The
+/// three chords are universal reachability atoms implied by the chain, so
+/// the regime minimizer elides them, leaving a 3-atom chain (treewidth 1
+/// → PTIME regime) whose α-acyclic reduction gets the Yannakakis
+/// program. The unminimized query's reduction is cyclic (`K4` has no GYO
+/// ear), forcing the direct product search over all six path atoms.
+///
+/// The database is `n` vertices arranged in `a`-cycles of length
+/// `SHIFT_DECOY_CYCLE` (24), each with a single parallel `b`-edge at a
+/// seed-determined position: every vertex of a cycle has `a*b` paths (all
+/// ending at the `b`-target), so no per-atom sweep prunes anything, and
+/// the joint search pays cycle-sweeping feasibility checks per candidate.
+/// The answer set is exactly `{(w, t_C) : w ∈ C}` for each cycle `C` with
+/// `b`-target `t_C`, and is returned as the third component.
+pub fn planted_regime_shift_instance(
+    n: usize,
+    seed: u64,
+) -> (GraphDb, Ecrpq, std::collections::BTreeSet<Vec<NodeId>>) {
+    assert!(n >= 2);
+    let mut alphabet = Alphabet::ascii_lower(2);
+    // lint:allow(unwrap): literal regexes over the fixed 2-letter alphabet
+    let lang_ab = Regex::compile_str("a*b", &mut alphabet).expect("valid regex");
+    // lint:allow(unwrap): literal regex over the fixed 2-letter alphabet
+    let lang_any = Regex::compile_str("(a|b)*", &mut alphabet).expect("valid regex");
+    let mut g = GraphDb::with_alphabet(alphabet.clone());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let a = g.alphabet_mut().intern('a');
+    let b = g.alphabet_mut().intern('b');
+    let first = g.add_nodes_anon(n);
+    let mut answers = std::collections::BTreeSet::new();
+    let mut start = 0usize;
+    while start < n {
+        let len = SHIFT_DECOY_CYCLE.min(n - start);
+        for i in 0..len {
+            let v = first + (start + i) as NodeId;
+            let w = first + (start + (i + 1) % len) as NodeId;
+            g.add_edge_sym(v, a, w);
+        }
+        // one b-edge parallel to a random a-edge of the cycle: its target
+        // is the unique endpoint of every a*b path in this cycle
+        let i = rng.gen_range(0..len);
+        let bv = first + (start + i) as NodeId;
+        let bt = first + (start + (i + 1) % len) as NodeId;
+        g.add_edge_sym(bv, b, bt);
+        for w in 0..len {
+            answers.insert(vec![first + (start + w) as NodeId, bt]);
+        }
+        start += len;
+    }
+    let mut q = Ecrpq::new(alphabet);
+    let w = q.node_var("w");
+    let x = q.node_var("x");
+    let y = q.node_var("y");
+    let z = q.node_var("z");
+    q.crpq_atom(w, &lang_ab, "a*b", x);
+    q.crpq_atom(x, &lang_ab, "a*b", y);
+    q.crpq_atom(y, &lang_ab, "a*b", z);
+    q.crpq_atom(w, &lang_any, "(a|b)*", y);
+    q.crpq_atom(x, &lang_any, "(a|b)*", z);
+    q.crpq_atom(w, &lang_any, "(a|b)*", z);
+    q.set_free(&[w, z]);
+    (g, q, answers)
+}
+
 /// A random graph database: `n` vertices, ≈`avg_degree` outgoing edges per
 /// vertex, labels uniform over `num_labels` letters. Deterministic in
 /// `seed`.

@@ -28,7 +28,8 @@ pub mod queries;
 
 pub use graphs::{
     chain_db, cycle_db, grid_db, grid_db_anon, planted_acyclic_instance,
-    planted_power_law_instance, power_law_db, random_db, random_dfa, random_nfa,
+    planted_power_law_instance, planted_regime_shift_instance, power_law_db, random_db, random_dfa,
+    random_nfa,
 };
 pub use ine::{planted_ine, random_ine};
 pub use oracle::{oracle_answers, oracle_eval};

@@ -412,6 +412,98 @@ pub fn lint_materialize(path: &str, content: &str) -> Vec<Violation> {
     out
 }
 
+/// Files implementing semantics-changing query rewrites. Every site that
+/// applies a rewrite (drops, replaces, or admits a candidate query) must
+/// be dominated by a containment-verification call in the same function —
+/// the soundness discipline of the regime minimizer and the optimizer.
+pub const REWRITE_FILES: &[&str] = &[
+    "crates/core/src/optimize.rs",
+    "crates/analyze/src/minimize.rs",
+];
+
+/// Marker that exempts one audited rewrite application from
+/// [`lint_unverified_rewrite`]. Put it on the offending line or the line
+/// just above, with a word on why the rewrite is sound without a
+/// containment check (e.g. pure bookkeeping, no language change).
+pub const ALLOW_UNVERIFIED: &str = "lint:allow(unverified-rewrite)";
+
+/// Tokens that apply a rewrite: marking an atom dropped, or admitting a
+/// candidate query into the search frontier.
+const REWRITE_APPLY: &[&str] = &["dropped[", "candidates.push("];
+
+/// Tokens that verify containment: any of these between the enclosing
+/// `fn` line and the application site counts as domination.
+const REWRITE_VERIFY: &[&str] = &[
+    "is_subset_of",
+    "verify_equiv",
+    "is_universal",
+    ".equivalent(",
+];
+
+/// Rule 9: in a [`REWRITE_FILES`] module, every rewrite-application site
+/// (see [`REWRITE_APPLY`]) must have a containment-verification call (see
+/// [`REWRITE_VERIFY`]) earlier in the same function — a rewrite admitted
+/// without two-way language inclusion is unsound by construction.
+/// Audited exceptions carry [`ALLOW_UNVERIFIED`] on the line or the line
+/// above; `#[cfg(test)]` blocks and comment lines are skipped.
+pub fn lint_unverified_rewrite(path: &str, content: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let lines: Vec<&str> = content.lines().collect();
+    let mut i = 0usize;
+    let mut skip_depth: Option<i64> = None; // brace depth at cfg(test) entry
+    let mut depth: i64 = 0;
+    while i < lines.len() {
+        let line = lines[i];
+        let code = strip_comment(line);
+        if skip_depth.is_none() && code.contains("#[cfg(test)]") {
+            skip_depth = Some(depth);
+        }
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+        depth += opens - closes;
+        if let Some(d) = skip_depth {
+            if depth <= d && closes > 0 {
+                skip_depth = None;
+            }
+            i += 1;
+            continue;
+        }
+        for needle in REWRITE_APPLY {
+            if !code.contains(needle) {
+                continue;
+            }
+            let allowed = line.contains(ALLOW_UNVERIFIED)
+                || (i > 0 && lines[i - 1].contains(ALLOW_UNVERIFIED));
+            if allowed {
+                continue;
+            }
+            // scan back to the enclosing `fn` line; any verification
+            // token in that window dominates the application site
+            let fn_line = (0..=i)
+                .rev()
+                .find(|&j| strip_comment(lines[j]).contains("fn "))
+                .unwrap_or(0);
+            let verified = (fn_line..=i).any(|j| {
+                let c = strip_comment(lines[j]);
+                REWRITE_VERIFY.iter().any(|v| c.contains(v))
+            });
+            if !verified {
+                out.push(Violation {
+                    file: path.to_string(),
+                    line: i + 1,
+                    message: format!(
+                        "`{needle}` rewrite application without a containment check earlier \
+                         in the function — verify with two-way language inclusion, or audit \
+                         with `// {ALLOW_UNVERIFIED}: why this is sound`"
+                    ),
+                });
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
 /// Drops a trailing `// …` comment (naive: does not parse string
 /// literals, which is fine for the policy rules above).
 fn strip_comment(line: &str) -> &str {
@@ -697,5 +789,69 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].file, "target/debug/foo.d");
         assert!(lint_tracked_target(["src/lib.rs"].iter().copied()).is_empty());
+    }
+
+    #[test]
+    fn unverified_rewrite_fires_without_domination() {
+        let bad = "\
+fn apply(atoms: &[Atom]) {
+    dropped[0] = true;
+    candidates.push((step, q2));
+}
+";
+        let v = lint_unverified_rewrite("crates/core/src/optimize.rs", bad);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[1].line, 3);
+        assert!(v[0].message.contains("containment check"));
+    }
+
+    #[test]
+    fn unverified_rewrite_accepts_dominated_sites() {
+        let good = "\
+fn apply(atoms: &[Atom]) {
+    if atoms[i].rel.is_subset_of(&atoms[j].rel) {
+        dropped[j] = true;
+    }
+    match verify_equiv(&a, &b, cfg) {
+        Verdict::Verified => candidates.push((step, q2)),
+        _ => {}
+    }
+}
+";
+        assert!(lint_unverified_rewrite("f", good).is_empty());
+    }
+
+    #[test]
+    fn unverified_rewrite_respects_marker_tests_and_fn_boundaries() {
+        let audited = "\
+fn apply() {
+    // lint:allow(unverified-rewrite): bookkeeping only, no language change
+    dropped[0] = true;
+}
+";
+        assert!(lint_unverified_rewrite("f", audited).is_empty());
+        assert!(lint_unverified_rewrite("f", "// dropped[ in prose\n").is_empty());
+        let test_only = "\
+#[cfg(test)]
+mod tests {
+    fn t() {
+        candidates.push(x);
+    }
+}
+";
+        assert!(lint_unverified_rewrite("f", test_only).is_empty());
+        // a verification in an *earlier* function must not dominate
+        let other_fn = "\
+fn checker(a: &SyncRel, b: &SyncRel) -> bool {
+    a.is_subset_of(b)
+}
+fn apply() {
+    dropped[0] = true;
+}
+";
+        let v = lint_unverified_rewrite("f", other_fn);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 5);
     }
 }

@@ -8,9 +8,9 @@ mod lint;
 
 use lint::{
     lint_budget_checkpoints, lint_default_hasher, lint_forbid_unsafe, lint_materialize,
-    lint_raw_clock, lint_scalar_probe, lint_tracked_target, lint_unwrap, Violation,
-    BITPARALLEL_HOT_FILES, BUDGET_HOT_FILES, CLOCK_HOT_FILES, ENUMERATOR_FILES, HOT_PATH_FILES,
-    OWN_CRATES,
+    lint_raw_clock, lint_scalar_probe, lint_tracked_target, lint_unverified_rewrite, lint_unwrap,
+    Violation, BITPARALLEL_HOT_FILES, BUDGET_HOT_FILES, CLOCK_HOT_FILES, ENUMERATOR_FILES,
+    HOT_PATH_FILES, OWN_CRATES, REWRITE_FILES,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -159,19 +159,35 @@ fn run_lint() -> ExitCode {
         }
     }
 
+    // Rule 9: every rewrite-application site in the optimizer and the
+    // regime minimizer must be dominated by a containment-verification
+    // call in the same function (or carries an audit marker).
+    for hot in REWRITE_FILES {
+        let path = root.join(hot);
+        match std::fs::read_to_string(&path) {
+            Ok(content) => violations.extend(lint_unverified_rewrite(hot, &content)),
+            Err(e) => {
+                eprintln!("xtask: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     for v in &violations {
         println!("{v}");
     }
     if violations.is_empty() {
         println!(
             "xtask lint: clean ({} entry points, {} hot files, {} budget-hot files, \
-             {} clock-hot files, {} kernel files, {} enumerator files, {} library files)",
+             {} clock-hot files, {} kernel files, {} enumerator files, {} rewrite files, \
+             {} library files)",
             entries.len(),
             HOT_PATH_FILES.len(),
             BUDGET_HOT_FILES.len(),
             CLOCK_HOT_FILES.len(),
             BITPARALLEL_HOT_FILES.len(),
             ENUMERATOR_FILES.len(),
+            REWRITE_FILES.len(),
             lib_sources.len()
         );
         ExitCode::SUCCESS

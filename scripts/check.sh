@@ -19,7 +19,7 @@ cargo test -q --offline
 echo "== differential suites (evaluator equivalence, layout + parallel + budget + oracle) =="
 cargo test -q --offline --test differential --test parallel_differential --test layout_differential \
   --test budget_differential --test oracle_differential --test metrics_invariants \
-  --test trace_observability
+  --test trace_observability --test minimize_differential
 
 echo "== xtask lint (repo policy) =="
 cargo run -q -p xtask --offline -- lint
@@ -45,6 +45,35 @@ ECRPQ_E20_NODES=8000 ECRPQ_E20_OUT=target/e20_smoke.json \
 diff <(grep -o '"[a-z_]*":' target/e20_smoke.json | sort -u) \
      <(grep -o '"[a-z_]*":' BENCH_yannakakis.json | sort -u) \
   || { echo "E20 JSON schema drifted from BENCH_yannakakis.json"; exit 1; }
+
+echo "== E21 smoke (regime minimizer on the planted NP-to-PTIME instance) =="
+# 48 nodes keeps the NP-regime baseline evaluation to a fraction of a
+# second while still exercising all three chord elisions and the in-bench
+# answer-set assertions; the committed BENCH_minimize.json is the
+# full-size (96-node) run
+ECRPQ_E21_NODES=48 ECRPQ_E21_OUT=target/e21_smoke.json \
+  cargo run -q --release --offline -p ecrpq-bench --bin experiments -- E21 > /dev/null
+diff <(grep -o '"[a-z_]*":' target/e21_smoke.json | sort -u) \
+     <(grep -o '"[a-z_]*":' BENCH_minimize.json | sort -u) \
+  || { echo "E21 JSON schema drifted from BENCH_minimize.json"; exit 1; }
+
+echo "== analyze --fix idempotence (on corpus copies, never in place) =="
+# pass 1 over pristine copies may apply fixes; pass 2 must apply zero and
+# leave every file byte-identical — the --fix contract the W006
+# suggestions promise
+rm -rf target/fix_idempotence target/fix_idempotence_pass1
+mkdir -p target/fix_idempotence
+cp queries/*.ecrpq target/fix_idempotence/
+cargo run -q --release --offline -p ecrpq-bench --bin analyze -- --fix \
+  target/fix_idempotence/*.ecrpq > /dev/null
+cp -r target/fix_idempotence target/fix_idempotence_pass1
+second=$(cargo run -q --release --offline -p ecrpq-bench --bin analyze -- --fix \
+  target/fix_idempotence/*.ecrpq)
+if echo "$second" | grep -qv ": 0 fix(es) applied"; then
+  echo "analyze --fix is not idempotent:"; echo "$second"; exit 1
+fi
+diff -r target/fix_idempotence target/fix_idempotence_pass1 \
+  || { echo "analyze --fix second pass changed files"; exit 1; }
 
 echo "== analyze CLI over the query corpus + workloads =="
 cargo run -q --release --offline -p ecrpq-bench --bin analyze -- queries/*.ecrpq --workloads

@@ -10,7 +10,7 @@
 //! Regenerate goldens after an intentional rendering change with
 //! `UPDATE_GOLDEN=1 cargo test --test analyzer`.
 
-use ecrpq::analyze::{analyze, analyze_with, AnalyzerConfig, Severity};
+use ecrpq::analyze::{analyze, analyze_with, AnalyzerConfig, Code, Severity};
 use ecrpq::automata::Alphabet;
 use ecrpq::eval::planner::{self, combined_regime, param_regime, ClassBounds};
 use ecrpq::eval::product::answers_product;
@@ -113,6 +113,49 @@ fn golden_threshold_warning() {
     assert!(!a.has_errors());
     assert!(a.warnings().count() > 0);
     check_golden("threshold_warning.txt", &a.render(q.source()));
+}
+
+/// Parse the query line (first non-comment line) of a committed
+/// `queries/*.ecrpq` corpus file.
+fn parse_corpus_file(name: &str) -> Ecrpq {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("queries")
+        .join(name);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    let line = text
+        .lines()
+        .find(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .unwrap_or_else(|| panic!("{name}: no query line"));
+    parse(line)
+}
+
+/// W006 on the committed NP-regime corpus query: the minimizer elides
+/// all three universal chords and the diagnostic carries the full
+/// machine-applicable rewrite (the text `analyze --fix` writes back).
+#[test]
+fn golden_minimize_np_diamond_chord() {
+    let q = parse_corpus_file("np_diamond_chord.ecrpq");
+    let a = analyze(&q);
+    assert!(!a.has_errors());
+    assert!(
+        a.warnings().any(|d| d.code == Code::MinimizableQuery),
+        "W006 must fire on the chorded-chain corpus query"
+    );
+    check_golden("minimize_np_diamond_chord.txt", &a.render(q.source()));
+}
+
+/// W006 on the committed PSPACE-regime corpus query: three equality
+/// contractions collapse four eq-chained parallel paths to one atom.
+#[test]
+fn golden_minimize_pspace_eq_star() {
+    let q = parse_corpus_file("pspace_eq_star.ecrpq");
+    let a = analyze(&q);
+    assert!(!a.has_errors());
+    assert!(
+        a.warnings().any(|d| d.code == Code::MinimizableQuery),
+        "W006 must fire on the eq-star corpus query"
+    );
+    check_golden("minimize_pspace_eq_star.txt", &a.render(q.source()));
 }
 
 fn workload_corpus() -> Vec<(String, Ecrpq)> {
