@@ -273,19 +273,36 @@ pub fn answers_product_with_stats_traced<T: Tracer>(
     }
     let workers = product_workers(db, query, opts);
     let tables = SharedTables::build_traced(db, query, opts.layout, None, tracer);
+    materialized_answers_over(db, query, &tables, opts.layout, workers, tracer)
+}
+
+/// The parallel region of the materialized product enumeration, over
+/// tables that already exist: sequential [`Evaluator`] at one worker,
+/// chunk-stealing worker pool otherwise. Extracted so the serial
+/// `SharedTables` build (semijoin sweep, closure, dense tables) sits
+/// *outside* the region callers time or amortize — prepared-plan callers
+/// pay it once, not per run.
+fn materialized_answers_over<T: Tracer>(
+    db: &GraphDb,
+    query: &PreparedQuery,
+    tables: &SharedTables,
+    layout: Layout,
+    workers: usize,
+    tracer: &T,
+) -> (BTreeSet<Vec<NodeId>>, ProductStats) {
     if workers <= 1 {
-        let mut e = Evaluator::with_tables_traced(db, query, &tables, tracer.fork_worker());
+        let mut e = Evaluator::with_tables_traced(db, query, tables, tracer.fork_worker());
         let answers = e.answers();
         return (answers, e.stats);
     }
-    let ranges = product_chunk_ranges(db.num_nodes(), workers, opts.layout);
+    let ranges = product_chunk_ranges(db.num_nodes(), workers, layout);
     let next = AtomicUsize::new(0);
     let mut out: BTreeSet<Vec<NodeId>> = BTreeSet::new();
     let mut stats = ProductStats::default();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                let (next, tables, ranges) = (&next, &tables, &ranges);
+                let (next, ranges) = (&next, &ranges);
                 // fork before spawn: deterministic registration order
                 let worker_tracer = tracer.fork_worker();
                 s.spawn(move || {
@@ -496,6 +513,155 @@ fn answers_yannakakis_inner<T: Tracer>(
         SharedTables::build_traced_with(db, query, Layout::Flat, governor, tracer, Some(tree));
     let workers = product_workers(db, query, opts);
     stream_answers(db, query, &tables, governor, workers, tracer)
+}
+
+// ---------------------------------------------------------------------------
+// Prepared evaluation state (tables built once, executed many times)
+// ---------------------------------------------------------------------------
+
+/// Pre-built read-only evaluation state for the product-family entry
+/// points: the `SharedTables` — trimmed automata, reachability closure,
+/// dense row-grouped transition tables, semijoin-pruned enumeration
+/// domains — that every engine call otherwise rebuilds serially before
+/// its workers spawn. Building them once and executing many times is what
+/// a prepared-plan cache amortizes, and it is also what makes thread
+/// scaling visible end-to-end: the serial build no longer dilutes the
+/// parallel search region (Amdahl).
+///
+/// The tables are plain owned data (`Send + Sync`), safe to share across
+/// threads and across executions. They are **always built ungoverned**: a
+/// governor tripping mid-build truncates closure rows and semijoin
+/// domains — sound for the single run that observes the non-complete
+/// [`Termination`], but silently lossy if ever reused. Per-execution
+/// budgets are enforced by the governed prepared entry points, which
+/// construct a fresh `Governor` on every call.
+pub struct PreparedTables {
+    tables: SharedTables,
+    layout: Layout,
+}
+
+impl PreparedTables {
+    /// Builds the shared evaluation tables for `query` over `db` under
+    /// `layout` (no join tree: the semijoin sweep prunes per-variable
+    /// domains pairwise, as the direct-product strategy does). Also
+    /// freezes the database's CSR index, so no later execution pays for
+    /// it.
+    pub fn build(db: &GraphDb, query: &PreparedQuery, layout: Layout) -> Self {
+        PreparedTables {
+            tables: SharedTables::build_with_layout(db, query, layout),
+            layout,
+        }
+    }
+
+    /// Builds tables whose domains are made globally consistent by the
+    /// two-pass Yannakakis semijoin program over `tree` (always the flat
+    /// layout, matching the planner's Yannakakis dispatch).
+    pub fn build_for_tree(db: &GraphDb, query: &PreparedQuery, tree: &JoinTree) -> Self {
+        PreparedTables {
+            tables: SharedTables::build_traced_with(
+                db,
+                query,
+                Layout::Flat,
+                None,
+                &NoopTracer,
+                Some(tree),
+            ),
+            layout: Layout::Flat,
+        }
+    }
+
+    /// The layout these tables were built for. Prepared executions use
+    /// it regardless of what [`EvalOptions::layout`] says — the dense
+    /// tables and domain bitmaps are layout-specific.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+}
+
+/// Answer enumeration over pre-built tables: exactly the parallel region
+/// of [`answers_product_with_stats`], returning the identical answer set
+/// (the tables fix the layout; `opts.layout` is ignored). `opts.budget`
+/// is ignored except for `max_answers`, which routes through the
+/// streaming enumerator as in the one-shot path.
+pub fn answers_product_prepared(
+    db: &GraphDb,
+    query: &PreparedQuery,
+    tables: &PreparedTables,
+    opts: &EvalOptions,
+) -> (BTreeSet<Vec<NodeId>>, ProductStats) {
+    answers_product_prepared_traced(db, query, tables, opts, &NoopTracer)
+}
+
+/// As [`answers_product_prepared`], reporting per-phase counters to
+/// `tracer` (worker blocks forked in spawn order).
+pub fn answers_product_prepared_traced<T: Tracer>(
+    db: &GraphDb,
+    query: &PreparedQuery,
+    tables: &PreparedTables,
+    opts: &EvalOptions,
+    tracer: &T,
+) -> (BTreeSet<Vec<NodeId>>, ProductStats) {
+    let workers = product_workers(db, query, opts);
+    if let Some(cap) = opts.budget.max_answers {
+        let budget = ResourceBudget::unlimited().with_max_answers(cap);
+        let governor = Governor::new(&budget);
+        return stream_answers(db, query, &tables.tables, Some(&governor), workers, tracer);
+    }
+    materialized_answers_over(db, query, &tables.tables, tables.layout, workers, tracer)
+}
+
+/// Resource-governed answer enumeration over pre-built tables, for the
+/// direct-product strategy. A **fresh** `Governor` is constructed on
+/// every call — deadlines are measured from this call's entry, and no
+/// stop flag or termination survives into the next execution, so a cached
+/// plan whose previous run tripped its budget starts the next run clean.
+/// Unlike [`answers_product_governed`], the table build is not governed
+/// (it already happened, ungoverned, in [`PreparedTables::build`]); the
+/// budget covers the search region only.
+pub fn answers_product_governed_prepared_traced<T: Tracer>(
+    db: &GraphDb,
+    query: &PreparedQuery,
+    tables: &PreparedTables,
+    opts: &EvalOptions,
+    tracer: &T,
+) -> Outcome<BTreeSet<Vec<NodeId>>> {
+    let governor = Governor::new(&opts.budget);
+    let workers = product_workers(db, query, opts);
+    governed_answers_over(
+        db,
+        query,
+        &tables.tables,
+        tables.layout,
+        workers,
+        &governor,
+        tracer,
+    )
+}
+
+/// Resource-governed streaming enumeration over tables prepared with
+/// [`PreparedTables::build_for_tree`]: the Yannakakis execution tail
+/// (static first-variable partition, per-worker streams merged by union)
+/// with a fresh per-call `Governor`, mirroring
+/// [`answers_yannakakis_governed_traced`] minus the semijoin program it
+/// already paid for at preparation time.
+pub fn answers_yannakakis_governed_prepared_traced<T: Tracer>(
+    db: &GraphDb,
+    query: &PreparedQuery,
+    tables: &PreparedTables,
+    opts: &EvalOptions,
+    tracer: &T,
+) -> Outcome<BTreeSet<Vec<NodeId>>> {
+    let governor = Governor::new(&opts.budget);
+    let workers = product_workers(db, query, opts);
+    let (answers, mut stats) =
+        stream_answers(db, query, &tables.tables, Some(&governor), workers, tracer);
+    stats.budget_checks = governor.checkpoints_run();
+    Outcome {
+        answers,
+        stats,
+        termination: governor.termination(),
+        metrics: None,
+    }
 }
 
 /// How many workers a CQ backtracking run should use: bounded by the first
@@ -750,6 +916,23 @@ pub fn answers_product_governed_traced<T: Tracer>(
     let governor = Governor::new(&opts.budget);
     let tables = SharedTables::build_traced(db, query, opts.layout, Some(&governor), tracer);
     let workers = product_workers(db, query, opts);
+    governed_answers_over(db, query, &tables, opts.layout, workers, &governor, tracer)
+}
+
+/// The parallel region of the governed product enumeration over tables
+/// that already exist. The governor is *borrowed*, never stored: callers
+/// construct a fresh one per execution (its deadline `Instant` and stop
+/// flag are single-run state), which is what lets prepared-plan caches
+/// reuse the tables underneath without inheriting a tripped budget.
+fn governed_answers_over<T: Tracer>(
+    db: &GraphDb,
+    query: &PreparedQuery,
+    tables: &SharedTables,
+    layout: Layout,
+    workers: usize,
+    governor: &Governor,
+    tracer: &T,
+) -> Outcome<BTreeSet<Vec<NodeId>>> {
     let mut out: BTreeSet<Vec<NodeId>> = BTreeSet::new();
     let mut stats = ProductStats::default();
     if workers <= 1 {
@@ -759,20 +942,20 @@ pub fn answers_product_governed_traced<T: Tracer>(
         let mut it = AnswerIter::with_parts(
             db,
             query,
-            &tables,
-            Some(&governor),
+            tables,
+            Some(governor),
             None,
             tracer.fork_worker(),
         );
         it.drain_into(&mut out);
         stats = *it.stats();
     } else {
-        let ranges = product_chunk_ranges(db.num_nodes(), workers, opts.layout);
+        let ranges = product_chunk_ranges(db.num_nodes(), workers, layout);
         let next = AtomicUsize::new(0);
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
-                    let (next, tables, ranges, governor) = (&next, &tables, &ranges, &governor);
+                    let (next, ranges) = (&next, &ranges);
                     // fork before spawn: deterministic registration order
                     let worker_tracer = tracer.fork_worker();
                     s.spawn(move || {
@@ -1176,6 +1359,52 @@ mod tests {
         let seq = cq_eval::answers_cq(&db, &q);
         assert_eq!(seq.len(), 3);
         assert_eq!(answers_cq(&db, &q, &EvalOptions::with_threads(4)), seq);
+    }
+
+    #[test]
+    fn prepared_tables_match_one_shot() {
+        let db = chain_with_branches();
+        let q = eq_len_query(&db);
+        let p = PreparedQuery::build(&q).unwrap();
+        for layout in [Layout::Flat, Layout::BitParallel] {
+            let one_shot = answers_product(&db, &p, &EvalOptions::sequential().with_layout(layout));
+            let tables = PreparedTables::build(&db, &p, layout);
+            assert_eq!(tables.layout(), layout);
+            for threads in [1usize, 2, 4] {
+                let opts = EvalOptions::with_threads(threads).with_layout(layout);
+                // repeated executions over the same tables stay identical
+                for _ in 0..2 {
+                    let (ans, _) = answers_product_prepared(&db, &p, &tables, &opts);
+                    assert_eq!(ans, one_shot, "layout={layout:?} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_governed_runs_start_clean() {
+        let db = chain_with_branches();
+        let q = eq_len_query(&db);
+        let p = PreparedQuery::build(&q).unwrap();
+        let tables = PreparedTables::build(&db, &p, Layout::Flat);
+        let full = answers_product(&db, &p, &EvalOptions::sequential());
+        // run 1: an already-expired deadline (constructed per call, so it
+        // trips immediately)
+        let tight = EvalOptions::sequential()
+            .with_budget(ResourceBudget::unlimited().with_deadline(std::time::Duration::ZERO));
+        let first = answers_product_governed_prepared_traced(&db, &p, &tables, &tight, &NoopTracer);
+        assert_ne!(first.termination, Termination::Complete);
+        // run 2 on the very same tables: a fresh governor, so the run
+        // completes and matches the ungoverned set bit-for-bit
+        let second = answers_product_governed_prepared_traced(
+            &db,
+            &p,
+            &tables,
+            &EvalOptions::sequential(),
+            &NoopTracer,
+        );
+        assert_eq!(second.termination, Termination::Complete);
+        assert_eq!(second.answers, full);
     }
 
     #[test]

@@ -40,12 +40,13 @@ pub mod prepare;
 pub mod product;
 pub mod satisfiability;
 mod semijoin;
+pub mod server;
 pub mod to_cq;
 pub mod trace;
 pub mod ucrpq;
 
 pub use counting::{count_cq_nice, count_cq_treedec, count_ecrpq_assignments};
-pub use engine::EvalOptions;
+pub use engine::{EvalOptions, PreparedTables};
 pub use enumerate::{AnswerIter, Enumerator};
 pub use fnv::{FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher};
 pub use governor::{ExhaustedResource, Outcome, ResourceBudget, Termination};
@@ -61,6 +62,10 @@ pub use product::{
     Witness,
 };
 pub use satisfiability::satisfiable;
+pub use server::{
+    LatencyHistogram, PreparedPlan, QueryService, Response, ServerError, ServiceStats, Session,
+    SessionBudget,
+};
 pub use to_cq::ecrpq_to_cq;
 pub use trace::{
     render_phase_table, CollectingTracer, Metrics, NoopTracer, Phase, PhaseMetrics, PhaseSpan,

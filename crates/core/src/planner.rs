@@ -324,7 +324,7 @@ fn minimized_query<T: Tracer>(query: &Ecrpq, tracer: &T) -> Option<Ecrpq> {
 /// pipeline). Over budget, structure decides: an α-acyclic CQ reduction
 /// with at least two merged atoms gets the Yannakakis semijoin program
 /// with streaming enumeration, everything else the direct product search.
-fn choose_strategy(
+pub(crate) fn choose_strategy(
     db: &GraphDb,
     query: &Ecrpq,
     measures: &QueryMeasures,

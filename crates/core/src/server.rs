@@ -1,0 +1,985 @@
+//! Long-lived query service with an interned prepared-plan cache.
+//!
+//! The paper's headline result (Theorem 3.2) is a *per-query*
+//! classification: analysis, minimization, strategy selection and automata
+//! compilation depend on the query alone (plus the database size), while a
+//! production workload evaluates the same few queries over and over. This
+//! module amortizes the whole front half of the planner pipeline across
+//! executions: a [`QueryService`] owns the database and a cache of
+//! [`PreparedPlan`]s keyed by **normalized query text** (the verified
+//! [`ecrpq_query::unparse()`] rendering, so textual variants of one query —
+//! whitespace, variable spelling that round-trips identically — share a
+//! single compiled plan).
+//!
+//! # What is and is not cacheable
+//!
+//! A cached entry carries only *run-independent* state: the compiled
+//! [`PreparedQuery`], the [`Analysis`] and complexity regimes, the
+//! minimized form's step count, the per-regime default [`ResourceBudget`]
+//! (an inert description of limits), and lazily-built [`PreparedTables`]
+//! per layout. It **never** carries a `Governor` or a deadline `Instant`:
+//! a governor captures `Instant::now() + deadline` at construction and
+//! latches a one-way stop flag when any limit trips, so caching one would
+//! hand every later execution an already-expired deadline or an
+//! already-tripped stop flag. The governed engine entry points construct a
+//! fresh governor inside every call — see
+//! [`crate::engine::answers_product_governed_prepared_traced`] — and the
+//! regression suite proves a second run on a cached plan starts clean.
+//!
+//! For the same reason the cached tables are built **ungoverned**: a
+//! budget tripping mid-build truncates closure rows and semijoin domains,
+//! which is sound for the single run that reports a non-complete
+//! [`Termination`] but silently lossy forever if the truncated tables were
+//! reused. Only the per-execution search region is governed.
+//!
+//! # Admission control
+//!
+//! A [`Session`] layers per-client budget enforcement on top of the
+//! shared cache: each session holds a configuration-work pool, every
+//! execution's budget is intersected with the session's per-query budget
+//! and capped by what remains in the pool, and a session whose pool is
+//! exhausted is refused *before* any evaluation work is spent
+//! ([`ServerError::SessionExhausted`]). The pool is charged with the work
+//! the governor actually metered, so enforcement is exact up to the
+//! governor's cooperative check interval.
+
+use crate::engine::{self, EvalOptions, PreparedTables};
+use crate::governor::{Outcome, ResourceBudget, Termination};
+use crate::planner::{self, ClassBounds, CombinedRegime, ParamRegime, Strategy};
+use crate::prepare::PreparedQuery;
+use crate::product::ProductStats;
+use crate::to_cq::ecrpq_to_cq;
+use crate::trace::{CollectingTracer, Metrics};
+use crate::{FnvHashMap, Layout};
+use ecrpq_analyze::{analyze, minimize, Analysis, JoinTree};
+use ecrpq_graph::{GraphDb, NodeId};
+use ecrpq_query::{QueryMeasures, QueryParseError, RelationRegistry};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+/// State budget for the canonical-rendering verification inside key
+/// normalization: the [`ecrpq_query::unparse()`] equivalence checks refuse
+/// automata larger than this rather than trust them, in which case the
+/// cache key falls back to the trimmed source text.
+const UNPARSE_STATE_BUDGET: usize = 64;
+
+/// Locks a mutex, treating a poisoned lock as still usable: every
+/// protected structure here (cache map, folded metrics) is valid after
+/// any partial mutation, so a panicking worker must not wedge the
+/// service.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Why the service refused a request.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The query text was rejected by the grammar or validation.
+    Rejected(QueryParseError),
+    /// The query mentions edge symbols the database's alphabet does not
+    /// contain — evaluating it would require re-interning the database.
+    AlphabetMismatch {
+        /// Alphabet size after reading the query text.
+        query_symbols: usize,
+        /// The database's (fixed) alphabet size.
+        db_symbols: usize,
+    },
+    /// The session's configuration-work pool is exhausted; admission
+    /// control refused the request before any evaluation work was spent.
+    SessionExhausted,
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Rejected(e) => write!(f, "query rejected: {e}"),
+            ServerError::AlphabetMismatch {
+                query_symbols,
+                db_symbols,
+            } => write!(
+                f,
+                "query alphabet ({query_symbols} symbols) exceeds the database's ({db_symbols})"
+            ),
+            ServerError::SessionExhausted => {
+                write!(
+                    f,
+                    "session work pool exhausted; request refused at admission"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<QueryParseError> for ServerError {
+    fn from(e: QueryParseError) -> Self {
+        ServerError::Rejected(e)
+    }
+}
+
+/// The slot index for a layout in the per-plan table cache.
+fn layout_slot(layout: Layout) -> usize {
+    match layout {
+        Layout::Legacy => 0,
+        Layout::FlatUnpruned => 1,
+        Layout::Flat => 2,
+        Layout::BitParallel => 3,
+    }
+}
+
+/// A cached, fully analyzed and compiled query plan.
+///
+/// Everything here is run-independent (see the module docs for the
+/// cacheability argument); per-execution state — governors, deadlines,
+/// tracers — is constructed fresh inside [`QueryService::execute`].
+pub struct PreparedPlan {
+    /// The normalized cache key: the verified canonical rendering when
+    /// [`ecrpq_query::unparse()`] produced one, otherwise the trimmed
+    /// source text.
+    pub key: String,
+    /// Structural measures of the (minimized, optimized) query evaluation
+    /// actually runs.
+    pub measures: QueryMeasures,
+    /// The budget regime of the (minimized) query: Theorem 3.2's combined
+    /// regime with measures at or above the budget thresholds treated as
+    /// unbounded (see [`planner::budget_regime`]). Selects
+    /// [`PreparedPlan::default_budget`].
+    pub combined: CombinedRegime,
+    /// Theorem 3.1 parameterized regime of that class.
+    pub param: ParamRegime,
+    /// The evaluation strategy chosen for this database size.
+    pub strategy: Strategy,
+    /// The per-regime default [`ResourceBudget`] — an inert limit
+    /// description ([`Copy`], no clock), installed when a request's own
+    /// budget is unlimited.
+    pub default_budget: ResourceBudget,
+    /// Static analysis of the query as written (pre-minimization).
+    pub analysis: Analysis,
+    /// Number of verified minimizer rewrite steps that applied.
+    pub minimize_steps: usize,
+    /// The analyzer or optimizer proved the query unsatisfiable:
+    /// executions return the empty set without touching the database.
+    short_circuit: bool,
+    /// The compiled automata-product form (absent iff `short_circuit`).
+    prepared: Option<PreparedQuery>,
+    /// The GYO join tree, present exactly when `strategy` is
+    /// [`Strategy::Yannakakis`].
+    join_tree: Option<JoinTree>,
+    /// Lazily-built direct-product tables, one slot per [`Layout`].
+    product_tables: [OnceLock<Arc<PreparedTables>>; 4],
+    /// Lazily-built Yannakakis tables (flat layout, tree-driven domains).
+    yannakakis_tables: OnceLock<Arc<PreparedTables>>,
+    /// Lazily-materialized Lemma 4.3 reduction for [`Strategy::CqTreedec`].
+    cq: OnceLock<Arc<(ecrpq_query::Cq, ecrpq_query::RelationalDb)>>,
+}
+
+impl PreparedPlan {
+    /// Whether executions of this plan short-circuit to the empty answer
+    /// set (the analyzer or optimizer proved unsatisfiability).
+    pub fn is_short_circuit(&self) -> bool {
+        self.short_circuit
+    }
+}
+
+/// The result of one served execution.
+#[derive(Clone)]
+pub struct Response {
+    /// The (possibly budget-truncated) answer set.
+    pub answers: BTreeSet<Vec<NodeId>>,
+    /// Merged evaluator counters for this execution.
+    pub stats: ProductStats,
+    /// How this execution ended. [`Termination::Complete`] means the
+    /// answers are bit-identical to the ungoverned evaluation.
+    pub termination: Termination,
+    /// Folded per-phase observability counters for this execution.
+    pub metrics: Metrics,
+    /// Whether the plan came from the cache (`false` on the miss that
+    /// populated it, and always `false` from
+    /// [`QueryService::execute_uncached`]).
+    pub cached: bool,
+    /// Wall-clock service latency of this request (lookup-or-prepare plus
+    /// execution).
+    pub latency: Duration,
+    /// The plan that served the request, with its regimes and measures.
+    pub plan: Arc<PreparedPlan>,
+}
+
+/// Aggregate service counters, for dashboards and the E22 benchmark.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Requests served through the cache-aware entry points.
+    pub requests: u64,
+    /// Requests answered from an already-interned plan.
+    pub cache_hits: u64,
+    /// Requests that paid the cold prepare path.
+    pub cache_misses: u64,
+    /// Distinct compiled plans currently interned (aliases — raw-text
+    /// keys sharing a canonical plan — are not double-counted).
+    pub cached_plans: usize,
+    /// Median service latency from the log-bucketed histogram (a lower
+    /// bound within one sub-bucket, ≤ 1/16 relative error).
+    pub p50: Duration,
+    /// 99th-percentile service latency, same precision as `p50`.
+    pub p99: Duration,
+    /// Per-phase metrics folded across every served execution.
+    pub metrics: Metrics,
+}
+
+/// A concurrent log-bucketed latency histogram: 16 sub-buckets per
+/// power-of-two octave (relative bucket width 1/16), atomically updated,
+/// so quantiles over millions of requests cost a 1 KiB scan and recording
+/// is one relaxed `fetch_add`.
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+}
+
+/// log2 of the sub-buckets per octave.
+const HIST_SUB_BITS: u32 = 4;
+/// Sub-buckets per octave.
+const HIST_SUBS: u64 = 1 << HIST_SUB_BITS;
+/// Bucket count covering every `u64` nanosecond value:
+/// `(63 - HIST_SUB_BITS + 1) * HIST_SUBS + HIST_SUBS` rounded up.
+const HIST_BUCKETS: usize = 1024;
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index for a nanosecond value (exact below
+    /// [`HIST_SUBS`], then the top [`HIST_SUB_BITS`] mantissa bits of
+    /// each octave).
+    fn bucket_of(nanos: u64) -> usize {
+        let n = nanos.max(1);
+        let exp = 63 - u64::from(n.leading_zeros());
+        if exp < u64::from(HIST_SUB_BITS) {
+            return n as usize;
+        }
+        let shift = exp - u64::from(HIST_SUB_BITS);
+        let mantissa = (n >> shift) - HIST_SUBS;
+        ((exp - u64::from(HIST_SUB_BITS) + 1) * HIST_SUBS + mantissa) as usize
+    }
+
+    /// The smallest nanosecond value mapping to bucket `index` (the
+    /// inverse of [`LatencyHistogram::bucket_of`] on bucket lower bounds).
+    fn lower_bound(index: usize) -> u64 {
+        let i = index as u64;
+        if i < HIST_SUBS {
+            return i;
+        }
+        let octave = i / HIST_SUBS;
+        let mantissa = i % HIST_SUBS;
+        (HIST_SUBS + mantissa) << (octave - 1)
+    }
+
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        let slot = Self::bucket_of(nanos).min(HIST_BUCKETS - 1);
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the lower bound of the bucket
+    /// holding the target rank — an underestimate by at most one
+    /// sub-bucket (1/16 relative). [`Duration::ZERO`] when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return Duration::from_nanos(Self::lower_bound(i));
+            }
+        }
+        Duration::from_nanos(Self::lower_bound(HIST_BUCKETS - 1))
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+/// A long-lived query service: owns the database, interns prepared plans
+/// under normalized query text, and executes requests under fresh
+/// per-execution governors. Shared across threads by reference — every
+/// method takes `&self`.
+pub struct QueryService {
+    db: GraphDb,
+    registry: RelationRegistry,
+    cache: Mutex<FnvHashMap<String, Arc<PreparedPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    requests: AtomicU64,
+    histogram: LatencyHistogram,
+    metrics: Mutex<Metrics>,
+}
+
+impl QueryService {
+    /// A service over `db` resolving relation names through the default
+    /// [`RelationRegistry`]. Freezes the database's CSR index up front so
+    /// no request pays for it.
+    pub fn new(db: GraphDb) -> Self {
+        Self::with_registry(db, RelationRegistry::new())
+    }
+
+    /// As [`QueryService::new`] with a custom relation registry.
+    pub fn with_registry(db: GraphDb, registry: RelationRegistry) -> Self {
+        db.freeze();
+        QueryService {
+            db,
+            registry,
+            cache: Mutex::new(FnvHashMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            histogram: LatencyHistogram::new(),
+            metrics: Mutex::new(Metrics::default()),
+        }
+    }
+
+    /// The database this service evaluates over.
+    pub fn db(&self) -> &GraphDb {
+        &self.db
+    }
+
+    /// Looks `text` up in the plan cache, preparing and interning on a
+    /// miss. Returns the shared plan and whether it was a hit. The hot
+    /// path is a single map lookup on the trimmed source text; the cold
+    /// path additionally interns the plan under its canonical rendering,
+    /// so different spellings of one query converge on one compiled plan.
+    pub fn prepare(&self, text: &str) -> Result<(Arc<PreparedPlan>, bool), ServerError> {
+        let trimmed = text.trim();
+        if let Some(plan) = lock(&self.cache).get(trimmed).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((plan, true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(self.prepare_cold(trimmed)?);
+        let mut cache = lock(&self.cache);
+        // two racing misses both compile; the first to intern under the
+        // canonical key wins and both requests share the winner
+        let canonical = cache
+            .entry(plan.key.clone())
+            .or_insert_with(|| Arc::clone(&plan))
+            .clone();
+        if trimmed != canonical.key {
+            cache.insert(trimmed.to_string(), Arc::clone(&canonical));
+        }
+        Ok((canonical, false))
+    }
+
+    /// The cold path: parse, analyze, minimize, optimize, pick a
+    /// strategy, compile. Runs once per distinct query text; everything
+    /// it produces is run-independent and cached.
+    fn prepare_cold(&self, trimmed: &str) -> Result<PreparedPlan, ServerError> {
+        let mut alphabet = self.db.alphabet().clone();
+        // lint:allow(cold-path): one parse per distinct query text, amortized by the cache
+        let query = ecrpq_query::parse_query(trimmed, &mut alphabet, &self.registry)?;
+        if alphabet.len() != self.db.alphabet().len() {
+            return Err(ServerError::AlphabetMismatch {
+                query_symbols: alphabet.len(),
+                db_symbols: self.db.alphabet().len(),
+            });
+        }
+        // lint:allow(cold-path): key normalization runs once per distinct text
+        let key = ecrpq_query::unparse(&query, UNPARSE_STATE_BUDGET)
+            .unwrap_or_else(|| trimmed.to_string());
+
+        let analysis = analyze(&query);
+        if analysis.has_errors() {
+            return Ok(Self::short_circuit_plan(key, analysis));
+        }
+        let minimized = minimize(&query);
+        let minimize_steps = minimized.steps.len();
+        let effective = if minimize_steps == 0 {
+            query
+        } else {
+            minimized.query
+        };
+        // lint:allow(unwrap): validation errors were caught by the analyzer gate above
+        let optimized = match crate::optimize::optimize(&effective).expect("invalid query") {
+            crate::optimize::Simplified::ConstFalse => {
+                let mut plan = Self::short_circuit_plan(key, analysis);
+                plan.minimize_steps = minimize_steps;
+                return Ok(plan);
+            }
+            crate::optimize::Simplified::Query(q) => q,
+        };
+        let measures = optimized.measures();
+        let bounds = ClassBounds {
+            cc_vertex: Some(measures.cc_vertex),
+            cc_hedge: Some(measures.cc_hedge),
+            treewidth: Some(measures.treewidth),
+        };
+        let (strategy, _estimated, join_tree) =
+            planner::choose_strategy(&self.db, &optimized, &measures);
+        // lint:allow(cold-path) lint:allow(unwrap): compiled once per distinct query; the optimizer only emits valid queries
+        let prepared = PreparedQuery::build(&optimized).expect("invalid query");
+        Ok(PreparedPlan {
+            key,
+            measures,
+            combined: planner::budget_regime(&measures),
+            param: planner::param_regime(&bounds),
+            strategy,
+            default_budget: planner::regime_budget(planner::budget_regime(&measures)),
+            analysis,
+            minimize_steps,
+            short_circuit: false,
+            prepared: Some(prepared),
+            join_tree,
+            product_tables: [const { OnceLock::new() }; 4],
+            yannakakis_tables: OnceLock::new(),
+            cq: OnceLock::new(),
+        })
+    }
+
+    /// A plan whose executions return the empty set without touching the
+    /// database (analyzer error or constant-false rewrite).
+    fn short_circuit_plan(key: String, analysis: Analysis) -> PreparedPlan {
+        let measures = analysis.measures;
+        let bounds = ClassBounds {
+            cc_vertex: Some(measures.cc_vertex),
+            cc_hedge: Some(measures.cc_hedge),
+            treewidth: Some(measures.treewidth),
+        };
+        PreparedPlan {
+            key,
+            measures,
+            combined: planner::budget_regime(&measures),
+            param: planner::param_regime(&bounds),
+            strategy: Strategy::DirectProduct,
+            default_budget: planner::regime_budget(planner::budget_regime(&measures)),
+            analysis,
+            minimize_steps: 0,
+            short_circuit: true,
+            prepared: None,
+            join_tree: None,
+            product_tables: [const { OnceLock::new() }; 4],
+            yannakakis_tables: OnceLock::new(),
+            cq: OnceLock::new(),
+        }
+    }
+
+    /// Serves one request through the cache: lookup-or-prepare, then a
+    /// governed execution under a **fresh** governor (the request's
+    /// budget, or the plan's regime default when the request's is
+    /// unlimited). Records latency and folds the execution's phase
+    /// metrics into the service totals.
+    pub fn execute(&self, text: &str, opts: &EvalOptions) -> Result<Response, ServerError> {
+        let start = Instant::now();
+        let (plan, cached) = self.prepare(text)?;
+        let outcome = Self::run_plan(&self.db, &plan, opts);
+        self.finish(start, outcome, cached, plan)
+    }
+
+    /// The cold baseline the E22 benchmark compares against: re-prepares
+    /// the plan on every call, bypassing the cache entirely — what every
+    /// request paid before the service existed. Latency and metrics are
+    /// still recorded, so cached-vs-cold comparisons share one histogram
+    /// discipline.
+    pub fn execute_uncached(
+        &self,
+        text: &str,
+        opts: &EvalOptions,
+    ) -> Result<Response, ServerError> {
+        let start = Instant::now();
+        let plan = Arc::new(self.prepare_cold(text.trim())?);
+        let outcome = Self::run_plan(&self.db, &plan, opts);
+        self.finish(start, outcome, false, plan)
+    }
+
+    /// Shared response assembly: latency, histogram, metrics fold.
+    fn finish(
+        &self,
+        start: Instant,
+        outcome: Outcome<BTreeSet<Vec<NodeId>>>,
+        cached: bool,
+        plan: Arc<PreparedPlan>,
+    ) -> Result<Response, ServerError> {
+        let metrics = outcome.metrics.unwrap_or_default();
+        let latency = start.elapsed();
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.histogram.record(latency);
+        lock(&self.metrics).merge(&metrics);
+        Ok(Response {
+            answers: outcome.answers,
+            stats: outcome.stats,
+            termination: outcome.termination,
+            metrics,
+            cached,
+            latency,
+            plan,
+        })
+    }
+
+    /// Executes a prepared plan under `opts`. Every call constructs a
+    /// fresh governor inside the governed engine entry point it
+    /// dispatches to — the plan contributes only inert state (compiled
+    /// automata, tables, the default budget), so a previous run's tripped
+    /// stop flag or expired deadline cannot leak into this one.
+    fn run_plan(
+        db: &GraphDb,
+        plan: &PreparedPlan,
+        opts: &EvalOptions,
+    ) -> Outcome<BTreeSet<Vec<NodeId>>> {
+        let Some(prepared) = plan.prepared.as_ref() else {
+            return Outcome {
+                answers: BTreeSet::new(),
+                stats: ProductStats::default(),
+                termination: Termination::Complete,
+                metrics: Some(Metrics::default()),
+            };
+        };
+        let opts = if opts.budget.is_unlimited() {
+            opts.with_budget(plan.default_budget)
+        } else {
+            *opts
+        };
+        let tracer = CollectingTracer::new();
+        let mut outcome = match plan.strategy {
+            Strategy::CqTreedec => {
+                let cq = plan.cq.get_or_init(|| {
+                    let (cq, rdb, _) = ecrpq_to_cq(db, prepared);
+                    Arc::new((cq, rdb))
+                });
+                engine::answers_cq_treedec_governed_traced(&cq.1, &cq.0, &opts, &tracer)
+            }
+            Strategy::Yannakakis => {
+                // lint:allow(unwrap): Yannakakis is only chosen with a tree
+                let tree = plan.join_tree.as_ref().expect("join tree");
+                let tables = plan
+                    .yannakakis_tables
+                    .get_or_init(|| Arc::new(PreparedTables::build_for_tree(db, prepared, tree)));
+                engine::answers_yannakakis_governed_prepared_traced(
+                    db, prepared, tables, &opts, &tracer,
+                )
+            }
+            Strategy::DirectProduct => {
+                let tables = plan.product_tables[layout_slot(opts.layout)]
+                    .get_or_init(|| Arc::new(PreparedTables::build(db, prepared, opts.layout)));
+                engine::answers_product_governed_prepared_traced(
+                    db, prepared, tables, &opts, &tracer,
+                )
+            }
+        };
+        outcome.metrics = Some(tracer.metrics());
+        outcome
+    }
+
+    /// Multiplexes a batch of requests over a scoped worker pool:
+    /// `workers` threads pull request indices from an atomic queue, so a
+    /// slow query never blocks the whole batch behind it. Results come
+    /// back in request order.
+    pub fn serve<S: AsRef<str> + Sync>(
+        &self,
+        requests: &[(S, EvalOptions)],
+        workers: usize,
+    ) -> Vec<Result<Response, ServerError>> {
+        let n = requests.len();
+        let workers = workers.clamp(1, n.max(1));
+        if workers <= 1 {
+            return requests
+                .iter()
+                .map(|(text, opts)| self.execute(text.as_ref(), opts))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Result<Response, ServerError>>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some((text, opts)) = requests.get(i) else {
+                                break;
+                            };
+                            mine.push((i, self.execute(text.as_ref(), opts)));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for h in handles {
+                // lint:allow(unwrap): propagate worker panics instead of losing them
+                for (i, r) in h.join().expect("service worker panicked") {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            // lint:allow(unwrap): the atomic queue hands every index to exactly one worker
+            .map(|slot| slot.expect("request slot filled"))
+            .collect()
+    }
+
+    /// Opens a session with its own budget envelope over this service.
+    pub fn session(&self, budget: SessionBudget) -> Session<'_> {
+        Session {
+            service: self,
+            per_query: budget.per_query,
+            remaining: AtomicU64::new(budget.max_total_configurations.unwrap_or(u64::MAX)),
+            capped: budget.max_total_configurations.is_some(),
+            executed: AtomicU64::new(0),
+        }
+    }
+
+    /// Distinct compiled plans interned right now (raw-text aliases that
+    /// share a canonical plan count once).
+    pub fn cached_plans(&self) -> usize {
+        let cache = lock(&self.cache);
+        let mut distinct: Vec<*const PreparedPlan> = cache.values().map(Arc::as_ptr).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        distinct.len()
+    }
+
+    /// A snapshot of the service-wide counters, latency quantiles and
+    /// folded phase metrics.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            cached_plans: self.cached_plans(),
+            p50: self.histogram.quantile(0.5),
+            p99: self.histogram.quantile(0.99),
+            metrics: *lock(&self.metrics),
+        }
+    }
+}
+
+/// The budget envelope of a [`Session`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionBudget {
+    /// Per-execution budget, intersected with each request's own budget
+    /// (tightest limit wins on every axis). Unlimited by default, in
+    /// which case each plan's regime default applies.
+    pub per_query: ResourceBudget,
+    /// Total configuration-work pool across the session's lifetime;
+    /// `None` = unmetered. Each execution is additionally capped by what
+    /// remains, and an empty pool refuses further requests at admission.
+    pub max_total_configurations: Option<u64>,
+}
+
+impl SessionBudget {
+    /// An unmetered session (per-query regime defaults still apply).
+    pub fn unlimited() -> Self {
+        SessionBudget::default()
+    }
+
+    /// Returns this envelope with the per-execution budget set.
+    pub fn with_per_query(mut self, budget: ResourceBudget) -> Self {
+        self.per_query = budget;
+        self
+    }
+
+    /// Returns this envelope with the lifetime work pool set.
+    pub fn with_max_total_configurations(mut self, cap: u64) -> Self {
+        self.max_total_configurations = Some(cap);
+        self
+    }
+}
+
+/// The element-wise intersection of two budgets: the tightest limit wins
+/// on every axis.
+fn intersect_budgets(a: &ResourceBudget, b: &ResourceBudget) -> ResourceBudget {
+    fn tighter<T: Ord + Copy>(x: Option<T>, y: Option<T>) -> Option<T> {
+        match (x, y) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (v, None) | (None, v) => v,
+        }
+    }
+    ResourceBudget {
+        deadline: tighter(a.deadline, b.deadline),
+        max_configurations: tighter(a.max_configurations, b.max_configurations),
+        max_answers: tighter(a.max_answers, b.max_answers),
+        max_memory_bytes: tighter(a.max_memory_bytes, b.max_memory_bytes),
+    }
+}
+
+/// One client's view of a [`QueryService`]: shares the plan cache with
+/// every other session, but carries its own budget envelope and
+/// configuration-work pool. Cheap to create per connection; all methods
+/// take `&self`, so one session may also be driven from several threads.
+pub struct Session<'s> {
+    service: &'s QueryService,
+    per_query: ResourceBudget,
+    remaining: AtomicU64,
+    capped: bool,
+    executed: AtomicU64,
+}
+
+impl Session<'_> {
+    /// Serves one request under this session's envelope: admission
+    /// control first (an exhausted pool refuses immediately), then the
+    /// request budget ∩ the session per-query budget, additionally capped
+    /// by the remaining pool. The pool is charged with the work the
+    /// governor actually metered.
+    pub fn execute(&self, text: &str, opts: &EvalOptions) -> Result<Response, ServerError> {
+        let remaining = self.remaining.load(Ordering::Relaxed);
+        if remaining == 0 {
+            return Err(ServerError::SessionExhausted);
+        }
+        let mut budget = intersect_budgets(&opts.budget, &self.per_query);
+        if self.capped {
+            let cap = budget.max_configurations.unwrap_or(u64::MAX).min(remaining);
+            budget.max_configurations = Some(cap);
+        }
+        let response = self.service.execute(text, &opts.with_budget(budget))?;
+        if self.capped {
+            let spent = response.stats.configurations;
+            // lint:allow(unwrap): the closure never returns None
+            let _ = self
+                .remaining
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |r| {
+                    Some(r.saturating_sub(spent))
+                });
+        }
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        Ok(response)
+    }
+
+    /// Configuration work still available to this session (`None` when
+    /// the session is unmetered).
+    pub fn remaining_configurations(&self) -> Option<u64> {
+        self.capped.then(|| self.remaining.load(Ordering::Relaxed))
+    }
+
+    /// Requests this session has executed (admission refusals excluded).
+    pub fn executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::answers;
+    use ecrpq_query::parse_query;
+
+    /// A small two-symbol graph with enough shape for non-trivial answer
+    /// sets under `a`/`b` regexes.
+    fn small_db() -> GraphDb {
+        let mut g = GraphDb::new();
+        for i in 0..6 {
+            g.add_node(&format!("n{i}"));
+        }
+        for (u, c, v) in [
+            (0, 'a', 1),
+            (1, 'a', 2),
+            (2, 'a', 3),
+            (3, 'b', 4),
+            (0, 'b', 2),
+            (2, 'a', 0),
+            (4, 'a', 5),
+            (5, 'b', 0),
+        ] {
+            g.add_edge(u, c, v);
+        }
+        g
+    }
+
+    fn planner_answers(db: &GraphDb, text: &str) -> BTreeSet<Vec<NodeId>> {
+        let mut alphabet = db.alphabet().clone();
+        let q = parse_query(text, &mut alphabet, &RelationRegistry::new()).expect("parses");
+        answers(db, &q)
+    }
+
+    #[test]
+    fn textual_variants_share_one_plan() {
+        let service = QueryService::new(small_db());
+        let (p1, hit1) = service
+            .prepare("q(x, y) :- x -[p]-> y, p in a*b")
+            .expect("prepares");
+        assert!(!hit1);
+        // extra whitespace: a different raw key, the same canonical form
+        let (p2, _) = service
+            .prepare("q(x, y)  :-  x -[p]-> y,  p in a*b")
+            .expect("prepares");
+        assert!(Arc::ptr_eq(&p1, &p2), "canonical key must intern");
+        assert_eq!(service.cached_plans(), 1);
+        // exact repeat is a raw-text hit
+        let (_, hit3) = service
+            .prepare("q(x, y) :- x -[p]-> y, p in a*b")
+            .expect("prepares");
+        assert!(hit3);
+    }
+
+    #[test]
+    fn cached_execution_matches_planner() {
+        let db = small_db();
+        let texts = [
+            "q(x, y) :- x -[p]-> y, p in a*b",
+            "q(x, y) :- x -[p1]-> y, x -[p2]-> y, eq_len(p1, p2)",
+        ];
+        let service = QueryService::new(small_db());
+        for text in texts {
+            let expect = planner_answers(&db, text);
+            for _ in 0..3 {
+                let r = service
+                    .execute(text, &EvalOptions::sequential())
+                    .expect("executes");
+                assert_eq!(r.termination, Termination::Complete);
+                assert_eq!(r.answers, expect, "{text}");
+            }
+        }
+        let stats = service.stats();
+        assert_eq!(stats.requests, 6);
+        assert_eq!(stats.cache_misses, 2);
+        assert_eq!(stats.cache_hits, 4);
+        assert!(stats.p99 >= stats.p50);
+    }
+
+    #[test]
+    fn constrained_query_agrees_with_planner() {
+        let service = QueryService::new(small_db());
+        let text = "q(x) :- x -[p]-> y, x -[r]-> y, p in a, eq_len>=1(p, r)";
+        let r = service
+            .execute(text, &EvalOptions::sequential())
+            .expect("executes");
+        // whether or not the analyzer short-circuits it, execution must
+        // agree with the one-shot planner pipeline
+        assert_eq!(r.answers, planner_answers(&service.db, text));
+    }
+
+    #[test]
+    fn unknown_symbol_is_refused() {
+        let service = QueryService::new(small_db());
+        let err = match service.prepare("q(x, y) :- x -[p]-> y, p in z*") {
+            Err(e) => e,
+            Ok(_) => panic!("z is not in the db alphabet"),
+        };
+        match err {
+            ServerError::AlphabetMismatch { db_symbols, .. } => assert_eq!(db_symbols, 2),
+            other => panic!("expected AlphabetMismatch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn garbage_text_is_rejected() {
+        let service = QueryService::new(small_db());
+        assert!(matches!(
+            service.prepare("this is not a query"),
+            Err(ServerError::Rejected(_))
+        ));
+    }
+
+    #[test]
+    fn session_pool_admission_control() {
+        let service = QueryService::new(small_db());
+        let session = service.session(SessionBudget::unlimited().with_max_total_configurations(1));
+        let text = "q(x, y) :- x -[p]-> y, p in a*b";
+        // first request admitted (pool has 1 unit) but tightly governed
+        let first = session.execute(text, &EvalOptions::sequential());
+        assert!(first.is_ok());
+        // the pool is now drained below any useful level; once it hits
+        // zero, admission refuses outright
+        let mut refused = false;
+        for _ in 0..4 {
+            if matches!(
+                session.execute(text, &EvalOptions::sequential()),
+                Err(ServerError::SessionExhausted)
+            ) {
+                refused = true;
+                break;
+            }
+        }
+        assert!(refused, "an exhausted pool must refuse at admission");
+        assert_eq!(session.remaining_configurations(), Some(0));
+    }
+
+    #[test]
+    fn budget_intersection_takes_tightest() {
+        let a = ResourceBudget::unlimited()
+            .with_max_configurations(100)
+            .with_deadline(Duration::from_secs(5));
+        let b = ResourceBudget::unlimited()
+            .with_max_configurations(10)
+            .with_max_answers(3);
+        let i = intersect_budgets(&a, &b);
+        assert_eq!(i.max_configurations, Some(10));
+        assert_eq!(i.deadline, Some(Duration::from_secs(5)));
+        assert_eq!(i.max_answers, Some(3));
+        assert_eq!(i.max_memory_bytes, None);
+    }
+
+    #[test]
+    fn serve_returns_in_request_order() {
+        let service = QueryService::new(small_db());
+        let requests: Vec<(String, EvalOptions)> = [
+            "q(x, y) :- x -[p]-> y, p in a*b",
+            "q(x, y) :- x -[p]-> y, p in b*a",
+            "q(x, y) :- x -[p]-> y, p in a*b",
+            "q(x, y) :- x -[p1]-> y, x -[p2]-> y, eq_len(p1, p2)",
+        ]
+        .into_iter()
+        .map(|t| (t.to_string(), EvalOptions::sequential()))
+        .collect();
+        let responses = service.serve(&requests, 3);
+        assert_eq!(responses.len(), requests.len());
+        let db = small_db();
+        for ((text, _), r) in requests.iter().zip(&responses) {
+            let r = r.as_ref().expect("executes");
+            assert_eq!(r.answers, planner_answers(&db, text), "{text}");
+        }
+        assert_eq!(service.stats().requests, 4);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        // bucket_of / lower_bound are inverse on bucket lower bounds
+        for n in [1u64, 5, 15, 16, 17, 31, 32, 63, 64, 1000, 1 << 40] {
+            let b = LatencyHistogram::bucket_of(n);
+            let lb = LatencyHistogram::lower_bound(b);
+            assert!(lb <= n, "lower_bound({b}) = {lb} > {n}");
+            if b + 1 < HIST_BUCKETS {
+                assert!(LatencyHistogram::lower_bound(b + 1) > n, "n={n}");
+            }
+        }
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        for ms in 1..=100u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!(p50 >= Duration::from_millis(46) && p50 <= Duration::from_millis(50));
+        assert!(p99 >= Duration::from_millis(92) && p99 <= Duration::from_millis(99));
+        assert!(p99 >= p50);
+    }
+
+    #[test]
+    fn repeated_text_always_hits() {
+        let service = QueryService::new(small_db());
+        let text = "q(x, y) :- x -[p]-> y, p in (a|b)*";
+        let (p1, _) = service.prepare(text).expect("prepares");
+        let (p2, hit) = service.prepare(text).expect("prepares");
+        assert!(hit);
+        assert!(Arc::ptr_eq(&p1, &p2));
+    }
+}

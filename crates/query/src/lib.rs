@@ -29,6 +29,6 @@ pub mod unparse;
 
 pub use ast::{Ecrpq, NodeVar, PathVar, QueryError, QueryMeasures, Span};
 pub use cq::{Cq, CqAtom, RelationalDb};
-pub use parser::{parse_query, parse_union, RelationRegistry};
+pub use parser::{parse_query, parse_union, QueryParseError, RelationRegistry};
 pub use union::Uecrpq;
 pub use unparse::unparse;

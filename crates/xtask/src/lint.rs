@@ -504,6 +504,80 @@ pub fn lint_unverified_rewrite(path: &str, content: &str) -> Vec<Violation> {
     out
 }
 
+/// Files that implement the long-lived query service. Their per-request
+/// path must never re-parse or re-compile: compilation belongs to the
+/// cold path behind the prepared-plan cache, executed once per distinct
+/// query text.
+pub const SERVER_FILES: &[&str] = &["crates/core/src/server.rs"];
+
+/// Marker that exempts one audited compilation site from
+/// [`lint_cold_path`]. Put it on the offending line or the line just
+/// above, with a word on why the site runs once per distinct query (not
+/// once per request).
+pub const ALLOW_COLD_PATH: &str = "lint:allow(cold-path)";
+
+/// Tokens that do query-compilation work: any parsing (including key
+/// normalization via `unparse`) and plan compilation. A request that hits
+/// the cache must touch none of these.
+const COLD_PATH_TOKENS: &[&str] = &["parse", "PreparedQuery::build"];
+
+/// Rule 10: in a [`SERVER_FILES`] module, every compilation-work site
+/// (see [`COLD_PATH_TOKENS`]) must be an audited cold-path site carrying
+/// [`ALLOW_COLD_PATH`] on the line or the line above — otherwise a cache
+/// hit would silently repeat the work the cache exists to amortize.
+/// Import lines (`use …` names `parse_query` legitimately),
+/// `#[cfg(test)]` blocks and comment lines are skipped.
+pub fn lint_cold_path(path: &str, content: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let lines: Vec<&str> = content.lines().collect();
+    let mut i = 0usize;
+    let mut skip_depth: Option<i64> = None; // brace depth at cfg(test) entry
+    let mut depth: i64 = 0;
+    while i < lines.len() {
+        let line = lines[i];
+        let code = strip_comment(line);
+        if skip_depth.is_none() && code.contains("#[cfg(test)]") {
+            skip_depth = Some(depth);
+        }
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+        depth += opens - closes;
+        if let Some(d) = skip_depth {
+            if depth <= d && closes > 0 {
+                skip_depth = None;
+            }
+            i += 1;
+            continue;
+        }
+        let trimmed = code.trim_start();
+        if trimmed.starts_with("use ") || trimmed.starts_with("pub use ") {
+            i += 1;
+            continue;
+        }
+        for needle in COLD_PATH_TOKENS {
+            if !code.contains(needle) {
+                continue;
+            }
+            let allowed =
+                line.contains(ALLOW_COLD_PATH) || (i > 0 && lines[i - 1].contains(ALLOW_COLD_PATH));
+            if !allowed {
+                out.push(Violation {
+                    file: path.to_string(),
+                    line: i + 1,
+                    message: format!(
+                        "`{needle}` compilation work in the query service — move it behind \
+                         the prepared-plan cache, or audit the cold-path site with \
+                         `// {ALLOW_COLD_PATH}: why this runs once per distinct query`"
+                    ),
+                });
+            }
+            break; // one violation per line is enough
+        }
+        i += 1;
+    }
+    out
+}
+
 /// Drops a trailing `// …` comment (naive: does not parse string
 /// literals, which is fine for the policy rules above).
 fn strip_comment(line: &str) -> &str {
@@ -853,5 +927,52 @@ fn apply() {
         let v = lint_unverified_rewrite("f", other_fn);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn cold_path_fires_on_unaudited_compilation_work() {
+        let bad = "\
+fn handle(&self, text: &str) {
+    let q = parse_query(text, &mut alphabet, &registry);
+    let p = PreparedQuery::build(&q);
+}
+";
+        let v = lint_cold_path("crates/core/src/server.rs", bad);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].message.contains("`parse`"));
+        assert_eq!(v[1].line, 3);
+        assert!(v[1].message.contains("PreparedQuery::build"));
+    }
+
+    #[test]
+    fn cold_path_respects_marker_imports_tests_and_comments() {
+        let audited = "\
+fn prepare_cold(&self, text: &str) {
+    // lint:allow(cold-path): one parse per distinct query text
+    let q = parse_query(text, &mut alphabet, &registry);
+    // lint:allow(cold-path): compiled once, reused by every execution
+    let p = PreparedQuery::build(&q);
+}
+";
+        assert!(lint_cold_path("f", audited).is_empty());
+        // import lines legitimately name parse_query; comments are prose
+        assert!(lint_cold_path("f", "use ecrpq_query::{parse_query, unparse};\n").is_empty());
+        assert!(lint_cold_path("f", "// the cache means no parse per request\n").is_empty());
+        let test_only = "\
+#[cfg(test)]
+mod tests {
+    fn t() {
+        let q = parse_query(text, &mut alphabet, &registry);
+    }
+}
+";
+        assert!(lint_cold_path("f", test_only).is_empty());
+        // `unparse` carries the `parse` token: key normalization must be
+        // audited too, and the marker on the same line also counts
+        let same_line = "fn k(q: &Ecrpq) { unparse(q) } // lint:allow(cold-path): once per text\n";
+        assert!(lint_cold_path("f", same_line).is_empty());
+        let v = lint_cold_path("f", "fn k(q: &Ecrpq) -> String { unparse(q) }\n");
+        assert_eq!(v.len(), 1);
     }
 }

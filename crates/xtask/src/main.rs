@@ -7,10 +7,10 @@
 mod lint;
 
 use lint::{
-    lint_budget_checkpoints, lint_default_hasher, lint_forbid_unsafe, lint_materialize,
-    lint_raw_clock, lint_scalar_probe, lint_tracked_target, lint_unverified_rewrite, lint_unwrap,
-    Violation, BITPARALLEL_HOT_FILES, BUDGET_HOT_FILES, CLOCK_HOT_FILES, ENUMERATOR_FILES,
-    HOT_PATH_FILES, OWN_CRATES, REWRITE_FILES,
+    lint_budget_checkpoints, lint_cold_path, lint_default_hasher, lint_forbid_unsafe,
+    lint_materialize, lint_raw_clock, lint_scalar_probe, lint_tracked_target,
+    lint_unverified_rewrite, lint_unwrap, Violation, BITPARALLEL_HOT_FILES, BUDGET_HOT_FILES,
+    CLOCK_HOT_FILES, ENUMERATOR_FILES, HOT_PATH_FILES, OWN_CRATES, REWRITE_FILES, SERVER_FILES,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -173,6 +173,19 @@ fn run_lint() -> ExitCode {
         }
     }
 
+    // Rule 10: the query service must not parse or compile outside the
+    // audited cold path — a cache hit repeats none of that work.
+    for hot in SERVER_FILES {
+        let path = root.join(hot);
+        match std::fs::read_to_string(&path) {
+            Ok(content) => violations.extend(lint_cold_path(hot, &content)),
+            Err(e) => {
+                eprintln!("xtask: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     for v in &violations {
         println!("{v}");
     }
@@ -180,7 +193,7 @@ fn run_lint() -> ExitCode {
         println!(
             "xtask lint: clean ({} entry points, {} hot files, {} budget-hot files, \
              {} clock-hot files, {} kernel files, {} enumerator files, {} rewrite files, \
-             {} library files)",
+             {} server files, {} library files)",
             entries.len(),
             HOT_PATH_FILES.len(),
             BUDGET_HOT_FILES.len(),
@@ -188,6 +201,7 @@ fn run_lint() -> ExitCode {
             BITPARALLEL_HOT_FILES.len(),
             ENUMERATOR_FILES.len(),
             REWRITE_FILES.len(),
+            SERVER_FILES.len(),
             lib_sources.len()
         );
         ExitCode::SUCCESS

@@ -19,7 +19,7 @@ cargo test -q --offline
 echo "== differential suites (evaluator equivalence, layout + parallel + budget + oracle) =="
 cargo test -q --offline --test differential --test parallel_differential --test layout_differential \
   --test budget_differential --test oracle_differential --test metrics_invariants \
-  --test trace_observability --test minimize_differential
+  --test trace_observability --test minimize_differential --test server_differential
 
 echo "== xtask lint (repo policy) =="
 cargo run -q -p xtask --offline -- lint
@@ -31,9 +31,10 @@ echo "== E19 smoke (bit-parallel vs flat at a small size) =="
 ECRPQ_E19_NODES=20000 ECRPQ_E19_OUT=target/e19_smoke.json \
   cargo run -q --release --offline -p ecrpq-bench --bin experiments -- E19 > /dev/null
 # schema drift gate: the smoke output must carry exactly the key set of
-# the committed benchmark file
-diff <(grep -o '"[a-z_]*":' target/e19_smoke.json | sort -u) \
-     <(grep -o '"[a-z_]*":' BENCH_bitparallel.json | sort -u) \
+# the committed benchmark file (field names may carry digits and capitals
+# — "p99_ms", "speedup_t8" — so the key regex must not stop at [a-z_])
+diff <(grep -o '"[A-Za-z0-9_]*":' target/e19_smoke.json | sort -u) \
+     <(grep -o '"[A-Za-z0-9_]*":' BENCH_bitparallel.json | sort -u) \
   || { echo "E19 JSON schema drifted from BENCH_bitparallel.json"; exit 1; }
 
 echo "== E20 smoke (yannakakis vs flat on the planted acyclic instance) =="
@@ -42,8 +43,8 @@ echo "== E20 smoke (yannakakis vs flat on the planted acyclic instance) =="
 # still fires; the committed BENCH_yannakakis.json is the full-size run
 ECRPQ_E20_NODES=8000 ECRPQ_E20_OUT=target/e20_smoke.json \
   cargo run -q --release --offline -p ecrpq-bench --bin experiments -- E20 > /dev/null
-diff <(grep -o '"[a-z_]*":' target/e20_smoke.json | sort -u) \
-     <(grep -o '"[a-z_]*":' BENCH_yannakakis.json | sort -u) \
+diff <(grep -o '"[A-Za-z0-9_]*":' target/e20_smoke.json | sort -u) \
+     <(grep -o '"[A-Za-z0-9_]*":' BENCH_yannakakis.json | sort -u) \
   || { echo "E20 JSON schema drifted from BENCH_yannakakis.json"; exit 1; }
 
 echo "== E21 smoke (regime minimizer on the planted NP-to-PTIME instance) =="
@@ -53,9 +54,21 @@ echo "== E21 smoke (regime minimizer on the planted NP-to-PTIME instance) =="
 # full-size (96-node) run
 ECRPQ_E21_NODES=48 ECRPQ_E21_OUT=target/e21_smoke.json \
   cargo run -q --release --offline -p ecrpq-bench --bin experiments -- E21 > /dev/null
-diff <(grep -o '"[a-z_]*":' target/e21_smoke.json | sort -u) \
-     <(grep -o '"[a-z_]*":' BENCH_minimize.json | sort -u) \
+diff <(grep -o '"[A-Za-z0-9_]*":' target/e21_smoke.json | sort -u) \
+     <(grep -o '"[A-Za-z0-9_]*":' BENCH_minimize.json | sort -u) \
   || { echo "E21 JSON schema drifted from BENCH_minimize.json"; exit 1; }
+
+echo "== E22 smoke (query service: cached vs cold under concurrent load) =="
+# 30 nodes keeps the closed-loop run to a couple of seconds while still
+# exercising the full service path — plan cache, session workers, the
+# per-request answers-vs-planner assertions, and the cached >= 2x cold
+# throughput assertion; the committed BENCH_server.json is the full-size
+# (60-node) run
+ECRPQ_E22_NODES=30 ECRPQ_E22_OUT=target/e22_smoke.json \
+  cargo run -q --release --offline -p ecrpq-bench --bin experiments -- E22 > /dev/null
+diff <(grep -o '"[A-Za-z0-9_]*":' target/e22_smoke.json | sort -u) \
+     <(grep -o '"[A-Za-z0-9_]*":' BENCH_server.json | sort -u) \
+  || { echo "E22 JSON schema drifted from BENCH_server.json"; exit 1; }
 
 echo "== analyze --fix idempotence (on corpus copies, never in place) =="
 # pass 1 over pristine copies may apply fixes; pass 2 must apply zero and
@@ -69,7 +82,11 @@ cargo run -q --release --offline -p ecrpq-bench --bin analyze -- --fix \
 cp -r target/fix_idempotence target/fix_idempotence_pass1
 second=$(cargo run -q --release --offline -p ecrpq-bench --bin analyze -- --fix \
   target/fix_idempotence/*.ecrpq)
-if echo "$second" | grep -qv ": 0 fix(es) applied"; then
+# contract: --fix prints one "<path>: <n> fix(es) applied" summary line per
+# input file. The gate must anchor on those summary lines only — a bare
+# `grep -qv` over the whole output would "fail" on any blank or
+# informational line that legitimately isn't a summary line.
+if echo "$second" | grep ' fix(es) applied' | grep -qv ': 0 fix(es) applied'; then
   echo "analyze --fix is not idempotent:"; echo "$second"; exit 1
 fi
 diff -r target/fix_idempotence target/fix_idempotence_pass1 \

@@ -166,6 +166,54 @@
 //! assert!(table.contains("product-bfs"));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Query service
+//!
+//! A workload that replays a fixed set of queries should not re-parse,
+//! re-analyze, re-minimize and re-compile them per request — that work
+//! depends on the query text alone. [`eval::QueryService`] owns the
+//! database and an interned cache of prepared plans keyed by the
+//! canonical rendering of the query, so textual variants share one plan;
+//! each execution still constructs its governor and deadline fresh, so a
+//! budget-tripped run never poisons the next one. [`eval::Session`]s
+//! layer per-client budget envelopes (with admission control) over the
+//! shared cache, and [`eval::QueryService::stats`] exposes hit/miss
+//! counts, latency quantiles and folded phase metrics.
+//!
+//! ```
+//! use ecrpq::eval::{EvalOptions, QueryService, SessionBudget};
+//! use ecrpq::graph::parse_graph;
+//!
+//! let db = parse_graph("a1 -a-> m1\nm1 -a-> hub\nb1 -b-> m2\nm2 -b-> hub\n")?;
+//! let service = QueryService::new(db);
+//! let text = "q(x, y) :- x -[p]-> y, p in a|b";
+//!
+//! // first request compiles and interns the plan; the replay hits it,
+//! // answers bit-identical
+//! let cold = service.execute(text, &EvalOptions::sequential())?;
+//! let warm = service.execute(text, &EvalOptions::sequential())?;
+//! assert!(!cold.cached && warm.cached);
+//! assert!(warm.termination.is_complete());
+//! assert_eq!(warm.answers, cold.answers);
+//!
+//! // whitespace variants converge on one interned plan: a new spelling's
+//! // first request still parses (to discover the canonical key) but shares
+//! // the compiled plan, and its replay is a pure cache hit
+//! let alias_text = "q(x,y) :- x -[p]-> y, p in a|b";
+//! let alias = service.execute(alias_text, &EvalOptions::sequential())?;
+//! assert!(std::sync::Arc::ptr_eq(&alias.plan, &warm.plan));
+//! assert!(service.execute(alias_text, &EvalOptions::sequential())?.cached);
+//! assert_eq!(service.stats().cached_plans, 1);
+//!
+//! // sessions meter work without touching the shared cache
+//! let session = service.session(SessionBudget::unlimited().with_max_total_configurations(50_000));
+//! let r = session.execute(text, &EvalOptions::sequential())?;
+//! assert!(r.termination.is_complete());
+//! assert!(session.remaining_configurations() <= Some(50_000));
+//! assert_eq!(session.executed(), 1);
+//! assert_eq!(service.stats().cache_misses, 2); // the two distinct spellings
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 pub use ecrpq_analyze as analyze;
 pub use ecrpq_automata as automata;
