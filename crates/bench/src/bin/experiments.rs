@@ -12,18 +12,14 @@ use ecrpq_bench::{fmt_duration, loglog_slope, time_median, Table};
 use ecrpq_core::cq_eval::{eval_cq, eval_cq_treedec};
 use ecrpq_core::crpq::eval_crpq;
 use ecrpq_core::product::eval_product_with_stats;
-use ecrpq_core::{
-    answers_product_with_stats_layout, ecrpq_to_cq, engine, eval_product, EvalOptions, Layout,
-    PreparedQuery, PreparedTables, QueryService, ResourceBudget,
-};
+use ecrpq_core::{ecrpq_to_cq, engine, eval_product, EvalOptions, PreparedQuery};
 use ecrpq_query::Ecrpq;
 use ecrpq_reductions::{
     cq_to_ecrpq, ine_to_ecrpq_big_component, intersection_nonempty, pie_to_ecrpq_chain, CollapseCq,
 };
 use ecrpq_structure::TwoLevelGraph;
 use ecrpq_workloads::{
-    big_component_query, clique_query, cycle_db, planted_acyclic_instance, planted_ine,
-    planted_power_law_instance, planted_regime_shift_instance, random_db, tractable_chain_query,
+    big_component_query, clique_query, cycle_db, planted_ine, random_db, tractable_chain_query,
 };
 use std::time::Duration;
 
@@ -111,15 +107,9 @@ fn main() {
 }
 
 /// E22 — Query service: prepared-plan cache under concurrent closed-loop
-/// load. A mixed PTIME/NP/PSPACE corpus is driven by N clients against a
-/// `QueryService`, once in cold mode (every request re-parses, re-plans
-/// and rebuilds the shared tables) and once in cached mode (the interned
-/// plan and its lazily-built tables are reused; only the governed search
-/// runs per request). Graph size defaults to 60 nodes and is overridden
-/// by `ECRPQ_E22_NODES` (the CI smoke run uses a smaller size); the JSON
-/// record lands at `ECRPQ_E22_OUT`, default `BENCH_server.json`.
+/// load, driven by the declarative spec at `experiments/e22.toml`
+/// (trial boundary: `ecrpq_bench::harness::trial`).
 fn e22_server() {
-    use ecrpq_core::planner;
     println!("## E22 — Query service: prepared-plan cache under concurrent load");
     println!();
     println!("Four closed-loop clients replay a mixed corpus (two PTIME regex");
@@ -133,398 +123,33 @@ fn e22_server() {
     println!("bit-identical to a fresh `planner::answers` run, in both modes,");
     println!("every round.");
     println!();
-    let n: usize = std::env::var("ECRPQ_E22_NODES")
-        .ok()
-        .and_then(|s| s.trim().parse().ok())
-        .unwrap_or(60);
-    let out_path =
-        std::env::var("ECRPQ_E22_OUT").unwrap_or_else(|_| String::from("BENCH_server.json"));
-    let seed = ecrpq_workloads::env_seed(2022);
-    let clients = 4usize;
-    let rounds = 5usize;
-    let db = random_db(n, 1.5, 2, seed);
-    db.freeze();
-    println!(
-        "(nodes: {}, edges: {}, seed: {seed}, clients: {clients}, rounds: {rounds})",
-        db.num_nodes(),
-        db.num_edges()
-    );
-    println!();
-    // Finite path languages (lengths 1 or 3) keep the per-request governed
-    // search depth-bounded and the answer sets small at any graph size, so
-    // the prepare work the cache amortizes — parse, analyze, minimize
-    // (with its verified containment checks), compile, CQ materialization
-    // and shared-table builds, all of which grow with the database —
-    // dominates the cold path. The family label is the regime of the query
-    // as submitted: `k4_chords` is E21's cyclic NP-regime K4 (treewidth 3)
-    // whose chords the minimizer elides back to a PTIME chain — its cold
-    // path pays that verified rewrite search on every request — and the
-    // three-track eq_len component is PSPACE-family (`cc = 3`).
-    let corpus: Vec<(&str, &str, &str)> = vec![
-        ("regex_reach", "ptime", "q(x, y) :- x -[p]-> y, p in a*b"),
-        (
-            "regex_path3",
-            "ptime",
-            "q(x, y) :- x -[p]-> y, p in (a|b)(a|b)a",
-        ),
-        (
-            "k4_chords",
-            "np",
-            "q(w, z) :- w -[p1]-> x, x -[p2]-> y, y -[p3]-> z, \
-             w -[c1]-> y, x -[c2]-> z, w -[c3]-> z, \
-             p1 in a*b, p2 in a*b, p3 in a*b, \
-             c1 in (a|b)*, c2 in (a|b)*, c3 in (a|b)*",
-        ),
-        (
-            "eq_len_pair",
-            "ptime",
-            "q(x, z) :- x -[p1]-> y, x -[p2]-> y, y -[r]-> z, eq_len(p1, p2), \
-             p1 in b|(a|b)(a|b)b, r in b",
-        ),
-        (
-            "eq_len_triple",
-            "pspace",
-            "q(x) :- x -[p0]-> y, x -[p1]-> y, x -[p2]-> y, eq_len(p0, p1, p2), \
-             p0 in a|aaa, p1 in a|aab, p2 in a|ab(a|b)",
-        ),
-    ];
-    // Deterministic termination: a generous pure-configuration budget (no
-    // wall-clock deadline) so every request completes and cold and cached
-    // answers are comparable bit-for-bit.
-    let opts = EvalOptions::sequential()
-        .with_budget(ResourceBudget::unlimited().with_max_configurations(2_000_000_000));
-    // Reference answers from the stock planner pipeline.
-    let expected: Vec<std::collections::BTreeSet<Vec<u32>>> = corpus
-        .iter()
-        .map(|&(name, _, text)| {
-            let mut alphabet = db.alphabet().clone();
-            let registry = ecrpq_query::RelationRegistry::new();
-            let q = ecrpq_query::parse_query(text, &mut alphabet, &registry).expect(name);
-            planner::answers(&db, &q)
-        })
-        .collect();
-    // Per-query study: one sequential service, cold request vs cache hit.
-    let study = QueryService::new(db.clone());
-    let mut qt = Table::new(&[
-        "query", "family", "regime", "strategy", "answers", "cold", "cached",
-    ]);
-    for (qi, &(name, family, text)) in corpus.iter().enumerate() {
-        let cold = study.execute_uncached(text, &opts).expect(name);
-        study.execute(text, &opts).expect(name); // prime the cache
-        let hit = study.execute(text, &opts).expect(name);
-        assert!(hit.cached, "{name} second execute must hit the cache");
-        assert_eq!(cold.answers, expected[qi], "{name} cold");
-        assert_eq!(hit.answers, expected[qi], "{name} cached");
-        qt.row(&[
-            name.to_string(),
-            family.to_string(),
-            format!("{:?}", hit.plan.combined),
-            format!("{:?}", hit.plan.strategy),
-            expected[qi].len().to_string(),
-            fmt_duration(cold.latency),
-            fmt_duration(hit.latency),
-        ]);
-    }
-    println!("{}", qt.to_markdown());
-    let run_mode = |label: &str, cached: bool| -> (f64, Vec<Duration>, ecrpq_core::ServiceStats) {
-        let service = QueryService::new(db.clone());
-        if cached {
-            // Warm pass: populate the plan cache and the lazy shared tables.
-            for &(name, _, text) in &corpus {
-                let r = service.execute(text, &opts).expect(name);
-                assert!(r.termination.is_complete(), "{label}/{name} warm-up");
-            }
-        }
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let total = clients * rounds * corpus.len();
-        let start = std::time::Instant::now();
-        let latencies: Vec<Duration> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..clients)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut lat = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if i >= total {
-                                break;
-                            }
-                            let (name, _, text) = corpus[i % corpus.len()];
-                            let r = if cached {
-                                service.execute(text, &opts).expect(name)
-                            } else {
-                                service.execute_uncached(text, &opts).expect(name)
-                            };
-                            assert!(r.termination.is_complete(), "{label}/{name}");
-                            assert_eq!(
-                                r.answers,
-                                expected[i % corpus.len()],
-                                "{label}/{name} diverged from planner::answers"
-                            );
-                            lat.push(r.latency);
-                        }
-                        lat
-                    })
-                })
-                .collect();
-            let mut all = Vec::with_capacity(total);
-            for h in handles {
-                all.extend(h.join().expect("client panicked"));
-            }
-            all
-        });
-        let wall = start.elapsed().as_secs_f64().max(1e-9);
-        (total as f64 / wall, latencies, service.stats())
-    };
-    let quantile_ms = |sorted: &[Duration], q: f64| -> f64 {
-        let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-        sorted[idx.min(sorted.len() - 1)].as_secs_f64() * 1e3
-    };
-    let mut t = Table::new(&["mode", "requests", "queries/s", "p50", "p99"]);
-    let mut mode_rows: Vec<(String, usize, f64, f64, f64)> = Vec::new();
-    let mut cached_stats = None;
-    for &(label, cached) in &[("cold", false), ("cached", true)] {
-        let (qps, mut lat, stats) = run_mode(label, cached);
-        lat.sort_unstable();
-        let p50 = quantile_ms(&lat, 0.50);
-        let p99 = quantile_ms(&lat, 0.99);
-        t.row(&[
-            label.to_string(),
-            lat.len().to_string(),
-            format!("{qps:.1}"),
-            format!("{p50:.2} ms"),
-            format!("{p99:.2} ms"),
-        ]);
-        mode_rows.push((label.to_string(), lat.len(), qps, p50, p99));
-        if cached {
-            cached_stats = Some(stats);
-        }
-    }
-    println!("{}", t.to_markdown());
-    let stats = cached_stats.expect("cached mode ran");
-    let speedup = mode_rows[1].2 / mode_rows[0].2.max(1e-9);
-    println!(
-        "cached throughput: {:.2}x cold ({} hits / {} misses, {} interned plans)",
-        speedup, stats.cache_hits, stats.cache_misses, stats.cached_plans
-    );
-    assert!(
-        speedup >= 2.0,
-        "prepared-plan cache must at least double closed-loop throughput, got {speedup:.2}x"
-    );
-    println!();
-    // JSON record: the perf-trajectory artifact diffed by scripts/check.sh.
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"experiment\": \"E22\",\n");
-    json.push_str(&format!("  \"nodes\": {},\n", db.num_nodes()));
-    json.push_str(&format!("  \"edges\": {},\n", db.num_edges()));
-    json.push_str(&format!("  \"seed\": {seed},\n"));
-    json.push_str(&format!("  \"clients\": {clients},\n"));
-    json.push_str(&format!("  \"rounds\": {rounds},\n"));
-    json.push_str(&format!("  \"corpus\": {},\n", corpus.len()));
-    json.push_str("  \"rows\": [\n");
-    for (i, (mode, requests, qps, p50, p99)) in mode_rows.iter().enumerate() {
-        let comma = if i + 1 < mode_rows.len() { "," } else { "" };
-        json.push_str(&format!(
-            "    {{\"mode\": \"{mode}\", \"requests\": {requests}, \"queries_per_sec\": {qps:.1}, \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}}}{comma}\n",
-        ));
-    }
-    json.push_str("  ],\n");
-    json.push_str(&format!("  \"cache_hits\": {},\n", stats.cache_hits));
-    json.push_str(&format!("  \"cache_misses\": {},\n", stats.cache_misses));
-    json.push_str(&format!("  \"cached_plans\": {},\n", stats.cached_plans));
-    json.push_str(&format!("  \"speedup_cached_over_cold\": {speedup:.2}\n"));
-    json.push_str("}\n");
-    match std::fs::write(&out_path, &json) {
-        Ok(()) => println!("(wrote {out_path})"),
-        Err(e) => println!("(could not write {out_path}: {e})"),
-    }
-    println!();
+    run_harness("experiments/e22.toml");
 }
 
 /// E21 — Semantic regime minimization: the verified rewrite search of
-/// `ecrpq-analyze::minimize`. Reports the regime-shift rate over the
-/// workload corpus (plus the `queries/` file corpus when run from the
-/// repository root) and the end-to-end speedup of the minimizing pipeline
-/// over the minimization-disabled baseline on the planted NP→PTIME
-/// instance. Decoy count defaults to 96 and is overridden by
-/// `ECRPQ_E21_NODES`; the JSON record lands at `ECRPQ_E21_OUT`, default
-/// `BENCH_minimize.json` in the working directory.
+/// `ecrpq-analyze::minimize`, driven by the declarative spec at
+/// `experiments/e21.toml`. The corpus builder lives in
+/// `ecrpq_bench::harness::trial::minimize_corpus`.
 fn e21_minimize() {
-    use ecrpq_analyze::minimize;
     println!("## E21 — Semantic regime minimization: verified rewrite search");
     println!();
     println!("Every corpus query runs through the bounded best-first rewrite search");
     println!("(equality contraction, parallel-atom merge, universal-atom drops,");
     println!("implied-reachability elision — each step admitted only after a");
-    println!("two-way containment check). The table reports the Theorem 3.2 regime");
-    println!("before and after. The planted instance is the K4 chord query on decoy");
-    println!("a-cycles: its chords are implied by the chain, so minimization turns");
-    println!("the cyclic NP-regime query (direct product search) into a chain");
-    println!("(Yannakakis), and the pipeline speedup is end-to-end, minimization");
-    println!("time included.");
+    println!("two-way containment check). The regime shifts per Theorem 3.2 are");
+    println!("recorded before and after. The planted instance is the K4 chord query");
+    println!("on decoy a-cycles: its chords are implied by the chain, so");
+    println!("minimization turns the cyclic NP-regime query (direct product search)");
+    println!("into a chain (Yannakakis), and the pipeline speedup is end-to-end,");
+    println!("minimization time included.");
     println!();
-    let mut t = Table::new(&["query", "before", "after", "steps", "shifted"]);
-    let mut rows: Vec<(String, String, String, usize, bool)> = Vec::new();
-    for (name, q) in minimize_corpus() {
-        let m = minimize(&q);
-        let shifted = m.after_class != m.before_class;
-        let steps = m.steps.len();
-        let before = m.before_class.to_string();
-        let after = m.after_class.to_string();
-        t.row(&[
-            name.clone(),
-            before.clone(),
-            after.clone(),
-            steps.to_string(),
-            if shifted { "yes" } else { "" }.to_string(),
-        ]);
-        rows.push((name, before, after, steps, shifted));
-    }
-    let shifted = rows.iter().filter(|r| r.4).count();
-    println!("{}", t.to_markdown());
-    println!(
-        "regime shifts: {shifted}/{} corpus queries rewrote into a cheaper regime",
-        rows.len()
-    );
-    println!();
-
-    let n: usize = std::env::var("ECRPQ_E21_NODES")
-        .ok()
-        .and_then(|s| s.trim().parse().ok())
-        .unwrap_or(96);
-    let seed = ecrpq_workloads::env_seed(2022);
-    let (db, q, expected) = planted_regime_shift_instance(n, seed);
-    db.freeze();
-    let m = minimize(&q);
-    assert_eq!(
-        m.steps.len(),
-        3,
-        "the three chords of the planted query must elide"
-    );
-    assert_ne!(
-        m.before_class, m.after_class,
-        "the planted query must shift regime"
-    );
-    let minimized_answers = ecrpq_core::planner::answers(&db, &q);
-    let baseline_answers = ecrpq_core::planner::answers_without_minimize(&db, &q);
-    assert_eq!(minimized_answers, expected, "minimized answers");
-    assert_eq!(baseline_answers, expected, "baseline answers");
-    let min_d = time_median(3, || ecrpq_core::planner::answers(&db, &q));
-    let base_d = time_median(3, || ecrpq_core::planner::answers_without_minimize(&db, &q));
-    let speedup = base_d.as_secs_f64() / min_d.as_secs_f64().max(1e-9);
-    println!(
-        "planted instance (n={}, {} answers): baseline {} → minimized {} — {speedup:.2}x end-to-end",
-        db.num_nodes(),
-        expected.len(),
-        fmt_duration(base_d),
-        fmt_duration(min_d)
-    );
-    println!(
-        "({} → {} via {} verified step(s))",
-        m.before_class,
-        m.after_class,
-        m.steps.len()
-    );
-    println!();
-
-    let out_path =
-        std::env::var("ECRPQ_E21_OUT").unwrap_or_else(|_| String::from("BENCH_minimize.json"));
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"experiment\": \"E21\",\n");
-    json.push_str(&format!("  \"nodes\": {},\n", db.num_nodes()));
-    json.push_str(&format!("  \"edges\": {},\n", db.num_edges()));
-    json.push_str(&format!("  \"seed\": {seed},\n"));
-    json.push_str("  \"threads\": 1,\n");
-    json.push_str("  \"rows\": [\n");
-    for (i, (name, before, after, steps, shifted)) in rows.iter().enumerate() {
-        let comma = if i + 1 < rows.len() { "," } else { "" };
-        json.push_str(&format!(
-            "    {{\"query\": \"{name}\", \"before\": \"{before}\", \"after\": \"{after}\", \"steps\": {steps}, \"shifted\": {shifted}}}{comma}\n",
-        ));
-    }
-    json.push_str("  ],\n");
-    json.push_str(&format!("  \"regime_shifts\": {shifted},\n"));
-    json.push_str(&format!("  \"corpus_size\": {},\n", rows.len()));
-    json.push_str(&format!(
-        "  \"baseline_ms\": {:.2},\n",
-        base_d.as_secs_f64() * 1e3
-    ));
-    json.push_str(&format!(
-        "  \"minimized_ms\": {:.2},\n",
-        min_d.as_secs_f64() * 1e3
-    ));
-    json.push_str(&format!("  \"speedup_planted\": {speedup:.2}\n"));
-    json.push_str("}\n");
-    match std::fs::write(&out_path, &json) {
-        Ok(()) => println!("(wrote {out_path})"),
-        Err(e) => println!("(could not write {out_path}: {e})"),
-    }
-    println!();
-}
-
-/// The E21 corpus: the named workload families at experiment parameters,
-/// the planted regime-shift query, and every query in `queries/*.ecrpq`
-/// when the directory is readable (it is when run from the repo root).
-fn minimize_corpus() -> Vec<(String, Ecrpq)> {
-    use ecrpq_automata::Alphabet;
-    let mut out: Vec<(String, Ecrpq)> = Vec::new();
-    for len in [2usize, 4, 8] {
-        out.push((
-            format!("tractable_chain(len={len})"),
-            tractable_chain_query(len, 2),
-        ));
-    }
-    for k in [3usize, 4] {
-        let mut alphabet = Alphabet::ascii_lower(2);
-        out.push((
-            format!("clique(k={k})"),
-            clique_query(k, "a*", &mut alphabet),
-        ));
-    }
-    for r in [2usize, 3, 4] {
-        out.push((format!("big_component(r={r})"), big_component_query(r, 2)));
-    }
-    out.push((
-        "planted_regime_shift".to_string(),
-        planted_regime_shift_instance(48, 2022).1,
-    ));
-    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir("queries")
-        .map(|dir| {
-            dir.filter_map(|e| e.ok().map(|e| e.path()))
-                .filter(|p| p.extension().is_some_and(|x| x == "ecrpq"))
-                .collect()
-        })
-        .unwrap_or_default();
-    files.sort();
-    let registry = ecrpq_query::RelationRegistry::new();
-    for path in files {
-        let Ok(text) = std::fs::read_to_string(&path) else {
-            continue;
-        };
-        let stem = path
-            .file_stem()
-            .map_or_else(String::new, |s| s.to_string_lossy().into_owned());
-        for (i, line) in text
-            .lines()
-            .map(str::trim)
-            .filter(|l| !l.is_empty() && !l.starts_with('#'))
-            .enumerate()
-        {
-            let mut alphabet = Alphabet::new();
-            if let Ok(q) = ecrpq_query::parse_query(line, &mut alphabet, &registry) {
-                out.push((format!("{stem}[{i}]"), q));
-            }
-        }
-    }
-    out
+    run_harness("experiments/e21.toml");
 }
 
 /// E20 — Yannakakis semijoin program + streaming enumeration vs the flat
 /// product search, sequentially, on the planted acyclic low-output
-/// instance. Decoy count defaults to 20 000 and is overridden by
-/// `ECRPQ_E20_NODES` (the CI smoke run uses a small size); the JSON record
-/// lands at `ECRPQ_E20_OUT`, default `BENCH_yannakakis.json`.
+/// instance, driven by the declarative spec at `experiments/e20.toml`
+/// (the CI smoke run passes `--smoke` to the harness instead).
 fn e20_yannakakis() {
     println!("## E20 — Acyclicity-aware planning: Yannakakis + streaming vs product search");
     println!();
@@ -539,107 +164,13 @@ fn e20_yannakakis() {
     println!("strategies run at 1 thread; answer sets are asserted identical to");
     println!("the planted ground truth at every output size.");
     println!();
-    let n: usize = std::env::var("ECRPQ_E20_NODES")
-        .ok()
-        .and_then(|s| s.trim().parse().ok())
-        .unwrap_or(20_000);
-    let out_path =
-        std::env::var("ECRPQ_E20_OUT").unwrap_or_else(|_| String::from("BENCH_yannakakis.json"));
-    let seed = ecrpq_workloads::env_seed(2022);
-    let opts = EvalOptions::sequential().with_layout(Layout::Flat);
-    let ks = [2usize, 8, 32, 128];
-    let mut t = Table::new(&[
-        "k (answers)",
-        "flat product",
-        "yannakakis",
-        "flat configs",
-        "yan configs",
-        "speedup",
-    ]);
-    let mut rows: Vec<(usize, f64, f64, u64, u64, f64)> = Vec::new();
-    let mut nodes = 0usize;
-    let mut edges = 0usize;
-    for &k in &ks {
-        let (db, q, expected) = planted_acyclic_instance(n, k, seed);
-        db.freeze();
-        nodes = db.num_nodes();
-        edges = db.num_edges();
-        let plan = ecrpq_core::planner::plan(&db, &q);
-        assert_eq!(
-            plan.strategy,
-            ecrpq_core::Strategy::Yannakakis,
-            "planner must pick Yannakakis on the large acyclic instance"
-        );
-        let tree = plan
-            .join_tree
-            .as_ref()
-            .expect("Yannakakis plan carries a join tree");
-        let prepared = PreparedQuery::build(&q).expect("valid");
-        let (flat_answers, flat_stats) = engine::answers_product_with_stats(&db, &prepared, &opts);
-        let (yan_answers, yan_stats) =
-            engine::answers_yannakakis_with_stats(&db, &prepared, tree, &opts);
-        assert_eq!(flat_answers, expected, "flat product answers at k={k}");
-        assert_eq!(yan_answers, expected, "yannakakis answers at k={k}");
-        let flat_d = time_median(3, || engine::answers_product(&db, &prepared, &opts));
-        let yan_d = time_median(3, || {
-            engine::answers_yannakakis_with_stats(&db, &prepared, tree, &opts)
-        });
-        let speedup = flat_d.as_secs_f64() / yan_d.as_secs_f64().max(1e-9);
-        t.row(&[
-            k.to_string(),
-            fmt_duration(flat_d),
-            fmt_duration(yan_d),
-            flat_stats.configurations.to_string(),
-            yan_stats.configurations.to_string(),
-            format!("{speedup:.2}x"),
-        ]);
-        rows.push((
-            k,
-            flat_d.as_secs_f64() * 1e3,
-            yan_d.as_secs_f64() * 1e3,
-            flat_stats.configurations,
-            yan_stats.configurations,
-            speedup,
-        ));
-    }
-    println!("(nodes: {nodes}, edges: {edges}, seed: {seed}, threads: 1)");
-    println!();
-    println!("{}", t.to_markdown());
-    let headline = rows.iter().find(|r| r.0 == 8).map_or(0.0, |r| r.5);
-    println!("end-to-end speedup of the acyclicity-aware plan at 1 thread: {headline:.2}x at k=8");
-    println!("(the yannakakis column grows with the output size k while the flat");
-    println!("column is pinned to the decoy count n — output-sensitive evaluation)");
-    println!();
-    // JSON record: the perf-trajectory artifact diffed by scripts/check.sh
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"experiment\": \"E20\",\n");
-    json.push_str(&format!("  \"nodes\": {nodes},\n"));
-    json.push_str(&format!("  \"edges\": {edges},\n"));
-    json.push_str(&format!("  \"seed\": {seed},\n"));
-    json.push_str("  \"threads\": 1,\n");
-    json.push_str("  \"rows\": [\n");
-    for (i, (k, flat_ms, yan_ms, flat_configs, yan_configs, speedup)) in rows.iter().enumerate() {
-        let comma = if i + 1 < rows.len() { "," } else { "" };
-        json.push_str(&format!(
-            "    {{\"answers\": {k}, \"flat_ms\": {flat_ms:.2}, \"yannakakis_ms\": {yan_ms:.2}, \"flat_configs\": {flat_configs}, \"yannakakis_configs\": {yan_configs}, \"speedup\": {speedup:.2}}}{comma}\n",
-        ));
-    }
-    json.push_str("  ],\n");
-    json.push_str(&format!("  \"speedup_single_thread\": {headline:.2}\n"));
-    json.push_str("}\n");
-    match std::fs::write(&out_path, &json) {
-        Ok(()) => println!("(wrote {out_path})"),
-        Err(e) => println!("(could not write {out_path}: {e})"),
-    }
-    println!();
+    run_harness("experiments/e20.toml");
 }
 
 /// E19 — Flat vs BitParallel configs/s on the planted power-law instance,
-/// at 1/2/4/8 worker threads. Graph size defaults to 10⁶ nodes and is
-/// overridden by `ECRPQ_E19_NODES` (the CI smoke run uses a small size);
-/// the JSON record lands at `ECRPQ_E19_OUT`, default
-/// `BENCH_bitparallel.json` in the working directory.
+/// at 1/2/4/8 worker threads, driven by the declarative spec at
+/// `experiments/e19.toml` (the CI smoke run passes `--smoke` to the
+/// harness instead).
 fn e19_bitparallel() {
     println!("## E19 — Bit-parallel product BFS: configs/s, flat vs bit-parallel");
     println!();
@@ -656,144 +187,11 @@ fn e19_bitparallel() {
     println!("(the build cost is reported separately below). Answer sets are");
     println!("asserted identical across both layouts and every thread count.");
     println!();
-    let n: usize = std::env::var("ECRPQ_E19_NODES")
-        .ok()
-        .and_then(|s| s.trim().parse().ok())
-        .unwrap_or(1_000_000);
-    let out_path =
-        std::env::var("ECRPQ_E19_OUT").unwrap_or_else(|_| String::from("BENCH_bitparallel.json"));
-    let sources = 8usize;
-    let seed = ecrpq_workloads::env_seed(2022);
-    let (db, q, _srcs) = planted_power_law_instance(n, sources, seed);
-    db.freeze();
-    println!(
-        "(nodes: {}, edges: {}, seed: {seed})",
-        db.num_nodes(),
-        db.num_edges()
-    );
-    println!();
-    let prepared = PreparedQuery::build(&q).expect("valid");
-    let layouts = [("flat", Layout::Flat), ("bitparallel", Layout::BitParallel)];
-    // Serial table build hoisted out of the timed region (once per layout).
-    let mut prepare_secs = [0f64; 2];
-    let tables: Vec<PreparedTables> = layouts
-        .iter()
-        .enumerate()
-        .map(|(i, &(name, layout))| {
-            let start = std::time::Instant::now();
-            let t = PreparedTables::build(&db, &prepared, layout);
-            prepare_secs[i] = start.elapsed().as_secs_f64();
-            println!(
-                "prepare ({name}): {} serial table build",
-                fmt_duration(start.elapsed())
-            );
-            t
-        })
-        .collect();
-    println!();
-    let thread_counts = [1usize, 2, 4, 8];
-    let mut t = Table::new(&[
-        "layout",
-        "threads",
-        "answers",
-        "configs",
-        "time",
-        "configs/s",
-        "vs flat",
-    ]);
-    let mut baseline: Option<std::collections::BTreeSet<Vec<u32>>> = None;
-    let mut rows: Vec<(String, usize, u64, f64)> = Vec::new();
-    for &threads in &thread_counts {
-        let mut flat_rate = 0f64;
-        for (i, &(name, layout)) in layouts.iter().enumerate() {
-            let opts = EvalOptions::with_threads(threads).with_layout(layout);
-            let shared = &tables[i];
-            let (answers, stats) = engine::answers_product_prepared(&db, &prepared, shared, &opts);
-            assert_eq!(answers.len(), sources, "{name} at {threads} threads");
-            match &baseline {
-                None => baseline = Some(answers),
-                Some(b) => assert_eq!(&answers, b, "{name} diverged at {threads} threads"),
-            }
-            let d = time_median(3, || {
-                engine::answers_product_prepared(&db, &prepared, shared, &opts)
-            });
-            let rate = stats.configurations as f64 / d.as_secs_f64().max(1e-9);
-            if layout == Layout::Flat {
-                flat_rate = rate;
-            }
-            t.row(&[
-                name.to_string(),
-                threads.to_string(),
-                sources.to_string(),
-                stats.configurations.to_string(),
-                fmt_duration(d),
-                fmt_rate(stats.configurations, d),
-                format!("{:.2}x", rate / flat_rate.max(1e-9)),
-            ]);
-            rows.push((name.to_string(), threads, stats.configurations, rate));
-        }
-    }
-    println!("{}", t.to_markdown());
-    let speedup_at = |threads: usize| -> f64 {
-        let rate_of = |name: &str| {
-            rows.iter()
-                .find(|(l, th, _, _)| l == name && *th == threads)
-                .map_or(0.0, |&(_, _, _, r)| r)
-        };
-        rate_of("bitparallel") / rate_of("flat").max(1e-9)
-    };
-    let best = thread_counts
-        .iter()
-        .map(|&th| speedup_at(th))
-        .fold(0.0f64, f64::max);
-    println!(
-        "bit-parallel configs/s speedup over flat: {:.2}x at 1 thread, {best:.2}x best",
-        speedup_at(1)
-    );
-    println!();
-    // JSON record: the perf-trajectory artifact diffed by scripts/check.sh
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"experiment\": \"E19\",\n");
-    json.push_str(&format!("  \"nodes\": {},\n", db.num_nodes()));
-    json.push_str(&format!("  \"edges\": {},\n", db.num_edges()));
-    json.push_str(&format!("  \"seed\": {seed},\n"));
-    json.push_str(&format!("  \"sources\": {sources},\n"));
-    json.push_str("  \"rows\": [\n");
-    for (i, (layout, threads, configs, rate)) in rows.iter().enumerate() {
-        let comma = if i + 1 < rows.len() { "," } else { "" };
-        json.push_str(&format!(
-            "    {{\"layout\": \"{layout}\", \"threads\": {threads}, \"configs\": {configs}, \"configs_per_sec\": {rate:.0}}}{comma}\n",
-        ));
-    }
-    json.push_str("  ],\n");
-    json.push_str(&format!(
-        "  \"prepare_flat_ms\": {:.2},\n",
-        prepare_secs[0] * 1e3
-    ));
-    json.push_str(&format!(
-        "  \"prepare_bitparallel_ms\": {:.2},\n",
-        prepare_secs[1] * 1e3
-    ));
-    json.push_str(&format!(
-        "  \"speedup_single_thread\": {:.2},\n",
-        speedup_at(1)
-    ));
-    // Digit-carrying key: exercises the schema-drift gate's widened field
-    // regex in scripts/check.sh (keys are not all lowercase-alpha).
-    json.push_str(&format!("  \"speedup_t8\": {:.2},\n", speedup_at(8)));
-    json.push_str(&format!("  \"speedup_best\": {best:.2}\n"));
-    json.push_str("}\n");
-    match std::fs::write(&out_path, &json) {
-        Ok(()) => println!("(wrote {out_path})"),
-        Err(e) => println!("(could not write {out_path}: {e})"),
-    }
-    println!();
+    run_harness("experiments/e19.toml");
 }
 
 fn e18_observability() {
-    use ecrpq_core::{answers_traced, CollectingTracer, NoopTracer, Phase};
-    use ecrpq_query::NodeVar;
+    use ecrpq_core::{CollectingTracer, NoopTracer};
     println!("## E18 — Observability: per-phase time split and tracer overhead");
     println!();
     println!("Part A runs one workload per complexity regime under the collecting");
@@ -806,46 +204,8 @@ fn e18_observability() {
     println!("monomorphized no-op, so its ns/config must match the untraced");
     println!("baseline; `CollectingTracer` pays relaxed atomic increments.");
     println!();
-    // Part A — phase split per regime.
-    let workloads: Vec<(&str, Ecrpq, ecrpq_graph::GraphDb)> = {
-        let chain = tractable_chain_query(6, 2);
-        let mut clique = {
-            let mut alphabet = ecrpq_automata::Alphabet::ascii_lower(2);
-            clique_query(4, "a*", &mut alphabet)
-        };
-        clique.set_free(&[NodeVar(0)]);
-        let mut flower = big_component_query(3, 2);
-        flower.set_free(&[NodeVar(0), NodeVar(1)]);
-        vec![
-            ("PTIME chain(len=6)", chain, random_db(14, 1.5, 2, 11)),
-            ("NP clique(k=4)", clique, random_db(14, 1.5, 2, 11)),
-            ("PSPACE flower(r=3)", flower, random_db(24, 2.0, 2, 97)),
-        ]
-    };
-    let mut t = Table::new(&[
-        "workload", "answers", "time", "prepare", "semijoin", "bfs", "odometer", "cq-join", "bags",
-    ]);
-    let pct = |m: &ecrpq_core::Metrics, p: Phase| {
-        let total = m.total_nanos().max(1);
-        format!("{:.0}%", 100.0 * m.phase(p).nanos as f64 / total as f64)
-    };
-    for (name, q, db) in &workloads {
-        let o = answers_traced(db, q, &EvalOptions::sequential());
-        assert!(o.termination.is_complete());
-        let m = o.metrics.as_ref().expect("answers_traced folds metrics");
-        t.row(&[
-            name.to_string(),
-            o.answers.len().to_string(),
-            fmt_duration(Duration::from_nanos(m.total_nanos())),
-            pct(m, Phase::Prepare),
-            pct(m, Phase::Semijoin),
-            pct(m, Phase::ProductBfs),
-            pct(m, Phase::Odometer),
-            pct(m, Phase::CqJoin),
-            pct(m, Phase::TreedecBags),
-        ]);
-    }
-    println!("{}", t.to_markdown());
+    // Part A — phase split per regime, driven by the declarative spec.
+    run_harness("experiments/e18.toml");
     // Part B — tracer overhead on the E15 flat-layout instance.
     let r = 3usize;
     let alphabet = ecrpq_automata::Alphabet::ascii_lower(2);
@@ -908,8 +268,6 @@ fn e18_observability() {
 }
 
 fn e17_budget() {
-    use ecrpq_query::NodeVar;
-    use ecrpq_workloads::random_db as rdb;
     println!("## E17 — Resource governance: answers recovered vs. budget fraction");
     println!();
     println!("A PSPACE-regime workload (big_component r=3: three equal-length");
@@ -921,71 +279,7 @@ fn e17_budget() {
     println!("wall-clock deadline row shows the same truncation driven by time");
     println!("instead of work.");
     println!();
-    let mut q = big_component_query(3, 2);
-    q.set_free(&[NodeVar(0), NodeVar(1)]);
-    let db = rdb(40, 2.0, 2, 97);
-    let prepared = PreparedQuery::build(&q).expect("valid");
-    let unbudgeted = engine::answers_product_governed(&db, &prepared, &EvalOptions::sequential());
-    assert!(unbudgeted.termination.is_complete());
-    let full = unbudgeted.answers;
-    let total_work = unbudgeted.stats.configurations.max(1);
-    println!(
-        "(full run: {} answers, {} work units)",
-        full.len(),
-        total_work
-    );
-    println!();
-    let mut t = Table::new(&[
-        "budget",
-        "cap (work units)",
-        "time",
-        "answers",
-        "recovered",
-        "termination",
-    ]);
-    for fraction in [0.001f64, 0.01, 0.05, 0.25, 0.5, 1.0, 2.0] {
-        let cap = ((total_work as f64 * fraction) as u64).max(1);
-        let opts = EvalOptions::sequential()
-            .with_budget(ResourceBudget::unlimited().with_max_configurations(cap));
-        let start = std::time::Instant::now();
-        let o = engine::answers_product_governed(&db, &prepared, &opts);
-        let d = start.elapsed();
-        assert!(o.answers.is_subset(&full), "partial answers must be sound");
-        if o.termination.is_complete() {
-            assert_eq!(o.answers, full, "Complete must be bit-identical");
-        }
-        t.row(&[
-            format!("{:.1}%", fraction * 100.0),
-            cap.to_string(),
-            fmt_duration(d),
-            o.answers.len().to_string(),
-            format!(
-                "{:.1}%",
-                100.0 * o.answers.len() as f64 / full.len().max(1) as f64
-            ),
-            o.termination.to_string(),
-        ]);
-    }
-    // the same truncation driven by wall clock instead of work units
-    let deadline = Duration::from_millis(50);
-    let opts =
-        EvalOptions::sequential().with_budget(ResourceBudget::unlimited().with_deadline(deadline));
-    let start = std::time::Instant::now();
-    let o = engine::answers_product_governed(&db, &prepared, &opts);
-    let d = start.elapsed();
-    assert!(o.answers.is_subset(&full));
-    t.row(&[
-        "50ms deadline".to_string(),
-        "—".to_string(),
-        fmt_duration(d),
-        o.answers.len().to_string(),
-        format!(
-            "{:.1}%",
-            100.0 * o.answers.len() as f64 / full.len().max(1) as f64
-        ),
-        o.termination.to_string(),
-    ]);
-    println!("{}", t.to_markdown());
+    run_harness("experiments/e17.toml");
     println!("Answers recovered grow monotonically with the budget (the");
     println!("sequential search is deterministic, so a larger cap replays the");
     println!("same prefix and then keeps going). The cap fractions are relative");
@@ -994,6 +288,22 @@ fn e17_budget() {
     println!("row recovers every answer yet still trips just past the last one;");
     println!("the 200% row completes and is asserted bit-identical to the");
     println!("ungoverned run.");
+    println!();
+}
+
+/// Run a declarative experiment spec through the harness driver, honoring
+/// cached trial results under its content-addressed key. All per-trial
+/// measurement and the aggregated JSON trajectory live behind
+/// `ecrpq_bench::harness`; this bin only narrates and delegates.
+fn run_harness(spec_path: &str) {
+    use ecrpq_bench::harness::{run_spec_path, RunOptions};
+    match run_spec_path(std::path::Path::new(spec_path), &RunOptions::default()) {
+        Ok(summary) => println!("(wrote {})", summary.aggregate_path.display()),
+        Err(e) => {
+            eprintln!("harness: {e}");
+            std::process::exit(1);
+        }
+    }
     println!();
 }
 
@@ -1021,67 +331,7 @@ fn e15_layout() {
     println!("reachability. Answer sets are asserted identical across layouts;");
     println!("ns/config isolates per-configuration cost from search-space size.");
     println!();
-    let r = 3usize;
-    let alphabet = ecrpq_automata::Alphabet::ascii_lower(2);
-    let (langs, _) = planted_ine(r, 4, 2, 3, 31 + r as u64);
-    let g = flower_graph(r);
-    let (mut q, db) = ine_to_ecrpq_big_component(&langs, &alphabet, &g).expect("reduction");
-    let all_vars: Vec<ecrpq_query::NodeVar> = (0..q.num_node_vars() as u32)
-        .map(ecrpq_query::NodeVar)
-        .collect();
-    q.set_free(&all_vars);
-    let prepared = PreparedQuery::build(&q).expect("valid");
-    let layouts = [
-        ("legacy", Layout::Legacy),
-        ("flat", Layout::FlatUnpruned),
-        ("flat+semijoin", Layout::Flat),
-        ("bitparallel", Layout::BitParallel),
-    ];
-    let mut t = Table::new(&[
-        "layout",
-        "answers",
-        "configs",
-        "time",
-        "ns/config",
-        "configs/s",
-        "speedup",
-    ]);
-    let mut baseline: Option<std::collections::BTreeSet<Vec<u32>>> = None;
-    let mut base_time = Duration::ZERO;
-    let mut ns_per_config_of: Vec<f64> = Vec::new();
-    for (name, layout) in layouts {
-        let (answers, stats) = answers_product_with_stats_layout(&db, &prepared, layout);
-        match &baseline {
-            None => baseline = Some(answers.clone()),
-            Some(b) => assert_eq!(&answers, b, "layout {name} changed the answer set"),
-        }
-        let d = time_median(3, || {
-            answers_product_with_stats_layout(&db, &prepared, layout)
-        });
-        let ns_per_config = d.as_nanos() as f64 / stats.configurations.max(1) as f64;
-        ns_per_config_of.push(ns_per_config);
-        if layout == Layout::Legacy {
-            base_time = d;
-        }
-        t.row(&[
-            name.to_string(),
-            answers.len().to_string(),
-            stats.configurations.to_string(),
-            fmt_duration(d),
-            format!("{ns_per_config:.0}"),
-            fmt_rate(stats.configurations, d),
-            format!(
-                "{:.2}x",
-                base_time.as_secs_f64() / d.as_secs_f64().max(1e-9)
-            ),
-        ]);
-    }
-    println!("{}", t.to_markdown());
-    println!(
-        "per-configuration speedup of the flat layout over legacy: {:.2}x",
-        ns_per_config_of[0] / ns_per_config_of[1].max(1e-9)
-    );
-    println!();
+    run_harness("experiments/e15.toml");
 }
 
 fn e14_thread_scaling(threads: usize) {

@@ -1,0 +1,183 @@
+//! The declarative experiment driver.
+//!
+//! ```text
+//! harness run <spec.toml> [--smoke] [--out PATH] [--results-dir PATH]
+//!                         [--require-warm] [--quiet]
+//! harness diff <fresh.json> --against <baseline.json>
+//!              [--keys-only] [--planted FACTOR]
+//!              [--tol KEY=REL]... [--tol-default REL] [--spec spec.toml]
+//! ```
+//!
+//! `run` expands the spec's trial matrix, reuses every trial whose
+//! result is already cached under the content-addressed key, runs the
+//! rest, and writes per-trial JSON plus the aggregated
+//! `BENCH_<experiment>.json`. `--require-warm` exits non-zero if any
+//! trial had to execute — the resume gate in `scripts/check.sh`.
+//!
+//! `diff` compares a fresh aggregate against a committed trajectory
+//! with per-metric noise tolerances. `--planted FACTOR` scales every
+//! fresh gating metric in the worse direction first (the self-test that
+//! a uniform 2x slowdown is caught). `--spec` loads `[tolerance]`
+//! overrides from a spec file. Exit codes: 0 pass, 1 regression,
+//! 2 usage/io error, 3 missing metric, 4 schema drift.
+
+use ecrpq_bench::harness::{self, diff, json, RunOptions, Spec, Tolerances};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        _ => {
+            eprintln!("usage: harness run <spec.toml> [...] | harness diff <fresh.json> --against <baseline.json> [...]");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let mut spec_path: Option<PathBuf> = None;
+    let mut opts = RunOptions::default();
+    let mut require_warm = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--quiet" => opts.quiet = true,
+            "--require-warm" => require_warm = true,
+            "--out" => match it.next() {
+                Some(p) => opts.out = Some(PathBuf::from(p)),
+                None => return usage("--out requires a path"),
+            },
+            "--results-dir" => match it.next() {
+                Some(p) => opts.results_dir = Some(PathBuf::from(p)),
+                None => return usage("--results-dir requires a path"),
+            },
+            other if spec_path.is_none() && !other.starts_with("--") => {
+                spec_path = Some(PathBuf::from(other));
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let Some(spec_path) = spec_path else {
+        return usage("run needs a spec path");
+    };
+    match harness::run_spec_path(&spec_path, &opts) {
+        Ok(summary) => {
+            if require_warm && summary.executed + summary.recovered > 0 {
+                eprintln!(
+                    "harness run --require-warm: {} trial(s) were not served from the cache ({} executed, {} recovered)",
+                    summary.executed + summary.recovered,
+                    summary.executed,
+                    summary.recovered
+                );
+                return 1;
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("harness run: {e}");
+            2
+        }
+    }
+}
+
+fn cmd_diff(args: &[String]) -> i32 {
+    let mut fresh_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut keys_only = false;
+    let mut planted: Option<f64> = None;
+    let mut tol = Tolerances::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--against" => match it.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage("--against requires a path"),
+            },
+            "--keys-only" => keys_only = true,
+            "--planted" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(f) => planted = Some(f),
+                None => return usage("--planted requires a numeric factor"),
+            },
+            "--tol" => match it.next().and_then(|v| {
+                let (k, rel) = v.split_once('=')?;
+                Some((k.to_string(), rel.parse().ok()?))
+            }) {
+                Some(entry) => tol.per_key.push(entry),
+                None => return usage("--tol requires KEY=REL"),
+            },
+            "--tol-default" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(rel) => tol.default_rel = rel,
+                None => return usage("--tol-default requires a number"),
+            },
+            "--spec" => match it.next() {
+                Some(p) => match Spec::load(&PathBuf::from(p)) {
+                    Ok(spec) => tol.per_key.extend(spec.tolerance.iter().cloned()),
+                    Err(e) => {
+                        eprintln!("harness diff: {e}");
+                        return 2;
+                    }
+                },
+                None => return usage("--spec requires a path"),
+            },
+            other if fresh_path.is_none() && !other.starts_with("--") => {
+                fresh_path = Some(PathBuf::from(other));
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let (Some(fresh_path), Some(baseline_path)) = (fresh_path, baseline_path) else {
+        return usage("diff needs <fresh.json> and --against <baseline.json>");
+    };
+    let load = |path: &PathBuf| -> Result<json::Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    };
+    let (fresh, baseline) = match (load(&fresh_path), load(&baseline_path)) {
+        (Ok(f), Ok(b)) => (f, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("harness diff: {e}");
+            return 2;
+        }
+    };
+    if keys_only {
+        let drift = diff::diff_keys(&fresh, &baseline);
+        if drift.is_empty() {
+            println!(
+                "harness diff --keys-only: schemas match ({} vs {})",
+                fresh_path.display(),
+                baseline_path.display()
+            );
+            return 0;
+        }
+        for line in &drift {
+            eprintln!("schema drift: {line}");
+        }
+        return 4;
+    }
+    let report = diff::diff(&fresh, &baseline, &tol, planted);
+    for line in report.lines() {
+        println!("{line}");
+    }
+    let code = report.exit_code();
+    println!(
+        "harness diff: {} ({} metric(s) compared, exit {code})",
+        match code {
+            0 => "pass",
+            1 => "REGRESSION",
+            3 => "missing metric",
+            4 => "schema drift",
+            _ => "error",
+        },
+        report.metrics.len()
+    );
+    code
+}
+
+fn usage(msg: &str) -> i32 {
+    eprintln!("harness: {msg}");
+    2
+}

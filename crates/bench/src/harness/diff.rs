@@ -1,0 +1,378 @@
+//! Trajectory diffing: compare a fresh aggregate against the committed
+//! `BENCH_*.json` baseline with per-metric noise tolerances.
+//!
+//! Metrics are classified by their leaf key name: `*_ms` is
+//! lower-is-better, `speedup*` and `*per_sec*` are higher-is-better, and
+//! everything else (node counts, seeds, configuration totals, strings)
+//! is informational and never gates. Timing metrics on shared CI
+//! hardware are noisy, so the default relative tolerance is generous
+//! (35%) and can be tightened or loosened per key via `[tolerance]` in
+//! the spec or `--tol` on the command line.
+
+use super::json::Json;
+
+/// How a metric's direction is interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger is better (`speedup*`, `*per_sec*`).
+    HigherBetter,
+    /// Smaller is better (`*_ms`).
+    LowerBetter,
+    /// Not a gating metric.
+    Info,
+}
+
+/// Classifies a leaf key into a diff direction.
+pub fn classify(leaf: &str) -> Direction {
+    if leaf.ends_with("_ms") {
+        Direction::LowerBetter
+    } else if leaf.starts_with("speedup") || leaf.contains("per_sec") {
+        Direction::HigherBetter
+    } else {
+        Direction::Info
+    }
+}
+
+/// Per-metric relative tolerances: `per_key` overrides match the *leaf*
+/// key name, everything else uses `default_rel`.
+#[derive(Debug, Clone)]
+pub struct Tolerances {
+    /// Relative tolerance applied when no per-key override matches.
+    pub default_rel: f64,
+    /// `(leaf key, relative tolerance)` overrides.
+    pub per_key: Vec<(String, f64)>,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            default_rel: 0.35,
+            per_key: Vec::new(),
+        }
+    }
+}
+
+impl Tolerances {
+    fn for_leaf(&self, leaf: &str) -> f64 {
+        self.per_key
+            .iter()
+            .find(|(k, _)| k == leaf)
+            .map_or(self.default_rel, |(_, t)| *t)
+    }
+}
+
+/// The per-metric verdicts of one comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Strictly better than baseline beyond tolerance.
+    Improvement,
+    /// Within the noise tolerance.
+    Within,
+    /// Worse than baseline beyond tolerance.
+    Regression,
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct MetricDiff {
+    /// Dotted path (`rows[1].flat_ms`).
+    pub path: String,
+    /// Leaf key name (`flat_ms`).
+    pub leaf: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Fresh value (after any planted-slowdown scaling).
+    pub fresh: f64,
+    /// The verdict at the applied tolerance.
+    pub verdict: Verdict,
+}
+
+/// The outcome of a full diff.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// All compared (gating) metrics.
+    pub metrics: Vec<MetricDiff>,
+    /// Gating metric paths present in the baseline but absent fresh.
+    pub missing: Vec<String>,
+    /// Key-schema differences (keys added or removed anywhere).
+    pub schema_drift: Vec<String>,
+}
+
+impl DiffReport {
+    /// Process exit code: schema drift (4) > missing metric (3) >
+    /// regression (1) > pass (0).
+    pub fn exit_code(&self) -> i32 {
+        if !self.schema_drift.is_empty() {
+            4
+        } else if !self.missing.is_empty() {
+            3
+        } else if self
+            .metrics
+            .iter()
+            .any(|m| m.verdict == Verdict::Regression)
+        {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Human-readable summary lines, worst first.
+    pub fn lines(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for d in &self.schema_drift {
+            out.push(format!("schema drift: {d}"));
+        }
+        for path in &self.missing {
+            out.push(format!("missing metric: {path}"));
+        }
+        for m in &self.metrics {
+            let tag = match m.verdict {
+                Verdict::Regression => "REGRESSION",
+                Verdict::Improvement => "improvement",
+                Verdict::Within => "ok",
+            };
+            out.push(format!(
+                "{tag}: {} baseline {:.4} fresh {:.4}",
+                m.path, m.baseline, m.fresh
+            ));
+        }
+        out
+    }
+}
+
+/// Collects `(path, leaf, value)` for every numeric leaf.
+fn flatten(doc: &Json, prefix: &str, out: &mut Vec<(String, String, f64)>) {
+    match doc {
+        Json::Obj(members) => {
+            for (k, v) in members {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                if let Some(n) = v.as_f64() {
+                    out.push((path, k.clone(), n));
+                } else {
+                    flatten(v, &path, out);
+                }
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                flatten(item, &format!("{prefix}[{i}]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Collects the key-name structure (paths without array indices) for the
+/// schema-drift check — the recursive form of the committed artifacts'
+/// grep key gates.
+fn key_schema(doc: &Json, prefix: &str, out: &mut std::collections::BTreeSet<String>) {
+    match doc {
+        Json::Obj(members) => {
+            for (k, v) in members {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                out.insert(path.clone());
+                key_schema(v, &path, out);
+            }
+        }
+        Json::Arr(items) => {
+            for item in items {
+                key_schema(item, &format!("{prefix}[]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Checks only the key schemas (the `--keys-only` mode).
+pub fn diff_keys(fresh: &Json, baseline: &Json) -> Vec<String> {
+    let mut fresh_keys = std::collections::BTreeSet::new();
+    let mut base_keys = std::collections::BTreeSet::new();
+    key_schema(fresh, "", &mut fresh_keys);
+    key_schema(baseline, "", &mut base_keys);
+    let mut drift = Vec::new();
+    for k in base_keys.difference(&fresh_keys) {
+        drift.push(format!("key `{k}` missing from fresh aggregate"));
+    }
+    for k in fresh_keys.difference(&base_keys) {
+        drift.push(format!("key `{k}` not in baseline"));
+    }
+    drift
+}
+
+/// Compares `fresh` against `baseline`. `planted` scales every fresh
+/// gating metric in the *worse* direction by the given factor before
+/// comparison — `--planted 2.0` simulates a uniform 2× slowdown and must
+/// make the diff fail (the self-test wired into `check.sh`).
+pub fn diff(fresh: &Json, baseline: &Json, tol: &Tolerances, planted: Option<f64>) -> DiffReport {
+    let mut report = DiffReport {
+        schema_drift: diff_keys(fresh, baseline),
+        ..DiffReport::default()
+    };
+    let mut fresh_leaves = Vec::new();
+    let mut base_leaves = Vec::new();
+    flatten(fresh, "", &mut fresh_leaves);
+    flatten(baseline, "", &mut base_leaves);
+    for (path, leaf, base_value) in &base_leaves {
+        let dir = classify(leaf);
+        if dir == Direction::Info {
+            continue;
+        }
+        let Some((_, _, fresh_value)) = fresh_leaves.iter().find(|(p, _, _)| p == path) else {
+            report.missing.push(path.clone());
+            continue;
+        };
+        let fresh_value = match (planted, dir) {
+            (Some(f), Direction::LowerBetter) => fresh_value * f,
+            (Some(f), Direction::HigherBetter) => fresh_value / f,
+            _ => *fresh_value,
+        };
+        let rel = tol.for_leaf(leaf);
+        // `worse`/`better` in units of the baseline: positive `delta`
+        // means the fresh value moved in the good direction.
+        let delta = match dir {
+            Direction::HigherBetter => (fresh_value - base_value) / base_value.abs().max(1e-9),
+            Direction::LowerBetter => (base_value - fresh_value) / base_value.abs().max(1e-9),
+            Direction::Info => unreachable!(),
+        };
+        let verdict = if delta < -rel {
+            Verdict::Regression
+        } else if delta > rel {
+            Verdict::Improvement
+        } else {
+            Verdict::Within
+        };
+        report.metrics.push(MetricDiff {
+            path: path.clone(),
+            leaf: leaf.clone(),
+            baseline: *base_value,
+            fresh: fresh_value,
+            verdict,
+        });
+    }
+    // Most severe first for display.
+    report.metrics.sort_by_key(|m| match m.verdict {
+        Verdict::Regression => 0,
+        Verdict::Improvement => 1,
+        Verdict::Within => 2,
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::json;
+
+    fn doc(speedup: f64, ms: f64) -> Json {
+        json::parse(&format!(
+            "{{\"experiment\": \"E99\", \"nodes\": 100, \"speedup_best\": {speedup}, \"rows\": [{{\"flat_ms\": {ms}}}]}}"
+        ))
+        .expect("parses")
+    }
+
+    #[test]
+    fn identical_trajectories_pass() {
+        let r = diff(
+            &doc(3.0, 10.0),
+            &doc(3.0, 10.0),
+            &Tolerances::default(),
+            None,
+        );
+        assert_eq!(r.exit_code(), 0);
+        assert!(r.metrics.iter().all(|m| m.verdict == Verdict::Within));
+    }
+
+    #[test]
+    fn improvement_and_noise_both_pass() {
+        let tol = Tolerances::default();
+        let improved = diff(&doc(9.0, 1.0), &doc(3.0, 10.0), &tol, None);
+        assert_eq!(improved.exit_code(), 0);
+        assert!(improved
+            .metrics
+            .iter()
+            .all(|m| m.verdict == Verdict::Improvement));
+        let noisy = diff(&doc(3.2, 11.0), &doc(3.0, 10.0), &tol, None);
+        assert_eq!(noisy.exit_code(), 0);
+        assert!(noisy.metrics.iter().all(|m| m.verdict == Verdict::Within));
+    }
+
+    #[test]
+    fn real_regression_fails_with_exit_1() {
+        let r = diff(
+            &doc(1.0, 30.0),
+            &doc(3.0, 10.0),
+            &Tolerances::default(),
+            None,
+        );
+        assert_eq!(r.exit_code(), 1);
+        assert!(r.metrics.iter().any(|m| m.verdict == Verdict::Regression));
+    }
+
+    #[test]
+    fn planted_slowdown_fails_and_tolerances_are_per_key() {
+        let same = doc(3.0, 10.0);
+        let planted = diff(&same, &same, &Tolerances::default(), Some(2.0));
+        assert_eq!(planted.exit_code(), 1);
+        // A tolerance wide enough to swallow a 2x shift passes again.
+        let loose = Tolerances {
+            default_rel: 1.5,
+            per_key: Vec::new(),
+        };
+        assert_eq!(diff(&same, &same, &loose, Some(2.0)).exit_code(), 0);
+        // Per-key override: only flat_ms is loose, speedup still gates.
+        let per_key = Tolerances {
+            default_rel: 0.35,
+            per_key: vec![("flat_ms".to_string(), 2.0)],
+        };
+        let r = diff(&same, &same, &per_key, Some(2.0));
+        assert_eq!(r.exit_code(), 1);
+        let flat = r
+            .metrics
+            .iter()
+            .find(|m| m.leaf == "flat_ms")
+            .expect("flat_ms");
+        assert_eq!(flat.verdict, Verdict::Within);
+    }
+
+    #[test]
+    fn missing_metric_is_exit_3_and_drift_is_exit_4() {
+        let baseline = json::parse(
+            "{\"speedup_best\": 3.0, \"rows\": [{\"flat_ms\": 10.0}, {\"flat_ms\": 20.0}]}",
+        )
+        .expect("parses");
+        // Same key schema, shorter rows array: a gating metric path vanishes.
+        let fresh = json::parse("{\"speedup_best\": 3.0, \"rows\": [{\"flat_ms\": 10.0}]}")
+            .expect("parses");
+        let r = diff(&fresh, &baseline, &Tolerances::default(), None);
+        assert_eq!(r.exit_code(), 3, "{:?}", r.lines());
+        assert!(r.missing.iter().any(|p| p == "rows[1].flat_ms"));
+
+        // A renamed key is schema drift and outranks everything else.
+        let renamed = json::parse(
+            "{\"experiment\": \"E99\", \"nodes\": 100, \"speedup_top\": 3.0, \"rows\": [{\"flat_ms\": 10.0}]}",
+        )
+        .expect("parses");
+        let r = diff(&renamed, &baseline, &Tolerances::default(), None);
+        assert_eq!(r.exit_code(), 4);
+        assert!(!r.schema_drift.is_empty());
+    }
+
+    #[test]
+    fn info_metrics_never_gate() {
+        // nodes/configs/seed differ wildly: still a pass.
+        let a = json::parse("{\"nodes\": 100, \"configs\": 5, \"seed\": 1}").expect("parses");
+        let b = json::parse("{\"nodes\": 9999, \"configs\": 50000, \"seed\": 2}").expect("parses");
+        let r = diff(&a, &b, &Tolerances::default(), None);
+        assert_eq!(r.exit_code(), 0);
+        assert!(r.metrics.is_empty());
+    }
+}

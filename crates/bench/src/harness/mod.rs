@@ -1,0 +1,180 @@
+//! The declarative experiment harness.
+//!
+//! One driver, one contract: a TOML spec under `experiments/` describes
+//! a workload (generator + params), a trial matrix, repetitions and the
+//! aggregate output; [`run_spec`] expands the matrix, skips every trial
+//! whose `result.json` is already on disk under the content-addressed
+//! key (spec hash + trial params), runs the rest through the single
+//! [`trial::run_trial`] boundary, and assembles the aggregated
+//! `BENCH_<experiment>.json` from the per-trial files. A corrupted or
+//! stale trial file is re-run, not trusted. [`diff`] compares a fresh
+//! aggregate against the committed trajectory with per-metric noise
+//! tolerances — the `harness diff` regression gate in `scripts/check.sh`.
+
+pub mod aggregate;
+pub mod diff;
+pub mod json;
+pub mod spec;
+pub mod toml;
+pub mod trial;
+
+pub use diff::{DiffReport, Tolerances};
+pub use json::Json;
+pub use spec::{Spec, SpecValue, TrialParams};
+
+use std::path::{Path, PathBuf};
+
+/// Options for one harness run.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Apply the spec's `[smoke]` overrides (small sizes for CI); the
+    /// aggregate is written under `target/` instead of the spec's
+    /// committed output path.
+    pub smoke: bool,
+    /// Override the results directory (default:
+    /// `target/harness/<name>[-smoke]-<spec hash>`).
+    pub results_dir: Option<PathBuf>,
+    /// Override the aggregate output path.
+    pub out: Option<PathBuf>,
+    /// Suppress per-trial progress lines.
+    pub quiet: bool,
+}
+
+/// What one harness run did.
+#[derive(Debug)]
+pub struct RunSummary {
+    /// Spec name.
+    pub name: String,
+    /// Trials executed fresh (no cached result).
+    pub executed: usize,
+    /// Trials served from the cache.
+    pub cached: usize,
+    /// Trials whose cached file was corrupt or stale and was re-run.
+    pub recovered: usize,
+    /// Total trials in the matrix.
+    pub trials: usize,
+    /// The aggregate document.
+    pub aggregate: Json,
+    /// Where the aggregate was written.
+    pub aggregate_path: PathBuf,
+    /// The content-addressed per-trial results directory.
+    pub results_dir: PathBuf,
+}
+
+/// Loads the spec at `path` and runs it.
+pub fn run_spec_path(path: &Path, opts: &RunOptions) -> Result<RunSummary, String> {
+    run_spec(&Spec::load(path)?, opts)
+}
+
+/// Runs `spec`: expand the matrix, execute or reuse each trial, write
+/// per-trial JSON and the aggregate. See the module docs for the caching
+/// contract.
+pub fn run_spec(spec: &Spec, opts: &RunOptions) -> Result<RunSummary, String> {
+    let effective = if opts.smoke {
+        spec.apply_smoke()
+    } else {
+        spec.clone()
+    };
+    let hash = effective.hash();
+    let flavor = if opts.smoke { "-smoke" } else { "" };
+    let results_dir = opts.results_dir.clone().unwrap_or_else(|| {
+        PathBuf::from("target/harness").join(format!("{}{flavor}-{hash}", effective.name))
+    });
+    std::fs::create_dir_all(&results_dir).map_err(|e| format!("{}: {e}", results_dir.display()))?;
+    let trials = effective.trials();
+    let mut executed = 0usize;
+    let mut cached = 0usize;
+    let mut recovered = 0usize;
+    let mut results: Vec<(TrialParams, Json)> = Vec::with_capacity(trials.len());
+    for params in &trials {
+        let key = Spec::trial_key(params);
+        let path = results_dir.join(format!("{key}.json"));
+        let (status, result) = match load_cached_trial(&path, &hash, params) {
+            Some(result) => {
+                cached += 1;
+                ("cached", result)
+            }
+            None => {
+                let was_there = path.exists();
+                let result = trial::run_trial(&effective, params)
+                    .map_err(|e| format!("{}/{key}: {e}", effective.name))?;
+                let envelope = Json::Obj(vec![
+                    ("spec".into(), Json::str(effective.name.clone())),
+                    ("spec_hash".into(), Json::str(hash.clone())),
+                    ("params".into(), params_json(params)),
+                    ("result".into(), result.clone()),
+                ]);
+                std::fs::write(&path, envelope.render())
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                if was_there {
+                    recovered += 1;
+                    ("recovered", result)
+                } else {
+                    executed += 1;
+                    ("executed", result)
+                }
+            }
+        };
+        if !opts.quiet {
+            println!("[{}] {key}: {status}", effective.name);
+        }
+        results.push((params.clone(), result));
+    }
+    let aggregate = aggregate::aggregate(&effective, &results)?;
+    let aggregate_path = opts.out.clone().unwrap_or_else(|| {
+        if opts.smoke {
+            results_dir.join("aggregate.json")
+        } else {
+            PathBuf::from(&effective.output)
+        }
+    });
+    if let Some(parent) = aggregate_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(&aggregate_path, aggregate.render())
+        .map_err(|e| format!("{}: {e}", aggregate_path.display()))?;
+    if !opts.quiet {
+        println!(
+            "[{}] {} trials ({executed} executed, {cached} cached, {recovered} recovered) -> {}",
+            effective.name,
+            trials.len(),
+            aggregate_path.display()
+        );
+    }
+    Ok(RunSummary {
+        name: effective.name.clone(),
+        executed,
+        cached,
+        recovered,
+        trials: trials.len(),
+        aggregate,
+        aggregate_path,
+        results_dir,
+    })
+}
+
+/// A cached trial result is trusted only when the file parses and its
+/// envelope matches the current spec hash and trial params; anything
+/// else (corruption, a stale spec, hand edits) re-runs the trial.
+fn load_cached_trial(path: &Path, hash: &str, params: &TrialParams) -> Option<Json> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let envelope = json::parse(&text).ok()?;
+    if envelope.get("spec_hash")?.as_str()? != hash {
+        return None;
+    }
+    if envelope.get("params")? != &params_json(params) {
+        return None;
+    }
+    envelope.get("result").cloned()
+}
+
+fn params_json(params: &TrialParams) -> Json {
+    Json::Obj(
+        params
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::str(v.render())))
+            .collect(),
+    )
+}

@@ -1,0 +1,322 @@
+//! Line-oriented TOML-subset parser for experiment specs.
+//!
+//! Supports exactly what `experiments/*.toml` needs: top-level and
+//! `[section]` / `[dotted.section]` tables, `key = value` bindings with
+//! string / integer / float / boolean / single-line-array values, and
+//! `#` comments. No multi-line values, no inline tables, no datetimes —
+//! a spec that needs more should extend this parser deliberately rather
+//! than drift into full TOML.
+
+/// A TOML-subset value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlValue {
+    /// A quoted string (content unescaped).
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float (any numeric literal containing `.`, `e`, or `E`).
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A single-line array; elements may be heterogeneous.
+    Arr(Vec<TomlValue>),
+}
+
+impl TomlValue {
+    /// Renders the value as TOML source.
+    pub fn render(&self) -> String {
+        match self {
+            TomlValue::Str(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+            TomlValue::Int(v) => v.to_string(),
+            TomlValue::Float(v) => {
+                let s = v.to_string();
+                if s.contains('.') || s.contains('e') {
+                    s
+                } else {
+                    format!("{s}.0")
+                }
+            }
+            TomlValue::Bool(b) => b.to_string(),
+            TomlValue::Arr(items) => {
+                let inner: Vec<String> = items.iter().map(TomlValue::render).collect();
+                format!("[{}]", inner.join(", "))
+            }
+        }
+    }
+}
+
+/// A parsed document: the root table (section name `""`) followed by the
+/// named sections, all in source order. Dotted headers like
+/// `[workload.np_clique]` are kept as their full name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TomlDoc {
+    /// `(section name, bindings)` in source order; the root table is
+    /// first with an empty name when it has any bindings.
+    pub sections: Vec<(String, Vec<(String, TomlValue)>)>,
+}
+
+impl TomlDoc {
+    /// The bindings of `section` (empty name = root table), if present.
+    pub fn section(&self, name: &str) -> Option<&[(String, TomlValue)]> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| b.as_slice())
+    }
+
+    /// Looks up `key` inside `section`.
+    pub fn get(&self, section: &str, key: &str) -> Option<&TomlValue> {
+        self.section(section)?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Renders back to TOML source in stored order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, (name, bindings)) in self.sections.iter().enumerate() {
+            if !name.is_empty() {
+                if i > 0 {
+                    out.push('\n');
+                }
+                out.push_str(&format!("[{name}]\n"));
+            }
+            for (k, v) in bindings {
+                out.push_str(&format!("{k} = {}\n", v.render()));
+            }
+        }
+        out
+    }
+}
+
+/// Parses a TOML-subset document (see module docs for the dialect).
+pub fn parse(input: &str) -> Result<TomlDoc, String> {
+    let mut doc = TomlDoc::default();
+    let mut current = String::new();
+    let mut started = false;
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = strip_comment_outside_quotes(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| format!("line {}: {msg}: `{raw}`", lineno + 1);
+        if let Some(rest) = line.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| err("unterminated section header"))?
+                .trim();
+            if name.is_empty()
+                || !name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '-')
+            {
+                return Err(err("bad section name"));
+            }
+            if doc.sections.iter().any(|(n, _)| n == name) {
+                return Err(err("duplicate section"));
+            }
+            current = name.to_string();
+            doc.sections.push((current.clone(), Vec::new()));
+            started = true;
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| err("expected `key = value`"))?;
+        let key = key.trim();
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(err("bad key"));
+        }
+        let value = parse_value(value.trim()).map_err(|e| err(&e))?;
+        if !started && doc.sections.is_empty() {
+            doc.sections.push((String::new(), Vec::new()));
+        }
+        started = true;
+        let bindings = &mut doc
+            .sections
+            .iter_mut()
+            .find(|(n, _)| *n == current)
+            // lint:allow(unwrap): every section name is inserted before use
+            .expect("current section exists")
+            .1;
+        if bindings.iter().any(|(k, _)| k == key) {
+            return Err(err("duplicate key"));
+        }
+        bindings.push((key.to_string(), value));
+    }
+    Ok(doc)
+}
+
+/// Strips a `#` comment, ignoring `#` inside double-quoted strings.
+fn strip_comment_outside_quotes(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(token: &str) -> Result<TomlValue, String> {
+    if token.is_empty() {
+        return Err("empty value".to_string());
+    }
+    if let Some(rest) = token.strip_prefix('"') {
+        let body = rest
+            .strip_suffix('"')
+            .ok_or("unterminated string".to_string())?;
+        let mut out = String::new();
+        let mut escaped = false;
+        for c in body.chars() {
+            if escaped {
+                match c {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    other => return Err(format!("unsupported escape `\\{other}`")),
+                }
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                return Err("stray quote inside string".to_string());
+            } else {
+                out.push(c);
+            }
+        }
+        if escaped {
+            return Err("dangling escape".to_string());
+        }
+        return Ok(TomlValue::Str(out));
+    }
+    if let Some(rest) = token.strip_prefix('[') {
+        let body = rest
+            .strip_suffix(']')
+            .ok_or("unterminated array (arrays must be single-line)".to_string())?;
+        let mut items = Vec::new();
+        for part in split_top_level(body)? {
+            let part = part.trim();
+            if !part.is_empty() {
+                items.push(parse_value(part)?);
+            }
+        }
+        return Ok(TomlValue::Arr(items));
+    }
+    match token {
+        "true" => return Ok(TomlValue::Bool(true)),
+        "false" => return Ok(TomlValue::Bool(false)),
+        _ => {}
+    }
+    if token.contains('.') || token.contains('e') || token.contains('E') {
+        token
+            .parse::<f64>()
+            .map(TomlValue::Float)
+            .map_err(|e| format!("bad float `{token}`: {e}"))
+    } else {
+        token
+            .parse::<i64>()
+            .map(TomlValue::Int)
+            .map_err(|e| format!("bad value `{token}`: {e}"))
+    }
+}
+
+/// Splits an array body on commas outside quotes (no nested arrays in
+/// specs today; nested `[` is rejected by the element parser).
+fn split_top_level(body: &str) -> Result<Vec<&str>, String> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            ',' if !in_string => {
+                parts.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if in_string {
+        return Err("unterminated string in array".to_string());
+    }
+    parts.push(&body[start..]);
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_values_and_comments() {
+        let src = r##"
+# an experiment
+name = "e99"   # trailing comment
+reps = 3
+scale = 1.5
+fast = true
+
+[matrix]
+threads = [1, 2, 4]
+layout = ["flat", "bit # not a comment"]
+
+[workload.np_clique]
+generator = "clique_random"
+"##;
+        let doc = parse(src).expect("parses");
+        assert_eq!(doc.get("", "name"), Some(&TomlValue::Str("e99".into())));
+        assert_eq!(doc.get("", "reps"), Some(&TomlValue::Int(3)));
+        assert_eq!(doc.get("", "scale"), Some(&TomlValue::Float(1.5)));
+        assert_eq!(doc.get("", "fast"), Some(&TomlValue::Bool(true)));
+        assert_eq!(
+            doc.get("matrix", "threads"),
+            Some(&TomlValue::Arr(vec![
+                TomlValue::Int(1),
+                TomlValue::Int(2),
+                TomlValue::Int(4)
+            ]))
+        );
+        assert_eq!(
+            doc.get("matrix", "layout"),
+            Some(&TomlValue::Arr(vec![
+                TomlValue::Str("flat".into()),
+                TomlValue::Str("bit # not a comment".into())
+            ]))
+        );
+        assert_eq!(
+            doc.get("workload.np_clique", "generator"),
+            Some(&TomlValue::Str("clique_random".into()))
+        );
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let src = "name = \"x\"\nreps = 2\n\n[matrix]\nk = [2, 8]\nf = 1.5\n";
+        let doc = parse(src).expect("parses");
+        let rendered = doc.render();
+        assert_eq!(parse(&rendered).expect("re-parses"), doc);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("[unterminated\n").is_err());
+        assert!(parse("key\n").is_err());
+        assert!(parse("key = \n").is_err());
+        assert!(parse("key = \"unterminated\n").is_err());
+        assert!(parse("key = [1, 2\n").is_err());
+        assert!(parse("a = 1\na = 2\n").is_err());
+        assert!(parse("[s]\n[s]\n").is_err());
+        assert!(parse("key = 1x\n").is_err());
+    }
+}

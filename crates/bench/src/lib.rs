@@ -11,6 +11,8 @@
 
 use std::time::{Duration, Instant};
 
+pub mod harness;
+
 /// Times `f`, returning the median of `runs` executions.
 pub fn time_median<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
     assert!(runs >= 1);

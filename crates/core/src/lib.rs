@@ -64,7 +64,7 @@ pub use product::{
 pub use satisfiability::satisfiable;
 pub use server::{
     LatencyHistogram, PreparedPlan, QueryService, Response, ServerError, ServiceStats, Session,
-    SessionBudget,
+    SessionBudget, DEFAULT_PLAN_CAPACITY,
 };
 pub use to_cq::ecrpq_to_cq;
 pub use trace::{

@@ -120,6 +120,103 @@ impl From<QueryParseError> for ServerError {
     }
 }
 
+/// Default capacity of the plan cache, in distinct compiled plans. High
+/// enough that a production corpus never evicts; low enough that a
+/// service fed adversarial one-shot query text stays bounded.
+pub const DEFAULT_PLAN_CAPACITY: usize = 256;
+
+/// The interned-plan map with LRU eviction over **distinct plans**.
+///
+/// Keys are query texts (canonical renderings plus raw-text aliases);
+/// several keys may share one [`PreparedPlan`]. Capacity counts distinct
+/// plans, not keys, and eviction removes a whole plan — the one whose
+/// most recent touch (across all of its keys) is oldest — together with
+/// every alias pointing at it. A plan's stamp is the max over its keys,
+/// so touching any spelling keeps the plan warm.
+struct PlanCache {
+    /// Key → (shared plan, last-touch stamp for this key).
+    map: FnvHashMap<String, (Arc<PreparedPlan>, u64)>,
+    /// Monotone logical clock; bumped on every touch or insert.
+    tick: u64,
+    /// Maximum distinct plans retained (≥ 1).
+    capacity: usize,
+    /// Plans evicted over the service lifetime.
+    evictions: u64,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> Self {
+        PlanCache {
+            map: FnvHashMap::default(),
+            tick: 0,
+            capacity: capacity.max(1),
+            evictions: 0,
+        }
+    }
+
+    /// Looks `key` up, refreshing its LRU stamp on a hit.
+    fn get(&mut self, key: &str) -> Option<Arc<PreparedPlan>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(plan, stamp)| {
+            *stamp = tick;
+            Arc::clone(plan)
+        })
+    }
+
+    /// Interns `plan` under its canonical key plus the raw-text alias
+    /// `trimmed`, returning the canonical plan (an earlier racer's plan
+    /// wins if one got there first) and evicting down to capacity.
+    fn intern(&mut self, trimmed: &str, plan: Arc<PreparedPlan>) -> Arc<PreparedPlan> {
+        self.tick += 1;
+        let tick = self.tick;
+        let canonical = match self.map.get_mut(plan.key.as_str()) {
+            Some((existing, stamp)) => {
+                *stamp = tick;
+                Arc::clone(existing)
+            }
+            None => {
+                self.map.insert(plan.key.clone(), (Arc::clone(&plan), tick));
+                plan
+            }
+        };
+        if trimmed != canonical.key {
+            self.map
+                .insert(trimmed.to_string(), (Arc::clone(&canonical), tick));
+        }
+        self.evict_to_capacity();
+        canonical
+    }
+
+    /// Distinct plans currently interned (aliases count once).
+    fn distinct_plans(&self) -> usize {
+        let mut ptrs: Vec<*const PreparedPlan> =
+            self.map.values().map(|(p, _)| Arc::as_ptr(p)).collect();
+        ptrs.sort_unstable();
+        ptrs.dedup();
+        ptrs.len()
+    }
+
+    /// Evicts least-recently-touched plans (and all their aliases) until
+    /// at most `capacity` distinct plans remain. The plan interned or
+    /// touched last carries the freshest stamp, so it is never the
+    /// victim.
+    fn evict_to_capacity(&mut self) {
+        while self.distinct_plans() > self.capacity {
+            let mut last_touch: FnvHashMap<*const PreparedPlan, u64> = FnvHashMap::default();
+            for (plan, stamp) in self.map.values() {
+                let e = last_touch.entry(Arc::as_ptr(plan)).or_insert(0);
+                *e = (*e).max(*stamp);
+            }
+            let Some((&victim, _)) = last_touch.iter().min_by_key(|&(_, stamp)| *stamp) else {
+                return;
+            };
+            self.map.retain(|_, (plan, _)| Arc::as_ptr(plan) != victim);
+            self.evictions += 1;
+        }
+    }
+}
+
 /// The slot index for a layout in the per-plan table cache.
 fn layout_slot(layout: Layout) -> usize {
     match layout {
@@ -219,6 +316,8 @@ pub struct ServiceStats {
     /// Distinct compiled plans currently interned (aliases — raw-text
     /// keys sharing a canonical plan — are not double-counted).
     pub cached_plans: usize,
+    /// Plans evicted by the LRU capacity bound over the service lifetime.
+    pub cache_evictions: u64,
     /// Median service latency from the log-bucketed histogram (a lower
     /// bound within one sub-bucket, ≤ 1/16 relative error).
     pub p50: Duration,
@@ -326,7 +425,7 @@ impl Default for LatencyHistogram {
 pub struct QueryService {
     db: GraphDb,
     registry: RelationRegistry,
-    cache: Mutex<FnvHashMap<String, Arc<PreparedPlan>>>,
+    cache: Mutex<PlanCache>,
     hits: AtomicU64,
     misses: AtomicU64,
     requests: AtomicU64,
@@ -348,13 +447,27 @@ impl QueryService {
         QueryService {
             db,
             registry,
-            cache: Mutex::new(FnvHashMap::default()),
+            cache: Mutex::new(PlanCache::new(DEFAULT_PLAN_CAPACITY)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             histogram: LatencyHistogram::new(),
             metrics: Mutex::new(Metrics::default()),
         }
+    }
+
+    /// Returns this service with the plan cache bounded to `capacity`
+    /// distinct compiled plans (clamped to at least 1). When the cap is
+    /// exceeded the least-recently-used plan is evicted together with
+    /// every raw-text alias pointing at it; a later request for an
+    /// evicted query recompiles through the cold path and re-interns.
+    pub fn with_plan_capacity(self, capacity: usize) -> Self {
+        {
+            let mut cache = lock(&self.cache);
+            cache.capacity = capacity.max(1);
+            cache.evict_to_capacity();
+        }
+        self
     }
 
     /// The database this service evaluates over.
@@ -369,23 +482,15 @@ impl QueryService {
     /// so different spellings of one query converge on one compiled plan.
     pub fn prepare(&self, text: &str) -> Result<(Arc<PreparedPlan>, bool), ServerError> {
         let trimmed = text.trim();
-        if let Some(plan) = lock(&self.cache).get(trimmed).cloned() {
+        if let Some(plan) = lock(&self.cache).get(trimmed) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok((plan, true));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let plan = Arc::new(self.prepare_cold(trimmed)?);
-        let mut cache = lock(&self.cache);
         // two racing misses both compile; the first to intern under the
         // canonical key wins and both requests share the winner
-        let canonical = cache
-            .entry(plan.key.clone())
-            .or_insert_with(|| Arc::clone(&plan))
-            .clone();
-        if trimmed != canonical.key {
-            cache.insert(trimmed.to_string(), Arc::clone(&canonical));
-        }
-        Ok((canonical, false))
+        Ok((lock(&self.cache).intern(trimmed, plan), false))
     }
 
     /// The cold path: parse, analyze, minimize, optimize, pick a
@@ -650,11 +755,7 @@ impl QueryService {
     /// Distinct compiled plans interned right now (raw-text aliases that
     /// share a canonical plan count once).
     pub fn cached_plans(&self) -> usize {
-        let cache = lock(&self.cache);
-        let mut distinct: Vec<*const PreparedPlan> = cache.values().map(Arc::as_ptr).collect();
-        distinct.sort_unstable();
-        distinct.dedup();
-        distinct.len()
+        lock(&self.cache).distinct_plans()
     }
 
     /// A snapshot of the service-wide counters, latency quantiles and
@@ -665,6 +766,7 @@ impl QueryService {
             cache_hits: self.hits.load(Ordering::Relaxed),
             cache_misses: self.misses.load(Ordering::Relaxed),
             cached_plans: self.cached_plans(),
+            cache_evictions: lock(&self.cache).evictions,
             p50: self.histogram.quantile(0.5),
             p99: self.histogram.quantile(0.99),
             metrics: *lock(&self.metrics),
@@ -971,6 +1073,77 @@ mod tests {
         assert!(p50 >= Duration::from_millis(46) && p50 <= Duration::from_millis(50));
         assert!(p99 >= Duration::from_millis(92) && p99 <= Duration::from_millis(99));
         assert!(p99 >= p50);
+    }
+
+    #[test]
+    fn plan_cache_evicts_lru_beyond_capacity() {
+        let db = small_db();
+        let service = QueryService::new(small_db()).with_plan_capacity(2);
+        // capacity + 1 distinct queries, inserted in order
+        let texts = [
+            "q(x, y) :- x -[p]-> y, p in a*b",
+            "q(x, y) :- x -[p]-> y, p in b*a",
+            "q(x, y) :- x -[p]-> y, p in (a|b)*",
+        ];
+        for text in texts {
+            let (_, hit) = service.prepare(text).expect("prepares");
+            assert!(!hit, "{text} is a fresh insert");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.cached_plans, 2, "cap must hold");
+        assert_eq!(stats.cache_evictions, 1, "exactly the LRU plan evicted");
+        // the oldest entry is gone: preparing it again is a miss...
+        let (_, hit) = service.prepare(texts[0]).expect("prepares");
+        assert!(!hit, "evicted plan must recompile");
+        // ...and the recompiled plan still evaluates correctly
+        let r = service
+            .execute(texts[0], &EvalOptions::sequential())
+            .expect("executes");
+        assert_eq!(r.termination, Termination::Complete);
+        assert_eq!(r.answers, planner_answers(&db, texts[0]));
+        // the newest survivors are still hits (no over-eviction)
+        assert!(service.prepare(texts[2]).expect("prepares").1);
+    }
+
+    #[test]
+    fn plan_cache_eviction_respects_touch_order() {
+        let service = QueryService::new(small_db()).with_plan_capacity(2);
+        let a = "q(x, y) :- x -[p]-> y, p in a*b";
+        let b = "q(x, y) :- x -[p]-> y, p in b*a";
+        let c = "q(x, y) :- x -[p]-> y, p in (a|b)*";
+        service.prepare(a).expect("prepares");
+        service.prepare(b).expect("prepares");
+        // touch `a` so `b` becomes least recently used...
+        assert!(service.prepare(a).expect("prepares").1);
+        // ...then overflow: `b`, not `a`, must fall out
+        service.prepare(c).expect("prepares");
+        assert!(service.prepare(a).expect("prepares").1, "a stays warm");
+        assert!(!service.prepare(b).expect("prepares").1, "b was evicted");
+    }
+
+    #[test]
+    fn plan_cache_eviction_drops_aliases_with_the_plan() {
+        let service = QueryService::new(small_db()).with_plan_capacity(1);
+        // one plan under two keys: canonical + a whitespace alias
+        service
+            .prepare("q(x, y) :- x -[p]-> y, p in a*b")
+            .expect("prepares");
+        service
+            .prepare("q(x, y)  :-  x -[p]-> y,  p in a*b")
+            .expect("prepares");
+        assert_eq!(service.stats().cached_plans, 1);
+        // a second distinct plan evicts the first with all its keys
+        service
+            .prepare("q(x, y) :- x -[p]-> y, p in b*a")
+            .expect("prepares");
+        assert_eq!(service.stats().cached_plans, 1);
+        assert!(
+            !service
+                .prepare("q(x, y)  :-  x -[p]-> y,  p in a*b")
+                .expect("prepares")
+                .1,
+            "alias keys of the evicted plan must not linger"
+        );
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //!   plus families with a planted common word so non-emptiness is
 //!   controlled);
 //! * [`oracle`] — a brute-force ECRPQ evaluator used as differential-test
-//!   ground truth.
+//!   ground truth;
+//! * [`registry`] — generator dispatch by name, the entry point for
+//!   declarative experiment specs (`ecrpq-bench::harness`).
 //!
 //! All generators take an explicit `seed` and are deterministic.
 
@@ -25,6 +27,7 @@ pub mod graphs;
 pub mod ine;
 pub mod oracle;
 pub mod queries;
+pub mod registry;
 
 pub use graphs::{
     chain_db, cycle_db, grid_db, grid_db_anon, planted_acyclic_instance,
@@ -36,6 +39,7 @@ pub use oracle::{oracle_answers, oracle_eval};
 pub use queries::{
     big_component_query, clique_query, random_ecrpq, tractable_chain_query, RandomQueryParams,
 };
+pub use registry::{generate, GenParams, Generated, GENERATOR_NAMES};
 
 /// Base seed for randomized test suites: the `ECRPQ_TEST_SEED` environment
 /// variable when set (decimal), otherwise `default`. Suites offset their

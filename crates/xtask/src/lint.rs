@@ -578,6 +578,81 @@ pub fn lint_cold_path(path: &str, content: &str) -> Vec<Violation> {
     out
 }
 
+/// Files that drive experiments. All experiment configuration goes
+/// through the declarative specs under `experiments/` and all trajectory
+/// JSON through the harness aggregator — these bins must not grow back
+/// the hand-rolled `ECRPQ_E*` env knobs or ad-hoc JSON writers the
+/// harness replaced.
+pub const EXPERIMENT_BIN_FILES: &[&str] = &[
+    "crates/bench/src/bin/experiments.rs",
+    "crates/bench/src/bin/harness.rs",
+];
+
+/// Marker that exempts one audited site from [`lint_harness_bypass`].
+/// Put it on the offending line or the line just above, with a word on
+/// why the site legitimately bypasses the spec/aggregate contract.
+pub const ALLOW_HARNESS_BYPASS: &str = "lint:allow(harness-bypass)";
+
+/// Rule 11: experiment bins (see [`EXPERIMENT_BIN_FILES`]) must not read
+/// per-experiment `ECRPQ_E<digit>…` environment variables (sizes and
+/// output paths live in the spec's `[workload]`/`[smoke]` tables) and
+/// must not write files directly (per-trial and aggregate JSON is
+/// written by `ecrpq_bench::harness` under its content-addressed keys) —
+/// unless the site carries [`ALLOW_HARNESS_BYPASS`]. Comment lines and
+/// `#[cfg(test)]` blocks are skipped.
+pub fn lint_harness_bypass(path: &str, content: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let lines: Vec<&str> = content.lines().collect();
+    let mut i = 0usize;
+    let mut skip_depth: Option<i64> = None; // brace depth at cfg(test) entry
+    let mut depth: i64 = 0;
+    while i < lines.len() {
+        let line = lines[i];
+        let code = strip_comment(line);
+        if skip_depth.is_none() && code.contains("#[cfg(test)]") {
+            skip_depth = Some(depth);
+        }
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+        depth += opens - closes;
+        if let Some(d) = skip_depth {
+            if depth <= d && closes > 0 {
+                skip_depth = None;
+            }
+            i += 1;
+            continue;
+        }
+        let allowed = line.contains(ALLOW_HARNESS_BYPASS)
+            || (i > 0 && lines[i - 1].contains(ALLOW_HARNESS_BYPASS));
+        let env_knob = match_positions(code, "ECRPQ_E")
+            .into_iter()
+            .any(|p| code[p + "ECRPQ_E".len()..].starts_with(|c: char| c.is_ascii_digit()));
+        if env_knob && !allowed {
+            out.push(Violation {
+                file: path.to_string(),
+                line: i + 1,
+                message: format!(
+                    "per-experiment env knob in an experiment bin — sizes belong in the \
+                     spec's `[workload]`/`[smoke]` tables under `experiments/`, or audit \
+                     with `// {ALLOW_HARNESS_BYPASS}: why`"
+                ),
+            });
+        } else if code.contains("fs::write") && !allowed {
+            out.push(Violation {
+                file: path.to_string(),
+                line: i + 1,
+                message: format!(
+                    "ad-hoc file write in an experiment bin — trajectory JSON is written \
+                     by the harness aggregator under its content-addressed key, or audit \
+                     with `// {ALLOW_HARNESS_BYPASS}: why`"
+                ),
+            });
+        }
+        i += 1;
+    }
+    out
+}
+
 /// Drops a trailing `// …` comment (naive: does not parse string
 /// literals, which is fine for the policy rules above).
 fn strip_comment(line: &str) -> &str {
@@ -973,6 +1048,56 @@ mod tests {
         let same_line = "fn k(q: &Ecrpq) { unparse(q) } // lint:allow(cold-path): once per text\n";
         assert!(lint_cold_path("f", same_line).is_empty());
         let v = lint_cold_path("f", "fn k(q: &Ecrpq) -> String { unparse(q) }\n");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn harness_bypass_flags_env_knobs_and_adhoc_writes() {
+        let bad = "\
+fn e19_bitparallel() {
+    let nodes = std::env::var(\"ECRPQ_E19_NODES\").ok();
+    fs::write(\"BENCH_bitparallel.json\", body)?;
+}
+";
+        let v = lint_harness_bypass("crates/bench/src/bin/experiments.rs", bad);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].message.contains("env knob"));
+        assert_eq!(v[1].line, 3);
+        assert!(v[1].message.contains("file write"));
+    }
+
+    #[test]
+    fn harness_bypass_requires_a_digit_after_the_prefix() {
+        // the crate's own env namespace without an experiment number is
+        // not a per-experiment knob (e.g. a hypothetical ECRPQ_EFFORT)
+        assert!(lint_harness_bypass("f", "let v = env::var(\"ECRPQ_EFFORT\");\n").is_empty());
+        let v = lint_harness_bypass("f", "let v = env::var(\"ECRPQ_E22_QPS\");\n");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn harness_bypass_respects_marker_tests_and_comments() {
+        let audited = "\
+fn dump() {
+    // lint:allow(harness-bypass): debug dump behind an explicit flag
+    fs::write(path, body)?;
+    fs::write(other, body)?; // lint:allow(harness-bypass): same dump
+}
+";
+        assert!(lint_harness_bypass("f", audited).is_empty());
+        // comments are prose; cfg(test) fixtures may write scratch files
+        assert!(lint_harness_bypass("f", "// replaced the ECRPQ_E19_NODES knob\n").is_empty());
+        let test_only = "\
+#[cfg(test)]
+mod tests {
+    fn t() {
+        fs::write(dir.join(\"spec.toml\"), src).unwrap();
+    }
+}
+";
+        assert!(lint_harness_bypass("f", test_only).is_empty());
+        let v = lint_harness_bypass("f", "fn d() { fs::write(p, b) }\n");
         assert_eq!(v.len(), 1);
     }
 }

@@ -8,9 +8,10 @@ mod lint;
 
 use lint::{
     lint_budget_checkpoints, lint_cold_path, lint_default_hasher, lint_forbid_unsafe,
-    lint_materialize, lint_raw_clock, lint_scalar_probe, lint_tracked_target,
+    lint_harness_bypass, lint_materialize, lint_raw_clock, lint_scalar_probe, lint_tracked_target,
     lint_unverified_rewrite, lint_unwrap, Violation, BITPARALLEL_HOT_FILES, BUDGET_HOT_FILES,
-    CLOCK_HOT_FILES, ENUMERATOR_FILES, HOT_PATH_FILES, OWN_CRATES, REWRITE_FILES, SERVER_FILES,
+    CLOCK_HOT_FILES, ENUMERATOR_FILES, EXPERIMENT_BIN_FILES, HOT_PATH_FILES, OWN_CRATES,
+    REWRITE_FILES, SERVER_FILES,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -186,6 +187,20 @@ fn run_lint() -> ExitCode {
         }
     }
 
+    // Rule 11: experiment bins go through the declarative harness — no
+    // per-experiment env knobs, no ad-hoc result writes (or an audit
+    // marker).
+    for hot in EXPERIMENT_BIN_FILES {
+        let path = root.join(hot);
+        match std::fs::read_to_string(&path) {
+            Ok(content) => violations.extend(lint_harness_bypass(hot, &content)),
+            Err(e) => {
+                eprintln!("xtask: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     for v in &violations {
         println!("{v}");
     }
@@ -193,7 +208,7 @@ fn run_lint() -> ExitCode {
         println!(
             "xtask lint: clean ({} entry points, {} hot files, {} budget-hot files, \
              {} clock-hot files, {} kernel files, {} enumerator files, {} rewrite files, \
-             {} server files, {} library files)",
+             {} server files, {} experiment-bin files, {} library files)",
             entries.len(),
             HOT_PATH_FILES.len(),
             BUDGET_HOT_FILES.len(),
@@ -202,6 +217,7 @@ fn run_lint() -> ExitCode {
             ENUMERATOR_FILES.len(),
             REWRITE_FILES.len(),
             SERVER_FILES.len(),
+            EXPERIMENT_BIN_FILES.len(),
             lib_sources.len()
         );
         ExitCode::SUCCESS

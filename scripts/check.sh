@@ -19,56 +19,40 @@ cargo test -q --offline
 echo "== differential suites (evaluator equivalence, layout + parallel + budget + oracle) =="
 cargo test -q --offline --test differential --test parallel_differential --test layout_differential \
   --test budget_differential --test oracle_differential --test metrics_invariants \
-  --test trace_observability --test minimize_differential --test server_differential
+  --test trace_observability --test minimize_differential --test server_differential \
+  --test harness_roundtrip --test harness_diff
 
 echo "== xtask lint (repo policy) =="
 cargo run -q -p xtask --offline -- lint
 
-echo "== E19 smoke (bit-parallel vs flat at a small size) =="
-# a 20k-node instance exercises the full E19 path — generator, both
-# layouts, the layout-equality assertions — in a couple of seconds; the
-# committed BENCH_bitparallel.json is produced by the full-size run
-ECRPQ_E19_NODES=20000 ECRPQ_E19_OUT=target/e19_smoke.json \
-  cargo run -q --release --offline -p ecrpq-bench --bin experiments -- E19 > /dev/null
-# schema drift gate: the smoke output must carry exactly the key set of
-# the committed benchmark file (field names may carry digits and capitals
-# — "p99_ms", "speedup_t8" — so the key regex must not stop at [a-z_])
-diff <(grep -o '"[A-Za-z0-9_]*":' target/e19_smoke.json | sort -u) \
-     <(grep -o '"[A-Za-z0-9_]*":' BENCH_bitparallel.json | sort -u) \
-  || { echo "E19 JSON schema drifted from BENCH_bitparallel.json"; exit 1; }
+echo "== experiment harness smoke (E19-E22 via their committed specs) =="
+# each spec's [smoke] table shrinks the workload to a seconds-scale size
+# while keeping the full trial path — generator, correctness assertions,
+# per-trial caching — and the harness diff gates the smoke aggregate's
+# key set against the committed full-size trajectory (--keys-only: smoke
+# timings are not comparable to full-size timings, the schema is)
+harness() { cargo run -q --release --offline -p ecrpq-bench --bin harness -- "$@"; }
+for pair in e19:BENCH_bitparallel.json e20:BENCH_yannakakis.json \
+            e21:BENCH_minimize.json e22:BENCH_server.json; do
+  exp="${pair%%:*}" bench="${pair#*:}"
+  harness run "experiments/$exp.toml" --smoke --out "target/${exp}_smoke.json"
+  harness diff "target/${exp}_smoke.json" --against "$bench" --keys-only \
+    || { echo "$exp smoke schema drifted from $bench"; exit 1; }
+done
 
-echo "== E20 smoke (yannakakis vs flat on the planted acyclic instance) =="
-# 8000 nodes is the smallest round size past the planner's nv^2 tuple
-# budget (~7071 nodes), so the in-bench Strategy::Yannakakis assertion
-# still fires; the committed BENCH_yannakakis.json is the full-size run
-ECRPQ_E20_NODES=8000 ECRPQ_E20_OUT=target/e20_smoke.json \
-  cargo run -q --release --offline -p ecrpq-bench --bin experiments -- E20 > /dev/null
-diff <(grep -o '"[A-Za-z0-9_]*":' target/e20_smoke.json | sort -u) \
-     <(grep -o '"[A-Za-z0-9_]*":' BENCH_yannakakis.json | sort -u) \
-  || { echo "E20 JSON schema drifted from BENCH_yannakakis.json"; exit 1; }
+echo "== harness resume gate (warm rerun must execute zero trials) =="
+# the e19 smoke trials above are now cached under their content-addressed
+# keys; a warm rerun with --require-warm fails if any trial re-executes
+harness run experiments/e19.toml --smoke --out target/e19_smoke.json --require-warm
 
-echo "== E21 smoke (regime minimizer on the planted NP-to-PTIME instance) =="
-# 48 nodes keeps the NP-regime baseline evaluation to a fraction of a
-# second while still exercising all three chord elisions and the in-bench
-# answer-set assertions; the committed BENCH_minimize.json is the
-# full-size (96-node) run
-ECRPQ_E21_NODES=48 ECRPQ_E21_OUT=target/e21_smoke.json \
-  cargo run -q --release --offline -p ecrpq-bench --bin experiments -- E21 > /dev/null
-diff <(grep -o '"[A-Za-z0-9_]*":' target/e21_smoke.json | sort -u) \
-     <(grep -o '"[A-Za-z0-9_]*":' BENCH_minimize.json | sort -u) \
-  || { echo "E21 JSON schema drifted from BENCH_minimize.json"; exit 1; }
-
-echo "== E22 smoke (query service: cached vs cold under concurrent load) =="
-# 30 nodes keeps the closed-loop run to a couple of seconds while still
-# exercising the full service path — plan cache, session workers, the
-# per-request answers-vs-planner assertions, and the cached >= 2x cold
-# throughput assertion; the committed BENCH_server.json is the full-size
-# (60-node) run
-ECRPQ_E22_NODES=30 ECRPQ_E22_OUT=target/e22_smoke.json \
-  cargo run -q --release --offline -p ecrpq-bench --bin experiments -- E22 > /dev/null
-diff <(grep -o '"[A-Za-z0-9_]*":' target/e22_smoke.json | sort -u) \
-     <(grep -o '"[A-Za-z0-9_]*":' BENCH_server.json | sort -u) \
-  || { echo "E22 JSON schema drifted from BENCH_server.json"; exit 1; }
+echo "== harness regression gate (self-diff clean, planted slowdown caught) =="
+# the committed trajectory diffed against itself must pass...
+harness diff BENCH_bitparallel.json --against BENCH_bitparallel.json --spec experiments/e19.toml
+# ...and with every fresh metric degraded 2x it must fail with exit 1
+if harness diff BENCH_bitparallel.json --against BENCH_bitparallel.json \
+     --spec experiments/e19.toml --planted 2.0 > /dev/null; then
+  echo "harness diff did not catch a planted 2x slowdown"; exit 1
+fi
 
 echo "== analyze --fix idempotence (on corpus copies, never in place) =="
 # pass 1 over pristine copies may apply fixes; pass 2 must apply zero and

@@ -1,0 +1,130 @@
+//! Regression-diff verdicts over the public harness API, including the
+//! committed `BENCH_*.json` trajectories themselves: every committed
+//! artifact must parse, self-diff clean (exit 0), and fail under a
+//! planted 2x uniform slowdown (exit 1). The synthetic cases pin the
+//! whole verdict/exit-code mapping — improvement, within-tolerance
+//! noise, real regression, missing metric, schema drift — at the
+//! integration level a CI caller sees.
+
+use ecrpq_bench::harness::diff::{classify, diff, diff_keys, Direction, Verdict};
+use ecrpq_bench::harness::{json, Json, Tolerances};
+use std::path::{Path, PathBuf};
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn parse(text: &str) -> Json {
+    json::parse(text).expect("test document parses")
+}
+
+#[test]
+fn committed_trajectories_self_diff_clean_and_catch_planted_slowdowns() {
+    for artifact in [
+        "BENCH_bitparallel.json",
+        "BENCH_yannakakis.json",
+        "BENCH_minimize.json",
+        "BENCH_server.json",
+    ] {
+        let text = std::fs::read_to_string(repo_path(artifact)).expect("committed artifact");
+        let doc = json::parse(&text).unwrap_or_else(|e| panic!("{artifact}: {e}"));
+        assert!(diff_keys(&doc, &doc).is_empty(), "{artifact} schema");
+        let tol = Tolerances::default();
+        let clean = diff(&doc, &doc, &tol, None);
+        assert_eq!(
+            clean.exit_code(),
+            0,
+            "{artifact} self-diff: {:?}",
+            clean.lines()
+        );
+        assert!(
+            !clean.metrics.is_empty(),
+            "{artifact} must carry gating metrics"
+        );
+        let planted = diff(&doc, &doc, &tol, Some(2.0));
+        assert_eq!(
+            planted.exit_code(),
+            1,
+            "{artifact} must fail under a planted 2x slowdown"
+        );
+    }
+}
+
+#[test]
+fn verdicts_and_exit_codes_cover_the_matrix() {
+    let baseline = parse(r#"{"speedup_best": 4.0, "rows": [{"flat_ms": 100.0}]}"#);
+    let tol = Tolerances::default();
+
+    // improvement: faster and higher-speedup beyond tolerance -> exit 0
+    let improved = parse(r#"{"speedup_best": 8.0, "rows": [{"flat_ms": 40.0}]}"#);
+    let r = diff(&improved, &baseline, &tol, None);
+    assert_eq!(r.exit_code(), 0);
+    assert!(r.metrics.iter().all(|m| m.verdict == Verdict::Improvement));
+
+    // within-tolerance noise (~10% against a 35% default) -> exit 0
+    let noisy = parse(r#"{"speedup_best": 3.7, "rows": [{"flat_ms": 110.0}]}"#);
+    let r = diff(&noisy, &baseline, &tol, None);
+    assert_eq!(r.exit_code(), 0);
+    assert!(r.metrics.iter().all(|m| m.verdict == Verdict::Within));
+
+    // real regression: 2x slower -> exit 1, regression sorted first
+    let slow = parse(r#"{"speedup_best": 4.0, "rows": [{"flat_ms": 200.0}]}"#);
+    let r = diff(&slow, &baseline, &tol, None);
+    assert_eq!(r.exit_code(), 1);
+    assert_eq!(r.metrics[0].verdict, Verdict::Regression);
+    assert_eq!(r.metrics[0].leaf, "flat_ms");
+
+    // missing gating metric (same schema, shorter rows) -> exit 3
+    let two_rows = parse(r#"{"rows": [{"flat_ms": 10.0}, {"flat_ms": 20.0}]}"#);
+    let one_row = parse(r#"{"rows": [{"flat_ms": 10.0}]}"#);
+    let r = diff(&one_row, &two_rows, &tol, None);
+    assert_eq!(r.exit_code(), 3);
+    assert_eq!(r.missing, vec!["rows[1].flat_ms".to_string()]);
+
+    // schema drift (renamed key) -> exit 4, outranking the missing metric
+    let renamed = parse(r#"{"rows": [{"flat_millis": 10.0}, {"flat_millis": 20.0}]}"#);
+    let r = diff(&renamed, &two_rows, &tol, None);
+    assert_eq!(r.exit_code(), 4);
+    assert!(r.schema_drift.iter().any(|d| d.contains("rows[].flat_ms")));
+}
+
+#[test]
+fn per_key_tolerance_overrides_only_their_key() {
+    let baseline = parse(r#"{"prepare_ms": 10.0, "speedup_best": 4.0}"#);
+    let fresh = parse(r#"{"prepare_ms": 30.0, "speedup_best": 4.0}"#);
+    // default tolerance: the 3x prepare_ms blowup is a regression
+    assert_eq!(
+        diff(&fresh, &baseline, &Tolerances::default(), None).exit_code(),
+        1
+    );
+    // a per-key override wide enough for prepare cost passes, and
+    // speedup_best is still held to the default
+    let tol = Tolerances {
+        default_rel: 0.35,
+        per_key: vec![("prepare_ms".to_string(), 3.0)],
+    };
+    assert_eq!(diff(&fresh, &baseline, &tol, None).exit_code(), 0);
+    let worse_speedup = parse(r#"{"prepare_ms": 30.0, "speedup_best": 1.0}"#);
+    assert_eq!(diff(&worse_speedup, &baseline, &tol, None).exit_code(), 1);
+}
+
+#[test]
+fn metric_classification_drives_gating() {
+    assert_eq!(classify("flat_ms"), Direction::LowerBetter);
+    assert_eq!(classify("p99_ms"), Direction::LowerBetter);
+    assert_eq!(classify("speedup_single_thread"), Direction::HigherBetter);
+    assert_eq!(classify("configs_per_sec"), Direction::HigherBetter);
+    assert_eq!(classify("queries_per_sec"), Direction::HigherBetter);
+    // counts, seeds and totals never gate
+    assert_eq!(classify("nodes"), Direction::Info);
+    assert_eq!(classify("seed"), Direction::Info);
+    assert_eq!(classify("configs"), Direction::Info);
+    assert_eq!(classify("answers"), Direction::Info);
+
+    // and the Info classification really is inert end to end
+    let a = parse(r#"{"nodes": 10, "answers": 1}"#);
+    let b = parse(r#"{"nodes": 100000, "answers": 999}"#);
+    let r = diff(&a, &b, &Tolerances::default(), None);
+    assert_eq!(r.exit_code(), 0);
+    assert!(r.metrics.is_empty());
+}
